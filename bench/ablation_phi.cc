@@ -1,0 +1,45 @@
+// Ablation: the node-capacity parameter phi (sum of the per-dimension
+// depth caps xi_j) trades exact-match cost against directory size.  The
+// paper fixes phi = 6 "to allow for a fast build up of the number of
+// directory levels" and notes that phi = 9 gives l <= 3 for w <= 27.  This
+// sweep quantifies the trade-off the design section argues about.
+
+#include <cstdio>
+
+#include "src/metrics/experiment.h"
+
+int main() {
+  using namespace bmeh;
+  std::printf("\n================================================================================\n");
+  std::printf("Ablation: node capacity phi (BMEH-tree, 2-d, N = 40,000, b = 8)\n");
+  std::printf("================================================================================\n");
+  std::printf("%6s %10s | %8s %8s %8s %8s %10s %8s %8s\n", "phi",
+              "dist", "lambda", "lambda'", "rho", "alpha", "sigma",
+              "nodes", "levels");
+  for (auto dist : {workload::Distribution::kUniform,
+                    workload::Distribution::kNormal}) {
+    for (int phi : {2, 4, 6, 8, 10}) {
+      metrics::ExperimentConfig cfg;
+      cfg.method = metrics::Method::kBmehTree;
+      cfg.workload.distribution = dist;
+      cfg.workload.dims = 2;
+      cfg.workload.seed = 1986;
+      cfg.page_capacity = 8;
+      cfg.phi = phi;
+      cfg.n = 40000;
+      cfg.tail = 4000;
+      auto r = metrics::RunExperiment(cfg);
+      std::printf("%6d %10s | %8.3f %8.3f %8.2f %8.3f %10llu %8llu %8llu\n",
+                  phi, workload::DistributionName(dist), r.lambda,
+                  r.lambda_prime, r.rho, r.alpha,
+                  static_cast<unsigned long long>(r.sigma),
+                  static_cast<unsigned long long>(
+                      r.structure.directory_nodes),
+                  static_cast<unsigned long long>(
+                      r.structure.directory_levels));
+    }
+  }
+  std::printf("Expected shape: larger phi -> fewer levels (smaller lambda) "
+              "but coarser node blocks (larger sigma under skew).\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Physical-I/O validation of the paper's logical cost model.
+//
+// The §5 tables count *logical* disk accesses (the paper ran a
+// simulation).  Here the same tree is frozen into a physically paged
+// image (one store page per directory node / data page) and probed
+// through a real buffer pool, so the logical model can be checked against
+// actual page reads:
+//   * cold pool  -> physical reads per search must equal lambda
+//     (height reads with the root pinned);
+//   * warm pool  -> upper levels cache, reads per search approach 1;
+//   * range queries -> physical reads track l * n_R (Theorem 4).
+
+#include <cstdio>
+
+#include "src/common/random.h"
+#include "src/store/frozen_tree.h"
+#include "src/workload/distributions.h"
+
+int main() {
+  using namespace bmeh;
+  std::printf("\n================================================================================\n");
+  std::printf("Physical I/O vs the logical cost model (frozen BMEH-tree, 2-d, N = 40,000)\n");
+  std::printf("================================================================================\n");
+
+  for (auto dist : {workload::Distribution::kUniform,
+                    workload::Distribution::kNormal}) {
+    KeySchema schema(2, 31);
+    BmehTree tree(schema, TreeOptions::Make(2, /*b=*/8));
+    workload::WorkloadSpec spec;
+    spec.distribution = dist;
+    spec.seed = 1986;
+    auto keys = workload::GenerateKeys(spec, 40000);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      BMEH_CHECK_OK(tree.Insert(keys[i], i));
+    }
+    InMemoryPageStore store(4096);
+    auto meta = FrozenBmehTree::Freeze(tree, &store);
+    BMEH_CHECK_OK(meta.status());
+    const uint64_t image_pages = store.live_page_count();
+
+    std::printf("\n%s keys: height l = %d, image = %llu pages "
+                "(%llu nodes + %llu data pages + meta)\n",
+                workload::DistributionName(dist), tree.height(),
+                static_cast<unsigned long long>(image_pages),
+                static_cast<unsigned long long>(tree.node_count()),
+                static_cast<unsigned long long>(tree.Stats().data_pages));
+    std::printf("%12s %16s %16s %14s\n", "pool frames", "reads/search",
+                "logical lambda", "hit rate");
+
+    for (int pool : {2, 64, 1024, 16384}) {
+      auto frozen_r = FrozenBmehTree::Open(&store, *meta, pool);
+      BMEH_CHECK_OK(frozen_r.status());
+      auto frozen = std::move(frozen_r).ValueOrDie();
+      Rng rng(7);
+      // Warm-up pass (matters only for the larger pools).
+      for (int i = 0; i < 2000; ++i) {
+        BMEH_CHECK_OK(
+            frozen->Search(keys[rng.Uniform(keys.size())]).status());
+      }
+      const uint64_t before = frozen->physical_reads();
+      const uint64_t hits_before = frozen->pool_hits();
+      const uint64_t miss_before = frozen->pool_misses();
+      const int probes = 4000;
+      for (int i = 0; i < probes; ++i) {
+        BMEH_CHECK_OK(
+            frozen->Search(keys[rng.Uniform(keys.size())]).status());
+      }
+      const double per_probe =
+          static_cast<double>(frozen->physical_reads() - before) / probes;
+      const double hits =
+          static_cast<double>(frozen->pool_hits() - hits_before);
+      const double misses =
+          static_cast<double>(frozen->pool_misses() - miss_before);
+      std::printf("%12d %16.3f %16d %13.1f%%\n", pool, per_probe,
+                  tree.height(), 100.0 * hits / (hits + misses));
+    }
+
+    // Range-query physical cost: reads vs l * n_R.
+    auto frozen_r = FrozenBmehTree::Open(&store, *meta, /*pool_pages=*/4);
+    BMEH_CHECK_OK(frozen_r.status());
+    auto frozen = std::move(frozen_r).ValueOrDie();
+    Rng rng(8);
+    std::printf("%12s %12s %16s\n", "query side", "avg hits",
+                "phys reads/query");
+    for (double side : {0.01, 0.05, 0.2}) {
+      const uint64_t domain = uint64_t{1} << 31;
+      const uint32_t extent = static_cast<uint32_t>(side * domain);
+      uint64_t hits = 0;
+      const uint64_t before = frozen->physical_reads();
+      const int queries = 40;
+      for (int q = 0; q < queries; ++q) {
+        RangePredicate pred(schema);
+        for (int j = 0; j < 2; ++j) {
+          uint32_t lo = static_cast<uint32_t>(rng.Uniform(domain - extent));
+          pred.Constrain(j, lo, lo + extent);
+        }
+        std::vector<Record> out;
+        BMEH_CHECK_OK(frozen->RangeSearch(pred, &out));
+        hits += out.size();
+      }
+      std::printf("%12.2f %12.1f %16.1f\n", side,
+                  static_cast<double>(hits) / queries,
+                  static_cast<double>(frozen->physical_reads() - before) /
+                      queries);
+    }
+  }
+  return 0;
+}

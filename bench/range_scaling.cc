@@ -1,0 +1,96 @@
+// Empirical check of Theorem 4: a partial-range query over a BMEH-tree
+// costs O(l * n_R) disk accesses, where n_R is the number of rectangular
+// cells of the induced partitioning that cover the query region.  We sweep
+// the query selectivity across four orders of magnitude and report the
+// measured accesses per covering cell, which must stay bounded by l.
+
+#include <cstdio>
+
+#include "src/common/random.h"
+#include "src/core/bmeh_tree.h"
+#include "src/workload/distributions.h"
+
+int main() {
+  using namespace bmeh;
+  std::printf("\n================================================================================\n");
+  std::printf("Theorem 4: partial-range retrieval cost, BMEH-tree (2-d uniform, N=40000, b=8)\n");
+  std::printf("================================================================================\n");
+
+  KeySchema schema(2, 31);
+  BmehTree tree(schema, TreeOptions::Make(2, 8));
+  workload::WorkloadSpec spec;
+  spec.seed = 1986;
+  auto keys = workload::GenerateKeys(spec, 40000);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    BMEH_CHECK_OK(tree.Insert(keys[i], i));
+  }
+  std::printf("tree: height l = %d, %llu nodes, %llu data pages\n",
+              tree.height(),
+              static_cast<unsigned long long>(tree.node_count()),
+              static_cast<unsigned long long>(tree.Stats().data_pages));
+  std::printf("%12s %10s %10s %10s %10s %12s %14s\n", "side frac",
+              "queries", "avg hits", "avg n_R", "avg pages", "avg accesses",
+              "accesses/n_R");
+
+  Rng rng(7);
+  for (double side : {0.001, 0.005, 0.02, 0.08, 0.3}) {
+    const uint64_t domain = uint64_t{1} << 31;
+    const uint32_t extent = static_cast<uint32_t>(side * domain);
+    const int queries = 60;
+    uint64_t hits = 0, nr = 0, pages = 0, accesses = 0;
+    for (int q = 0; q < queries; ++q) {
+      RangePredicate pred(schema);
+      for (int j = 0; j < 2; ++j) {
+        uint32_t lo = static_cast<uint32_t>(rng.Uniform(domain - extent));
+        pred.Constrain(j, lo, lo + extent);
+      }
+      std::vector<Record> out;
+      hashdir::RangeWalkStats stats;
+      const IoStats before = tree.io_stats();
+      BMEH_CHECK_OK(tree.RangeSearchWithStats(pred, &out, &stats));
+      const IoStats delta = tree.io_stats() - before;
+      hits += out.size();
+      nr += stats.leaf_groups;
+      pages += stats.pages_visited;
+      accesses += delta.reads();
+    }
+    std::printf("%12.3f %10d %10.1f %10.1f %10.1f %12.1f %14.2f\n", side,
+                queries, static_cast<double>(hits) / queries,
+                static_cast<double>(nr) / queries,
+                static_cast<double>(pages) / queries,
+                static_cast<double>(accesses) / queries,
+                nr ? static_cast<double>(accesses) / nr : 0.0);
+  }
+  std::printf("Theorem 4 holds if accesses/n_R stays <= l = %d.\n",
+              tree.height());
+
+  // Partial-match flavor: constrain only one of the two dimensions.
+  std::printf("\nPartial-match (|S| = 1) scaling:\n");
+  std::printf("%12s %10s %10s %12s %14s\n", "side frac", "avg hits",
+              "avg n_R", "avg accesses", "accesses/n_R");
+  for (double side : {0.0005, 0.002, 0.01}) {
+    const uint64_t domain = uint64_t{1} << 31;
+    const uint32_t extent = static_cast<uint32_t>(side * domain);
+    const int queries = 30;
+    uint64_t hits = 0, nr = 0, accesses = 0;
+    for (int q = 0; q < queries; ++q) {
+      RangePredicate pred(schema);
+      uint32_t lo = static_cast<uint32_t>(rng.Uniform(domain - extent));
+      pred.Constrain(q % 2, lo, lo + extent);
+      std::vector<Record> out;
+      hashdir::RangeWalkStats stats;
+      const IoStats before = tree.io_stats();
+      BMEH_CHECK_OK(tree.RangeSearchWithStats(pred, &out, &stats));
+      const IoStats delta = tree.io_stats() - before;
+      hits += out.size();
+      nr += stats.leaf_groups;
+      accesses += delta.reads();
+    }
+    std::printf("%12.4f %10.1f %10.1f %12.1f %14.2f\n", side,
+                static_cast<double>(hits) / queries,
+                static_cast<double>(nr) / queries,
+                static_cast<double>(accesses) / queries,
+                nr ? static_cast<double>(accesses) / nr : 0.0);
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduction of the paper's Table 2: 2-dimensional uniform distributed
+// keys (each component pseudo-random in [0, 2^31 - 1]), N = 40,000,
+// b in {8, 16, 32, 64}; trees use phi = 6, xi = (3, 3).
+
+#include "bench/bench_common.h"
+
+namespace bmeh {
+namespace bench {
+namespace {
+
+// Values printed in the paper's Table 2.
+const PaperTable kPaper = {
+    // lambda: MDEH, MEH-tree, BMEH-tree
+    {{{2.000, 2.000, 2.000, 2.000}},
+     {{2.756, 2.039, 2.000, 2.000}},
+     {{3.000, 3.000, 2.000, 2.000}}},
+    // lambda'
+    {{{2.000, 2.000, 2.000, 2.000}},
+     {{2.574, 2.011, 2.000, 2.000}},
+     {{3.000, 3.000, 2.000, 2.000}}},
+    // rho
+    {{{11.847, 6.292, 5.571, 4.955}},
+     {{6.198, 4.110, 3.503, 3.256}},
+     {{7.213, 5.646, 3.715, 3.346}}},
+    // alpha (the paper reports one row shared by all methods)
+    {{{0.692, 0.682, 0.658, 0.626}},
+     {{0.692, 0.682, 0.658, 0.626}},
+     {{0.692, 0.682, 0.658, 0.626}}},
+    // sigma
+    {{{65536, 8192, 4096, 1024}},
+     {{171264, 10432, 4160, 4160}},
+     {{17984, 7296, 2560, 1088}}},
+};
+
+}  // namespace
+}  // namespace bench
+}  // namespace bmeh
+
+int main() {
+  using namespace bmeh;
+  workload::WorkloadSpec spec;
+  spec.distribution = workload::Distribution::kUniform;
+  spec.dims = 2;
+  spec.width = 31;
+  spec.seed = 1986;
+  bench::TableResults res = bench::RunTable(spec, 40000, 4000);
+  bench::PrintTable(
+      "Table 2: 2-dimensional uniform distributed keys", res,
+      bench::kPaper);
+  return 0;
+}

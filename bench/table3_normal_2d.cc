@@ -1,0 +1,52 @@
+// Reproduction of the paper's Table 3: 2-dimensional (bivariate) normal
+// distributed keys — each component a truncated discretized normal in
+// [0, 2^31 - 1] (mu = 2^30, sigma = 2^27; DESIGN.md §2.6).  This is the
+// table that exposes MDEH's exponential directory growth under skew; the
+// paper draws attention "particularly to the value of rho ... when b = 8".
+
+#include "bench/bench_common.h"
+
+namespace bmeh {
+namespace bench {
+namespace {
+
+// Values printed in the paper's Table 3.
+const PaperTable kPaper = {
+    // lambda
+    {{{2.000, 2.000, 2.000, 2.000}},
+     {{2.924, 2.844, 2.670, 2.342}},
+     {{4.000, 3.000, 3.000, 3.000}}},
+    // lambda'
+    {{{2.000, 2.000, 2.000, 2.000}},
+     {{2.908, 2.824, 2.642, 2.303}},
+     {{3.836, 3.000, 3.000, 3.000}}},
+    // rho
+    {{{229.34, 11.252, 11.275, 11.359}},
+     {{6.267, 4.971, 4.241, 3.615}},
+     {{8.415, 5.523, 4.804, 4.427}}},
+    // alpha
+    {{{0.692, 0.684, 0.682, 0.669}},
+     {{0.692, 0.684, 0.682, 0.669}},
+     {{0.692, 0.684, 0.682, 0.669}}},
+    // sigma
+    {{{524288, 65536, 32768, 16384}},
+     {{66368, 48896, 30848, 13440}},
+     {{20800, 9856, 5248, 2624}}},
+};
+
+}  // namespace
+}  // namespace bench
+}  // namespace bmeh
+
+int main() {
+  using namespace bmeh;
+  workload::WorkloadSpec spec;
+  spec.distribution = workload::Distribution::kNormal;
+  spec.dims = 2;
+  spec.width = 31;
+  spec.seed = 1986;
+  bench::TableResults res = bench::RunTable(spec, 40000, 4000);
+  bench::PrintTable(
+      "Table 3: 2-dimensional normal distributed keys", res, bench::kPaper);
+  return 0;
+}

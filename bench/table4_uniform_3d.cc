@@ -1,0 +1,49 @@
+// Reproduction of the paper's Table 4: 3-dimensional uniform distributed
+// keys, N = 40,000; trees use phi = 6, xi = (2, 2, 2).
+
+#include "bench/bench_common.h"
+
+namespace bmeh {
+namespace bench {
+namespace {
+
+// Values printed in the paper's Table 4.
+const PaperTable kPaper = {
+    // lambda
+    {{{2.000, 2.000, 2.000, 2.000}},
+     {{2.760, 2.052, 2.000, 2.000}},
+     {{3.000, 3.000, 2.000, 2.000}}},
+    // lambda'
+    {{{2.000, 2.000, 2.000, 2.000}},
+     {{2.586, 2.019, 2.000, 2.000}},
+     {{3.000, 3.000, 2.000, 2.000}}},
+    // rho
+    {{{9.394, 7.264, 5.738, 4.995}},
+     {{6.184, 4.129, 3.567, 3.253}},
+     {{7.343, 5.771, 3.757, 3.353}}},
+    // alpha
+    {{{0.689, 0.680, 0.655, 0.621}},
+     {{0.689, 0.680, 0.655, 0.621}},
+     {{0.689, 0.680, 0.655, 0.621}}},
+    // sigma
+    {{{32768, 16384, 4096, 1024}},
+     {{170752, 10688, 4160, 4160}},
+     {{17984, 8000, 2432, 1088}}},
+};
+
+}  // namespace
+}  // namespace bench
+}  // namespace bmeh
+
+int main() {
+  using namespace bmeh;
+  workload::WorkloadSpec spec;
+  spec.distribution = workload::Distribution::kUniform;
+  spec.dims = 3;
+  spec.width = 31;
+  spec.seed = 1986;
+  bench::TableResults res = bench::RunTable(spec, 40000, 4000);
+  bench::PrintTable(
+      "Table 4: 3-dimensional uniform distributed keys", res, bench::kPaper);
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "src/common/bit_util.h"
+
+namespace bmeh {
+namespace bit_util {
+
+uint64_t ReverseBits(uint64_t v, int width) {
+  BMEH_DCHECK(width >= 0 && width <= 64);
+  uint64_t out = 0;
+  for (int i = 0; i < width; ++i) {
+    out = (out << 1) | (v & 1);
+    v >>= 1;
+  }
+  return out;
+}
+
+uint64_t MortonInterleave(const uint32_t* components, int d, int width) {
+  BMEH_DCHECK(d >= 1 && width >= 0 && d * width <= 64);
+  uint64_t out = 0;
+  for (int bit = 0; bit < width; ++bit) {
+    for (int j = 0; j < d; ++j) {
+      out = (out << 1) |
+            ExtractBits(components[j], 32, bit, 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace bit_util
+}  // namespace bmeh

@@ -1,0 +1,53 @@
+#include "src/common/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace bmeh {
+
+namespace {
+LogLevel g_threshold = LogLevel::kWarning;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogThreshold(LogLevel level) { g_threshold = level; }
+LogLevel GetLogThreshold() { return g_threshold; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) >= static_cast<int>(g_threshold)) {
+    std::cerr << stream_.str() << std::endl;
+  }
+}
+
+FatalMessage::FatalMessage(const char* cond, const char* file, int line) {
+  stream_ << "[FATAL " << file << ":" << line << "] Check failed: " << cond
+          << " ";
+}
+
+FatalMessage::~FatalMessage() {
+  std::cerr << stream_.str() << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace bmeh

@@ -1,0 +1,81 @@
+// Minimal logging / invariant-check macros.
+//
+// BMEH_CHECK(cond)   — always-on invariant check; aborts with a message.
+// BMEH_DCHECK(cond)  — compiled out in NDEBUG builds.
+// BMEH_LOG(level)    — stream-style logging to stderr.
+
+#ifndef BMEH_COMMON_LOGGING_H_
+#define BMEH_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace bmeh {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+namespace internal {
+
+/// Collects a message and emits it (to stderr) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction.
+class FatalMessage {
+ public:
+  FatalMessage(const char* cond, const char* file, int line);
+  [[noreturn]] ~FatalMessage();
+
+  template <typename T>
+  FatalMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// \brief Sets the minimum level that BMEH_LOG actually emits.
+/// Defaults to kWarning so tests/benches stay quiet.
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+}  // namespace bmeh
+
+#define BMEH_LOG(level)                                          \
+  ::bmeh::internal::LogMessage(::bmeh::LogLevel::k##level, __FILE__, __LINE__)
+
+#define BMEH_CHECK(cond)                                               \
+  if (!(cond))                                                         \
+  ::bmeh::internal::FatalMessage(#cond, __FILE__, __LINE__)
+
+#define BMEH_CHECK_OK(expr)                                            \
+  do {                                                                 \
+    ::bmeh::Status _st_check = (expr);                                 \
+    BMEH_CHECK(_st_check.ok()) << _st_check.ToString();                \
+  } while (false)
+
+#ifdef NDEBUG
+#define BMEH_DCHECK(cond) \
+  if (false) ::bmeh::internal::FatalMessage(#cond, __FILE__, __LINE__)
+#else
+#define BMEH_DCHECK(cond) BMEH_CHECK(cond)
+#endif
+
+#endif  // BMEH_COMMON_LOGGING_H_

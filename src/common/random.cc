@@ -1,0 +1,47 @@
+#include "src/common/random.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace bmeh {
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  BMEH_DCHECK(bound > 0);
+  // Rejection sampling for an unbiased result.
+  uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  for (;;) {
+    uint64_t r = Next64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+uint64_t Rng::UniformRange(uint64_t lo, uint64_t hi) {
+  BMEH_DCHECK(lo <= hi);
+  if (lo == 0 && hi == ~uint64_t{0}) return Next64();
+  return lo + Uniform(hi - lo + 1);
+}
+
+double Rng::NextDouble() {
+  // 53 random bits -> [0, 1).
+  return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::NextGaussian() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  have_spare_ = true;
+  return u * factor;
+}
+
+}  // namespace bmeh

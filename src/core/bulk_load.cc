@@ -1,0 +1,66 @@
+// Batch construction for the BMEH-tree.
+//
+// Extendible-hashing structures are insensitive to insertion order (the
+// final shape depends only on the key set, up to transient split-dimension
+// phases), so bulk loading is "just" sorted insertion — but the sort order
+// matters a great deal for locality: sorting by the bit-interleaved
+// (z-order / Morton) sequence makes every run of consecutive keys share
+// its directory path prefix, so page and node churn concentrates instead
+// of scattering.  The micro benchmark quantifies the wall-clock win.
+
+#include <algorithm>
+
+#include "src/common/bit_util.h"
+#include "src/core/bmeh_tree.h"
+
+namespace bmeh {
+
+namespace {
+
+/// Compares two pseudo-keys in bit-interleaved order: bit 1 of dim 1,
+/// bit 1 of dim 2, ..., bit 2 of dim 1, ... (MSB first, per-dimension
+/// widths respected).  This is exactly the order in which the directory
+/// distinguishes keys, under the cyclic split schedule.
+bool ZOrderLess(const KeySchema& schema, const PseudoKey& a,
+                const PseudoKey& b) {
+  int max_width = 0;
+  for (int j = 0; j < schema.dims(); ++j) {
+    max_width = std::max(max_width, schema.width(j));
+  }
+  for (int bit = 0; bit < max_width; ++bit) {
+    for (int j = 0; j < schema.dims(); ++j) {
+      if (bit >= schema.width(j)) continue;
+      const int ba = bit_util::BitAt(a.component(j), schema.width(j), bit);
+      const int bb = bit_util::BitAt(b.component(j), schema.width(j), bit);
+      if (ba != bb) return ba < bb;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status BmehTree::BulkLoad(std::vector<Record> records) {
+  if (records_ != 0) {
+    return Status::Invalid("BulkLoad requires an empty tree");
+  }
+  for (const Record& rec : records) {
+    BMEH_RETURN_NOT_OK(schema_.Validate(rec.key));
+  }
+  std::sort(records.begin(), records.end(),
+            [this](const Record& a, const Record& b) {
+              return ZOrderLess(schema_, a.key, b.key);
+            });
+  for (size_t i = 1; i < records.size(); ++i) {
+    if (records[i].key == records[i - 1].key) {
+      return Status::AlreadyExists("duplicate key in bulk load: " +
+                                   records[i].key.ToString());
+    }
+  }
+  for (const Record& rec : records) {
+    BMEH_RETURN_NOT_OK(Insert(rec.key, rec.payload));
+  }
+  return Status::OK();
+}
+
+}  // namespace bmeh

@@ -1,0 +1,143 @@
+#include "src/core/quadtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/bit_util.h"
+
+namespace bmeh {
+
+namespace {
+
+TreeOptions QuadtreeTreeOptions(const BalancedQuadtree::Options& o) {
+  TreeOptions t;
+  t.page_capacity = o.page_capacity;
+  for (int j = 0; j < o.dims; ++j) t.xi[j] = 1;  // xi_j = 1: 2^d-way nodes
+  return t;
+}
+
+}  // namespace
+
+BalancedQuadtree::BalancedQuadtree(const Options& options)
+    : options_(options),
+      schema_(options.dims, options.bits_per_dim),
+      tree_(schema_, QuadtreeTreeOptions(options)) {
+  BMEH_CHECK(options.dims >= 1 && options.dims <= kMaxDims);
+  BMEH_CHECK(options.bits_per_dim >= 1 && options.bits_per_dim <= 32);
+}
+
+uint32_t BalancedQuadtree::EncodeCoord(double v) const {
+  if (v < 0.0) v = 0.0;
+  if (v > 1.0) v = 1.0;
+  const double scale =
+      static_cast<double>(bit_util::Pow2(options_.bits_per_dim)) - 1.0;
+  return static_cast<uint32_t>(v * scale);
+}
+
+double BalancedQuadtree::DecodeCoord(uint32_t code) const {
+  const double scale =
+      static_cast<double>(bit_util::Pow2(options_.bits_per_dim)) - 1.0;
+  return static_cast<double>(code) / scale;
+}
+
+PseudoKey BalancedQuadtree::Encode(std::span<const double> point) const {
+  BMEH_CHECK(static_cast<int>(point.size()) == options_.dims);
+  std::array<uint32_t, kMaxDims> comps{};
+  for (int j = 0; j < options_.dims; ++j) comps[j] = EncodeCoord(point[j]);
+  return PseudoKey(std::span<const uint32_t>(comps.data(), options_.dims));
+}
+
+Status BalancedQuadtree::Insert(std::span<const double> point,
+                                uint64_t payload) {
+  return tree_.Insert(Encode(point), payload);
+}
+
+Result<uint64_t> BalancedQuadtree::Search(std::span<const double> point) {
+  return tree_.Search(Encode(point));
+}
+
+Status BalancedQuadtree::Delete(std::span<const double> point) {
+  return tree_.Delete(Encode(point));
+}
+
+Status BalancedQuadtree::NearestNeighbors(std::span<const double> query,
+                                          int k,
+                                          std::vector<Neighbor>* out) {
+  BMEH_CHECK(static_cast<int>(query.size()) == options_.dims);
+  if (k <= 0) return Status::Invalid("k must be positive");
+  const uint64_t total = size();
+  if (total == 0) return Status::OK();
+  const int want = static_cast<int>(
+      std::min<uint64_t>(static_cast<uint64_t>(k), total));
+
+  auto distance = [&](const QuadtreePoint& p) {
+    double d2 = 0.0;
+    for (int j = 0; j < options_.dims; ++j) {
+      const double d = p.coords[j] - query[j];
+      d2 += d * d;
+    }
+    return std::sqrt(d2);
+  };
+
+  // Expanding box: start at one leaf-cell width and double until the
+  // want-th candidate's true distance fits inside the box half-width
+  // (then nothing nearer can lie outside the box).
+  double r = std::max(1e-6, std::pow(0.5, tree_.height()));
+  for (;;) {
+    std::vector<double> lo(options_.dims), hi(options_.dims);
+    bool covers_all = true;
+    for (int j = 0; j < options_.dims; ++j) {
+      lo[j] = query[j] - r;
+      hi[j] = query[j] + r;
+      if (lo[j] > 0.0 || hi[j] < 1.0) covers_all = false;
+    }
+    std::vector<QuadtreePoint> candidates;
+    BMEH_RETURN_NOT_OK(BoxSearch(lo, hi, &candidates));
+    if (static_cast<int>(candidates.size()) >= want) {
+      std::vector<Neighbor> ranked;
+      ranked.reserve(candidates.size());
+      for (const QuadtreePoint& p : candidates) {
+        ranked.push_back({p, distance(p)});
+      }
+      std::sort(ranked.begin(), ranked.end(),
+                [](const Neighbor& a, const Neighbor& b) {
+                  return a.distance < b.distance;
+                });
+      if (covers_all || ranked[want - 1].distance <= r) {
+        ranked.resize(want);
+        out->insert(out->end(), ranked.begin(), ranked.end());
+        return Status::OK();
+      }
+    } else if (covers_all) {
+      return Status::Corruption("NN box covered the space but missed keys");
+    }
+    r *= 2.0;
+  }
+}
+
+Status BalancedQuadtree::BoxSearch(std::span<const double> lo,
+                                   std::span<const double> hi,
+                                   std::vector<QuadtreePoint>* out) {
+  BMEH_CHECK(static_cast<int>(lo.size()) == options_.dims);
+  BMEH_CHECK(static_cast<int>(hi.size()) == options_.dims);
+  RangePredicate pred(schema_);
+  for (int j = 0; j < options_.dims; ++j) {
+    if (lo[j] > hi[j]) {
+      return Status::Invalid("box lo > hi in dim " + std::to_string(j));
+    }
+    pred.Constrain(j, EncodeCoord(lo[j]), EncodeCoord(hi[j]));
+  }
+  std::vector<Record> records;
+  BMEH_RETURN_NOT_OK(tree_.RangeSearch(pred, &records));
+  for (const Record& rec : records) {
+    QuadtreePoint p;
+    for (int j = 0; j < options_.dims; ++j) {
+      p.coords[j] = DecodeCoord(rec.key.component(j));
+    }
+    p.payload = rec.payload;
+    out->push_back(p);
+  }
+  return Status::OK();
+}
+
+}  // namespace bmeh

@@ -1,0 +1,36 @@
+// Partial-range retrieval for the BMEH-tree (paper §4.4, PRG_Search).
+
+#include "src/core/bmeh_tree.h"
+#include "src/hashdir/range_walk.h"
+
+namespace bmeh {
+
+using hashdir::DirNode;
+
+Status BmehTree::RangeSearch(const RangePredicate& pred,
+                             std::vector<Record>* out) {
+  hashdir::RangeWalkStats stats;
+  return RangeSearchWithStats(pred, out, &stats);
+}
+
+Status BmehTree::RangeSearchWithStats(const RangePredicate& pred,
+                                      std::vector<Record>* out,
+                                      hashdir::RangeWalkStats* stats) {
+  hashdir::RangeWalkCallbacks cbs;
+  cbs.get_node = [this](uint32_t id, int) -> const DirNode* {
+    if (!nodes_.Alive(id)) return nullptr;
+    if (id != root_id_) io_.CountDirRead();
+    return nodes_.Get(id);
+  };
+  cbs.visit_page = [this](uint32_t page_id, const RangePredicate& p,
+                          std::vector<Record>* o) {
+    io_.CountDataRead();
+    for (const Record& rec : pages_.Get(page_id)->records()) {
+      if (p.Matches(rec.key)) o->push_back(rec);
+    }
+  };
+  return hashdir::RangeWalk(schema_, pred, hashdir::Ref::Node(root_id_), cbs,
+                            out, stats);
+}
+
+}  // namespace bmeh

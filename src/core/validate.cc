@@ -1,0 +1,165 @@
+// Exhaustive structural invariant checking for the BMEH-tree.  Used by the
+// property tests after every batch of mutations; O(structure size).
+//
+// Invariants checked:
+//  * every node's depths respect the caps xi_j and the key widths;
+//  * all cells of a group hold identical entries;
+//  * local depths never exceed node depths;
+//  * the tree is a strict tree (every node/page referenced exactly once);
+//  * the tree is perfectly height-balanced and pages hang only off the
+//    deepest directory level;
+//  * every record lies inside the key region of its page;
+//  * record / page / node counts agree with the arenas.
+
+#include <unordered_set>
+
+#include "src/common/bit_util.h"
+#include "src/core/bmeh_tree.h"
+
+namespace bmeh {
+
+using hashdir::DirNode;
+using hashdir::Entry;
+using hashdir::IndexTuple;
+
+namespace {
+
+struct Checker {
+  const BmehTree* tree;
+  const KeySchema* schema;
+  const TreeOptions* options;
+  const hashdir::NodeArena* nodes;
+  const hashdir::PageArena* pages;
+  int expected_levels;
+
+  std::unordered_set<uint32_t> seen_pages;
+  std::unordered_set<uint32_t> seen_nodes;
+  uint64_t seen_records = 0;
+
+  Status Visit(uint32_t node_id, int level,
+               std::array<uint16_t, kMaxDims> consumed,
+               std::array<uint64_t, kMaxDims> prefix) {
+    const int d = schema->dims();
+    if (!nodes->Alive(node_id)) {
+      return Status::Corruption("dangling node ref " +
+                                std::to_string(node_id));
+    }
+    if (!seen_nodes.insert(node_id).second) {
+      return Status::Corruption("node " + std::to_string(node_id) +
+                                " referenced twice");
+    }
+    if (level > expected_levels) {
+      return Status::Corruption("path deeper than tree height");
+    }
+    const DirNode& node = *nodes->Get(node_id);
+    for (int j = 0; j < d; ++j) {
+      if (node.depth(j) > options->xi[j]) {
+        return Status::Corruption("node depth exceeds xi in dim " +
+                                  std::to_string(j));
+      }
+      if (consumed[j] + node.depth(j) > schema->width(j)) {
+        return Status::Corruption("path deeper than key width");
+      }
+    }
+    Status bad = Status::OK();
+    node.ForEachGroup([&](const IndexTuple& rep, const Entry& e) {
+      if (!bad.ok()) return;
+      node.ForEachInGroup(rep, [&](const IndexTuple& member) {
+        if (!bad.ok()) return;
+        if (!node.at(member).SameShape(e, d)) {
+          bad = Status::Corruption("group member entry mismatch");
+        }
+      });
+      if (!bad.ok()) return;
+      std::array<uint16_t, kMaxDims> child_consumed = consumed;
+      std::array<uint64_t, kMaxDims> child_prefix = prefix;
+      for (int j = 0; j < d; ++j) {
+        if (e.h[j] > node.depth(j)) {
+          bad = Status::Corruption("local depth exceeds node depth");
+          return;
+        }
+        child_prefix[j] =
+            (prefix[j] << e.h[j]) |
+            bit_util::IndexPrefix(rep[j], node.depth(j), e.h[j]);
+        child_consumed[j] = static_cast<uint16_t>(consumed[j] + e.h[j]);
+      }
+      if (e.ref.is_nil()) {
+        // NIL regions are legal only at the leaf directory level (higher
+        // levels always point at nodes in a balanced tree).
+        if (level != expected_levels) {
+          bad = Status::Corruption("NIL entry above the leaf level");
+        }
+        return;
+      }
+      if (e.ref.is_node()) {
+        if (level == expected_levels) {
+          bad = Status::Corruption("node pointer at the leaf level");
+          return;
+        }
+        bad = Visit(e.ref.id, level + 1, child_consumed, child_prefix);
+        return;
+      }
+      // Data page.
+      if (level != expected_levels) {
+        bad = Status::Corruption(
+            "page pointer above the leaf level (unbalanced tree)");
+        return;
+      }
+      if (!pages->Alive(e.ref.id)) {
+        bad = Status::Corruption("dangling page ref");
+        return;
+      }
+      if (!seen_pages.insert(e.ref.id).second) {
+        bad = Status::Corruption("page referenced twice");
+        return;
+      }
+      const DataPage* page = pages->Get(e.ref.id);
+      if (page->size() > options->page_capacity) {
+        bad = Status::Corruption("page over capacity");
+        return;
+      }
+      if (page->empty()) {
+        bad = Status::Corruption("empty page not deleted");
+        return;
+      }
+      seen_records += page->size();
+      for (const Record& rec : page->records()) {
+        for (int j = 0; j < d; ++j) {
+          uint64_t key_prefix =
+              bit_util::ExtractBits(rec.key.component(j), schema->width(j),
+                                    0, child_consumed[j]);
+          if (key_prefix != child_prefix[j]) {
+            bad = Status::Corruption("record " + rec.key.ToString() +
+                                     " outside its page region");
+            return;
+          }
+        }
+      }
+    });
+    return bad;
+  }
+};
+
+}  // namespace
+
+Status BmehTree::Validate() const {
+  Checker checker{this,    &schema_, &options_, &nodes_,
+                  &pages_, levels_,  {},        {},
+                  0};
+  BMEH_RETURN_NOT_OK(checker.Visit(root_id_, 1, {}, {}));
+  if (checker.seen_records != records_) {
+    return Status::Corruption(
+        "record count mismatch: tree sees " +
+        std::to_string(checker.seen_records) + ", index has " +
+        std::to_string(records_));
+  }
+  if (checker.seen_pages.size() != pages_.live_count()) {
+    return Status::Corruption("orphaned data pages");
+  }
+  if (checker.seen_nodes.size() != nodes_.live_count()) {
+    return Status::Corruption("orphaned directory nodes");
+  }
+  return Status::OK();
+}
+
+}  // namespace bmeh

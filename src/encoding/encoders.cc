@@ -1,0 +1,50 @@
+#include "src/encoding/encoders.h"
+
+#include <bit>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace bmeh {
+namespace encoding {
+
+uint32_t EncodeDouble(double v) {
+  if (std::isnan(v)) return ~uint32_t{0};
+  uint64_t bits = std::bit_cast<uint64_t>(v);
+  // Standard order-preserving transform: flip all bits of negatives,
+  // flip only the sign bit of non-negatives.
+  if (bits & (uint64_t{1} << 63)) {
+    bits = ~bits;
+  } else {
+    bits ^= (uint64_t{1} << 63);
+  }
+  return static_cast<uint32_t>(bits >> 32);
+}
+
+uint32_t EncodeStringPrefix(std::string_view s) {
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out <<= 8;
+    if (static_cast<size_t>(i) < s.size()) {
+      out |= static_cast<unsigned char>(s[i]);
+    }
+  }
+  return out;
+}
+
+uint32_t EncodeScaledDouble(double v, double lo, double hi) {
+  BMEH_DCHECK(hi > lo);
+  double t = (v - lo) / (hi - lo);
+  if (t < 0.0) t = 0.0;
+  if (t > 1.0) t = 1.0;
+  // 2^32 - 1 scaling, rounding down so the encoding is order preserving.
+  double scaled = t * 4294967295.0;
+  return static_cast<uint32_t>(scaled);
+}
+
+double DecodeScaledDouble(uint32_t code, double lo, double hi) {
+  return lo + (static_cast<double>(code) / 4294967295.0) * (hi - lo);
+}
+
+}  // namespace encoding
+}  // namespace bmeh

@@ -1,0 +1,48 @@
+// Order-preserving binary encodings psi_j (paper §1, §4.4).
+//
+// Every encoder maps a native value to a uint32 such that
+// a <= b  ==>  Encode(a) <= Encode(b).  Order preservation is what makes
+// range and partial-range search possible (and what produces the
+// non-uniform bit distributions the BMEH-tree is designed to survive).
+
+#ifndef BMEH_ENCODING_ENCODERS_H_
+#define BMEH_ENCODING_ENCODERS_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace bmeh {
+namespace encoding {
+
+/// \brief Identity encoding for unsigned 32-bit attributes.
+inline uint32_t EncodeUint32(uint32_t v) { return v; }
+
+/// \brief Order-preserving encoding of a signed 32-bit attribute
+/// (flips the sign bit so INT32_MIN maps to 0).
+inline uint32_t EncodeInt32(int32_t v) {
+  return static_cast<uint32_t>(v) ^ 0x80000000u;
+}
+
+/// \brief Order-preserving encoding of an IEEE-754 double, truncated to its
+/// 32 most significant (order-relevant) bits.
+///
+/// Positive doubles compare like their bit patterns; negatives need all
+/// bits flipped. NaNs are not supported (they have no place in an ordered
+/// domain) and are mapped to UINT32_MAX.
+uint32_t EncodeDouble(double v);
+
+/// \brief Order-preserving encoding of the first four bytes of a string
+/// (big-endian), e.g. for prefix-based partitioning of text attributes.
+uint32_t EncodeStringPrefix(std::string_view s);
+
+/// \brief Scales a value from [lo, hi] into the full 32-bit pseudo-key
+/// domain, order preserved.  Useful for coordinates (longitude/latitude).
+uint32_t EncodeScaledDouble(double v, double lo, double hi);
+
+/// \brief Inverse of EncodeScaledDouble (to the cell's lower boundary).
+double DecodeScaledDouble(uint32_t code, double lo, double hi);
+
+}  // namespace encoding
+}  // namespace bmeh
+
+#endif  // BMEH_ENCODING_ENCODERS_H_

@@ -1,0 +1,66 @@
+#include "src/encoding/key_schema.h"
+
+#include <sstream>
+
+namespace bmeh {
+
+KeySchema::KeySchema(int dims, int width) : dims_(dims) {
+  BMEH_CHECK(dims >= 1 && dims <= kMaxDims)
+      << "dims must be in [1, " << kMaxDims << "], got " << dims;
+  BMEH_CHECK(width >= 1 && width <= 32)
+      << "width must be in [1, 32], got " << width;
+  for (int j = 0; j < dims_; ++j) width_[j] = width;
+}
+
+KeySchema::KeySchema(std::span<const int> widths)
+    : dims_(static_cast<int>(widths.size())) {
+  BMEH_CHECK(dims_ >= 1 && dims_ <= kMaxDims)
+      << "dims must be in [1, " << kMaxDims << "], got " << dims_;
+  for (int j = 0; j < dims_; ++j) {
+    BMEH_CHECK(widths[j] >= 1 && widths[j] <= 32)
+        << "width must be in [1, 32], got " << widths[j];
+    width_[j] = widths[j];
+  }
+}
+
+int KeySchema::total_bits() const {
+  int total = 0;
+  for (int j = 0; j < dims_; ++j) total += width_[j];
+  return total;
+}
+
+Status KeySchema::Validate(const PseudoKey& key) const {
+  if (key.dims() != dims_) {
+    return Status::Invalid("key has " + std::to_string(key.dims()) +
+                           " dims, schema expects " + std::to_string(dims_));
+  }
+  for (int j = 0; j < dims_; ++j) {
+    if (key.component(j) > max_component(j)) {
+      return Status::Invalid("component " + std::to_string(j) + " value " +
+                             std::to_string(key.component(j)) +
+                             " exceeds width " + std::to_string(width_[j]));
+    }
+  }
+  return Status::OK();
+}
+
+bool KeySchema::operator==(const KeySchema& other) const {
+  if (dims_ != other.dims_) return false;
+  for (int j = 0; j < dims_; ++j) {
+    if (width_[j] != other.width_[j]) return false;
+  }
+  return true;
+}
+
+std::string KeySchema::ToString() const {
+  std::ostringstream os;
+  os << "KeySchema(d=" << dims_ << ", widths=[";
+  for (int j = 0; j < dims_; ++j) {
+    if (j) os << ",";
+    os << width_[j];
+  }
+  os << "])";
+  return os.str();
+}
+
+}  // namespace bmeh

@@ -1,0 +1,95 @@
+// PseudoKey: the d-dimensional bit-string key the directories operate on.
+//
+// The paper (§1) maps each record key K = <k_1..k_d> to a pseudo-key
+// K' = <psi_1(k_1)..psi_d(k_d)> where each component is an order-preserving
+// binary encoding, conceptually an infinite 0/1 sequence.  We realize each
+// component as a fixed-width unsigned integer of w_j <= 32 bits, MSB first
+// (bit 1 of the paper == the most significant bit here).
+
+#ifndef BMEH_ENCODING_PSEUDO_KEY_H_
+#define BMEH_ENCODING_PSEUDO_KEY_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "src/common/logging.h"
+
+namespace bmeh {
+
+/// \brief Maximum number of key dimensions supported by the library.
+inline constexpr int kMaxDims = 8;
+
+/// \brief A d-dimensional pseudo-key; components are MSB-first bit strings
+/// stored as unsigned integers.
+class PseudoKey {
+ public:
+  PseudoKey() = default;
+
+  /// \brief Builds a pseudo-key from `d` already-encoded components.
+  PseudoKey(std::span<const uint32_t> components) {  // NOLINT
+    BMEH_DCHECK(components.size() >= 1 &&
+                components.size() <= static_cast<size_t>(kMaxDims));
+    dims_ = static_cast<int>(components.size());
+    for (int j = 0; j < dims_; ++j) c_[j] = components[j];
+  }
+
+  PseudoKey(std::initializer_list<uint32_t> components)
+      : PseudoKey(std::span<const uint32_t>(components.begin(),
+                                            components.size())) {}
+
+  /// \brief Number of dimensions.
+  int dims() const { return dims_; }
+
+  /// \brief Component of dimension `j` (0-based).
+  uint32_t component(int j) const {
+    BMEH_DCHECK(j >= 0 && j < dims_);
+    return c_[j];
+  }
+
+  /// \brief Mutable access, used by workload generators.
+  void set_component(int j, uint32_t v) {
+    BMEH_DCHECK(j >= 0 && j < dims_);
+    c_[j] = v;
+  }
+
+  bool operator==(const PseudoKey& other) const {
+    if (dims_ != other.dims_) return false;
+    for (int j = 0; j < dims_; ++j) {
+      if (c_[j] != other.c_[j]) return false;
+    }
+    return true;
+  }
+  bool operator!=(const PseudoKey& other) const { return !(*this == other); }
+
+  /// \brief Lexicographic order by dimension; used only by test oracles.
+  bool operator<(const PseudoKey& other) const {
+    BMEH_DCHECK(dims_ == other.dims_);
+    for (int j = 0; j < dims_; ++j) {
+      if (c_[j] != other.c_[j]) return c_[j] < other.c_[j];
+    }
+    return false;
+  }
+
+  /// \brief Hash for unordered containers (test oracles).
+  size_t Hash() const;
+
+  /// \brief "(a, b, c)" in decimal.
+  std::string ToString() const;
+
+  /// \brief "(0101..., 1010...)": `width` leading bits of each component.
+  std::string ToBitString(int width) const;
+
+ private:
+  int dims_ = 0;
+  std::array<uint32_t, kMaxDims> c_{};
+};
+
+struct PseudoKeyHash {
+  size_t operator()(const PseudoKey& k) const { return k.Hash(); }
+};
+
+}  // namespace bmeh
+
+#endif  // BMEH_ENCODING_PSEUDO_KEY_H_

@@ -1,0 +1,84 @@
+// Order-preserving variant of one-dimensional extendible hashing
+// (paper §2.1; the design the multidimensional schemes generalize).
+//
+// Differences from Fagin et al. [4] that the paper calls out:
+//  * the directory is addressed by the *prefix bits of the key itself*
+//    (order preserving — no scrambling hash), so range scans are cheap;
+//  * each directory element stores its local depth (in [4] the local depth
+//    lives in the data page), which permits immediate deletion of empty
+//    pages and lets lookups avoid touching pages for NIL regions.
+
+#ifndef BMEH_EXHASH_EXTENDIBLE_HASH_H_
+#define BMEH_EXHASH_EXTENDIBLE_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/hashdir/arena.h"
+#include "src/pagestore/io_stats.h"
+
+namespace bmeh {
+
+/// \brief Tuning knobs for the 1-d scheme.
+struct ExtendibleHashOptions {
+  int page_capacity = 8;
+  /// Number of key bits available for addressing (keys < 2^key_bits).
+  int key_bits = 31;
+  uint64_t max_directory_entries = uint64_t{1} << 26;
+};
+
+/// \brief One-dimensional order-preserving extendible hash file.
+class ExtendibleHash {
+ public:
+  explicit ExtendibleHash(const ExtendibleHashOptions& options);
+
+  Status Insert(uint32_t key, uint64_t payload);
+  Result<uint64_t> Search(uint32_t key);
+  Status Delete(uint32_t key);
+
+  /// \brief Appends (key, payload) pairs with lo <= key <= hi, in no
+  /// particular order.
+  Status RangeSearch(uint32_t lo, uint32_t hi,
+                     std::vector<std::pair<uint32_t, uint64_t>>* out);
+
+  /// \brief Global depth H (directory size = 2^H).
+  int global_depth() const { return depth_; }
+  uint64_t directory_size() const { return dir_.size(); }
+  uint64_t page_count() const { return pages_.live_count(); }
+  uint64_t record_count() const { return records_; }
+
+  /// \brief Structural invariant check.
+  Status Validate() const;
+
+  IoStats io_stats() const { return io_.stats(); }
+  IoCounter* io() { return &io_; }
+
+ private:
+  /// Directory element: page pointer + local depth (paper's D_i.P, D_i.h).
+  struct Element {
+    uint32_t page_id = ~uint32_t{0};  // ~0 == NIL
+    uint8_t h = 0;
+    bool is_nil() const { return page_id == ~uint32_t{0}; }
+  };
+
+  uint64_t IndexOf(uint32_t key) const;
+  Status SplitOnce(uint64_t index);
+  void MergeAfterDelete(uint64_t index);
+
+  /// First directory index of the group containing `index`.
+  uint64_t GroupBase(uint64_t index) const;
+
+  ExtendibleHashOptions options_;
+  int depth_ = 0;
+  std::vector<Element> dir_;
+  hashdir::PageArena pages_;
+  uint64_t records_ = 0;
+  IoCounter io_;
+};
+
+}  // namespace bmeh
+
+#endif  // BMEH_EXHASH_EXTENDIBLE_HASH_H_

@@ -1,0 +1,25 @@
+#include "src/extarray/extendible_directory.h"
+
+namespace bmeh {
+namespace extarray {
+
+TupleOdometer::TupleOdometer(std::span<const int> depths)
+    : dims_(static_cast<int>(depths.size())) {
+  BMEH_DCHECK(dims_ >= 1 && dims_ <= kMaxDims);
+  for (int j = 0; j < dims_; ++j) {
+    BMEH_DCHECK(depths[j] >= 0 && depths[j] <= 31);
+    bound_[j] = static_cast<uint32_t>(bit_util::Pow2(depths[j]));
+  }
+}
+
+void TupleOdometer::Next() {
+  BMEH_DCHECK(!done_);
+  for (int j = dims_ - 1; j >= 0; --j) {
+    if (++tuple_[j] < bound_[j]) return;
+    tuple_[j] = 0;
+  }
+  done_ = true;
+}
+
+}  // namespace extarray
+}  // namespace bmeh

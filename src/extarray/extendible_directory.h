@@ -1,0 +1,171 @@
+// ExtendibleDirectory<T>: the storage container behind every directory in
+// the library (MDEH's one-level directory and each node of the two trees).
+//
+// Cells are addressed by d-tuples through a GrowthHistory mapping, so
+// doubling a dimension appends new cells without relocating existing ones —
+// the property Theorem 1 exists to provide.  Doubling initializes each new
+// cell from its buddy (the cell whose new-dimension top bit is cleared),
+// which is exactly the extendible-hashing directory-doubling rule.
+
+#ifndef BMEH_EXTARRAY_EXTENDIBLE_DIRECTORY_H_
+#define BMEH_EXTARRAY_EXTENDIBLE_DIRECTORY_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/common/bit_util.h"
+#include "src/common/logging.h"
+#include "src/extarray/growth_history.h"
+
+namespace bmeh {
+namespace extarray {
+
+/// \brief d-tuple of directory indexes.
+using IndexTuple = std::array<uint32_t, kMaxDims>;
+
+/// \brief Iterates all tuples of the box [0,2^d0) x ... in odometer order
+/// with the last dimension fastest.  Not the storage order; used for
+/// whole-directory sweeps where order is irrelevant.
+class TupleOdometer {
+ public:
+  TupleOdometer(std::span<const int> depths);  // NOLINT(runtime/explicit)
+
+  bool done() const { return done_; }
+  const IndexTuple& tuple() const { return tuple_; }
+  void Next();
+
+ private:
+  int dims_;
+  std::array<uint32_t, kMaxDims> bound_{};
+  IndexTuple tuple_{};
+  bool done_ = false;
+};
+
+/// \brief Extendible d-dimensional array that never relocates cells.
+template <typename T>
+class ExtendibleDirectory {
+ public:
+  explicit ExtendibleDirectory(int dims) : hist_(dims), cells_(1) {}
+
+  int dims() const { return hist_.dims(); }
+  int depth(int j) const { return hist_.depth(j); }
+  uint64_t size() const { return hist_.size(); }
+  const GrowthHistory& history() const { return hist_; }
+
+  /// \brief Linear (stable) address of a tuple.
+  uint64_t AddressOf(std::span<const uint32_t> idx) const {
+    return hist_.Map(idx);
+  }
+
+  T& at(std::span<const uint32_t> idx) { return cells_[hist_.Map(idx)]; }
+  const T& at(std::span<const uint32_t> idx) const {
+    return cells_[hist_.Map(idx)];
+  }
+
+  /// \brief Direct access by linear address (e.g. for serialization).
+  T& at_address(uint64_t addr) {
+    BMEH_DCHECK(addr < size());
+    return cells_[addr];
+  }
+  const T& at_address(uint64_t addr) const {
+    BMEH_DCHECK(addr < size());
+    return cells_[addr];
+  }
+
+  /// \brief Doubles dimension `dim`.
+  ///
+  /// Indexes along `dim` are key prefixes (g(k, H) of the paper), so when
+  /// the depth grows from H to H+1 every tuple is reinterpreted with one
+  /// extra low-order index bit: the cell at new index i inherits the entry
+  /// of old index i >> 1 (the extendible-hashing doubling rule).  Storage
+  /// addresses of existing cells never move (that is what the Theorem 1 /
+  /// GrowthHistory mapping provides); only cell *contents* are rewritten,
+  /// in place, iterating i descending so sources are read before they are
+  /// overwritten.
+  void Double(int dim) {
+    hist_.Double(dim);
+    cells_.resize(hist_.size());
+    std::array<int, kMaxDims> depths{};
+    for (int j = 0; j < dims(); ++j) depths[j] = hist_.depth(j);
+    depths[dim] = 0;  // iterate the other dimensions only
+    const uint32_t extent =
+        static_cast<uint32_t>(bit_util::Pow2(hist_.depth(dim)));
+    for (TupleOdometer od(std::span<const int>(depths.data(), dims()));
+         !od.done(); od.Next()) {
+      IndexTuple t = od.tuple();
+      for (uint32_t i = extent; i-- > 1;) {
+        t[dim] = i;
+        uint64_t dst = hist_.Map(std::span<const uint32_t>(t.data(), dims()));
+        t[dim] = i >> 1;
+        uint64_t src = hist_.Map(std::span<const uint32_t>(t.data(), dims()));
+        cells_[dst] = cells_[src];
+      }
+      // i == 0 inherits from old index 0: already in place.
+    }
+  }
+
+  /// \brief Reverses the most recent doubling (must have been along `dim`).
+  ///
+  /// Inverse content move of Double: the cell at shrunken index i takes the
+  /// entry of current index 2*i (whose buddy 2*i+1 must have been merged
+  /// with it by the caller beforehand).  Iterates i ascending so sources
+  /// (2*i >= i) are still intact when read.
+  void Halve(int dim) {
+    BMEH_CHECK(hist_.depth(dim) >= 1);
+    std::array<int, kMaxDims> depths{};
+    for (int j = 0; j < dims(); ++j) depths[j] = hist_.depth(j);
+    depths[dim] = 0;
+    const uint32_t new_extent =
+        static_cast<uint32_t>(bit_util::Pow2(hist_.depth(dim) - 1));
+    for (TupleOdometer od(std::span<const int>(depths.data(), dims()));
+         !od.done(); od.Next()) {
+      IndexTuple t = od.tuple();
+      for (uint32_t i = 1; i < new_extent; ++i) {
+        t[dim] = 2 * i;
+        uint64_t src = hist_.Map(std::span<const uint32_t>(t.data(), dims()));
+        t[dim] = i;
+        uint64_t dst = hist_.Map(std::span<const uint32_t>(t.data(), dims()));
+        cells_[dst] = cells_[src];
+      }
+    }
+    hist_.Undouble(dim);
+    cells_.resize(hist_.size());
+  }
+
+  /// \brief Invokes fn(tuple, cell) for every cell.
+  void ForEach(
+      const std::function<void(const IndexTuple&, const T&)>& fn) const {
+    std::array<int, kMaxDims> depths{};
+    for (int j = 0; j < dims(); ++j) depths[j] = hist_.depth(j);
+    for (TupleOdometer od(std::span<const int>(depths.data(), dims()));
+         !od.done(); od.Next()) {
+      fn(od.tuple(),
+         cells_[hist_.Map(std::span<const uint32_t>(od.tuple().data(),
+                                                    dims()))]);
+    }
+  }
+
+  /// \brief Mutable variant of ForEach.
+  void ForEachMutable(const std::function<void(const IndexTuple&, T&)>& fn) {
+    std::array<int, kMaxDims> depths{};
+    for (int j = 0; j < dims(); ++j) depths[j] = hist_.depth(j);
+    for (TupleOdometer od(std::span<const int>(depths.data(), dims()));
+         !od.done(); od.Next()) {
+      fn(od.tuple(),
+         cells_[hist_.Map(std::span<const uint32_t>(od.tuple().data(),
+                                                    dims()))]);
+    }
+  }
+
+ private:
+  GrowthHistory hist_;
+  std::vector<T> cells_;
+};
+
+}  // namespace extarray
+}  // namespace bmeh
+
+#endif  // BMEH_EXTARRAY_EXTENDIBLE_DIRECTORY_H_

@@ -1,0 +1,98 @@
+#include "src/extarray/growth_history.h"
+
+#include <sstream>
+
+#include "src/common/bit_util.h"
+
+namespace bmeh {
+namespace extarray {
+
+GrowthHistory::GrowthHistory(int dims) : dims_(dims) {
+  BMEH_CHECK(dims >= 1 && dims <= kMaxDims);
+}
+
+void GrowthHistory::Double(int dim) {
+  BMEH_DCHECK(dim >= 0 && dim < dims_);
+  BMEH_CHECK(depth_[dim] < 62) << "dimension depth overflow";
+  Event e;
+  e.dim = dim;
+  e.base = size_;
+  e.depths_before = depth_;
+  dim_events_[dim].push_back(static_cast<int>(events_.size()));
+  events_.push_back(e);
+  ++depth_[dim];
+  size_ *= 2;
+}
+
+void GrowthHistory::Undouble(int dim) {
+  BMEH_CHECK(!events_.empty()) << "Undouble on empty history";
+  BMEH_CHECK(events_.back().dim == dim)
+      << "Undouble(" << dim << ") but last doubling was along dim "
+      << events_.back().dim;
+  events_.pop_back();
+  dim_events_[dim].pop_back();
+  --depth_[dim];
+  size_ /= 2;
+}
+
+uint64_t GrowthHistory::Map(std::span<const uint32_t> idx) const {
+  BMEH_DCHECK(static_cast<int>(idx.size()) == dims_);
+
+  // Find the latest doubling event this cell required: for each non-zero
+  // component, the event that extended dim j to cover i_j is the
+  // (floor(log2 i_j))-th doubling of dim j.
+  int latest = -1;
+  for (int j = 0; j < dims_; ++j) {
+    BMEH_DCHECK(idx[j] < bit_util::Pow2(depth_[j]))
+        << "index " << idx[j] << " out of bounds for dim " << j;
+    if (idx[j] == 0) continue;
+    int k = bit_util::FloorLog2(idx[j]);
+    int ev = dim_events_[j][k];
+    if (ev > latest) latest = ev;
+  }
+  if (latest < 0) return 0;  // all-zero tuple has address 0
+
+  const Event& e = events_[latest];
+  const int z = e.dim;
+  // Within the appended slab: i_z offset is the slowest coordinate, the
+  // remaining dims are row-major (largest j fastest), using the extents the
+  // array had immediately before the event — same layout as Theorem 1.
+  uint64_t addr = 0;
+  uint64_t stride = 1;
+  for (int j = dims_ - 1; j >= 0; --j) {
+    if (j == z) continue;
+    addr += stride * idx[j];
+    stride *= bit_util::Pow2(e.depths_before[j]);
+  }
+  uint64_t delta = idx[z] - bit_util::Pow2(e.depths_before[z]);
+  addr += stride * delta;
+  return e.base + addr;
+}
+
+void GrowthHistory::BuddyTuple(std::span<const uint32_t> idx, int dim,
+                               std::span<uint32_t> out) const {
+  BMEH_DCHECK(depth_[dim] >= 1);
+  uint64_t half = bit_util::Pow2(depth_[dim] - 1);
+  BMEH_DCHECK(idx[dim] >= half);
+  for (int j = 0; j < dims_; ++j) out[j] = idx[j];
+  out[dim] = static_cast<uint32_t>(idx[dim] - half);
+}
+
+std::string GrowthHistory::ToString() const {
+  std::ostringstream os;
+  os << "GrowthHistory(d=" << dims_ << ", depths=[";
+  for (int j = 0; j < dims_; ++j) {
+    if (j) os << ",";
+    os << static_cast<int>(depth_[j]);
+  }
+  os << "], events=[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    if (i) os << ",";
+    os << events_[i].dim;
+  }
+  os << "])";
+  return os.str();
+}
+
+}  // namespace extarray
+}  // namespace bmeh

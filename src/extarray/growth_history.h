@@ -1,0 +1,102 @@
+// GrowthHistory: extendible-array addressing for arbitrary doubling orders.
+//
+// Theorem 1's closed form assumes the strictly cyclic doubling schedule
+// (dim 1, 2, ..., d, 1, ...).  A real directory doubles on demand: the
+// dimension is chosen by whichever entry group overflows, so the global
+// doubling sequence need not be cyclic.  GrowthHistory records the actual
+// sequence of doubling events and computes addresses that are stable under
+// any sequence, using the same principle as Theorem 1: each doubling
+// appends its new cells contiguously; a cell's address is assigned by the
+// latest doubling event it required.
+//
+// On a cyclic schedule this coincides exactly with Theorem1Map (verified by
+// property tests).
+
+#ifndef BMEH_EXTARRAY_GROWTH_HISTORY_H_
+#define BMEH_EXTARRAY_GROWTH_HISTORY_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/encoding/pseudo_key.h"  // for kMaxDims
+
+namespace bmeh {
+namespace extarray {
+
+/// \brief Records the doubling events of one extendible array and maps
+/// index tuples to stable linear addresses.
+class GrowthHistory {
+ public:
+  explicit GrowthHistory(int dims);
+
+  int dims() const { return dims_; }
+
+  /// \brief Current depth H_j of dimension j (extent 2^H_j).
+  int depth(int j) const {
+    BMEH_DCHECK(j >= 0 && j < dims_);
+    return depth_[j];
+  }
+
+  /// \brief Current total number of cells (product of extents).
+  uint64_t size() const { return size_; }
+
+  /// \brief Number of doubling events so far.
+  int event_count() const { return static_cast<int>(events_.size()); }
+
+  /// \brief Dimension of the most recent doubling (-1 if none): only that
+  /// dimension may be undoubled next (LIFO shrink).
+  int last_event_dim() const {
+    return events_.empty() ? -1 : events_.back().dim;
+  }
+
+  /// \brief Dimension of the i-th doubling event (0-based, oldest first).
+  int event_dim(int i) const {
+    BMEH_DCHECK(i >= 0 && i < event_count());
+    return events_[i].dim;
+  }
+
+  /// \brief Doubles dimension `dim`; the 2^(sum H) new cells occupy
+  /// addresses [old_size, 2*old_size).
+  void Double(int dim);
+
+  /// \brief Reverses the most recent doubling, which must have been along
+  /// `dim` (LIFO shrink, mirroring the paper's deletion-as-reversal).
+  /// Addresses >= size()/2 become invalid.
+  void Undouble(int dim);
+
+  /// \brief Linear address of tuple `idx`; requires idx[j] < 2^depth(j).
+  uint64_t Map(std::span<const uint32_t> idx) const;
+
+  /// \brief The buddy of `idx` created from it by the most recent doubling
+  /// of dimension `dim` (top bit of that dimension's index cleared).
+  /// Requires idx[dim] >= 2^(depth(dim)-1).
+  void BuddyTuple(std::span<const uint32_t> idx, int dim,
+                  std::span<uint32_t> out) const;
+
+  std::string ToString() const;
+
+ private:
+  struct Event {
+    int dim;             // dimension doubled (0-based)
+    uint64_t base;       // address of the first appended cell
+    // Depths of every dimension immediately BEFORE this event.
+    std::array<uint8_t, kMaxDims> depths_before;
+  };
+
+  int dims_;
+  std::array<uint8_t, kMaxDims> depth_{};
+  uint64_t size_ = 1;
+  std::vector<Event> events_;
+  // dim_events_[j][k] = index into events_ of the doubling of dim j from
+  // depth k to k+1.
+  std::array<std::vector<int>, kMaxDims> dim_events_;
+};
+
+}  // namespace extarray
+}  // namespace bmeh
+
+#endif  // BMEH_EXTARRAY_GROWTH_HISTORY_H_

@@ -1,0 +1,52 @@
+#include "src/extarray/theorem1.h"
+
+#include "src/common/bit_util.h"
+#include "src/common/logging.h"
+
+namespace bmeh {
+namespace extarray {
+
+uint64_t Theorem1Map(std::span<const uint32_t> idx) {
+  const int d = static_cast<int>(idx.size());
+  BMEH_DCHECK(d >= 1);
+
+  // lambda = max floor(log2 i_j); z = largest dim attaining it (0-based).
+  int lambda = -1;
+  int z = -1;
+  for (int j = 0; j < d; ++j) {
+    if (idx[j] == 0) continue;
+    int lj = bit_util::FloorLog2(idx[j]);
+    if (lj >= lambda) {
+      lambda = lj;
+      z = j;
+    }
+  }
+  if (z < 0) return 0;  // all-zero tuple
+
+  // Extent of each dimension j != z at the event that created the cell:
+  // dims before z have already doubled to lambda+1 in this cycle, dims
+  // after z are still at lambda.
+  // Address = i_z * prod(extents) + row-major(idx without z).
+  uint64_t addr = 0;
+  uint64_t stride = 1;
+  for (int j = d - 1; j >= 0; --j) {
+    if (j == z) continue;
+    int depth = (j < z) ? lambda + 1 : lambda;
+    addr += stride * idx[j];
+    stride *= bit_util::Pow2(depth);
+  }
+  addr += stride * idx[z];
+  return addr;
+}
+
+uint64_t BoxSize(std::span<const int> depths) {
+  uint64_t n = 1;
+  for (int h : depths) {
+    BMEH_DCHECK(h >= 0 && h < 63);
+    n *= bit_util::Pow2(h);
+  }
+  return n;
+}
+
+}  // namespace extarray
+}  // namespace bmeh

@@ -1,0 +1,44 @@
+// Closed-form mapping function of Theorem 1 (paper §2.2; derivation in
+// Otoo's VLDB'84 paper, ref [15]).
+//
+// A d-dimensional extendible array of "exponential varying order" grows by
+// doubling one dimension at a time, cyclically (dim 1, dim 2, ..., dim d,
+// dim 1, ...).  Every doubling appends the newly created cells contiguously
+// after all existing cells, so the address of an existing cell never
+// changes.  Theorem1Map computes the linear address of a cell directly from
+// its index tuple, assuming the cyclic growth schedule:
+//
+//   lambda = max_j floor(log2 i_j)      (over i_j > 0)
+//   z      = largest j attaining lambda (1-based in the paper)
+//   At the event that created the cell, dims before z had depth lambda+1
+//   and dims after z had depth lambda.  The slab appended by that event is
+//   laid out with i_z slowest, then the remaining dims row-major.
+//
+// The printed formula in the 1986 text is partially garbled; this form was
+// re-derived from the growth process and validated against the cell
+// numbering of the paper's Figures 1c and 2 (see theorem1_test.cc).
+
+#ifndef BMEH_EXTARRAY_THEOREM1_H_
+#define BMEH_EXTARRAY_THEOREM1_H_
+
+#include <cstdint>
+#include <span>
+
+namespace bmeh {
+namespace extarray {
+
+/// \brief Linear address of index tuple `idx` under the cyclic growth
+/// schedule.  Time complexity O(d).
+///
+/// Valid for any tuple; the address is the one the cell has from the moment
+/// the cyclic schedule first creates it.  Each component must be < 2^31.
+uint64_t Theorem1Map(std::span<const uint32_t> idx);
+
+/// \brief Number of cells of the array when every dimension of `d` has been
+/// doubled to depth `depths[j]` along the cyclic schedule.
+uint64_t BoxSize(std::span<const int> depths);
+
+}  // namespace extarray
+}  // namespace bmeh
+
+#endif  // BMEH_EXTARRAY_THEOREM1_H_

@@ -1,0 +1,169 @@
+// Arenas: id-addressed object pools for directory nodes and data pages.
+//
+// Ids are dense, recycled via a free list, and stable for the lifetime of
+// the object — they are what Ref::id stores.
+
+#ifndef BMEH_HASHDIR_ARENA_H_
+#define BMEH_HASHDIR_ARENA_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/hashdir/node.h"
+#include "src/pagestore/data_page.h"
+
+namespace bmeh {
+namespace hashdir {
+
+/// \brief Object pool with recycled uint32 ids.
+template <typename T>
+class Arena {
+ public:
+  /// \brief Creates an object via `make(id)` and returns its id.
+  uint32_t Create(
+      const std::function<std::unique_ptr<T>(uint32_t)>& make) {
+    uint32_t id;
+    if (!free_.empty()) {
+      id = free_.back();
+      free_.pop_back();
+      slots_[id] = make(id);
+    } else {
+      id = static_cast<uint32_t>(slots_.size());
+      slots_.push_back(make(id));
+    }
+    ++live_;
+    return id;
+  }
+
+  /// \brief Creates an object at a specific id (deserialization path).
+  /// The id must not be alive.
+  void CreateAt(uint32_t id,
+                const std::function<std::unique_ptr<T>(uint32_t)>& make) {
+    BMEH_CHECK(!Alive(id)) << "CreateAt of live id " << id;
+    if (id >= slots_.size()) {
+      for (uint32_t gap = static_cast<uint32_t>(slots_.size()); gap < id;
+           ++gap) {
+        free_.push_back(gap);
+      }
+      slots_.resize(id + 1);
+    } else {
+      // Remove the id from the free list (load-time only; O(n) is fine).
+      for (size_t i = 0; i < free_.size(); ++i) {
+        if (free_[i] == id) {
+          free_[i] = free_.back();
+          free_.pop_back();
+          break;
+        }
+      }
+    }
+    slots_[id] = make(id);
+    ++live_;
+  }
+
+  void Destroy(uint32_t id) {
+    BMEH_CHECK(Alive(id)) << "Destroy of dead id " << id;
+    slots_[id].reset();
+    free_.push_back(id);
+    --live_;
+  }
+
+  bool Alive(uint32_t id) const {
+    return id < slots_.size() && slots_[id] != nullptr;
+  }
+
+  T* Get(uint32_t id) {
+    BMEH_DCHECK(Alive(id)) << "access to dead id " << id;
+    return slots_[id].get();
+  }
+  const T* Get(uint32_t id) const {
+    BMEH_DCHECK(Alive(id)) << "access to dead id " << id;
+    return slots_[id].get();
+  }
+
+  uint64_t live_count() const { return live_; }
+
+  /// \brief Invokes fn(id, obj) for every live object.
+  void ForEach(const std::function<void(uint32_t, const T&)>& fn) const {
+    for (uint32_t id = 0; id < slots_.size(); ++id) {
+      if (slots_[id]) fn(id, *slots_[id]);
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<T>> slots_;
+  std::vector<uint32_t> free_;
+  uint64_t live_ = 0;
+};
+
+/// \brief Pool of data pages of a fixed capacity b.
+class PageArena {
+ public:
+  explicit PageArena(int capacity) : capacity_(capacity) {}
+
+  uint32_t Create() {
+    return arena_.Create([this](uint32_t id) {
+      return std::make_unique<DataPage>(id, capacity_);
+    });
+  }
+
+  /// \brief Recreates a page at a known id (deserialization path).
+  void CreateAt(uint32_t id) {
+    arena_.CreateAt(id, [this](uint32_t page_id) {
+      return std::make_unique<DataPage>(page_id, capacity_);
+    });
+  }
+
+  void Destroy(uint32_t id) { arena_.Destroy(id); }
+  bool Alive(uint32_t id) const { return arena_.Alive(id); }
+  DataPage* Get(uint32_t id) { return arena_.Get(id); }
+  const DataPage* Get(uint32_t id) const { return arena_.Get(id); }
+  uint64_t live_count() const { return arena_.live_count(); }
+  int capacity() const { return capacity_; }
+
+  void ForEach(
+      const std::function<void(uint32_t, const DataPage&)>& fn) const {
+    arena_.ForEach(fn);
+  }
+
+ private:
+  int capacity_;
+  Arena<DataPage> arena_;
+};
+
+/// \brief Pool of directory nodes of a fixed dimensionality.
+class NodeArena {
+ public:
+  explicit NodeArena(int dims) : dims_(dims) {}
+
+  uint32_t Create() {
+    return arena_.Create(
+        [this](uint32_t) { return std::make_unique<DirNode>(dims_); });
+  }
+
+  /// \brief Recreates a node at a known id (deserialization path).
+  void CreateAt(uint32_t id) {
+    arena_.CreateAt(
+        id, [this](uint32_t) { return std::make_unique<DirNode>(dims_); });
+  }
+
+  void Destroy(uint32_t id) { arena_.Destroy(id); }
+  bool Alive(uint32_t id) const { return arena_.Alive(id); }
+  DirNode* Get(uint32_t id) { return arena_.Get(id); }
+  const DirNode* Get(uint32_t id) const { return arena_.Get(id); }
+  uint64_t live_count() const { return arena_.live_count(); }
+
+  void ForEach(const std::function<void(uint32_t, const DirNode&)>& fn) const {
+    arena_.ForEach(fn);
+  }
+
+ private:
+  int dims_;
+  Arena<DirNode> arena_;
+};
+
+}  // namespace hashdir
+}  // namespace bmeh
+
+#endif  // BMEH_HASHDIR_ARENA_H_

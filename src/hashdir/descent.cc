@@ -1,0 +1,55 @@
+#include "src/hashdir/descent.h"
+
+#include "src/common/bit_util.h"
+
+namespace bmeh {
+namespace hashdir {
+
+IndexTuple TupleInNode(const KeySchema& schema, const DirNode& node,
+                       const PseudoKey& key,
+                       const std::array<uint16_t, kMaxDims>& consumed) {
+  IndexTuple t{};
+  for (int j = 0; j < schema.dims(); ++j) {
+    BMEH_DCHECK(consumed[j] + node.depth(j) <= schema.width(j))
+        << "directory path deeper than key width in dim " << j;
+    t[j] = static_cast<uint32_t>(bit_util::ExtractBits(
+        key.component(j), schema.width(j), consumed[j], node.depth(j)));
+  }
+  return t;
+}
+
+Result<std::vector<PathStep>> DescendToLeaf(const KeySchema& schema,
+                                            const NodeArena& nodes,
+                                            uint32_t root_id,
+                                            const PseudoKey& key,
+                                            IoCounter* io) {
+  std::vector<PathStep> path;
+  uint32_t node_id = root_id;
+  std::array<uint16_t, kMaxDims> consumed{};
+  // A path cannot be longer than the total number of addressing bits plus
+  // one (a chain of zero-depth nodes would violate structure invariants).
+  const int max_levels = schema.total_bits() + 2;
+  for (int level = 0; level < max_levels; ++level) {
+    if (!nodes.Alive(node_id)) {
+      return Status::Corruption("descent through dead node " +
+                                std::to_string(node_id));
+    }
+    const DirNode& node = *nodes.Get(node_id);
+    if (io != nullptr && node_id != root_id) io->CountDirRead();
+    PathStep step;
+    step.node_id = node_id;
+    step.consumed = consumed;
+    step.tuple = TupleInNode(schema, node, key, consumed);
+    path.push_back(step);
+    const Entry& e = node.at(step.tuple);
+    if (!e.ref.is_node()) return path;
+    for (int j = 0; j < schema.dims(); ++j) {
+      consumed[j] = static_cast<uint16_t>(consumed[j] + e.h[j]);
+    }
+    node_id = e.ref.id;
+  }
+  return Status::Corruption("directory tree deeper than total key bits");
+}
+
+}  // namespace hashdir
+}  // namespace bmeh

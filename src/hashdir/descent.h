@@ -1,0 +1,51 @@
+// Root-to-leaf traversal shared by the MEH-tree and the BMEH-tree
+// (the loop of the paper's EXM_Search / BMEH_Insert: index by the node's
+// global depths, then strip the entry's local depths and descend).
+
+#ifndef BMEH_HASHDIR_DESCENT_H_
+#define BMEH_HASHDIR_DESCENT_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/encoding/key_schema.h"
+#include "src/encoding/pseudo_key.h"
+#include "src/hashdir/arena.h"
+#include "src/pagestore/io_stats.h"
+
+namespace bmeh {
+namespace hashdir {
+
+/// \brief One level of a root-to-leaf path (the paper's STACK frames).
+struct PathStep {
+  uint32_t node_id = 0;
+  /// Index tuple of the key within this node.
+  IndexTuple tuple{};
+  /// Bits of each dimension consumed by the ancestors of this node.
+  std::array<uint16_t, kMaxDims> consumed{};
+};
+
+/// \brief Walks from `root_id` to the page-level entry for `key`.
+///
+/// The returned path always ends at a node whose addressed entry is a page
+/// or NIL.  Charges one directory read per node visited except the root
+/// (which is pinned in memory, DESIGN.md §2.5); pass io == nullptr to
+/// charge nothing (e.g. inside Validate).
+Result<std::vector<PathStep>> DescendToLeaf(const KeySchema& schema,
+                                            const NodeArena& nodes,
+                                            uint32_t root_id,
+                                            const PseudoKey& key,
+                                            IoCounter* io);
+
+/// \brief Computes the index tuple of `key` in `node` given the bits
+/// already consumed above it.
+IndexTuple TupleInNode(const KeySchema& schema, const DirNode& node,
+                       const PseudoKey& key,
+                       const std::array<uint16_t, kMaxDims>& consumed);
+
+}  // namespace hashdir
+}  // namespace bmeh
+
+#endif  // BMEH_HASHDIR_DESCENT_H_

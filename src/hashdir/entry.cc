@@ -1,0 +1,32 @@
+#include "src/hashdir/entry.h"
+
+#include <sstream>
+
+namespace bmeh {
+namespace hashdir {
+
+std::string Ref::ToString() const {
+  switch (kind) {
+    case RefKind::kNil:
+      return "NIL";
+    case RefKind::kPage:
+      return "P" + std::to_string(id);
+    case RefKind::kNode:
+      return "N" + std::to_string(id);
+  }
+  return "?";
+}
+
+std::string Entry::ToString(int dims) const {
+  std::ostringstream os;
+  os << "{" << ref.ToString() << ", h=<";
+  for (int j = 0; j < dims; ++j) {
+    if (j) os << ",";
+    os << static_cast<int>(h[j]);
+  }
+  os << ">, m=" << static_cast<int>(m) << "}";
+  return os.str();
+}
+
+}  // namespace hashdir
+}  // namespace bmeh

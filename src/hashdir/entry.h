@@ -1,0 +1,97 @@
+// Directory entries (paper §2.2): a child reference, per-dimension local
+// depths h_j, and the dimension m along which the entry's region was last
+// expanded (used for cyclic split-dimension selection).
+
+#ifndef BMEH_HASHDIR_ENTRY_H_
+#define BMEH_HASHDIR_ENTRY_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/common/logging.h"
+#include "src/encoding/pseudo_key.h"  // kMaxDims
+
+namespace bmeh {
+namespace hashdir {
+
+/// \brief What a directory entry points at.
+enum class RefKind : uint8_t {
+  kNil = 0,   ///< No target (empty region; pages deleted when empty, §2.1).
+  kPage = 1,  ///< A data page.
+  kNode = 2,  ///< A lower-level directory node (tree schemes only).
+};
+
+/// \brief A typed child reference.
+struct Ref {
+  RefKind kind = RefKind::kNil;
+  uint32_t id = ~uint32_t{0};
+
+  static Ref Nil() { return Ref{}; }
+  static Ref Page(uint32_t id) { return Ref{RefKind::kPage, id}; }
+  static Ref Node(uint32_t id) { return Ref{RefKind::kNode, id}; }
+
+  bool is_nil() const { return kind == RefKind::kNil; }
+  bool is_page() const { return kind == RefKind::kPage; }
+  bool is_node() const { return kind == RefKind::kNode; }
+
+  bool operator==(const Ref& other) const {
+    return kind == other.kind && (is_nil() || id == other.id);
+  }
+  bool operator!=(const Ref& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+};
+
+/// \brief One directory element D_i = (pointer, <h_1..h_d>, m).
+struct Entry {
+  Ref ref;
+  /// Local depths: the child's region is identified by the first h_j bits
+  /// of this entry's dimension-j index.
+  std::array<uint8_t, kMaxDims> h{};
+  /// Dimension (0-based) along which this region last expanded; the next
+  /// split uses (m + 1) % d, realizing the paper's cyclic rule
+  /// m <- (m mod d) + 1.
+  uint8_t m = 0;
+
+  /// \brief The dimension the next split of this region should use.
+  int NextSplitDim(int dims) const { return (m + 1) % dims; }
+
+  /// \brief True iff local depths, split dim, and ref all match.
+  bool SameShape(const Entry& other, int dims) const {
+    if (ref != other.ref || m != other.m) return false;
+    for (int j = 0; j < dims; ++j) {
+      if (h[j] != other.h[j]) return false;
+    }
+    return true;
+  }
+
+  std::string ToString(int dims) const;
+};
+
+/// \brief Picks the split dimension for entry `e` cyclically starting at
+/// (e.m + 1) % dims, skipping dimensions whose local depth has reached
+/// `limits[m]` (pseudo-key bits exhausted).  Returns -1 when no dimension
+/// can split — the region cannot be subdivided further.
+inline int ChooseSplitDim(const Entry& e, std::span<const int> limits,
+                          int dims) {
+  int m = e.NextSplitDim(dims);
+  for (int tries = 0; tries < dims; ++tries) {
+    if (e.h[m] < limits[m]) return m;
+    m = (m + 1) % dims;
+  }
+  return -1;
+}
+
+/// \brief Entry whose first split will use dimension 0.
+inline Entry MakeEntry(Ref ref, int dims) {
+  Entry e;
+  e.ref = ref;
+  e.m = static_cast<uint8_t>(dims - 1);  // next = (m+1)%d = 0
+  return e;
+}
+
+}  // namespace hashdir
+}  // namespace bmeh
+
+#endif  // BMEH_HASHDIR_ENTRY_H_

@@ -1,0 +1,93 @@
+// MultiKeyIndex: the common interface of the three file organizations the
+// paper compares (MDEH, MEH-tree, BMEH-tree), so the experiment harness,
+// the tests and the benchmarks can drive them uniformly.
+
+#ifndef BMEH_HASHDIR_MULTIKEY_INDEX_H_
+#define BMEH_HASHDIR_MULTIKEY_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/encoding/key_schema.h"
+#include "src/encoding/pseudo_key.h"
+#include "src/hashdir/query.h"
+#include "src/pagestore/data_page.h"
+#include "src/pagestore/io_stats.h"
+
+namespace bmeh {
+
+/// \brief Structural statistics used by the paper's §5 measures.
+struct IndexStructureStats {
+  /// sigma: directory size in elements.  For the tree schemes this counts
+  /// 2^phi per allocated node block (directory space is allocated in
+  /// fixed-size blocks, §3.1); for MDEH it is the flat array size 2^(sum H).
+  uint64_t directory_entries = 0;
+  /// Entries actually in use (< directory_entries for partially grown
+  /// tree nodes).
+  uint64_t directory_entries_used = 0;
+  /// Number of directory nodes (1 for MDEH).
+  uint64_t directory_nodes = 0;
+  /// Number of levels of directory on a root-to-page path.  Equal for all
+  /// paths in MDEH (1) and the BMEH-tree; the maximum over paths for the
+  /// MEH-tree.
+  uint64_t directory_levels = 0;
+  uint64_t data_pages = 0;
+  uint64_t records = 0;
+
+  /// alpha: records / (data_pages * b).
+  double LoadFactor(int b) const {
+    if (data_pages == 0) return 0.0;
+    return static_cast<double>(records) /
+           (static_cast<double>(data_pages) * b);
+  }
+};
+
+/// \brief A dynamic multidimensional order-preserving hash file.
+class MultiKeyIndex {
+ public:
+  virtual ~MultiKeyIndex() = default;
+
+  virtual const KeySchema& schema() const = 0;
+
+  /// \brief Data page capacity b.
+  virtual int page_capacity() const = 0;
+
+  /// \brief Inserts a record; AlreadyExists on duplicate pseudo-key.
+  virtual Status Insert(const PseudoKey& key, uint64_t payload) = 0;
+
+  /// \brief Exact-match search; KeyError if absent.  Non-const because it
+  /// charges disk accesses to the I/O counter.
+  virtual Result<uint64_t> Search(const PseudoKey& key) = 0;
+
+  /// \brief Deletes the record with `key`; KeyError if absent.
+  virtual Status Delete(const PseudoKey& key) = 0;
+
+  /// \brief Appends every record satisfying `pred` to `out`
+  /// (partial-range query, paper §4.4).
+  virtual Status RangeSearch(const RangePredicate& pred,
+                             std::vector<Record>* out) = 0;
+
+  /// \brief Structural statistics (sigma, alpha inputs, ...).
+  virtual IndexStructureStats Stats() const = 0;
+
+  /// \brief Exhaustive structural invariant check; Corruption on failure.
+  /// Used heavily by tests; O(structure size).
+  virtual Status Validate() const = 0;
+
+  /// \brief Scheme name for reports ("MDEH", "MEH-tree", "BMEH-tree").
+  virtual std::string name() const = 0;
+
+  /// \brief Logical disk-access counter (the paper's cost model).
+  IoCounter* io() { return &io_; }
+  IoStats io_stats() const { return io_.stats(); }
+
+ protected:
+  IoCounter io_;
+};
+
+}  // namespace bmeh
+
+#endif  // BMEH_HASHDIR_MULTIKEY_INDEX_H_

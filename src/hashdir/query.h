@@ -1,0 +1,93 @@
+// Partial-range query predicate (paper §1, §4.4).
+//
+// A query constrains a subset S of the dimensions to closed intervals
+// [alpha_j, beta_j] on pseudo-key components; unconstrained dimensions
+// default to the full domain ("000..." to "111...", as in PRG_Search).
+// Exact-match, partial-match and range queries are all special cases.
+
+#ifndef BMEH_HASHDIR_QUERY_H_
+#define BMEH_HASHDIR_QUERY_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/common/logging.h"
+#include "src/encoding/key_schema.h"
+#include "src/encoding/pseudo_key.h"
+
+namespace bmeh {
+
+/// \brief Per-dimension closed interval constraints on pseudo-keys.
+class RangePredicate {
+ public:
+  /// \brief Predicate matching the whole space of `schema`.
+  explicit RangePredicate(const KeySchema& schema) : dims_(schema.dims()) {
+    for (int j = 0; j < dims_; ++j) {
+      lo_[j] = 0;
+      hi_[j] = schema.max_component(j);
+    }
+  }
+
+  int dims() const { return dims_; }
+  uint32_t lo(int j) const {
+    BMEH_DCHECK(j >= 0 && j < dims_);
+    return lo_[j];
+  }
+  uint32_t hi(int j) const {
+    BMEH_DCHECK(j >= 0 && j < dims_);
+    return hi_[j];
+  }
+
+  /// \brief Constrains dimension j to [lo, hi] (intersected with any
+  /// existing constraint).
+  RangePredicate& Constrain(int j, uint32_t lo, uint32_t hi) {
+    BMEH_DCHECK(j >= 0 && j < dims_);
+    BMEH_DCHECK(lo <= hi);
+    lo_[j] = std::max(lo_[j], lo);
+    hi_[j] = std::min(hi_[j], hi);
+    return *this;
+  }
+
+  /// \brief Exact-match constraint on dimension j.
+  RangePredicate& ConstrainExact(int j, uint32_t v) {
+    return Constrain(j, v, v);
+  }
+
+  /// \brief True iff the interval of some dimension is empty.
+  bool Empty() const {
+    for (int j = 0; j < dims_; ++j) {
+      if (lo_[j] > hi_[j]) return true;
+    }
+    return false;
+  }
+
+  /// \brief True iff `key` satisfies every dimension's constraint
+  /// (the paper's predicate F).
+  bool Matches(const PseudoKey& key) const {
+    BMEH_DCHECK(key.dims() == dims_);
+    for (int j = 0; j < dims_; ++j) {
+      uint32_t v = key.component(j);
+      if (v < lo_[j] || v > hi_[j]) return false;
+    }
+    return true;
+  }
+
+  std::string ToString() const {
+    std::string out = "[";
+    for (int j = 0; j < dims_; ++j) {
+      if (j) out += ", ";
+      out += std::to_string(lo_[j]) + ".." + std::to_string(hi_[j]);
+    }
+    return out + "]";
+  }
+
+ private:
+  int dims_;
+  std::array<uint32_t, kMaxDims> lo_{};
+  std::array<uint32_t, kMaxDims> hi_{};
+};
+
+}  // namespace bmeh
+
+#endif  // BMEH_HASHDIR_QUERY_H_

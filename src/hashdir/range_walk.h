@@ -1,0 +1,81 @@
+// RangeWalk: the paper's PRG_Search (§4.4), shared by all three schemes.
+//
+// Recursively walks a directory in depth-first order, visiting every
+// directory cell whose index lies in the query's per-dimension index
+// interval [L_j, U_j], deduplicating shared child pointers ("if P has not
+// been accessed"), and narrowing the query bounds to each child's region
+// before descending (so interior cells recurse with their full sub-range
+// and boundary cells keep the original bounds — the Left_Shift of the
+// paper realized on absolute full-width bounds).
+
+#ifndef BMEH_HASHDIR_RANGE_WALK_H_
+#define BMEH_HASHDIR_RANGE_WALK_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/encoding/key_schema.h"
+#include "src/hashdir/node.h"
+#include "src/hashdir/query.h"
+#include "src/pagestore/data_page.h"
+
+namespace bmeh {
+namespace hashdir {
+
+/// \brief Iterates all tuples with lo[j] <= t[j] <= hi[j], last dimension
+/// fastest.
+class BoxOdometer {
+ public:
+  BoxOdometer(int dims, const IndexTuple& lo, const IndexTuple& hi);
+
+  bool done() const { return done_; }
+  const IndexTuple& tuple() const { return tuple_; }
+  void Next();
+
+ private:
+  int dims_;
+  IndexTuple lo_;
+  IndexTuple hi_;
+  IndexTuple tuple_;
+  bool done_ = false;
+};
+
+/// \brief Observability counters of one range query (Theorem 4's n_R and
+/// the access counts behind its O(l * n_R) bound).
+struct RangeWalkStats {
+  uint64_t nodes_visited = 0;   ///< Directory nodes entered (incl. root).
+  uint64_t cells_scanned = 0;   ///< Directory cells inspected.
+  uint64_t leaf_groups = 0;     ///< n_R: page-level cells covering the region.
+  uint64_t pages_visited = 0;   ///< Data pages read.
+  uint64_t max_level = 0;       ///< Deepest directory level entered (root=1).
+};
+
+/// \brief Scheme-specific hooks for RangeWalk.
+struct RangeWalkCallbacks {
+  /// Resolves a node ref; also the place to charge a directory read.
+  /// `level` is 1 for the root.
+  std::function<const DirNode*(uint32_t node_id, int level)> get_node;
+
+  /// Scans a data page, appending records matching `pred` to `out`; also
+  /// the place to charge the data-page read.
+  std::function<void(uint32_t page_id, const RangePredicate& pred,
+                     std::vector<Record>* out)>
+      visit_page;
+
+  /// Optional: called once per directory cell inspected, with its linear
+  /// address within its node (MDEH charges directory-page reads here).
+  std::function<void(uint32_t node_id, uint64_t address)> visit_cell;
+};
+
+/// \brief Runs PRG_Search from `root` and appends matches to `out`.
+Status RangeWalk(const KeySchema& schema, const RangePredicate& pred,
+                 Ref root, const RangeWalkCallbacks& callbacks,
+                 std::vector<Record>* out, RangeWalkStats* stats);
+
+}  // namespace hashdir
+}  // namespace bmeh
+
+#endif  // BMEH_HASHDIR_RANGE_WALK_H_

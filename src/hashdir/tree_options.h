@@ -1,0 +1,68 @@
+// Options shared by the two tree-structured directories.
+
+#ifndef BMEH_HASHDIR_TREE_OPTIONS_H_
+#define BMEH_HASHDIR_TREE_OPTIONS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bit_util.h"
+#include "src/common/logging.h"
+#include "src/encoding/pseudo_key.h"
+
+namespace bmeh {
+
+/// \brief Configuration of a tree-structured directory (MEH / BMEH).
+struct TreeOptions {
+  /// Data page capacity b (records per page).
+  int page_capacity = 8;
+
+  /// Per-dimension node depth caps xi_j: a node's global depth H_j grows
+  /// at most to xi_j, so a node block holds at most 2^phi entries where
+  /// phi = sum xi_j.  The paper's experiments use phi = 6 (64 entries).
+  std::array<int, kMaxDims> xi{};
+
+  /// Hard cap on the number of directory nodes.
+  uint64_t max_nodes = uint64_t{1} << 22;
+
+  /// Whether Delete merges buddy pages / collapses nodes.
+  bool merge_on_delete = true;
+
+  /// \brief phi = sum of xi over the first `dims` dimensions.
+  int phi(int dims) const {
+    int p = 0;
+    for (int j = 0; j < dims; ++j) p += xi[j];
+    return p;
+  }
+
+  /// \brief Entries per allocated node block: 2^phi.  Used by the sigma
+  /// accounting (directory space is allocated in fixed-size blocks, §3.1).
+  uint64_t node_block_entries(int dims) const {
+    return bit_util::Pow2(phi(dims));
+  }
+
+  /// \brief Spreads `phi` addressing bits over `dims` dimensions as evenly
+  /// as possible, earlier dimensions first (d=2, phi=6 -> (3,3); d=3,
+  /// phi=6 -> (2,2,2), matching §5).
+  static std::array<int, kMaxDims> SpreadXi(int dims, int phi) {
+    BMEH_CHECK(dims >= 1 && dims <= kMaxDims);
+    BMEH_CHECK(phi >= dims) << "need at least one bit per dimension";
+    std::array<int, kMaxDims> xi{};
+    for (int j = 0; j < dims; ++j) {
+      xi[j] = phi / dims + (j < phi % dims ? 1 : 0);
+    }
+    return xi;
+  }
+
+  /// \brief Options with page capacity b and phi bits per node.
+  static TreeOptions Make(int dims, int b, int phi = 6) {
+    TreeOptions o;
+    o.page_capacity = b;
+    o.xi = SpreadXi(dims, phi);
+    return o;
+  }
+};
+
+}  // namespace bmeh
+
+#endif  // BMEH_HASHDIR_TREE_OPTIONS_H_

@@ -1,0 +1,105 @@
+// MDEH: multidimensional extendible hashing with a one-level directory
+// (paper §2.2; the first of the two baselines the BMEH-tree is compared
+// against).
+//
+// The directory is a single d-dimensional extendible array of entries,
+// headed by global depths H_1..H_d; the address of a key's entry is
+// G(g(k_1,H_1), ..., g(k_d,H_d)).  Exact-match cost is two disk accesses
+// (one directory page + one data page), but the directory itself can grow
+// super-linearly — exponentially under skew — which is the failure mode
+// that motivates the BMEH-tree.
+//
+// I/O cost model (DESIGN.md §2.5): the directory is stored across
+// directory pages of `dir_entries_per_page` entries; a probe reads the one
+// page holding the addressed entry; a group split writes every directory
+// page containing a member of the group; a directory doubling rewrites the
+// whole directory (the in-place prefix reinterpretation).
+
+#ifndef BMEH_MDEH_MDEH_H_
+#define BMEH_MDEH_MDEH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/hashdir/arena.h"
+#include "src/hashdir/multikey_index.h"
+#include "src/hashdir/node.h"
+
+namespace bmeh {
+
+/// \brief Tuning knobs for MDEH.
+struct MdehOptions {
+  /// Data page capacity b (records per page).
+  int page_capacity = 8;
+  /// Directory entries per directory disk page (I/O accounting).
+  int dir_entries_per_page = 64;
+  /// Hard cap on directory growth; CapacityError beyond it.
+  uint64_t max_directory_entries = uint64_t{1} << 26;
+  /// Whether Delete merges buddy pages and shrinks the directory.
+  bool merge_on_delete = true;
+  /// Cost model for directory *updates* (group pointer resets, doubling
+  /// rewrites).  The paper charges them per directory element — "resetting
+  /// half the number of page pointers in the directory ... O(M/(b+1))
+  /// directory accesses" (§3) — because a group's entries scatter across
+  /// the extendible array's slabs, so element updates do not batch into
+  /// blocks.  Set false to charge per 64-entry directory page instead
+  /// (an optimistic model; the ablation bench compares both).
+  bool element_granular_updates = true;
+};
+
+/// \brief One-level-directory multidimensional extendible hashing.
+class Mdeh : public MultiKeyIndex {
+ public:
+  Mdeh(const KeySchema& schema, const MdehOptions& options);
+
+  const KeySchema& schema() const override { return schema_; }
+  int page_capacity() const override { return options_.page_capacity; }
+
+  Status Insert(const PseudoKey& key, uint64_t payload) override;
+  Result<uint64_t> Search(const PseudoKey& key) override;
+  Status Delete(const PseudoKey& key) override;
+  Status RangeSearch(const RangePredicate& pred,
+                     std::vector<Record>* out) override;
+  IndexStructureStats Stats() const override;
+  Status Validate() const override;
+  std::string name() const override { return "MDEH"; }
+
+  /// \brief Global depth H_j of dimension j.
+  int global_depth(int j) const { return dir_.depth(j); }
+
+  /// \brief Read access to the directory, for tests and visualization.
+  const hashdir::DirNode& directory() const { return dir_; }
+
+ private:
+  hashdir::IndexTuple TupleFor(const PseudoKey& key) const;
+
+  /// One split step of the (full) data page owning `t`'s group; the caller
+  /// retries the insertion afterwards.
+  Status SplitOnce(const hashdir::IndexTuple& t);
+
+  /// Charges writes for every directory page containing a group member.
+  void ChargeGroupWrite(const std::vector<uint64_t>& addresses);
+
+  /// Charges the whole-directory rewrite of a doubling/halving.
+  void ChargeDirRewrite(uint64_t old_entries, uint64_t new_entries);
+
+  /// Buddy-merge / empty-page cleanup cascade after a deletion at `t`.
+  void MergeAfterDelete(const hashdir::IndexTuple& t);
+
+  /// Reverses directory doublings that no entry needs any more.
+  void ShrinkDirectory();
+
+  uint64_t DirPageOf(uint64_t address) const {
+    return address / options_.dir_entries_per_page;
+  }
+
+  KeySchema schema_;
+  MdehOptions options_;
+  hashdir::DirNode dir_;
+  hashdir::PageArena pages_;
+  uint64_t records_ = 0;
+};
+
+}  // namespace bmeh
+
+#endif  // BMEH_MDEH_MDEH_H_

@@ -1,0 +1,114 @@
+#include "src/metrics/experiment.h"
+
+#include "src/common/logging.h"
+#include "src/core/bmeh_tree.h"
+#include "src/mdeh/mdeh.h"
+#include "src/mehtree/meh_tree.h"
+
+namespace bmeh {
+namespace metrics {
+
+const char* MethodName(Method m) {
+  switch (m) {
+    case Method::kMdeh:
+      return "MDEH";
+    case Method::kMehTree:
+      return "MEH-tree";
+    case Method::kBmehTree:
+      return "BMEH-tree";
+  }
+  return "?";
+}
+
+std::unique_ptr<MultiKeyIndex> MakeIndex(Method method,
+                                         const KeySchema& schema,
+                                         int page_capacity, int phi) {
+  switch (method) {
+    case Method::kMdeh: {
+      MdehOptions o;
+      o.page_capacity = page_capacity;
+      return std::make_unique<Mdeh>(schema, o);
+    }
+    case Method::kMehTree:
+      return std::make_unique<MehTree>(
+          schema, TreeOptions::Make(schema.dims(), page_capacity, phi));
+    case Method::kBmehTree:
+      return std::make_unique<BmehTree>(
+          schema, TreeOptions::Make(schema.dims(), page_capacity, phi));
+  }
+  BMEH_CHECK(false) << "unknown method";
+  return nullptr;
+}
+
+ExperimentResult RunExperiment(const ExperimentConfig& config,
+                               const std::vector<PseudoKey>& keys,
+                               const std::vector<PseudoKey>& absent_keys) {
+  BMEH_CHECK(keys.size() >= config.n);
+  BMEH_CHECK(config.tail >= 1 && config.tail <= config.n);
+  KeySchema schema(config.workload.dims, config.workload.width);
+  std::unique_ptr<MultiKeyIndex> index =
+      MakeIndex(config.method, schema, config.page_capacity, config.phi);
+
+  ExperimentResult result;
+  result.method = index->name();
+
+  // Build phase; rho over the last `tail` insertions (reads + writes).
+  const uint64_t tail_start = config.n - config.tail;
+  uint64_t tail_accesses = 0;
+  for (uint64_t i = 0; i < config.n; ++i) {
+    const IoStats before = index->io_stats();
+    BMEH_CHECK_OK(index->Insert(keys[i], /*payload=*/i));
+    if (i >= tail_start) {
+      tail_accesses += (index->io_stats() - before).total();
+    }
+    if (config.growth_sample_every > 0 &&
+        ((i + 1) % config.growth_sample_every == 0 || i + 1 == config.n)) {
+      result.growth.emplace_back(i + 1, index->Stats().directory_entries);
+    }
+  }
+  result.rho = static_cast<double>(tail_accesses) /
+               static_cast<double>(config.tail);
+  result.rho_whole_run = static_cast<double>(index->io_stats().total()) /
+                         static_cast<double>(config.n);
+
+  // lambda: successful searches for the last `tail` inserted keys.
+  uint64_t reads = 0;
+  for (uint64_t i = tail_start; i < config.n; ++i) {
+    const IoStats before = index->io_stats();
+    auto r = index->Search(keys[i]);
+    BMEH_CHECK(r.ok()) << "inserted key missing: " << keys[i].ToString();
+    reads += (index->io_stats() - before).reads();
+  }
+  result.lambda = static_cast<double>(reads) /
+                  static_cast<double>(config.tail);
+
+  // lambda': unsuccessful searches.
+  BMEH_CHECK(absent_keys.size() >= config.tail);
+  reads = 0;
+  for (uint64_t i = 0; i < config.tail; ++i) {
+    const IoStats before = index->io_stats();
+    auto r = index->Search(absent_keys[i]);
+    BMEH_CHECK(!r.ok()) << "absent key found: " << absent_keys[i].ToString();
+    reads += (index->io_stats() - before).reads();
+  }
+  result.lambda_prime = static_cast<double>(reads) /
+                        static_cast<double>(config.tail);
+
+  result.structure = index->Stats();
+  result.sigma = result.structure.directory_entries;
+  result.alpha = result.structure.LoadFactor(config.page_capacity);
+  result.total_io = index->io_stats();
+  BMEH_CHECK_OK(index->Validate());
+  return result;
+}
+
+ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  std::vector<PseudoKey> keys =
+      workload::GenerateKeys(config.workload, config.n);
+  std::vector<PseudoKey> absent =
+      workload::GenerateAbsentKeys(config.workload, config.tail, keys);
+  return RunExperiment(config, keys, absent);
+}
+
+}  // namespace metrics
+}  // namespace bmeh

@@ -1,0 +1,81 @@
+// Experiment harness reproducing the paper's §5 performance measures:
+//
+//   lambda   — avg disk reads per successful exact-match search
+//   lambda'  — avg disk reads per unsuccessful exact-match search
+//   rho      — avg disk accesses (reads + writes) per key insertion
+//   sigma    — directory size in elements after all insertions
+//   alpha    — average load factor (records / allocated page capacity)
+//
+// Protocol (matching §5): insert N keys; rho is averaged over the last
+// `tail` insertions; lambda / lambda' are averaged over `tail` probes of
+// present / absent keys after the build; the directory-growth curves of
+// Figures 6 and 7 sample sigma every `growth_sample_every` insertions.
+
+#ifndef BMEH_METRICS_EXPERIMENT_H_
+#define BMEH_METRICS_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hashdir/multikey_index.h"
+#include "src/workload/distributions.h"
+
+namespace bmeh {
+namespace metrics {
+
+/// \brief Which of the paper's three schemes to instantiate.
+enum class Method { kMdeh, kMehTree, kBmehTree };
+
+const char* MethodName(Method m);
+
+/// \brief Builds an index with the paper's experimental configuration
+/// (phi addressing bits per tree node, spread evenly over dimensions).
+std::unique_ptr<MultiKeyIndex> MakeIndex(Method method,
+                                         const KeySchema& schema,
+                                         int page_capacity, int phi = 6);
+
+/// \brief One experiment run's configuration.
+struct ExperimentConfig {
+  Method method = Method::kBmehTree;
+  workload::WorkloadSpec workload;
+  int page_capacity = 8;
+  int phi = 6;
+  uint64_t n = 40000;
+  uint64_t tail = 4000;
+  /// 0 disables growth sampling.
+  uint64_t growth_sample_every = 0;
+};
+
+/// \brief One experiment run's measures.
+struct ExperimentResult {
+  std::string method;
+  double lambda = 0.0;
+  double lambda_prime = 0.0;
+  double rho = 0.0;
+  /// rho averaged over the whole build instead of the last `tail`
+  /// insertions — robust to where directory doublings land (DESIGN.md
+  /// §2.7).
+  double rho_whole_run = 0.0;
+  double alpha = 0.0;
+  uint64_t sigma = 0;
+  IndexStructureStats structure;
+  IoStats total_io;
+  /// (keys inserted, sigma) samples for the growth curves.
+  std::vector<std::pair<uint64_t, uint64_t>> growth;
+};
+
+/// \brief Runs the full §5 protocol over pre-generated keys.
+/// `keys` must contain at least `config.n` distinct keys.
+ExperimentResult RunExperiment(const ExperimentConfig& config,
+                               const std::vector<PseudoKey>& keys,
+                               const std::vector<PseudoKey>& absent_keys);
+
+/// \brief Convenience wrapper that generates the keys itself.
+ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+}  // namespace metrics
+}  // namespace bmeh
+
+#endif  // BMEH_METRICS_EXPERIMENT_H_

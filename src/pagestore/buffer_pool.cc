@@ -1,0 +1,171 @@
+#include "src/pagestore/buffer_pool.h"
+
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace bmeh {
+
+// ---------------------------------------------------------------------------
+// PageHandle
+// ---------------------------------------------------------------------------
+
+PageHandle::PageHandle(PageHandle&& other) noexcept
+    : pool_(other.pool_), id_(other.id_) {
+  other.pool_ = nullptr;
+  other.id_ = kInvalidPageId;
+}
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    id_ = other.id_;
+    other.pool_ = nullptr;
+    other.id_ = kInvalidPageId;
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() { Release(); }
+
+std::span<uint8_t> PageHandle::data() {
+  BMEH_CHECK(valid());
+  auto it = pool_->frames_.find(id_);
+  BMEH_CHECK(it != pool_->frames_.end());
+  return {it->second.data.get(), static_cast<size_t>(pool_->store_->page_size())};
+}
+
+std::span<const uint8_t> PageHandle::data() const {
+  BMEH_CHECK(valid());
+  auto it = pool_->frames_.find(id_);
+  BMEH_CHECK(it != pool_->frames_.end());
+  return {it->second.data.get(), static_cast<size_t>(pool_->store_->page_size())};
+}
+
+void PageHandle::MarkDirty() {
+  BMEH_CHECK(valid());
+  pool_->frames_.at(id_).dirty = true;
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(id_);
+    pool_ = nullptr;
+    id_ = kInvalidPageId;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+// ---------------------------------------------------------------------------
+
+BufferPool::BufferPool(PageStore* store, int capacity)
+    : store_(store), capacity_(capacity) {
+  BMEH_CHECK(store != nullptr);
+  BMEH_CHECK(capacity >= 1);
+}
+
+BufferPool::~BufferPool() {
+  Status st = FlushAll();
+  if (!st.ok()) {
+    BMEH_LOG(Error) << "BufferPool final flush failed: " << st;
+  }
+}
+
+Result<PageHandle> BufferPool::Fetch(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++hits_;
+    Frame& f = it->second;
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pins;
+    return PageHandle(this, id);
+  }
+  ++misses_;
+  while (frames_.size() >= static_cast<size_t>(capacity_)) {
+    BMEH_RETURN_NOT_OK(EvictOne());
+  }
+  Frame f;
+  f.data = std::make_unique<uint8_t[]>(store_->page_size());
+  BMEH_RETURN_NOT_OK(store_->Read(
+      id, {f.data.get(), static_cast<size_t>(store_->page_size())}));
+  f.pins = 1;
+  frames_.emplace(id, std::move(f));
+  return PageHandle(this, id);
+}
+
+Result<PageHandle> BufferPool::New() {
+  BMEH_ASSIGN_OR_RETURN(PageId id, store_->Allocate());
+  while (frames_.size() >= static_cast<size_t>(capacity_)) {
+    BMEH_RETURN_NOT_OK(EvictOne());
+  }
+  Frame f;
+  f.data = std::make_unique<uint8_t[]>(store_->page_size());
+  std::memset(f.data.get(), 0, store_->page_size());
+  f.pins = 1;
+  f.dirty = true;
+  frames_.emplace(id, std::move(f));
+  return PageHandle(this, id);
+}
+
+Status BufferPool::Delete(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    if (it->second.pins > 0) {
+      return Status::Invalid("Delete of pinned page " + std::to_string(id));
+    }
+    if (it->second.in_lru) lru_.erase(it->second.lru_pos);
+    frames_.erase(it);
+  }
+  return store_->Free(id);
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, f] : frames_) {
+    if (f.dirty) {
+      BMEH_RETURN_NOT_OK(store_->Write(
+          id, {f.data.get(), static_cast<size_t>(store_->page_size())}));
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+void BufferPool::Unpin(PageId id) {
+  auto it = frames_.find(id);
+  BMEH_CHECK(it != frames_.end()) << "Unpin of unknown page " << id;
+  Frame& f = it->second;
+  BMEH_CHECK(f.pins > 0);
+  if (--f.pins == 0) {
+    lru_.push_back(id);
+    f.lru_pos = std::prev(lru_.end());
+    f.in_lru = true;
+  }
+}
+
+Status BufferPool::EvictOne() {
+  if (lru_.empty()) {
+    return Status::CapacityError(
+        "buffer pool exhausted: all frames pinned (capacity " +
+        std::to_string(capacity_) + ")");
+  }
+  PageId victim = lru_.front();
+  lru_.pop_front();
+  auto it = frames_.find(victim);
+  BMEH_CHECK(it != frames_.end());
+  Frame& f = it->second;
+  BMEH_CHECK(f.pins == 0);
+  if (f.dirty) {
+    BMEH_RETURN_NOT_OK(store_->Write(
+        victim, {f.data.get(), static_cast<size_t>(store_->page_size())}));
+  }
+  frames_.erase(it);
+  ++evictions_;
+  return Status::OK();
+}
+
+}  // namespace bmeh

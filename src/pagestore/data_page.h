@@ -1,0 +1,91 @@
+// DataPage: a bucket of at most b records.
+//
+// The paper's data pages hold up to b records; pages split when the
+// (b+1)-st record arrives.  The experiments treat a data page as one disk
+// block regardless of b (b is the paper's independent variable).  DataPage
+// also knows how to serialize itself into a raw page for persistence.
+
+#ifndef BMEH_PAGESTORE_DATA_PAGE_H_
+#define BMEH_PAGESTORE_DATA_PAGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/encoding/pseudo_key.h"
+#include "src/pagestore/page.h"
+
+namespace bmeh {
+
+/// \brief A stored record: pseudo-key plus opaque payload (e.g. a RID).
+struct Record {
+  PseudoKey key;
+  uint64_t payload = 0;
+
+  bool operator==(const Record& other) const {
+    return key == other.key && payload == other.payload;
+  }
+};
+
+/// \brief In-memory data page of capacity b.
+class DataPage {
+ public:
+  DataPage(PageId id, int capacity) : id_(id), capacity_(capacity) {
+    BMEH_DCHECK(capacity >= 1);
+    records_.reserve(capacity);
+  }
+
+  PageId id() const { return id_; }
+  int capacity() const { return capacity_; }
+  int size() const { return static_cast<int>(records_.size()); }
+  bool full() const { return size() >= capacity_; }
+  bool empty() const { return records_.empty(); }
+
+  const std::vector<Record>& records() const { return records_; }
+
+  /// \brief Index of the record with `key`, or -1.
+  int Find(const PseudoKey& key) const;
+
+  bool Contains(const PseudoKey& key) const { return Find(key) >= 0; }
+
+  /// \brief Inserts a record.  Fails with AlreadyExists on a duplicate key
+  /// and CapacityError when the page is full.
+  Status Insert(const Record& rec);
+
+  /// \brief Removes the record with `key`; KeyError if absent.
+  Status Remove(const PseudoKey& key);
+
+  /// \brief Payload of the record with `key`, if present.
+  std::optional<uint64_t> Lookup(const PseudoKey& key) const;
+
+  /// \brief Moves every record for which `goes_right` is true into `right`.
+  /// Used by page splits; `right` must have enough free capacity.
+  void Partition(const std::function<bool(const Record&)>& goes_right,
+                 DataPage* right);
+
+  /// \brief Removes all records.
+  void Clear() { records_.clear(); }
+
+  /// \brief Bytes needed to serialize a page of `capacity` records with
+  /// `dims`-dimensional keys.
+  static int SerializedSize(int capacity, int dims);
+
+  /// \brief Serializes into `out` (size >= SerializedSize).
+  void Serialize(int dims, std::span<uint8_t> out) const;
+
+  /// \brief Reconstructs a page from serialized bytes.
+  static Result<DataPage> Deserialize(PageId id, int capacity, int dims,
+                                      std::span<const uint8_t> in);
+
+ private:
+  PageId id_;
+  int capacity_;
+  std::vector<Record> records_;
+};
+
+}  // namespace bmeh
+
+#endif  // BMEH_PAGESTORE_DATA_PAGE_H_

@@ -1,0 +1,21 @@
+// Page identifiers and constants for the paged storage substrate.
+
+#ifndef BMEH_PAGESTORE_PAGE_H_
+#define BMEH_PAGESTORE_PAGE_H_
+
+#include <cstdint>
+
+namespace bmeh {
+
+/// \brief Identifier of a page inside a PageStore.
+using PageId = uint32_t;
+
+/// \brief Sentinel for "no page" (the paper's NIL pointer).
+inline constexpr PageId kInvalidPageId = ~PageId{0};
+
+/// \brief Default on-disk page size in bytes.
+inline constexpr int kDefaultPageSize = 4096;
+
+}  // namespace bmeh
+
+#endif  // BMEH_PAGESTORE_PAGE_H_

@@ -1,0 +1,266 @@
+#include "src/pagestore/page_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace bmeh {
+
+// ---------------------------------------------------------------------------
+// InMemoryPageStore
+// ---------------------------------------------------------------------------
+
+InMemoryPageStore::InMemoryPageStore(int page_size) : page_size_(page_size) {
+  BMEH_CHECK(page_size >= 16) << "page_size too small: " << page_size;
+}
+
+bool InMemoryPageStore::IsLive(PageId id) const {
+  return id < pages_.size() && pages_[id] != nullptr;
+}
+
+Result<PageId> InMemoryPageStore::Allocate() {
+  ++stats_.allocs;
+  PageId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    pages_[id] = std::make_unique<uint8_t[]>(page_size_);
+  } else {
+    id = static_cast<PageId>(pages_.size());
+    pages_.push_back(std::make_unique<uint8_t[]>(page_size_));
+  }
+  std::memset(pages_[id].get(), 0, page_size_);
+  return id;
+}
+
+Status InMemoryPageStore::Free(PageId id) {
+  if (!IsLive(id)) {
+    return Status::Invalid("Free of non-live page " + std::to_string(id));
+  }
+  ++stats_.frees;
+  pages_[id].reset();
+  free_list_.push_back(id);
+  return Status::OK();
+}
+
+Status InMemoryPageStore::Read(PageId id, std::span<uint8_t> out) {
+  if (!IsLive(id)) {
+    return Status::IoError("Read of non-live page " + std::to_string(id));
+  }
+  if (out.size() != static_cast<size_t>(page_size_)) {
+    return Status::Invalid("Read buffer size mismatch");
+  }
+  ++stats_.reads;
+  std::memcpy(out.data(), pages_[id].get(), page_size_);
+  return Status::OK();
+}
+
+Status InMemoryPageStore::Write(PageId id, std::span<const uint8_t> data) {
+  if (!IsLive(id)) {
+    return Status::IoError("Write of non-live page " + std::to_string(id));
+  }
+  if (data.size() != static_cast<size_t>(page_size_)) {
+    return Status::Invalid("Write buffer size mismatch");
+  }
+  ++stats_.writes;
+  std::memcpy(pages_[id].get(), data.data(), page_size_);
+  return Status::OK();
+}
+
+uint64_t InMemoryPageStore::live_page_count() const {
+  return pages_.size() - free_list_.size();
+}
+
+// ---------------------------------------------------------------------------
+// FilePageStore
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr uint32_t kMagic = 0x424d4548;  // "BMEH"
+
+void PutU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
+void PutU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, 8); }
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+FilePageStore::FilePageStore(int fd, int page_size)
+    : fd_(fd), page_size_(page_size) {}
+
+FilePageStore::~FilePageStore() {
+  if (fd_ >= 0) {
+    Status st = WriteHeader();
+    if (!st.ok()) {
+      BMEH_LOG(Error) << "FilePageStore header flush failed: " << st;
+    }
+    ::close(fd_);
+  }
+}
+
+Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
+    const std::string& path, int page_size) {
+  if (page_size < 64) {
+    return Status::Invalid("page_size too small: " + std::to_string(page_size));
+  }
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+  }
+  auto store =
+      std::unique_ptr<FilePageStore>(new FilePageStore(fd, page_size));
+  BMEH_RETURN_NOT_OK(store->WriteHeader());
+  return store;
+}
+
+Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+  }
+  uint8_t header[64];
+  ssize_t n = ::pread(fd, header, sizeof(header), 0);
+  if (n != static_cast<ssize_t>(sizeof(header))) {
+    ::close(fd);
+    return Status::Corruption("short read of header in " + path);
+  }
+  if (GetU32(header) != kMagic) {
+    ::close(fd);
+    return Status::Corruption("bad magic in " + path);
+  }
+  int page_size = static_cast<int>(GetU32(header + 4));
+  auto store =
+      std::unique_ptr<FilePageStore>(new FilePageStore(fd, page_size));
+  store->page_count_ = GetU64(header + 8);
+  store->live_count_ = GetU64(header + 16);
+  store->free_head_ = GetU32(header + 24);
+  // Rebuild the free-set mirror by walking the on-disk free chain.
+  PageId cursor = store->free_head_;
+  std::vector<uint8_t> buf(page_size);
+  while (cursor != kInvalidPageId) {
+    if (cursor >= store->page_count_ ||
+        !store->free_set_.insert(cursor).second) {
+      return Status::Corruption("free chain corrupt in " + path);
+    }
+    BMEH_RETURN_NOT_OK(store->ReadRaw(cursor, buf));
+    cursor = GetU32(buf.data());
+  }
+  return store;
+}
+
+Status FilePageStore::WriteHeader() {
+  uint8_t header[64];
+  std::memset(header, 0, sizeof(header));
+  PutU32(header, kMagic);
+  PutU32(header + 4, static_cast<uint32_t>(page_size_));
+  PutU64(header + 8, page_count_);
+  PutU64(header + 16, live_count_);
+  PutU32(header + 24, free_head_);
+  ssize_t n = ::pwrite(fd_, header, sizeof(header), 0);
+  if (n != static_cast<ssize_t>(sizeof(header))) {
+    return Status::IoError(std::string("header pwrite: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status FilePageStore::ReadRaw(PageId id, std::span<uint8_t> out) {
+  off_t off = static_cast<off_t>(id) * page_size_;
+  ssize_t n = ::pread(fd_, out.data(), out.size(), off);
+  if (n != static_cast<ssize_t>(out.size())) {
+    return Status::IoError("pread page " + std::to_string(id) + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status FilePageStore::WriteRaw(PageId id, std::span<const uint8_t> data) {
+  off_t off = static_cast<off_t>(id) * page_size_;
+  ssize_t n = ::pwrite(fd_, data.data(), data.size(), off);
+  if (n != static_cast<ssize_t>(data.size())) {
+    return Status::IoError("pwrite page " + std::to_string(id) + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<PageId> FilePageStore::Allocate() {
+  ++stats_.allocs;
+  std::vector<uint8_t> zero(page_size_, 0);
+  PageId id;
+  if (free_head_ != kInvalidPageId) {
+    id = free_head_;
+    std::vector<uint8_t> buf(page_size_);
+    BMEH_RETURN_NOT_OK(ReadRaw(id, buf));
+    free_head_ = GetU32(buf.data());
+    free_set_.erase(id);
+  } else {
+    id = static_cast<PageId>(page_count_);
+    ++page_count_;
+  }
+  BMEH_RETURN_NOT_OK(WriteRaw(id, zero));
+  ++live_count_;
+  return id;
+}
+
+Status FilePageStore::Free(PageId id) {
+  if (id == 0 || id >= page_count_ || free_set_.count(id) != 0) {
+    return Status::Invalid("Free of invalid page " + std::to_string(id));
+  }
+  ++stats_.frees;
+  free_set_.insert(id);
+  std::vector<uint8_t> buf(page_size_, 0);
+  PutU32(buf.data(), free_head_);
+  BMEH_RETURN_NOT_OK(WriteRaw(id, buf));
+  free_head_ = id;
+  --live_count_;
+  return Status::OK();
+}
+
+Status FilePageStore::Read(PageId id, std::span<uint8_t> out) {
+  if (id == 0 || id >= page_count_ || free_set_.count(id) != 0) {
+    return Status::IoError("Read of invalid page " + std::to_string(id));
+  }
+  if (out.size() != static_cast<size_t>(page_size_)) {
+    return Status::Invalid("Read buffer size mismatch");
+  }
+  ++stats_.reads;
+  return ReadRaw(id, out);
+}
+
+Status FilePageStore::Write(PageId id, std::span<const uint8_t> data) {
+  if (id == 0 || id >= page_count_ || free_set_.count(id) != 0) {
+    return Status::IoError("Write of invalid page " + std::to_string(id));
+  }
+  if (data.size() != static_cast<size_t>(page_size_)) {
+    return Status::Invalid("Write buffer size mismatch");
+  }
+  ++stats_.writes;
+  return WriteRaw(id, data);
+}
+
+uint64_t FilePageStore::live_page_count() const { return live_count_; }
+
+Status FilePageStore::Sync() {
+  BMEH_RETURN_NOT_OK(WriteHeader());
+  if (::fsync(fd_) != 0) {
+    return Status::IoError(std::string("fsync: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace bmeh

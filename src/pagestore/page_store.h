@@ -1,0 +1,125 @@
+// PageStore: the block device abstraction.
+//
+// Two implementations: an in-memory store for simulation and tests, and a
+// POSIX-file-backed store (4 KiB pages, header page with a free-list chain)
+// used by the BMEH-tree's save/load path and the persistence tests.
+
+#ifndef BMEH_PAGESTORE_PAGE_STORE_H_
+#define BMEH_PAGESTORE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/pagestore/page.h"
+
+namespace bmeh {
+
+/// \brief Physical-access statistics of a PageStore.
+struct StoreStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t allocs = 0;
+  uint64_t frees = 0;
+};
+
+/// \brief Abstract fixed-size page device.
+class PageStore {
+ public:
+  virtual ~PageStore() = default;
+
+  /// \brief Size of every page in bytes.
+  virtual int page_size() const = 0;
+
+  /// \brief Allocates a page (possibly recycling a freed one).
+  virtual Result<PageId> Allocate() = 0;
+
+  /// \brief Returns a page to the free list.
+  virtual Status Free(PageId id) = 0;
+
+  /// \brief Reads page `id` into `out` (out.size() must equal page_size()).
+  virtual Status Read(PageId id, std::span<uint8_t> out) = 0;
+
+  /// \brief Writes page `id` from `data` (size must equal page_size()).
+  virtual Status Write(PageId id, std::span<const uint8_t> data) = 0;
+
+  /// \brief Number of currently live (allocated, not freed) pages.
+  virtual uint64_t live_page_count() const = 0;
+
+  const StoreStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = StoreStats{}; }
+
+ protected:
+  StoreStats stats_;
+};
+
+/// \brief Heap-backed page store.
+class InMemoryPageStore : public PageStore {
+ public:
+  explicit InMemoryPageStore(int page_size = kDefaultPageSize);
+
+  int page_size() const override { return page_size_; }
+  Result<PageId> Allocate() override;
+  Status Free(PageId id) override;
+  Status Read(PageId id, std::span<uint8_t> out) override;
+  Status Write(PageId id, std::span<const uint8_t> data) override;
+  uint64_t live_page_count() const override;
+
+ private:
+  bool IsLive(PageId id) const;
+
+  int page_size_;
+  std::vector<std::unique_ptr<uint8_t[]>> pages_;  // nullptr == freed slot
+  std::vector<PageId> free_list_;
+};
+
+/// \brief POSIX-file-backed page store.
+///
+/// Layout: page 0 is a header (magic, page size, page count, free-list
+/// head); each free page stores the id of the next free page in its first
+/// four bytes.  The header is rewritten on Sync() and on destruction.
+class FilePageStore : public PageStore {
+ public:
+  ~FilePageStore() override;
+
+  /// \brief Creates a new store file (truncating any existing file).
+  static Result<std::unique_ptr<FilePageStore>> Create(
+      const std::string& path, int page_size = kDefaultPageSize);
+
+  /// \brief Opens an existing store file, validating the header.
+  static Result<std::unique_ptr<FilePageStore>> Open(const std::string& path);
+
+  int page_size() const override { return page_size_; }
+  Result<PageId> Allocate() override;
+  Status Free(PageId id) override;
+  Status Read(PageId id, std::span<uint8_t> out) override;
+  Status Write(PageId id, std::span<const uint8_t> data) override;
+  uint64_t live_page_count() const override;
+
+  /// \brief Flushes the header and fsyncs the file.
+  Status Sync();
+
+ private:
+  FilePageStore(int fd, int page_size);
+  Status WriteHeader();
+  Status ReadRaw(PageId id, std::span<uint8_t> out);
+  Status WriteRaw(PageId id, std::span<const uint8_t> data);
+
+  int fd_ = -1;
+  int page_size_ = 0;
+  uint64_t page_count_ = 1;  // includes the header page
+  uint64_t live_count_ = 0;
+  PageId free_head_ = kInvalidPageId;
+  // Mirror of the on-disk free chain, to reject use-after-free and double
+  // free (rebuilt by Open()).
+  std::unordered_set<PageId> free_set_;
+};
+
+}  // namespace bmeh
+
+#endif  // BMEH_PAGESTORE_PAGE_STORE_H_

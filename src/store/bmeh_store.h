@@ -1,0 +1,107 @@
+// BmehStore: an embedded, durable record store built on the BMEH-tree and
+// the POSIX page-store substrate — what a downstream user adopts when they
+// want the paper's structure as a small database file rather than an
+// in-memory index.
+//
+// Durability model: checkpointing.  The whole tree is serialized into a
+// fresh page chain; a single superblock page (a fixed page id right after
+// the store header) is then rewritten to point at the new chain, and the
+// old chain's pages are returned to the free list.  The superblock write
+// is one page-sized pwrite, so a crash leaves the store at either the old
+// or the new checkpoint, never in between; pages written for an
+// unpublished checkpoint are reclaimed on the next successful one.
+// Mutations between checkpoints live in memory only (the tree itself) —
+// `checkpoint_every` bounds how many can be lost.
+
+#ifndef BMEH_STORE_BMEH_STORE_H_
+#define BMEH_STORE_BMEH_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/bmeh_tree.h"
+#include "src/pagestore/page_store.h"
+
+namespace bmeh {
+
+/// \brief Configuration for opening / creating a store file.
+struct StoreOptions {
+  /// Key shape; must match the file's when opening an existing store.
+  KeySchema schema{2, 31};
+  /// Tree parameters, used only when creating a fresh store.
+  TreeOptions tree = TreeOptions::Make(2, 16);
+  /// Page size of a newly created file.
+  int page_size = kDefaultPageSize;
+  /// Checkpoint automatically after this many mutations (0 = manual).
+  uint64_t checkpoint_every = 0;
+};
+
+/// \brief A durable multidimensional record store.
+class BmehStore {
+ public:
+  ~BmehStore();
+  BmehStore(const BmehStore&) = delete;
+  BmehStore& operator=(const BmehStore&) = delete;
+
+  /// \brief Opens `path`, creating a fresh store when the file does not
+  /// exist.  When opening an existing file the persisted schema must
+  /// equal options.schema.
+  static Result<std::unique_ptr<BmehStore>> Open(const std::string& path,
+                                                 const StoreOptions& options);
+
+  /// \brief Inserts a record (AlreadyExists on duplicates).
+  Status Put(const PseudoKey& key, uint64_t payload);
+
+  /// \brief Exact-match lookup.
+  Result<uint64_t> Get(const PseudoKey& key);
+
+  /// \brief Deletes a record (KeyError when absent).
+  Status Delete(const PseudoKey& key);
+
+  /// \brief Partial-range query.
+  Status Range(const RangePredicate& pred, std::vector<Record>* out);
+
+  /// \brief Writes a durable checkpoint (atomic superblock flip) and
+  /// fsyncs the file.
+  Status Checkpoint();
+
+  /// \brief Mutations since the last successful checkpoint.
+  uint64_t dirty_ops() const { return dirty_ops_; }
+
+  /// \brief Monotone checkpoint generation (0 for a fresh store).
+  uint64_t generation() const { return generation_; }
+
+  /// \brief The underlying in-memory tree (read-mostly introspection).
+  const BmehTree& tree() const { return *tree_; }
+  BmehTree* mutable_tree() { return tree_.get(); }
+
+  const KeySchema& schema() const { return tree_->schema(); }
+
+  /// \brief Testing hook: skip publishing the next checkpoint's
+  /// superblock, simulating a crash after the image write.
+  void SimulateCrashBeforePublishForTesting() {
+    crash_before_publish_ = true;
+  }
+
+ private:
+  BmehStore(std::unique_ptr<FilePageStore> store,
+            std::unique_ptr<BmehTree> tree, PageId image_head,
+            uint64_t generation, uint64_t checkpoint_every);
+
+  Status ReadSuperblock(PageId* head, uint64_t* generation);
+  Status WriteSuperblock(PageId head, uint64_t generation);
+  Status MaybeAutoCheckpoint();
+
+  std::unique_ptr<FilePageStore> store_;
+  std::unique_ptr<BmehTree> tree_;
+  PageId image_head_ = kInvalidPageId;
+  uint64_t generation_ = 0;
+  uint64_t checkpoint_every_ = 0;
+  uint64_t dirty_ops_ = 0;
+  bool crash_before_publish_ = false;
+};
+
+}  // namespace bmeh
+
+#endif  // BMEH_STORE_BMEH_STORE_H_

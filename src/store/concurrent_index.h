@@ -1,0 +1,74 @@
+// ConcurrentIndex: a thread-safe facade over any MultiKeyIndex.
+//
+// The 1986 structures are single-writer by design; this wrapper makes
+// them usable from threaded services with the standard coarse-grained
+// recipe: a reader-writer lock, shared for Search/RangeSearch, exclusive
+// for Insert/Delete.  Exact-match reads are short (height + 1 probes),
+// so a shared mutex is the right grain for read-mostly workloads; finer
+// grained latching (per node, crabbing) is future work and would follow
+// the B-link discipline.
+
+#ifndef BMEH_STORE_CONCURRENT_INDEX_H_
+#define BMEH_STORE_CONCURRENT_INDEX_H_
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "src/hashdir/multikey_index.h"
+
+namespace bmeh {
+
+/// \brief Reader-writer-locked wrapper around a MultiKeyIndex.
+class ConcurrentIndex {
+ public:
+  /// \brief Takes ownership of `index`.
+  explicit ConcurrentIndex(std::unique_ptr<MultiKeyIndex> index)
+      : index_(std::move(index)) {
+    BMEH_CHECK(index_ != nullptr);
+  }
+
+  Status Insert(const PseudoKey& key, uint64_t payload) {
+    std::unique_lock lock(mutex_);
+    return index_->Insert(key, payload);
+  }
+
+  Result<uint64_t> Search(const PseudoKey& key) {
+    std::shared_lock lock(mutex_);
+    return index_->Search(key);
+  }
+
+  Status Delete(const PseudoKey& key) {
+    std::unique_lock lock(mutex_);
+    return index_->Delete(key);
+  }
+
+  Status RangeSearch(const RangePredicate& pred, std::vector<Record>* out) {
+    std::shared_lock lock(mutex_);
+    return index_->RangeSearch(pred, out);
+  }
+
+  IndexStructureStats Stats() const {
+    std::shared_lock lock(mutex_);
+    return index_->Stats();
+  }
+
+  Status Validate() const {
+    std::shared_lock lock(mutex_);
+    return index_->Validate();
+  }
+
+  const KeySchema& schema() const { return index_->schema(); }
+
+ private:
+  // Note: Search() mutates the underlying I/O counters, which is benign
+  // under a shared lock for correctness of *results*; the counters
+  // themselves are only read single-threaded in tests and benches.
+  mutable std::shared_mutex mutex_;
+  std::unique_ptr<MultiKeyIndex> index_;
+};
+
+}  // namespace bmeh
+
+#endif  // BMEH_STORE_CONCURRENT_INDEX_H_

@@ -1,0 +1,34 @@
+// Small embedded datasets: the paper's Table 1 example keys (used by the
+// §4.3 worked-example test) and a world-cities table for the geographic
+// example application.
+
+#ifndef BMEH_WORKLOAD_DATASETS_H_
+#define BMEH_WORKLOAD_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/encoding/pseudo_key.h"
+
+namespace bmeh {
+namespace workload {
+
+/// \brief The 22 two-dimensional keys of the paper's Table 1
+/// (4-bit first component, 3-bit second component).
+std::vector<PseudoKey> PaperTable1Keys();
+
+/// \brief A city with geographic coordinates, for the geo example.
+struct City {
+  std::string name;
+  double lat;   // degrees, [-90, 90]
+  double lon;   // degrees, [-180, 180]
+  uint64_t population;
+};
+
+/// \brief A fixed table of major world cities.
+const std::vector<City>& WorldCities();
+
+}  // namespace workload
+}  // namespace bmeh
+
+#endif  // BMEH_WORKLOAD_DATASETS_H_

@@ -1,0 +1,156 @@
+#include "src/workload/distributions.h"
+
+#include <cmath>
+
+#include "src/common/bit_util.h"
+#include "src/common/logging.h"
+
+namespace bmeh {
+namespace workload {
+
+const char* DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform:
+      return "uniform";
+    case Distribution::kNormal:
+      return "normal";
+    case Distribution::kClustered:
+      return "clustered";
+    case Distribution::kAdversarialPrefix:
+      return "adversarial-prefix";
+    case Distribution::kDiagonal:
+      return "diagonal";
+  }
+  return "?";
+}
+
+KeyGenerator::KeyGenerator(const WorkloadSpec& spec)
+    : spec_(spec), rng_(spec.seed) {
+  BMEH_CHECK(spec.dims >= 1 && spec.dims <= kMaxDims);
+  BMEH_CHECK(spec.width >= 1 && spec.width <= 32);
+  if (spec_.distribution == Distribution::kClustered) {
+    for (int c = 0; c < spec_.cluster_count; ++c) {
+      std::vector<uint32_t> comps(spec_.dims);
+      for (int j = 0; j < spec_.dims; ++j) {
+        comps[j] = static_cast<uint32_t>(
+            rng_.Uniform(bit_util::Pow2(spec_.width)));
+      }
+      cluster_centers_.push_back(
+          PseudoKey(std::span<const uint32_t>(comps.data(), spec_.dims)));
+    }
+  }
+  if (spec_.distribution == Distribution::kAdversarialPrefix) {
+    std::vector<uint32_t> comps(spec_.dims);
+    for (int j = 0; j < spec_.dims; ++j) {
+      comps[j] =
+          static_cast<uint32_t>(rng_.Uniform(bit_util::Pow2(spec_.width)));
+    }
+    adversarial_base_ =
+        PseudoKey(std::span<const uint32_t>(comps.data(), spec_.dims));
+  }
+}
+
+uint32_t KeyGenerator::Component(int j) {
+  const uint64_t domain = bit_util::Pow2(spec_.width);
+  const double domain_d = static_cast<double>(domain);
+  switch (spec_.distribution) {
+    case Distribution::kUniform:
+      return static_cast<uint32_t>(rng_.Uniform(domain));
+    case Distribution::kNormal: {
+      // Truncated discretized normal: resample until inside the domain.
+      const double mu = spec_.normal_mean_frac * domain_d;
+      const double sigma = spec_.normal_sigma_frac * domain_d;
+      for (;;) {
+        const double v = mu + sigma * rng_.NextGaussian();
+        if (v >= 0.0 && v < domain_d) return static_cast<uint32_t>(v);
+      }
+    }
+    case Distribution::kClustered:
+    case Distribution::kDiagonal: {
+      // Handled per key in Next() (components are not independent).
+      BMEH_CHECK(false) << "correlated distributions handled in Next()";
+      return 0;
+    }
+    case Distribution::kAdversarialPrefix: {
+      const int free = spec_.adversarial_free_bits;
+      const uint32_t low =
+          static_cast<uint32_t>(rng_.Uniform(bit_util::Pow2(free)));
+      const uint32_t base = adversarial_base_.component(j);
+      const uint32_t mask =
+          (free >= 32) ? ~uint32_t{0}
+                       : static_cast<uint32_t>(bit_util::Pow2(free) - 1);
+      return (base & ~mask) | low;
+    }
+  }
+  return 0;
+}
+
+PseudoKey KeyGenerator::Next() {
+  const uint64_t domain = bit_util::Pow2(spec_.width);
+  for (int attempt = 0; attempt < 1 << 20; ++attempt) {
+    std::vector<uint32_t> comps(spec_.dims);
+    if (spec_.distribution == Distribution::kDiagonal) {
+      const double noise =
+          spec_.diagonal_noise_frac * static_cast<double>(domain);
+      comps[0] = static_cast<uint32_t>(rng_.Uniform(domain));
+      for (int j = 1; j < spec_.dims; ++j) {
+        double v = static_cast<double>(comps[0]) +
+                   noise * rng_.NextGaussian();
+        if (v < 0.0) v = 0.0;
+        if (v >= static_cast<double>(domain)) {
+          v = static_cast<double>(domain) - 1.0;
+        }
+        comps[j] = static_cast<uint32_t>(v);
+      }
+    } else if (spec_.distribution == Distribution::kClustered) {
+      const PseudoKey& center =
+          cluster_centers_[rng_.Uniform(cluster_centers_.size())];
+      const double sigma =
+          spec_.cluster_sigma_frac * static_cast<double>(domain);
+      for (int j = 0; j < spec_.dims; ++j) {
+        double v = static_cast<double>(center.component(j)) +
+                   sigma * rng_.NextGaussian();
+        if (v < 0.0) v = 0.0;
+        if (v >= static_cast<double>(domain)) {
+          v = static_cast<double>(domain) - 1.0;
+        }
+        comps[j] = static_cast<uint32_t>(v);
+      }
+    } else {
+      for (int j = 0; j < spec_.dims; ++j) comps[j] = Component(j);
+    }
+    PseudoKey key(std::span<const uint32_t>(comps.data(), spec_.dims));
+    if (emitted_.insert(key).second) return key;
+  }
+  BMEH_CHECK(false) << "key space exhausted for "
+                    << DistributionName(spec_.distribution);
+  return PseudoKey();
+}
+
+std::vector<PseudoKey> GenerateKeys(const WorkloadSpec& spec, uint64_t n) {
+  KeyGenerator gen(spec);
+  std::vector<PseudoKey> keys;
+  keys.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) keys.push_back(gen.Next());
+  return keys;
+}
+
+std::vector<PseudoKey> GenerateAbsentKeys(
+    const WorkloadSpec& spec, uint64_t n,
+    const std::vector<PseudoKey>& present) {
+  std::unordered_set<PseudoKey, PseudoKeyHash> taken(present.begin(),
+                                                     present.end());
+  WorkloadSpec absent_spec = spec;
+  absent_spec.seed = spec.seed ^ 0x9e3779b97f4a7c15ull;
+  KeyGenerator gen(absent_spec);
+  std::vector<PseudoKey> keys;
+  keys.reserve(n);
+  while (keys.size() < n) {
+    PseudoKey key = gen.Next();
+    if (taken.count(key) == 0) keys.push_back(key);
+  }
+  return keys;
+}
+
+}  // namespace workload
+}  // namespace bmeh

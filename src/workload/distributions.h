@@ -1,0 +1,98 @@
+// Key-distribution generators for the paper's §5 experiments.
+//
+// 1. uniform: each component a pseudo-random integer in [0, 2^31 - 1];
+// 2. normal: each component a truncated discretized normal in the same
+//    domain (the paper gives no mu/sigma; we use mu = 2^30, sigma = 2^28 —
+//    DESIGN.md §2.6);
+// plus generators the paper motivates but does not tabulate:
+// 3. clustered: a mixture of Gaussian blobs (geographic-style hot spots);
+// 4. adversarial: keys sharing a long common prefix (the "noise effect" of
+//    §3 and the worst case of Theorems 2/3).
+
+#ifndef BMEH_WORKLOAD_DISTRIBUTIONS_H_
+#define BMEH_WORKLOAD_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/encoding/key_schema.h"
+#include "src/encoding/pseudo_key.h"
+
+namespace bmeh {
+namespace workload {
+
+enum class Distribution {
+  kUniform,
+  kNormal,
+  kClustered,
+  kAdversarialPrefix,
+  /// Components strongly correlated (k_2 ~ k_1 + noise, etc.): the
+  /// "diagonal" pattern typical of real multi-attribute data, a known
+  /// stress case for symmetric multidimensional partitioning.
+  kDiagonal,
+};
+
+const char* DistributionName(Distribution d);
+
+/// \brief Parameters of a key stream.
+struct WorkloadSpec {
+  Distribution distribution = Distribution::kUniform;
+  int dims = 2;
+  int width = 31;  ///< Key bits per dimension; domain [0, 2^width - 1].
+  uint64_t seed = 42;
+
+  /// Normal distribution, as fractions of the domain size.  The defaults
+  /// (mu at mid-domain, sigma = domain/16) reproduce the paper's Table 3
+  /// shape, including the BMEH-tree's 4/3/3/3 lambda pattern.
+  double normal_mean_frac = 0.5;
+  double normal_sigma_frac = 0.0625;
+
+  /// Clustered distribution.
+  int cluster_count = 16;
+  double cluster_sigma_frac = 0.01;
+
+  /// Adversarial: all keys agree on the first (width - free_bits) bits of
+  /// every component.
+  int adversarial_free_bits = 6;
+
+  /// Diagonal: components j >= 1 are component 0 plus Gaussian noise of
+  /// this many domain fractions (clamped to the domain).
+  double diagonal_noise_frac = 0.01;
+};
+
+/// \brief Streams distinct pseudo-keys from a distribution.
+class KeyGenerator {
+ public:
+  explicit KeyGenerator(const WorkloadSpec& spec);
+
+  /// \brief Next key, distinct from all previously returned ones.
+  PseudoKey Next();
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  uint32_t Component(int j);
+
+  WorkloadSpec spec_;
+  Rng rng_;
+  std::unordered_set<PseudoKey, PseudoKeyHash> emitted_;
+  std::vector<PseudoKey> cluster_centers_;
+  PseudoKey adversarial_base_;
+};
+
+/// \brief Materializes `n` distinct keys.
+std::vector<PseudoKey> GenerateKeys(const WorkloadSpec& spec, uint64_t n);
+
+/// \brief `n` distinct keys guaranteed to be absent from `present`
+/// (for unsuccessful-search measurements), same distribution.
+std::vector<PseudoKey> GenerateAbsentKeys(
+    const WorkloadSpec& spec, uint64_t n,
+    const std::vector<PseudoKey>& present);
+
+}  // namespace workload
+}  // namespace bmeh
+
+#endif  // BMEH_WORKLOAD_DISTRIBUTIONS_H_

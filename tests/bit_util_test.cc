@@ -1,0 +1,146 @@
+#include "src/common/bit_util.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace bmeh {
+namespace bit_util {
+namespace {
+
+TEST(ExtractBitsTest, MsbFirstConvention) {
+  // width=8, value 0b1011'0010: bit 1 (offset 0) is the MSB.
+  const uint64_t v = 0b10110010;
+  EXPECT_EQ(ExtractBits(v, 8, 0, 1), 1u);
+  EXPECT_EQ(ExtractBits(v, 8, 1, 1), 0u);
+  EXPECT_EQ(ExtractBits(v, 8, 0, 4), 0b1011u);
+  EXPECT_EQ(ExtractBits(v, 8, 4, 4), 0b0010u);
+  EXPECT_EQ(ExtractBits(v, 8, 2, 3), 0b110u);
+  EXPECT_EQ(ExtractBits(v, 8, 0, 8), v);
+}
+
+TEST(ExtractBitsTest, ZeroCountYieldsZero) {
+  EXPECT_EQ(ExtractBits(0xffffffff, 32, 0, 0), 0u);
+  EXPECT_EQ(ExtractBits(0xffffffff, 32, 17, 0), 0u);
+}
+
+TEST(ExtractBitsTest, FullWidth64) {
+  const uint64_t v = 0xdeadbeefcafebabeull;
+  EXPECT_EQ(ExtractBits(v, 64, 0, 64), v);
+  EXPECT_EQ(ExtractBits(v, 64, 0, 4), 0xdu);
+  EXPECT_EQ(ExtractBits(v, 64, 60, 4), 0xeu);
+}
+
+TEST(ExtractBitsTest, ConcatenationProperty) {
+  // Splitting at any point and re-concatenating recovers the value.
+  Rng rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int width = 1 + static_cast<int>(rng.Uniform(32));
+    const uint64_t v = rng.Uniform(Pow2(width));
+    const int cut = static_cast<int>(rng.Uniform(width + 1));
+    const uint64_t high = ExtractBits(v, width, 0, cut);
+    const uint64_t low = ExtractBits(v, width, cut, width - cut);
+    EXPECT_EQ((high << (width - cut)) | low, v);
+  }
+}
+
+TEST(BitAtTest, MatchesExtract) {
+  const uint64_t v = 0b0110;
+  EXPECT_EQ(BitAt(v, 4, 0), 0);
+  EXPECT_EQ(BitAt(v, 4, 1), 1);
+  EXPECT_EQ(BitAt(v, 4, 2), 1);
+  EXPECT_EQ(BitAt(v, 4, 3), 0);
+}
+
+TEST(IndexPrefixTest, PrefixOfIndex) {
+  // 5-bit index 0b10110: first 3 bits are 0b101.
+  EXPECT_EQ(IndexPrefix(0b10110, 5, 3), 0b101u);
+  EXPECT_EQ(IndexPrefix(0b10110, 5, 0), 0u);
+  EXPECT_EQ(IndexPrefix(0b10110, 5, 5), 0b10110u);
+}
+
+TEST(IndexPrefixTest, SharedPrefixMeansSameGroup) {
+  // All 8 indexes extending prefix 0b10 at H=5 share IndexPrefix(...,2).
+  for (uint64_t low = 0; low < 8; ++low) {
+    EXPECT_EQ(IndexPrefix((0b10 << 3) | low, 5, 2), 0b10u);
+  }
+}
+
+TEST(ComposeBitsTest, ReplacesMiddleBits) {
+  // Keep first 2 bits of v, set next 3 to 0b101, zeros below.
+  const uint64_t v = 0b11000000;
+  EXPECT_EQ(ComposeBits(v, 8, 2, 3, 0b101, false), 0b11101000u);
+  EXPECT_EQ(ComposeBits(v, 8, 2, 3, 0b101, true), 0b11101111u);
+}
+
+TEST(ComposeBitsTest, InverseOfExtract) {
+  Rng rng(13);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int width = 1 + static_cast<int>(rng.Uniform(32));
+    const uint64_t v = rng.Uniform(Pow2(width));
+    const int offset = static_cast<int>(rng.Uniform(width + 1));
+    const int len = static_cast<int>(rng.Uniform(width - offset + 1));
+    const uint64_t mid = ExtractBits(v, width, offset, len);
+    const uint64_t lo = ComposeBits(v, width, offset, len, mid, false);
+    const uint64_t hi = ComposeBits(v, width, offset, len, mid, true);
+    // lo and hi bracket v and agree with v on the first offset+len bits.
+    EXPECT_LE(lo, v);
+    EXPECT_GE(hi, v);
+    EXPECT_EQ(ExtractBits(lo, width, 0, offset + len),
+              ExtractBits(v, width, 0, offset + len));
+    EXPECT_EQ(ExtractBits(hi, width, 0, offset + len),
+              ExtractBits(v, width, 0, offset + len));
+  }
+}
+
+TEST(Log2Test, FloorAndCeil) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(4), 2);
+  EXPECT_EQ(FloorLog2(uint64_t{1} << 62), 62);
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+}
+
+TEST(Pow2Test, PowersOfTwo) {
+  EXPECT_EQ(Pow2(0), 1u);
+  EXPECT_EQ(Pow2(31), uint64_t{1} << 31);
+  EXPECT_TRUE(IsPowerOfTwo(Pow2(17)));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(6));
+}
+
+TEST(ReverseBitsTest, KnownValuesAndInvolution) {
+  EXPECT_EQ(ReverseBits(0b001, 3), 0b100u);
+  EXPECT_EQ(ReverseBits(0b110, 3), 0b011u);
+  Rng rng(29);
+  for (int iter = 0; iter < 100; ++iter) {
+    const int width = 1 + static_cast<int>(rng.Uniform(64));
+    const uint64_t v = rng.Uniform(width == 64 ? ~uint64_t{0} : Pow2(width));
+    EXPECT_EQ(ReverseBits(ReverseBits(v, width), width), v);
+  }
+}
+
+TEST(MortonTest, InterleavesMsbFirst) {
+  // Two components, 2 bits each; component bits a1 a2 and b1 b2 interleave
+  // as a1 b1 a2 b2.
+  uint32_t comps[2] = {0b11u << 30, 0b01u << 30};  // a=11, b=01 (MSB-first)
+  EXPECT_EQ(MortonInterleave(comps, 2, 2), 0b1011u);
+}
+
+TEST(MortonTest, OrderPreservingPerPrefix) {
+  // Keys sharing longer per-dimension prefixes share longer Morton
+  // prefixes — the invariant the directories rely on.
+  uint32_t a[2] = {0x80000000u, 0x40000000u};
+  uint32_t b[2] = {0x80000001u, 0x40000001u};
+  const uint64_t ma = MortonInterleave(a, 2, 16);
+  const uint64_t mb = MortonInterleave(b, 2, 16);
+  EXPECT_EQ(ma, mb) << "low bits beyond the interleaved width are ignored";
+}
+
+}  // namespace
+}  // namespace bit_util
+}  // namespace bmeh

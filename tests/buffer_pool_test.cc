@@ -1,0 +1,150 @@
+#include "src/pagestore/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace bmeh {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest() : store_(128), pool_(&store_, 3) {}
+
+  PageId NewPageWithByte(uint8_t b) {
+    auto h = pool_.New();
+    BMEH_CHECK(h.ok()) << h.status();
+    PageHandle handle = std::move(h).ValueOrDie();
+    handle.data()[0] = b;
+    handle.MarkDirty();
+    return handle.id();
+  }
+
+  InMemoryPageStore store_;
+  BufferPool pool_;
+};
+
+TEST_F(BufferPoolTest, NewPageIsPinnedAndDirty) {
+  auto r = pool_.New();
+  ASSERT_TRUE(r.ok());
+  // Flush writes it back even though nothing was modified after New.
+  ASSERT_TRUE(pool_.FlushAll().ok());
+  EXPECT_EQ(store_.stats().writes, 1u);
+}
+
+TEST_F(BufferPoolTest, FetchHitAvoidsStoreRead) {
+  PageId id = NewPageWithByte(7);
+  ASSERT_TRUE(pool_.FlushAll().ok());
+  store_.ResetStats();
+  auto h = pool_.Fetch(id);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(store_.stats().reads, 0u) << "page still cached";
+  EXPECT_EQ(pool_.hits(), 1u);
+}
+
+TEST_F(BufferPoolTest, EvictionWritesBackDirtyPages) {
+  PageId first = NewPageWithByte(42);
+  // Fill the pool past capacity; first page (unpinned after handle death)
+  // gets evicted and written back.
+  NewPageWithByte(2);
+  NewPageWithByte(3);
+  NewPageWithByte(4);
+  EXPECT_GE(pool_.evictions(), 1u);
+  std::vector<uint8_t> buf(128);
+  ASSERT_TRUE(store_.Read(first, buf).ok());
+  EXPECT_EQ(buf[0], 42);
+}
+
+TEST_F(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
+  PageId a = NewPageWithByte(1);
+  PageId b = NewPageWithByte(2);
+  PageId c = NewPageWithByte(3);
+  ASSERT_TRUE(pool_.FlushAll().ok());
+  // Touch a and c so b is the LRU.
+  ASSERT_TRUE(pool_.Fetch(a).ok());
+  ASSERT_TRUE(pool_.Fetch(c).ok());
+  store_.ResetStats();
+  NewPageWithByte(4);  // evicts b
+  // a and c are still cached.
+  ASSERT_TRUE(pool_.Fetch(a).ok());
+  ASSERT_TRUE(pool_.Fetch(c).ok());
+  EXPECT_EQ(store_.stats().reads, 0u);
+  // b is not.
+  ASSERT_TRUE(pool_.Fetch(b).ok());
+  EXPECT_EQ(store_.stats().reads, 1u);
+}
+
+TEST_F(BufferPoolTest, PinnedPagesSurviveEvictionPressure) {
+  auto pinned_r = pool_.New();
+  ASSERT_TRUE(pinned_r.ok());
+  PageHandle pinned = std::move(pinned_r).ValueOrDie();
+  const PageId id = pinned.id();
+  // Two more fill the pool; a fourth must evict an unpinned one.
+  NewPageWithByte(2);
+  NewPageWithByte(3);
+  NewPageWithByte(4);
+  // Still resident: fetching it is a hit.
+  store_.ResetStats();
+  auto again = pool_.Fetch(id);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(store_.stats().reads, 0u);
+}
+
+TEST_F(BufferPoolTest, AllPinnedFailsGracefully) {
+  auto ra = pool_.New();
+  auto rb = pool_.New();
+  auto rc = pool_.New();
+  ASSERT_TRUE(ra.ok() && rb.ok() && rc.ok());
+  PageHandle a = std::move(ra).ValueOrDie();
+  PageHandle b = std::move(rb).ValueOrDie();
+  PageHandle c = std::move(rc).ValueOrDie();
+  auto d = pool_.New();
+  EXPECT_TRUE(d.status().IsCapacityError()) << d.status();
+}
+
+TEST_F(BufferPoolTest, DeleteRemovesFromCacheAndStore) {
+  PageId id = NewPageWithByte(5);
+  const uint64_t live = store_.live_page_count();
+  ASSERT_TRUE(pool_.Delete(id).ok());
+  EXPECT_EQ(store_.live_page_count(), live - 1);
+  EXPECT_FALSE(pool_.Fetch(id).ok()) << "reading a freed page must fail";
+}
+
+TEST_F(BufferPoolTest, DeletePinnedRejected) {
+  auto r = pool_.New();
+  ASSERT_TRUE(r.ok());
+  PageHandle h = std::move(r).ValueOrDie();
+  EXPECT_TRUE(pool_.Delete(h.id()).IsInvalid());
+}
+
+TEST_F(BufferPoolTest, MoveSemanticsOfHandle) {
+  auto r = pool_.New();
+  ASSERT_TRUE(r.ok());
+  PageHandle h1 = std::move(r).ValueOrDie();
+  PageHandle h2 = std::move(h1);
+  EXPECT_FALSE(h1.valid());
+  EXPECT_TRUE(h2.valid());
+  h2.Release();
+  EXPECT_FALSE(h2.valid());
+}
+
+TEST_F(BufferPoolTest, DestructorFlushesDirtyPages) {
+  PageId id;
+  {
+    InMemoryPageStore store(128);
+    PageId* idp = &id;
+    {
+      BufferPool pool(&store, 2);
+      auto r = pool.New();
+      ASSERT_TRUE(r.ok());
+      PageHandle h = std::move(r).ValueOrDie();
+      *idp = h.id();
+      h.data()[0] = 99;
+      h.MarkDirty();
+    }
+    std::vector<uint8_t> buf(128);
+    ASSERT_TRUE(store.Read(id, buf).ok());
+    EXPECT_EQ(buf[0], 99);
+  }
+}
+
+}  // namespace
+}  // namespace bmeh

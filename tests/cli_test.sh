@@ -1,0 +1,57 @@
+#!/bin/sh
+# End-to-end test of the bmeh_cli tool.  Usage: cli_test.sh <path-to-cli>
+set -e
+
+CLI="$1"
+if [ -z "$CLI" ] || [ ! -x "$CLI" ]; then
+  echo "usage: cli_test.sh <bmeh_cli binary>" >&2
+  exit 1
+fi
+
+DB="$(mktemp -u /tmp/bmeh_cli_test.XXXXXX.db)"
+trap 'rm -f "$DB"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+# build
+OUT=$("$CLI" build --db "$DB" --n 3000 --dist normal --b 8 --seed 7)
+echo "$OUT" | grep -q "3000 records" || fail "build did not report 3000 records"
+
+# stats + validation
+OUT=$("$CLI" stats --db "$DB")
+echo "$OUT" | grep -q "records:           3000" || fail "stats records"
+echo "$OUT" | grep -q "validation:        OK" || fail "stats validation"
+
+# put / get
+"$CLI" put --db "$DB" --key 123,456 --value 999 > /dev/null
+OUT=$("$CLI" get --db "$DB" --key 123,456)
+echo "$OUT" | grep -q -- "-> 999" || fail "get after put"
+
+# duplicate put must fail
+if "$CLI" put --db "$DB" --key 123,456 --value 1 > /dev/null 2>&1; then
+  fail "duplicate put should fail"
+fi
+
+# range over the put key
+OUT=$("$CLI" range --db "$DB" --d0 0..2000 --d1 0..2000)
+echo "$OUT" | grep -q "(123, 456) -> 999" || fail "range did not find the key"
+
+# delete, then get must fail
+"$CLI" del --db "$DB" --key 123,456 > /dev/null
+if "$CLI" get --db "$DB" --key 123,456 > /dev/null 2>&1; then
+  fail "get after delete should fail"
+fi
+
+# dot output is a digraph
+OUT=$("$CLI" dot --db "$DB")
+echo "$OUT" | grep -q "digraph" || fail "dot output"
+
+# unknown command errors out
+if "$CLI" frobnicate --db "$DB" > /dev/null 2>&1; then
+  fail "unknown command should fail"
+fi
+
+echo "cli_test: all checks passed"

@@ -1,0 +1,169 @@
+#include "src/store/concurrent_index.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/metrics/experiment.h"
+#include "tests/test_util.h"
+
+namespace bmeh {
+namespace {
+
+std::unique_ptr<ConcurrentIndex> MakeShared(metrics::Method method) {
+  KeySchema schema(2, 31);
+  return std::make_unique<ConcurrentIndex>(
+      metrics::MakeIndex(method, schema, /*page_capacity=*/8));
+}
+
+TEST(ConcurrentIndexTest, SingleThreadedBasics) {
+  auto idx = MakeShared(metrics::Method::kBmehTree);
+  ASSERT_TRUE(idx->Insert(PseudoKey({1u, 2u}), 7).ok());
+  auto r = idx->Search(PseudoKey({1u, 2u}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7u);
+  ASSERT_TRUE(idx->Delete(PseudoKey({1u, 2u})).ok());
+  EXPECT_TRUE(idx->Validate().ok());
+}
+
+TEST(ConcurrentIndexTest, ParallelReadersOverStaticTree) {
+  auto idx = MakeShared(metrics::Method::kBmehTree);
+  auto keys =
+      workload::GenerateKeys(workload::WorkloadSpec{.seed = 71}, 5000);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(idx->Insert(keys[i], i).ok());
+  }
+  std::atomic<uint64_t> found{0};
+  std::atomic<bool> failed{false};
+  auto reader = [&](uint64_t seed) {
+    Rng rng(seed);
+    for (int i = 0; i < 4000; ++i) {
+      const size_t pos = rng.Uniform(keys.size());
+      auto r = idx->Search(keys[pos]);
+      if (!r.ok() || *r != pos) {
+        failed = true;
+        return;
+      }
+      found.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back(reader, 100 + t);
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed);
+  EXPECT_EQ(found.load(), 4u * 4000u);
+}
+
+TEST(ConcurrentIndexTest, MixedReadersAndWriters) {
+  for (auto method : {metrics::Method::kMdeh, metrics::Method::kMehTree,
+                      metrics::Method::kBmehTree}) {
+    auto idx = MakeShared(method);
+    // Preload a stable read set.
+    auto stable =
+        workload::GenerateKeys(workload::WorkloadSpec{.seed = 72}, 2000);
+    for (size_t i = 0; i < stable.size(); ++i) {
+      ASSERT_TRUE(idx->Insert(stable[i], i).ok());
+    }
+    std::atomic<bool> failed{false};
+    std::atomic<bool> stop{false};
+
+    std::thread writer([&] {
+      workload::WorkloadSpec spec;
+      spec.seed = 73;
+      spec.distribution = workload::Distribution::kClustered;
+      workload::KeyGenerator gen(spec);
+      std::vector<PseudoKey> mine;
+      Rng rng(74);
+      for (int op = 0; op < 3000; ++op) {
+        if (rng.NextBool(0.3) && !mine.empty()) {
+          const size_t pos = rng.Uniform(mine.size());
+          if (!idx->Delete(mine[pos]).ok()) {
+            failed = true;
+            break;
+          }
+          mine[pos] = mine.back();
+          mine.pop_back();
+        } else {
+          PseudoKey key = gen.Next();
+          if (!idx->Insert(key, 1000000 + op).ok()) {
+            failed = true;
+            break;
+          }
+          mine.push_back(key);
+        }
+      }
+      stop = true;
+    });
+
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 3; ++t) {
+      readers.emplace_back([&, t] {
+        Rng rng(200 + t);
+        while (!stop.load()) {
+          const size_t pos = rng.Uniform(stable.size());
+          auto r = idx->Search(stable[pos]);
+          if (!r.ok() || *r != pos) {
+            failed = true;
+            return;
+          }
+        }
+      });
+    }
+    writer.join();
+    for (auto& t : readers) t.join();
+    EXPECT_FALSE(failed) << metrics::MethodName(method);
+    EXPECT_TRUE(idx->Validate().ok()) << metrics::MethodName(method);
+    EXPECT_GE(idx->Stats().records, 2000u) << "stable keys never touched";
+    // All stable keys still present with their payloads.
+    for (size_t i = 0; i < stable.size(); ++i) {
+      auto r = idx->Search(stable[i]);
+      ASSERT_TRUE(r.ok());
+      ASSERT_EQ(*r, i);
+    }
+  }
+}
+
+TEST(ConcurrentIndexTest, ConcurrentRangeQueriesSeeConsistentSnapshots) {
+  auto idx = MakeShared(metrics::Method::kBmehTree);
+  KeySchema schema(2, 31);
+  // Writer inserts pairs (k, k) so every snapshot of a full-domain range
+  // has a verifiable internal property: payload == first component / 1000.
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::thread writer([&] {
+    for (uint32_t i = 0; i < 4000; ++i) {
+      if (!idx->Insert(PseudoKey({i * 1000, i * 1000}), i).ok()) {
+        failed = true;
+        break;
+      }
+    }
+    stop = true;
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      RangePredicate pred(schema);
+      pred.Constrain(0, 0, 1000u * 4000u);
+      std::vector<Record> out;
+      if (!idx->RangeSearch(pred, &out).ok()) {
+        failed = true;
+        return;
+      }
+      for (const Record& rec : out) {
+        if (rec.payload * 1000 != rec.key.component(0)) {
+          failed = true;
+          return;
+        }
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_FALSE(failed);
+  EXPECT_EQ(idx->Stats().records, 4000u);
+}
+
+}  // namespace
+}  // namespace bmeh

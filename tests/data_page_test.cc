@@ -1,0 +1,121 @@
+#include "src/pagestore/data_page.h"
+
+#include <gtest/gtest.h>
+
+namespace bmeh {
+namespace {
+
+Record R(uint32_t a, uint32_t b, uint64_t payload) {
+  return Record{PseudoKey({a, b}), payload};
+}
+
+TEST(DataPageTest, InsertFindLookup) {
+  DataPage page(1, 4);
+  ASSERT_TRUE(page.Insert(R(1, 2, 100)).ok());
+  ASSERT_TRUE(page.Insert(R(3, 4, 200)).ok());
+  EXPECT_EQ(page.size(), 2);
+  EXPECT_TRUE(page.Contains(PseudoKey({1u, 2u})));
+  EXPECT_FALSE(page.Contains(PseudoKey({2u, 1u})));
+  EXPECT_EQ(page.Lookup(PseudoKey({3u, 4u})).value(), 200u);
+  EXPECT_FALSE(page.Lookup(PseudoKey({9u, 9u})).has_value());
+}
+
+TEST(DataPageTest, DuplicateKeyRejected) {
+  DataPage page(1, 4);
+  ASSERT_TRUE(page.Insert(R(1, 2, 100)).ok());
+  Status st = page.Insert(R(1, 2, 999));
+  EXPECT_TRUE(st.IsAlreadyExists()) << st;
+  EXPECT_EQ(page.size(), 1);
+}
+
+TEST(DataPageTest, CapacityEnforced) {
+  DataPage page(1, 2);
+  ASSERT_TRUE(page.Insert(R(1, 1, 0)).ok());
+  ASSERT_TRUE(page.Insert(R(2, 2, 0)).ok());
+  EXPECT_TRUE(page.full());
+  EXPECT_TRUE(page.Insert(R(3, 3, 0)).IsCapacityError());
+}
+
+TEST(DataPageTest, RemoveExistingAndMissing) {
+  DataPage page(1, 4);
+  ASSERT_TRUE(page.Insert(R(1, 1, 0)).ok());
+  ASSERT_TRUE(page.Insert(R(2, 2, 0)).ok());
+  EXPECT_TRUE(page.Remove(PseudoKey({1u, 1u})).ok());
+  EXPECT_EQ(page.size(), 1);
+  EXPECT_TRUE(page.Remove(PseudoKey({1u, 1u})).IsKeyError());
+  EXPECT_TRUE(page.Remove(PseudoKey({2u, 2u})).ok());
+  EXPECT_TRUE(page.empty());
+}
+
+TEST(DataPageTest, PartitionMovesMatchingRecords) {
+  DataPage left(1, 8);
+  DataPage right(2, 8);
+  for (uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(left.Insert(R(i, 0, i)).ok());
+  }
+  left.Partition([](const Record& r) { return r.key.component(0) % 2 == 1; },
+                 &right);
+  EXPECT_EQ(left.size(), 4);
+  EXPECT_EQ(right.size(), 4);
+  for (const Record& rec : left.records()) {
+    EXPECT_EQ(rec.key.component(0) % 2, 0u);
+  }
+  for (const Record& rec : right.records()) {
+    EXPECT_EQ(rec.key.component(0) % 2, 1u);
+  }
+}
+
+TEST(DataPageTest, PartitionNothingAndEverything) {
+  DataPage left(1, 4);
+  DataPage right(2, 4);
+  for (uint32_t i = 0; i < 4; ++i) ASSERT_TRUE(left.Insert(R(i, 0, 0)).ok());
+  left.Partition([](const Record&) { return false; }, &right);
+  EXPECT_EQ(left.size(), 4);
+  EXPECT_EQ(right.size(), 0);
+  left.Partition([](const Record&) { return true; }, &right);
+  EXPECT_EQ(left.size(), 0);
+  EXPECT_EQ(right.size(), 4);
+}
+
+TEST(DataPageTest, SerializeDeserializeRoundTrip) {
+  DataPage page(7, 5);
+  ASSERT_TRUE(page.Insert(R(11, 22, 1001)).ok());
+  ASSERT_TRUE(page.Insert(R(33, 44, 2002)).ok());
+  std::vector<uint8_t> buf(DataPage::SerializedSize(5, 2));
+  page.Serialize(2, buf);
+  auto r = DataPage::Deserialize(7, 5, 2, buf);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const DataPage& back = *r;
+  EXPECT_EQ(back.id(), 7u);
+  EXPECT_EQ(back.size(), 2);
+  EXPECT_EQ(back.Lookup(PseudoKey({11u, 22u})).value(), 1001u);
+  EXPECT_EQ(back.Lookup(PseudoKey({33u, 44u})).value(), 2002u);
+}
+
+TEST(DataPageTest, SerializeEmptyPage) {
+  DataPage page(1, 3);
+  std::vector<uint8_t> buf(DataPage::SerializedSize(3, 2));
+  page.Serialize(2, buf);
+  auto r = DataPage::Deserialize(1, 3, 2, buf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(DataPageTest, DeserializeRejectsOverCapacityCount) {
+  DataPage page(1, 3);
+  ASSERT_TRUE(page.Insert(R(1, 1, 0)).ok());
+  std::vector<uint8_t> buf(DataPage::SerializedSize(3, 2));
+  page.Serialize(2, buf);
+  buf[0] = 200;  // corrupt the record count
+  auto r = DataPage::Deserialize(1, 3, 2, buf);
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(DataPageTest, DeserializeRejectsShortBuffer) {
+  std::vector<uint8_t> tiny(3);
+  auto r = DataPage::Deserialize(1, 3, 2, tiny);
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace bmeh

@@ -1,0 +1,93 @@
+#include "src/encoding/encoders.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/common/random.h"
+
+namespace bmeh {
+namespace encoding {
+namespace {
+
+TEST(EncodeInt32Test, OrderPreserving) {
+  EXPECT_LT(EncodeInt32(std::numeric_limits<int32_t>::min()),
+            EncodeInt32(-1));
+  EXPECT_LT(EncodeInt32(-1), EncodeInt32(0));
+  EXPECT_LT(EncodeInt32(0), EncodeInt32(1));
+  EXPECT_LT(EncodeInt32(1), EncodeInt32(std::numeric_limits<int32_t>::max()));
+  EXPECT_EQ(EncodeInt32(std::numeric_limits<int32_t>::min()), 0u);
+}
+
+TEST(EncodeInt32Test, OrderPreservingRandomPairs) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    int32_t a = static_cast<int32_t>(rng.Next64());
+    int32_t b = static_cast<int32_t>(rng.Next64());
+    if (a > b) std::swap(a, b);
+    EXPECT_LE(EncodeInt32(a), EncodeInt32(b)) << a << " vs " << b;
+    if (a < b) {
+      EXPECT_LT(EncodeInt32(a), EncodeInt32(b));
+    }
+  }
+}
+
+TEST(EncodeDoubleTest, OrderPreservingAcrossSignsAndMagnitudes) {
+  const double values[] = {-1e300, -1.0,    -1e-300, -0.0, 0.0,
+                           1e-300, 0.5,     1.0,     2.0,  1e300};
+  for (size_t i = 0; i + 1 < std::size(values); ++i) {
+    EXPECT_LE(EncodeDouble(values[i]), EncodeDouble(values[i + 1]))
+        << values[i] << " vs " << values[i + 1];
+  }
+}
+
+TEST(EncodeDoubleTest, OrderPreservingRandomPairs) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    double a = (rng.NextDouble() - 0.5) * 1e9;
+    double b = (rng.NextDouble() - 0.5) * 1e9;
+    if (a > b) std::swap(a, b);
+    EXPECT_LE(EncodeDouble(a), EncodeDouble(b)) << a << " vs " << b;
+  }
+}
+
+TEST(EncodeDoubleTest, NanMapsToMax) {
+  EXPECT_EQ(EncodeDouble(std::numeric_limits<double>::quiet_NaN()),
+            ~uint32_t{0});
+}
+
+TEST(EncodeStringPrefixTest, LexicographicOnFirstFourBytes) {
+  EXPECT_LT(EncodeStringPrefix("abc"), EncodeStringPrefix("abd"));
+  EXPECT_LT(EncodeStringPrefix("ab"), EncodeStringPrefix("abc"));
+  EXPECT_LT(EncodeStringPrefix(""), EncodeStringPrefix("a"));
+  EXPECT_EQ(EncodeStringPrefix("abcdX"), EncodeStringPrefix("abcdY"))
+      << "only the first four bytes participate";
+}
+
+TEST(EncodeScaledDoubleTest, OrderPreservingAndClamped) {
+  EXPECT_EQ(EncodeScaledDouble(-5.0, 0.0, 10.0), 0u);
+  EXPECT_EQ(EncodeScaledDouble(99.0, 0.0, 10.0), ~uint32_t{0});
+  EXPECT_LT(EncodeScaledDouble(1.0, 0.0, 10.0),
+            EncodeScaledDouble(2.0, 0.0, 10.0));
+}
+
+TEST(EncodeScaledDoubleTest, DecodeApproximatelyInverts) {
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.NextDouble() * 200.0 - 100.0;
+    const uint32_t code = EncodeScaledDouble(v, -100.0, 100.0);
+    const double back = DecodeScaledDouble(code, -100.0, 100.0);
+    EXPECT_NEAR(back, v, 200.0 / 4294967295.0 * 2.0);
+  }
+}
+
+TEST(EncodeScaledDoubleTest, NegativeDomains) {
+  EXPECT_LT(EncodeScaledDouble(-89.0, -90.0, 90.0),
+            EncodeScaledDouble(-88.0, -90.0, 90.0));
+  EXPECT_LT(EncodeScaledDouble(-180.0, -180.0, 180.0),
+            EncodeScaledDouble(180.0, -180.0, 180.0));
+}
+
+}  // namespace
+}  // namespace encoding
+}  // namespace bmeh

@@ -1,0 +1,188 @@
+#include "src/exhash/extendible_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/random.h"
+
+namespace bmeh {
+namespace {
+
+ExtendibleHashOptions Opts(int b, int bits = 16) {
+  ExtendibleHashOptions o;
+  o.page_capacity = b;
+  o.key_bits = bits;
+  return o;
+}
+
+TEST(ExtendibleHashTest, InsertAndSearch) {
+  ExtendibleHash eh(Opts(4));
+  ASSERT_TRUE(eh.Insert(100, 1).ok());
+  ASSERT_TRUE(eh.Insert(200, 2).ok());
+  auto r = eh.Search(100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 1u);
+  EXPECT_TRUE(eh.Search(300).status().IsKeyError());
+}
+
+TEST(ExtendibleHashTest, DuplicateRejected) {
+  ExtendibleHash eh(Opts(4));
+  ASSERT_TRUE(eh.Insert(5, 1).ok());
+  EXPECT_TRUE(eh.Insert(5, 2).IsAlreadyExists());
+}
+
+TEST(ExtendibleHashTest, GrowsUnderLoadAndStaysValid) {
+  ExtendibleHash eh(Opts(4));
+  Rng rng(1);
+  std::map<uint32_t, uint64_t> oracle;
+  for (int i = 0; i < 2000; ++i) {
+    uint32_t key = static_cast<uint32_t>(rng.Uniform(1 << 16));
+    if (oracle.emplace(key, i).second) {
+      ASSERT_TRUE(eh.Insert(key, i).ok());
+    }
+    if (i % 100 == 99) {
+      ASSERT_TRUE(eh.Validate().ok());
+    }
+  }
+  EXPECT_GT(eh.global_depth(), 5);
+  EXPECT_EQ(eh.record_count(), oracle.size());
+  for (const auto& [key, payload] : oracle) {
+    auto r = eh.Search(key);
+    ASSERT_TRUE(r.ok()) << key;
+    EXPECT_EQ(*r, payload);
+  }
+}
+
+TEST(ExtendibleHashTest, SkewedPrefixesDoNotBreakCorrectness) {
+  // Keys sharing a 10-bit prefix: the order-preserving directory must
+  // grow deep (the §3 pathology) but stay correct.
+  ExtendibleHash eh(Opts(2, 16));
+  const uint32_t base = 0b1011011011u << 6;
+  for (uint32_t low = 0; low < 64; ++low) {
+    ASSERT_TRUE(eh.Insert(base | low, low).ok());
+  }
+  ASSERT_TRUE(eh.Validate().ok());
+  EXPECT_GE(eh.global_depth(), 14)
+      << "common prefixes force deep directories in the flat scheme";
+  for (uint32_t low = 0; low < 64; ++low) {
+    ASSERT_TRUE(eh.Search(base | low).ok());
+  }
+}
+
+TEST(ExtendibleHashTest, DeleteAndMergeShrinkDirectory) {
+  ExtendibleHash eh(Opts(4, 16));
+  std::vector<uint32_t> keys;
+  Rng rng(2);
+  while (keys.size() < 500) {
+    uint32_t key = static_cast<uint32_t>(rng.Uniform(1 << 16));
+    if (eh.Insert(key, 0).ok()) keys.push_back(key);
+  }
+  ASSERT_TRUE(eh.Validate().ok());
+  const int peak_depth = eh.global_depth();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(eh.Delete(keys[i]).ok()) << keys[i];
+    if (i % 64 == 63) {
+      ASSERT_TRUE(eh.Validate().ok());
+    }
+  }
+  ASSERT_TRUE(eh.Validate().ok());
+  EXPECT_EQ(eh.record_count(), 0u);
+  EXPECT_EQ(eh.page_count(), 0u);
+  EXPECT_EQ(eh.global_depth(), 0) << "peak was " << peak_depth;
+  EXPECT_EQ(eh.directory_size(), 1u);
+}
+
+TEST(ExtendibleHashTest, DeleteMissingKeyFails) {
+  ExtendibleHash eh(Opts(4));
+  ASSERT_TRUE(eh.Insert(1, 1).ok());
+  EXPECT_TRUE(eh.Delete(2).IsKeyError());
+  EXPECT_TRUE(eh.Delete(1).ok());
+  EXPECT_TRUE(eh.Delete(1).IsKeyError());
+}
+
+TEST(ExtendibleHashTest, OrderPreservingRangeSearch) {
+  ExtendibleHash eh(Opts(4, 16));
+  for (uint32_t key = 0; key < 1000; key += 7) {
+    ASSERT_TRUE(eh.Insert(key, key * 10).ok());
+  }
+  std::vector<std::pair<uint32_t, uint64_t>> out;
+  ASSERT_TRUE(eh.RangeSearch(100, 200, &out).ok());
+  std::sort(out.begin(), out.end());
+  std::vector<std::pair<uint32_t, uint64_t>> expected;
+  for (uint32_t key = 0; key < 1000; key += 7) {
+    if (key >= 100 && key <= 200) expected.push_back({key, key * 10});
+  }
+  EXPECT_EQ(out, expected);
+}
+
+TEST(ExtendibleHashTest, RangeSearchFullDomainReturnsEverything) {
+  ExtendibleHash eh(Opts(8, 16));
+  Rng rng(3);
+  std::map<uint32_t, uint64_t> oracle;
+  for (int i = 0; i < 300; ++i) {
+    uint32_t key = static_cast<uint32_t>(rng.Uniform(1 << 16));
+    if (oracle.emplace(key, i).second) {
+      ASSERT_TRUE(eh.Insert(key, i).ok());
+    }
+  }
+  std::vector<std::pair<uint32_t, uint64_t>> out;
+  ASSERT_TRUE(eh.RangeSearch(0, (1 << 16) - 1, &out).ok());
+  EXPECT_EQ(out.size(), oracle.size());
+}
+
+TEST(ExtendibleHashTest, RangeRejectsInvertedBounds) {
+  ExtendibleHash eh(Opts(4));
+  std::vector<std::pair<uint32_t, uint64_t>> out;
+  EXPECT_TRUE(eh.RangeSearch(10, 5, &out).IsInvalid());
+}
+
+TEST(ExtendibleHashTest, TwoDiskAccessPrinciple) {
+  // Exact-match search costs exactly one directory read + one page read.
+  ExtendibleHash eh(Opts(4, 16));
+  for (uint32_t key = 0; key < 512; ++key) {
+    ASSERT_TRUE(eh.Insert(key * 128, key).ok());
+  }
+  const IoStats before = eh.io_stats();
+  ASSERT_TRUE(eh.Search(128).ok());
+  const IoStats delta = eh.io_stats() - before;
+  EXPECT_EQ(delta.reads(), 2u);
+  EXPECT_EQ(delta.writes(), 0u);
+}
+
+TEST(ExtendibleHashTest, KeyBeyondWidthRejected) {
+  ExtendibleHash eh(Opts(4, 8));
+  EXPECT_TRUE(eh.Insert(256, 0).IsInvalid());
+  EXPECT_TRUE(eh.Insert(255, 0).ok());
+}
+
+TEST(ExtendibleHashTest, FuzzMixedOps) {
+  ExtendibleHash eh(Opts(3, 12));
+  Rng rng(4);
+  std::map<uint32_t, uint64_t> oracle;
+  for (int op = 0; op < 4000; ++op) {
+    uint32_t key = static_cast<uint32_t>(rng.Uniform(1 << 12));
+    if (rng.NextBool(0.4) && !oracle.empty()) {
+      auto it = oracle.lower_bound(key);
+      if (it == oracle.end()) it = oracle.begin();
+      ASSERT_TRUE(eh.Delete(it->first).ok());
+      oracle.erase(it);
+    } else if (oracle.count(key) == 0) {
+      ASSERT_TRUE(eh.Insert(key, op).ok());
+      oracle[key] = op;
+    }
+    if (op % 500 == 499) {
+      ASSERT_TRUE(eh.Validate().ok());
+      ASSERT_EQ(eh.record_count(), oracle.size());
+    }
+  }
+  for (const auto& [key, payload] : oracle) {
+    auto r = eh.Search(key);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, payload);
+  }
+}
+
+}  // namespace
+}  // namespace bmeh

@@ -1,0 +1,170 @@
+// Exhaustive small-domain tests: with 2 x 4-bit dimensions the whole key
+// space has 256 keys, so we can saturate the space completely, hit every
+// bit-exhaustion boundary, and check every scheme against a full oracle —
+// including the state where every page group sits at maximum depth.
+
+#include <gtest/gtest.h>
+
+#include "src/core/bmeh_tree.h"
+#include "src/metrics/experiment.h"
+#include "tests/test_util.h"
+
+namespace bmeh {
+namespace {
+
+std::vector<PseudoKey> AllKeys(int width_a, int width_b) {
+  std::vector<PseudoKey> keys;
+  for (uint32_t a = 0; a < (1u << width_a); ++a) {
+    for (uint32_t b = 0; b < (1u << width_b); ++b) {
+      keys.push_back(PseudoKey({a, b}));
+    }
+  }
+  return keys;
+}
+
+void Shuffle(std::vector<PseudoKey>* keys, uint64_t seed) {
+  Rng rng(seed);
+  for (size_t i = keys->size(); i > 1; --i) {
+    std::swap((*keys)[i - 1], (*keys)[rng.Uniform(i)]);
+  }
+}
+
+struct ExhaustiveCase {
+  metrics::Method method;
+  int b;
+  int phi;
+  uint64_t seed;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<ExhaustiveCase>& info) {
+  std::string name = metrics::MethodName(info.param.method);
+  name += "_b" + std::to_string(info.param.b) + "phi" +
+          std::to_string(info.param.phi) + "s" +
+          std::to_string(info.param.seed);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+class ExhaustiveTest : public ::testing::TestWithParam<ExhaustiveCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Saturation, ExhaustiveTest,
+    ::testing::Values(
+        ExhaustiveCase{metrics::Method::kMdeh, 1, 6, 1},
+        ExhaustiveCase{metrics::Method::kMdeh, 3, 6, 2},
+        ExhaustiveCase{metrics::Method::kMehTree, 1, 2, 3},
+        ExhaustiveCase{metrics::Method::kMehTree, 3, 4, 4},
+        ExhaustiveCase{metrics::Method::kBmehTree, 1, 2, 5},
+        ExhaustiveCase{metrics::Method::kBmehTree, 2, 4, 6},
+        ExhaustiveCase{metrics::Method::kBmehTree, 3, 6, 7},
+        ExhaustiveCase{metrics::Method::kBmehTree, 1, 4, 8}),
+    CaseName);
+
+TEST_P(ExhaustiveTest, SaturateEntireKeySpace) {
+  const ExhaustiveCase& c = GetParam();
+  const int widths[] = {4, 4};
+  KeySchema schema{std::span<const int>(widths, 2)};
+  auto index = metrics::MakeIndex(c.method, schema, c.b, c.phi);
+  auto keys = AllKeys(4, 4);
+  Shuffle(&keys, c.seed);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(index->Insert(keys[i], i).ok())
+        << keys[i].ToString() << " at step " << i;
+  }
+  ASSERT_TRUE(index->Validate().ok());
+  ASSERT_EQ(index->Stats().records, 256u);
+  // Everything findable; every possible absent key is... none: the space
+  // is full, so duplicates must all be rejected.
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(index->Search(keys[i]).ok());
+    ASSERT_TRUE(index->Insert(keys[i], 0).IsAlreadyExists());
+  }
+  // Full-domain range returns all 256.
+  std::vector<Record> all;
+  ASSERT_TRUE(index->RangeSearch(RangePredicate(schema), &all).ok());
+  EXPECT_EQ(all.size(), 256u);
+}
+
+TEST_P(ExhaustiveTest, RangeQueriesOverSaturatedSpace) {
+  const ExhaustiveCase& c = GetParam();
+  const int widths[] = {4, 4};
+  KeySchema schema{std::span<const int>(widths, 2)};
+  auto index = metrics::MakeIndex(c.method, schema, c.b, c.phi);
+  auto keys = AllKeys(4, 4);
+  Shuffle(&keys, c.seed + 100);
+  testing::Oracle oracle;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(index->Insert(keys[i], i).ok());
+    oracle.Insert(keys[i], i);
+  }
+  // Every rectangle with corners on a coarse grid.
+  for (uint32_t alo = 0; alo < 16; alo += 3) {
+    for (uint32_t ahi = alo; ahi < 16; ahi += 3) {
+      for (uint32_t blo = 0; blo < 16; blo += 5) {
+        for (uint32_t bhi = blo; bhi < 16; bhi += 5) {
+          RangePredicate pred(schema);
+          pred.Constrain(0, alo, ahi);
+          pred.Constrain(1, blo, bhi);
+          std::vector<Record> got;
+          ASSERT_TRUE(index->RangeSearch(pred, &got).ok());
+          ASSERT_EQ(got.size(), oracle.Range(pred).size())
+              << pred.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ExhaustiveTest, SaturateThenDrainCompletely) {
+  const ExhaustiveCase& c = GetParam();
+  const int widths[] = {4, 4};
+  KeySchema schema{std::span<const int>(widths, 2)};
+  auto index = metrics::MakeIndex(c.method, schema, c.b, c.phi);
+  auto keys = AllKeys(4, 4);
+  Shuffle(&keys, c.seed + 200);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(index->Insert(keys[i], i).ok());
+  }
+  testing::DrainAndCheckEmpty(index.get(), keys, c.seed + 300);
+}
+
+TEST_P(ExhaustiveTest, RepeatedSaturationCycles) {
+  const ExhaustiveCase& c = GetParam();
+  const int widths[] = {4, 4};
+  KeySchema schema{std::span<const int>(widths, 2)};
+  auto index = metrics::MakeIndex(c.method, schema, c.b, c.phi);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    auto keys = AllKeys(4, 4);
+    Shuffle(&keys, c.seed + 400 + cycle);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_TRUE(index->Insert(keys[i], i).ok()) << "cycle " << cycle;
+    }
+    ASSERT_TRUE(index->Validate().ok());
+    Shuffle(&keys, c.seed + 500 + cycle);
+    for (const PseudoKey& key : keys) {
+      ASSERT_TRUE(index->Delete(key).ok()) << "cycle " << cycle;
+    }
+    ASSERT_TRUE(index->Validate().ok());
+    ASSERT_EQ(index->Stats().records, 0u);
+  }
+}
+
+TEST(ExhaustiveOneDimTest, FullDomainOneDimensional) {
+  // 1-d, 6-bit: all 64 keys; BMEH with xi=2 per node.
+  KeySchema schema(1, 6);
+  BmehTree tree(schema, TreeOptions::Make(1, 2, 2));
+  std::vector<PseudoKey> keys;
+  for (uint32_t v = 0; v < 64; ++v) keys.push_back(PseudoKey({v}));
+  Shuffle(&keys, 999);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(keys[i], i).ok());
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.height(), 3) << "6 bits / xi 2 = exactly 3 levels";
+  testing::DrainAndCheckEmpty(&tree, keys, 1000);
+}
+
+}  // namespace
+}  // namespace bmeh

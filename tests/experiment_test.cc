@@ -1,0 +1,118 @@
+#include "src/metrics/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace bmeh {
+namespace metrics {
+namespace {
+
+ExperimentConfig SmallConfig(Method method, workload::Distribution dist) {
+  ExperimentConfig cfg;
+  cfg.method = method;
+  cfg.workload.distribution = dist;
+  cfg.workload.seed = 1234;
+  cfg.n = 3000;
+  cfg.tail = 300;
+  cfg.page_capacity = 8;
+  return cfg;
+}
+
+TEST(ExperimentTest, MethodNames) {
+  EXPECT_STREQ(MethodName(Method::kMdeh), "MDEH");
+  EXPECT_STREQ(MethodName(Method::kMehTree), "MEH-tree");
+  EXPECT_STREQ(MethodName(Method::kBmehTree), "BMEH-tree");
+}
+
+TEST(ExperimentTest, MakeIndexProducesEachScheme) {
+  KeySchema schema(2, 31);
+  EXPECT_EQ(MakeIndex(Method::kMdeh, schema, 8)->name(), "MDEH");
+  EXPECT_EQ(MakeIndex(Method::kMehTree, schema, 8)->name(), "MEH-tree");
+  EXPECT_EQ(MakeIndex(Method::kBmehTree, schema, 8)->name(), "BMEH-tree");
+}
+
+TEST(ExperimentTest, MeasuresAreSane) {
+  for (auto method :
+       {Method::kMdeh, Method::kMehTree, Method::kBmehTree}) {
+    auto r = RunExperiment(
+        SmallConfig(method, workload::Distribution::kUniform));
+    SCOPED_TRACE(r.method);
+    EXPECT_GE(r.lambda, 1.0);
+    EXPECT_LE(r.lambda, 10.0);
+    EXPECT_GE(r.lambda_prime, 1.0);
+    EXPECT_GE(r.rho, r.lambda) << "an insert includes a search";
+    EXPECT_GT(r.alpha, 0.4);
+    EXPECT_LE(r.alpha, 1.0);
+    EXPECT_GT(r.sigma, 0u);
+    EXPECT_EQ(r.structure.records, 3000u);
+    EXPECT_GT(r.rho_whole_run, 0.0);
+  }
+}
+
+TEST(ExperimentTest, LoadFactorIdenticalAcrossMethods) {
+  // §5: alpha depends only on the splitting policy, which all three
+  // schemes share — the paper's tables show a single alpha row.
+  auto m1 = RunExperiment(
+      SmallConfig(Method::kMdeh, workload::Distribution::kUniform));
+  auto m2 = RunExperiment(
+      SmallConfig(Method::kMehTree, workload::Distribution::kUniform));
+  auto m3 = RunExperiment(
+      SmallConfig(Method::kBmehTree, workload::Distribution::kUniform));
+  EXPECT_EQ(m1.structure.data_pages, m2.structure.data_pages);
+  EXPECT_EQ(m2.structure.data_pages, m3.structure.data_pages);
+  EXPECT_DOUBLE_EQ(m1.alpha, m3.alpha);
+}
+
+TEST(ExperimentTest, MdehExactMatchIsTwoReads) {
+  auto r = RunExperiment(
+      SmallConfig(Method::kMdeh, workload::Distribution::kNormal));
+  EXPECT_DOUBLE_EQ(r.lambda, 2.0);
+}
+
+TEST(ExperimentTest, BmehDirectorySmallestUnderSkew) {
+  auto mdeh = RunExperiment(
+      SmallConfig(Method::kMdeh, workload::Distribution::kNormal));
+  auto meh = RunExperiment(
+      SmallConfig(Method::kMehTree, workload::Distribution::kNormal));
+  auto bmeh = RunExperiment(
+      SmallConfig(Method::kBmehTree, workload::Distribution::kNormal));
+  EXPECT_LT(bmeh.sigma, mdeh.sigma);
+  EXPECT_LT(bmeh.sigma, meh.sigma);
+}
+
+TEST(ExperimentTest, GrowthSamplingProducesMonotoneInsertCounts) {
+  ExperimentConfig cfg =
+      SmallConfig(Method::kBmehTree, workload::Distribution::kUniform);
+  cfg.growth_sample_every = 500;
+  auto r = RunExperiment(cfg);
+  ASSERT_GE(r.growth.size(), 6u);
+  for (size_t i = 1; i < r.growth.size(); ++i) {
+    EXPECT_GT(r.growth[i].first, r.growth[i - 1].first);
+    EXPECT_GE(r.growth[i].second, r.growth[i - 1].second)
+        << "directory only grows during a pure-insert run";
+  }
+  EXPECT_EQ(r.growth.back().first, cfg.n);
+  EXPECT_EQ(r.growth.back().second, r.sigma);
+}
+
+TEST(ExperimentTest, DeterministicAcrossRuns) {
+  auto a = RunExperiment(
+      SmallConfig(Method::kBmehTree, workload::Distribution::kNormal));
+  auto b = RunExperiment(
+      SmallConfig(Method::kBmehTree, workload::Distribution::kNormal));
+  EXPECT_EQ(a.sigma, b.sigma);
+  EXPECT_DOUBLE_EQ(a.lambda, b.lambda);
+  EXPECT_DOUBLE_EQ(a.rho, b.rho);
+}
+
+TEST(ExperimentTest, ThreeDimensionalRun) {
+  ExperimentConfig cfg =
+      SmallConfig(Method::kBmehTree, workload::Distribution::kUniform);
+  cfg.workload.dims = 3;
+  auto r = RunExperiment(cfg);
+  EXPECT_EQ(r.structure.records, 3000u);
+  EXPECT_GT(r.sigma, 0u);
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace bmeh

@@ -1,0 +1,66 @@
+#include "src/encoding/key_schema.h"
+
+#include <gtest/gtest.h>
+
+namespace bmeh {
+namespace {
+
+TEST(KeySchemaTest, UniformWidths) {
+  KeySchema s(3, 31);
+  EXPECT_EQ(s.dims(), 3);
+  EXPECT_EQ(s.width(0), 31);
+  EXPECT_EQ(s.width(2), 31);
+  EXPECT_EQ(s.total_bits(), 93);
+}
+
+TEST(KeySchemaTest, PerDimensionWidths) {
+  const int widths[] = {4, 3};
+  KeySchema s{std::span<const int>(widths, 2)};
+  EXPECT_EQ(s.dims(), 2);
+  EXPECT_EQ(s.width(0), 4);
+  EXPECT_EQ(s.width(1), 3);
+  EXPECT_EQ(s.total_bits(), 7);
+  EXPECT_EQ(s.max_component(0), 15u);
+  EXPECT_EQ(s.max_component(1), 7u);
+}
+
+TEST(KeySchemaTest, MaxComponentFullWidth) {
+  KeySchema s(1, 32);
+  EXPECT_EQ(s.max_component(0), ~uint32_t{0});
+}
+
+TEST(KeySchemaTest, ValidateAcceptsInRange) {
+  KeySchema s(2, 4);
+  EXPECT_TRUE(s.Validate(PseudoKey({15u, 0u})).ok());
+}
+
+TEST(KeySchemaTest, ValidateRejectsWrongDims) {
+  KeySchema s(2, 4);
+  EXPECT_TRUE(s.Validate(PseudoKey({1u})).IsInvalid());
+  EXPECT_TRUE(s.Validate(PseudoKey({1u, 2u, 3u})).IsInvalid());
+}
+
+TEST(KeySchemaTest, ValidateRejectsOutOfRangeComponent) {
+  KeySchema s(2, 4);
+  EXPECT_TRUE(s.Validate(PseudoKey({16u, 0u})).IsInvalid());
+}
+
+TEST(KeySchemaTest, Equality) {
+  EXPECT_EQ(KeySchema(2, 31), KeySchema(2, 31));
+  EXPECT_FALSE(KeySchema(2, 31) == KeySchema(3, 31));
+  EXPECT_FALSE(KeySchema(2, 31) == KeySchema(2, 30));
+}
+
+TEST(KeySchemaTest, ToStringMentionsShape) {
+  EXPECT_EQ(KeySchema(2, 31).ToString(), "KeySchema(d=2, widths=[31,31])");
+}
+
+TEST(KeySchemaDeathTest, RejectsBadShapes) {
+  EXPECT_DEATH({ KeySchema bad(0, 31); }, "dims");
+  EXPECT_DEATH({ KeySchema bad(9, 31); }, "dims");
+  EXPECT_DEATH({ KeySchema bad(2, 0); }, "width");
+  EXPECT_DEATH({ KeySchema bad(2, 33); }, "width");
+}
+
+}  // namespace
+}  // namespace bmeh

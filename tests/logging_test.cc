@@ -1,0 +1,52 @@
+#include "src/common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/status.h"
+
+namespace bmeh {
+namespace {
+
+TEST(LoggingTest, ThresholdRoundTrip) {
+  LogLevel old = GetLogThreshold();
+  SetLogThreshold(LogLevel::kError);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kError);
+  SetLogThreshold(old);
+}
+
+TEST(LoggingTest, LogBelowThresholdIsSilentButEvaluated) {
+  LogLevel old = GetLogThreshold();
+  SetLogThreshold(LogLevel::kError);
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return "msg";
+  };
+  BMEH_LOG(Debug) << count();
+  EXPECT_EQ(evaluations, 1) << "stream arguments are always evaluated";
+  SetLogThreshold(old);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ BMEH_CHECK(1 == 2) << "impossible"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH({ BMEH_CHECK_OK(Status::Invalid("boom")); }, "boom");
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  BMEH_CHECK(2 + 2 == 4) << "never printed";
+  BMEH_CHECK_OK(Status::OK());
+}
+
+TEST(LoggingTest, DcheckPassesSilently) { BMEH_DCHECK(true) << "fine"; }
+
+#ifndef NDEBUG
+TEST(LoggingDeathTest, DcheckFailsInDebugBuilds) {
+  EXPECT_DEATH({ BMEH_DCHECK(false) << "dbg"; }, "Check failed");
+}
+#endif
+
+}  // namespace
+}  // namespace bmeh

@@ -1,0 +1,163 @@
+#include "src/mehtree/meh_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace bmeh {
+namespace {
+
+using testing::DrainAndCheckEmpty;
+using testing::FuzzAgainstOracle;
+
+TEST(MehTreeTest, EmptyIndexBasics) {
+  MehTree idx(KeySchema(2, 16), TreeOptions::Make(2, 4));
+  EXPECT_EQ(idx.name(), "MEH-tree");
+  EXPECT_TRUE(idx.Search(PseudoKey({1u, 2u})).status().IsKeyError());
+  EXPECT_TRUE(idx.Delete(PseudoKey({1u, 2u})).IsKeyError());
+  EXPECT_TRUE(idx.Validate().ok());
+  EXPECT_EQ(idx.node_count(), 1u);
+}
+
+TEST(MehTreeTest, InsertSearchDelete) {
+  MehTree idx(KeySchema(2, 16), TreeOptions::Make(2, 4));
+  ASSERT_TRUE(idx.Insert(PseudoKey({3u, 4u}), 77).ok());
+  auto r = idx.Search(PseudoKey({3u, 4u}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 77u);
+  EXPECT_TRUE(idx.Insert(PseudoKey({3u, 4u}), 1).IsAlreadyExists());
+  ASSERT_TRUE(idx.Delete(PseudoKey({3u, 4u})).ok());
+  EXPECT_TRUE(idx.Validate().ok());
+}
+
+TEST(MehTreeTest, SpawnsChildrenTopDown) {
+  // Drive one region past the node cap: the root keeps its identity and a
+  // child node appears below it.
+  KeySchema schema(2, 16);
+  MehTree idx(schema, TreeOptions::Make(2, 2, /*phi=*/2));  // xi = (1,1)
+  const uint32_t root_before = idx.root_id();
+  workload::WorkloadSpec spec;
+  spec.width = 16;
+  spec.distribution = workload::Distribution::kAdversarialPrefix;
+  spec.adversarial_free_bits = 8;
+  auto keys = workload::GenerateKeys(spec, 64);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(idx.Insert(keys[i], i).ok()) << i;
+  }
+  ASSERT_TRUE(idx.Validate().ok());
+  EXPECT_EQ(idx.root_id(), root_before)
+      << "the MEH-tree grows downward: the root never changes";
+  EXPECT_GT(idx.node_count(), 4u);
+  EXPECT_GT(idx.Stats().directory_levels, 2u);
+}
+
+TEST(MehTreeTest, UnbalancedUnderSkew) {
+  // A hot cluster plus a sparse background: leaf depths must differ,
+  // which is exactly what the BMEH-tree forbids.
+  KeySchema schema(2, 31);
+  MehTree idx(schema, TreeOptions::Make(2, 4));
+  workload::WorkloadSpec cluster;
+  cluster.distribution = workload::Distribution::kClustered;
+  cluster.cluster_count = 1;
+  cluster.cluster_sigma_frac = 0.0005;
+  cluster.seed = 5;
+  auto hot = workload::GenerateKeys(cluster, 800);
+  workload::WorkloadSpec uniform;
+  uniform.seed = 6;
+  auto cold = workload::GenerateKeys(uniform, 50);
+  for (size_t i = 0; i < hot.size(); ++i) {
+    ASSERT_TRUE(idx.Insert(hot[i], i).ok());
+  }
+  for (size_t i = 0; i < cold.size(); ++i) {
+    Status st = idx.Insert(cold[i], 1000 + i);
+    ASSERT_TRUE(st.ok() || st.IsAlreadyExists()) << st;
+  }
+  ASSERT_TRUE(idx.Validate().ok());
+  EXPECT_GE(idx.Stats().directory_levels, 3u);
+}
+
+TEST(MehTreeTest, SearchCostGrowsWithDepth) {
+  KeySchema schema(2, 31);
+  MehTree idx(schema, TreeOptions::Make(2, 4));
+  auto keys = workload::GenerateKeys(workload::WorkloadSpec{}, 4000);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(idx.Insert(keys[i], i).ok());
+  }
+  // Root pinned: a successful search reads (levels-1) directory pages +
+  // 1 data page at most.
+  const auto stats = idx.Stats();
+  const IoStats before = idx.io_stats();
+  ASSERT_TRUE(idx.Search(keys[42]).ok());
+  const IoStats delta = idx.io_stats() - before;
+  EXPECT_GE(delta.reads(), 1u);
+  EXPECT_LE(delta.reads(), stats.directory_levels /*dirs minus root*/ + 1);
+}
+
+TEST(MehTreeTest, SigmaCountsFixedBlocks) {
+  MehTree idx(KeySchema(2, 31), TreeOptions::Make(2, 8));
+  auto keys = workload::GenerateKeys(workload::WorkloadSpec{}, 3000);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(idx.Insert(keys[i], i).ok());
+  }
+  const auto stats = idx.Stats();
+  EXPECT_EQ(stats.directory_entries, stats.directory_nodes * 64)
+      << "phi=6 blocks count 64 entries each";
+  EXPECT_LE(stats.directory_entries_used, stats.directory_entries);
+}
+
+TEST(MehTreeTest, FuzzUniform) {
+  MehTree idx(KeySchema(2, 31), TreeOptions::Make(2, 4));
+  workload::WorkloadSpec spec;
+  spec.seed = 201;
+  FuzzAgainstOracle(&idx, spec, 1500, 250, 0.3, 31);
+}
+
+TEST(MehTreeTest, FuzzNormal3d) {
+  MehTree idx(KeySchema(3, 31), TreeOptions::Make(3, 8));
+  workload::WorkloadSpec spec;
+  spec.distribution = workload::Distribution::kNormal;
+  spec.dims = 3;
+  spec.seed = 202;
+  FuzzAgainstOracle(&idx, spec, 1200, 300, 0.25, 32);
+}
+
+TEST(MehTreeTest, FuzzAdversarialTinyPages) {
+  MehTree idx(KeySchema(2, 20), TreeOptions::Make(2, 1));
+  workload::WorkloadSpec spec;
+  spec.distribution = workload::Distribution::kAdversarialPrefix;
+  spec.width = 20;
+  spec.adversarial_free_bits = 8;
+  spec.seed = 203;
+  FuzzAgainstOracle(&idx, spec, 500, 100, 0.3, 33);
+}
+
+TEST(MehTreeTest, DrainToEmptyCollapsesTree) {
+  MehTree idx(KeySchema(2, 31), TreeOptions::Make(2, 2));
+  auto keys = workload::GenerateKeys(workload::WorkloadSpec{}, 1500);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(idx.Insert(keys[i], i).ok());
+  }
+  EXPECT_GT(idx.node_count(), 10u);
+  DrainAndCheckEmpty(&idx, keys, 41);
+  EXPECT_EQ(idx.node_count(), 1u) << "all spawned nodes should collapse";
+}
+
+TEST(MehTreeTest, PerDimensionWidthsRespected) {
+  // Asymmetric schema: 8 bits in dim 0, 3 bits in dim 1 (the "shorter
+  // binary string" case after Theorem 1).
+  const int widths[] = {8, 3};
+  KeySchema schema{std::span<const int>(widths, 2)};
+  TreeOptions opts = TreeOptions::Make(2, 2, 4);
+  MehTree idx(schema, opts);
+  // Insert every representable key with a 3-bit dim 1 and 5-bit dim 0.
+  for (uint32_t a = 0; a < 32; ++a) {
+    for (uint32_t b = 0; b < 8; ++b) {
+      ASSERT_TRUE(idx.Insert(PseudoKey({a << 3, b}), a * 8 + b).ok());
+    }
+  }
+  ASSERT_TRUE(idx.Validate().ok());
+  EXPECT_EQ(idx.Stats().records, 256u);
+}
+
+}  // namespace
+}  // namespace bmeh

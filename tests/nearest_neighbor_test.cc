@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/random.h"
+#include "src/core/quadtree.h"
+
+namespace bmeh {
+namespace {
+
+double Dist(const std::array<double, 2>& a, std::span<const double> q) {
+  const double dx = a[0] - q[0];
+  const double dy = a[1] - q[1];
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+class NearestNeighborTest : public ::testing::Test {
+ protected:
+  void Build(int n, uint64_t seed, double blob_fraction = 0.0) {
+    Rng rng(seed);
+    int placed = 0;
+    while (placed < n) {
+      std::array<double, 2> p;
+      if (rng.NextDouble() < blob_fraction) {
+        p = {0.7 + rng.NextDouble() * 0.001, 0.2 + rng.NextDouble() * 0.001};
+      } else {
+        p = {rng.NextDouble(), rng.NextDouble()};
+      }
+      if (qt_.Insert(p, placed).ok()) {
+        points_.push_back(p);
+        ++placed;
+      }
+    }
+  }
+
+  std::vector<double> BruteForceDistances(std::span<const double> q,
+                                          int k) const {
+    std::vector<double> d;
+    for (const auto& p : points_) d.push_back(Dist(p, q));
+    std::sort(d.begin(), d.end());
+    d.resize(std::min<size_t>(d.size(), k));
+    return d;
+  }
+
+  BalancedQuadtree qt_{BalancedQuadtree::Options{
+      .dims = 2, .page_capacity = 8, .bits_per_dim = 24}};
+  std::vector<std::array<double, 2>> points_;
+};
+
+TEST_F(NearestNeighborTest, MatchesBruteForceOnUniformCloud) {
+  Build(2000, 90);
+  Rng rng(91);
+  for (int q = 0; q < 30; ++q) {
+    const double query[] = {rng.NextDouble(), rng.NextDouble()};
+    for (int k : {1, 5, 17}) {
+      std::vector<BalancedQuadtree::Neighbor> got;
+      ASSERT_TRUE(qt_.NearestNeighbors(query, k, &got).ok());
+      ASSERT_EQ(got.size(), static_cast<size_t>(k));
+      auto expected = BruteForceDistances(query, k);
+      for (int i = 0; i < k; ++i) {
+        // Fixed-point quantization perturbs distances by ~2^-24 per axis.
+        EXPECT_NEAR(got[i].distance, expected[i], 1e-5)
+            << "k=" << k << " i=" << i;
+      }
+      // Results must be sorted by distance.
+      for (int i = 1; i < k; ++i) {
+        EXPECT_LE(got[i - 1].distance, got[i].distance);
+      }
+    }
+  }
+}
+
+TEST_F(NearestNeighborTest, WorksInsideADenseBlob) {
+  Build(3000, 92, /*blob_fraction=*/0.8);
+  const double query[] = {0.7005, 0.2005};  // inside the blob
+  std::vector<BalancedQuadtree::Neighbor> got;
+  ASSERT_TRUE(qt_.NearestNeighbors(query, 10, &got).ok());
+  ASSERT_EQ(got.size(), 10u);
+  auto expected = BruteForceDistances(query, 10);
+  EXPECT_NEAR(got[9].distance, expected[9], 1e-5);
+  EXPECT_LT(got[9].distance, 0.01) << "neighbours should come from the blob";
+}
+
+TEST_F(NearestNeighborTest, QueryFarFromAllPoints) {
+  Build(50, 93, /*blob_fraction=*/1.0);  // everything inside the tiny blob
+  const double query[] = {0.05, 0.95};   // opposite corner
+  std::vector<BalancedQuadtree::Neighbor> got;
+  ASSERT_TRUE(qt_.NearestNeighbors(query, 3, &got).ok());
+  ASSERT_EQ(got.size(), 3u);
+  auto expected = BruteForceDistances(query, 3);
+  EXPECT_NEAR(got[0].distance, expected[0], 1e-5);
+}
+
+TEST_F(NearestNeighborTest, KLargerThanPopulation) {
+  Build(5, 94);
+  const double query[] = {0.5, 0.5};
+  std::vector<BalancedQuadtree::Neighbor> got;
+  ASSERT_TRUE(qt_.NearestNeighbors(query, 50, &got).ok());
+  EXPECT_EQ(got.size(), 5u);
+}
+
+TEST_F(NearestNeighborTest, EmptyTreeReturnsNothing) {
+  const double query[] = {0.5, 0.5};
+  std::vector<BalancedQuadtree::Neighbor> got;
+  ASSERT_TRUE(qt_.NearestNeighbors(query, 3, &got).ok());
+  EXPECT_TRUE(got.empty());
+}
+
+TEST_F(NearestNeighborTest, RejectsNonPositiveK) {
+  Build(10, 95);
+  const double query[] = {0.5, 0.5};
+  std::vector<BalancedQuadtree::Neighbor> got;
+  EXPECT_TRUE(qt_.NearestNeighbors(query, 0, &got).IsInvalid());
+}
+
+TEST(NearestNeighbor3dTest, OcttreeNeighbours) {
+  BalancedQuadtree ot(BalancedQuadtree::Options{
+      .dims = 3, .page_capacity = 8, .bits_per_dim = 20});
+  Rng rng(96);
+  std::vector<std::array<double, 3>> pts;
+  for (int i = 0; i < 1000; ++i) {
+    const double p[] = {rng.NextDouble(), rng.NextDouble(),
+                        rng.NextDouble()};
+    if (ot.Insert(p, i).ok()) pts.push_back({p[0], p[1], p[2]});
+  }
+  const double query[] = {0.3, 0.6, 0.9};
+  std::vector<BalancedQuadtree::Neighbor> got;
+  ASSERT_TRUE(ot.NearestNeighbors(query, 4, &got).ok());
+  ASSERT_EQ(got.size(), 4u);
+  std::vector<double> expected;
+  for (const auto& p : pts) {
+    const double dx = p[0] - query[0], dy = p[1] - query[1],
+                 dz = p[2] - query[2];
+    expected.push_back(std::sqrt(dx * dx + dy * dy + dz * dz));
+  }
+  std::sort(expected.begin(), expected.end());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(got[i].distance, expected[i], 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace bmeh

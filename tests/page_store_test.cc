@@ -1,0 +1,214 @@
+#include "src/pagestore/page_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace bmeh {
+namespace {
+
+std::vector<uint8_t> Pattern(int size, uint8_t seed) {
+  std::vector<uint8_t> buf(size);
+  for (int i = 0; i < size; ++i) {
+    buf[i] = static_cast<uint8_t>(seed + i * 7);
+  }
+  return buf;
+}
+
+class PageStoreTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    if (GetParam()) {
+      path_ = ::testing::TempDir() + "/bmeh_store_" +
+              std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db";
+      auto r = FilePageStore::Create(path_, 256);
+      ASSERT_TRUE(r.ok()) << r.status();
+      store_ = std::move(r).ValueOrDie();
+    } else {
+      store_ = std::make_unique<InMemoryPageStore>(256);
+    }
+  }
+
+  void TearDown() override {
+    store_.reset();
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+
+  std::unique_ptr<PageStore> store_;
+  std::string path_;
+};
+
+INSTANTIATE_TEST_SUITE_P(Backends, PageStoreTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "File" : "InMemory";
+                         });
+
+TEST_P(PageStoreTest, AllocateWriteReadRoundTrip) {
+  auto r = store_->Allocate();
+  ASSERT_TRUE(r.ok());
+  const PageId id = *r;
+  auto data = Pattern(256, 3);
+  ASSERT_TRUE(store_->Write(id, data).ok());
+  std::vector<uint8_t> back(256);
+  ASSERT_TRUE(store_->Read(id, back).ok());
+  EXPECT_EQ(back, data);
+}
+
+TEST_P(PageStoreTest, FreshPagesAreZeroed) {
+  auto r = store_->Allocate();
+  ASSERT_TRUE(r.ok());
+  std::vector<uint8_t> back(256, 0xff);
+  ASSERT_TRUE(store_->Read(*r, back).ok());
+  EXPECT_EQ(back, std::vector<uint8_t>(256, 0));
+}
+
+TEST_P(PageStoreTest, DistinctPagesDoNotAlias) {
+  auto a = store_->Allocate();
+  auto b = store_->Allocate();
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_NE(*a, *b);
+  ASSERT_TRUE(store_->Write(*a, Pattern(256, 1)).ok());
+  ASSERT_TRUE(store_->Write(*b, Pattern(256, 2)).ok());
+  std::vector<uint8_t> back(256);
+  ASSERT_TRUE(store_->Read(*a, back).ok());
+  EXPECT_EQ(back, Pattern(256, 1));
+}
+
+TEST_P(PageStoreTest, FreeAndRecycle) {
+  auto a = store_->Allocate();
+  ASSERT_TRUE(a.ok());
+  const uint64_t live_before = store_->live_page_count();
+  ASSERT_TRUE(store_->Free(*a).ok());
+  EXPECT_EQ(store_->live_page_count(), live_before - 1);
+  auto b = store_->Allocate();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, *a) << "freed page should be recycled";
+}
+
+TEST_P(PageStoreTest, RecycledPageIsZeroed) {
+  auto a = store_->Allocate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(store_->Write(*a, Pattern(256, 9)).ok());
+  ASSERT_TRUE(store_->Free(*a).ok());
+  auto b = store_->Allocate();
+  ASSERT_TRUE(b.ok());
+  std::vector<uint8_t> back(256, 0xff);
+  ASSERT_TRUE(store_->Read(*b, back).ok());
+  EXPECT_EQ(back, std::vector<uint8_t>(256, 0));
+}
+
+TEST_P(PageStoreTest, SizeMismatchRejected) {
+  auto a = store_->Allocate();
+  ASSERT_TRUE(a.ok());
+  std::vector<uint8_t> small(100);
+  EXPECT_TRUE(store_->Read(*a, small).IsInvalid());
+  EXPECT_TRUE(store_->Write(*a, small).IsInvalid());
+}
+
+TEST_P(PageStoreTest, DoubleFreeRejected) {
+  auto a = store_->Allocate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(store_->Free(*a).ok());
+  EXPECT_FALSE(store_->Free(*a).ok());
+}
+
+TEST_P(PageStoreTest, StatsCount) {
+  store_->ResetStats();
+  auto a = store_->Allocate();
+  ASSERT_TRUE(a.ok());
+  std::vector<uint8_t> buf(256);
+  ASSERT_TRUE(store_->Write(*a, buf).ok());
+  ASSERT_TRUE(store_->Read(*a, buf).ok());
+  ASSERT_TRUE(store_->Free(*a).ok());
+  EXPECT_EQ(store_->stats().allocs, 1u);
+  EXPECT_EQ(store_->stats().writes, 1u);
+  EXPECT_EQ(store_->stats().reads, 1u);
+  EXPECT_EQ(store_->stats().frees, 1u);
+}
+
+TEST(FilePageStoreTest, PersistsAcrossReopen) {
+  const std::string path = ::testing::TempDir() + "/bmeh_reopen.db";
+  PageId id;
+  auto data = Pattern(512, 5);
+  {
+    auto r = FilePageStore::Create(path, 512);
+    ASSERT_TRUE(r.ok());
+    auto store = std::move(r).ValueOrDie();
+    auto a = store->Allocate();
+    ASSERT_TRUE(a.ok());
+    id = *a;
+    ASSERT_TRUE(store->Write(id, data).ok());
+    ASSERT_TRUE(store->Sync().ok());
+  }
+  {
+    auto r = FilePageStore::Open(path);
+    ASSERT_TRUE(r.ok()) << r.status();
+    auto store = std::move(r).ValueOrDie();
+    EXPECT_EQ(store->page_size(), 512);
+    EXPECT_EQ(store->live_page_count(), 1u);
+    std::vector<uint8_t> back(512);
+    ASSERT_TRUE(store->Read(id, back).ok());
+    EXPECT_EQ(back, data);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FilePageStoreTest, FreeListPersistsAcrossReopen) {
+  const std::string path = ::testing::TempDir() + "/bmeh_freelist.db";
+  PageId freed;
+  {
+    auto r = FilePageStore::Create(path, 128);
+    ASSERT_TRUE(r.ok());
+    auto store = std::move(r).ValueOrDie();
+    auto a = store->Allocate();
+    auto b = store->Allocate();
+    ASSERT_TRUE(a.ok() && b.ok());
+    freed = *a;
+    ASSERT_TRUE(store->Free(freed).ok());
+  }
+  {
+    auto r = FilePageStore::Open(path);
+    ASSERT_TRUE(r.ok());
+    auto store = std::move(r).ValueOrDie();
+    auto c = store->Allocate();
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(*c, freed) << "free list should survive reopen";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FilePageStoreTest, OpenRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/bmeh_garbage.db";
+  {
+    FILE* f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[128] = "this is not a bmeh store";
+    fwrite(junk, 1, sizeof(junk), f);
+    fclose(f);
+  }
+  auto r = FilePageStore::Open(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption()) << r.status();
+  std::remove(path.c_str());
+}
+
+TEST(FilePageStoreTest, OpenMissingFileFails) {
+  auto r = FilePageStore::Open("/nonexistent/dir/store.db");
+  EXPECT_TRUE(r.status().IsIoError());
+}
+
+TEST(FilePageStoreTest, HeaderPageIsProtected) {
+  const std::string path = ::testing::TempDir() + "/bmeh_header.db";
+  auto r = FilePageStore::Create(path, 128);
+  ASSERT_TRUE(r.ok());
+  auto store = std::move(r).ValueOrDie();
+  std::vector<uint8_t> buf(128);
+  EXPECT_FALSE(store->Read(0, buf).ok());
+  EXPECT_FALSE(store->Write(0, buf).ok());
+  EXPECT_FALSE(store->Free(0).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bmeh

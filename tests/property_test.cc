@@ -1,0 +1,165 @@
+// Property sweep: every scheme must satisfy the same black-box contract —
+// oracle-equivalent point operations, oracle-equivalent partial-range
+// queries, and clean invariants — across a grid of dimensionalities, page
+// capacities, node capacities and key distributions.
+
+#include <gtest/gtest.h>
+
+#include "src/common/bit_util.h"
+#include "src/metrics/experiment.h"
+#include "tests/test_util.h"
+
+namespace bmeh {
+namespace {
+
+struct SweepCase {
+  metrics::Method method;
+  int dims;
+  int width;
+  int b;
+  int phi;
+  workload::Distribution dist;
+  int adversarial_free_bits = 12;
+};
+
+std::string SweepName(const ::testing::TestParamInfo<SweepCase>& info) {
+  const SweepCase& c = info.param;
+  std::string name = metrics::MethodName(c.method);
+  name += "_d" + std::to_string(c.dims) + "w" + std::to_string(c.width) +
+          "b" + std::to_string(c.b) + "phi" + std::to_string(c.phi) + "_" +
+          workload::DistributionName(c.dist);
+  for (char& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name;
+}
+
+std::vector<SweepCase> MakeGrid() {
+  const SweepCase shapes[] = {
+      {metrics::Method::kMdeh, 2, 31, 4, 6, workload::Distribution::kUniform},
+      // Clusters kept loose (see SpecForCase) and the width moderate, so
+      // the flat-directory baseline stays within feasible size; tight
+      // clusters at full width are covered by the adversarial cases and
+      // are provably infeasible for MDEH.
+      {metrics::Method::kMdeh, 2, 24, 1, 2,
+       workload::Distribution::kClustered},
+      {metrics::Method::kMdeh, 3, 31, 8, 6, workload::Distribution::kNormal},
+      {metrics::Method::kMdeh, 2, 31, 8, 4,
+       workload::Distribution::kDiagonal},
+      {metrics::Method::kMdeh, 1, 31, 4, 3, workload::Distribution::kUniform},
+      {metrics::Method::kMdeh, 4, 16, 8, 4, workload::Distribution::kUniform},
+      {metrics::Method::kMdeh, 2, 16, 2, 6,
+       workload::Distribution::kAdversarialPrefix},
+  };
+  std::vector<SweepCase> grid;
+  for (auto method : {metrics::Method::kMdeh, metrics::Method::kMehTree,
+                      metrics::Method::kBmehTree}) {
+    for (SweepCase c : shapes) {
+      c.method = method;
+      grid.push_back(c);
+    }
+  }
+  return grid;
+}
+
+class PropertySweepTest : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  std::unique_ptr<MultiKeyIndex> MakeIndexForCase() const {
+    const SweepCase& c = GetParam();
+    KeySchema schema(c.dims, c.width);
+    return metrics::MakeIndex(c.method, schema, c.b, c.phi);
+  }
+
+  workload::WorkloadSpec SpecForCase(uint64_t seed) const {
+    const SweepCase& c = GetParam();
+    workload::WorkloadSpec spec;
+    spec.distribution = c.dist;
+    spec.dims = c.dims;
+    spec.width = c.width;
+    spec.adversarial_free_bits = c.adversarial_free_bits;
+    spec.cluster_sigma_frac = 0.05;
+    spec.seed = seed;
+    return spec;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Grid, PropertySweepTest,
+                         ::testing::ValuesIn(MakeGrid()), SweepName);
+
+TEST_P(PropertySweepTest, MixedOpsMatchOracle) {
+  auto index = MakeIndexForCase();
+  testing::FuzzAgainstOracle(index.get(), SpecForCase(1000 + GetParam().b),
+                             /*ops=*/600, /*validate_every=*/150,
+                             /*delete_fraction=*/0.3,
+                             /*seed=*/2000 + GetParam().dims);
+}
+
+TEST_P(PropertySweepTest, RangeQueriesMatchOracle) {
+  const SweepCase& c = GetParam();
+  KeySchema schema(c.dims, c.width);
+  auto index = MakeIndexForCase();
+  auto keys = workload::GenerateKeys(SpecForCase(3000 + c.phi), 1200);
+  testing::Oracle oracle;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(index->Insert(keys[i], i).ok());
+    oracle.Insert(keys[i], i);
+  }
+  Rng rng(4000 + c.b);
+  for (int q = 0; q < 12; ++q) {
+    RangePredicate pred(schema);
+    for (int j = 0; j < c.dims; ++j) {
+      if (!rng.NextBool(0.6)) continue;  // leave some dims unconstrained
+      const uint64_t domain = bmeh::bit_util::Pow2(c.width);
+      uint32_t a = static_cast<uint32_t>(rng.Uniform(domain));
+      uint32_t b = static_cast<uint32_t>(rng.Uniform(domain));
+      if (a > b) std::swap(a, b);
+      pred.Constrain(j, a, b);
+    }
+    std::vector<Record> got;
+    ASSERT_TRUE(index->RangeSearch(pred, &got).ok());
+    auto expected = oracle.Range(pred);
+    ASSERT_EQ(got.size(), expected.size()) << pred.ToString();
+    uint64_t got_sum = 0, want_sum = 0;
+    for (const Record& rec : got) got_sum += rec.payload;
+    for (const Record& rec : expected) want_sum += rec.payload;
+    EXPECT_EQ(got_sum, want_sum) << pred.ToString();
+  }
+  ASSERT_TRUE(index->Validate().ok());
+}
+
+TEST_P(PropertySweepTest, DrainLeavesNoResidue) {
+  auto index = MakeIndexForCase();
+  auto keys = workload::GenerateKeys(SpecForCase(5000), 500);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(index->Insert(keys[i], i).ok());
+  }
+  testing::DrainAndCheckEmpty(index.get(), keys, 6000 + GetParam().phi);
+}
+
+TEST_P(PropertySweepTest, StatsStayConsistentUnderChurn) {
+  auto index = MakeIndexForCase();
+  workload::KeyGenerator gen(SpecForCase(7000));
+  std::vector<PseudoKey> live;
+  Rng rng(7001);
+  for (int op = 0; op < 400; ++op) {
+    if (rng.NextBool(0.45) && !live.empty()) {
+      const size_t pos = rng.Uniform(live.size());
+      ASSERT_TRUE(index->Delete(live[pos]).ok());
+      live[pos] = live.back();
+      live.pop_back();
+    } else {
+      PseudoKey key = gen.Next();
+      ASSERT_TRUE(index->Insert(key, op).ok());
+      live.push_back(key);
+    }
+    const auto stats = index->Stats();
+    ASSERT_EQ(stats.records, live.size());
+    ASSERT_LE(stats.records,
+              stats.data_pages * static_cast<uint64_t>(GetParam().b));
+    ASSERT_LE(stats.directory_entries_used, stats.directory_entries);
+  }
+  ASSERT_TRUE(index->Validate().ok());
+}
+
+}  // namespace
+}  // namespace bmeh

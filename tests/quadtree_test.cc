@@ -1,0 +1,164 @@
+#include "src/core/quadtree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/random.h"
+
+namespace bmeh {
+namespace {
+
+BalancedQuadtree::Options Opts(int dims, int b) {
+  BalancedQuadtree::Options o;
+  o.dims = dims;
+  o.page_capacity = b;
+  return o;
+}
+
+TEST(QuadtreeTest, InsertSearchDelete) {
+  BalancedQuadtree qt(Opts(2, 4));
+  const double p[] = {0.25, 0.75};
+  ASSERT_TRUE(qt.Insert(p, 7).ok());
+  auto r = qt.Search(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7u);
+  ASSERT_TRUE(qt.Delete(p).ok());
+  EXPECT_TRUE(qt.Search(p).status().IsKeyError());
+}
+
+TEST(QuadtreeTest, DuplicateAtResolutionRejected) {
+  BalancedQuadtree qt(Opts(2, 4));
+  const double p[] = {0.5, 0.5};
+  ASSERT_TRUE(qt.Insert(p, 1).ok());
+  EXPECT_TRUE(qt.Insert(p, 2).IsAlreadyExists());
+}
+
+TEST(QuadtreeTest, NodesAreQuadSplits) {
+  BalancedQuadtree qt(Opts(2, 2));
+  Rng rng(81);
+  for (int i = 0; i < 500; ++i) {
+    const double p[] = {rng.NextDouble(), rng.NextDouble()};
+    ASSERT_TRUE(qt.Insert(p, i).ok());
+  }
+  ASSERT_TRUE(qt.tree().Validate().ok());
+  qt.tree().nodes().ForEach([&](uint32_t, const hashdir::DirNode& node) {
+    EXPECT_LE(node.entry_count(), 4u) << "xi=(1,1) nodes are 2x2";
+  });
+}
+
+TEST(QuadtreeTest, BalancedUnderExtremeSkew) {
+  // Standard quadtrees degenerate under clustered points; the balanced
+  // variant keeps all leaves at one level (checked by Validate) and keeps
+  // the height logarithmic-ish in the cluster resolution.
+  BalancedQuadtree qt(Opts(2, 2));
+  Rng rng(82);
+  for (int i = 0; i < 400; ++i) {
+    const double p[] = {0.3 + rng.NextDouble() * 1e-4,
+                        0.6 + rng.NextDouble() * 1e-4};
+    Status st = qt.Insert(p, i);
+    ASSERT_TRUE(st.ok() || st.IsAlreadyExists()) << st;
+  }
+  ASSERT_TRUE(qt.tree().Validate().ok());
+  EXPECT_GT(qt.height(), 3);
+}
+
+TEST(QuadtreeTest, BoxSearchMatchesBruteForce) {
+  BalancedQuadtree qt(Opts(2, 4));
+  Rng rng(83);
+  std::vector<std::array<double, 2>> points;
+  for (int i = 0; i < 800; ++i) {
+    const double p[] = {rng.NextDouble(), rng.NextDouble()};
+    if (qt.Insert(p, i).ok()) points.push_back({p[0], p[1]});
+  }
+  for (int q = 0; q < 25; ++q) {
+    double lo[] = {rng.NextDouble(), rng.NextDouble()};
+    double hi[] = {rng.NextDouble(), rng.NextDouble()};
+    for (int j = 0; j < 2; ++j) {
+      if (lo[j] > hi[j]) std::swap(lo[j], hi[j]);
+    }
+    std::vector<QuadtreePoint> got;
+    ASSERT_TRUE(qt.BoxSearch(lo, hi, &got).ok());
+    // Brute force at the fixed-point resolution: count stored points
+    // whose *quantized* coordinates land in the quantized box.  Allow the
+    // boundary tolerance of one quantum.
+    const double eps = 1.0 / ((1 << 24) - 1);
+    size_t expected = 0;
+    for (const auto& p : points) {
+      bool inside = true;
+      for (int j = 0; j < 2; ++j) {
+        if (p[j] < lo[j] - eps || p[j] > hi[j] + eps) inside = false;
+      }
+      if (inside) ++expected;
+    }
+    // Exact within quantization: got.size() within the epsilon band.
+    size_t strict = 0;
+    for (const auto& p : points) {
+      bool inside = true;
+      for (int j = 0; j < 2; ++j) {
+        if (p[j] < lo[j] || p[j] > hi[j]) inside = false;
+      }
+      if (inside) ++strict;
+    }
+    EXPECT_GE(got.size(), strict == 0 ? 0 : strict - 2);
+    EXPECT_LE(got.size(), expected);
+  }
+}
+
+TEST(QuadtreeTest, DecodedCoordinatesCloseToOriginal) {
+  BalancedQuadtree qt(Opts(2, 8));
+  const double p[] = {0.123456, 0.654321};
+  ASSERT_TRUE(qt.Insert(p, 5).ok());
+  std::vector<QuadtreePoint> got;
+  const double lo[] = {0.0, 0.0};
+  const double hi[] = {1.0, 1.0};
+  ASSERT_TRUE(qt.BoxSearch(lo, hi, &got).ok());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_NEAR(got[0].coords[0], p[0], 1e-6);
+  EXPECT_NEAR(got[0].coords[1], p[1], 1e-6);
+  EXPECT_EQ(got[0].payload, 5u);
+}
+
+TEST(OcttreeTest, ThreeDimensionalOcttree) {
+  BalancedQuadtree ot(Opts(3, 4));
+  Rng rng(84);
+  std::set<uint64_t> payloads;
+  for (int i = 0; i < 600; ++i) {
+    const double p[] = {rng.NextDouble(), rng.NextDouble(),
+                        rng.NextDouble()};
+    if (ot.Insert(p, i).ok()) payloads.insert(i);
+  }
+  ASSERT_TRUE(ot.tree().Validate().ok());
+  EXPECT_EQ(ot.size(), payloads.size());
+  ot.tree().nodes().ForEach([&](uint32_t, const hashdir::DirNode& node) {
+    EXPECT_LE(node.entry_count(), 8u) << "octtree nodes are 2x2x2";
+  });
+  // Full-domain box returns everything.
+  std::vector<QuadtreePoint> got;
+  const double lo[] = {0.0, 0.0, 0.0};
+  const double hi[] = {1.0, 1.0, 1.0};
+  ASSERT_TRUE(ot.BoxSearch(lo, hi, &got).ok());
+  EXPECT_EQ(got.size(), payloads.size());
+}
+
+TEST(QuadtreeTest, CoordinatesClampedToUnitCube) {
+  BalancedQuadtree qt(Opts(2, 4));
+  const double p[] = {-3.0, 42.0};
+  ASSERT_TRUE(qt.Insert(p, 1).ok());
+  const double clamped[] = {0.0, 1.0};
+  auto r = qt.Search(clamped);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 1u);
+}
+
+TEST(QuadtreeTest, BoxRejectsInvertedBounds) {
+  BalancedQuadtree qt(Opts(2, 4));
+  std::vector<QuadtreePoint> got;
+  const double lo[] = {0.9, 0.1};
+  const double hi[] = {0.1, 0.9};
+  EXPECT_TRUE(qt.BoxSearch(lo, hi, &got).IsInvalid());
+}
+
+}  // namespace
+}  // namespace bmeh

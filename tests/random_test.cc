@@ -1,0 +1,91 @@
+#include "src/common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bmeh {
+namespace {
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(123), b(123), c(124);
+  bool all_equal = true;
+  bool any_diff_c = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next64();
+    uint64_t vb = b.Next64();
+    uint64_t vc = c.Next64();
+    all_equal &= (va == vb);
+    any_diff_c |= (va != vc);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_c);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(7), 7u);
+    EXPECT_LT(rng.Uniform(1), 1u);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.UniformRange(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    saw_lo |= (v == 10);
+    saw_hi |= (v == 13);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(3);
+  int counts[8] = {0};
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Uniform(8)];
+  for (int bucket = 0; bucket < 8; ++bucket) {
+    EXPECT_NEAR(counts[bucket], n / 8, n / 8 * 0.1)
+        << "bucket " << bucket << " off by more than 10%";
+  }
+}
+
+TEST(RngTest, NextDoubleInHalfOpenUnitInterval) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(5);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(6);
+  int heads = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) heads += rng.NextBool(0.25) ? 1 : 0;
+  EXPECT_NEAR(heads, n / 4, n * 0.02);
+}
+
+}  // namespace
+}  // namespace bmeh

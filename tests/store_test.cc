@@ -1,0 +1,198 @@
+#include "src/store/bmeh_store.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdio>
+
+#include "src/workload/distributions.h"
+#include "tests/test_util.h"
+
+namespace bmeh {
+namespace {
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/bmeh_store_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".db";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  StoreOptions Opts(uint64_t checkpoint_every = 0) {
+    StoreOptions o;
+    o.schema = KeySchema(2, 31);
+    o.tree = TreeOptions::Make(2, 8);
+    o.checkpoint_every = checkpoint_every;
+    return o;
+  }
+
+  std::unique_ptr<BmehStore> MustOpen(const StoreOptions& options) {
+    auto r = BmehStore::Open(path_, options);
+    BMEH_CHECK(r.ok()) << r.status();
+    return std::move(r).ValueOrDie();
+  }
+
+  std::string path_;
+};
+
+TEST_F(StoreTest, CreatePutGetAcrossReopen) {
+  {
+    auto store = MustOpen(Opts());
+    ASSERT_TRUE(store->Put(PseudoKey({1u, 2u}), 42).ok());
+    ASSERT_TRUE(store->Put(PseudoKey({3u, 4u}), 43).ok());
+    EXPECT_EQ(store->dirty_ops(), 2u);
+    // Destructor checkpoints.
+  }
+  {
+    auto store = MustOpen(Opts());
+    EXPECT_EQ(store->generation(), 1u);
+    EXPECT_EQ(store->dirty_ops(), 0u);
+    auto r = store->Get(PseudoKey({1u, 2u}));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, 42u);
+    EXPECT_TRUE(store->Get(PseudoKey({9u, 9u})).status().IsKeyError());
+  }
+}
+
+TEST_F(StoreTest, UncheckpointedMutationsAreLost) {
+  {
+    auto store = MustOpen(Opts());
+    ASSERT_TRUE(store->Put(PseudoKey({1u, 1u}), 1).ok());
+    ASSERT_TRUE(store->Checkpoint().ok());
+    ASSERT_TRUE(store->Put(PseudoKey({2u, 2u}), 2).ok());
+    // Simulate a crash: leak the object without running the destructor's
+    // checkpoint.  (Intentional, bounded to the test process.)
+    BmehStore* leaked = store.release();
+    (void)leaked;
+  }
+  {
+    auto store = MustOpen(Opts());
+    EXPECT_TRUE(store->Get(PseudoKey({1u, 1u})).ok())
+        << "checkpointed record survives";
+    EXPECT_TRUE(store->Get(PseudoKey({2u, 2u})).status().IsKeyError())
+        << "post-checkpoint record lost, as the durability model states";
+  }
+}
+
+TEST_F(StoreTest, CrashBetweenImageAndPublishKeepsOldCheckpoint) {
+  {
+    auto store = MustOpen(Opts());
+    ASSERT_TRUE(store->Put(PseudoKey({1u, 1u}), 1).ok());
+    ASSERT_TRUE(store->Checkpoint().ok());  // generation 1
+    ASSERT_TRUE(store->Put(PseudoKey({2u, 2u}), 2).ok());
+    store->SimulateCrashBeforePublishForTesting();
+    ASSERT_TRUE(store->Checkpoint().ok());  // image written, not published
+    BmehStore* leaked = store.release();
+    (void)leaked;
+  }
+  {
+    auto store = MustOpen(Opts());
+    EXPECT_EQ(store->generation(), 1u) << "old checkpoint still active";
+    EXPECT_TRUE(store->Get(PseudoKey({1u, 1u})).ok());
+    EXPECT_TRUE(store->Get(PseudoKey({2u, 2u})).status().IsKeyError());
+    ASSERT_TRUE(store->tree().Validate().ok());
+  }
+}
+
+TEST_F(StoreTest, AutoCheckpointEveryN) {
+  auto store = MustOpen(Opts(/*checkpoint_every=*/10));
+  workload::KeyGenerator gen(workload::WorkloadSpec{.seed = 7});
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(store->Put(gen.Next(), i).ok());
+  }
+  EXPECT_EQ(store->generation(), 2u) << "two automatic checkpoints";
+  EXPECT_EQ(store->dirty_ops(), 5u);
+}
+
+TEST_F(StoreTest, CheckpointReclaimsOldImagePages) {
+  auto store = MustOpen(Opts());
+  workload::KeyGenerator gen(workload::WorkloadSpec{.seed = 8});
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(store->Put(gen.Next(), i).ok());
+  }
+  ASSERT_TRUE(store->Checkpoint().ok());
+  // One extra cycle reaches the steady state (a checkpoint transiently
+  // needs old + new chain before the old one is freed).
+  ASSERT_TRUE(store->Put(gen.Next(), 9999).ok());
+  ASSERT_TRUE(store->Checkpoint().ok());
+  struct stat st1 {};
+  ASSERT_EQ(::stat(path_.c_str(), &st1), 0);
+  // Further cycles recycle the freed chain: the file must not keep
+  // growing.
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    ASSERT_TRUE(store->Put(gen.Next(), 10000 + cycle).ok());
+    ASSERT_TRUE(store->Checkpoint().ok());
+  }
+  struct stat st2 {};
+  ASSERT_EQ(::stat(path_.c_str(), &st2), 0);
+  EXPECT_EQ(store->generation(), 7u);
+  EXPECT_LE(st2.st_size, st1.st_size + st1.st_size / 10)
+      << "checkpoint cycles at steady state must not balloon the file";
+}
+
+TEST_F(StoreTest, DeleteAndRangeThroughStore) {
+  auto store = MustOpen(Opts());
+  for (uint32_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store->Put(PseudoKey({i * 1000, i * 2000}), i).ok());
+  }
+  RangePredicate pred(store->schema());
+  pred.Constrain(0, 10000, 50000);
+  std::vector<Record> out;
+  ASSERT_TRUE(store->Range(pred, &out).ok());
+  EXPECT_EQ(out.size(), 41u);  // i in [10, 50]
+  ASSERT_TRUE(store->Delete(PseudoKey({10000u, 20000u})).ok());
+  out.clear();
+  ASSERT_TRUE(store->Range(pred, &out).ok());
+  EXPECT_EQ(out.size(), 40u);
+}
+
+TEST_F(StoreTest, SchemaMismatchRejectedOnOpen) {
+  {
+    auto store = MustOpen(Opts());
+    ASSERT_TRUE(store->Put(PseudoKey({1u, 1u}), 1).ok());
+  }
+  StoreOptions other;
+  other.schema = KeySchema(3, 20);
+  auto reopened = BmehStore::Open(path_, other);
+  EXPECT_TRUE(reopened.status().IsInvalid()) << reopened.status();
+}
+
+TEST_F(StoreTest, LargeChurnWithPeriodicCheckpoints) {
+  auto store = MustOpen(Opts(/*checkpoint_every=*/500));
+  testing::Oracle oracle;
+  workload::WorkloadSpec spec;
+  spec.distribution = workload::Distribution::kClustered;
+  spec.seed = 9;
+  workload::KeyGenerator gen(spec);
+  Rng rng(10);
+  std::vector<PseudoKey> live;
+  for (int op = 0; op < 3000; ++op) {
+    if (rng.NextBool(0.3) && !live.empty()) {
+      const size_t pos = rng.Uniform(live.size());
+      ASSERT_TRUE(store->Delete(live[pos]).ok());
+      oracle.Erase(live[pos]);
+      live[pos] = live.back();
+      live.pop_back();
+    } else {
+      PseudoKey key = gen.Next();
+      ASSERT_TRUE(store->Put(key, op).ok());
+      oracle.Insert(key, op);
+      live.push_back(key);
+    }
+  }
+  ASSERT_TRUE(store->Checkpoint().ok());
+  EXPECT_GE(store->generation(), 5u);
+  for (const auto& [key, payload] : oracle.map()) {
+    auto r = store->Get(key);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(*r, payload);
+  }
+  ASSERT_TRUE(store->tree().Validate().ok());
+}
+
+}  // namespace
+}  // namespace bmeh

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "src/core/bmeh_tree.h"
+#include "src/workload/distributions.h"
+
+namespace bmeh {
+namespace {
+
+TEST(DescribeLevelsTest, EmptyTreeHasOneRootLevel) {
+  BmehTree tree(KeySchema(2, 16), TreeOptions::Make(2, 4));
+  auto levels = tree.DescribeLevels();
+  ASSERT_EQ(levels.size(), 1u);
+  EXPECT_EQ(levels[0].nodes, 1u);
+  EXPECT_EQ(levels[0].entries_used, 1u);
+  EXPECT_EQ(levels[0].groups, 1u);
+  EXPECT_EQ(levels[0].nil_groups, 1u);
+}
+
+TEST(DescribeLevelsTest, LevelsSumToNodeCount) {
+  BmehTree tree(KeySchema(2, 31), TreeOptions::Make(2, 4));
+  auto keys =
+      workload::GenerateKeys(workload::WorkloadSpec{.seed = 44}, 8000);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(keys[i], i).ok());
+  }
+  auto levels = tree.DescribeLevels();
+  ASSERT_EQ(static_cast<int>(levels.size()), tree.height());
+  uint64_t nodes = 0, entries = 0;
+  for (const auto& level : levels) {
+    nodes += level.nodes;
+    entries += level.entries_used;
+    EXPECT_GE(level.groups, level.nodes) << "each node has >= 1 group";
+    EXPECT_LE(level.nil_groups, level.groups);
+  }
+  EXPECT_EQ(nodes, tree.node_count());
+  EXPECT_EQ(entries, tree.Stats().directory_entries_used);
+  EXPECT_EQ(levels[0].nodes, 1u) << "one root";
+  // Levels widen monotonically in a freshly built balanced tree.
+  for (size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_GE(levels[i].nodes, levels[i - 1].nodes);
+  }
+}
+
+TEST(PageFillHistogramTest, MatchesRecordAndPageCounts) {
+  BmehTree tree(KeySchema(2, 31), TreeOptions::Make(2, 8));
+  auto keys =
+      workload::GenerateKeys(workload::WorkloadSpec{.seed = 45}, 5000);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(keys[i], i).ok());
+  }
+  auto hist = tree.PageFillHistogram();
+  ASSERT_EQ(hist.size(), 9u);  // fills 0..8
+  uint64_t pages = 0, records = 0;
+  for (size_t fill = 0; fill < hist.size(); ++fill) {
+    pages += hist[fill];
+    records += fill * hist[fill];
+  }
+  EXPECT_EQ(pages, tree.Stats().data_pages);
+  EXPECT_EQ(records, tree.Stats().records);
+  EXPECT_EQ(hist[0], 0u) << "empty pages are deleted immediately";
+}
+
+TEST(ScanTest, VisitsEveryRecordOnce) {
+  BmehTree tree(KeySchema(2, 31), TreeOptions::Make(2, 4));
+  auto keys =
+      workload::GenerateKeys(workload::WorkloadSpec{.seed = 46}, 1000);
+  uint64_t payload_sum = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(keys[i], i).ok());
+    payload_sum += i;
+  }
+  uint64_t seen = 0, sum = 0;
+  const IoStats before = tree.io_stats();
+  tree.Scan([&](const Record& rec) {
+    ++seen;
+    sum += rec.payload;
+  });
+  const IoStats delta = tree.io_stats() - before;
+  EXPECT_EQ(seen, 1000u);
+  EXPECT_EQ(sum, payload_sum);
+  EXPECT_EQ(delta.data_reads, tree.Stats().data_pages)
+      << "one read per page";
+}
+
+TEST(ScanTest, EmptyTreeScansNothing) {
+  BmehTree tree(KeySchema(2, 16), TreeOptions::Make(2, 4));
+  int count = 0;
+  tree.Scan([&](const Record&) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace bmeh

@@ -1,0 +1,126 @@
+// Tests of the closed-form Theorem 1 mapping.  The gold values come from
+// the cell numbering printed in the paper's Figure 1c (the 4x4 directory
+// of the 2-dimensional MDEH example): addressing is stable under the
+// cyclic doubling schedule dim1, dim2, dim1, dim2, ...
+
+#include "src/extarray/theorem1.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace bmeh {
+namespace extarray {
+namespace {
+
+uint64_t Map2(uint32_t i1, uint32_t i2) {
+  const uint32_t idx[] = {i1, i2};
+  return Theorem1Map(std::span<const uint32_t>(idx, 2));
+}
+
+TEST(Theorem1Test, OriginIsZero) {
+  EXPECT_EQ(Map2(0, 0), 0u);
+  const uint32_t idx3[] = {0, 0, 0};
+  EXPECT_EQ(Theorem1Map(std::span<const uint32_t>(idx3, 3)), 0u);
+}
+
+TEST(Theorem1Test, PaperFigure1cCellNumbering) {
+  // Figure 1c prints, for the 2-d directory with H = (2, 2), the linear
+  // address of every (i1, i2) cell:
+  //       i2=00 i2=01 i2=10 i2=11
+  // i1=00   0     2     8    12
+  // i1=01   1     3     9    13
+  // i1=10   4     5    10    14
+  // i1=11   6     7    11    15
+  const uint64_t expected[4][4] = {{0, 2, 8, 12},
+                                   {1, 3, 9, 13},
+                                   {4, 5, 10, 14},
+                                   {6, 7, 11, 15}};
+  for (uint32_t i1 = 0; i1 < 4; ++i1) {
+    for (uint32_t i2 = 0; i2 < 4; ++i2) {
+      EXPECT_EQ(Map2(i1, i2), expected[i1][i2])
+          << "cell (" << i1 << ", " << i2 << ")";
+    }
+  }
+}
+
+TEST(Theorem1Test, AddressesStableUnderGrowth) {
+  // A cell's address never changes as the array grows: the mapping does
+  // not depend on the current bounds at all, only on the tuple.
+  EXPECT_EQ(Map2(1, 0), 1u);   // exists from H=(1,0) onward
+  EXPECT_EQ(Map2(1, 1), 3u);   // exists from H=(1,1) onward
+  EXPECT_EQ(Map2(3, 1), 7u);   // exists from H=(2,1) onward
+}
+
+// For every prefix of the cyclic schedule, the box of cells must map
+// bijectively onto the contiguous address range [0, boxsize).
+void CheckCyclicBijectivity(int d, int max_cycles) {
+  std::vector<int> depths(d, 0);
+  for (int cycle = 0; cycle < max_cycles; ++cycle) {
+    for (int dim = 0; dim < d; ++dim) {
+      ++depths[dim];
+      const uint64_t size = BoxSize(depths);
+      std::set<uint64_t> seen;
+      // Enumerate the whole box.
+      std::vector<uint32_t> idx(d, 0);
+      for (uint64_t cell = 0; cell < size; ++cell) {
+        uint64_t addr =
+            Theorem1Map(std::span<const uint32_t>(idx.data(), d));
+        EXPECT_LT(addr, size) << "address beyond box";
+        EXPECT_TRUE(seen.insert(addr).second) << "duplicate address";
+        // Odometer increment.
+        for (int j = d - 1; j >= 0; --j) {
+          if (++idx[j] < (1u << depths[j])) break;
+          idx[j] = 0;
+        }
+      }
+      EXPECT_EQ(seen.size(), size);
+    }
+  }
+}
+
+TEST(Theorem1Test, BijectiveOnCyclicSchedule1D) {
+  CheckCyclicBijectivity(1, 10);
+}
+TEST(Theorem1Test, BijectiveOnCyclicSchedule2D) {
+  CheckCyclicBijectivity(2, 5);
+}
+TEST(Theorem1Test, BijectiveOnCyclicSchedule3D) {
+  CheckCyclicBijectivity(3, 3);
+}
+TEST(Theorem1Test, BijectiveOnCyclicSchedule4D) {
+  CheckCyclicBijectivity(4, 2);
+}
+
+TEST(Theorem1Test, NewCellsAppendAfterOldOnes) {
+  // Doubling dim z appends its slab after all existing cells: every cell
+  // whose tuple requires the new depth maps at or beyond the old box size.
+  // 2-d: after H=(2,2), doubling dim 1 to depth 3 adds cells i1 in [4,8).
+  const uint64_t old_size = 16;
+  for (uint32_t i1 = 4; i1 < 8; ++i1) {
+    for (uint32_t i2 = 0; i2 < 4; ++i2) {
+      EXPECT_GE(Map2(i1, i2), old_size);
+    }
+  }
+}
+
+TEST(Theorem1Test, OneDimensionalIsIdentity) {
+  // With d = 1 the extendible array is a plain growing vector.
+  for (uint32_t i = 0; i < 64; ++i) {
+    const uint32_t idx[] = {i};
+    EXPECT_EQ(Theorem1Map(std::span<const uint32_t>(idx, 1)), i);
+  }
+}
+
+TEST(Theorem1Test, BoxSizeProducts) {
+  const int depths[] = {3, 2, 1};
+  EXPECT_EQ(BoxSize(std::span<const int>(depths, 3)), 64u);
+  const int zero[] = {0, 0};
+  EXPECT_EQ(BoxSize(std::span<const int>(zero, 2)), 1u);
+}
+
+}  // namespace
+}  // namespace extarray
+}  // namespace bmeh

@@ -1,0 +1,69 @@
+#include "src/hashdir/tree_options.h"
+
+#include <gtest/gtest.h>
+
+#include "src/pagestore/io_stats.h"
+
+namespace bmeh {
+namespace {
+
+TEST(TreeOptionsTest, SpreadXiEvenSplit) {
+  auto xi = TreeOptions::SpreadXi(2, 6);
+  EXPECT_EQ(xi[0], 3);
+  EXPECT_EQ(xi[1], 3);
+  xi = TreeOptions::SpreadXi(3, 6);
+  EXPECT_EQ(xi[0], 2);
+  EXPECT_EQ(xi[1], 2);
+  EXPECT_EQ(xi[2], 2);
+}
+
+TEST(TreeOptionsTest, SpreadXiRemainderGoesToEarlierDims) {
+  auto xi = TreeOptions::SpreadXi(3, 7);
+  EXPECT_EQ(xi[0], 3);
+  EXPECT_EQ(xi[1], 2);
+  EXPECT_EQ(xi[2], 2);
+  xi = TreeOptions::SpreadXi(4, 6);
+  EXPECT_EQ(xi[0], 2);
+  EXPECT_EQ(xi[1], 2);
+  EXPECT_EQ(xi[2], 1);
+  EXPECT_EQ(xi[3], 1);
+}
+
+TEST(TreeOptionsTest, PhiAndBlockEntries) {
+  TreeOptions o = TreeOptions::Make(2, 8, 6);
+  EXPECT_EQ(o.page_capacity, 8);
+  EXPECT_EQ(o.phi(2), 6);
+  EXPECT_EQ(o.node_block_entries(2), 64u);
+  TreeOptions q = TreeOptions::Make(3, 4, 3);
+  EXPECT_EQ(q.phi(3), 3);
+  EXPECT_EQ(q.node_block_entries(3), 8u);
+}
+
+TEST(TreeOptionsDeathTest, RequiresOneBitPerDimension) {
+  EXPECT_DEATH(TreeOptions::SpreadXi(4, 3), "at least one bit");
+}
+
+TEST(IoStatsTest, ArithmeticAndAccessors) {
+  IoCounter c;
+  c.CountDirRead(3);
+  c.CountDirWrite(2);
+  c.CountDataRead();
+  c.CountDataWrite(4);
+  const IoStats& s = c.stats();
+  EXPECT_EQ(s.reads(), 4u);
+  EXPECT_EQ(s.writes(), 6u);
+  EXPECT_EQ(s.total(), 10u);
+
+  IoCounter c2;
+  c2.CountDirRead(1);
+  IoStats delta = s - c2.stats();
+  EXPECT_EQ(delta.dir_reads, 2u);
+  EXPECT_EQ(delta.total(), 9u);
+
+  c.Reset();
+  EXPECT_EQ(c.stats().total(), 0u);
+  EXPECT_NE(s.ToString().find("dir_r="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bmeh

@@ -1,0 +1,175 @@
+#include "src/workload/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/bit_util.h"
+#include "src/workload/datasets.h"
+
+namespace bmeh {
+namespace workload {
+namespace {
+
+TEST(WorkloadTest, KeysAreDistinct) {
+  for (auto dist : {Distribution::kUniform, Distribution::kNormal,
+                    Distribution::kClustered,
+                    Distribution::kAdversarialPrefix}) {
+    WorkloadSpec spec;
+    spec.distribution = dist;
+    auto keys = GenerateKeys(spec, 2000);
+    std::unordered_set<PseudoKey, PseudoKeyHash> set(keys.begin(),
+                                                     keys.end());
+    EXPECT_EQ(set.size(), keys.size()) << DistributionName(dist);
+  }
+}
+
+TEST(WorkloadTest, DeterministicBySeed) {
+  WorkloadSpec spec;
+  spec.seed = 7;
+  auto a = GenerateKeys(spec, 100);
+  auto b = GenerateKeys(spec, 100);
+  EXPECT_EQ(a, b);
+  spec.seed = 8;
+  auto c = GenerateKeys(spec, 100);
+  EXPECT_NE(a, c);
+}
+
+TEST(WorkloadTest, UniformCoversDomain) {
+  WorkloadSpec spec;
+  auto keys = GenerateKeys(spec, 5000);
+  double mean0 = 0;
+  uint32_t min0 = ~0u, max0 = 0;
+  for (const auto& key : keys) {
+    mean0 += key.component(0);
+    min0 = std::min(min0, key.component(0));
+    max0 = std::max(max0, key.component(0));
+  }
+  mean0 /= keys.size();
+  const double domain = std::pow(2.0, 31);
+  EXPECT_NEAR(mean0, domain / 2, domain * 0.02);
+  EXPECT_LT(min0, domain * 0.01);
+  EXPECT_GT(max0, domain * 0.99);
+}
+
+TEST(WorkloadTest, NormalConcentratesAroundMean) {
+  WorkloadSpec spec;
+  spec.distribution = Distribution::kNormal;
+  auto keys = GenerateKeys(spec, 5000);
+  const double domain = std::pow(2.0, 31);
+  double mean = 0, var = 0;
+  for (const auto& key : keys) mean += key.component(0);
+  mean /= keys.size();
+  for (const auto& key : keys) {
+    const double d = key.component(0) - mean;
+    var += d * d;
+  }
+  var /= keys.size();
+  EXPECT_NEAR(mean, domain * spec.normal_mean_frac, domain * 0.01);
+  EXPECT_NEAR(std::sqrt(var), domain * spec.normal_sigma_frac,
+              domain * 0.01);
+}
+
+TEST(WorkloadTest, NormalStaysInDomain) {
+  WorkloadSpec spec;
+  spec.distribution = Distribution::kNormal;
+  spec.width = 16;
+  auto keys = GenerateKeys(spec, 3000);
+  for (const auto& key : keys) {
+    EXPECT_LT(key.component(0), 1u << 16);
+    EXPECT_LT(key.component(1), 1u << 16);
+  }
+}
+
+TEST(WorkloadTest, AdversarialSharesPrefix) {
+  WorkloadSpec spec;
+  spec.distribution = Distribution::kAdversarialPrefix;
+  spec.adversarial_free_bits = 6;
+  auto keys = GenerateKeys(spec, 500);
+  for (int j = 0; j < spec.dims; ++j) {
+    const uint64_t prefix = bit_util::ExtractBits(
+        keys[0].component(j), spec.width, 0, spec.width - 6);
+    for (const auto& key : keys) {
+      EXPECT_EQ(bit_util::ExtractBits(key.component(j), spec.width, 0,
+                                      spec.width - 6),
+                prefix);
+    }
+  }
+}
+
+TEST(WorkloadTest, ClusteredHasHotSpots) {
+  WorkloadSpec spec;
+  spec.distribution = Distribution::kClustered;
+  spec.cluster_count = 4;
+  spec.cluster_sigma_frac = 0.001;
+  auto keys = GenerateKeys(spec, 2000);
+  // Bucket the leading 4 bits of dim 0; clustered data must leave most
+  // buckets nearly empty.
+  int buckets[16] = {0};
+  for (const auto& key : keys) {
+    ++buckets[bit_util::ExtractBits(key.component(0), 31, 0, 4)];
+  }
+  int empty_ish = 0;
+  for (int count : buckets) {
+    if (count < static_cast<int>(keys.size()) / 32) ++empty_ish;
+  }
+  EXPECT_GE(empty_ish, 8) << "clusters should not cover the whole domain";
+}
+
+TEST(WorkloadTest, AbsentKeysAreAbsent) {
+  WorkloadSpec spec;
+  spec.seed = 5;
+  auto present = GenerateKeys(spec, 3000);
+  auto absent = GenerateAbsentKeys(spec, 1000, present);
+  std::unordered_set<PseudoKey, PseudoKeyHash> set(present.begin(),
+                                                   present.end());
+  for (const auto& key : absent) {
+    EXPECT_EQ(set.count(key), 0u);
+  }
+  std::unordered_set<PseudoKey, PseudoKeyHash> aset(absent.begin(),
+                                                    absent.end());
+  EXPECT_EQ(aset.size(), absent.size());
+}
+
+TEST(WorkloadTest, KeyGeneratorRespectsWidth) {
+  WorkloadSpec spec;
+  spec.width = 12;
+  auto keys = GenerateKeys(spec, 1000);
+  for (const auto& key : keys) {
+    EXPECT_LT(key.component(0), 1u << 12);
+    EXPECT_LT(key.component(1), 1u << 12);
+  }
+}
+
+TEST(DatasetsTest, PaperTable1Shape) {
+  const auto keys = PaperTable1Keys();
+  ASSERT_EQ(keys.size(), 22u);
+  for (const auto& key : keys) {
+    EXPECT_EQ(key.dims(), 2);
+    EXPECT_LT(key.component(0), 16u);
+    EXPECT_LT(key.component(1), 8u);
+  }
+  // Spot-check against the printed table.
+  EXPECT_EQ(keys[0], PseudoKey({0b1110u, 0b010u}));   // K1
+  EXPECT_EQ(keys[10], PseudoKey({0b1000u, 0b110u}));  // K11
+  EXPECT_EQ(keys[21], PseudoKey({0b0110u, 0b011u}));  // K22
+}
+
+TEST(DatasetsTest, WorldCitiesSane) {
+  const auto& cities = WorldCities();
+  EXPECT_GE(cities.size(), 90u);
+  std::unordered_set<std::string> names;
+  for (const auto& city : cities) {
+    EXPECT_GE(city.lat, -90.0);
+    EXPECT_LE(city.lat, 90.0);
+    EXPECT_GE(city.lon, -180.0);
+    EXPECT_LE(city.lon, 180.0);
+    EXPECT_GT(city.population, 0u);
+    EXPECT_TRUE(names.insert(city.name).second) << city.name;
+  }
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace bmeh
