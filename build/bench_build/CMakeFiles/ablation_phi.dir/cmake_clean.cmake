@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_phi"
+  "../bench/ablation_phi.pdb"
+  "CMakeFiles/ablation_phi.dir/ablation_phi.cc.o"
+  "CMakeFiles/ablation_phi.dir/ablation_phi.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

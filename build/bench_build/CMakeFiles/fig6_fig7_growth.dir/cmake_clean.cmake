@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_fig7_growth"
+  "../bench/fig6_fig7_growth.pdb"
+  "CMakeFiles/fig6_fig7_growth.dir/fig6_fig7_growth.cc.o"
+  "CMakeFiles/fig6_fig7_growth.dir/fig6_fig7_growth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fig7_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/physical_io"
+  "../bench/physical_io.pdb"
+  "CMakeFiles/physical_io.dir/physical_io.cc.o"
+  "CMakeFiles/physical_io.dir/physical_io.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/physical_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/range_scaling"
+  "../bench/range_scaling.pdb"
+  "CMakeFiles/range_scaling.dir/range_scaling.cc.o"
+  "CMakeFiles/range_scaling.dir/range_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_uniform_2d"
+  "../bench/table2_uniform_2d.pdb"
+  "CMakeFiles/table2_uniform_2d.dir/table2_uniform_2d.cc.o"
+  "CMakeFiles/table2_uniform_2d.dir/table2_uniform_2d.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_uniform_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_normal_2d"
+  "../bench/table3_normal_2d.pdb"
+  "CMakeFiles/table3_normal_2d.dir/table3_normal_2d.cc.o"
+  "CMakeFiles/table3_normal_2d.dir/table3_normal_2d.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_normal_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

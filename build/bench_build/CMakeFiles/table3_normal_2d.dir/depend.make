@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_normal_2d.
+# This may be replaced when dependencies are built.

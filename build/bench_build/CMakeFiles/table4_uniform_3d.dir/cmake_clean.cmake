@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_uniform_3d"
+  "../bench/table4_uniform_3d.pdb"
+  "CMakeFiles/table4_uniform_3d.dir/table4_uniform_3d.cc.o"
+  "CMakeFiles/table4_uniform_3d.dir/table4_uniform_3d.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_uniform_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

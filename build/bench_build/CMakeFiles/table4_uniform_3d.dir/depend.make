@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_uniform_3d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/worstcase_bounds"
+  "../bench/worstcase_bounds.pdb"
+  "CMakeFiles/worstcase_bounds.dir/worstcase_bounds.cc.o"
+  "CMakeFiles/worstcase_bounds.dir/worstcase_bounds.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worstcase_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_index.dir/geo_index.cpp.o"
+  "CMakeFiles/geo_index.dir/geo_index.cpp.o.d"
+  "geo_index"
+  "geo_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

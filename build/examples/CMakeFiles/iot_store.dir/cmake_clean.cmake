@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_store.dir/iot_store.cpp.o"
+  "CMakeFiles/iot_store.dir/iot_store.cpp.o.d"
+  "iot_store"
+  "iot_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

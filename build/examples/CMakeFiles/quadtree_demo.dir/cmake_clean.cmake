@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quadtree_demo.dir/quadtree_demo.cpp.o"
+  "CMakeFiles/quadtree_demo.dir/quadtree_demo.cpp.o.d"
+  "quadtree_demo"
+  "quadtree_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quadtree_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

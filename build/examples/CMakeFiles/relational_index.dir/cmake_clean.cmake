@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_index.dir/relational_index.cpp.o"
+  "CMakeFiles/relational_index.dir/relational_index.cpp.o.d"
+  "relational_index"
+  "relational_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bit_util.cc" "src/CMakeFiles/bmeh.dir/common/bit_util.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/common/bit_util.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/bmeh.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/bmeh.dir/common/random.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/bmeh.dir/common/status.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/common/status.cc.o.d"
+  "/root/repo/src/core/bmeh_delete.cc" "src/CMakeFiles/bmeh.dir/core/bmeh_delete.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/core/bmeh_delete.cc.o.d"
+  "/root/repo/src/core/bmeh_split.cc" "src/CMakeFiles/bmeh.dir/core/bmeh_split.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/core/bmeh_split.cc.o.d"
+  "/root/repo/src/core/bmeh_tree.cc" "src/CMakeFiles/bmeh.dir/core/bmeh_tree.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/core/bmeh_tree.cc.o.d"
+  "/root/repo/src/core/bulk_load.cc" "src/CMakeFiles/bmeh.dir/core/bulk_load.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/core/bulk_load.cc.o.d"
+  "/root/repo/src/core/quadtree.cc" "src/CMakeFiles/bmeh.dir/core/quadtree.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/core/quadtree.cc.o.d"
+  "/root/repo/src/core/range_search.cc" "src/CMakeFiles/bmeh.dir/core/range_search.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/core/range_search.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/CMakeFiles/bmeh.dir/core/serialize.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/core/serialize.cc.o.d"
+  "/root/repo/src/core/validate.cc" "src/CMakeFiles/bmeh.dir/core/validate.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/core/validate.cc.o.d"
+  "/root/repo/src/encoding/encoders.cc" "src/CMakeFiles/bmeh.dir/encoding/encoders.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/encoding/encoders.cc.o.d"
+  "/root/repo/src/encoding/key_schema.cc" "src/CMakeFiles/bmeh.dir/encoding/key_schema.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/encoding/key_schema.cc.o.d"
+  "/root/repo/src/encoding/pseudo_key.cc" "src/CMakeFiles/bmeh.dir/encoding/pseudo_key.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/encoding/pseudo_key.cc.o.d"
+  "/root/repo/src/exhash/extendible_hash.cc" "src/CMakeFiles/bmeh.dir/exhash/extendible_hash.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/exhash/extendible_hash.cc.o.d"
+  "/root/repo/src/extarray/extendible_directory.cc" "src/CMakeFiles/bmeh.dir/extarray/extendible_directory.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/extarray/extendible_directory.cc.o.d"
+  "/root/repo/src/extarray/growth_history.cc" "src/CMakeFiles/bmeh.dir/extarray/growth_history.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/extarray/growth_history.cc.o.d"
+  "/root/repo/src/extarray/theorem1.cc" "src/CMakeFiles/bmeh.dir/extarray/theorem1.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/extarray/theorem1.cc.o.d"
+  "/root/repo/src/hashdir/descent.cc" "src/CMakeFiles/bmeh.dir/hashdir/descent.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/hashdir/descent.cc.o.d"
+  "/root/repo/src/hashdir/entry.cc" "src/CMakeFiles/bmeh.dir/hashdir/entry.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/hashdir/entry.cc.o.d"
+  "/root/repo/src/hashdir/node.cc" "src/CMakeFiles/bmeh.dir/hashdir/node.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/hashdir/node.cc.o.d"
+  "/root/repo/src/hashdir/range_walk.cc" "src/CMakeFiles/bmeh.dir/hashdir/range_walk.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/hashdir/range_walk.cc.o.d"
+  "/root/repo/src/hashdir/split_util.cc" "src/CMakeFiles/bmeh.dir/hashdir/split_util.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/hashdir/split_util.cc.o.d"
+  "/root/repo/src/mdeh/mdeh.cc" "src/CMakeFiles/bmeh.dir/mdeh/mdeh.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/mdeh/mdeh.cc.o.d"
+  "/root/repo/src/mehtree/meh_tree.cc" "src/CMakeFiles/bmeh.dir/mehtree/meh_tree.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/mehtree/meh_tree.cc.o.d"
+  "/root/repo/src/metrics/experiment.cc" "src/CMakeFiles/bmeh.dir/metrics/experiment.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/metrics/experiment.cc.o.d"
+  "/root/repo/src/pagestore/buffer_pool.cc" "src/CMakeFiles/bmeh.dir/pagestore/buffer_pool.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/pagestore/buffer_pool.cc.o.d"
+  "/root/repo/src/pagestore/data_page.cc" "src/CMakeFiles/bmeh.dir/pagestore/data_page.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/pagestore/data_page.cc.o.d"
+  "/root/repo/src/pagestore/page_store.cc" "src/CMakeFiles/bmeh.dir/pagestore/page_store.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/pagestore/page_store.cc.o.d"
+  "/root/repo/src/store/bmeh_store.cc" "src/CMakeFiles/bmeh.dir/store/bmeh_store.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/store/bmeh_store.cc.o.d"
+  "/root/repo/src/store/frozen_tree.cc" "src/CMakeFiles/bmeh.dir/store/frozen_tree.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/store/frozen_tree.cc.o.d"
+  "/root/repo/src/workload/datasets.cc" "src/CMakeFiles/bmeh.dir/workload/datasets.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/workload/datasets.cc.o.d"
+  "/root/repo/src/workload/distributions.cc" "src/CMakeFiles/bmeh.dir/workload/distributions.cc.o" "gcc" "src/CMakeFiles/bmeh.dir/workload/distributions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

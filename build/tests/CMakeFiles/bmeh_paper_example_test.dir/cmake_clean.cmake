@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmeh_paper_example_test.dir/bmeh_paper_example_test.cc.o"
+  "CMakeFiles/bmeh_paper_example_test.dir/bmeh_paper_example_test.cc.o.d"
+  "bmeh_paper_example_test"
+  "bmeh_paper_example_test.pdb"
+  "bmeh_paper_example_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmeh_paper_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmeh_test.dir/bmeh_test.cc.o"
+  "CMakeFiles/bmeh_test.dir/bmeh_test.cc.o.d"
+  "bmeh_test"
+  "bmeh_test.pdb"
+  "bmeh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmeh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_page_test.dir/data_page_test.cc.o"
+  "CMakeFiles/data_page_test.dir/data_page_test.cc.o.d"
+  "data_page_test"
+  "data_page_test.pdb"
+  "data_page_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_page_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhash_test.dir/exhash_test.cc.o"
+  "CMakeFiles/exhash_test.dir/exhash_test.cc.o.d"
+  "exhash_test"
+  "exhash_test.pdb"
+  "exhash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

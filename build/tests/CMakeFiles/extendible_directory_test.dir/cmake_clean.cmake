@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extendible_directory_test.dir/extendible_directory_test.cc.o"
+  "CMakeFiles/extendible_directory_test.dir/extendible_directory_test.cc.o.d"
+  "extendible_directory_test"
+  "extendible_directory_test.pdb"
+  "extendible_directory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extendible_directory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frozen_tree_test.dir/frozen_tree_test.cc.o"
+  "CMakeFiles/frozen_tree_test.dir/frozen_tree_test.cc.o.d"
+  "frozen_tree_test"
+  "frozen_tree_test.pdb"
+  "frozen_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frozen_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

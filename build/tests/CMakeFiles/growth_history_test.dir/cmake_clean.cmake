@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/growth_history_test.dir/growth_history_test.cc.o"
+  "CMakeFiles/growth_history_test.dir/growth_history_test.cc.o.d"
+  "growth_history_test"
+  "growth_history_test.pdb"
+  "growth_history_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/growth_history_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

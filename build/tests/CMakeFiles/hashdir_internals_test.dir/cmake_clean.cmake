@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashdir_internals_test.dir/hashdir_internals_test.cc.o"
+  "CMakeFiles/hashdir_internals_test.dir/hashdir_internals_test.cc.o.d"
+  "hashdir_internals_test"
+  "hashdir_internals_test.pdb"
+  "hashdir_internals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashdir_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

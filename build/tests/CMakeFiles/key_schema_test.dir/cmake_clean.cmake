@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_schema_test.dir/key_schema_test.cc.o"
+  "CMakeFiles/key_schema_test.dir/key_schema_test.cc.o.d"
+  "key_schema_test"
+  "key_schema_test.pdb"
+  "key_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdeh_test.dir/mdeh_test.cc.o"
+  "CMakeFiles/mdeh_test.dir/mdeh_test.cc.o.d"
+  "mdeh_test"
+  "mdeh_test.pdb"
+  "mdeh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdeh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mehtree_test.dir/mehtree_test.cc.o"
+  "CMakeFiles/mehtree_test.dir/mehtree_test.cc.o.d"
+  "mehtree_test"
+  "mehtree_test.pdb"
+  "mehtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mehtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

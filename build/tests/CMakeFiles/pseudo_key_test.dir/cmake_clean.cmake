@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pseudo_key_test.dir/pseudo_key_test.cc.o"
+  "CMakeFiles/pseudo_key_test.dir/pseudo_key_test.cc.o.d"
+  "pseudo_key_test"
+  "pseudo_key_test.pdb"
+  "pseudo_key_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pseudo_key_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

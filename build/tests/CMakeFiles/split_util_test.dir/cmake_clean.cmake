@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_util_test.dir/split_util_test.cc.o"
+  "CMakeFiles/split_util_test.dir/split_util_test.cc.o.d"
+  "split_util_test"
+  "split_util_test.pdb"
+  "split_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structure_stats_test.dir/structure_stats_test.cc.o"
+  "CMakeFiles/structure_stats_test.dir/structure_stats_test.cc.o.d"
+  "structure_stats_test"
+  "structure_stats_test.pdb"
+  "structure_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structure_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

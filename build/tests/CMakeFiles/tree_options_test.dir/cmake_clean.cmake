@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_options_test.dir/tree_options_test.cc.o"
+  "CMakeFiles/tree_options_test.dir/tree_options_test.cc.o.d"
+  "tree_options_test"
+  "tree_options_test.pdb"
+  "tree_options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

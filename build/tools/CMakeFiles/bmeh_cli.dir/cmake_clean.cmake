@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmeh_cli.dir/bmeh_cli.cc.o"
+  "CMakeFiles/bmeh_cli.dir/bmeh_cli.cc.o.d"
+  "bmeh_cli"
+  "bmeh_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmeh_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
