@@ -127,6 +127,12 @@ class BmehTree : public MultiKeyIndex {
   /// (used when replacing a checkpoint).
   static Status FreeImage(PageStore* store, PageId head);
 
+  /// \brief Appends every page of an image chain written by SaveTo to
+  /// `out`, in chain order (used for reachability-based free-list
+  /// recovery after a crash).
+  static Status CollectImagePages(PageStore* store, PageId head,
+                                  std::vector<PageId>* out);
+
   /// \brief Graphviz dot rendering of the directory (for small trees).
   std::string ToDot() const;
 

@@ -130,6 +130,25 @@ Result<std::vector<uint8_t>> ReadChain(PageStore* store, PageId head) {
 
 }  // namespace
 
+Status BmehTree::CollectImagePages(PageStore* store, PageId head,
+                                   std::vector<PageId>* out) {
+  PageId id = head;
+  std::unordered_set<PageId> visited;
+  std::vector<uint8_t> buf(store->page_size());
+  while (id != kInvalidPageId) {
+    if (!visited.insert(id).second) {
+      return Status::Corruption("page chain cycle at page " +
+                                std::to_string(id));
+    }
+    out->push_back(id);
+    BMEH_RETURN_NOT_OK(store->Read(id, buf));
+    uint32_t next;
+    std::memcpy(&next, buf.data(), 4);
+    id = next;
+  }
+  return Status::OK();
+}
+
 Status BmehTree::FreeImage(PageStore* store, PageId head) {
   PageId id = head;
   std::unordered_set<PageId> visited;

@@ -1,0 +1,71 @@
+#include "src/pagestore/fault_injecting_page_store.h"
+
+#include <cstring>
+
+namespace bmeh {
+
+Result<PageId> FaultInjectingPageStore::Allocate() {
+  if (down_) return Down();
+  ++stats_.allocs;
+  return inner_->Allocate();
+}
+
+Status FaultInjectingPageStore::Free(PageId id) {
+  if (down_) return Down();
+  ++stats_.frees;
+  return inner_->Free(id);
+}
+
+Status FaultInjectingPageStore::Read(PageId id, std::span<uint8_t> out) {
+  if (down_) return Down();
+  const uint64_t index = reads_issued_++;
+  if (read_error_p_ > 0.0 && rng_.NextBool(read_error_p_)) {
+    return Status::IoError("injected read error at read index " +
+                           std::to_string(index));
+  }
+  ++stats_.reads;
+  return inner_->Read(id, out);
+}
+
+Status FaultInjectingPageStore::Write(PageId id,
+                                      std::span<const uint8_t> data) {
+  if (down_) return Down();
+  const uint64_t index = writes_issued_++;
+  if (index == fail_write_at_) {
+    down_ = true;
+    if (write_fault_ == WriteFault::kTorn) {
+      // A torn sector: the leading half of the new image lands, the rest
+      // keeps whatever the page held before.  Compose the blend and push
+      // it through the inner store (fresh pages read back as zeros, so a
+      // failed read only ever under-reports surviving old bytes).
+      std::vector<uint8_t> blend(data.size(), 0);
+      if (!inner_->Read(id, blend).ok()) {
+        std::fill(blend.begin(), blend.end(), 0);
+      }
+      std::memcpy(blend.data(), data.data(), data.size() / 2);
+      Status ignored = inner_->Write(id, blend);
+      (void)ignored;
+    }
+    return Status::IoError("injected crash at write index " +
+                           std::to_string(index));
+  }
+  if (write_error_p_ > 0.0 && rng_.NextBool(write_error_p_)) {
+    return Status::IoError("injected write error at write index " +
+                           std::to_string(index));
+  }
+  ++stats_.writes;
+  return inner_->Write(id, data);
+}
+
+Status FaultInjectingPageStore::Sync() {
+  if (down_) return Down();
+  const uint64_t index = syncs_issued_++;
+  if (index == fail_sync_at_) {
+    down_ = true;
+    return Status::IoError("injected crash at sync index " +
+                           std::to_string(index));
+  }
+  return inner_->Sync();
+}
+
+}  // namespace bmeh

@@ -1,0 +1,111 @@
+// FaultInjectingPageStore: a PageStore decorator that injects disk faults
+// on demand — the test harness for every crash-recovery guarantee the
+// store layer makes.
+//
+// Fault model:
+//  * Scheduled crash: the Nth Write() (or Sync()) fails and the device
+//    goes down — every later operation returns IoError until Heal().
+//    The failing write can be clean (nothing reaches the inner store) or
+//    torn (the first half of the page is written, the rest keeps its old
+//    bytes) — the two ways a real power cut leaves a sector.
+//  * Probabilistic transient errors: each Read/Write independently fails
+//    with a configured probability, driven by the deterministic Rng from
+//    src/common/random.h so failing schedules are reproducible.
+//
+// The decorator counts operations, which is what lets a crash-matrix test
+// enumerate "kill at write index w for every w" exhaustively.
+
+#ifndef BMEH_PAGESTORE_FAULT_INJECTING_PAGE_STORE_H_
+#define BMEH_PAGESTORE_FAULT_INJECTING_PAGE_STORE_H_
+
+#include <limits>
+#include <memory>
+
+#include "src/common/random.h"
+#include "src/pagestore/page_store.h"
+
+namespace bmeh {
+
+/// \brief Deterministic disk-fault injection around any PageStore.
+class FaultInjectingPageStore : public PageStore {
+ public:
+  /// \brief How a scheduled write fault manifests.
+  enum class WriteFault {
+    kError,  ///< The write is dropped entirely.
+    kTorn,   ///< The first half of the page hits the device, then failure.
+  };
+
+  /// \brief Takes ownership of `inner`.  The inner store stays reachable
+  /// through inner() for backend-specific calls (e.g.
+  /// FilePageStore::CrashForTesting).
+  explicit FaultInjectingPageStore(std::unique_ptr<PageStore> inner)
+      : inner_(std::move(inner)), rng_(0) {}
+
+  PageStore* inner() { return inner_.get(); }
+
+  /// \brief Schedules the write with 0-based index `n` (counted across the
+  /// decorator's lifetime) to fail as `fault`, taking the device down.
+  void FailNthWrite(uint64_t n, WriteFault fault = WriteFault::kError) {
+    fail_write_at_ = n;
+    write_fault_ = fault;
+  }
+
+  /// \brief Schedules the 0-based Nth Sync() to fail and take the device
+  /// down (models an fsync error / power cut during flush).
+  void FailNthSync(uint64_t n) { fail_sync_at_ = n; }
+
+  /// \brief Enables transient random faults with the given per-operation
+  /// probabilities (no down state; each failure is independent).
+  void SetTransientFaults(double write_error_p, double read_error_p,
+                          uint64_t seed) {
+    write_error_p_ = write_error_p;
+    read_error_p_ = read_error_p;
+    rng_ = Rng(seed);
+  }
+
+  /// \brief Brings a crashed device back up (scheduled faults stay
+  /// consumed; counters keep running).
+  void Heal() { down_ = false; }
+
+  bool down() const { return down_; }
+  uint64_t writes_issued() const { return writes_issued_; }
+  uint64_t syncs_issued() const { return syncs_issued_; }
+  uint64_t reads_issued() const { return reads_issued_; }
+
+  int page_size() const override { return inner_->page_size(); }
+  PageId first_data_page() const override {
+    return inner_->first_data_page();
+  }
+  uint64_t live_page_count() const override {
+    return inner_->live_page_count();
+  }
+
+  Result<PageId> Allocate() override;
+  Status Free(PageId id) override;
+  Status Read(PageId id, std::span<uint8_t> out) override;
+  Status Write(PageId id, std::span<const uint8_t> data) override;
+  Status Sync() override;
+
+ private:
+  Status Down() const {
+    return Status::IoError("injected crash: device is down");
+  }
+
+  static constexpr uint64_t kNever = std::numeric_limits<uint64_t>::max();
+
+  std::unique_ptr<PageStore> inner_;
+  Rng rng_;
+  uint64_t fail_write_at_ = kNever;
+  uint64_t fail_sync_at_ = kNever;
+  WriteFault write_fault_ = WriteFault::kError;
+  double write_error_p_ = 0.0;
+  double read_error_p_ = 0.0;
+  uint64_t writes_issued_ = 0;
+  uint64_t syncs_issued_ = 0;
+  uint64_t reads_issued_ = 0;
+  bool down_ = false;
+};
+
+}  // namespace bmeh
+
+#endif  // BMEH_PAGESTORE_FAULT_INJECTING_PAGE_STORE_H_

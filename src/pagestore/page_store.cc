@@ -1,8 +1,11 @@
 #include "src/pagestore/page_store.h"
 
 #include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -107,7 +110,7 @@ FilePageStore::~FilePageStore() {
     if (!st.ok()) {
       BMEH_LOG(Error) << "FilePageStore header flush failed: " << st;
     }
-    ::close(fd_);
+    ::close(fd_);  // releases the flock
   }
 }
 
@@ -116,9 +119,19 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
   if (page_size < 64) {
     return Status::Invalid("page_size too small: " + std::to_string(page_size));
   }
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) {
     return Status::IoError("open(" + path + "): " + std::strerror(errno));
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(fd);
+    return Status::IoError("store file already open: " + path);
+  }
+  // Truncate only after the lock is held, so a concurrent Create cannot
+  // wipe a store another handle is using.
+  if (::ftruncate(fd, 0) != 0) {
+    ::close(fd);
+    return Status::IoError("ftruncate(" + path + "): " + std::strerror(errno));
   }
   auto store =
       std::unique_ptr<FilePageStore>(new FilePageStore(fd, page_size));
@@ -128,9 +141,23 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
 
 Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
     const std::string& path) {
+  return OpenImpl(path, /*walk_free_chain=*/true);
+}
+
+Result<std::unique_ptr<FilePageStore>> FilePageStore::OpenForRecovery(
+    const std::string& path) {
+  return OpenImpl(path, /*walk_free_chain=*/false);
+}
+
+Result<std::unique_ptr<FilePageStore>> FilePageStore::OpenImpl(
+    const std::string& path, bool walk_free_chain) {
   int fd = ::open(path.c_str(), O_RDWR);
   if (fd < 0) {
     return Status::IoError("open(" + path + "): " + std::strerror(errno));
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(fd);
+    return Status::IoError("store file already open: " + path);
   }
   uint8_t header[64];
   ssize_t n = ::pread(fd, header, sizeof(header), 0);
@@ -148,7 +175,26 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
   store->page_count_ = GetU64(header + 8);
   store->live_count_ = GetU64(header + 16);
   store->free_head_ = GetU32(header + 24);
-  // Rebuild the free-set mirror by walking the on-disk free chain.
+  if (!walk_free_chain) {
+    // Recovery mode: the header itself may be stale (it is only rewritten
+    // on Sync).  Pages allocated after the last sync extended the file but
+    // not the header's page count, and some of them may be reachable (a
+    // superblock publish can land just before the crash), so size the
+    // store by the file rather than the header.  The chain may be equally
+    // stale: start with nothing free; the caller adopts the real free set.
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      return Status::IoError(std::string("fstat: ") + std::strerror(errno));
+    }
+    const uint64_t by_size =
+        (static_cast<uint64_t>(st.st_size) + page_size - 1) / page_size;
+    store->page_count_ = std::max(store->page_count_, std::max<uint64_t>(by_size, 1));
+    store->free_head_ = kInvalidPageId;
+    store->live_count_ = store->page_count_ - 1;
+    return store;
+  }
+  // Rebuild the free-list mirror by walking the on-disk free chain; the
+  // chain head is the *last* element of the mirror vector (LIFO).
   PageId cursor = store->free_head_;
   std::vector<uint8_t> buf(page_size);
   while (cursor != kInvalidPageId) {
@@ -156,9 +202,11 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::Open(
         !store->free_set_.insert(cursor).second) {
       return Status::Corruption("free chain corrupt in " + path);
     }
+    store->free_list_.push_back(cursor);
     BMEH_RETURN_NOT_OK(store->ReadRaw(cursor, buf));
     cursor = GetU32(buf.data());
   }
+  std::reverse(store->free_list_.begin(), store->free_list_.end());
   return store;
 }
 
@@ -173,7 +221,7 @@ Status FilePageStore::WriteHeader() {
   ssize_t n = ::pwrite(fd_, header, sizeof(header), 0);
   if (n != static_cast<ssize_t>(sizeof(header))) {
     return Status::IoError(std::string("header pwrite: ") +
-                           std::strerror(errno));
+                           (n < 0 ? std::strerror(errno) : "short write"));
   }
   return Status::OK();
 }
@@ -183,7 +231,7 @@ Status FilePageStore::ReadRaw(PageId id, std::span<uint8_t> out) {
   ssize_t n = ::pread(fd_, out.data(), out.size(), off);
   if (n != static_cast<ssize_t>(out.size())) {
     return Status::IoError("pread page " + std::to_string(id) + ": " +
-                           std::strerror(errno));
+                           (n < 0 ? std::strerror(errno) : "short read"));
   }
   return Status::OK();
 }
@@ -193,7 +241,7 @@ Status FilePageStore::WriteRaw(PageId id, std::span<const uint8_t> data) {
   ssize_t n = ::pwrite(fd_, data.data(), data.size(), off);
   if (n != static_cast<ssize_t>(data.size())) {
     return Status::IoError("pwrite page " + std::to_string(id) + ": " +
-                           std::strerror(errno));
+                           (n < 0 ? std::strerror(errno) : "short write"));
   }
   return Status::OK();
 }
@@ -202,12 +250,12 @@ Result<PageId> FilePageStore::Allocate() {
   ++stats_.allocs;
   std::vector<uint8_t> zero(page_size_, 0);
   PageId id;
-  if (free_head_ != kInvalidPageId) {
-    id = free_head_;
-    std::vector<uint8_t> buf(page_size_);
-    BMEH_RETURN_NOT_OK(ReadRaw(id, buf));
-    free_head_ = GetU32(buf.data());
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
     free_set_.erase(id);
+    // The next chain link lives in the new back of the mirror.
+    free_head_ = free_list_.empty() ? kInvalidPageId : free_list_.back();
   } else {
     id = static_cast<PageId>(page_count_);
     ++page_count_;
@@ -226,8 +274,30 @@ Status FilePageStore::Free(PageId id) {
   std::vector<uint8_t> buf(page_size_, 0);
   PutU32(buf.data(), free_head_);
   BMEH_RETURN_NOT_OK(WriteRaw(id, buf));
+  free_list_.push_back(id);
   free_head_ = id;
   --live_count_;
+  return Status::OK();
+}
+
+Status FilePageStore::AdoptFreeList(const std::vector<PageId>& pages) {
+  for (PageId id : pages) {
+    if (id == 0 || id >= page_count_) {
+      return Status::Invalid("AdoptFreeList: invalid page " +
+                             std::to_string(id));
+    }
+  }
+  // Reset to "everything live", then free the adopted pages one by one —
+  // this rewrites their chain links on disk, so a subsequent plain Open()
+  // sees a coherent chain again.
+  free_list_.clear();
+  free_set_.clear();
+  free_head_ = kInvalidPageId;
+  live_count_ = page_count_ - 1;
+  for (PageId id : pages) {
+    BMEH_RETURN_NOT_OK(Free(id));
+  }
+  stats_.frees -= pages.size();  // adoption is bookkeeping, not workload
   return Status::OK();
 }
 
@@ -256,11 +326,23 @@ Status FilePageStore::Write(PageId id, std::span<const uint8_t> data) {
 uint64_t FilePageStore::live_page_count() const { return live_count_; }
 
 Status FilePageStore::Sync() {
+  if (!sticky_sync_error_.ok()) {
+    return sticky_sync_error_;
+  }
   BMEH_RETURN_NOT_OK(WriteHeader());
-  if (::fsync(fd_) != 0) {
-    return Status::IoError(std::string("fsync: ") + std::strerror(errno));
+  if (fsync_enabled_ && ::fsync(fd_) != 0) {
+    sticky_sync_error_ =
+        Status::IoError(std::string("fsync: ") + std::strerror(errno));
+    return sticky_sync_error_;
   }
   return Status::OK();
+}
+
+void FilePageStore::CrashForTesting() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
 }
 
 }  // namespace bmeh

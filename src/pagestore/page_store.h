@@ -2,7 +2,9 @@
 //
 // Two implementations: an in-memory store for simulation and tests, and a
 // POSIX-file-backed store (4 KiB pages, header page with a free-list chain)
-// used by the BMEH-tree's save/load path and the persistence tests.
+// used by the BMEH-tree's save/load path and the persistence tests.  A
+// third, FaultInjectingPageStore (fault_injecting_page_store.h), decorates
+// any of them with deterministic failure injection for crash testing.
 
 #ifndef BMEH_PAGESTORE_PAGE_STORE_H_
 #define BMEH_PAGESTORE_PAGE_STORE_H_
@@ -51,6 +53,16 @@ class PageStore {
   /// \brief Number of currently live (allocated, not freed) pages.
   virtual uint64_t live_page_count() const = 0;
 
+  /// \brief Makes every acknowledged write durable (fsync for file-backed
+  /// stores; a no-op where there is no volatile cache to flush).
+  virtual Status Sync() { return Status::OK(); }
+
+  /// \brief Id the store's first Allocate() on a fresh device returns
+  /// (page ids below it are reserved for store metadata).  Deterministic
+  /// per backend, which lets layers above place bootstrap pages — e.g.
+  /// BmehStore's superblock — at a known id.
+  virtual PageId first_data_page() const { return 0; }
+
   const StoreStats& stats() const { return stats_; }
   void ResetStats() { stats_ = StoreStats{}; }
 
@@ -83,6 +95,18 @@ class InMemoryPageStore : public PageStore {
 /// Layout: page 0 is a header (magic, page size, page count, free-list
 /// head); each free page stores the id of the next free page in its first
 /// four bytes.  The header is rewritten on Sync() and on destruction.
+///
+/// Crash-consistency contract: the on-disk header (and with it the free
+/// chain) is only guaranteed coherent as of the last Sync().  A reader
+/// reopening after a crash must therefore either trust the chain (plain
+/// Open(), fine after a clean close) or open with OpenForRecovery() —
+/// which ignores the possibly-stale chain — and hand the store a
+/// reconstructed free list via AdoptFreeList() once it has determined
+/// which pages are reachable.  BmehStore does the latter on every open.
+///
+/// The file is flock()ed exclusively for the lifetime of the object, so a
+/// second Open/Create of the same path (from this or another process)
+/// fails with IoError instead of silently corrupting the store.
 class FilePageStore : public PageStore {
  public:
   ~FilePageStore() override;
@@ -91,8 +115,16 @@ class FilePageStore : public PageStore {
   static Result<std::unique_ptr<FilePageStore>> Create(
       const std::string& path, int page_size = kDefaultPageSize);
 
-  /// \brief Opens an existing store file, validating the header.
+  /// \brief Opens an existing store file, validating the header and
+  /// rebuilding the free list from the on-disk chain.
   static Result<std::unique_ptr<FilePageStore>> Open(const std::string& path);
+
+  /// \brief Opens an existing store file without walking the free chain
+  /// (which may be stale after a crash).  The store starts with an empty
+  /// free list; the caller is expected to call AdoptFreeList() with the
+  /// set of unreachable pages it computed.
+  static Result<std::unique_ptr<FilePageStore>> OpenForRecovery(
+      const std::string& path);
 
   int page_size() const override { return page_size_; }
   Result<PageId> Allocate() override;
@@ -100,12 +132,38 @@ class FilePageStore : public PageStore {
   Status Read(PageId id, std::span<uint8_t> out) override;
   Status Write(PageId id, std::span<const uint8_t> data) override;
   uint64_t live_page_count() const override;
+  PageId first_data_page() const override { return 1; }
 
-  /// \brief Flushes the header and fsyncs the file.
-  Status Sync();
+  /// \brief Flushes the header and fsyncs the file.  Once an fsync has
+  /// failed the error is sticky: the kernel may have dropped the dirty
+  /// pages, so later "successful" fsyncs must not be reported as
+  /// durability (the PostgreSQL fsync-gate lesson).
+  Status Sync() override;
+
+  /// \brief Replaces the free list wholesale with `pages` (each must be a
+  /// valid non-header page, not currently free).  Rewrites the on-disk
+  /// chain over the adopted pages — safe even mid-crash, because adopted
+  /// pages are by definition unreachable from any live structure.
+  Status AdoptFreeList(const std::vector<PageId>& pages);
+
+  /// \brief Total pages in the file, including the header page.
+  uint64_t page_count() const { return page_count_; }
+
+  /// \brief Testing hook: drops the file descriptor *without* the
+  /// destructor's header flush, leaving the on-disk state exactly as the
+  /// last completed write left it — what a process crash would leave.
+  /// Every subsequent operation fails with IoError.
+  void CrashForTesting();
+
+  /// \brief Testing hook: skip the physical fsync in Sync() (header write
+  /// still happens).  Process-level crash tests do not need the kernel
+  /// flush and save two orders of magnitude of wall clock on ext4.
+  void DisableFsyncForTesting() { fsync_enabled_ = false; }
 
  private:
   FilePageStore(int fd, int page_size);
+  static Result<std::unique_ptr<FilePageStore>> OpenImpl(
+      const std::string& path, bool walk_free_chain);
   Status WriteHeader();
   Status ReadRaw(PageId id, std::span<uint8_t> out);
   Status WriteRaw(PageId id, std::span<const uint8_t> data);
@@ -115,8 +173,13 @@ class FilePageStore : public PageStore {
   uint64_t page_count_ = 1;  // includes the header page
   uint64_t live_count_ = 0;
   PageId free_head_ = kInvalidPageId;
-  // Mirror of the on-disk free chain, to reject use-after-free and double
-  // free (rebuilt by Open()).
+  bool fsync_enabled_ = true;
+  // First fsync failure, remembered forever (see Sync()).
+  Status sticky_sync_error_;
+  // In-memory mirror of the free chain, newest free page last (the back
+  // is always free_head_).  Lets Allocate() pop without a disk read.
+  std::vector<PageId> free_list_;
+  // Membership mirror, to reject use-after-free and double free.
   std::unordered_set<PageId> free_set_;
 };
 

@@ -2,35 +2,94 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cstring>
+#include <map>
+#include <unordered_set>
+
+#include "src/common/crc32.h"
 
 namespace bmeh {
 
 namespace {
 
-constexpr uint32_t kSuperMagic = 0x424d5342;  // "BMSB"
-/// The superblock is the first page a fresh store allocates, so its id is
-/// deterministic: the FilePageStore header is page 0, the superblock 1.
-constexpr PageId kSuperblockPage = 1;
+// Superblock layout (version 2, WAL-aware):
+//   [0]  magic "BMS2"
+//   [4]  image chain head (kInvalidPageId = no checkpoint yet)
+//   [8]  checkpoint generation (u64)
+//   [16] WAL chain head (kInvalidPageId = empty log)
+//   [20] CRC32 of bytes [0, 20)
+constexpr uint32_t kSuperMagic = 0x424d5332;  // "BMS2"
+constexpr size_t kSuperPayload = 20;
 
 bool FileExists(const std::string& path) {
   struct stat st;
   return ::stat(path.c_str(), &st) == 0;
 }
 
+Status ReadSuperblockFrom(PageStore* store, PageId page, PageId* head,
+                          uint64_t* generation, PageId* wal_head) {
+  std::vector<uint8_t> buf(store->page_size());
+  BMEH_RETURN_NOT_OK(store->Read(page, buf));
+  uint32_t magic;
+  std::memcpy(&magic, buf.data(), 4);
+  if (magic != kSuperMagic) {
+    return Status::Corruption("bad superblock magic");
+  }
+  uint32_t crc;
+  std::memcpy(&crc, buf.data() + kSuperPayload, 4);
+  if (crc != Crc32(buf.data(), kSuperPayload)) {
+    return Status::Corruption("superblock checksum mismatch");
+  }
+  std::memcpy(head, buf.data() + 4, 4);
+  std::memcpy(generation, buf.data() + 8, 8);
+  std::memcpy(wal_head, buf.data() + 16, 4);
+  return Status::OK();
+}
+
+Status WriteSuperblockTo(PageStore* store, PageId page, PageId head,
+                         uint64_t generation, PageId wal_head) {
+  std::vector<uint8_t> buf(store->page_size(), 0);
+  std::memcpy(buf.data(), &kSuperMagic, 4);
+  std::memcpy(buf.data() + 4, &head, 4);
+  std::memcpy(buf.data() + 8, &generation, 8);
+  std::memcpy(buf.data() + 16, &wal_head, 4);
+  const uint32_t crc = Crc32(buf.data(), kSuperPayload);
+  std::memcpy(buf.data() + kSuperPayload, &crc, 4);
+  BMEH_RETURN_NOT_OK(store->Write(page, buf));
+  return store->Sync();
+}
+
+/// Applies one replayed WAL record to the tree.  Logical failures
+/// (duplicate insert, delete of an absent key, a key outside the schema
+/// domain, a structural capacity limit) were no-ops when the record was
+/// logged live, so they are no-ops at replay too; only real IO/corruption
+/// failures abort recovery.
+Status ApplyReplayed(BmehTree* tree, const Wal::LogRecord& rec) {
+  Status st = (rec.op == Wal::kOpInsert) ? tree->Insert(rec.key, rec.payload)
+                                         : tree->Delete(rec.key);
+  if (st.ok() || st.IsAlreadyExists() || st.IsKeyError() || st.IsInvalid() ||
+      st.IsCapacityError()) {
+    return Status::OK();
+  }
+  return st;
+}
+
 }  // namespace
 
-BmehStore::BmehStore(std::unique_ptr<FilePageStore> store,
+BmehStore::BmehStore(std::unique_ptr<PageStore> store,
                      std::unique_ptr<BmehTree> tree, PageId image_head,
-                     uint64_t generation, uint64_t checkpoint_every)
+                     uint64_t generation, const StoreOptions& options)
     : store_(std::move(store)),
       tree_(std::move(tree)),
+      wal_(std::make_unique<Wal>(store_.get(), options.wal_sync_every)),
+      super_page_(store_->first_data_page()),
       image_head_(image_head),
       generation_(generation),
-      checkpoint_every_(checkpoint_every) {}
+      checkpoint_every_(options.checkpoint_every) {}
 
 BmehStore::~BmehStore() {
-  if (dirty_ops_ > 0) {
+  if (dirty_ops_ > 0 && poisoned_.ok()) {
     Status st = Checkpoint();
     if (!st.ok()) {
       BMEH_LOG(Error) << "final checkpoint failed: " << st;
@@ -38,75 +97,189 @@ BmehStore::~BmehStore() {
   }
 }
 
-Status BmehStore::ReadSuperblock(PageId* head, uint64_t* generation) {
-  std::vector<uint8_t> buf(store_->page_size());
-  BMEH_RETURN_NOT_OK(store_->Read(kSuperblockPage, buf));
-  uint32_t magic;
-  std::memcpy(&magic, buf.data(), 4);
-  if (magic != kSuperMagic) {
-    return Status::Corruption("bad superblock magic");
-  }
-  std::memcpy(head, buf.data() + 4, 4);
-  std::memcpy(generation, buf.data() + 8, 8);
-  return Status::OK();
+Status BmehStore::ReadSuperblock(PageId* head, uint64_t* generation,
+                                 PageId* wal_head) {
+  return ReadSuperblockFrom(store_.get(), super_page_, head, generation,
+                            wal_head);
 }
 
-Status BmehStore::WriteSuperblock(PageId head, uint64_t generation) {
-  std::vector<uint8_t> buf(store_->page_size(), 0);
-  std::memcpy(buf.data(), &kSuperMagic, 4);
-  std::memcpy(buf.data() + 4, &head, 4);
-  std::memcpy(buf.data() + 8, &generation, 8);
-  BMEH_RETURN_NOT_OK(store_->Write(kSuperblockPage, buf));
-  return store_->Sync();
+Status BmehStore::WriteSuperblock(PageId head, uint64_t generation,
+                                  PageId wal_head) {
+  return WriteSuperblockTo(store_.get(), super_page_, head, generation,
+                           wal_head);
+}
+
+Result<std::unique_ptr<BmehStore>> BmehStore::InitFresh(
+    std::unique_ptr<PageStore> store, const StoreOptions& options) {
+  BMEH_ASSIGN_OR_RETURN(PageId super, store->Allocate());
+  if (super != store->first_data_page()) {
+    return Status::Corruption("unexpected superblock page id " +
+                              std::to_string(super));
+  }
+  auto tree = std::make_unique<BmehTree>(options.schema, options.tree);
+  auto out = std::unique_ptr<BmehStore>(
+      new BmehStore(std::move(store), std::move(tree), kInvalidPageId, 0,
+                    options));
+  BMEH_RETURN_NOT_OK(out->WriteSuperblock(kInvalidPageId, /*generation=*/0,
+                                          kInvalidPageId));
+  return out;
+}
+
+Result<std::unique_ptr<BmehStore>> BmehStore::OpenExisting(
+    std::unique_ptr<PageStore> store, const StoreOptions& options) {
+  auto out = std::unique_ptr<BmehStore>(
+      new BmehStore(std::move(store), nullptr, kInvalidPageId, 0, options));
+  PageId head, wal_head;
+  uint64_t generation;
+  BMEH_RETURN_NOT_OK(out->ReadSuperblock(&head, &generation, &wal_head));
+  out->image_head_ = head;
+  out->generation_ = generation;
+  if (head == kInvalidPageId) {
+    out->tree_ = std::make_unique<BmehTree>(options.schema, options.tree);
+  } else {
+    BMEH_ASSIGN_OR_RETURN(out->tree_,
+                          BmehTree::LoadFrom(out->store_.get(), head));
+    if (!(out->tree_->schema() == options.schema)) {
+      return Status::Invalid("schema mismatch: store has " +
+                             out->tree_->schema().ToString() +
+                             ", caller expects " +
+                             options.schema.ToString());
+    }
+  }
+  // Replay the log on top of the checkpoint.  A torn tail is discarded
+  // (and zeroed) by the Wal; whatever replays is re-counted as dirty so
+  // a clean shutdown folds it into the next checkpoint.
+  BmehTree* tree = out->tree_.get();
+  BMEH_RETURN_NOT_OK(out->wal_->Replay(
+      wal_head,
+      [tree](const Wal::LogRecord& rec) { return ApplyReplayed(tree, rec); }));
+  out->dirty_ops_ = out->wal_->record_count();
+  out->published_wal_head_ = wal_head;
+  if (out->wal_->head() != wal_head) {
+    // The whole log was unreadable garbage (e.g. the head page never hit
+    // the disk).  Point the superblock away from it so the pages can be
+    // safely reused.
+    BMEH_RETURN_NOT_OK(out->WriteSuperblock(out->image_head_,
+                                            out->generation_,
+                                            out->wal_->head()));
+    out->published_wal_head_ = out->wal_->head();
+    out->wal_->NoteSynced();
+  }
+  return out;
+}
+
+Result<std::unique_ptr<BmehStore>> BmehStore::Open(
+    std::unique_ptr<PageStore> store, const StoreOptions& options) {
+  if (store->live_page_count() == 0) {
+    return InitFresh(std::move(store), options);
+  }
+  return OpenExisting(std::move(store), options);
 }
 
 Result<std::unique_ptr<BmehStore>> BmehStore::Open(
     const std::string& path, const StoreOptions& options) {
   if (!FileExists(path)) {
-    // Fresh store.
     BMEH_ASSIGN_OR_RETURN(auto file,
                           FilePageStore::Create(path, options.page_size));
-    BMEH_ASSIGN_OR_RETURN(PageId super, file->Allocate());
-    if (super != kSuperblockPage) {
-      return Status::Corruption("unexpected superblock page id " +
-                                std::to_string(super));
-    }
-    auto tree = std::make_unique<BmehTree>(options.schema, options.tree);
-    auto store = std::unique_ptr<BmehStore>(
-        new BmehStore(std::move(file), std::move(tree), kInvalidPageId, 0,
-                      options.checkpoint_every));
-    BMEH_RETURN_NOT_OK(
-        store->WriteSuperblock(kInvalidPageId, /*generation=*/0));
-    return store;
+    return InitFresh(std::move(file), options);
   }
 
-  // Existing store.
-  BMEH_ASSIGN_OR_RETURN(auto file, FilePageStore::Open(path));
-  auto store = std::unique_ptr<BmehStore>(
-      new BmehStore(std::move(file), nullptr, kInvalidPageId, 0,
-                    options.checkpoint_every));
-  PageId head;
-  uint64_t generation;
-  BMEH_RETURN_NOT_OK(store->ReadSuperblock(&head, &generation));
-  store->image_head_ = head;
-  store->generation_ = generation;
-  if (head == kInvalidPageId) {
-    store->tree_ =
-        std::make_unique<BmehTree>(options.schema, options.tree);
-  } else {
-    BMEH_ASSIGN_OR_RETURN(store->tree_,
-                          BmehTree::LoadFrom(store->store_.get(), head));
-    if (!(store->tree_->schema() == options.schema)) {
-      return Status::Invalid("schema mismatch: store has " +
-                             store->tree_->schema().ToString() +
-                             ", caller expects " +
-                             options.schema.ToString());
-    }
+  // Existing file: the on-disk free chain may be stale if the last close
+  // was a crash, so open in recovery mode and rebuild the free list from
+  // reachability once the superblock, image and WAL told us which pages
+  // are live.
+  BMEH_ASSIGN_OR_RETURN(auto file, FilePageStore::OpenForRecovery(path));
+  FilePageStore* raw = file.get();
+  BMEH_ASSIGN_OR_RETURN(auto out, OpenExisting(std::move(file), options));
+
+  std::unordered_set<PageId> reachable;
+  reachable.insert(out->super_page_);
+  if (out->image_head_ != kInvalidPageId) {
+    std::vector<PageId> image_pages;
+    BMEH_RETURN_NOT_OK(BmehTree::CollectImagePages(
+        out->store_.get(), out->image_head_, &image_pages));
+    reachable.insert(image_pages.begin(), image_pages.end());
   }
-  return store;
+  for (PageId id : out->wal_->pages()) reachable.insert(id);
+  std::vector<PageId> free_pages;
+  for (PageId id = 1; id < raw->page_count(); ++id) {
+    if (reachable.count(id) == 0) free_pages.push_back(id);
+  }
+  BMEH_RETURN_NOT_OK(raw->AdoptFreeList(free_pages));
+  return out;
+}
+
+Result<StoreInfo> BmehStore::Inspect(const std::string& path) {
+  BMEH_ASSIGN_OR_RETURN(auto file, FilePageStore::OpenForRecovery(path));
+  StoreInfo info;
+  info.page_size = file->page_size();
+  info.page_count = file->page_count();
+  PageId head, wal_head;
+  uint64_t generation;
+  BMEH_RETURN_NOT_OK(ReadSuperblockFrom(file.get(), file->first_data_page(),
+                                        &head, &generation, &wal_head));
+  info.generation = generation;
+  info.image_head = head;
+  info.wal_head = wal_head;
+
+  std::unique_ptr<BmehTree> tree;
+  uint64_t image_pages = 0;
+  if (head != kInvalidPageId) {
+    std::vector<PageId> pages;
+    BMEH_RETURN_NOT_OK(
+        BmehTree::CollectImagePages(file.get(), head, &pages));
+    image_pages = pages.size();
+    BMEH_ASSIGN_OR_RETURN(tree, BmehTree::LoadFrom(file.get(), head));
+  }
+  // Count the replayed state without mutating the file (no tail
+  // sanitization, no superblock rewrite).
+  std::map<PseudoKey, uint64_t> scratch;
+  Wal wal(file.get(), 0);
+  BMEH_RETURN_NOT_OK(wal.Replay(
+      wal_head,
+      [&](const Wal::LogRecord& rec) -> Status {
+        if (tree != nullptr) return ApplyReplayed(tree.get(), rec);
+        if (rec.op == Wal::kOpInsert) {
+          scratch.emplace(rec.key, rec.payload);
+        } else {
+          scratch.erase(rec.key);
+        }
+        return Status::OK();
+      },
+      /*sanitize_tail=*/false));
+  info.wal_records = wal.record_count();
+  info.wal_pages = wal.pages().size();
+  info.records = tree != nullptr ? tree->Stats().records : scratch.size();
+  // Live pages after the recovery a real Open() would perform:
+  // superblock + image chain + WAL chain.
+  info.live_pages = 1 + image_pages + info.wal_pages;
+  return info;
+}
+
+Status BmehStore::LogMutation(const Wal::LogRecord& rec) {
+  Status st = wal_->Append(rec);
+  if (st.ok() && wal_->head() != published_wal_head_) {
+    // First record of a fresh log: make it reachable from the superblock
+    // (the publish syncs, covering the record page as well).
+    st = WriteSuperblock(image_head_, generation_, wal_->head());
+    if (st.ok()) {
+      published_wal_head_ = wal_->head();
+      wal_->NoteSynced();
+    }
+  } else if (st.ok()) {
+    st = wal_->MaybeSync();
+  }
+  if (!st.ok()) {
+    poisoned_ = st;
+    return st;
+  }
+  return Status::OK();
 }
 
 Status BmehStore::Put(const PseudoKey& key, uint64_t payload) {
+  BMEH_RETURN_NOT_OK(poisoned_);
+  BMEH_RETURN_NOT_OK(tree_->schema().Validate(key));
+  BMEH_RETURN_NOT_OK(LogMutation({Wal::kOpInsert, key, payload}));
   BMEH_RETURN_NOT_OK(tree_->Insert(key, payload));
   ++dirty_ops_;
   return MaybeAutoCheckpoint();
@@ -117,6 +290,9 @@ Result<uint64_t> BmehStore::Get(const PseudoKey& key) {
 }
 
 Status BmehStore::Delete(const PseudoKey& key) {
+  BMEH_RETURN_NOT_OK(poisoned_);
+  BMEH_RETURN_NOT_OK(tree_->schema().Validate(key));
+  BMEH_RETURN_NOT_OK(LogMutation({Wal::kOpDelete, key, 0}));
   BMEH_RETURN_NOT_OK(tree_->Delete(key));
   ++dirty_ops_;
   return MaybeAutoCheckpoint();
@@ -135,6 +311,7 @@ Status BmehStore::MaybeAutoCheckpoint() {
 }
 
 Status BmehStore::Checkpoint() {
+  BMEH_RETURN_NOT_OK(poisoned_);
   BMEH_ASSIGN_OR_RETURN(PageId new_head, tree_->SaveTo(store_.get()));
   if (crash_before_publish_) {
     // Testing hook: the image is on disk but the superblock still points
@@ -142,17 +319,27 @@ Status BmehStore::Checkpoint() {
     crash_before_publish_ = false;
     return Status::OK();
   }
-  BMEH_RETURN_NOT_OK(WriteSuperblock(new_head, generation_ + 1));
-  // Publish succeeded: reclaim the previous image (and with it, any chain
-  // a crashed unpublished checkpoint may have leaked stays unreachable
-  // but gets reclaimed below only if it was the published one; leaked
-  // chains are reclaimed lazily by the next full rewrite of the file).
-  if (image_head_ != kInvalidPageId) {
-    BMEH_RETURN_NOT_OK(BmehTree::FreeImage(store_.get(), image_head_));
+  Status publish = WriteSuperblock(new_head, generation_ + 1, kInvalidPageId);
+  if (!publish.ok()) {
+    // The flip (or its fsync) failed: the durable state is unknown, so
+    // refuse further mutations rather than let memory and disk diverge.
+    poisoned_ = publish;
+    return publish;
   }
+  // Publish succeeded: the new image and an empty WAL are the durable
+  // truth.  Update in-memory state first, then reclaim the old chains —
+  // a failed Free here leaks pages (reclaimed by the next recovery Open)
+  // but cannot corrupt the published state.
+  const PageId old_image = image_head_;
   image_head_ = new_head;
   ++generation_;
   dirty_ops_ = 0;
+  published_wal_head_ = kInvalidPageId;
+  wal_->NoteSynced();
+  if (old_image != kInvalidPageId) {
+    BMEH_RETURN_NOT_OK(BmehTree::FreeImage(store_.get(), old_image));
+  }
+  BMEH_RETURN_NOT_OK(wal_->Truncate());
   return Status::OK();
 }
 

@@ -3,15 +3,36 @@
 // want the paper's structure as a small database file rather than an
 // in-memory index.
 //
-// Durability model: checkpointing.  The whole tree is serialized into a
-// fresh page chain; a single superblock page (a fixed page id right after
-// the store header) is then rewritten to point at the new chain, and the
-// old chain's pages are returned to the free list.  The superblock write
-// is one page-sized pwrite, so a crash leaves the store at either the old
-// or the new checkpoint, never in between; pages written for an
-// unpublished checkpoint are reclaimed on the next successful one.
-// Mutations between checkpoints live in memory only (the tree itself) —
-// `checkpoint_every` bounds how many can be lost.
+// Durability model: checkpoints + write-ahead log.
+//
+//  * Checkpoints.  The whole tree is serialized into a fresh page chain;
+//    a single superblock page (a fixed page id right after the store
+//    header) is then rewritten to point at the new chain, and the old
+//    chain's pages are returned to the free list.  The superblock write
+//    is one page-sized pwrite, so a crash leaves the store at either the
+//    old or the new checkpoint, never in between.
+//
+//  * Write-ahead log.  Every mutation between checkpoints is appended to
+//    a page-chain log (src/store/wal.h) *before* it is applied to the
+//    in-memory tree, with a per-record CRC.  The superblock carries the
+//    log's head page, so the same atomic flip that publishes a checkpoint
+//    also resets the log.  Open() replays the log on top of the last
+//    checkpoint, restoring the tree to the last logged mutation; a torn
+//    tail (half-written record after a crash) is detected by CRC and
+//    discarded.  Fsyncs are batched via StoreOptions::wal_sync_every:
+//    with the default of 1 every acknowledged mutation is durable; with
+//    larger values (or 0) up to that many acknowledged mutations may be
+//    lost on a crash — but recovery always yields a clean *prefix* of
+//    the acknowledged history, never a torn or reordered state.
+//
+// Recovery invariants (exercised exhaustively by tests/crash_matrix_test):
+//  1. Open() after any crash yields a tree that Validate()s and whose
+//     contents equal the checkpoint image plus a prefix of the logged
+//     mutations.
+//  2. The prefix includes every mutation covered by a completed sync.
+//  3. The free list is rebuilt from reachability (superblock + image
+//     chain + log chain), so pages leaked by a crashed checkpoint or a
+//     torn log tail are reclaimed on the next Open() rather than lost.
 
 #ifndef BMEH_STORE_BMEH_STORE_H_
 #define BMEH_STORE_BMEH_STORE_H_
@@ -22,6 +43,7 @@
 
 #include "src/core/bmeh_tree.h"
 #include "src/pagestore/page_store.h"
+#include "src/store/wal.h"
 
 namespace bmeh {
 
@@ -35,6 +57,24 @@ struct StoreOptions {
   int page_size = kDefaultPageSize;
   /// Checkpoint automatically after this many mutations (0 = manual).
   uint64_t checkpoint_every = 0;
+  /// Fsync the WAL after this many appended records.  1 (the default)
+  /// makes every acknowledged mutation durable; larger values trade a
+  /// bounded window of recent mutations for fewer fsyncs; 0 syncs only
+  /// at checkpoints.
+  uint64_t wal_sync_every = 1;
+};
+
+/// \brief Summary of a store file's durable state (see BmehStore::Inspect).
+struct StoreInfo {
+  uint64_t generation = 0;
+  PageId image_head = kInvalidPageId;
+  PageId wal_head = kInvalidPageId;
+  uint64_t wal_records = 0;
+  uint64_t wal_pages = 0;
+  uint64_t records = 0;  ///< Records after WAL replay.
+  uint64_t page_count = 0;
+  uint64_t live_pages = 0;
+  int page_size = 0;
 };
 
 /// \brief A durable multidimensional record store.
@@ -46,9 +86,21 @@ class BmehStore {
 
   /// \brief Opens `path`, creating a fresh store when the file does not
   /// exist.  When opening an existing file the persisted schema must
-  /// equal options.schema.
+  /// equal options.schema.  Reopening after a crash replays the WAL and
+  /// rebuilds the page free list from reachability.
   static Result<std::unique_ptr<BmehStore>> Open(const std::string& path,
                                                  const StoreOptions& options);
+
+  /// \brief Opens a store over an arbitrary PageStore (in-memory, fault
+  /// injecting, ...).  A store with no live pages is initialized fresh;
+  /// otherwise the superblock is read and the WAL replayed.  Unlike the
+  /// path overload this performs no free-list recovery — file-backed
+  /// crash recovery should go through Open(path, options).
+  static Result<std::unique_ptr<BmehStore>> Open(
+      std::unique_ptr<PageStore> store, const StoreOptions& options);
+
+  /// \brief Reads the durable state of a store file without mutating it.
+  static Result<StoreInfo> Inspect(const std::string& path);
 
   /// \brief Inserts a record (AlreadyExists on duplicates).
   Status Put(const PseudoKey& key, uint64_t payload);
@@ -62,12 +114,18 @@ class BmehStore {
   /// \brief Partial-range query.
   Status Range(const RangePredicate& pred, std::vector<Record>* out);
 
-  /// \brief Writes a durable checkpoint (atomic superblock flip) and
-  /// fsyncs the file.
+  /// \brief Writes a durable checkpoint (atomic superblock flip), fsyncs
+  /// the file, and truncates the WAL.  Any IO or fsync failure is
+  /// reported as a non-OK Status; after a failed publish the store
+  /// refuses further mutations (the on-disk state is no longer known to
+  /// be coherent with memory).
   Status Checkpoint();
 
   /// \brief Mutations since the last successful checkpoint.
   uint64_t dirty_ops() const { return dirty_ops_; }
+
+  /// \brief Records currently in the write-ahead log.
+  uint64_t wal_records() const { return wal_->record_count(); }
 
   /// \brief Monotone checkpoint generation (0 for a fresh store).
   uint64_t generation() const { return generation_; }
@@ -75,6 +133,9 @@ class BmehStore {
   /// \brief The underlying in-memory tree (read-mostly introspection).
   const BmehTree& tree() const { return *tree_; }
   BmehTree* mutable_tree() { return tree_.get(); }
+
+  /// \brief The underlying page device (introspection / test assertions).
+  const PageStore& page_store() const { return *store_; }
 
   const KeySchema& schema() const { return tree_->schema(); }
 
@@ -84,22 +145,47 @@ class BmehStore {
     crash_before_publish_ = true;
   }
 
- private:
-  BmehStore(std::unique_ptr<FilePageStore> store,
-            std::unique_ptr<BmehTree> tree, PageId image_head,
-            uint64_t generation, uint64_t checkpoint_every);
+  /// \brief Testing hook: poisons the store so the destructor performs no
+  /// final checkpoint — the on-disk state stays exactly as the last
+  /// acknowledged operation left it, as after a process crash.
+  void SimulateCrashForTesting() {
+    poisoned_ = Status::IoError("simulated crash");
+  }
 
-  Status ReadSuperblock(PageId* head, uint64_t* generation);
-  Status WriteSuperblock(PageId head, uint64_t generation);
+ private:
+  BmehStore(std::unique_ptr<PageStore> store, std::unique_ptr<BmehTree> tree,
+            PageId image_head, uint64_t generation,
+            const StoreOptions& options);
+
+  /// Loads superblock + tree + WAL from an already-open device.  Factored
+  /// so the path and PageStore overloads share one recovery path.
+  static Result<std::unique_ptr<BmehStore>> OpenExisting(
+      std::unique_ptr<PageStore> store, const StoreOptions& options);
+  static Result<std::unique_ptr<BmehStore>> InitFresh(
+      std::unique_ptr<PageStore> store, const StoreOptions& options);
+
+  Status ReadSuperblock(PageId* head, uint64_t* generation,
+                        PageId* wal_head);
+  Status WriteSuperblock(PageId head, uint64_t generation, PageId wal_head);
+  /// Appends to the WAL and makes the record reachable + durable per the
+  /// sync policy.  On failure the store is poisoned.
+  Status LogMutation(const Wal::LogRecord& rec);
   Status MaybeAutoCheckpoint();
 
-  std::unique_ptr<FilePageStore> store_;
+  std::unique_ptr<PageStore> store_;
   std::unique_ptr<BmehTree> tree_;
+  std::unique_ptr<Wal> wal_;
+  PageId super_page_ = kInvalidPageId;
   PageId image_head_ = kInvalidPageId;
+  /// WAL head the on-disk superblock currently points at.
+  PageId published_wal_head_ = kInvalidPageId;
   uint64_t generation_ = 0;
   uint64_t checkpoint_every_ = 0;
   uint64_t dirty_ops_ = 0;
   bool crash_before_publish_ = false;
+  /// Non-OK once a durability write failed; mutations are refused so the
+  /// divergence between memory and disk cannot widen silently.
+  Status poisoned_;
 };
 
 }  // namespace bmeh

@@ -1,0 +1,220 @@
+#include "src/store/wal.h"
+
+#include <cstring>
+#include <unordered_set>
+
+#include "src/common/crc32.h"
+
+namespace bmeh {
+
+namespace {
+
+constexpr uint32_t kWalMagic = 0x424d574c;  // "BMWL"
+constexpr size_t kPageHeaderSize = 8;       // magic + next
+constexpr size_t kLenSize = 2;
+constexpr size_t kCrcSize = 4;
+
+void PutU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+uint16_t GetU16(const uint8_t* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+
+size_t BodySize(uint8_t op, int dims) {
+  return 2 + 4 * static_cast<size_t>(dims) +
+         (op == Wal::kOpInsert ? 8 : 0);
+}
+
+}  // namespace
+
+size_t Wal::WireSize(const LogRecord& rec) {
+  return kLenSize + BodySize(rec.op, rec.key.dims()) + kCrcSize;
+}
+
+void Wal::Encode(const LogRecord& rec, uint8_t* buf, size_t off) {
+  const uint16_t len =
+      static_cast<uint16_t>(BodySize(rec.op, rec.key.dims()));
+  std::memcpy(buf + off, &len, 2);
+  uint8_t* body = buf + off + kLenSize;
+  body[0] = rec.op;
+  body[1] = static_cast<uint8_t>(rec.key.dims());
+  for (int j = 0; j < rec.key.dims(); ++j) {
+    PutU32(body + 2 + 4 * j, rec.key.component(j));
+  }
+  if (rec.op == kOpInsert) {
+    std::memcpy(body + 2 + 4 * rec.key.dims(), &rec.payload, 8);
+  }
+  const uint32_t crc = Crc32(body, len, static_cast<uint32_t>(off));
+  PutU32(body + len, crc);
+}
+
+void Wal::InitTailBuffer(PageId id) {
+  tail_buf_.assign(store_->page_size(), 0);
+  PutU32(tail_buf_.data(), kWalMagic);
+  PutU32(tail_buf_.data() + 4, kInvalidPageId);
+  tail_ = id;
+  tail_used_ = kPageHeaderSize;
+}
+
+Status Wal::Append(const LogRecord& rec) {
+  if (rec.op != kOpInsert && rec.op != kOpDelete) {
+    return Status::Invalid("bad WAL op " + std::to_string(rec.op));
+  }
+  const size_t need = WireSize(rec);
+  const size_t page_size = static_cast<size_t>(store_->page_size());
+  if (empty()) {
+    BMEH_ASSIGN_OR_RETURN(PageId id, store_->Allocate());
+    head_ = id;
+    InitTailBuffer(id);
+    pages_.push_back(id);
+  } else if (tail_used_ + need > page_size) {
+    // Seal the tail: link it to a fresh page and write it out one last
+    // time, then continue in the new page.
+    BMEH_ASSIGN_OR_RETURN(PageId id, store_->Allocate());
+    PutU32(tail_buf_.data() + 4, id);
+    BMEH_RETURN_NOT_OK(store_->Write(tail_, tail_buf_));
+    InitTailBuffer(id);
+    pages_.push_back(id);
+  }
+  Encode(rec, tail_buf_.data(), tail_used_);
+  tail_used_ += need;
+  BMEH_RETURN_NOT_OK(store_->Write(tail_, tail_buf_));
+  ++record_count_;
+  ++unsynced_;
+  return Status::OK();
+}
+
+Status Wal::MaybeSync() {
+  if (sync_every_ > 0 && unsynced_ >= sync_every_) {
+    return Sync();
+  }
+  return Status::OK();
+}
+
+Status Wal::Sync() {
+  BMEH_RETURN_NOT_OK(store_->Sync());
+  unsynced_ = 0;
+  return Status::OK();
+}
+
+Status Wal::Replay(PageId head, const ReplayFn& fn, bool sanitize_tail) {
+  head_ = kInvalidPageId;
+  tail_ = kInvalidPageId;
+  tail_buf_.clear();
+  tail_used_ = 0;
+  record_count_ = 0;
+  unsynced_ = 0;
+  pages_.clear();
+  if (head == kInvalidPageId) {
+    return Status::OK();
+  }
+
+  const size_t page_size = static_cast<size_t>(store_->page_size());
+  std::vector<uint8_t> buf(page_size);
+  std::unordered_set<PageId> visited;
+  PageId id = head;
+  bool truncated = false;
+  // Everything below treats any inconsistency as "the log ends here":
+  // after a crash the tail may be unwritten (zeros), half-written (CRC
+  // mismatch), or dangling (unreadable page) — all are expected states,
+  // and the valid prefix before them is exactly what was acknowledged.
+  while (id != kInvalidPageId) {
+    if (!visited.insert(id).second) {
+      truncated = true;  // cycle: stale link into an older incarnation
+      break;
+    }
+    if (!store_->Read(id, buf).ok() || GetU32(buf.data()) != kWalMagic) {
+      truncated = true;
+      break;
+    }
+    const PageId next = GetU32(buf.data() + 4);
+    size_t off = kPageHeaderSize;
+    bool page_ok = true;
+    while (off + kLenSize <= page_size) {
+      const uint16_t len = GetU16(buf.data() + off);
+      if (len == 0) break;  // end of this page's records
+      if (off + kLenSize + len + kCrcSize > page_size) {
+        page_ok = false;
+        break;
+      }
+      const uint8_t* body = buf.data() + off + kLenSize;
+      const uint32_t crc = GetU32(body + len);
+      if (Crc32(body, len, static_cast<uint32_t>(off)) != crc) {
+        page_ok = false;
+        break;
+      }
+      LogRecord rec;
+      rec.op = body[0];
+      const int dims = body[1];
+      if ((rec.op != kOpInsert && rec.op != kOpDelete) || dims < 1 ||
+          dims > kMaxDims || len != BodySize(rec.op, dims)) {
+        page_ok = false;
+        break;
+      }
+      std::array<uint32_t, kMaxDims> comps{};
+      for (int j = 0; j < dims; ++j) {
+        comps[j] = GetU32(body + 2 + 4 * j);
+      }
+      rec.key = PseudoKey(std::span<const uint32_t>(comps.data(), dims));
+      if (rec.op == kOpInsert) {
+        std::memcpy(&rec.payload, body + 2 + 4 * dims, 8);
+      }
+      BMEH_RETURN_NOT_OK(fn(rec));
+      ++record_count_;
+      off += kLenSize + len + kCrcSize;
+      // Adopt this page as the tail as soon as it holds a valid record.
+      if (head_ == kInvalidPageId) head_ = head;
+      tail_ = id;
+      tail_buf_ = buf;
+      tail_used_ = off;
+      if (pages_.empty() || pages_.back() != id) pages_.push_back(id);
+    }
+    if (!page_ok) {
+      truncated = true;
+      break;
+    }
+    id = next;
+  }
+
+  if (tail_ == kInvalidPageId) {
+    // Nothing valid anywhere in the chain: the log is effectively empty
+    // and the head pages (if any) are garbage for the caller to reclaim.
+    return Status::OK();
+  }
+  head_ = head;
+  if (pages_.empty() || pages_.front() != head) {
+    // The head itself held a record, so this cannot happen; defensive.
+    return Status::Corruption("WAL replay lost its head page");
+  }
+  // Zero out everything past the last valid record (including any stale
+  // next-link) so future appends cannot resurrect discarded bytes.
+  const PageId stale_next = GetU32(tail_buf_.data() + 4);
+  std::fill(tail_buf_.begin() + tail_used_, tail_buf_.end(), 0);
+  PutU32(tail_buf_.data() + 4, kInvalidPageId);
+  if (sanitize_tail && (truncated || stale_next != kInvalidPageId)) {
+    BMEH_RETURN_NOT_OK(store_->Write(tail_, tail_buf_));
+  }
+  return Status::OK();
+}
+
+Status Wal::Truncate() {
+  for (PageId id : pages_) {
+    BMEH_RETURN_NOT_OK(store_->Free(id));
+  }
+  pages_.clear();
+  head_ = kInvalidPageId;
+  tail_ = kInvalidPageId;
+  tail_buf_.clear();
+  tail_used_ = 0;
+  record_count_ = 0;
+  unsynced_ = 0;
+  return Status::OK();
+}
+
+}  // namespace bmeh

@@ -1,0 +1,119 @@
+// Wal: the write-ahead log that makes BmehStore mutations durable between
+// whole-tree checkpoints.
+//
+// The log is an append-only chain of PageStore pages living in the same
+// file as the checkpoints.  Each page is:
+//
+//     [magic "BMWL" u32 | next page id u32 | records...]
+//
+// and each record is:
+//
+//     [body_len u16 | body | crc u32]
+//     body = [op u8 | dims u8 | component u32 * dims | payload u64 (insert)]
+//
+// A body_len of 0 marks the end of a page's records (fresh pages are
+// zeroed, so the marker is implicit).  The CRC covers the body and is
+// seeded with the record's offset in the page, so stale bytes from a
+// recycled page can never verify at a new position.  Every append rewrites
+// the whole tail page — one page-sized write per mutation, the same cost
+// discipline as the superblock flip.
+//
+// Durability is batched: Append() only issues page writes; the owner
+// decides when to make them durable (MaybeSync() honours the configured
+// sync_every, Sync() forces it).  A record is only *guaranteed* durable
+// after the store sync that covers it; replay after a crash recovers a
+// prefix of the appended records that always includes every record
+// covered by a completed sync, and discards any torn tail via the CRC.
+
+#ifndef BMEH_STORE_WAL_H_
+#define BMEH_STORE_WAL_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/encoding/pseudo_key.h"
+#include "src/pagestore/page_store.h"
+
+namespace bmeh {
+
+/// \brief Append-only page-chain mutation log over a PageStore.
+class Wal {
+ public:
+  static constexpr uint8_t kOpInsert = 1;
+  static constexpr uint8_t kOpDelete = 2;
+
+  /// \brief One logged mutation.
+  struct LogRecord {
+    uint8_t op = 0;
+    PseudoKey key;
+    uint64_t payload = 0;  ///< Meaningful for kOpInsert only.
+  };
+
+  using ReplayFn = std::function<Status(const LogRecord&)>;
+
+  /// \brief `store` must outlive the Wal.  `sync_every` batches fsyncs:
+  /// MaybeSync() flushes after every `sync_every` appended records
+  /// (0 = never sync on append; the owner syncs at checkpoints only).
+  Wal(PageStore* store, uint64_t sync_every)
+      : store_(store), sync_every_(sync_every) {}
+
+  /// \brief First page of the chain (kInvalidPageId when the log is empty).
+  PageId head() const { return head_; }
+  bool empty() const { return head_ == kInvalidPageId; }
+
+  /// \brief Valid records currently in the log (appended + replayed).
+  uint64_t record_count() const { return record_count_; }
+
+  /// \brief Pages currently owned by the log, in chain order.
+  const std::vector<PageId>& pages() const { return pages_; }
+
+  /// \brief Appends one record (page writes only; see MaybeSync).
+  Status Append(const LogRecord& rec);
+
+  /// \brief Syncs the store if `sync_every` unsynced records accumulated.
+  Status MaybeSync();
+
+  /// \brief Forces a store sync and resets the batch counter.
+  Status Sync();
+
+  /// \brief Tells the log its pages were made durable by an external sync
+  /// (e.g. a superblock publish), resetting the batch counter.
+  void NoteSynced() { unsynced_ = 0; }
+
+  /// \brief Walks the chain at `head`, invoking `fn` for every valid
+  /// record in append order, and positions the append cursor after the
+  /// last valid record.  Replay stops — without error — at the first sign
+  /// of a torn tail: an unreadable page, a bad page magic, a bad CRC, or a
+  /// malformed body.  `fn` errors are propagated.  When `sanitize_tail`
+  /// is true (the normal recovery path), the tail page is rewritten with
+  /// any truncated garbage zeroed out so that stale bytes and dangling
+  /// chain links cannot resurface on later appends; pass false for
+  /// read-only inspection.
+  Status Replay(PageId head, const ReplayFn& fn, bool sanitize_tail = true);
+
+  /// \brief Frees every page of the log and resets it to empty.  Called
+  /// after a checkpoint made the logged mutations redundant.
+  Status Truncate();
+
+ private:
+  /// Serialized size of `rec` including length prefix and CRC.
+  static size_t WireSize(const LogRecord& rec);
+  /// Writes `rec` into `buf` at `off` (which seeds the CRC).
+  static void Encode(const LogRecord& rec, uint8_t* buf, size_t off);
+  /// Starts a fresh tail page image in tail_buf_.
+  void InitTailBuffer(PageId id);
+
+  PageStore* store_;
+  uint64_t sync_every_;
+  PageId head_ = kInvalidPageId;
+  PageId tail_ = kInvalidPageId;
+  std::vector<uint8_t> tail_buf_;
+  size_t tail_used_ = 0;
+  uint64_t record_count_ = 0;
+  uint64_t unsynced_ = 0;
+  std::vector<PageId> pages_;
+};
+
+}  // namespace bmeh
+
+#endif  // BMEH_STORE_WAL_H_

@@ -1,0 +1,206 @@
+// Edge cases of the checkpoint/recovery machinery: double-open protection,
+// checkpoint_every boundaries, fsync failures surfacing through
+// Checkpoint(), crashed-checkpoint page reclamation, and read-only
+// inspection of a crashed file.
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdio>
+
+#include "src/pagestore/fault_injecting_page_store.h"
+#include "src/store/bmeh_store.h"
+
+namespace bmeh {
+namespace {
+
+class CheckpointEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/bmeh_ckpt_edge_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".db";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  StoreOptions Opts(uint64_t checkpoint_every = 0) {
+    StoreOptions o;
+    o.schema = KeySchema(2, 31);
+    o.tree = TreeOptions::Make(2, 8);
+    o.checkpoint_every = checkpoint_every;
+    o.wal_sync_every = 64;  // process-level crash tests don't need fsync
+    return o;
+  }
+
+  std::unique_ptr<BmehStore> MustOpen(const StoreOptions& options) {
+    auto r = BmehStore::Open(path_, options);
+    BMEH_CHECK(r.ok()) << r.status();
+    return std::move(r).ValueOrDie();
+  }
+
+  uint64_t FileSize() {
+    struct stat st {};
+    BMEH_CHECK(::stat(path_.c_str(), &st) == 0);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  std::string path_;
+};
+
+TEST_F(CheckpointEdgeTest, DoubleOpenOfSameFileIsRejected) {
+  auto store = MustOpen(Opts());
+  ASSERT_TRUE(store->Put(PseudoKey({1u, 1u}), 1).ok());
+
+  auto second = BmehStore::Open(path_, Opts());
+  ASSERT_TRUE(second.status().IsIoError()) << second.status();
+  EXPECT_NE(second.status().ToString().find("already open"),
+            std::string::npos)
+      << second.status();
+
+  // Inspect also needs the file and must refuse while it is held.
+  EXPECT_TRUE(BmehStore::Inspect(path_).status().IsIoError());
+
+  store.reset();  // clean close releases the lock
+  auto third = BmehStore::Open(path_, Opts());
+  ASSERT_TRUE(third.ok()) << third.status();
+  EXPECT_TRUE((*third)->Get(PseudoKey({1u, 1u})).ok());
+}
+
+TEST_F(CheckpointEdgeTest, CheckpointEveryOneCheckpointsEachMutation) {
+  auto store = MustOpen(Opts(/*checkpoint_every=*/1));
+  for (uint32_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(store->Put(PseudoKey({i, i}), i).ok());
+    EXPECT_EQ(store->generation(), i);
+    EXPECT_EQ(store->dirty_ops(), 0u);
+    EXPECT_EQ(store->wal_records(), 0u)
+        << "each checkpoint truncates the log";
+  }
+  ASSERT_TRUE(store->Delete(PseudoKey({1u, 1u})).ok());
+  EXPECT_EQ(store->generation(), 5u);
+}
+
+TEST_F(CheckpointEdgeTest, CrashExactlyAtCheckpointBoundary) {
+  {
+    auto store = MustOpen(Opts(/*checkpoint_every=*/5));
+    for (uint32_t i = 1; i <= 10; ++i) {
+      ASSERT_TRUE(store->Put(PseudoKey({i, i}), i).ok());
+    }
+    EXPECT_EQ(store->generation(), 2u);
+    EXPECT_EQ(store->dirty_ops(), 0u) << "boundary: nothing volatile";
+    store->SimulateCrashForTesting();
+  }
+  auto store = MustOpen(Opts(/*checkpoint_every=*/5));
+  EXPECT_EQ(store->generation(), 2u);
+  EXPECT_EQ(store->dirty_ops(), 0u) << "no WAL records to replay";
+  EXPECT_EQ(store->tree().Stats().records, 10u);
+  ASSERT_TRUE(store->tree().Validate().ok());
+}
+
+TEST_F(CheckpointEdgeTest, ManualModeNeverCheckpointsAutomatically) {
+  auto store = MustOpen(Opts(/*checkpoint_every=*/0));
+  for (uint32_t i = 1; i <= 100; ++i) {
+    ASSERT_TRUE(store->Put(PseudoKey({i, i}), i).ok());
+  }
+  EXPECT_EQ(store->generation(), 0u);
+  EXPECT_EQ(store->dirty_ops(), 100u);
+  EXPECT_EQ(store->wal_records(), 100u);
+  ASSERT_TRUE(store->Checkpoint().ok());
+  EXPECT_EQ(store->generation(), 1u);
+  EXPECT_EQ(store->wal_records(), 0u);
+}
+
+TEST_F(CheckpointEdgeTest, FailedPublishSyncSurfacesAndPoisons) {
+  auto inner = std::make_unique<InMemoryPageStore>();
+  auto injector = std::make_unique<FaultInjectingPageStore>(std::move(inner));
+  FaultInjectingPageStore* raw = injector.get();
+  StoreOptions opts = Opts();
+  opts.wal_sync_every = 0;  // syncs happen at publishes only
+  auto opened = BmehStore::Open(std::move(injector), opts);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  auto store = std::move(opened).ValueOrDie();
+  ASSERT_TRUE(store->Put(PseudoKey({1u, 1u}), 1).ok());
+  ASSERT_TRUE(store->Put(PseudoKey({2u, 2u}), 2).ok());
+
+  // The next sync is the checkpoint's publish fsync: Checkpoint() must
+  // report the failure instead of pretending the flip was durable.
+  raw->FailNthSync(raw->syncs_issued());
+  Status st = store->Checkpoint();
+  ASSERT_TRUE(st.IsIoError()) << st;
+
+  // The store is poisoned: memory and disk may disagree, so mutations and
+  // further checkpoints are refused with the original error.
+  raw->Heal();
+  EXPECT_TRUE(store->Put(PseudoKey({3u, 3u}), 3).IsIoError());
+  EXPECT_TRUE(store->Checkpoint().IsIoError());
+  // Reads still work: the in-memory tree is intact.
+  EXPECT_TRUE(store->Get(PseudoKey({1u, 1u})).ok());
+  store->SimulateCrashForTesting();
+}
+
+TEST_F(CheckpointEdgeTest, CrashedCheckpointPagesAreReclaimedOnReopen) {
+  // Each cycle writes a full image that is never published, then crashes.
+  // Without reachability-based reclamation those pages would leak and the
+  // file would grow by one orphaned image per cycle.
+  {
+    auto store = MustOpen(Opts());
+    for (uint32_t k = 1; k <= 300; ++k) {
+      ASSERT_TRUE(store->Put(PseudoKey({k, k}), k).ok());
+    }
+    ASSERT_TRUE(store->Checkpoint().ok());
+  }
+  uint64_t size_after_first_cycle = 0;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    auto store = MustOpen(Opts());
+    ASSERT_TRUE(store->tree().Validate().ok());
+    EXPECT_EQ(store->tree().Stats().records, 300u + cycle);
+    ASSERT_TRUE(store->Put(PseudoKey({1000u + cycle, 1u}), cycle).ok());
+    store->SimulateCrashBeforePublishForTesting();
+    ASSERT_TRUE(store->Checkpoint().ok());  // image written, never published
+    store->SimulateCrashForTesting();
+    store.reset();
+    if (cycle == 0) size_after_first_cycle = FileSize();
+  }
+  const uint64_t final_size = FileSize();
+  EXPECT_LE(final_size, size_after_first_cycle + size_after_first_cycle / 10)
+      << "orphaned checkpoint images must be reclaimed, not leaked";
+}
+
+TEST_F(CheckpointEdgeTest, InspectReportsDurableStateWithoutMutating) {
+  {
+    auto store = MustOpen(Opts());
+    for (uint32_t i = 1; i <= 3; ++i) {
+      ASSERT_TRUE(store->Put(PseudoKey({i, i}), i).ok());
+    }
+    ASSERT_TRUE(store->Checkpoint().ok());
+    ASSERT_TRUE(store->Put(PseudoKey({4u, 4u}), 4).ok());
+    ASSERT_TRUE(store->Delete(PseudoKey({1u, 1u})).ok());
+    store->SimulateCrashForTesting();
+  }
+  auto info = BmehStore::Inspect(path_);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->generation, 1u);
+  EXPECT_NE(info->image_head, kInvalidPageId);
+  EXPECT_NE(info->wal_head, kInvalidPageId);
+  EXPECT_EQ(info->wal_records, 2u);
+  EXPECT_EQ(info->records, 3u) << "3 checkpointed + 1 insert - 1 delete";
+  EXPECT_GE(info->page_count, info->live_pages);
+  EXPECT_EQ(info->page_size, kDefaultPageSize);
+
+  // Inspection is read-only: a second pass sees the identical state, and a
+  // real open still recovers normally afterwards.
+  auto again = BmehStore::Inspect(path_);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->wal_records, info->wal_records);
+  EXPECT_EQ(again->records, info->records);
+
+  auto store = MustOpen(Opts());
+  EXPECT_EQ(store->tree().Stats().records, 3u);
+  EXPECT_TRUE(store->Get(PseudoKey({1u, 1u})).status().IsKeyError());
+  EXPECT_TRUE(store->Get(PseudoKey({4u, 4u})).ok());
+  ASSERT_TRUE(store->tree().Validate().ok());
+}
+
+}  // namespace
+}  // namespace bmeh

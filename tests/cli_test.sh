@@ -49,6 +49,12 @@ fi
 OUT=$("$CLI" dot --db "$DB")
 echo "$OUT" | grep -q "digraph" || fail "dot output"
 
+# storeinfo rejects a raw tree image (it is not a BmehStore file) instead
+# of misreading it
+if "$CLI" storeinfo --db "$DB" > /dev/null 2>&1; then
+  fail "storeinfo on a raw tree image should fail"
+fi
+
 # unknown command errors out
 if "$CLI" frobnicate --db "$DB" > /dev/null 2>&1; then
   fail "unknown command should fail"

@@ -1,0 +1,127 @@
+// Tests for the fault-injecting PageStore decorator itself: scheduled
+// clean/torn write crashes, sync crashes, the down-until-Heal contract, and
+// deterministic transient faults.
+
+#include "src/pagestore/fault_injecting_page_store.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace bmeh {
+namespace {
+
+std::unique_ptr<FaultInjectingPageStore> Make(int page_size = 64) {
+  return std::make_unique<FaultInjectingPageStore>(
+      std::make_unique<InMemoryPageStore>(page_size));
+}
+
+TEST(FaultInjectionTest, TransparentWhenNoFaultsArmed) {
+  auto store = Make();
+  auto id = store->Allocate();
+  ASSERT_TRUE(id.ok());
+  std::vector<uint8_t> data(64, 0x5a);
+  ASSERT_TRUE(store->Write(*id, data).ok());
+  std::vector<uint8_t> back(64, 0);
+  ASSERT_TRUE(store->Read(*id, back).ok());
+  EXPECT_EQ(back, data);
+  ASSERT_TRUE(store->Sync().ok());
+  EXPECT_EQ(store->writes_issued(), 1u);
+  EXPECT_EQ(store->reads_issued(), 1u);
+  EXPECT_EQ(store->syncs_issued(), 1u);
+  EXPECT_FALSE(store->down());
+}
+
+TEST(FaultInjectionTest, CleanWriteFaultDropsTheWriteAndTakesDeviceDown) {
+  auto store = Make();
+  auto id = store->Allocate();
+  ASSERT_TRUE(id.ok());
+  std::vector<uint8_t> old_data(64, 0x11);
+  ASSERT_TRUE(store->Write(*id, old_data).ok());  // write index 0
+
+  store->FailNthWrite(1, FaultInjectingPageStore::WriteFault::kError);
+  std::vector<uint8_t> new_data(64, 0x22);
+  EXPECT_TRUE(store->Write(*id, new_data).IsIoError());
+  EXPECT_TRUE(store->down());
+
+  // Every operation fails while down.
+  std::vector<uint8_t> buf(64);
+  EXPECT_TRUE(store->Read(*id, buf).IsIoError());
+  EXPECT_TRUE(store->Write(*id, new_data).IsIoError());
+  EXPECT_TRUE(store->Sync().IsIoError());
+  EXPECT_TRUE(store->Allocate().status().IsIoError());
+  EXPECT_TRUE(store->Free(*id).IsIoError());
+
+  // Nothing of the failed write reached the device.
+  ASSERT_TRUE(store->inner()->Read(*id, buf).ok());
+  EXPECT_EQ(buf, old_data);
+
+  store->Heal();
+  ASSERT_TRUE(store->Read(*id, buf).ok());
+  EXPECT_EQ(buf, old_data);
+  ASSERT_TRUE(store->Write(*id, new_data).ok())
+      << "the scheduled fault fires exactly once";
+}
+
+TEST(FaultInjectionTest, TornWriteLandsFirstHalfOnly) {
+  auto store = Make();
+  auto id = store->Allocate();
+  ASSERT_TRUE(id.ok());
+  std::vector<uint8_t> old_data(64);
+  std::iota(old_data.begin(), old_data.end(), 0);
+  ASSERT_TRUE(store->Write(*id, old_data).ok());
+
+  store->FailNthWrite(1, FaultInjectingPageStore::WriteFault::kTorn);
+  std::vector<uint8_t> new_data(64, 0xee);
+  EXPECT_TRUE(store->Write(*id, new_data).IsIoError());
+  EXPECT_TRUE(store->down());
+
+  std::vector<uint8_t> buf(64);
+  ASSERT_TRUE(store->inner()->Read(*id, buf).ok());
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(buf[i], 0xee) << "byte " << i << " comes from the new write";
+  }
+  for (int i = 32; i < 64; ++i) {
+    EXPECT_EQ(buf[i], old_data[i]) << "byte " << i << " keeps the old value";
+  }
+}
+
+TEST(FaultInjectionTest, NthSyncFails) {
+  auto store = Make();
+  store->FailNthSync(2);
+  EXPECT_TRUE(store->Sync().ok());
+  EXPECT_TRUE(store->Sync().ok());
+  EXPECT_TRUE(store->Sync().IsIoError());
+  EXPECT_TRUE(store->down());
+  store->Heal();
+  EXPECT_TRUE(store->Sync().ok());
+}
+
+TEST(FaultInjectionTest, TransientFaultsAreDeterministic) {
+  auto a = Make();
+  auto b = Make();
+  a->SetTransientFaults(/*write_error_p=*/0.3, /*read_error_p=*/0.2, 42);
+  b->SetTransientFaults(0.3, 0.2, 42);
+  auto id_a = a->Allocate();
+  auto id_b = b->Allocate();
+  ASSERT_TRUE(id_a.ok());
+  ASSERT_TRUE(id_b.ok());
+  std::vector<uint8_t> data(64, 1);
+  std::vector<uint8_t> buf(64);
+  int failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    const bool wa = a->Write(*id_a, data).ok();
+    const bool wb = b->Write(*id_b, data).ok();
+    ASSERT_EQ(wa, wb) << "same seed, same schedule (write " << i << ")";
+    const bool ra = a->Read(*id_a, buf).ok();
+    const bool rb = b->Read(*id_b, buf).ok();
+    ASSERT_EQ(ra, rb) << "same seed, same schedule (read " << i << ")";
+    failures += !wa + !ra;
+  }
+  EXPECT_GT(failures, 20) << "probabilities actually bite";
+  EXPECT_LT(failures, 180) << "transient faults never take the device down";
+  EXPECT_FALSE(a->down());
+}
+
+}  // namespace
+}  // namespace bmeh

@@ -23,6 +23,11 @@
 //
 //   bmeh_cli dot    --db FILE
 //       Prints the directory as Graphviz dot (small trees only).
+//
+//   bmeh_cli storeinfo --db FILE
+//       Prints the durable state of a BmehStore file (checkpoint
+//       generation, image chain, write-ahead log) without modifying it —
+//       works on files left behind by a crash.
 
 #include <cstdio>
 #include <cstdlib>
@@ -253,6 +258,37 @@ int CmdDot(const Args& args) {
   return 0;
 }
 
+int CmdStoreInfo(const Args& args) {
+  const std::string db = args.Get("db");
+  if (db.empty()) Die("storeinfo requires --db");
+  auto info = BmehStore::Inspect(db);
+  if (!info.ok()) Die(info.status().ToString());
+  std::printf("page size:        %d\n", info->page_size);
+  std::printf("pages in file:    %llu (%llu live after recovery)\n",
+              static_cast<unsigned long long>(info->page_count),
+              static_cast<unsigned long long>(info->live_pages));
+  std::printf("generation:       %llu\n",
+              static_cast<unsigned long long>(info->generation));
+  if (info->image_head == kInvalidPageId) {
+    std::printf("checkpoint image: none\n");
+  } else {
+    std::printf("checkpoint image: head page %llu\n",
+                static_cast<unsigned long long>(info->image_head));
+  }
+  if (info->wal_head == kInvalidPageId) {
+    std::printf("write-ahead log:  empty\n");
+  } else {
+    std::printf("write-ahead log:  %llu records in %llu pages "
+                "(head page %llu)\n",
+                static_cast<unsigned long long>(info->wal_records),
+                static_cast<unsigned long long>(info->wal_pages),
+                static_cast<unsigned long long>(info->wal_head));
+  }
+  std::printf("records:          %llu (checkpoint + replayed log)\n",
+              static_cast<unsigned long long>(info->records));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -264,5 +300,6 @@ int main(int argc, char** argv) {
   if (args.command == "del") return CmdDel(args);
   if (args.command == "range") return CmdRange(args);
   if (args.command == "dot") return CmdDot(args);
+  if (args.command == "storeinfo") return CmdStoreInfo(args);
   Die("unknown command: " + args.command);
 }
