@@ -34,6 +34,7 @@
 #include "src/pagestore/page_store.h"
 #include "src/store/bmeh_store.h"
 #include "src/store/frozen_tree.h"
+#include "src/store/scrub.h"
 #include "src/workload/datasets.h"
 #include "src/workload/distributions.h"
 

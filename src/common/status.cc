@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Corruption";
     case StatusCode::kNotImplemented:
       return "NotImplemented";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -24,6 +24,7 @@ enum class StatusCode : int {
   kIoError = 5,        ///< Underlying page store failure.
   kCorruption = 6,     ///< Structural invariant violated / bad on-disk data.
   kNotImplemented = 7, ///< Feature not available.
+  kDataLoss = 8,       ///< Verified corruption: data is unrecoverable here.
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "Invalid").
@@ -69,6 +70,9 @@ class Status {
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   /// \brief True iff the operation succeeded.
   bool ok() const { return state_ == nullptr; }
@@ -85,6 +89,7 @@ class Status {
   bool IsNotImplemented() const {
     return code() == StatusCode::kNotImplemented;
   }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
 
   /// \brief The error message ("" when ok()).
   const std::string& message() const;

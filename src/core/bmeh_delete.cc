@@ -35,12 +35,16 @@ Status BmehTree::Delete(const PseudoKey& key) {
   if (e.ref.is_nil()) {
     return Status::KeyError("key " + key.ToString() + " not found");
   }
+  if (quarantined_.count(e.ref.id) != 0) {
+    return Status::DataLoss("bucket for " + key.ToString() +
+                            " was lost to corruption");
+  }
   DataPage* page = pages_.Get(e.ref.id);
   io_.CountDataRead();
   BMEH_RETURN_NOT_OK(page->Remove(key));
   io_.CountDataWrite();
   --records_;
-  if (options_.merge_on_delete) {
+  if (options_.merge_on_delete && !degraded()) {
     MergeAfterDelete(path);
   } else if (page->empty()) {
     // Immediate deletion of empty pages (§2.1).
@@ -126,6 +130,11 @@ bool BmehTree::TryMergeNodeGroups(DirNode* parent, const IndexTuple& t) {
 }
 
 void BmehTree::TidyNode(uint32_t node_id) {
+  // No structural shrinking while buckets are quarantined: a page merge
+  // could fuse a lost bucket's placeholder into a healthy page and erase
+  // the quarantine marker.  (Delete already bypasses MergeAfterDelete
+  // when degraded; this is the backstop for the force-split path.)
+  if (degraded()) return;
   DirNode* node = nodes_.Get(node_id);
   bool changed = true;
   while (changed) {

@@ -245,6 +245,13 @@ Result<std::pair<Ref, Ref>> BmehTree::ForceSplitChild(
     return std::make_pair(Ref::Node(halves.first), Ref::Node(halves.second));
   }
   BMEH_DCHECK(child.is_page());
+  if (quarantined_.count(child.id) != 0) {
+    // Splitting the empty placeholder would demote "records lost here" to
+    // "region empty" — a silent answer downgrade.  Fail the structural
+    // change instead; the insert that triggered it surfaces DataLoss.
+    return Status::DataLoss("cannot split bucket " + std::to_string(child.id) +
+                            ": its records were lost to corruption");
+  }
   const int w = schema_.width(m);
   const int split_bit = consumed[m];
   if (split_bit >= w) {

@@ -52,6 +52,12 @@ Status BmehTree::Insert(const PseudoKey& key, uint64_t payload) {
       return Status::OK();
     }
     BMEH_DCHECK(e.ref.is_page());
+    if (quarantined_.count(e.ref.id) != 0) {
+      // The bucket's records were lost to corruption; inserting here could
+      // resurrect a key that is already (invisibly) present.
+      return Status::DataLoss("bucket for " + key.ToString() +
+                              " was lost to corruption");
+    }
     DataPage* page = pages_.Get(e.ref.id);
     io_.CountDataRead();
     if (page->Contains(key)) {
@@ -79,6 +85,12 @@ Result<uint64_t> BmehTree::Search(const PseudoKey& key) {
   const Entry& e = nodes_.Get(leaf.node_id)->at(leaf.tuple);
   if (e.ref.is_nil()) {
     return Status::KeyError("key " + key.ToString() + " not found");
+  }
+  if (quarantined_.count(e.ref.id) != 0) {
+    // "Not found" would be a silent wrong answer: the key may well have
+    // been in the lost bucket.
+    return Status::DataLoss("bucket for " + key.ToString() +
+                            " was lost to corruption");
   }
   io_.CountDataRead();
   auto payload = pages_.Get(e.ref.id)->Lookup(key);

@@ -25,6 +25,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -43,6 +44,23 @@ struct BmehLevelStats {
   uint64_t entries_used = 0;  ///< Sum of 2^(sum H_j) over the level's nodes.
   uint64_t groups = 0;        ///< Distinct entry groups.
   uint64_t nil_groups = 0;    ///< Groups with no child (empty regions).
+};
+
+/// \brief What a tolerant image load (LoadFromTolerant) found.
+struct TreeLoadReport {
+  /// Whole chain read and strictly parsed; the tree is exactly the image.
+  bool complete = true;
+  /// A chain page failed the store's checksum verification (vs. a chain
+  /// broken by structural garbage, which sets complete only).
+  bool data_loss = false;
+  /// The directory itself could not be reconstructed — nothing salvaged.
+  bool directory_lost = false;
+  /// Buckets referenced by the directory whose records were lost.
+  uint64_t quarantined_pages = 0;
+  /// Record count the image header declared (includes lost records).
+  uint64_t records_declared = 0;
+  /// Chain pages successfully read, in chain order (the reachable part).
+  std::vector<PageId> chain_pages;
 };
 
 /// \brief Mutation counters exposed for the Theorem 2/3 experiments.
@@ -123,6 +141,26 @@ class BmehTree : public MultiKeyIndex {
   static Result<std::unique_ptr<BmehTree>> LoadFrom(PageStore* store,
                                                     PageId head);
 
+  /// \brief Like LoadFrom, but survives a chain cut short by corruption:
+  /// the parseable prefix is reconstructed, and every bucket whose records
+  /// fell past the cut becomes an empty quarantined placeholder (see
+  /// degraded()).  Fails only when the directory itself cannot be
+  /// rebuilt (report->directory_lost) or the image is garbage despite an
+  /// intact chain.  `report` must be non-null.
+  static Result<std::unique_ptr<BmehTree>> LoadFromTolerant(
+      PageStore* store, PageId head, TreeLoadReport* report);
+
+  /// \brief True when some buckets were lost to corruption: lookups that
+  /// land on one fail with DataLoss, range searches return partial
+  /// results plus DataLoss, and SaveTo refuses (a checkpoint would
+  /// launder the loss into a clean-looking image).
+  bool degraded() const { return !quarantined_.empty(); }
+
+  /// \brief Arena ids of the quarantined (lost) buckets.
+  const std::unordered_set<uint32_t>& quarantined_pages() const {
+    return quarantined_;
+  }
+
   /// \brief Frees every page of an image chain written by SaveTo
   /// (used when replacing a checkpoint).
   static Status FreeImage(PageStore* store, PageId head);
@@ -138,6 +176,11 @@ class BmehTree : public MultiKeyIndex {
 
  private:
   friend class BmehValidator;
+
+  /// Shared body of LoadFrom / LoadFromTolerant (`report` null = strict).
+  static Result<std::unique_ptr<BmehTree>> LoadImpl(PageStore* store,
+                                                    PageId head,
+                                                    TreeLoadReport* report);
 
   /// One structural change toward making room at the leaf; caller retries.
   Status SplitLeafOnce(const std::vector<hashdir::PathStep>& path);
@@ -191,6 +234,10 @@ class BmehTree : public MultiKeyIndex {
   uint64_t records_ = 0;
   int levels_ = 1;
   BmehMutationStats mutations_;
+  /// Buckets that exist in the directory but whose records were lost to
+  /// on-disk corruption (empty placeholder pages in pages_).  Only ever
+  /// populated by LoadFromTolerant; an empty set means a healthy tree.
+  std::unordered_set<uint32_t> quarantined_;
 };
 
 }  // namespace bmeh

@@ -22,15 +22,32 @@ Status BmehTree::RangeSearchWithStats(const RangePredicate& pred,
     if (id != root_id_) io_.CountDirRead();
     return nodes_.Get(id);
   };
-  cbs.visit_page = [this](uint32_t page_id, const RangePredicate& p,
-                          std::vector<Record>* o) {
+  uint64_t lost_buckets = 0;
+  cbs.visit_page = [this, &lost_buckets](uint32_t page_id,
+                                         const RangePredicate& p,
+                                         std::vector<Record>* o) {
+    if (quarantined_.count(page_id) != 0) {
+      // The bucket overlaps the query but its records are gone; keep
+      // walking so the caller still gets every surviving match.
+      ++lost_buckets;
+      return;
+    }
     io_.CountDataRead();
     for (const Record& rec : pages_.Get(page_id)->records()) {
       if (p.Matches(rec.key)) o->push_back(rec);
     }
   };
-  return hashdir::RangeWalk(schema_, pred, hashdir::Ref::Node(root_id_), cbs,
-                            out, stats);
+  BMEH_RETURN_NOT_OK(hashdir::RangeWalk(schema_, pred,
+                                        hashdir::Ref::Node(root_id_), cbs,
+                                        out, stats));
+  if (lost_buckets > 0) {
+    // The surviving matches are in `out`; the status says they may not be
+    // all of them.
+    return Status::DataLoss("range result is partial: " +
+                            std::to_string(lost_buckets) +
+                            " overlapping bucket(s) lost to corruption");
+  }
+  return Status::OK();
 }
 
 }  // namespace bmeh

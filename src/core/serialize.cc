@@ -7,6 +7,7 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "src/common/logging.h"
 #include "src/core/bmeh_tree.h"
 #include "src/pagestore/buffer_pool.h"
 
@@ -14,6 +15,7 @@ namespace bmeh {
 
 using hashdir::DirNode;
 using hashdir::Entry;
+using hashdir::IndexTuple;
 using hashdir::Ref;
 using hashdir::RefKind;
 
@@ -103,7 +105,48 @@ Result<PageId> WriteChain(PageStore* store, std::span<const uint8_t> bytes) {
   return ids[0];
 }
 
-/// Reads a chain written by WriteChain.
+/// Outcome of a tolerant chain read: the readable prefix plus how (and
+/// whether) the chain ended early.
+struct ChainPrefix {
+  std::vector<uint8_t> bytes;
+  std::vector<PageId> pages;  ///< Chain pages successfully read, in order.
+  bool complete = true;       ///< Reached the kInvalidPageId terminator.
+  bool data_loss = false;     ///< The cut was a verified-corrupt page.
+};
+
+/// Reads a chain written by WriteChain up to the first unreadable or
+/// structurally invalid page; never fails, only stops early.
+ChainPrefix ReadChainPrefix(PageStore* store, PageId head) {
+  ChainPrefix out;
+  std::vector<uint8_t> buf(store->page_size());
+  PageId id = head;
+  std::unordered_set<PageId> visited;
+  while (id != kInvalidPageId) {
+    if (!visited.insert(id).second) {
+      out.complete = false;  // cycle: stale or corrupted link
+      break;
+    }
+    const Status st = store->Read(id, buf);
+    if (!st.ok()) {
+      out.complete = false;
+      out.data_loss = st.IsDataLoss();
+      break;
+    }
+    uint32_t next, len;
+    std::memcpy(&next, buf.data(), 4);
+    std::memcpy(&len, buf.data() + 4, 4);
+    if (len > static_cast<uint32_t>(store->page_size() - 8)) {
+      out.complete = false;
+      break;
+    }
+    out.pages.push_back(id);
+    out.bytes.insert(out.bytes.end(), buf.data() + 8, buf.data() + 8 + len);
+    id = next;
+  }
+  return out;
+}
+
+/// Reads a chain written by WriteChain (strict: any gap is an error).
 Result<std::vector<uint8_t>> ReadChain(PageStore* store, PageId head) {
   BufferPool pool(store, /*capacity=*/8);
   std::vector<uint8_t> out;
@@ -168,6 +211,14 @@ Status BmehTree::FreeImage(PageStore* store, PageId head) {
 }
 
 Result<PageId> BmehTree::SaveTo(PageStore* store) {
+  if (degraded()) {
+    // Serializing now would replace the (partially corrupt but still
+    // diagnosable) on-disk state with a clean-looking image that silently
+    // lacks the lost records.  Salvage to a fresh store instead.
+    return Status::DataLoss("refusing to serialize a degraded tree (" +
+                            std::to_string(quarantined_.size()) +
+                            " quarantined buckets)");
+  }
   ByteWriter w;
   const int d = schema_.dims();
   w.U32(kTreeMagic);
@@ -213,7 +264,37 @@ Result<PageId> BmehTree::SaveTo(PageStore* store) {
 
 Result<std::unique_ptr<BmehTree>> BmehTree::LoadFrom(PageStore* store,
                                                      PageId head) {
-  BMEH_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadChain(store, head));
+  return LoadImpl(store, head, nullptr);
+}
+
+Result<std::unique_ptr<BmehTree>> BmehTree::LoadFromTolerant(
+    PageStore* store, PageId head, TreeLoadReport* report) {
+  BMEH_CHECK(report != nullptr);
+  *report = TreeLoadReport{};
+  auto res = LoadImpl(store, head, report);
+  if (!res.ok()) {
+    // Page-section damage is absorbed inside LoadImpl, so any error
+    // means the header/directory part could not be rebuilt.
+    report->directory_lost = true;
+  }
+  return res;
+}
+
+Result<std::unique_ptr<BmehTree>> BmehTree::LoadImpl(PageStore* store,
+                                                     PageId head,
+                                                     TreeLoadReport* report) {
+  std::vector<uint8_t> bytes;
+  bool chain_complete = true;
+  if (report == nullptr) {
+    BMEH_ASSIGN_OR_RETURN(bytes, ReadChain(store, head));
+  } else {
+    ChainPrefix prefix = ReadChainPrefix(store, head);
+    bytes = std::move(prefix.bytes);
+    chain_complete = prefix.complete;
+    report->complete = prefix.complete;
+    report->data_loss = prefix.data_loss;
+    report->chain_pages = std::move(prefix.pages);
+  }
   ByteReader r(bytes);
   BMEH_ASSIGN_OR_RETURN(uint32_t magic, r.U32());
   if (magic != kTreeMagic) {
@@ -255,6 +336,7 @@ Result<std::unique_ptr<BmehTree>> BmehTree::LoadFrom(PageStore* store,
   tree->root_id_ = root;
   tree->levels_ = static_cast<int>(levels);
   tree->records_ = records;
+  if (report != nullptr) report->records_declared = records;
 
   // Defensive bound on ids so a corrupted image cannot force a gigantic
   // arena allocation.
@@ -307,14 +389,20 @@ Result<std::unique_ptr<BmehTree>> BmehTree::LoadFrom(PageStore* store,
     return Status::Corruption("root node missing from image");
   }
 
-  BMEH_ASSIGN_OR_RETURN(uint64_t n_pages, r.U64());
-  for (uint64_t n = 0; n < n_pages; ++n) {
+  // ---- data pages ----
+  // Everything before this point had to parse: without the directory
+  // there is no tree.  From here on, a cut chain (tolerant mode only)
+  // degrades gracefully — the records that fell past the cut turn into
+  // quarantined empty buckets instead of a failed load.
+  const bool tolerate_cut = (report != nullptr && !chain_complete);
+  auto parse_page = [&](uint32_t* created) -> Status {
     BMEH_ASSIGN_OR_RETURN(uint32_t id, r.U32());
     if (id > kMaxImageId) return Status::Corruption("page id out of range");
     if (tree->pages_.Alive(id)) {
       return Status::Corruption("duplicate page id in image");
     }
     tree->pages_.CreateAt(id);
+    *created = id;
     DataPage* page = tree->pages_.Get(id);
     BMEH_ASSIGN_OR_RETURN(uint32_t size, r.U32());
     if (size > static_cast<uint32_t>(options.page_capacity)) {
@@ -335,9 +423,47 @@ Result<std::unique_ptr<BmehTree>> BmehTree::LoadFrom(PageStore* store,
         return Status::Corruption("duplicate record key in page image");
       }
     }
+    return Status::OK();
+  };
+
+  uint64_t n_pages = 0;
+  bool pages_cut = false;
+  {
+    auto n = r.U64();
+    if (n.ok()) {
+      n_pages = std::move(n).ValueOrDie();
+    } else if (tolerate_cut) {
+      pages_cut = true;
+    } else {
+      return n.status();
+    }
   }
-  if (!r.AtEnd()) {
+  for (uint64_t n = 0; n < n_pages && !pages_cut; ++n) {
+    uint32_t created = kInvalidPageId;
+    const Status st = parse_page(&created);
+    if (!st.ok()) {
+      if (!tolerate_cut) return st;
+      // A half-parsed bucket is as lost as an unparsed one: drop it so
+      // the quarantine sweep below rebuilds it as an empty placeholder.
+      if (created != kInvalidPageId) tree->pages_.Destroy(created);
+      pages_cut = true;
+    }
+  }
+  if (!pages_cut && !r.AtEnd() && !tolerate_cut) {
     return Status::Corruption("trailing bytes in BMEH tree image");
+  }
+  if (tolerate_cut) {
+    // Any bucket the directory references but the prefix did not deliver
+    // is lost: give it an empty placeholder page and quarantine it.
+    tree->nodes_.ForEach([&](uint32_t, const DirNode& node) {
+      node.ForEachGroup([&](const IndexTuple&, const Entry& e) {
+        if (e.ref.is_page() && !tree->pages_.Alive(e.ref.id)) {
+          tree->pages_.CreateAt(e.ref.id);
+          tree->quarantined_.insert(e.ref.id);
+        }
+      });
+    });
+    report->quarantined_pages = tree->quarantined_.size();
   }
   BMEH_RETURN_NOT_OK(tree->Validate());
   return tree;

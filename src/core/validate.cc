@@ -113,6 +113,11 @@ struct Checker {
         bad = Status::Corruption("page referenced twice");
         return;
       }
+      if (tree->quarantined_pages().count(e.ref.id) != 0) {
+        // An empty placeholder standing in for a corruption-lost bucket:
+        // structurally present, contents unknowable — nothing to check.
+        return;
+      }
       const DataPage* page = pages->Get(e.ref.id);
       if (page->size() > options->page_capacity) {
         bad = Status::Corruption("page over capacity");
@@ -147,7 +152,16 @@ Status BmehTree::Validate() const {
                   &pages_, levels_,  {},        {},
                   0};
   BMEH_RETURN_NOT_OK(checker.Visit(root_id_, 1, {}, {}));
-  if (checker.seen_records != records_) {
+  if (degraded()) {
+    // Quarantined buckets hide an unknown number of records; the declared
+    // total can only over-count what is still visible.
+    if (checker.seen_records > records_) {
+      return Status::Corruption(
+          "degraded tree sees more records than declared: " +
+          std::to_string(checker.seen_records) + " > " +
+          std::to_string(records_));
+    }
+  } else if (checker.seen_records != records_) {
     return Status::Corruption(
         "record count mismatch: tree sees " +
         std::to_string(checker.seen_records) + ", index has " +

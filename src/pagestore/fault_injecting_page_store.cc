@@ -1,5 +1,6 @@
 #include "src/pagestore/fault_injecting_page_store.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace bmeh {
@@ -19,12 +20,34 @@ Status FaultInjectingPageStore::Free(PageId id) {
 Status FaultInjectingPageStore::Read(PageId id, std::span<uint8_t> out) {
   if (down_) return Down();
   const uint64_t index = reads_issued_++;
+  if (index >= fail_read_at_ && index < fail_read_at_ + fail_read_count_) {
+    return Status::IoError("injected transient read error at read index " +
+                           std::to_string(index));
+  }
   if (read_error_p_ > 0.0 && rng_.NextBool(read_error_p_)) {
     return Status::IoError("injected read error at read index " +
                            std::to_string(index));
   }
   ++stats_.reads;
-  return inner_->Read(id, out);
+  if (index == stale_read_at_) {
+    // Serve the content the page held before its latest Write — zeros if
+    // it was never written through this decorator.
+    auto it = previous_content_.find(id);
+    std::fill(out.begin(), out.end(), 0);
+    if (it != previous_content_.end()) {
+      std::memcpy(out.data(), it->second.data(),
+                  std::min(out.size(), it->second.size()));
+    }
+    return Status::OK();
+  }
+  if (index == misdirect_read_at_) {
+    return inner_->Read(misdirect_victim_, out);
+  }
+  BMEH_RETURN_NOT_OK(inner_->Read(id, out));
+  if (index == corrupt_read_at_ && !out.empty()) {
+    out[corrupt_byte_index_ % out.size()] ^= corrupt_mask_;
+  }
+  return Status::OK();
 }
 
 Status FaultInjectingPageStore::Write(PageId id,
@@ -54,6 +77,15 @@ Status FaultInjectingPageStore::Write(PageId id,
                            std::to_string(index));
   }
   ++stats_.writes;
+  if (stale_read_at_ != kNever) {
+    // Remember what the page held before this write so a scheduled stale
+    // read can replay it.  Only tracked while a stale fault is armed.
+    std::vector<uint8_t> old(data.size(), 0);
+    if (!inner_->Read(id, old).ok()) {
+      std::fill(old.begin(), old.end(), 0);
+    }
+    previous_content_[id] = std::move(old);
+  }
   return inner_->Write(id, data);
 }
 

@@ -11,6 +11,15 @@
 //  * Probabilistic transient errors: each Read/Write independently fails
 //    with a configured probability, driven by the deterministic Rng from
 //    src/common/random.h so failing schedules are reproducible.
+//  * Deterministic read corruption: the Nth Read() can be served with one
+//    byte flipped (bit rot), with the page's content as of an earlier
+//    write (stale-sector replay), or with another page's content
+//    (misdirected read) — the three ways a disk lies without erroring.
+//    These never take the device down; they test that the layers above
+//    *detect* bad bytes instead of consuming them.
+//  * Scheduled transient read errors: the Nth Read() fails with IoError
+//    `count` times in a row without taking the device down — the shape of
+//    a transient fault a bounded retry loop should absorb.
 //
 // The decorator counts operations, which is what lets a crash-matrix test
 // enumerate "kill at write index w for every w" exhaustively.
@@ -20,6 +29,8 @@
 
 #include <limits>
 #include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "src/common/random.h"
 #include "src/pagestore/page_store.h"
@@ -63,6 +74,37 @@ class FaultInjectingPageStore : public PageStore {
     rng_ = Rng(seed);
   }
 
+  /// \brief Schedules reads with 0-based indexes [n, n + count) to fail
+  /// with a transient IoError — the device stays up and later reads of
+  /// the same page succeed, so a retrying reader recovers.
+  void FailNthRead(uint64_t n, uint64_t count = 1) {
+    fail_read_at_ = n;
+    fail_read_count_ = count;
+  }
+
+  /// \brief Schedules the 0-based Nth Read() to be served with the byte
+  /// at `byte_index` (modulo page size) XOR-flipped — silent bit rot.
+  /// The inner store's bytes are untouched; only this read lies.
+  void CorruptNthRead(uint64_t n, size_t byte_index, uint8_t mask = 0x01) {
+    corrupt_read_at_ = n;
+    corrupt_byte_index_ = byte_index;
+    corrupt_mask_ = mask == 0 ? 0x01 : mask;
+  }
+
+  /// \brief Schedules the 0-based Nth Read() to replay the content the
+  /// page held before its most recent Write — a stale sector served from
+  /// a drive that dropped the last update.  Pages never written through
+  /// the decorator replay as all zeros.
+  void ReplayStaleOnNthRead(uint64_t n) { stale_read_at_ = n; }
+
+  /// \brief Schedules the 0-based Nth Read() to return the content of
+  /// `victim` instead of the requested page — a misdirected read.  The
+  /// victim page must be readable or the read fails with its error.
+  void MisdirectNthRead(uint64_t n, PageId victim) {
+    misdirect_read_at_ = n;
+    misdirect_victim_ = victim;
+  }
+
   /// \brief Brings a crashed device back up (scheduled faults stay
   /// consumed; counters keep running).
   void Heal() { down_ = false; }
@@ -97,6 +139,16 @@ class FaultInjectingPageStore : public PageStore {
   Rng rng_;
   uint64_t fail_write_at_ = kNever;
   uint64_t fail_sync_at_ = kNever;
+  uint64_t fail_read_at_ = kNever;
+  uint64_t fail_read_count_ = 0;
+  uint64_t corrupt_read_at_ = kNever;
+  size_t corrupt_byte_index_ = 0;
+  uint8_t corrupt_mask_ = 0x01;
+  uint64_t stale_read_at_ = kNever;
+  uint64_t misdirect_read_at_ = kNever;
+  PageId misdirect_victim_ = kInvalidPageId;
+  /// Per-page content as of the last-but-one Write, for stale replay.
+  std::unordered_map<PageId, std::vector<uint8_t>> previous_content_;
   WriteFault write_fault_ = WriteFault::kError;
   double write_error_p_ = 0.0;
   double read_error_p_ = 0.0;

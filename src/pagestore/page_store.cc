@@ -8,7 +8,9 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <random>
 
+#include "src/common/crc32.h"
 #include "src/common/logging.h"
 
 namespace bmeh {
@@ -84,7 +86,9 @@ uint64_t InMemoryPageStore::live_page_count() const {
 
 namespace {
 
-constexpr uint32_t kMagic = 0x424d4548;  // "BMEH"
+constexpr uint32_t kMagicV1 = 0x424d4548;  // "BMEH": legacy, no trailers
+constexpr uint32_t kMagicV2 = 0x32484d42;  // "BMH2": self-checksumming pages
+constexpr size_t kHeaderSize = 64;
 
 void PutU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
 void PutU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, 8); }
@@ -99,10 +103,68 @@ uint64_t GetU64(const uint8_t* p) {
   return v;
 }
 
+/// Seed binding a page's checksum to its identity and its file: the same
+/// bytes at another id (misdirected write / read) or in another store
+/// (stale replacement device) no longer verify.
+uint32_t TrailerSeed(PageId id, uint32_t epoch) {
+  return (id * 2654435761u) ^ epoch;
+}
+
+/// pread that survives EINTR and legal partial transfers.  POSIX allows a
+/// read to return fewer bytes than requested without error; treating that
+/// as failure misreports a healthy device, so loop on the remainder and
+/// only report the final short count (EOF) or errno.
+Status PreadFull(int fd, uint8_t* buf, size_t n, off_t off,
+                 const std::string& what) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::pread(fd, buf + done, n - done, off + done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(what + ": " + std::strerror(errno));
+    }
+    if (r == 0) {
+      return Status::IoError(what + ": short read (" + std::to_string(done) +
+                             "/" + std::to_string(n) + " bytes)");
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+/// pwrite counterpart of PreadFull.
+Status PwriteFull(int fd, const uint8_t* buf, size_t n, off_t off,
+                  const std::string& what) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::pwrite(fd, buf + done, n - done, off + done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(what + ": " + std::strerror(errno));
+    }
+    if (r == 0) {
+      return Status::IoError(what + ": short write (" + std::to_string(done) +
+                             "/" + std::to_string(n) + " bytes)");
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+uint32_t FreshEpoch() {
+  std::random_device rd;
+  uint32_t e = static_cast<uint32_t>(rd()) ^ (static_cast<uint32_t>(rd()) << 1);
+  return e != 0 ? e : 0x9e3779b9u;
+}
+
 }  // namespace
 
-FilePageStore::FilePageStore(int fd, int page_size)
-    : fd_(fd), page_size_(page_size) {}
+FilePageStore::FilePageStore(int fd, int page_size, int format_version,
+                             uint32_t epoch)
+    : fd_(fd),
+      page_size_(page_size),
+      format_version_(format_version),
+      epoch_(epoch) {}
 
 FilePageStore::~FilePageStore() {
   if (fd_ >= 0) {
@@ -133,8 +195,8 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
     ::close(fd);
     return Status::IoError("ftruncate(" + path + "): " + std::strerror(errno));
   }
-  auto store =
-      std::unique_ptr<FilePageStore>(new FilePageStore(fd, page_size));
+  auto store = std::unique_ptr<FilePageStore>(
+      new FilePageStore(fd, page_size, /*format_version=*/2, FreshEpoch()));
   BMEH_RETURN_NOT_OK(store->WriteHeader());
   return store;
 }
@@ -149,6 +211,62 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::OpenForRecovery(
   return OpenImpl(path, /*walk_free_chain=*/false);
 }
 
+Result<std::unique_ptr<FilePageStore>> FilePageStore::OpenIgnoringHeader(
+    const std::string& path, int page_size) {
+  if (page_size < 64) {
+    return Status::Invalid("page_size too small: " + std::to_string(page_size));
+  }
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(fd);
+    return Status::IoError("store file already open: " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError(std::string("fstat: ") + std::strerror(errno));
+  }
+  const uint64_t physical =
+      static_cast<uint64_t>(page_size) + kPageTrailerSize;
+  const uint64_t page_count = std::max<uint64_t>(
+      (static_cast<uint64_t>(st.st_size) + physical - 1) / physical, 1);
+  // Recover the epoch: a trailer whose CRC verifies under its own claimed
+  // epoch at its own offset was written by this store for this slot — a
+  // forged match would need a preimage of the seeded CRC.
+  std::vector<uint8_t> phys(physical);
+  bool found = false;
+  uint32_t epoch = 0;
+  for (PageId id = 1; id < page_count && !found; ++id) {
+    const off_t off = static_cast<off_t>(id) * physical;
+    if (!PreadFull(fd, phys.data(), phys.size(), off, "pread").ok()) continue;
+    const uint8_t* t = phys.data() + page_size;
+    if (t[0] != kPageFormatV2 || GetU32(t + 4) != id) continue;
+    const uint32_t claimed = GetU32(t + 8);
+    if (GetU32(t + 12) == Crc32(phys.data(), page_size + 12,
+                                TrailerSeed(id, claimed))) {
+      epoch = claimed;
+      found = true;
+    }
+  }
+  if (!found) {
+    ::close(fd);
+    return Status::DataLoss(
+        "no self-consistent page trailer in " + path +
+        "; cannot recover the store epoch (wrong page size, v1 file, or "
+        "total corruption)");
+  }
+  auto store = std::unique_ptr<FilePageStore>(
+      new FilePageStore(fd, page_size, /*format_version=*/2, epoch));
+  store->page_count_ = page_count;
+  store->live_count_ = page_count - 1;
+  store->free_head_ = kInvalidPageId;
+  store->header_damaged_ = true;  // by assumption: that is why we are here
+  return store;
+}
+
 Result<std::unique_ptr<FilePageStore>> FilePageStore::OpenImpl(
     const std::string& path, bool walk_free_chain) {
   int fd = ::open(path.c_str(), O_RDWR);
@@ -159,22 +277,59 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::OpenImpl(
     ::close(fd);
     return Status::IoError("store file already open: " + path);
   }
-  uint8_t header[64];
-  ssize_t n = ::pread(fd, header, sizeof(header), 0);
-  if (n != static_cast<ssize_t>(sizeof(header))) {
+  uint8_t header[kHeaderSize];
+  Status hst = PreadFull(fd, header, sizeof(header), 0, "header pread");
+  if (!hst.ok()) {
     ::close(fd);
     return Status::Corruption("short read of header in " + path);
   }
-  if (GetU32(header) != kMagic) {
+  const uint32_t magic = GetU32(header);
+  if (magic != kMagicV1 && magic != kMagicV2) {
     ::close(fd);
     return Status::Corruption("bad magic in " + path);
   }
-  int page_size = static_cast<int>(GetU32(header + 4));
-  auto store =
-      std::unique_ptr<FilePageStore>(new FilePageStore(fd, page_size));
+  const int version = magic == kMagicV2 ? 2 : 1;
+  const int page_size = static_cast<int>(GetU32(header + 4));
+  if (page_size < 64 || page_size > (1 << 24)) {
+    ::close(fd);
+    return Status::DataLoss("implausible page size " +
+                            std::to_string(page_size) + " in header of " +
+                            path + " (header corrupt?)");
+  }
+  const uint32_t epoch = version >= 2 ? GetU32(header + 28) : 0;
+  auto store = std::unique_ptr<FilePageStore>(
+      new FilePageStore(fd, page_size, version, epoch));
   store->page_count_ = GetU64(header + 8);
   store->live_count_ = GetU64(header + 16);
   store->free_head_ = GetU32(header + 24);
+  // A failed Open must leave the file byte-identical: the destructor's
+  // header flush would otherwise overwrite the (possibly corrupt, but
+  // evidentiary) header page with a freshly-checksummed copy — healing in
+  // the best case, laundering garbage fields under a valid trailer in the
+  // worst.  Drop the fd without the flush on every rejection path.
+  const auto reject = [&store](Status st) {
+    ::close(store->fd_);
+    store->fd_ = -1;
+    return st;
+  };
+  if (version >= 2) {
+    // Verify the whole header page against its trailer.  A recovery open
+    // tolerates a damaged header (every field it relies on is recomputed
+    // below, and the next Sync rewrites the page, healing it); a plain
+    // open refuses — its free-chain walk trusts header state.
+    std::vector<uint8_t> page0(store->physical_page_size());
+    Status vst = PreadFull(fd, page0.data(), page0.size(), 0, "page 0 pread");
+    if (vst.ok()) vst = store->CheckTrailer(0, page0);
+    if (!vst.ok()) {
+      ++store->stats_.checksum_failures;
+      if (walk_free_chain) {
+        return reject(
+            Status::DataLoss("header page of " + path +
+                             " failed verification: " + vst.message()));
+      }
+      store->header_damaged_ = true;
+    }
+  }
   if (!walk_free_chain) {
     // Recovery mode: the header itself may be stale (it is only rewritten
     // on Sync).  Pages allocated after the last sync extended the file but
@@ -184,11 +339,21 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::OpenImpl(
     // stale: start with nothing free; the caller adopts the real free set.
     struct stat st;
     if (::fstat(fd, &st) != 0) {
-      return Status::IoError(std::string("fstat: ") + std::strerror(errno));
+      return reject(
+          Status::IoError(std::string("fstat: ") + std::strerror(errno)));
     }
+    const uint64_t phys =
+        static_cast<uint64_t>(store->physical_page_size());
     const uint64_t by_size =
-        (static_cast<uint64_t>(st.st_size) + page_size - 1) / page_size;
-    store->page_count_ = std::max(store->page_count_, std::max<uint64_t>(by_size, 1));
+        (static_cast<uint64_t>(st.st_size) + phys - 1) / phys;
+    if (store->header_damaged_) {
+      // A damaged header's page count is noise; the file size is ground
+      // truth.
+      store->page_count_ = std::max<uint64_t>(by_size, 1);
+    } else {
+      store->page_count_ =
+          std::max(store->page_count_, std::max<uint64_t>(by_size, 1));
+    }
     store->free_head_ = kInvalidPageId;
     store->live_count_ = store->page_count_ - 1;
     return store;
@@ -200,10 +365,11 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::OpenImpl(
   while (cursor != kInvalidPageId) {
     if (cursor >= store->page_count_ ||
         !store->free_set_.insert(cursor).second) {
-      return Status::Corruption("free chain corrupt in " + path);
+      return reject(Status::Corruption("free chain corrupt in " + path));
     }
     store->free_list_.push_back(cursor);
-    BMEH_RETURN_NOT_OK(store->ReadRaw(cursor, buf));
+    Status rst = store->ReadRaw(cursor, buf);
+    if (!rst.ok()) return reject(rst);
     cursor = GetU32(buf.data());
   }
   std::reverse(store->free_list_.begin(), store->free_list_.end());
@@ -211,39 +377,151 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::OpenImpl(
 }
 
 Status FilePageStore::WriteHeader() {
-  uint8_t header[64];
-  std::memset(header, 0, sizeof(header));
-  PutU32(header, kMagic);
-  PutU32(header + 4, static_cast<uint32_t>(page_size_));
-  PutU64(header + 8, page_count_);
-  PutU64(header + 16, live_count_);
-  PutU32(header + 24, free_head_);
-  ssize_t n = ::pwrite(fd_, header, sizeof(header), 0);
-  if (n != static_cast<ssize_t>(sizeof(header))) {
-    return Status::IoError(std::string("header pwrite: ") +
-                           (n < 0 ? std::strerror(errno) : "short write"));
+  if (format_version_ < 2) {
+    // Legacy store: keep the legacy header layout (and no trailer — v1
+    // page offsets leave no room for one).
+    uint8_t header[kHeaderSize];
+    std::memset(header, 0, sizeof(header));
+    PutU32(header, kMagicV1);
+    PutU32(header + 4, static_cast<uint32_t>(page_size_));
+    PutU64(header + 8, page_count_);
+    PutU64(header + 16, live_count_);
+    PutU32(header + 24, free_head_);
+    return PwriteFull(fd_, header, sizeof(header), 0, "header pwrite");
+  }
+  // v2: the whole physical page 0 is written (zero padded) so its trailer
+  // covers every byte — a flip anywhere in the header page is detectable.
+  std::vector<uint8_t> page0(physical_page_size(), 0);
+  PutU32(page0.data(), kMagicV2);
+  PutU32(page0.data() + 4, static_cast<uint32_t>(page_size_));
+  PutU64(page0.data() + 8, page_count_);
+  PutU64(page0.data() + 16, live_count_);
+  PutU32(page0.data() + 24, free_head_);
+  PutU32(page0.data() + 28, epoch_);
+  FillTrailer(0, page0);
+  BMEH_RETURN_NOT_OK(PwriteFull(fd_, page0.data(), page0.size(), 0,
+                                "header pwrite"));
+  header_damaged_ = false;
+  return Status::OK();
+}
+
+void FilePageStore::FillTrailer(PageId id, std::span<uint8_t> physical) const {
+  uint8_t* t = physical.data() + page_size_;
+  std::memset(t, 0, kPageTrailerSize);
+  t[0] = kPageFormatV2;
+  PutU32(t + 4, id);
+  PutU32(t + 8, epoch_);
+  const uint32_t crc = Crc32(physical.data(), page_size_ + 12,
+                             TrailerSeed(id, epoch_));
+  PutU32(t + 12, crc);
+}
+
+Status FilePageStore::CheckTrailer(PageId id,
+                                   std::span<const uint8_t> physical) const {
+  const uint8_t* t = physical.data() + page_size_;
+  const std::string where = "page " + std::to_string(id);
+  if (t[0] != kPageFormatV2) {
+    return Status::DataLoss(where + ": bad trailer version byte " +
+                            std::to_string(t[0]));
+  }
+  if (GetU32(t + 4) != id) {
+    return Status::DataLoss(where + ": trailer claims page " +
+                            std::to_string(GetU32(t + 4)) +
+                            " (misdirected I/O?)");
+  }
+  if (GetU32(t + 8) != epoch_) {
+    return Status::DataLoss(where + ": trailer from foreign store epoch");
+  }
+  const uint32_t want = Crc32(physical.data(), page_size_ + 12,
+                              TrailerSeed(id, epoch_));
+  if (GetU32(t + 12) != want) {
+    return Status::DataLoss(where + ": checksum mismatch");
+  }
+  return Status::OK();
+}
+
+Status FilePageStore::ReadPhysicalOnce(PageId id,
+                                       std::span<uint8_t> physical) {
+  if (inject_read_errors_ > 0) {
+    --inject_read_errors_;
+    return Status::IoError("injected transient pread error on page " +
+                           std::to_string(id));
+  }
+  const off_t off = static_cast<off_t>(id) * physical_page_size();
+  BMEH_RETURN_NOT_OK(PreadFull(fd_, physical.data(), physical.size(), off,
+                               "pread page " + std::to_string(id)));
+  if (inject_read_corruptions_ > 0) {
+    --inject_read_corruptions_;
+    physical[physical.size() / 3] ^= 0x40;
+  }
+  if (format_version_ >= 2) {
+    Status st = CheckTrailer(id, physical);
+    if (!st.ok()) {
+      ++stats_.checksum_failures;
+      return st;
+    }
   }
   return Status::OK();
 }
 
 Status FilePageStore::ReadRaw(PageId id, std::span<uint8_t> out) {
-  off_t off = static_cast<off_t>(id) * page_size_;
-  ssize_t n = ::pread(fd_, out.data(), out.size(), off);
-  if (n != static_cast<ssize_t>(out.size())) {
-    return Status::IoError("pread page " + std::to_string(id) + ": " +
-                           (n < 0 ? std::strerror(errno) : "short read"));
+  if (format_version_ < 2) {
+    // Legacy pages carry no trailer: a single direct read, no
+    // verification possible.
+    const off_t off = static_cast<off_t>(id) * physical_page_size();
+    return PreadFull(fd_, out.data(), out.size(), off,
+                     "pread page " + std::to_string(id));
   }
-  return Status::OK();
+  std::vector<uint8_t> physical(physical_page_size());
+  Status st;
+  for (int attempt = 0; attempt <= max_read_retries_; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.read_retries;
+      if (retry_backoff_us_ > 0) {
+        ::usleep(static_cast<useconds_t>(retry_backoff_us_)
+                 << (attempt - 1));
+      }
+    }
+    st = ReadPhysicalOnce(id, physical);
+    if (st.ok()) {
+      std::memcpy(out.data(), physical.data(), out.size());
+      return Status::OK();
+    }
+    // Both failure modes are worth a re-read: transient EIO obviously,
+    // and a checksum mismatch because the first read may have raced a
+    // concurrent write (a torn read) or hit a transient transfer error —
+    // only corruption at rest fails every attempt.
+  }
+  if (st.IsIoError()) {
+    return Status::IoError("page " + std::to_string(id) + " unreadable after " +
+                           std::to_string(max_read_retries_ + 1) +
+                           " attempts: " + st.message());
+  }
+  return Status::DataLoss("page " + std::to_string(id) +
+                          " failed verification after " +
+                          std::to_string(max_read_retries_ + 1) +
+                          " attempts: " + st.message());
 }
 
 Status FilePageStore::WriteRaw(PageId id, std::span<const uint8_t> data) {
-  off_t off = static_cast<off_t>(id) * page_size_;
-  ssize_t n = ::pwrite(fd_, data.data(), data.size(), off);
-  if (n != static_cast<ssize_t>(data.size())) {
-    return Status::IoError("pwrite page " + std::to_string(id) + ": " +
-                           (n < 0 ? std::strerror(errno) : "short write"));
+  const off_t off = static_cast<off_t>(id) * physical_page_size();
+  if (format_version_ < 2) {
+    return PwriteFull(fd_, data.data(), data.size(), off,
+                      "pwrite page " + std::to_string(id));
   }
-  return Status::OK();
+  std::vector<uint8_t> physical(physical_page_size());
+  std::memcpy(physical.data(), data.data(), data.size());
+  FillTrailer(id, physical);
+  return PwriteFull(fd_, physical.data(), physical.size(), off,
+                    "pwrite page " + std::to_string(id));
+}
+
+Status FilePageStore::VerifyPage(PageId id) {
+  if (id >= page_count_) {
+    return Status::Invalid("VerifyPage: no page " + std::to_string(id));
+  }
+  std::vector<uint8_t> physical(physical_page_size());
+  return ReadPhysicalOnce(id, physical);
 }
 
 Result<PageId> FilePageStore::Allocate() {

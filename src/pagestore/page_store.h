@@ -28,6 +28,14 @@ struct StoreStats {
   uint64_t writes = 0;
   uint64_t allocs = 0;
   uint64_t frees = 0;
+  /// Read attempts repeated after a transient I/O error or a checksum
+  /// mismatch (each retry counts once, successful or not).
+  uint64_t read_retries = 0;
+  /// Page trailer verifications that failed (counted per failed attempt).
+  uint64_t checksum_failures = 0;
+  /// Pages a layer above has quarantined after verified corruption
+  /// (recorded here so one snapshot tells the whole integrity story).
+  uint64_t pages_quarantined = 0;
 };
 
 /// \brief Abstract fixed-size page device.
@@ -66,6 +74,10 @@ class PageStore {
   const StoreStats& stats() const { return stats_; }
   void ResetStats() { stats_ = StoreStats{}; }
 
+  /// \brief Lets the owning layer (e.g. BmehStore) record that it
+  /// quarantined a page after this store reported verified corruption.
+  void NoteQuarantined(uint64_t n = 1) { stats_.pages_quarantined += n; }
+
  protected:
   StoreStats stats_;
 };
@@ -96,6 +108,30 @@ class InMemoryPageStore : public PageStore {
 /// head); each free page stores the id of the next free page in its first
 /// four bytes.  The header is rewritten on Sync() and on destruction.
 ///
+/// On-disk integrity (format v2): every physical page — header, live,
+/// and free alike — ends in a 16-byte self-checksum trailer
+///
+///     [version u8 | pad u8*3 | page id u32 | store epoch u32 | crc u32]
+///
+/// appended after the page_size() caller-visible payload bytes, so a
+/// physical page occupies page_size() + kPageTrailerSize bytes and the
+/// payload contract of Read/Write is unchanged.  The CRC32 covers payload
+/// plus trailer prefix and is seeded with the page id mixed with the
+/// store's epoch (a random per-file value drawn at Create), which makes a
+/// misdirected read or write detectable: a page's bytes only verify at
+/// the id and in the file they were written for.  Read() verifies the
+/// trailer and retries transient I/O errors and checksum mismatches with
+/// exponential backoff (a re-read catches an in-flight torn read); only
+/// after the retry budget is exhausted does it surface Status::DataLoss.
+/// stats() exposes read_retries / checksum_failures / pages_quarantined.
+///
+/// Files written by the pre-checksum v1 format are still opened: they are
+/// detected by their old header magic and served without verification
+/// (format_version() == 1); `bmeh_cli fsck --repair` rewrites such a
+/// store into a fresh v2 file.  In-place upgrade is impossible because v1
+/// payloads occupy the whole physical page, so there is no room for a
+/// trailer at the v1 offsets.
+///
 /// Crash-consistency contract: the on-disk header (and with it the free
 /// chain) is only guaranteed coherent as of the last Sync().  A reader
 /// reopening after a crash must therefore either trust the chain (plain
@@ -109,6 +145,11 @@ class InMemoryPageStore : public PageStore {
 /// fails with IoError instead of silently corrupting the store.
 class FilePageStore : public PageStore {
  public:
+  /// Bytes of self-checksum trailer appended to every physical v2 page.
+  static constexpr int kPageTrailerSize = 16;
+  /// Trailer format version byte written by this code.
+  static constexpr uint8_t kPageFormatV2 = 2;
+
   ~FilePageStore() override;
 
   /// \brief Creates a new store file (truncating any existing file).
@@ -125,6 +166,16 @@ class FilePageStore : public PageStore {
   /// set of unreachable pages it computed.
   static Result<std::unique_ptr<FilePageStore>> OpenForRecovery(
       const std::string& path);
+
+  /// \brief Last-ditch open for the salvage tooling, used when even
+  /// OpenForRecovery rejects the file because the header page is
+  /// destroyed (bad magic or implausible page size).  Ignores the header
+  /// entirely: the caller supplies the page size, the file is sized by
+  /// st_size, and the store epoch is recovered from the first page whose
+  /// trailer is self-consistent under its own claimed epoch.  v2 files
+  /// only — a v1 file without its header has nothing to verify against.
+  static Result<std::unique_ptr<FilePageStore>> OpenIgnoringHeader(
+      const std::string& path, int page_size);
 
   int page_size() const override { return page_size_; }
   Result<PageId> Allocate() override;
@@ -149,6 +200,47 @@ class FilePageStore : public PageStore {
   /// \brief Total pages in the file, including the header page.
   uint64_t page_count() const { return page_count_; }
 
+  /// \brief On-disk format: 1 = legacy trailer-free pages (verification
+  /// off), 2 = self-checksumming pages.
+  int format_version() const { return format_version_; }
+
+  /// \brief Random per-file value folded into every page checksum (0 for
+  /// v1 files).
+  uint32_t epoch() const { return epoch_; }
+
+  /// \brief Whether the header page failed verification at open (only
+  /// possible for OpenForRecovery, which tolerates it; a later Sync
+  /// rewrites the header and heals it).
+  bool header_damaged() const { return header_damaged_; }
+
+  /// \brief Verifies the trailer of physical page `id` without touching
+  /// the free-list bookkeeping — usable on live, free, and header pages
+  /// alike (the scrubber's primitive).  Performs a single read attempt,
+  /// no retries.  Returns OK, DataLoss (trailer mismatch), or IoError.
+  /// On a v1 store, reads the page and returns OK (nothing to verify).
+  Status VerifyPage(PageId id);
+
+  /// \brief Bounds for Read()'s verified-read retry loop: up to
+  /// `max_retries` re-reads after the initial attempt, sleeping
+  /// `backoff_us << attempt` microseconds before each.  Defaults: 3
+  /// retries, 200 us base.
+  void SetReadRetryPolicy(int max_retries, int backoff_us) {
+    max_read_retries_ = max_retries < 0 ? 0 : max_retries;
+    retry_backoff_us_ = backoff_us < 0 ? 0 : backoff_us;
+  }
+
+  /// \brief Testing hook: the next `n` physical page reads fail with a
+  /// transient IoError before reaching the kernel (exercises the retry
+  /// loop without a faulty disk).
+  void InjectTransientReadErrorsForTesting(int n) {
+    inject_read_errors_ = n;
+  }
+
+  /// \brief Testing hook: the next `n` physical page reads return the
+  /// page with one payload byte flipped (models an in-flight torn/bit-rot
+  /// read that a re-read resolves).
+  void CorruptNextReadsForTesting(int n) { inject_read_corruptions_ = n; }
+
   /// \brief Testing hook: drops the file descriptor *without* the
   /// destructor's header flush, leaving the on-disk state exactly as the
   /// last completed write left it — what a process crash would leave.
@@ -161,19 +253,36 @@ class FilePageStore : public PageStore {
   void DisableFsyncForTesting() { fsync_enabled_ = false; }
 
  private:
-  FilePageStore(int fd, int page_size);
+  FilePageStore(int fd, int page_size, int format_version, uint32_t epoch);
   static Result<std::unique_ptr<FilePageStore>> OpenImpl(
       const std::string& path, bool walk_free_chain);
   Status WriteHeader();
+  /// Physical page size: payload plus trailer (v2) or payload alone (v1).
+  int physical_page_size() const {
+    return format_version_ >= 2 ? page_size_ + kPageTrailerSize : page_size_;
+  }
+  void FillTrailer(PageId id, std::span<uint8_t> physical) const;
+  Status CheckTrailer(PageId id, std::span<const uint8_t> physical) const;
+  /// One pread of the physical page + trailer verification; no retries.
+  Status ReadPhysicalOnce(PageId id, std::span<uint8_t> physical);
+  /// Verified read of the payload with the retry/backoff loop.
   Status ReadRaw(PageId id, std::span<uint8_t> out);
+  /// Composes payload + trailer and writes the physical page.
   Status WriteRaw(PageId id, std::span<const uint8_t> data);
 
   int fd_ = -1;
   int page_size_ = 0;
+  int format_version_ = 2;
+  uint32_t epoch_ = 0;
   uint64_t page_count_ = 1;  // includes the header page
   uint64_t live_count_ = 0;
   PageId free_head_ = kInvalidPageId;
   bool fsync_enabled_ = true;
+  bool header_damaged_ = false;
+  int max_read_retries_ = 3;
+  int retry_backoff_us_ = 200;
+  int inject_read_errors_ = 0;
+  int inject_read_corruptions_ = 0;
   // First fsync failure, remembered forever (see Sync()).
   Status sticky_sync_error_;
   // In-memory mirror of the free chain, newest free page last (the back

@@ -72,6 +72,12 @@ Status ApplyReplayed(BmehTree* tree, const Wal::LogRecord& rec) {
       st.IsCapacityError()) {
     return Status::OK();
   }
+  if (st.IsDataLoss()) {
+    // The record lands on a quarantined bucket of a degraded tree — a
+    // deterministic rejection, exactly as it would have been rejected
+    // live.  The quarantine already accounts for the loss.
+    return Status::OK();
+  }
   return st;
 }
 
@@ -89,7 +95,7 @@ BmehStore::BmehStore(std::unique_ptr<PageStore> store,
       checkpoint_every_(options.checkpoint_every) {}
 
 BmehStore::~BmehStore() {
-  if (dirty_ops_ > 0 && poisoned_.ok()) {
+  if (dirty_ops_ > 0 && poisoned_.ok() && !degraded()) {
     Status st = Checkpoint();
     if (!st.ok()) {
       BMEH_LOG(Error) << "final checkpoint failed: " << st;
@@ -129,22 +135,63 @@ Result<std::unique_ptr<BmehStore>> BmehStore::OpenExisting(
     std::unique_ptr<PageStore> store, const StoreOptions& options) {
   auto out = std::unique_ptr<BmehStore>(
       new BmehStore(std::move(store), nullptr, kInvalidPageId, 0, options));
-  PageId head, wal_head;
-  uint64_t generation;
-  BMEH_RETURN_NOT_OK(out->ReadSuperblock(&head, &generation, &wal_head));
+  PageId head = kInvalidPageId, wal_head = kInvalidPageId;
+  uint64_t generation = 0;
+  const Status super_st = out->ReadSuperblock(&head, &generation, &wal_head);
+  if (!super_st.ok()) {
+    // A verified-corrupt superblock (DataLoss) on a tolerant open still
+    // yields a store object — with both chain heads gone there is nothing
+    // to serve, but the caller can see the diagnosis and run salvage.
+    // Anything else (e.g. bad magic on an intact page: not a BmehStore
+    // file) stays a hard failure.
+    if (!options.tolerate_corruption || !super_st.IsDataLoss()) {
+      return super_st;
+    }
+    out->report_.degraded = true;
+    out->report_.superblock_lost = true;
+    out->report_.image_lost = true;
+    out->tree_ = std::make_unique<BmehTree>(options.schema, options.tree);
+    out->poisoned_ = Status::DataLoss(
+        "superblock lost to corruption; store is read-only degraded");
+    return out;
+  }
   out->image_head_ = head;
   out->generation_ = generation;
   if (head == kInvalidPageId) {
     out->tree_ = std::make_unique<BmehTree>(options.schema, options.tree);
-  } else {
+  } else if (!options.tolerate_corruption) {
     BMEH_ASSIGN_OR_RETURN(out->tree_,
                           BmehTree::LoadFrom(out->store_.get(), head));
-    if (!(out->tree_->schema() == options.schema)) {
-      return Status::Invalid("schema mismatch: store has " +
-                             out->tree_->schema().ToString() +
-                             ", caller expects " +
-                             options.schema.ToString());
+  } else {
+    TreeLoadReport image_report;
+    auto loaded =
+        BmehTree::LoadFromTolerant(out->store_.get(), head, &image_report);
+    if (loaded.ok()) {
+      out->tree_ = std::move(loaded).ValueOrDie();
+      if (out->tree_->degraded()) {
+        out->report_.degraded = true;
+        out->report_.image_data_loss = image_report.data_loss;
+        out->report_.quarantined_buckets = image_report.quarantined_pages;
+        out->store_->NoteQuarantined(image_report.quarantined_pages);
+      }
+    } else if (image_report.directory_lost && !image_report.complete) {
+      // The cut fell inside the directory itself: no bucket survives.
+      // Keep the store openable for triage; WAL records still replay.
+      out->report_.degraded = true;
+      out->report_.image_lost = true;
+      out->report_.image_data_loss = image_report.data_loss;
+      out->tree_ = std::make_unique<BmehTree>(options.schema, options.tree);
+    } else {
+      // Intact chain but unparseable image: structural corruption, not
+      // bit rot — nothing a degraded mode could honestly serve.
+      return loaded.status();
     }
+  }
+  if (head != kInvalidPageId && !out->report_.image_lost &&
+      !(out->tree_->schema() == options.schema)) {
+    return Status::Invalid("schema mismatch: store has " +
+                           out->tree_->schema().ToString() +
+                           ", caller expects " + options.schema.ToString());
   }
   // Replay the log on top of the checkpoint.  A torn tail is discarded
   // (and zeroed) by the Wal; whatever replays is re-counted as dirty so
@@ -155,15 +202,39 @@ Result<std::unique_ptr<BmehStore>> BmehStore::OpenExisting(
       [tree](const Wal::LogRecord& rec) { return ApplyReplayed(tree, rec); }));
   out->dirty_ops_ = out->wal_->record_count();
   out->published_wal_head_ = wal_head;
-  if (out->wal_->head() != wal_head) {
+  if (out->wal_->replay_hit_data_loss()) {
+    // Not a benign torn tail: a verified-corrupt page swallowed a suffix
+    // of acknowledged mutations.
+    if (!options.tolerate_corruption) {
+      return Status::DataLoss("WAL cut short by a corrupt page");
+    }
+    out->report_.degraded = true;
+    out->report_.wal_data_loss = true;
+    if (out->poisoned_.ok()) {
+      // New appends would overwrite the surviving tail page and cut the
+      // chain ahead of the corrupt page — after which nothing on disk
+      // records that acknowledged mutations were lost.
+      out->poisoned_ = Status::DataLoss(
+          "WAL cut short by a corrupt page; store is read-only degraded");
+    }
+  }
+  if (out->wal_->head() != wal_head && !out->report_.degraded) {
     // The whole log was unreadable garbage (e.g. the head page never hit
     // the disk).  Point the superblock away from it so the pages can be
-    // safely reused.
+    // safely reused.  (Skipped on a degraded store: the corrupt chain is
+    // evidence fsck still wants to walk.)
     BMEH_RETURN_NOT_OK(out->WriteSuperblock(out->image_head_,
                                             out->generation_,
                                             out->wal_->head()));
     out->published_wal_head_ = out->wal_->head();
     out->wal_->NoteSynced();
+  }
+  if (out->report_.image_lost && out->poisoned_.ok()) {
+    // Records that replayed from the WAL are genuine, but everything the
+    // lost checkpoint held is gone; new mutations would only deepen the
+    // split between the two histories.
+    out->poisoned_ = Status::DataLoss(
+        "checkpoint image lost to corruption; store is read-only degraded");
   }
   return out;
 }
@@ -192,6 +263,14 @@ Result<std::unique_ptr<BmehStore>> BmehStore::Open(
   FilePageStore* raw = file.get();
   BMEH_ASSIGN_OR_RETURN(auto out, OpenExisting(std::move(file), options));
 
+  if (out->degraded()) {
+    // With verified corruption in play, "unreachable" can no longer be
+    // distinguished from "reachable through a page we failed to read".
+    // Adopt nothing: leaked pages are only wasted space, and fsck can
+    // reclaim them after salvage.  The store stays alloc-capable by
+    // growing the file instead of recycling.
+    return out;
+  }
   std::unordered_set<PageId> reachable;
   reachable.insert(out->super_page_);
   if (out->image_head_ != kInvalidPageId) {
@@ -214,6 +293,7 @@ Result<StoreInfo> BmehStore::Inspect(const std::string& path) {
   StoreInfo info;
   info.page_size = file->page_size();
   info.page_count = file->page_count();
+  info.format_version = file->format_version();
   PageId head, wal_head;
   uint64_t generation;
   BMEH_RETURN_NOT_OK(ReadSuperblockFrom(file.get(), file->first_data_page(),
@@ -286,7 +366,16 @@ Status BmehStore::Put(const PseudoKey& key, uint64_t payload) {
 }
 
 Result<uint64_t> BmehStore::Get(const PseudoKey& key) {
-  return tree_->Search(key);
+  auto res = tree_->Search(key);
+  if (!res.ok() && res.status().IsKeyError() &&
+      (report_.image_lost || report_.wal_data_loss)) {
+    // When a whole image or a WAL suffix is gone, *any* absent key may
+    // merely be lost — "not found" would be a silent wrong answer.
+    return Status::DataLoss("key " + key.ToString() +
+                            " not found, but the store lost data to "
+                            "corruption; absence is not trustworthy");
+  }
+  return res;
 }
 
 Status BmehStore::Delete(const PseudoKey& key) {
@@ -300,10 +389,18 @@ Status BmehStore::Delete(const PseudoKey& key) {
 
 Status BmehStore::Range(const RangePredicate& pred,
                         std::vector<Record>* out) {
-  return tree_->RangeSearch(pred, out);
+  Status st = tree_->RangeSearch(pred, out);
+  if (st.ok() && (report_.image_lost || report_.wal_data_loss)) {
+    // The surviving matches are in `out`, but records destroyed with the
+    // image / WAL suffix can no longer be enumerated.
+    return Status::DataLoss(
+        "range result is partial: the store lost data to corruption");
+  }
+  return st;
 }
 
 Status BmehStore::MaybeAutoCheckpoint() {
+  if (degraded()) return Status::OK();  // see Checkpoint()
   if (checkpoint_every_ > 0 && dirty_ops_ >= checkpoint_every_) {
     return Checkpoint();
   }
@@ -312,6 +409,13 @@ Status BmehStore::MaybeAutoCheckpoint() {
 
 Status BmehStore::Checkpoint() {
   BMEH_RETURN_NOT_OK(poisoned_);
+  if (degraded()) {
+    // A checkpoint of the degraded state would replace the still-
+    // diagnosable on-disk damage with a clean-looking image silently
+    // missing the lost records.  Salvage into a fresh store instead.
+    return Status::DataLoss(
+        "refusing to checkpoint a store degraded by corruption");
+  }
   BMEH_ASSIGN_OR_RETURN(PageId new_head, tree_->SaveTo(store_.get()));
   if (crash_before_publish_) {
     // Testing hook: the image is on disk but the superblock still points
@@ -341,6 +445,12 @@ Status BmehStore::Checkpoint() {
   }
   BMEH_RETURN_NOT_OK(wal_->Truncate());
   return Status::OK();
+}
+
+Status internal::ReadStoreSuperblock(PageStore* store, PageId page,
+                                     PageId* image_head, uint64_t* generation,
+                                     PageId* wal_head) {
+  return ReadSuperblockFrom(store, page, image_head, generation, wal_head);
 }
 
 }  // namespace bmeh

@@ -62,6 +62,36 @@ struct StoreOptions {
   /// bounded window of recent mutations for fewer fsyncs; 0 syncs only
   /// at checkpoints.
   uint64_t wal_sync_every = 1;
+  /// Open a store whose pages fail checksum verification in degraded mode
+  /// (quarantined buckets, DataLoss answers, checkpoints refused — see
+  /// RecoveryReport) instead of failing the open.  With false, any
+  /// verified corruption makes Open() fail with DataLoss.
+  bool tolerate_corruption = true;
+};
+
+/// \brief What corruption, if any, the last Open() had to work around.
+///
+/// A degraded store stays useful for triage and salvage but never lies:
+/// queries whose true answer may have been destroyed return DataLoss, and
+/// Checkpoint() is refused so the damage cannot be laundered into a
+/// clean-looking image (use SalvageStore / `bmeh_cli fsck --repair`).
+struct RecoveryReport {
+  /// Any verified corruption was encountered while opening.
+  bool degraded = false;
+  /// The superblock failed verification: both chain heads are gone and
+  /// nothing could be recovered (implies image_lost).
+  bool superblock_lost = false;
+  /// The checkpoint image's directory could not be rebuilt; only
+  /// WAL-replayed records are visible and missing keys answer DataLoss.
+  bool image_lost = false;
+  /// The image chain was cut by a verified-corrupt page (when the
+  /// directory still parsed, the cut cost only quarantined buckets).
+  bool image_data_loss = false;
+  /// WAL replay stopped at a verified-corrupt page: acknowledged
+  /// mutations beyond the cut are lost, so missing keys answer DataLoss.
+  bool wal_data_loss = false;
+  /// Buckets whose records were lost (see BmehTree::quarantined_pages).
+  uint64_t quarantined_buckets = 0;
 };
 
 /// \brief Summary of a store file's durable state (see BmehStore::Inspect).
@@ -75,6 +105,8 @@ struct StoreInfo {
   uint64_t page_count = 0;
   uint64_t live_pages = 0;
   int page_size = 0;
+  /// On-disk page format: 1 = legacy unverified, 2 = self-checksumming.
+  int format_version = 0;
 };
 
 /// \brief A durable multidimensional record store.
@@ -130,6 +162,14 @@ class BmehStore {
   /// \brief Monotone checkpoint generation (0 for a fresh store).
   uint64_t generation() const { return generation_; }
 
+  /// \brief What corruption the open had to work around (all-false for a
+  /// healthy store).
+  const RecoveryReport& recovery_report() const { return report_; }
+
+  /// \brief True when the open encountered verified corruption; see
+  /// RecoveryReport for degraded-mode semantics.
+  bool degraded() const { return report_.degraded; }
+
   /// \brief The underlying in-memory tree (read-mostly introspection).
   const BmehTree& tree() const { return *tree_; }
   BmehTree* mutable_tree() { return tree_.get(); }
@@ -182,11 +222,23 @@ class BmehStore {
   uint64_t generation_ = 0;
   uint64_t checkpoint_every_ = 0;
   uint64_t dirty_ops_ = 0;
+  RecoveryReport report_;
   bool crash_before_publish_ = false;
   /// Non-OK once a durability write failed; mutations are refused so the
   /// divergence between memory and disk cannot widen silently.
   Status poisoned_;
 };
+
+namespace internal {
+
+/// \brief Reads and CRC-verifies a BmehStore superblock page — shared
+/// with the offline tooling (scrub/fsck) so the layout stays in one
+/// place.  Statuses: OK, Corruption (not a superblock), or whatever the
+/// page read returned (e.g. DataLoss on a corrupt v2 page).
+Status ReadStoreSuperblock(PageStore* store, PageId page, PageId* image_head,
+                           uint64_t* generation, PageId* wal_head);
+
+}  // namespace internal
 
 }  // namespace bmeh
 

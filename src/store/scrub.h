@@ -1,0 +1,71 @@
+// Scrub and salvage: the offline halves of the corruption defense.
+//
+// ScrubStore walks a store file and verifies every page's self-checksum
+// trailer plus the structural reachability of the superblock, checkpoint
+// image and WAL chains — detection without mutation, the job a background
+// scrubber runs on a schedule so bit rot is found while the redundancy to
+// fix it (backups, the WAL) still exists.
+//
+// SalvageStore extracts every record still reachable in a (possibly
+// corrupt) store and writes it into a fresh store file: tolerant open
+// first (checkpoint prefix + WAL replay), then — when the superblock or
+// directory is beyond use — a brute-force sweep that tries every page as
+// a potential image head.  Also the upgrade path from legacy v1 files to
+// the self-checksumming v2 format.
+
+#ifndef BMEH_STORE_SCRUB_H_
+#define BMEH_STORE_SCRUB_H_
+
+#include <string>
+#include <vector>
+
+#include "src/store/bmeh_store.h"
+
+namespace bmeh {
+
+/// \brief What a read-only integrity scrub of a store file found.
+struct ScrubReport {
+  /// Pages whose trailer failed verification (empty = no bit rot).
+  std::vector<PageId> corrupt_pages;
+  /// Total pages in the file, including header and superblock.
+  uint64_t pages_scanned = 0;
+  /// Pages reachable from the superblock (superblock + image + WAL).
+  uint64_t pages_reachable = 0;
+  /// The file header / superblock / a chain was too damaged to walk.
+  bool structure_damaged = false;
+  /// Human-readable notes, one per problem found.
+  std::vector<std::string> notes;
+  /// On-disk format version (1 = legacy, nothing to verify per page).
+  int format_version = 0;
+
+  bool clean() const {
+    return corrupt_pages.empty() && !structure_damaged;
+  }
+};
+
+/// \brief Verifies every page checksum and chain of the store at `path`
+/// without modifying the file.  A non-OK status means the scrub itself
+/// could not run (e.g. the file is missing); corruption findings are
+/// reported in `report` with an OK status.
+Status ScrubStore(const std::string& path, ScrubReport* report);
+
+/// \brief What SalvageStore managed to recover.
+struct SalvageReport {
+  uint64_t records_recovered = 0;
+  /// Salvage had to fall back to the brute-force image sweep.
+  bool used_sweep = false;
+  /// The source opened degraded (some records may be missing).
+  bool source_degraded = false;
+};
+
+/// \brief Copies every reachable record of the store at `src` into a
+/// fresh store file at `dst` (truncating any existing file), checkpointed
+/// and clean.  `options` supplies the schema and tree parameters for the
+/// destination (and the expected schema of the source).  Fails when not
+/// even a brute-force sweep finds a usable record set.
+Status SalvageStore(const std::string& src, const std::string& dst,
+                    const StoreOptions& options, SalvageReport* report);
+
+}  // namespace bmeh
+
+#endif  // BMEH_STORE_SCRUB_H_

@@ -9,8 +9,8 @@ namespace bmeh {
 
 namespace {
 
-constexpr uint32_t kWalMagic = 0x424d574c;  // "BMWL"
-constexpr size_t kPageHeaderSize = 8;       // magic + next
+constexpr uint32_t kWalMagic = Wal::kPageMagic;  // "BMWL"
+constexpr size_t kPageHeaderSize = 8;            // magic + next
 constexpr size_t kLenSize = 2;
 constexpr size_t kCrcSize = 4;
 
@@ -68,6 +68,13 @@ Status Wal::Append(const LogRecord& rec) {
   }
   const size_t need = WireSize(rec);
   const size_t page_size = static_cast<size_t>(store_->page_size());
+  if (need > page_size - kPageHeaderSize) {
+    // Would not fit even an empty page — sealing the tail cannot help,
+    // and Encode would overrun tail_buf_.
+    return Status::Invalid("WAL record of " + std::to_string(need) +
+                           " bytes exceeds page capacity of " +
+                           std::to_string(page_size - kPageHeaderSize));
+  }
   if (empty()) {
     BMEH_ASSIGN_OR_RETURN(PageId id, store_->Allocate());
     head_ = id;
@@ -110,6 +117,8 @@ Status Wal::Replay(PageId head, const ReplayFn& fn, bool sanitize_tail) {
   tail_used_ = 0;
   record_count_ = 0;
   unsynced_ = 0;
+  replay_truncated_ = false;
+  replay_hit_data_loss_ = false;
   pages_.clear();
   if (head == kInvalidPageId) {
     return Status::OK();
@@ -129,8 +138,10 @@ Status Wal::Replay(PageId head, const ReplayFn& fn, bool sanitize_tail) {
       truncated = true;  // cycle: stale link into an older incarnation
       break;
     }
-    if (!store_->Read(id, buf).ok() || GetU32(buf.data()) != kWalMagic) {
+    const Status read_st = store_->Read(id, buf);
+    if (!read_st.ok() || GetU32(buf.data()) != kWalMagic) {
       truncated = true;
+      if (read_st.IsDataLoss()) replay_hit_data_loss_ = true;
       break;
     }
     const PageId next = GetU32(buf.data() + 4);
@@ -181,6 +192,7 @@ Status Wal::Replay(PageId head, const ReplayFn& fn, bool sanitize_tail) {
     }
     id = next;
   }
+  replay_truncated_ = truncated;
 
   if (tail_ == kInvalidPageId) {
     // Nothing valid anywhere in the chain: the log is effectively empty
@@ -193,11 +205,16 @@ Status Wal::Replay(PageId head, const ReplayFn& fn, bool sanitize_tail) {
     return Status::Corruption("WAL replay lost its head page");
   }
   // Zero out everything past the last valid record (including any stale
-  // next-link) so future appends cannot resurrect discarded bytes.
+  // next-link) so future appends cannot resurrect discarded bytes.  Never
+  // write that back when the cut was a verified-corrupt page: truncating
+  // the chain on disk would erase the very evidence that distinguishes
+  // "benign torn tail" from "acknowledged records destroyed", and the next
+  // open (or a salvage run) would then miss the loss entirely.
   const PageId stale_next = GetU32(tail_buf_.data() + 4);
   std::fill(tail_buf_.begin() + tail_used_, tail_buf_.end(), 0);
   PutU32(tail_buf_.data() + 4, kInvalidPageId);
-  if (sanitize_tail && (truncated || stale_next != kInvalidPageId)) {
+  if (sanitize_tail && !replay_hit_data_loss_ &&
+      (truncated || stale_next != kInvalidPageId)) {
     BMEH_RETURN_NOT_OK(store_->Write(tail_, tail_buf_));
   }
   return Status::OK();

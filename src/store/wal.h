@@ -42,6 +42,10 @@ class Wal {
   static constexpr uint8_t kOpInsert = 1;
   static constexpr uint8_t kOpDelete = 2;
 
+  /// First four bytes of every WAL chain page ("BMWL") — public so the
+  /// offline tooling (scrub/fsck) can recognize log pages in a sweep.
+  static constexpr uint32_t kPageMagic = 0x424d574c;
+
   /// \brief One logged mutation.
   struct LogRecord {
     uint8_t op = 0;
@@ -68,6 +72,8 @@ class Wal {
   const std::vector<PageId>& pages() const { return pages_; }
 
   /// \brief Appends one record (page writes only; see MaybeSync).
+  /// Records too large to fit an empty page are rejected with Invalid
+  /// before any allocation or write.
   Status Append(const LogRecord& rec);
 
   /// \brief Syncs the store if `sync_every` unsynced records accumulated.
@@ -91,6 +97,18 @@ class Wal {
   /// read-only inspection.
   Status Replay(PageId head, const ReplayFn& fn, bool sanitize_tail = true);
 
+  /// \brief Whether the last Replay() stopped before the chain's natural
+  /// end (torn tail, bad magic/CRC, unreadable page).  Expected after a
+  /// crash; only noteworthy together with replay_hit_data_loss().
+  bool replay_truncated() const { return replay_truncated_; }
+
+  /// \brief Whether the last Replay() was cut short by a page the store
+  /// reported as verified-corrupt (Status::DataLoss) rather than a torn
+  /// tail.  Torn tails are a benign crash artifact; DataLoss means
+  /// acknowledged records may have been destroyed by bit rot, and the
+  /// owner should surface degradation instead of staying silent.
+  bool replay_hit_data_loss() const { return replay_hit_data_loss_; }
+
   /// \brief Frees every page of the log and resets it to empty.  Called
   /// after a checkpoint made the logged mutations redundant.
   Status Truncate();
@@ -111,6 +129,8 @@ class Wal {
   size_t tail_used_ = 0;
   uint64_t record_count_ = 0;
   uint64_t unsynced_ = 0;
+  bool replay_truncated_ = false;
+  bool replay_hit_data_loss_ = false;
   std::vector<PageId> pages_;
 };
 

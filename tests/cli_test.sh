@@ -9,7 +9,9 @@ if [ -z "$CLI" ] || [ ! -x "$CLI" ]; then
 fi
 
 DB="$(mktemp -u /tmp/bmeh_cli_test.XXXXXX.db)"
-trap 'rm -f "$DB"' EXIT
+STORE="$(mktemp -u /tmp/bmeh_cli_test.XXXXXX.store)"
+REPAIRED="$(mktemp -u /tmp/bmeh_cli_test.XXXXXX.repaired)"
+trap 'rm -f "$DB" "$STORE" "$REPAIRED"' EXIT
 
 fail() {
   echo "FAIL: $1" >&2
@@ -59,5 +61,50 @@ fi
 if "$CLI" frobnicate --db "$DB" > /dev/null 2>&1; then
   fail "unknown command should fail"
 fi
+
+# ---- corruption defense: storebuild / storeinfo / scrub / fsck ----
+
+# storebuild with a live WAL leaves the file as a crash would
+OUT=$("$CLI" storebuild --db "$STORE" --n 500 --b 8 --page-size 512 \
+      --leave-wal 40 --seed 11)
+echo "$OUT" | grep -q "(40 in the WAL)" || fail "storebuild did not leave a WAL"
+BUILT=$(echo "$OUT" | sed -n 's/.*: \([0-9]*\) records.*/\1/p')
+
+# storeinfo recovers the crashed store's state without mutating it
+OUT=$("$CLI" storeinfo --db "$STORE") || fail "storeinfo on a crashed store"
+echo "$OUT" | grep -q "format v2" || fail "storeinfo format version"
+echo "$OUT" | grep -q "write-ahead log:  40 records" || fail "storeinfo WAL count"
+echo "$OUT" | grep -q "records:          $BUILT " || fail "storeinfo record count"
+
+# a freshly built store scrubs clean
+OUT=$("$CLI" scrub --db "$STORE") || fail "scrub of a clean store exited non-zero"
+echo "$OUT" | grep -q ": clean" || fail "scrub did not report clean"
+
+# fsck --repair of a CLEAN store is an exact copy
+OUT=$("$CLI" fsck --db "$STORE" --repair "$REPAIRED" --b 8 --page-size 512) \
+  || fail "fsck --repair of a clean store exited non-zero"
+echo "$OUT" | grep -q "salvaged $BUILT records" || fail "clean salvage lost records"
+"$CLI" scrub --db "$REPAIRED" > /dev/null || fail "repaired store must scrub clean"
+rm -f "$REPAIRED"
+
+# flip one byte in a data page: scrub and fsck must detect it and exit 1
+"$CLI" corrupt --db "$STORE" --page 3 --byte 100 > /dev/null \
+  || fail "corrupt verb failed"
+if OUT=$("$CLI" scrub --db "$STORE"); then
+  fail "scrub of a corrupted store must exit non-zero"
+fi
+echo "$OUT" | grep -q "CORRUPT" || fail "scrub did not flag the corruption"
+echo "$OUT" | grep -q "corrupt pages:    1: 3" || fail "scrub missed page 3"
+if "$CLI" fsck --db "$STORE" > /dev/null; then
+  fail "fsck of a corrupted store must exit non-zero"
+fi
+
+# fsck --repair still salvages into a clean store
+OUT=$("$CLI" fsck --db "$STORE" --repair "$REPAIRED" --b 8 --page-size 512) \
+  || fail "fsck --repair exited non-zero"
+echo "$OUT" | grep -q "salvaged [0-9]* records" || fail "repair salvaged nothing"
+"$CLI" scrub --db "$REPAIRED" > /dev/null || fail "salvaged store must scrub clean"
+OUT=$("$CLI" storeinfo --db "$REPAIRED")
+echo "$OUT" | grep -q "write-ahead log:  empty" || fail "salvaged store keeps no WAL"
 
 echo "cli_test: all checks passed"

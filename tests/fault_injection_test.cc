@@ -123,5 +123,109 @@ TEST(FaultInjectionTest, TransientFaultsAreDeterministic) {
   EXPECT_FALSE(a->down());
 }
 
+TEST(FaultInjectionTest, TransientReadFaultsFireOnTheReadPath) {
+  // Regression: read_error_p must gate Read(), not just share the rng
+  // with the write path.  With p=1 every read fails while writes flow.
+  auto store = Make();
+  store->SetTransientFaults(/*write_error_p=*/0.0, /*read_error_p=*/1.0, 7);
+  auto id = store->Allocate();
+  ASSERT_TRUE(id.ok());
+  std::vector<uint8_t> data(64, 0x3c);
+  ASSERT_TRUE(store->Write(*id, data).ok());
+  std::vector<uint8_t> buf(64);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(store->Read(*id, buf).IsIoError()) << "read " << i;
+  }
+  EXPECT_FALSE(store->down()) << "transient faults never down the device";
+  store->SetTransientFaults(0.0, 0.0, 7);
+  ASSERT_TRUE(store->Read(*id, buf).ok());
+  EXPECT_EQ(buf, data);
+}
+
+TEST(FaultInjectionTest, FailNthReadWindowIsTransient) {
+  auto store = Make();
+  auto id = store->Allocate();
+  ASSERT_TRUE(id.ok());
+  std::vector<uint8_t> data(64, 0x42);
+  ASSERT_TRUE(store->Write(*id, data).ok());
+
+  store->FailNthRead(/*n=*/1, /*count=*/2);
+  std::vector<uint8_t> buf(64);
+  EXPECT_TRUE(store->Read(*id, buf).ok()) << "read 0 precedes the window";
+  EXPECT_TRUE(store->Read(*id, buf).IsIoError());
+  EXPECT_TRUE(store->Read(*id, buf).IsIoError());
+  EXPECT_FALSE(store->down()) << "the fault is transient, not a crash";
+  ASSERT_TRUE(store->Read(*id, buf).ok()) << "the window has passed";
+  EXPECT_EQ(buf, data);
+}
+
+TEST(FaultInjectionTest, CorruptNthReadFlipsOneByteOnThatReadOnly) {
+  auto store = Make();
+  auto id = store->Allocate();
+  ASSERT_TRUE(id.ok());
+  std::vector<uint8_t> data(64);
+  std::iota(data.begin(), data.end(), 0);
+  ASSERT_TRUE(store->Write(*id, data).ok());
+
+  store->CorruptNthRead(/*n=*/0, /*byte_index=*/9, /*mask=*/0x80);
+  std::vector<uint8_t> buf(64);
+  ASSERT_TRUE(store->Read(*id, buf).ok()) << "bit rot is silent, not an error";
+  EXPECT_EQ(buf[9], data[9] ^ 0x80);
+  buf[9] = data[9];
+  EXPECT_EQ(buf, data) << "exactly one byte lied";
+
+  ASSERT_TRUE(store->Read(*id, buf).ok());
+  EXPECT_EQ(buf, data) << "the fault fires exactly once";
+  std::vector<uint8_t> inner_buf(64);
+  ASSERT_TRUE(store->inner()->Read(*id, inner_buf).ok());
+  EXPECT_EQ(inner_buf, data) << "the device bytes were never touched";
+}
+
+TEST(FaultInjectionTest, StaleReadReplaysPreWriteContent) {
+  auto store = Make();
+  auto id = store->Allocate();
+  ASSERT_TRUE(id.ok());
+  // Arm before writing: the decorator only tracks pre-write images while
+  // a stale fault is scheduled.
+  store->ReplayStaleOnNthRead(/*n=*/0);
+  std::vector<uint8_t> v1(64, 0xaa), v2(64, 0xbb);
+  ASSERT_TRUE(store->Write(*id, v1).ok());
+  ASSERT_TRUE(store->Write(*id, v2).ok());
+
+  std::vector<uint8_t> buf(64);
+  ASSERT_TRUE(store->Read(*id, buf).ok());
+  EXPECT_EQ(buf, v1) << "the read served the dropped-update image";
+  ASSERT_TRUE(store->Read(*id, buf).ok());
+  EXPECT_EQ(buf, v2) << "later reads see the real content";
+}
+
+TEST(FaultInjectionTest, StaleReadOfNeverWrittenPageIsZeros) {
+  auto store = Make();
+  auto id = store->Allocate();
+  ASSERT_TRUE(id.ok());
+  store->ReplayStaleOnNthRead(/*n=*/0);
+  std::vector<uint8_t> buf(64, 0xff);
+  ASSERT_TRUE(store->Read(*id, buf).ok());
+  EXPECT_EQ(buf, std::vector<uint8_t>(64, 0));
+}
+
+TEST(FaultInjectionTest, MisdirectedReadServesTheVictimPage) {
+  auto store = Make();
+  auto a = store->Allocate();
+  auto b = store->Allocate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::vector<uint8_t> data_a(64, 0x01), data_b(64, 0x02);
+  ASSERT_TRUE(store->Write(*a, data_a).ok());
+  ASSERT_TRUE(store->Write(*b, data_b).ok());
+
+  store->MisdirectNthRead(/*n=*/0, /*victim=*/*b);
+  std::vector<uint8_t> buf(64);
+  ASSERT_TRUE(store->Read(*a, buf).ok());
+  EXPECT_EQ(buf, data_b) << "the read landed on the wrong track";
+  ASSERT_TRUE(store->Read(*a, buf).ok());
+  EXPECT_EQ(buf, data_a) << "the fault fires exactly once";
+}
+
 }  // namespace
 }  // namespace bmeh

@@ -198,6 +198,295 @@ TEST(FilePageStoreTest, OpenMissingFileFails) {
   EXPECT_TRUE(r.status().IsIoError());
 }
 
+// XORs the byte at `off` in `path` with `mask` — disk bit rot in one line.
+void FlipByteAt(const std::string& path, long off, uint8_t mask = 0xff) {
+  FILE* f = fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  uint8_t b = 0;
+  ASSERT_EQ(fseek(f, off, SEEK_SET), 0);
+  ASSERT_EQ(fread(&b, 1, 1, f), 1u);
+  b ^= mask;
+  ASSERT_EQ(fseek(f, off, SEEK_SET), 0);
+  ASSERT_EQ(fwrite(&b, 1, 1, f), 1u);
+  fclose(f);
+}
+
+constexpr long kPhysical128 = 128 + FilePageStore::kPageTrailerSize;
+
+TEST(FilePageStoreTest, V2PagesCarryVerifiableTrailers) {
+  const std::string path = ::testing::TempDir() + "/bmeh_v2_trailer.db";
+  auto r = FilePageStore::Create(path, 128);
+  ASSERT_TRUE(r.ok());
+  auto store = std::move(r).ValueOrDie();
+  EXPECT_EQ(store->format_version(), 2);
+  auto a = store->Allocate();
+  auto b = store->Allocate();
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(store->Write(*a, Pattern(128, 1)).ok());
+  ASSERT_TRUE(store->Write(*b, Pattern(128, 2)).ok());
+  ASSERT_TRUE(store->Free(*b).ok());
+  ASSERT_TRUE(store->Sync().ok());
+
+  // Header, live and free pages all verify — the scrubber's contract.
+  for (PageId id = 0; id < store->page_count(); ++id) {
+    EXPECT_TRUE(store->VerifyPage(id).ok()) << "page " << id;
+  }
+  // Physical layout: payload plus trailer per page, nothing more.
+  EXPECT_EQ(std::filesystem::file_size(path),
+            store->page_count() * static_cast<uint64_t>(kPhysical128));
+  std::remove(path.c_str());
+}
+
+TEST(FilePageStoreTest, BitRotSurfacesDataLossAfterRetries) {
+  const std::string path = ::testing::TempDir() + "/bmeh_bitrot.db";
+  PageId id;
+  {
+    auto r = FilePageStore::Create(path, 128);
+    ASSERT_TRUE(r.ok());
+    auto store = std::move(r).ValueOrDie();
+    auto a = store->Allocate();
+    ASSERT_TRUE(a.ok());
+    id = *a;
+    ASSERT_TRUE(store->Write(id, Pattern(128, 7)).ok());
+    ASSERT_TRUE(store->Sync().ok());
+  }
+  FlipByteAt(path, static_cast<long>(id) * kPhysical128 + 10);
+
+  auto r = FilePageStore::Open(path);
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto store = std::move(r).ValueOrDie();
+  store->SetReadRetryPolicy(/*max_retries=*/2, /*backoff_us=*/0);
+  store->ResetStats();
+  std::vector<uint8_t> buf(128);
+  Status st = store->Read(id, buf);
+  EXPECT_TRUE(st.IsDataLoss()) << st;
+  EXPECT_EQ(store->stats().read_retries, 2u);
+  EXPECT_EQ(store->stats().checksum_failures, 3u)
+      << "every attempt saw the same rotten bytes";
+  EXPECT_TRUE(store->VerifyPage(id).IsDataLoss());
+  EXPECT_TRUE(store->VerifyPage(0).ok()) << "damage is confined to one page";
+  std::remove(path.c_str());
+}
+
+TEST(FilePageStoreTest, TransientReadErrorsAreAbsorbedByRetry) {
+  const std::string path = ::testing::TempDir() + "/bmeh_transient.db";
+  auto r = FilePageStore::Create(path, 128);
+  ASSERT_TRUE(r.ok());
+  auto store = std::move(r).ValueOrDie();
+  auto a = store->Allocate();
+  ASSERT_TRUE(a.ok());
+  const auto data = Pattern(128, 4);
+  ASSERT_TRUE(store->Write(*a, data).ok());
+
+  store->SetReadRetryPolicy(/*max_retries=*/3, /*backoff_us=*/0);
+  store->InjectTransientReadErrorsForTesting(2);
+  store->ResetStats();
+  std::vector<uint8_t> buf(128);
+  ASSERT_TRUE(store->Read(*a, buf).ok());
+  EXPECT_EQ(buf, data);
+  EXPECT_EQ(store->stats().read_retries, 2u);
+  EXPECT_EQ(store->stats().checksum_failures, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(FilePageStoreTest, RetryBudgetExhaustionIsIoError) {
+  const std::string path = ::testing::TempDir() + "/bmeh_exhaust.db";
+  auto r = FilePageStore::Create(path, 128);
+  ASSERT_TRUE(r.ok());
+  auto store = std::move(r).ValueOrDie();
+  auto a = store->Allocate();
+  ASSERT_TRUE(a.ok());
+  const auto data = Pattern(128, 6);
+  ASSERT_TRUE(store->Write(*a, data).ok());
+
+  store->SetReadRetryPolicy(/*max_retries=*/2, /*backoff_us=*/0);
+  store->InjectTransientReadErrorsForTesting(100);
+  std::vector<uint8_t> buf(128);
+  Status st = store->Read(*a, buf);
+  EXPECT_TRUE(st.IsIoError()) << "transient exhaustion is IoError, "
+                                 "not DataLoss: " << st;
+  store->InjectTransientReadErrorsForTesting(0);
+  ASSERT_TRUE(store->Read(*a, buf).ok());
+  EXPECT_EQ(buf, data);
+  std::remove(path.c_str());
+}
+
+TEST(FilePageStoreTest, InFlightCorruptReadIsHealedByReRead) {
+  const std::string path = ::testing::TempDir() + "/bmeh_torn_read.db";
+  auto r = FilePageStore::Create(path, 128);
+  ASSERT_TRUE(r.ok());
+  auto store = std::move(r).ValueOrDie();
+  auto a = store->Allocate();
+  ASSERT_TRUE(a.ok());
+  const auto data = Pattern(128, 8);
+  ASSERT_TRUE(store->Write(*a, data).ok());
+
+  store->SetReadRetryPolicy(/*max_retries=*/3, /*backoff_us=*/0);
+  store->CorruptNextReadsForTesting(1);
+  store->ResetStats();
+  std::vector<uint8_t> buf(128);
+  ASSERT_TRUE(store->Read(*a, buf).ok())
+      << "a one-off bad transfer is absorbed, not surfaced";
+  EXPECT_EQ(buf, data);
+  EXPECT_EQ(store->stats().checksum_failures, 1u);
+  EXPECT_EQ(store->stats().read_retries, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(FilePageStoreTest, MisdirectedWriteIsDetectedByIdBinding) {
+  const std::string path = ::testing::TempDir() + "/bmeh_misdirect.db";
+  PageId a, b;
+  {
+    auto r = FilePageStore::Create(path, 128);
+    ASSERT_TRUE(r.ok());
+    auto store = std::move(r).ValueOrDie();
+    auto ra = store->Allocate();
+    auto rb = store->Allocate();
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    a = *ra;
+    b = *rb;
+    ASSERT_TRUE(store->Write(a, Pattern(128, 1)).ok());
+    ASSERT_TRUE(store->Write(b, Pattern(128, 2)).ok());
+    ASSERT_TRUE(store->Sync().ok());
+  }
+  // Land page a's (internally consistent!) physical bytes at b's offset —
+  // what a firmware bug that misdirects a write does.
+  std::vector<uint8_t> phys(kPhysical128);
+  {
+    FILE* f = fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(fseek(f, static_cast<long>(a) * kPhysical128, SEEK_SET), 0);
+    ASSERT_EQ(fread(phys.data(), 1, phys.size(), f), phys.size());
+    ASSERT_EQ(fseek(f, static_cast<long>(b) * kPhysical128, SEEK_SET), 0);
+    ASSERT_EQ(fwrite(phys.data(), 1, phys.size(), f), phys.size());
+    fclose(f);
+  }
+  auto r = FilePageStore::Open(path);
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto store = std::move(r).ValueOrDie();
+  store->SetReadRetryPolicy(0, 0);
+  std::vector<uint8_t> buf(128);
+  Status st = store->Read(b, buf);
+  EXPECT_TRUE(st.IsDataLoss()) << st;
+  ASSERT_TRUE(store->Read(a, buf).ok());
+  EXPECT_EQ(buf, Pattern(128, 1));
+  std::remove(path.c_str());
+}
+
+TEST(FilePageStoreTest, ForeignStorePageIsRejectedByEpoch) {
+  const std::string path1 = ::testing::TempDir() + "/bmeh_epoch1.db";
+  const std::string path2 = ::testing::TempDir() + "/bmeh_epoch2.db";
+  PageId id;
+  for (const auto& p : {path1, path2}) {
+    auto r = FilePageStore::Create(p, 128);
+    ASSERT_TRUE(r.ok());
+    auto store = std::move(r).ValueOrDie();
+    auto a = store->Allocate();
+    ASSERT_TRUE(a.ok());
+    id = *a;
+    ASSERT_TRUE(store->Write(id, Pattern(128, 3)).ok());
+    ASSERT_TRUE(store->Sync().ok());
+  }
+  // Same page id, same payload, valid trailer — but written for another
+  // store file.  Only the epoch seed can tell the difference.
+  std::vector<uint8_t> phys(kPhysical128);
+  {
+    FILE* f1 = fopen(path1.c_str(), "rb");
+    FILE* f2 = fopen(path2.c_str(), "r+b");
+    ASSERT_NE(f1, nullptr);
+    ASSERT_NE(f2, nullptr);
+    ASSERT_EQ(fseek(f1, static_cast<long>(id) * kPhysical128, SEEK_SET), 0);
+    ASSERT_EQ(fread(phys.data(), 1, phys.size(), f1), phys.size());
+    ASSERT_EQ(fseek(f2, static_cast<long>(id) * kPhysical128, SEEK_SET), 0);
+    ASSERT_EQ(fwrite(phys.data(), 1, phys.size(), f2), phys.size());
+    fclose(f1);
+    fclose(f2);
+  }
+  auto r = FilePageStore::Open(path2);
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto store = std::move(r).ValueOrDie();
+  store->SetReadRetryPolicy(0, 0);
+  std::vector<uint8_t> buf(128);
+  EXPECT_TRUE(store->Read(id, buf).IsDataLoss());
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(FilePageStoreTest, CorruptHeaderFailsStrictOpenButNotRecovery) {
+  const std::string path = ::testing::TempDir() + "/bmeh_badheader.db";
+  PageId id;
+  {
+    auto r = FilePageStore::Create(path, 128);
+    ASSERT_TRUE(r.ok());
+    auto store = std::move(r).ValueOrDie();
+    auto a = store->Allocate();
+    ASSERT_TRUE(a.ok());
+    id = *a;
+    ASSERT_TRUE(store->Write(id, Pattern(128, 5)).ok());
+    ASSERT_TRUE(store->Sync().ok());
+  }
+  // Damage a header byte the open itself does not parse (past the fixed
+  // fields), so only the trailer check can notice.
+  FlipByteAt(path, 60);
+
+  EXPECT_TRUE(FilePageStore::Open(path).status().IsDataLoss());
+  auto r = FilePageStore::OpenForRecovery(path);
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto store = std::move(r).ValueOrDie();
+  EXPECT_TRUE(store->header_damaged());
+  std::vector<uint8_t> buf(128);
+  ASSERT_TRUE(store->Read(id, buf).ok()) << "data pages are unaffected";
+  EXPECT_EQ(buf, Pattern(128, 5));
+  // Sync rewrites (and heals) the header.
+  ASSERT_TRUE(store->Sync().ok());
+  EXPECT_FALSE(store->header_damaged());
+  EXPECT_TRUE(store->VerifyPage(0).ok());
+  std::remove(path.c_str());
+}
+
+TEST(FilePageStoreTest, LegacyV1StoreOpensWithoutVerification) {
+  const std::string path = ::testing::TempDir() + "/bmeh_legacy.db";
+  // Hand-craft a v1 file: 128-byte pages, no trailers, header + one live
+  // page.  This is the layout the pre-checksum format wrote.
+  {
+    FILE* f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::vector<uint8_t> header(128, 0);
+    const uint32_t magic = 0x424d4548;  // "BMEH"
+    const uint32_t page_size = 128;
+    const uint64_t page_count = 2, live = 1;
+    const uint32_t free_head = kInvalidPageId;
+    memcpy(header.data(), &magic, 4);
+    memcpy(header.data() + 4, &page_size, 4);
+    memcpy(header.data() + 8, &page_count, 8);
+    memcpy(header.data() + 16, &live, 8);
+    memcpy(header.data() + 24, &free_head, 4);
+    ASSERT_EQ(fwrite(header.data(), 1, header.size(), f), header.size());
+    const auto payload = Pattern(128, 9);
+    ASSERT_EQ(fwrite(payload.data(), 1, payload.size(), f), payload.size());
+    fclose(f);
+  }
+  auto r = FilePageStore::Open(path);
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto store = std::move(r).ValueOrDie();
+  EXPECT_EQ(store->format_version(), 1);
+  EXPECT_EQ(store->epoch(), 0u);
+  std::vector<uint8_t> buf(128);
+  ASSERT_TRUE(store->Read(1, buf).ok());
+  EXPECT_EQ(buf, Pattern(128, 9));
+  EXPECT_TRUE(store->VerifyPage(1).ok()) << "v1 pages verify vacuously";
+  // Round-trip a write and a reopen: the file must stay v1 (there is no
+  // room for trailers at v1 offsets).
+  ASSERT_TRUE(store->Write(1, Pattern(128, 10)).ok());
+  store.reset();
+  r = FilePageStore::Open(path);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ((*r)->format_version(), 1);
+  ASSERT_TRUE((*r)->Read(1, buf).ok());
+  EXPECT_EQ(buf, Pattern(128, 10));
+  std::remove(path.c_str());
+}
+
 TEST(FilePageStoreTest, HeaderPageIsProtected) {
   const std::string path = ::testing::TempDir() + "/bmeh_header.db";
   auto r = FilePageStore::Create(path, 128);

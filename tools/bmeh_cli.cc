@@ -28,6 +28,30 @@
 //       Prints the durable state of a BmehStore file (checkpoint
 //       generation, image chain, write-ahead log) without modifying it —
 //       works on files left behind by a crash.
+//
+//   bmeh_cli storebuild --db FILE [--dims D] [--width W] [--b B] [--phi P]
+//                   [--n N] [--dist NAME] [--seed S] [--page-size P]
+//                   [--leave-wal K]
+//       Creates a durable BmehStore file (checkpoint + WAL, unlike `build`
+//       which writes a raw tree image) holding N generated records.  With
+//       --leave-wal K the last K mutations stay in the write-ahead log and
+//       the final close skips its checkpoint, leaving the file exactly as
+//       a crash would — the fixture the recovery tooling is tested on.
+//
+//   bmeh_cli scrub --db FILE
+//       Read-only integrity check: verifies every page's checksum trailer
+//       and the superblock / image / WAL chain structure.  Exits 0 only
+//       when the file is clean.
+//
+//   bmeh_cli fsck --db FILE [--repair OUT] [--dims D] [--width W] ...
+//       Scrubs like `scrub`; with --repair also salvages every reachable
+//       record into a fresh store file at OUT (also the v1 -> v2 format
+//       upgrade path).  Exits 0 when the file was clean, or when --repair
+//       was given and the salvage succeeded.
+//
+//   bmeh_cli corrupt --db FILE --page N [--byte K] [--mask M]
+//       XORs one byte of physical page N with M (default 0xff) — the
+//       fault-injection half of the scrub/fsck tests.
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +61,7 @@
 #include <vector>
 
 #include "src/bmeh.h"
+#include "src/store/scrub.h"
 
 namespace {
 
@@ -263,7 +288,8 @@ int CmdStoreInfo(const Args& args) {
   if (db.empty()) Die("storeinfo requires --db");
   auto info = BmehStore::Inspect(db);
   if (!info.ok()) Die(info.status().ToString());
-  std::printf("page size:        %d\n", info->page_size);
+  std::printf("page size:        %d (format v%d)\n", info->page_size,
+              info->format_version);
   std::printf("pages in file:    %llu (%llu live after recovery)\n",
               static_cast<unsigned long long>(info->page_count),
               static_cast<unsigned long long>(info->live_pages));
@@ -289,6 +315,159 @@ int CmdStoreInfo(const Args& args) {
   return 0;
 }
 
+StoreOptions MakeStoreOptions(const Args& args) {
+  StoreOptions options;
+  const int dims = args.GetInt("dims", 2);
+  options.schema = KeySchema(dims, args.GetInt("width", 31));
+  options.tree =
+      TreeOptions::Make(dims, args.GetInt("b", 16), args.GetInt("phi", 6));
+  options.page_size = args.GetInt("page-size", options.page_size);
+  options.checkpoint_every = 0;
+  options.wal_sync_every = 0;  // bulk build: one fsync at the checkpoint
+  return options;
+}
+
+int CmdStoreBuild(const Args& args) {
+  const std::string db = args.Get("db");
+  if (db.empty()) Die("storebuild requires --db");
+  StoreOptions options = MakeStoreOptions(args);
+  const uint64_t n = static_cast<uint64_t>(args.GetInt("n", 2000));
+  const uint64_t leave_wal =
+      static_cast<uint64_t>(args.GetInt("leave-wal", 0));
+  if (leave_wal > n) Die("--leave-wal cannot exceed --n");
+
+  workload::WorkloadSpec spec;
+  spec.distribution = ParseDist(args.Get("dist", "uniform"));
+  spec.dims = options.schema.dims();
+  spec.width = options.schema.width(0);
+  spec.seed = static_cast<uint64_t>(args.GetInt("seed", 1986));
+
+  auto store = BmehStore::Open(db, options);
+  if (!store.ok()) Die(store.status().ToString());
+  auto keys = workload::GenerateKeys(spec, n);
+  uint64_t inserted = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (leave_wal > 0 && i == n - leave_wal) {
+      Status st = (*store)->Checkpoint();
+      if (!st.ok()) Die(st.ToString());
+    }
+    Status st = (*store)->Put(keys[i], i);
+    if (st.IsAlreadyExists()) continue;  // the generator may repeat keys
+    if (!st.ok()) Die(st.ToString());
+    ++inserted;
+  }
+  if (leave_wal == 0) {
+    Status st = (*store)->Checkpoint();
+    if (!st.ok()) Die(st.ToString());
+  } else {
+    // Suppress the close-time checkpoint so the file keeps its WAL and
+    // stays exactly as a crash at this point would leave it.
+    (*store)->SimulateCrashForTesting();
+  }
+  std::printf("built store %s: %llu records (%llu in the WAL), "
+              "generation %llu\n",
+              db.c_str(), static_cast<unsigned long long>(inserted),
+              static_cast<unsigned long long>((*store)->wal_records()),
+              static_cast<unsigned long long>((*store)->generation()));
+  return 0;
+}
+
+/// Prints `report` and returns true when the file is clean.
+bool PrintScrubReport(const std::string& db, const ScrubReport& report) {
+  std::printf("format version:   %d\n", report.format_version);
+  std::printf("pages scanned:    %llu (%llu reachable from the superblock)\n",
+              static_cast<unsigned long long>(report.pages_scanned),
+              static_cast<unsigned long long>(report.pages_reachable));
+  if (!report.corrupt_pages.empty()) {
+    std::printf("corrupt pages:    %zu:", report.corrupt_pages.size());
+    const size_t show = std::min<size_t>(report.corrupt_pages.size(), 16);
+    for (size_t i = 0; i < show; ++i) {
+      std::printf(" %llu",
+                  static_cast<unsigned long long>(report.corrupt_pages[i]));
+    }
+    if (report.corrupt_pages.size() > show) std::printf(" ...");
+    std::printf("\n");
+  }
+  for (const std::string& note : report.notes) {
+    std::printf("note:             %s\n", note.c_str());
+  }
+  std::printf("%s: %s\n", db.c_str(),
+              report.clean() ? "clean" : "CORRUPT");
+  return report.clean();
+}
+
+int CmdScrub(const Args& args) {
+  const std::string db = args.Get("db");
+  if (db.empty()) Die("scrub requires --db");
+  ScrubReport report;
+  Status st = ScrubStore(db, &report);
+  if (!st.ok()) Die(st.ToString());
+  return PrintScrubReport(db, report) ? 0 : 1;
+}
+
+int CmdFsck(const Args& args) {
+  const std::string db = args.Get("db");
+  if (db.empty()) Die("fsck requires --db");
+  ScrubReport report;
+  Status st = ScrubStore(db, &report);
+  if (!st.ok()) Die(st.ToString());
+  const bool clean = PrintScrubReport(db, report);
+  if (!args.Has("repair")) return clean ? 0 : 1;
+
+  const std::string out = args.Get("repair");
+  SalvageReport salvage;
+  st = SalvageStore(db, out, MakeStoreOptions(args), &salvage);
+  if (!st.ok()) Die("repair failed: " + st.ToString());
+  std::printf("salvaged %llu records into %s%s%s\n",
+              static_cast<unsigned long long>(salvage.records_recovered),
+              out.c_str(),
+              salvage.source_degraded ? " (source was degraded)" : "",
+              salvage.used_sweep ? " (via brute-force page sweep)" : "");
+  return 0;
+}
+
+int CmdCorrupt(const Args& args) {
+  const std::string db = args.Get("db");
+  if (db.empty()) Die("corrupt requires --db");
+  if (!args.Has("page")) Die("corrupt requires --page");
+  const PageId page = static_cast<PageId>(args.GetInt("page", 0));
+  const uint8_t mask = static_cast<uint8_t>(args.GetInt("mask", 0xff));
+  if (mask == 0) Die("--mask 0 would leave the page unchanged");
+
+  long physical = 0;
+  uint64_t page_count = 0;
+  {
+    auto file = FilePageStore::OpenForRecovery(db);
+    if (!file.ok()) Die(file.status().ToString());
+    physical = (*file)->page_size() +
+               ((*file)->format_version() >= FilePageStore::kPageFormatV2
+                    ? FilePageStore::kPageTrailerSize
+                    : 0);
+    page_count = (*file)->page_count();
+  }  // closes the fd (and its advisory lock) before the raw write below
+  if (page >= page_count) {
+    Die("--page " + std::to_string(page) + " out of range (file has " +
+        std::to_string(page_count) + " pages)");
+  }
+  const long byte = args.GetInt("byte", 0) % physical;
+
+  std::FILE* f = std::fopen(db.c_str(), "r+b");
+  if (f == nullptr) Die("cannot open " + db + " for writing");
+  const long off = static_cast<long>(page) * physical + byte;
+  uint8_t b = 0;
+  if (std::fseek(f, off, SEEK_SET) != 0 || std::fread(&b, 1, 1, f) != 1) {
+    Die("cannot read byte at offset " + std::to_string(off));
+  }
+  b ^= mask;
+  if (std::fseek(f, off, SEEK_SET) != 0 || std::fwrite(&b, 1, 1, f) != 1) {
+    Die("cannot write byte at offset " + std::to_string(off));
+  }
+  std::fclose(f);
+  std::printf("flipped page %llu byte %ld with mask 0x%02x in %s\n",
+              static_cast<unsigned long long>(page), byte, mask, db.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -301,5 +480,9 @@ int main(int argc, char** argv) {
   if (args.command == "range") return CmdRange(args);
   if (args.command == "dot") return CmdDot(args);
   if (args.command == "storeinfo") return CmdStoreInfo(args);
+  if (args.command == "storebuild") return CmdStoreBuild(args);
+  if (args.command == "scrub") return CmdScrub(args);
+  if (args.command == "fsck") return CmdFsck(args);
+  if (args.command == "corrupt") return CmdCorrupt(args);
   Die("unknown command: " + args.command);
 }
