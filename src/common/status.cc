@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -25,6 +25,7 @@ enum class StatusCode : int {
   kCorruption = 6,     ///< Structural invariant violated / bad on-disk data.
   kNotImplemented = 7, ///< Feature not available.
   kDataLoss = 8,       ///< Verified corruption: data is unrecoverable here.
+  kResourceExhausted = 9,  ///< Out of pages/disk/memory; retryable.
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "Invalid").
@@ -73,6 +74,9 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   /// \brief True iff the operation succeeded.
   bool ok() const { return state_ == nullptr; }
@@ -90,6 +94,20 @@ class Status {
     return code() == StatusCode::kNotImplemented;
   }
   bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+
+  /// \brief True when the failed operation may simply be retried later and
+  /// succeed, with no repair or recovery step in between.  This is a
+  /// *guarantee* about the failing layer's state: an operation that fails
+  /// transiently left every structure (in memory and on disk) exactly as it
+  /// was before the call.  IoError is deliberately not transient — a failed
+  /// write or fsync leaves the durable state unknown, so blind retry is not
+  /// safe.  Currently only ResourceExhausted qualifies.
+  bool IsTransient() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// \brief The error message ("" when ok()).
   const std::string& message() const;

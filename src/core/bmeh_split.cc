@@ -105,7 +105,13 @@ Status BmehTree::SplitNodeAt(const std::vector<PathStep>& path, size_t level,
   }
 
   // The parent has room for one more dimension-m bit: split the node.
-  if (nodes_.live_count() + 2 > options_.max_nodes) {
+  // A balanced split force-splits every spanning child node recursively,
+  // and each split in that cascade nets one extra live node (two created,
+  // one destroyed) with a transient peak of one more.  Size the whole
+  // cascade against the cap up front: failing mid-cascade would leave a
+  // half-split subtree with no rollback.
+  const uint64_t cascade_splits = CountBalancedSplitNodes(node_id, m);
+  if (nodes_.live_count() + cascade_splits + 1 > options_.max_nodes) {
     return Status::CapacityError("directory node cap exceeded");
   }
   BMEH_ASSIGN_OR_RETURN(auto halves,
@@ -124,6 +130,20 @@ Status BmehTree::SplitNodeAt(const std::vector<PathStep>& path, size_t level,
     TidyNode(halves.second);
   }
   return Status::OK();
+}
+
+uint64_t BmehTree::CountBalancedSplitNodes(uint32_t node_id, int m) const {
+  const DirNode* node = nodes_.Get(node_id);
+  uint64_t splits = 1;  // this node itself
+  node->ForEachGroup([&](const IndexTuple&, const Entry& e) {
+    if (!e.ref.is_node()) return;  // pages don't consume directory nodes
+    // SplitNodeByLeadingBit force-splits exactly the child nodes whose
+    // region spans the split plane: every group with h_m = 0 when the
+    // node indexes dimension m, and every group otherwise.
+    if (node->depth(m) >= 1 && e.h[m] != 0) return;
+    splits += CountBalancedSplitNodes(e.ref.id, m);
+  });
+  return splits;
 }
 
 Result<std::pair<uint32_t, uint32_t>> BmehTree::SplitNodeByLeadingBit(

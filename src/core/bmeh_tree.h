@@ -198,6 +198,14 @@ class BmehTree : public MultiKeyIndex {
       uint32_t node_id, int m,
       const std::array<uint16_t, kMaxDims>& consumed);
 
+  /// Read-only pre-flight for SplitNodeByLeadingBit: the number of
+  /// directory-node splits the whole cascade would perform (this node
+  /// plus, recursively, every spanning child node that will be
+  /// force-split).  Lets SplitNodeAt check the node cap for the entire
+  /// cascade *before* the first structural change, so a cap hit can never
+  /// strand a half-split subtree.
+  uint64_t CountBalancedSplitNodes(uint32_t node_id, int m) const;
+
   /// Splits a child (page or node) by the absolute dimension-m key bit at
   /// offset consumed[m] — the normalization step for spanning groups.
   Result<std::pair<hashdir::Ref, hashdir::Ref>> ForceSplitChild(

@@ -10,6 +10,7 @@
 #include "src/common/logging.h"
 #include "src/core/bmeh_tree.h"
 #include "src/pagestore/buffer_pool.h"
+#include "src/pagestore/undo_journal.h"
 
 namespace bmeh {
 
@@ -76,21 +77,27 @@ class ByteReader {
 };
 
 /// Writes `bytes` across a chain of store pages; returns the head page id.
+///
+/// All-or-nothing: the chain's worst-case page count is reserved before
+/// the first allocation, so a full store refuses here with the store
+/// untouched; and a mid-chain allocation or write failure rolls the
+/// partial chain back (every allocated page freed, the reservation
+/// released) instead of leaking half an image.
 Result<PageId> WriteChain(PageStore* store, std::span<const uint8_t> bytes) {
-  BufferPool pool(store, /*capacity=*/8);
   const size_t payload_cap = store->page_size() - 8;
-  // Allocate pages first so each page can record its successor.
   size_t n_pages = (bytes.size() + payload_cap - 1) / payload_cap;
   if (n_pages == 0) n_pages = 1;
+  PageOpJournal journal(store);
+  BMEH_RETURN_NOT_OK(journal.Reserve(n_pages));
+  // Allocate pages first so each page can record its successor.
   std::vector<PageId> ids(n_pages);
   for (size_t i = 0; i < n_pages; ++i) {
-    BMEH_ASSIGN_OR_RETURN(PageHandle h, pool.New());
-    ids[i] = h.id();
+    BMEH_ASSIGN_OR_RETURN(ids[i], journal.Allocate());
   }
+  std::vector<uint8_t> page(store->page_size());
   size_t off = 0;
   for (size_t i = 0; i < n_pages; ++i) {
-    BMEH_ASSIGN_OR_RETURN(PageHandle h, pool.Fetch(ids[i]));
-    auto page = h.data();
+    std::fill(page.begin(), page.end(), 0);
     const uint32_t next =
         (i + 1 < n_pages) ? ids[i + 1] : kInvalidPageId;
     const uint32_t len = static_cast<uint32_t>(
@@ -98,10 +105,10 @@ Result<PageId> WriteChain(PageStore* store, std::span<const uint8_t> bytes) {
     std::memcpy(page.data(), &next, 4);
     std::memcpy(page.data() + 4, &len, 4);
     if (len > 0) std::memcpy(page.data() + 8, bytes.data() + off, len);
-    h.MarkDirty();
+    BMEH_RETURN_NOT_OK(store->Write(ids[i], page));
     off += len;
   }
-  BMEH_RETURN_NOT_OK(pool.FlushAll());
+  journal.Commit();
   return ids[0];
 }
 

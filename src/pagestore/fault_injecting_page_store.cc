@@ -7,8 +7,32 @@ namespace bmeh {
 
 Result<PageId> FaultInjectingPageStore::Allocate() {
   if (down_) return Down();
+  const uint64_t index = allocs_issued_++;
+  if (index >= fail_alloc_at_ && index < fail_alloc_at_ + fail_alloc_count_) {
+    ++stats_.alloc_failures;
+    return Status::ResourceExhausted(
+        "injected transient allocation failure at allocation index " +
+        std::to_string(index));
+  }
+  if (index >= exhaust_alloc_at_) {
+    ++stats_.alloc_failures;
+    return Status::ResourceExhausted(
+        "injected quota: device out of space at allocation index " +
+        std::to_string(index));
+  }
   ++stats_.allocs;
   return inner_->Allocate();
+}
+
+Status FaultInjectingPageStore::Reserve(uint64_t n) {
+  if (down_) return Down();
+  if (allocs_issued_ >= exhaust_alloc_at_) {
+    ++stats_.alloc_failures;
+    return Status::ResourceExhausted(
+        "injected quota: cannot reserve " + std::to_string(n) +
+        " pages on an exhausted device");
+  }
+  return inner_->Reserve(n);
 }
 
 Status FaultInjectingPageStore::Free(PageId id) {

@@ -20,9 +20,15 @@
 //  * Scheduled transient read errors: the Nth Read() fails with IoError
 //    `count` times in a row without taking the device down — the shape of
 //    a transient fault a bounded retry loop should absorb.
+//  * Allocation faults: a hard quota (every allocation from index n on
+//    fails with ResourceExhausted until the limit is lifted — disk full),
+//    or a transient ENOSPC window (allocations [n, n+count) fail, later
+//    ones succeed).  The device stays up: exhaustion is not a crash, and
+//    the layers above must roll back and stay serviceable.
 //
 // The decorator counts operations, which is what lets a crash-matrix test
-// enumerate "kill at write index w for every w" exhaustively.
+// enumerate "kill at write index w for every w" exhaustively — and, for
+// allocation faults, "exhaust at allocation index a for every a".
 
 #ifndef BMEH_PAGESTORE_FAULT_INJECTING_PAGE_STORE_H_
 #define BMEH_PAGESTORE_FAULT_INJECTING_PAGE_STORE_H_
@@ -105,6 +111,34 @@ class FaultInjectingPageStore : public PageStore {
     misdirect_victim_ = victim;
   }
 
+  /// \brief Hard quota: every Allocate() with 0-based index >= `n`
+  /// (counted across the decorator's lifetime, failed attempts included)
+  /// fails with ResourceExhausted until LiftAllocationLimit().  Reserve()
+  /// also refuses once the threshold has been reached — but a Reserve
+  /// issued *before* the threshold still succeeds, deliberately, so the
+  /// matrix tests can drive an exhaustion into the middle of a reserved
+  /// multi-page operation and exercise its undo journal.
+  void ExhaustAtAllocationIndex(uint64_t n) { exhaust_alloc_at_ = n; }
+
+  /// \brief Convenience form of ExhaustAtAllocationIndex: permits `k`
+  /// more allocations from this point, then the quota bites.
+  void SetAllocationQuota(uint64_t k) {
+    exhaust_alloc_at_ = allocs_issued_ + k;
+  }
+
+  /// \brief Lifts the hard allocation quota ("space was freed"); later
+  /// allocations reach the inner store again.
+  void LiftAllocationLimit() { exhaust_alloc_at_ = kNever; }
+
+  /// \brief Transient ENOSPC window: allocations with 0-based indexes
+  /// [n, n + count) fail with ResourceExhausted; the device stays up and
+  /// allocation n + count succeeds — the shape of a quota blip a
+  /// retrying writer should survive.
+  void FailNthAllocation(uint64_t n, uint64_t count = 1) {
+    fail_alloc_at_ = n;
+    fail_alloc_count_ = count;
+  }
+
   /// \brief Brings a crashed device back up (scheduled faults stay
   /// consumed; counters keep running).
   void Heal() { down_ = false; }
@@ -113,6 +147,7 @@ class FaultInjectingPageStore : public PageStore {
   uint64_t writes_issued() const { return writes_issued_; }
   uint64_t syncs_issued() const { return syncs_issued_; }
   uint64_t reads_issued() const { return reads_issued_; }
+  uint64_t allocs_issued() const { return allocs_issued_; }
 
   int page_size() const override { return inner_->page_size(); }
   PageId first_data_page() const override {
@@ -121,12 +156,29 @@ class FaultInjectingPageStore : public PageStore {
   uint64_t live_page_count() const override {
     return inner_->live_page_count();
   }
+  uint64_t total_page_count() const override {
+    return inner_->total_page_count();
+  }
 
   Result<PageId> Allocate() override;
   Status Free(PageId id) override;
   Status Read(PageId id, std::span<uint8_t> out) override;
   Status Write(PageId id, std::span<const uint8_t> data) override;
   Status Sync() override;
+
+  // Reservations and quotas live in the inner store; the decorator only
+  // vetoes them while an injected exhaustion is active.
+  Status Reserve(uint64_t n) override;
+  void ReleaseReservation(uint64_t n) override {
+    inner_->ReleaseReservation(n);
+  }
+  uint64_t reserved_pages() const override {
+    return inner_->reserved_pages();
+  }
+  void SetMaxPages(uint64_t max_pages) override {
+    inner_->SetMaxPages(max_pages);
+  }
+  uint64_t max_pages() const override { return inner_->max_pages(); }
 
  private:
   Status Down() const {
@@ -141,6 +193,9 @@ class FaultInjectingPageStore : public PageStore {
   uint64_t fail_sync_at_ = kNever;
   uint64_t fail_read_at_ = kNever;
   uint64_t fail_read_count_ = 0;
+  uint64_t exhaust_alloc_at_ = kNever;
+  uint64_t fail_alloc_at_ = kNever;
+  uint64_t fail_alloc_count_ = 0;
   uint64_t corrupt_read_at_ = kNever;
   size_t corrupt_byte_index_ = 0;
   uint8_t corrupt_mask_ = 0x01;
@@ -155,6 +210,7 @@ class FaultInjectingPageStore : public PageStore {
   uint64_t writes_issued_ = 0;
   uint64_t syncs_issued_ = 0;
   uint64_t reads_issued_ = 0;
+  uint64_t allocs_issued_ = 0;
   bool down_ = false;
 };
 

@@ -8,12 +8,56 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <new>
 #include <random>
 
 #include "src/common/crc32.h"
 #include "src/common/logging.h"
 
 namespace bmeh {
+
+// ---------------------------------------------------------------------------
+// PageStore: reservation protocol shared by every backend
+// ---------------------------------------------------------------------------
+
+Status PageStore::Reserve(uint64_t n) {
+  if (n == 0) return Status::OK();
+  const uint64_t headroom = QuotaHeadroom();
+  if (headroom != kUnlimitedHeadroom && reserved_ + n > headroom) {
+    ++stats_.alloc_failures;
+    return Status::ResourceExhausted(
+        "cannot reserve " + std::to_string(n) + " pages: only " +
+        std::to_string(headroom - std::min(reserved_, headroom)) +
+        " available under the quota of " + std::to_string(max_pages_) +
+        " pages");
+  }
+  reserved_ += n;
+  return Status::OK();
+}
+
+void PageStore::ReleaseReservation(uint64_t n) {
+  reserved_ -= std::min(n, reserved_);
+}
+
+Status PageStore::TakeAllocationSlot(bool* from_reservation) {
+  if (reserved_ > 0) {
+    --reserved_;
+    *from_reservation = true;
+    return Status::OK();
+  }
+  *from_reservation = false;
+  if (QuotaHeadroom() == 0) {
+    ++stats_.alloc_failures;
+    return Status::ResourceExhausted(
+        "page quota of " + std::to_string(max_pages_) +
+        " pages exhausted");
+  }
+  return Status::OK();
+}
+
+void PageStore::ReturnAllocationSlot(bool from_reservation) {
+  if (from_reservation) ++reserved_;
+}
 
 // ---------------------------------------------------------------------------
 // InMemoryPageStore
@@ -27,18 +71,40 @@ bool InMemoryPageStore::IsLive(PageId id) const {
   return id < pages_.size() && pages_[id] != nullptr;
 }
 
+uint64_t InMemoryPageStore::QuotaHeadroom() const {
+  if (max_pages_ == 0) return kUnlimitedHeadroom;
+  const uint64_t grow =
+      pages_.size() >= max_pages_ ? 0 : max_pages_ - pages_.size();
+  return free_list_.size() + grow;
+}
+
 Result<PageId> InMemoryPageStore::Allocate() {
   ++stats_.allocs;
+  bool from_reservation = false;
+  BMEH_RETURN_NOT_OK(TakeAllocationSlot(&from_reservation));
   PageId id;
-  if (!free_list_.empty()) {
-    id = free_list_.back();
-    free_list_.pop_back();
-    pages_[id] = std::make_unique<uint8_t[]>(page_size_);
-  } else {
-    id = static_cast<PageId>(pages_.size());
-    pages_.push_back(std::make_unique<uint8_t[]>(page_size_));
+  // Ordered so a bad_alloc anywhere leaves pages_ and free_list_ exactly
+  // as they were (the recycled slot is only popped after its buffer
+  // exists; a throwing push_back never commits the new slot).
+  try {
+    if (!free_list_.empty()) {
+      id = free_list_.back();
+      pages_[id] = std::make_unique<uint8_t[]>(page_size_);
+      free_list_.pop_back();
+    } else {
+      id = static_cast<PageId>(pages_.size());
+      pages_.push_back(std::make_unique<uint8_t[]>(page_size_));
+    }
+  } catch (const std::bad_alloc&) {
+    ReturnAllocationSlot(from_reservation);
+    ++stats_.alloc_failures;
+    return Status::ResourceExhausted("out of memory allocating a " +
+                                     std::to_string(page_size_) +
+                                     "-byte page");
   }
   std::memset(pages_[id].get(), 0, page_size_);
+  stats_.high_water_pages =
+      std::max(stats_.high_water_pages, live_page_count());
   return id;
 }
 
@@ -110,6 +176,25 @@ uint32_t TrailerSeed(PageId id, uint32_t epoch) {
   return (id * 2654435761u) ^ epoch;
 }
 
+/// Errnos that mean "out of space / out of resources right now", not "the
+/// device is broken": the operation may succeed verbatim once space or
+/// descriptors free up.  Distinguishing them matters because callers treat
+/// ResourceExhausted as retryable and IoError as poison.
+bool IsExhaustionErrno(int err) {
+  return err == ENOSPC || err == EDQUOT || err == ENOMEM || err == EMFILE ||
+         err == ENFILE;
+}
+
+/// Classifies an errno-reported syscall failure (see IsExhaustionErrno).
+/// fsync failures must NOT go through this: a failed fsync may have
+/// dropped dirty pages, so it is never safe to report as transient
+/// whatever its errno claims.
+Status ErrnoStatus(const std::string& what, int err) {
+  const std::string msg = what + ": " + std::strerror(err);
+  return IsExhaustionErrno(err) ? Status::ResourceExhausted(msg)
+                                : Status::IoError(msg);
+}
+
 /// pread that survives EINTR and legal partial transfers.  POSIX allows a
 /// read to return fewer bytes than requested without error; treating that
 /// as failure misreports a healthy device, so loop on the remainder and
@@ -140,7 +225,9 @@ Status PwriteFull(int fd, const uint8_t* buf, size_t n, off_t off,
     const ssize_t r = ::pwrite(fd, buf + done, n - done, off + done);
     if (r < 0) {
       if (errno == EINTR) continue;
-      return Status::IoError(what + ": " + std::strerror(errno));
+      // ENOSPC/EDQUOT here is the real-disk-full path: surface it as the
+      // retryable code so the layers above roll back instead of poisoning.
+      return ErrnoStatus(what, errno);
     }
     if (r == 0) {
       return Status::IoError(what + ": short write (" + std::to_string(done) +
@@ -183,7 +270,7 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
   }
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) {
-    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+    return ErrnoStatus("open(" + path + ")", errno);
   }
   if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
     ::close(fd);
@@ -193,7 +280,7 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
   // wipe a store another handle is using.
   if (::ftruncate(fd, 0) != 0) {
     ::close(fd);
-    return Status::IoError("ftruncate(" + path + "): " + std::strerror(errno));
+    return ErrnoStatus("ftruncate(" + path + ")", errno);
   }
   auto store = std::unique_ptr<FilePageStore>(
       new FilePageStore(fd, page_size, /*format_version=*/2, FreshEpoch()));
@@ -218,7 +305,7 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::OpenIgnoringHeader(
   }
   int fd = ::open(path.c_str(), O_RDWR);
   if (fd < 0) {
-    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+    return ErrnoStatus("open(" + path + ")", errno);
   }
   if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
     ::close(fd);
@@ -264,6 +351,7 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::OpenIgnoringHeader(
   store->live_count_ = page_count - 1;
   store->free_head_ = kInvalidPageId;
   store->header_damaged_ = true;  // by assumption: that is why we are here
+  store->stats_.high_water_pages = store->live_count_;
   return store;
 }
 
@@ -271,7 +359,7 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::OpenImpl(
     const std::string& path, bool walk_free_chain) {
   int fd = ::open(path.c_str(), O_RDWR);
   if (fd < 0) {
-    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+    return ErrnoStatus("open(" + path + ")", errno);
   }
   if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
     ::close(fd);
@@ -356,6 +444,7 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::OpenImpl(
     }
     store->free_head_ = kInvalidPageId;
     store->live_count_ = store->page_count_ - 1;
+    store->stats_.high_water_pages = store->live_count_;
     return store;
   }
   // Rebuild the free-list mirror by walking the on-disk free chain; the
@@ -373,6 +462,8 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::OpenImpl(
     cursor = GetU32(buf.data());
   }
   std::reverse(store->free_list_.begin(), store->free_list_.end());
+  // The handle's high-water mark starts at the file's current live count.
+  store->stats_.high_water_pages = store->live_count_;
   return store;
 }
 
@@ -524,11 +615,21 @@ Status FilePageStore::VerifyPage(PageId id) {
   return ReadPhysicalOnce(id, physical);
 }
 
+uint64_t FilePageStore::QuotaHeadroom() const {
+  if (max_pages_ == 0) return kUnlimitedHeadroom;
+  const uint64_t grow =
+      page_count_ >= max_pages_ ? 0 : max_pages_ - page_count_;
+  return free_list_.size() + grow;
+}
+
 Result<PageId> FilePageStore::Allocate() {
   ++stats_.allocs;
+  bool from_reservation = false;
+  BMEH_RETURN_NOT_OK(TakeAllocationSlot(&from_reservation));
   std::vector<uint8_t> zero(page_size_, 0);
   PageId id;
-  if (!free_list_.empty()) {
+  const bool grew = free_list_.empty();
+  if (!grew) {
     id = free_list_.back();
     free_list_.pop_back();
     free_set_.erase(id);
@@ -538,8 +639,31 @@ Result<PageId> FilePageStore::Allocate() {
     id = static_cast<PageId>(page_count_);
     ++page_count_;
   }
-  BMEH_RETURN_NOT_OK(WriteRaw(id, zero));
+  Status wst = WriteRaw(id, zero);
+  if (!wst.ok()) {
+    // Roll back every bookkeeping effect so a failed allocation (the real
+    // ENOSPC path) leaves the store exactly as before the call.
+    if (grew) {
+      --page_count_;
+      // The failed pwrite may have extended the file with a partial page;
+      // trim it so recovery opens (which size the store by st_size) never
+      // see a garbage page past the logical end.
+      if (::ftruncate(fd_, static_cast<off_t>(page_count_) *
+                               physical_page_size()) != 0) {
+        BMEH_LOG(Warning) << "could not trim partially allocated page "
+                          << id << ": " << std::strerror(errno);
+      }
+    } else {
+      free_list_.push_back(id);
+      free_set_.insert(id);
+      free_head_ = id;
+    }
+    ReturnAllocationSlot(from_reservation);
+    ++stats_.alloc_failures;
+    return wst;
+  }
   ++live_count_;
+  stats_.high_water_pages = std::max(stats_.high_water_pages, live_count_);
   return id;
 }
 
@@ -548,10 +672,16 @@ Status FilePageStore::Free(PageId id) {
     return Status::Invalid("Free of invalid page " + std::to_string(id));
   }
   ++stats_.frees;
-  free_set_.insert(id);
   std::vector<uint8_t> buf(page_size_, 0);
   PutU32(buf.data(), free_head_);
-  BMEH_RETURN_NOT_OK(WriteRaw(id, buf));
+  Status wst = WriteRaw(id, buf);
+  if (!wst.ok()) {
+    // The chain link never hit the disk: keep the page live so the
+    // free-list mirror and the file stay consistent.
+    --stats_.frees;
+    return wst;
+  }
+  free_set_.insert(id);
   free_list_.push_back(id);
   free_head_ = id;
   --live_count_;

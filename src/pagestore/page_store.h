@@ -36,11 +36,31 @@ struct StoreStats {
   /// Pages a layer above has quarantined after verified corruption
   /// (recorded here so one snapshot tells the whole integrity story).
   uint64_t pages_quarantined = 0;
+  /// Allocate()/Reserve() calls refused (quota, ENOSPC, OOM) or rolled
+  /// back after a failed page write.
+  uint64_t alloc_failures = 0;
+  /// Peak number of simultaneously live pages — the high-water allocation
+  /// mark the store would need as a quota to never refuse.
+  uint64_t high_water_pages = 0;
 };
 
 /// \brief Abstract fixed-size page device.
+///
+/// Resource-exhaustion contract: an Allocate() or Reserve() that fails
+/// with Status::ResourceExhausted leaves the store exactly as it was —
+/// no bookkeeping, no on-disk bytes, nothing — so the caller may retry
+/// once space frees.  Multi-page operations use the reservation protocol
+/// to fail *up front* instead of mid-flight: Reserve(n) either sets aside
+/// n allocation slots (free pages plus permitted growth under the quota)
+/// or refuses with ResourceExhausted before anything is touched.  A
+/// subsequent Allocate() consumes an outstanding reserved slot first; the
+/// protocol is single-writer — the operation holding the reservation is
+/// the one allocating — matching the stores' single-threaded use.
 class PageStore {
  public:
+  /// QuotaHeadroom() value meaning "no limit configured".
+  static constexpr uint64_t kUnlimitedHeadroom = ~uint64_t{0};
+
   virtual ~PageStore() = default;
 
   /// \brief Size of every page in bytes.
@@ -61,6 +81,10 @@ class PageStore {
   /// \brief Number of currently live (allocated, not freed) pages.
   virtual uint64_t live_page_count() const = 0;
 
+  /// \brief Total pages the store occupies — header/metadata and freed
+  /// pages included.  This is the quantity SetMaxPages() bounds.
+  virtual uint64_t total_page_count() const = 0;
+
   /// \brief Makes every acknowledged write durable (fsync for file-backed
   /// stores; a no-op where there is no volatile cache to flush).
   virtual Status Sync() { return Status::OK(); }
@@ -71,6 +95,26 @@ class PageStore {
   /// BmehStore's superblock — at a known id.
   virtual PageId first_data_page() const { return 0; }
 
+  /// \brief Sets aside `n` allocation slots so the next `n` Allocate()
+  /// calls cannot fail for lack of space, or fails with ResourceExhausted
+  /// (store untouched) when the quota cannot cover them.  Reservations
+  /// are additive; release what goes unused with ReleaseReservation().
+  virtual Status Reserve(uint64_t n);
+
+  /// \brief Returns `n` unused reserved slots to the general pool.
+  virtual void ReleaseReservation(uint64_t n);
+
+  /// \brief Reserved-but-unconsumed allocation slots.
+  virtual uint64_t reserved_pages() const { return reserved_; }
+
+  /// \brief Caps the store at `max_pages` total pages (0 = unlimited).
+  /// For file-backed stores the cap counts every page in the file, header
+  /// and free pages included — it bounds the file size, so freed pages
+  /// remain allocatable under the cap while growth past it is refused
+  /// with ResourceExhausted.
+  virtual void SetMaxPages(uint64_t max_pages) { max_pages_ = max_pages; }
+  virtual uint64_t max_pages() const { return max_pages_; }
+
   const StoreStats& stats() const { return stats_; }
   void ResetStats() { stats_ = StoreStats{}; }
 
@@ -79,10 +123,31 @@ class PageStore {
   void NoteQuarantined(uint64_t n = 1) { stats_.pages_quarantined += n; }
 
  protected:
+  /// Allocation slots obtainable right now without violating the quota:
+  /// recyclable free pages plus permitted growth.  kUnlimitedHeadroom
+  /// when no limit applies.  Includes slots already reserved (Reserve
+  /// accounts for those separately against this total).
+  virtual uint64_t QuotaHeadroom() const { return kUnlimitedHeadroom; }
+
+  /// Consumes one allocation slot at the top of an Allocate()
+  /// implementation: an outstanding reservation if any, else a headroom
+  /// check.  On ResourceExhausted nothing is consumed.
+  Status TakeAllocationSlot(bool* from_reservation);
+
+  /// Undoes TakeAllocationSlot after the allocation failed downstream.
+  void ReturnAllocationSlot(bool from_reservation);
+
   StoreStats stats_;
+  uint64_t reserved_ = 0;
+  uint64_t max_pages_ = 0;
 };
 
 /// \brief Heap-backed page store.
+///
+/// Allocation failures are survivable: heap exhaustion (std::bad_alloc)
+/// and the optional SetMaxPages() cap both surface as ResourceExhausted
+/// with the store unchanged, mirroring the file store's disk-full
+/// behaviour so the two backends stay interchangeable in tests.
 class InMemoryPageStore : public PageStore {
  public:
   explicit InMemoryPageStore(int page_size = kDefaultPageSize);
@@ -93,6 +158,10 @@ class InMemoryPageStore : public PageStore {
   Status Read(PageId id, std::span<uint8_t> out) override;
   Status Write(PageId id, std::span<const uint8_t> data) override;
   uint64_t live_page_count() const override;
+  uint64_t total_page_count() const override { return pages_.size(); }
+
+ protected:
+  uint64_t QuotaHeadroom() const override;
 
  private:
   bool IsLive(PageId id) const;
@@ -183,6 +252,7 @@ class FilePageStore : public PageStore {
   Status Read(PageId id, std::span<uint8_t> out) override;
   Status Write(PageId id, std::span<const uint8_t> data) override;
   uint64_t live_page_count() const override;
+  uint64_t total_page_count() const override { return page_count_; }
   PageId first_data_page() const override { return 1; }
 
   /// \brief Flushes the header and fsyncs the file.  Once an fsync has
@@ -251,6 +321,9 @@ class FilePageStore : public PageStore {
   /// still happens).  Process-level crash tests do not need the kernel
   /// flush and save two orders of magnitude of wall clock on ext4.
   void DisableFsyncForTesting() { fsync_enabled_ = false; }
+
+ protected:
+  uint64_t QuotaHeadroom() const override;
 
  private:
   FilePageStore(int fd, int page_size, int format_version, uint32_t epoch);

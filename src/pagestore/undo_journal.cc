@@ -1,0 +1,82 @@
+#include "src/pagestore/undo_journal.h"
+
+#include "src/common/logging.h"
+
+namespace bmeh {
+
+PageOpJournal::~PageOpJournal() {
+  Status st = RollbackNow();
+  if (!st.ok()) {
+    BMEH_LOG(Error) << "page-op rollback failed (pages leaked until the "
+                       "next recovery open): " << st;
+  }
+}
+
+Status PageOpJournal::Reserve(uint64_t n) {
+  BMEH_RETURN_NOT_OK(store_->Reserve(n));
+  reserved_ += n;
+  return Status::OK();
+}
+
+Result<PageId> PageOpJournal::Allocate() {
+  BMEH_ASSIGN_OR_RETURN(PageId id, store_->Allocate());
+  // The store consumes an outstanding reserved slot before checking the
+  // quota, so a successful allocation under this journal used one of ours
+  // when we held any.
+  if (reserved_ > 0) --reserved_;
+  allocated_.push_back(id);
+  return id;
+}
+
+Status PageOpJournal::GuardedWrite(PageId id, std::span<const uint8_t> data,
+                                   std::span<const uint8_t> before) {
+  snapshots_.push_back({id, {before.begin(), before.end()}});
+  Status st = store_->Write(id, data);
+  if (st.ok()) return st;
+  // The write was dropped cleanly (a failed pwrite of an existing page
+  // does not tear it in our fault model, and a real torn sector is the
+  // crash path, not this one) — nothing to restore.
+  snapshots_.pop_back();
+  return st;
+}
+
+void PageOpJournal::Commit() {
+  if (done_) return;
+  done_ = true;
+  allocated_.clear();
+  snapshots_.clear();
+  if (reserved_ > 0) {
+    store_->ReleaseReservation(reserved_);
+    reserved_ = 0;
+  }
+}
+
+Status PageOpJournal::RollbackNow() {
+  if (done_) return Status::OK();
+  done_ = true;
+  Status first_error;
+  // Newest first: restore overwritten bytes, then return allocations.
+  for (auto it = snapshots_.rbegin(); it != snapshots_.rend(); ++it) {
+    Status st = store_->Write(it->id, it->bytes);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  snapshots_.clear();
+  for (auto it = allocated_.rbegin(); it != allocated_.rend(); ++it) {
+    Status st = store_->Free(*it);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  allocated_.clear();
+  if (reserved_ > 0) {
+    store_->ReleaseReservation(reserved_);
+    reserved_ = 0;
+  }
+  if (!first_error.ok()) {
+    // Escalate to a non-transient code: the store's state is no longer
+    // the pre-operation one, so "just retry" would be a lie.
+    return Status::IoError("undo-journal rollback failed: " +
+                           first_error.ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace bmeh

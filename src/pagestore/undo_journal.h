@@ -1,0 +1,93 @@
+// PageOpJournal: page-level undo logging for multi-page store operations.
+//
+// A WAL append that seals its tail page, or a checkpoint that writes a
+// multi-page image chain, performs several Allocate()/Write() calls that
+// must be atomic as a unit: if allocation i fails (quota, ENOSPC), every
+// earlier effect has to be unwound or the store is left with a half-built
+// chain that recovery would treat as structural damage.  The journal
+// records each effect as it happens and rolls all of them back — newest
+// first — unless the owner declares success with Commit():
+//
+//   * Reserve(n)       — tracked so unconsumed slots are released.
+//   * Allocate()       — tracked so the page is Free()d on rollback.
+//   * GuardedWrite(..) — the page's prior bytes are kept so rollback can
+//                        rewrite them (for overwrites of live pages, e.g.
+//                        the WAL tail being sealed with a next-link).
+//
+// Rollback only uses operations that cannot themselves exhaust the quota
+// (Free and overwrites of existing pages), so it succeeds in every
+// exhaustion scenario; a rollback failure means the device itself broke
+// mid-undo, and RollbackNow() surfaces that as a non-transient error the
+// caller should treat as poison.
+
+#ifndef BMEH_PAGESTORE_UNDO_JOURNAL_H_
+#define BMEH_PAGESTORE_UNDO_JOURNAL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/pagestore/page_store.h"
+
+namespace bmeh {
+
+/// \brief Scoped undo journal over a PageStore (single operation, not
+/// thread-safe — matching the stores' single-writer discipline).
+class PageOpJournal {
+ public:
+  /// `store` must outlive the journal.
+  explicit PageOpJournal(PageStore* store) : store_(store) {}
+
+  /// Destructor rolls back everything not committed; a rollback failure
+  /// at this point can only be logged.  Call RollbackNow() first when the
+  /// caller needs to react to rollback errors.
+  ~PageOpJournal();
+
+  PageOpJournal(const PageOpJournal&) = delete;
+  PageOpJournal& operator=(const PageOpJournal&) = delete;
+
+  /// \brief Reserves `n` allocation slots up front (see PageStore::
+  /// Reserve).  On failure nothing is recorded and the store is
+  /// untouched — the canonical "fail before doing anything" path.
+  Status Reserve(uint64_t n);
+
+  /// \brief Allocates a page, journaled for Free() on rollback.
+  Result<PageId> Allocate();
+
+  /// \brief Overwrites live page `id` after journaling its current bytes,
+  /// so rollback can restore them.  The snapshot is taken from `before`
+  /// (the caller usually has the prior image in hand, e.g. the WAL tail
+  /// buffer); pass the page's current content, not the new one.
+  Status GuardedWrite(PageId id, std::span<const uint8_t> data,
+                      std::span<const uint8_t> before);
+
+  /// \brief Declares the operation complete: allocated pages are kept,
+  /// snapshots dropped, and unconsumed reserved slots released.
+  void Commit();
+
+  /// \brief Rolls back immediately (newest effect first) and reports
+  /// whether every undo step succeeded.  Idempotent; the destructor
+  /// becomes a no-op afterwards.
+  Status RollbackNow();
+
+  /// \brief Pages allocated (and not yet rolled back) under this journal.
+  const std::vector<PageId>& allocated() const { return allocated_; }
+
+ private:
+  struct Snapshot {
+    PageId id;
+    std::vector<uint8_t> bytes;
+  };
+
+  PageStore* store_;
+  uint64_t reserved_ = 0;       // slots reserved and not yet consumed
+  std::vector<PageId> allocated_;
+  std::vector<Snapshot> snapshots_;
+  bool done_ = false;           // committed or rolled back
+};
+
+}  // namespace bmeh
+
+#endif  // BMEH_PAGESTORE_UNDO_JOURNAL_H_

@@ -241,6 +241,7 @@ Result<std::unique_ptr<BmehStore>> BmehStore::OpenExisting(
 
 Result<std::unique_ptr<BmehStore>> BmehStore::Open(
     std::unique_ptr<PageStore> store, const StoreOptions& options) {
+  if (options.max_pages > 0) store->SetMaxPages(options.max_pages);
   if (store->live_page_count() == 0) {
     return InitFresh(std::move(store), options);
   }
@@ -252,6 +253,7 @@ Result<std::unique_ptr<BmehStore>> BmehStore::Open(
   if (!FileExists(path)) {
     BMEH_ASSIGN_OR_RETURN(auto file,
                           FilePageStore::Create(path, options.page_size));
+    if (options.max_pages > 0) file->SetMaxPages(options.max_pages);
     return InitFresh(std::move(file), options);
   }
 
@@ -260,6 +262,7 @@ Result<std::unique_ptr<BmehStore>> BmehStore::Open(
   // reachability once the superblock, image and WAL told us which pages
   // are live.
   BMEH_ASSIGN_OR_RETURN(auto file, FilePageStore::OpenForRecovery(path));
+  if (options.max_pages > 0) file->SetMaxPages(options.max_pages);
   FilePageStore* raw = file.get();
   BMEH_ASSIGN_OR_RETURN(auto out, OpenExisting(std::move(file), options));
 
@@ -333,12 +336,28 @@ Result<StoreInfo> BmehStore::Inspect(const std::string& path) {
   // Live pages after the recovery a real Open() would perform:
   // superblock + image chain + WAL chain.
   info.live_pages = 1 + image_pages + info.wal_pages;
+  info.free_pages =
+      info.page_count > info.live_pages + 1  // +1: the header page
+          ? info.page_count - info.live_pages - 1
+          : 0;
+  info.high_water_pages = file->stats().high_water_pages;
+  info.max_pages = file->max_pages();
+  info.reserved_pages = file->reserved_pages();
+  info.alloc_failures = file->stats().alloc_failures;
   return info;
 }
 
 Status BmehStore::LogMutation(const Wal::LogRecord& rec) {
   Status st = wal_->Append(rec);
-  if (st.ok() && wal_->head() != published_wal_head_) {
+  if (!st.ok()) {
+    // A transient append failure (page quota / ENOSPC) rolled itself back
+    // completely — the log and the tree are still coherent, and the same
+    // mutation can be retried once space frees.  Refuse just this
+    // operation; poisoning is for failures that leave disk state unknown.
+    if (!st.IsTransient()) poisoned_ = st;
+    return st;
+  }
+  if (wal_->head() != published_wal_head_) {
     // First record of a fresh log: make it reachable from the superblock
     // (the publish syncs, covering the record page as well).
     st = WriteSuperblock(image_head_, generation_, wal_->head());
@@ -346,10 +365,13 @@ Status BmehStore::LogMutation(const Wal::LogRecord& rec) {
       published_wal_head_ = wal_->head();
       wal_->NoteSynced();
     }
-  } else if (st.ok()) {
+  } else {
     st = wal_->MaybeSync();
   }
   if (!st.ok()) {
+    // Past the append there is no rollback: the record is in the log but
+    // its durability is unknown, so memory and disk must not diverge
+    // further — whatever the failure's code.
     poisoned_ = st;
     return st;
   }
@@ -402,7 +424,16 @@ Status BmehStore::Range(const RangePredicate& pred,
 Status BmehStore::MaybeAutoCheckpoint() {
   if (degraded()) return Status::OK();  // see Checkpoint()
   if (checkpoint_every_ > 0 && dirty_ops_ >= checkpoint_every_) {
-    return Checkpoint();
+    Status st = Checkpoint();
+    if (!st.ok() && st.IsTransient() && poisoned_.ok()) {
+      // The mutation that triggered this checkpoint is already logged and
+      // applied; only the checkpoint found no space, and it rolled back
+      // cleanly.  Defer it (dirty_ops_ keeps growing, the next mutation
+      // retries) rather than fail an operation that succeeded.
+      BMEH_LOG(Warning) << "auto-checkpoint deferred: " << st;
+      return Status::OK();
+    }
+    return st;
   }
   return Status::OK();
 }

@@ -67,6 +67,14 @@ struct StoreOptions {
   /// RecoveryReport) instead of failing the open.  With false, any
   /// verified corruption makes Open() fail with DataLoss.
   bool tolerate_corruption = true;
+  /// Cap the underlying page store at this many total pages, header
+  /// included (0 = unlimited).  Once the cap is reached, mutations that
+  /// need fresh pages fail with Status::ResourceExhausted — cleanly:
+  /// the store stays consistent and serviceable, the failed operation is
+  /// fully rolled back, and the same call succeeds after the cap is
+  /// raised (reopen with a larger value) or space is freed.  Models a
+  /// disk-quota deployment and makes the real ENOSPC path testable.
+  uint64_t max_pages = 0;
 };
 
 /// \brief What corruption, if any, the last Open() had to work around.
@@ -107,6 +115,18 @@ struct StoreInfo {
   int page_size = 0;
   /// On-disk page format: 1 = legacy unverified, 2 = self-checksumming.
   int format_version = 0;
+  /// Pages neither live nor the header — allocatable without growing the
+  /// file, so the first thing a quota-constrained deployment reclaims.
+  uint64_t free_pages = 0;
+  /// High-water allocation mark: the most pages ever simultaneously live
+  /// as far as the inspecting handle can tell (at rest, the current live
+  /// count) — the smallest max_pages quota that would never refuse.
+  uint64_t high_water_pages = 0;
+  /// Runtime resource state of the inspecting handle; nonzero only when a
+  /// quota was configured or allocations were refused this process.
+  uint64_t max_pages = 0;  ///< 0 = unlimited.
+  uint64_t reserved_pages = 0;
+  uint64_t alloc_failures = 0;
 };
 
 /// \brief A durable multidimensional record store.

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "src/common/crc32.h"
+#include "src/pagestore/undo_journal.h"
 
 namespace bmeh {
 
@@ -75,23 +76,59 @@ Status Wal::Append(const LogRecord& rec) {
                            " bytes exceeds page capacity of " +
                            std::to_string(page_size - kPageHeaderSize));
   }
+  // Snapshot the append cursor: the mutation below is atomic — it either
+  // completes, or every in-memory and on-disk effect is restored so the
+  // caller can retry the same append once the failure (typically page
+  // exhaustion) clears.
+  const PageId old_head = head_;
+  const PageId old_tail = tail_;
+  const size_t old_tail_used = tail_used_;
+  const size_t old_page_count = pages_.size();
+  const std::vector<uint8_t> old_tail_buf = tail_buf_;
+
+  PageOpJournal journal(store_);
   if (empty()) {
-    BMEH_ASSIGN_OR_RETURN(PageId id, store_->Allocate());
+    // Reserve before allocating so a full device refuses the append here,
+    // with nothing to undo.
+    BMEH_RETURN_NOT_OK(journal.Reserve(1));
+    BMEH_ASSIGN_OR_RETURN(const PageId id, journal.Allocate());
     head_ = id;
     InitTailBuffer(id);
     pages_.push_back(id);
   } else if (tail_used_ + need > page_size) {
     // Seal the tail: link it to a fresh page and write it out one last
-    // time, then continue in the new page.
-    BMEH_ASSIGN_OR_RETURN(PageId id, store_->Allocate());
+    // time, then continue in the new page.  The pre-seal image is
+    // journaled so a later failure can unseal the page on disk.
+    BMEH_RETURN_NOT_OK(journal.Reserve(1));
+    auto alloc = journal.Allocate();
+    if (!alloc.ok()) return alloc.status();
+    const PageId id = alloc.ValueOrDie();
     PutU32(tail_buf_.data() + 4, id);
-    BMEH_RETURN_NOT_OK(store_->Write(tail_, tail_buf_));
+    Status seal = journal.GuardedWrite(tail_, tail_buf_, old_tail_buf);
+    if (!seal.ok()) {
+      PutU32(tail_buf_.data() + 4, kInvalidPageId);
+      return seal;  // the journal frees the fresh page
+    }
     InitTailBuffer(id);
     pages_.push_back(id);
   }
   Encode(rec, tail_buf_.data(), tail_used_);
+  Status wst = store_->Write(tail_, tail_buf_);
+  if (!wst.ok()) {
+    // Unwind: unseal the old tail / free the fresh page on disk, then
+    // restore the in-memory cursor.
+    Status rb = journal.RollbackNow();
+    head_ = old_head;
+    tail_ = old_tail;
+    tail_used_ = old_tail_used;
+    tail_buf_ = old_tail_buf;
+    pages_.resize(old_page_count);
+    // A failed rollback left disk and memory diverged — report that
+    // (non-transient) instead of the original error so the owner poisons.
+    return rb.ok() ? wst : rb;
+  }
   tail_used_ += need;
-  BMEH_RETURN_NOT_OK(store_->Write(tail_, tail_buf_));
+  journal.Commit();
   ++record_count_;
   ++unsynced_;
   return Status::OK();

@@ -74,6 +74,14 @@ class Wal {
   /// \brief Appends one record (page writes only; see MaybeSync).
   /// Records too large to fit an empty page are rejected with Invalid
   /// before any allocation or write.
+  ///
+  /// Atomic under failure: when a page cannot be allocated (quota /
+  /// ENOSPC — the page is pre-reserved, so this is detected up front) or
+  /// a write fails cleanly, every effect is rolled back and the log —
+  /// in memory and on disk — is exactly as before the call; the same
+  /// append can be retried once the condition clears.  Only when the
+  /// rollback itself fails does the error escalate to a non-transient
+  /// IoError (the owner should stop mutating).
   Status Append(const LogRecord& rec);
 
   /// \brief Syncs the store if `sync_every` unsynced records accumulated.

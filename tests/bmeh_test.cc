@@ -287,6 +287,45 @@ TEST(BmehTreeTest, ToDotMentionsNodesAndPages) {
   EXPECT_NE(dot.find("p0"), std::string::npos);
 }
 
+TEST(BmehTreeTest, NodeCapRefusalLeavesTreeIntact) {
+  // A balanced node split force-splits every spanning child recursively;
+  // the whole cascade's node demand is checked against max_nodes BEFORE
+  // the first structural change.  A CapacityError must therefore leave
+  // the tree exactly as it was: valid, balanced, cap respected, every
+  // acknowledged key served.
+  TreeOptions options = TreeOptions::Make(2, 2, /*phi=*/4);
+  options.max_nodes = 12;  // tiny, so the cap bites mid-growth
+  BmehTree tree(KeySchema(2, 31), options);
+  auto keys =
+      workload::GenerateKeys(workload::WorkloadSpec{.seed = 77}, 3000);
+  std::vector<size_t> acked;
+  bool capped = false;
+  for (size_t i = 0; i < keys.size() && !capped; ++i) {
+    Status st = tree.Insert(keys[i], i);
+    if (st.ok()) {
+      acked.push_back(i);
+    } else if (!st.IsAlreadyExists()) {
+      ASSERT_TRUE(st.IsCapacityError()) << st;
+      capped = true;
+    }
+  }
+  ASSERT_TRUE(capped) << "a 12-node cap must refuse some insert";
+  ASSERT_TRUE(tree.Validate().ok());
+  EXPECT_LE(tree.node_count(), options.max_nodes);
+  for (size_t i : acked) {
+    auto r = tree.Search(keys[i]);
+    ASSERT_TRUE(r.ok()) << "acknowledged key lost after capacity refusal";
+    EXPECT_EQ(*r, i);
+  }
+  // The refusal is not sticky: deletes still work at the cap and make
+  // room for further growth.
+  for (size_t i : acked) {
+    ASSERT_TRUE(tree.Delete(keys[i]).ok());
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+  EXPECT_TRUE(tree.Insert(keys[0], 0).ok());
+}
+
 TEST(BmehTreeTest, QuadtreeShapeWithXiOne) {
   // xi = (1,1): every node is a 2x2 quadtree split (paper §6).
   BmehTree tree(KeySchema(2, 16), TreeOptions::Make(2, 4, /*phi=*/2));

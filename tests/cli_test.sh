@@ -107,4 +107,37 @@ echo "$OUT" | grep -q "salvaged [0-9]* records" || fail "repair salvaged nothing
 OUT=$("$CLI" storeinfo --db "$REPAIRED")
 echo "$OUT" | grep -q "write-ahead log:  empty" || fail "salvaged store keeps no WAL"
 
+# ---- resource exhaustion: --max-pages quota ----
+
+QUOTA="$(mktemp -u /tmp/bmeh_cli_test.XXXXXX.quota)"
+trap 'rm -f "$DB" "$STORE" "$REPAIRED" "$QUOTA"' EXIT
+
+# a build into a tiny quota stops gracefully with exit code 3
+set +e
+OUT=$("$CLI" storebuild --db "$QUOTA" --n 2000 --b 8 --page-size 512 \
+      --max-pages 40 --seed 11)
+RC=$?
+set -e
+[ "$RC" -eq 3 ] || fail "quota-bound storebuild should exit 3, got $RC"
+echo "$OUT" | grep -q "page quota exhausted" || fail "no quota message"
+echo "$OUT" | grep -q "quota 40" || fail "resource line missing the quota"
+
+# the interrupted file is intact: it scrubs clean and storeinfo reads it
+"$CLI" scrub --db "$QUOTA" > /dev/null \
+  || fail "quota-interrupted store must scrub clean"
+OUT=$("$CLI" storeinfo --db "$QUOTA") || fail "storeinfo after exhaustion"
+KEPT=$(echo "$OUT" | sed -n 's/^records: *\([0-9]*\).*/\1/p')
+[ -n "$KEPT" ] && [ "$KEPT" -gt 0 ] || fail "exhausted store kept no records"
+echo "$OUT" | grep -q "page quota:       unlimited" \
+  || fail "storeinfo quota line missing"
+
+# raising the quota resumes the same file to completion (exit 0)
+OUT=$("$CLI" storebuild --db "$QUOTA" --n 2000 --b 8 --page-size 512 \
+      --max-pages 4000 --seed 11) \
+  || fail "storebuild after raising the quota failed"
+"$CLI" scrub --db "$QUOTA" > /dev/null || fail "resumed store must scrub clean"
+OUT=$("$CLI" storeinfo --db "$QUOTA")
+DONE=$(echo "$OUT" | sed -n 's/^records: *\([0-9]*\).*/\1/p')
+[ "$DONE" -gt "$KEPT" ] || fail "raised quota did not grow the store"
+
 echo "cli_test: all checks passed"

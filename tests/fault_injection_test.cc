@@ -227,5 +227,69 @@ TEST(FaultInjectionTest, MisdirectedReadServesTheVictimPage) {
   EXPECT_EQ(buf, data_a) << "the fault fires exactly once";
 }
 
+TEST(FaultInjectionTest, ExhaustAtAllocationIndexRefusesFromThereOn) {
+  auto store = Make();
+  store->ExhaustAtAllocationIndex(2);
+  EXPECT_TRUE(store->Allocate().ok());  // index 0
+  EXPECT_TRUE(store->Allocate().ok());  // index 1
+  auto r = store->Allocate();           // index 2: the device fills up
+  ASSERT_TRUE(r.status().IsResourceExhausted()) << r.status();
+  EXPECT_TRUE(r.status().IsTransient());
+  EXPECT_FALSE(store->down()) << "exhaustion is not a crash";
+  // Unlike a one-shot write fault, exhaustion persists: the disk stays
+  // full until space is made.
+  EXPECT_TRUE(store->Allocate().status().IsResourceExhausted());
+  EXPECT_EQ(store->allocs_issued(), 4u) << "failed attempts count too";
+  EXPECT_EQ(store->stats().alloc_failures, 2u);
+
+  store->LiftAllocationLimit();
+  EXPECT_TRUE(store->Allocate().ok());
+}
+
+TEST(FaultInjectionTest, SetAllocationQuotaIsRelativeToNow) {
+  auto store = Make();
+  EXPECT_TRUE(store->Allocate().ok());
+  store->SetAllocationQuota(1);  // one more allocation from here
+  EXPECT_TRUE(store->Allocate().ok());
+  EXPECT_TRUE(store->Allocate().status().IsResourceExhausted());
+}
+
+TEST(FaultInjectionTest, TransientAllocationWindowPasses) {
+  auto store = Make();
+  store->FailNthAllocation(/*n=*/1, /*count=*/2);
+  EXPECT_TRUE(store->Allocate().ok()) << "index 0 precedes the window";
+  EXPECT_TRUE(store->Allocate().status().IsResourceExhausted());
+  EXPECT_TRUE(store->Allocate().status().IsResourceExhausted());
+  EXPECT_FALSE(store->down());
+  EXPECT_TRUE(store->Allocate().ok()) << "the window has passed";
+}
+
+TEST(FaultInjectionTest, ReserveFailsOnceExhausted) {
+  auto store = Make();
+  store->ExhaustAtAllocationIndex(1);
+  ASSERT_TRUE(store->Reserve(3).ok())
+      << "a reservation before the threshold succeeds (the fault models "
+         "space vanishing later, mid-operation)";
+  store->ReleaseReservation(3);
+  EXPECT_TRUE(store->Allocate().ok());                           // index 0
+  EXPECT_TRUE(store->Allocate().status().IsResourceExhausted()); // index 1
+  EXPECT_TRUE(store->Reserve(1).IsResourceExhausted())
+      << "once exhausted, reservations are refused up front";
+  store->LiftAllocationLimit();
+  EXPECT_TRUE(store->Reserve(1).ok());
+}
+
+TEST(FaultInjectionTest, QuotaForwardsToInnerStore) {
+  auto store = Make();
+  store->SetMaxPages(2);
+  EXPECT_EQ(store->max_pages(), 2u);
+  EXPECT_TRUE(store->Allocate().ok());
+  EXPECT_TRUE(store->Allocate().ok());
+  EXPECT_TRUE(store->Allocate().status().IsResourceExhausted())
+      << "the inner store's quota shows through the decorator";
+  EXPECT_TRUE(store->Reserve(1).IsResourceExhausted());
+  EXPECT_EQ(store->reserved_pages(), 0u);
+}
+
 }  // namespace
 }  // namespace bmeh

@@ -127,6 +127,74 @@ TEST_P(PageStoreTest, StatsCount) {
   EXPECT_EQ(store_->stats().frees, 1u);
 }
 
+TEST_P(PageStoreTest, QuotaRefusesAllocationBeyondMax) {
+  const uint64_t base = store_->total_page_count();
+  store_->SetMaxPages(base + 2);
+  auto a = store_->Allocate();
+  auto b = store_->Allocate();
+  ASSERT_TRUE(a.ok() && b.ok());
+  store_->ResetStats();
+  auto c = store_->Allocate();
+  ASSERT_TRUE(c.status().IsResourceExhausted()) << c.status();
+  EXPECT_TRUE(c.status().IsTransient());
+  EXPECT_EQ(store_->stats().alloc_failures, 1u);
+  // The refusal left the store fully usable: freed pages stay allocatable
+  // under the cap, and raising the cap unblocks growth.
+  ASSERT_TRUE(store_->Free(*a).ok());
+  EXPECT_TRUE(store_->Allocate().ok()) << "freed page must recycle at cap";
+  store_->SetMaxPages(base + 3);
+  EXPECT_TRUE(store_->Allocate().ok());
+}
+
+TEST_P(PageStoreTest, ReserveSetsPagesAsideAndAllocateConsumesThem) {
+  const uint64_t base = store_->total_page_count();
+  store_->SetMaxPages(base + 3);
+  ASSERT_TRUE(store_->Reserve(2).ok());
+  EXPECT_EQ(store_->reserved_pages(), 2u);
+  // The reservation counts against headroom: only one unreserved slot is
+  // left, so a second 2-page reservation must fail up front.
+  Status st = store_->Reserve(2);
+  EXPECT_TRUE(st.IsResourceExhausted()) << st;
+  // Allocations drain the reservation first.
+  ASSERT_TRUE(store_->Allocate().ok());
+  EXPECT_EQ(store_->reserved_pages(), 1u);
+  ASSERT_TRUE(store_->Allocate().ok());
+  EXPECT_EQ(store_->reserved_pages(), 0u);
+  // Beyond the reservation, plain headroom still applies.
+  ASSERT_TRUE(store_->Allocate().ok());
+  EXPECT_TRUE(store_->Allocate().status().IsResourceExhausted());
+}
+
+TEST_P(PageStoreTest, ReleaseReservationReturnsHeadroom) {
+  const uint64_t base = store_->total_page_count();
+  store_->SetMaxPages(base + 2);
+  ASSERT_TRUE(store_->Reserve(2).ok());
+  EXPECT_TRUE(store_->Allocate().status().ok());  // consumes one slot
+  store_->ReleaseReservation(1);
+  EXPECT_EQ(store_->reserved_pages(), 0u);
+  EXPECT_TRUE(store_->Allocate().ok());
+  EXPECT_TRUE(store_->Allocate().status().IsResourceExhausted());
+}
+
+TEST_P(PageStoreTest, UnlimitedStoreReservesFreely) {
+  ASSERT_TRUE(store_->Reserve(1000).ok());
+  store_->ReleaseReservation(1000);
+  EXPECT_EQ(store_->reserved_pages(), 0u);
+  EXPECT_TRUE(store_->Allocate().ok());
+}
+
+TEST_P(PageStoreTest, HighWaterMarkTracksPeakLivePages) {
+  auto a = store_->Allocate();
+  auto b = store_->Allocate();
+  auto c = store_->Allocate();
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  const uint64_t peak = store_->live_page_count();
+  ASSERT_TRUE(store_->Free(*b).ok());
+  ASSERT_TRUE(store_->Free(*c).ok());
+  EXPECT_EQ(store_->stats().high_water_pages, peak)
+      << "high-water mark must survive frees";
+}
+
 TEST(FilePageStoreTest, PersistsAcrossReopen) {
   const std::string path = ::testing::TempDir() + "/bmeh_reopen.db";
   PageId id;

@@ -23,6 +23,8 @@ TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
   EXPECT_TRUE(Status::IoError("x").IsIoError());
   EXPECT_TRUE(Status::Corruption("x").IsCorruption());
   EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::DataLoss("x").IsDataLoss());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
 
   Status st = Status::Invalid("bad argument");
   EXPECT_FALSE(st.ok());
@@ -56,6 +58,21 @@ TEST(StatusTest, StatusCodeNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInvalid), "Invalid");
   EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+TEST(StatusTest, TransiencePredicate) {
+  // ResourceExhausted is the retryable failure: the failing layer promises
+  // it left its state untouched.
+  EXPECT_TRUE(Status::ResourceExhausted("no space").IsTransient());
+  // Everything else requires repair, recovery, or caller changes first.
+  EXPECT_FALSE(Status::OK().IsTransient());
+  EXPECT_FALSE(Status::IoError("x").IsTransient());
+  EXPECT_FALSE(Status::DataLoss("x").IsTransient());
+  EXPECT_FALSE(Status::Corruption("x").IsTransient());
+  EXPECT_FALSE(Status::CapacityError("x").IsTransient());
+  EXPECT_FALSE(Status::Invalid("x").IsTransient());
 }
 
 TEST(StatusTest, StreamOperator) {

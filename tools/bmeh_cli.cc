@@ -31,12 +31,16 @@
 //
 //   bmeh_cli storebuild --db FILE [--dims D] [--width W] [--b B] [--phi P]
 //                   [--n N] [--dist NAME] [--seed S] [--page-size P]
-//                   [--leave-wal K]
+//                   [--leave-wal K] [--max-pages M]
 //       Creates a durable BmehStore file (checkpoint + WAL, unlike `build`
 //       which writes a raw tree image) holding N generated records.  With
 //       --leave-wal K the last K mutations stay in the write-ahead log and
 //       the final close skips its checkpoint, leaving the file exactly as
 //       a crash would — the fixture the recovery tooling is tested on.
+//       With --max-pages M the file is capped at M total pages; when the
+//       quota fills mid-build the build stops gracefully (exit code 3)
+//       with every acknowledged record durable and the file scrub-clean —
+//       rerunning with a larger quota resumes from that state.
 //
 //   bmeh_cli scrub --db FILE
 //       Read-only integrity check: verifies every page's checksum trailer
@@ -312,6 +316,22 @@ int CmdStoreInfo(const Args& args) {
   }
   std::printf("records:          %llu (checkpoint + replayed log)\n",
               static_cast<unsigned long long>(info->records));
+  std::printf("free pages:       %llu\n",
+              static_cast<unsigned long long>(info->free_pages));
+  std::printf("high water:       %llu pages\n",
+              static_cast<unsigned long long>(info->high_water_pages));
+  if (info->max_pages == 0) {
+    std::printf("page quota:       unlimited (%llu reserved, "
+                "%llu allocations refused)\n",
+                static_cast<unsigned long long>(info->reserved_pages),
+                static_cast<unsigned long long>(info->alloc_failures));
+  } else {
+    std::printf("page quota:       %llu pages (%llu reserved, "
+                "%llu allocations refused)\n",
+                static_cast<unsigned long long>(info->max_pages),
+                static_cast<unsigned long long>(info->reserved_pages),
+                static_cast<unsigned long long>(info->alloc_failures));
+  }
   return 0;
 }
 
@@ -324,6 +344,7 @@ StoreOptions MakeStoreOptions(const Args& args) {
   options.page_size = args.GetInt("page-size", options.page_size);
   options.checkpoint_every = 0;
   options.wal_sync_every = 0;  // bulk build: one fsync at the checkpoint
+  options.max_pages = static_cast<uint64_t>(args.GetInt("max-pages", 0));
   return options;
 }
 
@@ -346,6 +367,7 @@ int CmdStoreBuild(const Args& args) {
   if (!store.ok()) Die(store.status().ToString());
   auto keys = workload::GenerateKeys(spec, n);
   uint64_t inserted = 0;
+  Status exhausted = Status::OK();
   for (uint64_t i = 0; i < n; ++i) {
     if (leave_wal > 0 && i == n - leave_wal) {
       Status st = (*store)->Checkpoint();
@@ -353,22 +375,50 @@ int CmdStoreBuild(const Args& args) {
     }
     Status st = (*store)->Put(keys[i], i);
     if (st.IsAlreadyExists()) continue;  // the generator may repeat keys
+    if (st.IsResourceExhausted()) {
+      // The quota filled.  The failed insert was rolled back whole; stop
+      // gracefully with everything acknowledged so far intact.
+      exhausted = st;
+      break;
+    }
     if (!st.ok()) Die(st.ToString());
     ++inserted;
   }
   if (leave_wal == 0) {
     Status st = (*store)->Checkpoint();
-    if (!st.ok()) Die(st.ToString());
+    if (st.IsResourceExhausted()) {
+      // The quota blocks the checkpoint; the acknowledged records are
+      // already in the WAL.  Skip the close-time retry — it would only
+      // fail the same way.
+      if (exhausted.ok()) exhausted = st;
+      (*store)->SimulateCrashForTesting();
+    } else if (!st.ok()) {
+      Die(st.ToString());
+    }
   } else {
     // Suppress the close-time checkpoint so the file keeps its WAL and
     // stays exactly as a crash at this point would leave it.
     (*store)->SimulateCrashForTesting();
   }
+  const PageStore& pages = (*store)->page_store();
   std::printf("built store %s: %llu records (%llu in the WAL), "
               "generation %llu\n",
               db.c_str(), static_cast<unsigned long long>(inserted),
               static_cast<unsigned long long>((*store)->wal_records()),
               static_cast<unsigned long long>((*store)->generation()));
+  std::printf("resources:        %llu allocs, %llu refused, high water "
+              "%llu pages, quota %llu (%llu reserved)\n",
+              static_cast<unsigned long long>(pages.stats().allocs),
+              static_cast<unsigned long long>(pages.stats().alloc_failures),
+              static_cast<unsigned long long>(pages.stats().high_water_pages),
+              static_cast<unsigned long long>(pages.max_pages()),
+              static_cast<unsigned long long>(pages.reserved_pages()));
+  if (!exhausted.ok()) {
+    std::printf("page quota exhausted after %llu records: %s\n",
+                static_cast<unsigned long long>(inserted),
+                exhausted.ToString().c_str());
+    return 3;
+  }
   return 0;
 }
 
