@@ -7,13 +7,45 @@
 #define BMEH_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "src/metrics/experiment.h"
+#include "src/obs/metrics.h"
 
 namespace bmeh {
 namespace bench {
+
+/// True when the BMEH_BENCH_SMOKE environment variable is set (and not
+/// "0"): CI smoke mode — benches shrink their workloads so the whole
+/// suite finishes in seconds while still exercising every code path and
+/// emitting the same BENCH_*.json artifacts.
+inline bool SmokeMode() {
+  const char* v = std::getenv("BMEH_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// Writes an already-rendered JSON exposition to `path` — use this form
+/// when the exposition must be captured while sampled sources (page
+/// stores, buffer pools) are still alive and attached.
+inline void WriteBenchJson(const std::string& path, const std::string& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// Writes the registry's JSON exposition to `path` — the machine-readable
+/// BENCH_*.json artifact CI uploads next to the human-readable stdout.
+inline void WriteBenchJson(const std::string& path,
+                           const obs::MetricsRegistry& registry) {
+  WriteBenchJson(path, registry.JsonExposition());
+}
 
 inline constexpr int kPageSizes[] = {8, 16, 32, 64};
 inline constexpr metrics::Method kMethods[] = {

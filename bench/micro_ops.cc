@@ -2,16 +2,31 @@
 // of the three schemes' core operations (logical-I/O counts are covered by
 // the table benches; these measure wall-clock throughput of the in-memory
 // implementation).
+//
+// The instrumented variants run through a ConcurrentIndex with a
+// MetricsRegistry attached, so the run doubles as an overhead check for
+// the observability layer; the custom main() below writes the registry as
+// BENCH_micro_ops.json.  Set BMEH_BENCH_SMOKE=1 for the fast CI mode.
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "src/common/random.h"
 #include "src/core/bmeh_tree.h"
 #include "src/exhash/extendible_hash.h"
 #include "src/extarray/theorem1.h"
 #include "src/metrics/experiment.h"
+#include "src/obs/metrics.h"
+#include "src/store/concurrent_index.h"
 
 namespace bmeh {
+
+/// One registry shared by the instrumented benchmarks; main() exports it.
+obs::MetricsRegistry* BenchRegistry() {
+  static obs::MetricsRegistry registry;
+  return &registry;
+}
+
 namespace {
 
 void BM_Theorem1Map(benchmark::State& state) {
@@ -158,6 +173,45 @@ void BM_BmehDelete(benchmark::State& state) {
 }
 BENCHMARK(BM_BmehDelete)->Unit(benchmark::kMillisecond);
 
+/// Exact-match search through the locked, metrics-charging facade: the
+/// delta against BM_Search/BMEHTree is the combined shared_mutex +
+/// counter + histogram overhead per operation.
+void BM_InstrumentedSearch(benchmark::State& state) {
+  const uint64_t n = 40000;
+  static const auto keys = BenchKeys(n);
+  KeySchema schema(2, 31);
+  auto tree = std::make_unique<BmehTree>(schema, TreeOptions::Make(2, 16));
+  for (uint64_t i = 0; i < n; ++i) {
+    BMEH_CHECK_OK(tree->Insert(keys[i], i));
+  }
+  ConcurrentIndex index(std::move(tree), BenchRegistry());
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Search(keys[rng.Uniform(n)]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InstrumentedSearch);
+
+/// Build through the instrumented facade: charges insert_latency_ns and
+/// the index_inserts_total counter for every insertion.
+void BM_InstrumentedInsert(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  const auto keys = BenchKeys(n);
+  KeySchema schema(2, 31);
+  for (auto _ : state) {
+    ConcurrentIndex index(
+        std::make_unique<BmehTree>(schema, TreeOptions::Make(2, 16)),
+        BenchRegistry());
+    for (uint64_t i = 0; i < n; ++i) {
+      BMEH_CHECK_OK(index.Insert(keys[i], i));
+    }
+    benchmark::DoNotOptimize(index);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InstrumentedInsert)->Arg(10000);
+
 void BM_ExtendibleHash1D(benchmark::State& state) {
   ExtendibleHashOptions opts;
   opts.page_capacity = 16;
@@ -181,3 +235,19 @@ BENCHMARK(BM_ExtendibleHash1D);
 
 }  // namespace
 }  // namespace bmeh
+
+// Custom main (instead of benchmark_main) so the run can export the
+// instrumented benchmarks' registry as a machine-readable artifact.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (bmeh::bench::SmokeMode()) args.push_back(min_time.data());
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  bmeh::bench::WriteBenchJson("BENCH_micro_ops.json",
+                              *bmeh::BenchRegistry());
+  return 0;
+}

@@ -12,16 +12,29 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "src/common/random.h"
+#include "src/obs/metrics.h"
 #include "src/store/frozen_tree.h"
 #include "src/workload/distributions.h"
 
 int main() {
   using namespace bmeh;
+  // Everything the run observes — physical page traffic, buffer-pool hit
+  // rates, search latency — lands in one registry, exported at the end as
+  // BENCH_physical_io.json.
+  obs::MetricsRegistry registry;
+  obs::Histogram* search_latency = registry.GetHistogram("search_latency_ns");
+  const bool smoke = bench::SmokeMode();
+  const uint64_t n = smoke ? 8000 : 40000;
+  const int warmup = smoke ? 500 : 2000;
+  const int probes = smoke ? 1000 : 4000;
   std::printf("\n================================================================================\n");
-  std::printf("Physical I/O vs the logical cost model (frozen BMEH-tree, 2-d, N = 40,000)\n");
+  std::printf("Physical I/O vs the logical cost model (frozen BMEH-tree, 2-d, N = %llu)%s\n",
+              static_cast<unsigned long long>(n), smoke ? " [smoke]" : "");
   std::printf("================================================================================\n");
 
+  std::string exposition;
   for (auto dist : {workload::Distribution::kUniform,
                     workload::Distribution::kNormal}) {
     KeySchema schema(2, 31);
@@ -29,11 +42,12 @@ int main() {
     workload::WorkloadSpec spec;
     spec.distribution = dist;
     spec.seed = 1986;
-    auto keys = workload::GenerateKeys(spec, 40000);
+    auto keys = workload::GenerateKeys(spec, n);
     for (size_t i = 0; i < keys.size(); ++i) {
       BMEH_CHECK_OK(tree.Insert(keys[i], i));
     }
     InMemoryPageStore store(4096);
+    store.AttachMetrics(&registry);
     auto meta = FrozenBmehTree::Freeze(tree, &store);
     BMEH_CHECK_OK(meta.status());
     const uint64_t image_pages = store.live_page_count();
@@ -51,17 +65,18 @@ int main() {
       auto frozen_r = FrozenBmehTree::Open(&store, *meta, pool);
       BMEH_CHECK_OK(frozen_r.status());
       auto frozen = std::move(frozen_r).ValueOrDie();
+      frozen->mutable_pool()->AttachMetrics(&registry);
       Rng rng(7);
       // Warm-up pass (matters only for the larger pools).
-      for (int i = 0; i < 2000; ++i) {
+      for (int i = 0; i < warmup; ++i) {
         BMEH_CHECK_OK(
             frozen->Search(keys[rng.Uniform(keys.size())]).status());
       }
       const uint64_t before = frozen->physical_reads();
       const uint64_t hits_before = frozen->pool_hits();
       const uint64_t miss_before = frozen->pool_misses();
-      const int probes = 4000;
       for (int i = 0; i < probes; ++i) {
+        obs::ScopedLatency timer(search_latency);
         BMEH_CHECK_OK(
             frozen->Search(keys[rng.Uniform(keys.size())]).status());
       }
@@ -79,6 +94,7 @@ int main() {
     auto frozen_r = FrozenBmehTree::Open(&store, *meta, /*pool_pages=*/4);
     BMEH_CHECK_OK(frozen_r.status());
     auto frozen = std::move(frozen_r).ValueOrDie();
+    frozen->mutable_pool()->AttachMetrics(&registry);
     Rng rng(8);
     std::printf("%12s %12s %16s\n", "query side", "avg hits",
                 "phys reads/query");
@@ -103,6 +119,11 @@ int main() {
                   static_cast<double>(frozen->physical_reads() - before) /
                       queries);
     }
+    // Render while the store and pool sources are still attached, so the
+    // artifact includes the sampled pagestore_* / bufferpool_* state of
+    // this distribution's run (the last one written wins).
+    exposition = registry.JsonExposition();
   }
+  bench::WriteBenchJson("BENCH_physical_io.json", exposition);
   return 0;
 }

@@ -30,9 +30,12 @@
 #include "src/mdeh/mdeh.h"
 #include "src/mehtree/meh_tree.h"
 #include "src/metrics/experiment.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/pagestore/buffer_pool.h"
 #include "src/pagestore/page_store.h"
 #include "src/store/bmeh_store.h"
+#include "src/store/concurrent_index.h"
 #include "src/store/frozen_tree.h"
 #include "src/store/scrub.h"
 #include "src/workload/datasets.h"

@@ -133,6 +133,14 @@ class BmehTree : public MultiKeyIndex {
   const BmehMutationStats& mutation_stats() const { return mutations_; }
   void ResetMutationStats() { mutations_ = BmehMutationStats{}; }
 
+  /// \brief Charges the total structural-change time of each insertion
+  /// that had to split (the whole cascade: page split, node splits,
+  /// doublings, new roots) into `hist`, one sample per such insertion.
+  /// Null (the default) disables the clock entirely.
+  void set_split_latency_histogram(obs::Histogram* hist) {
+    split_latency_ = hist;
+  }
+
   /// \brief Serializes the whole tree into `store` (page-chained format).
   /// Returns the id of the first page of the chain.
   Result<PageId> SaveTo(PageStore* store);
@@ -242,6 +250,7 @@ class BmehTree : public MultiKeyIndex {
   uint64_t records_ = 0;
   int levels_ = 1;
   BmehMutationStats mutations_;
+  obs::Histogram* split_latency_ = nullptr;
   /// Buckets that exist in the directory but whose records were lost to
   /// on-disk corruption (empty placeholder pages in pages_).  Only ever
   /// populated by LoadFromTolerant; an empty set means a healthy tree.

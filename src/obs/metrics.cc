@@ -1,0 +1,215 @@
+#include "src/obs/metrics.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+namespace bmeh {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+int Histogram::BucketIndex(uint64_t v) {
+  if (v == 0) return 0;
+  const int w = std::bit_width(v);  // v in [2^(w-1), 2^w)
+  return w < kBuckets ? w : kBuckets - 1;
+}
+
+uint64_t Histogram::BucketLowerBound(int i) {
+  if (i <= 0) return 0;
+  return uint64_t{1} << (i - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(int i) {
+  if (i <= 0) return 0;
+  if (i >= kBuckets - 1) return ~uint64_t{0};
+  return (uint64_t{1} << i) - 1;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  // Buckets first, then the count: a racing Record bumps the bucket
+  // before the count, so the sum of sampled buckets can only exceed the
+  // sampled count, never undershoot it — Percentile stays within range.
+  for (int i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  uint64_t in_buckets = 0;
+  for (uint64_t b : s.buckets) in_buckets += b;
+  if (in_buckets < s.count) s.count = in_buckets;
+  return s;
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t next = seen + buckets[i];
+    if (static_cast<double>(next) >= target) {
+      const double lo = static_cast<double>(Histogram::BucketLowerBound(i));
+      double hi = static_cast<double>(Histogram::BucketUpperBound(i));
+      if (static_cast<double>(max) < hi) hi = static_cast<double>(max);
+      if (hi < lo) hi = lo;
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(buckets[i]);
+      return lo + (hi - lo) * frac;
+    }
+    seen = next;
+  }
+  return static_cast<double>(max);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+uint64_t MetricsRegistry::AddSource(SampleFn fn) {
+  std::lock_guard lock(mu_);
+  const uint64_t token = next_source_++;
+  sources_.emplace(token, std::move(fn));
+  return token;
+}
+
+void MetricsRegistry::RemoveSource(uint64_t token) {
+  std::lock_guard lock(mu_);
+  sources_.erase(token);
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard lock(mu_);
+  RegistrySnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    s.histograms[name] = h->Snapshot();
+  }
+  for (const auto& [token, fn] : sources_) fn(&s);
+  return s;
+}
+
+namespace {
+
+void AppendSummary(std::string* out, const std::string& name,
+                   const HistogramSnapshot& h) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "# TYPE bmeh_%s summary\n", name.c_str());
+  *out += buf;
+  for (const auto& [label, q] :
+       {std::pair<const char*, double>{"0.5", 0.5}, {"0.95", 0.95},
+        {"0.99", 0.99}}) {
+    std::snprintf(buf, sizeof(buf), "bmeh_%s{quantile=\"%s\"} %.0f\n",
+                  name.c_str(), label, h.Percentile(q));
+    *out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "bmeh_%s_max %" PRIu64 "\nbmeh_%s_sum %" PRIu64
+                "\nbmeh_%s_count %" PRIu64 "\n",
+                name.c_str(), h.max, name.c_str(), h.sum, name.c_str(),
+                h.count);
+  *out += buf;
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::TextExposition() const {
+  const RegistrySnapshot s = Snapshot();
+  std::string out;
+  char buf[256];
+  for (const auto& [name, v] : s.counters) {
+    std::snprintf(buf, sizeof(buf),
+                  "# TYPE bmeh_%s counter\nbmeh_%s %" PRIu64 "\n",
+                  name.c_str(), name.c_str(), v);
+    out += buf;
+  }
+  for (const auto& [name, v] : s.gauges) {
+    std::snprintf(buf, sizeof(buf),
+                  "# TYPE bmeh_%s gauge\nbmeh_%s %" PRId64 "\n", name.c_str(),
+                  name.c_str(), v);
+    out += buf;
+  }
+  for (const auto& [name, h] : s.histograms) AppendSummary(&out, name, h);
+  return out;
+}
+
+std::string MetricsRegistry::JsonExposition() const {
+  const RegistrySnapshot s = Snapshot();
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  char buf[256];
+  for (const auto& [name, v] : s.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendJsonEscaped(&out, name);
+    std::snprintf(buf, sizeof(buf), "\": %" PRIu64, v);
+    out += buf;
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : s.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendJsonEscaped(&out, name);
+    std::snprintf(buf, sizeof(buf), "\": %" PRId64, v);
+    out += buf;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : s.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendJsonEscaped(&out, name);
+    std::snprintf(buf, sizeof(buf),
+                  "\": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64
+                  ", \"max\": %" PRIu64
+                  ", \"mean\": %.1f, \"p50\": %.0f, \"p95\": %.0f, "
+                  "\"p99\": %.0f}",
+                  h.count, h.sum, h.max, h.Mean(), h.Percentile(0.5),
+                  h.Percentile(0.95), h.Percentile(0.99));
+    out += buf;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace bmeh

@@ -1,0 +1,48 @@
+// Monotonic-clock helpers for the observability layer.
+//
+// Every latency charge site in the hot paths goes through ScopedLatency,
+// whose null-object contract carries the overhead budget: with no
+// histogram attached the constructor is a single pointer test — no clock
+// read, no atomic traffic — so un-instrumented runs pay one predictable
+// branch per site (see DESIGN.md "Observability").
+
+#ifndef BMEH_OBS_STOPWATCH_H_
+#define BMEH_OBS_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace bmeh {
+namespace obs {
+
+class Histogram;
+
+/// \brief Nanoseconds on the monotonic (steady) clock.
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// \brief RAII latency charge: records the scope's wall time (ns) into a
+/// Histogram on destruction.  A null histogram makes both constructor and
+/// destructor branch-only no-ops.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram* hist)
+      : hist_(hist), start_(hist != nullptr ? MonotonicNanos() : 0) {}
+  ~ScopedLatency();
+
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* hist_;
+  uint64_t start_;
+};
+
+}  // namespace obs
+}  // namespace bmeh
+
+#endif  // BMEH_OBS_STOPWATCH_H_

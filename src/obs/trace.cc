@@ -1,0 +1,93 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+namespace bmeh {
+namespace obs {
+
+namespace {
+
+/// Small dense thread ids for the trace (std::thread::id is opaque).
+uint32_t CurrentTid() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+Tracer::Tracer(size_t capacity) {
+  capacity_ = std::bit_ceil(std::max<size_t>(capacity, 8));
+  mask_ = capacity_ - 1;
+  slots_ = std::make_unique<Slot[]>(capacity_);
+}
+
+void Tracer::RecordComplete(const char* name, const char* category,
+                            uint64_t start_ns, uint64_t dur_ns) {
+  const uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[idx & mask_];
+  // Invalidate first so a concurrent reader can never pair old fields
+  // with the new sequence number.
+  s.seq.store(0, std::memory_order_release);
+  s.name.store(name, std::memory_order_relaxed);
+  s.category.store(category, std::memory_order_relaxed);
+  s.start_ns.store(start_ns, std::memory_order_relaxed);
+  s.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  s.tid.store(CurrentTid(), std::memory_order_relaxed);
+  s.seq.store(idx + 1, std::memory_order_release);
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  struct Event {
+    const char* name;
+    const char* category;
+    uint64_t start_ns;
+    uint64_t dur_ns;
+    uint32_t tid;
+  };
+  std::vector<Event> events;
+  events.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    const Slot& s = slots_[i];
+    const uint64_t seq1 = s.seq.load(std::memory_order_acquire);
+    if (seq1 == 0) continue;
+    Event e;
+    e.name = s.name.load(std::memory_order_relaxed);
+    e.category = s.category.load(std::memory_order_relaxed);
+    e.start_ns = s.start_ns.load(std::memory_order_relaxed);
+    e.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+    e.tid = s.tid.load(std::memory_order_relaxed);
+    const uint64_t seq2 = s.seq.load(std::memory_order_acquire);
+    if (seq1 != seq2 || e.name == nullptr) continue;  // torn by a writer
+    events.push_back(e);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) {
+              return a.start_ns < b.start_ns;
+            });
+  const uint64_t base = events.empty() ? 0 : events.front().start_ns;
+
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  char buf[256];
+  bool first = true;
+  for (const Event& e : events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+                  e.name, e.category,
+                  static_cast<double>(e.start_ns - base) / 1000.0,
+                  static_cast<double>(e.dur_ns) / 1000.0, e.tid);
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace bmeh

@@ -1,0 +1,113 @@
+// Tracer: low-overhead operation tracing with scoped spans recorded into
+// a fixed-size lock-free ring buffer.
+//
+// Each span is one completed ("ph":"X") Chrome trace event: a static name,
+// a category, a monotonic start timestamp and a duration.  Recording is a
+// single fetch_add to claim a slot plus relaxed stores of the fields and a
+// release store of the slot's sequence number — no locks, no allocation,
+// bounded memory.  When the ring wraps, the oldest spans are overwritten
+// (the tracer keeps the most recent `capacity` spans, and counts how many
+// were dropped).
+//
+// The reader (ToChromeTraceJson) validates each slot's sequence number
+// before and after reading its fields; a slot being concurrently rewritten
+// fails the check and is skipped.  All slot fields are relaxed atomics, so
+// the wraparound race is benign and TSan-clean by construction.
+//
+// Null-object contract: every span site takes a `Tracer*` that may be
+// null; TraceSpan's constructor is then a pointer test and nothing else.
+// Span names must be string literals (or otherwise outlive the tracer) —
+// the ring stores the pointer, not a copy.
+
+#ifndef BMEH_OBS_TRACE_H_
+#define BMEH_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/obs/stopwatch.h"
+
+namespace bmeh {
+namespace obs {
+
+/// \brief Fixed-capacity lock-free ring buffer of completed spans.
+class Tracer {
+ public:
+  /// \brief `capacity` is rounded up to a power of two (minimum 8).
+  explicit Tracer(size_t capacity = 4096);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// \brief Records one completed span.  `name` and `category` must be
+  /// static strings.  Thread-safe, wait-free apart from the claim CAS-free
+  /// fetch_add.
+  void RecordComplete(const char* name, const char* category,
+                      uint64_t start_ns, uint64_t dur_ns);
+
+  /// \brief Spans ever recorded (including those since overwritten).
+  uint64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+  /// \brief Spans lost to ring wraparound.
+  uint64_t dropped() const {
+    const uint64_t n = recorded();
+    return n > capacity_ ? n - capacity_ : 0;
+  }
+  size_t capacity() const { return capacity_; }
+
+  /// \brief Exports the surviving spans as Chrome trace-event JSON
+  /// (load it at chrome://tracing or https://ui.perfetto.dev).  Spans are
+  /// sorted by start time; timestamps are microseconds relative to the
+  /// earliest surviving span.
+  std::string ToChromeTraceJson() const;
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  // 0 = never written; else claim index + 1
+    std::atomic<const char*> name{nullptr};
+    std::atomic<const char*> category{nullptr};
+    std::atomic<uint64_t> start_ns{0};
+    std::atomic<uint64_t> dur_ns{0};
+    std::atomic<uint32_t> tid{0};
+  };
+
+  size_t capacity_;
+  size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> next_{0};
+};
+
+/// \brief RAII span: times its scope and records it into the tracer on
+/// destruction.  Null tracer = no clock read, no recording.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, const char* name, const char* category = "bmeh")
+      : tracer_(tracer),
+        name_(name),
+        category_(category),
+        start_(tracer != nullptr ? MonotonicNanos() : 0) {}
+
+  ~TraceSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->RecordComplete(name_, category_, start_,
+                              MonotonicNanos() - start_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  const char* category_;
+  uint64_t start_;
+};
+
+}  // namespace obs
+}  // namespace bmeh
+
+#endif  // BMEH_OBS_TRACE_H_

@@ -67,16 +67,34 @@ BufferPool::BufferPool(PageStore* store, int capacity)
 }
 
 BufferPool::~BufferPool() {
+  if (metrics_ != nullptr) metrics_->RemoveSource(metrics_source_);
   Status st = FlushAll();
   if (!st.ok()) {
     BMEH_LOG(Error) << "BufferPool final flush failed: " << st;
   }
 }
 
+void BufferPool::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (metrics_ != nullptr) {
+    metrics_->RemoveSource(metrics_source_);
+    metrics_ = nullptr;
+    metrics_source_ = 0;
+  }
+  if (registry == nullptr) return;
+  metrics_ = registry;
+  metrics_source_ = registry->AddSource([this](obs::RegistrySnapshot* s) {
+    s->counters["bufferpool_hits_total"] = hits();
+    s->counters["bufferpool_misses_total"] = misses();
+    s->counters["bufferpool_evictions_total"] = evictions();
+    s->gauges["bufferpool_hit_rate_ppm"] =
+        static_cast<int64_t>(hit_rate() * 1e6);
+  });
+}
+
 Result<PageHandle> BufferPool::Fetch(PageId id) {
   auto it = frames_.find(id);
   if (it != frames_.end()) {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     Frame& f = it->second;
     if (f.in_lru) {
       lru_.erase(f.lru_pos);
@@ -85,7 +103,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
     ++f.pins;
     return PageHandle(this, id);
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   while (frames_.size() >= static_cast<size_t>(capacity_)) {
     BMEH_RETURN_NOT_OK(EvictOne());
   }
@@ -164,7 +182,7 @@ Status BufferPool::EvictOne() {
         victim, {f.data.get(), static_cast<size_t>(store_->page_size())}));
   }
   frames_.erase(it);
-  ++evictions_;
+  evictions_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 #ifndef BMEH_PAGESTORE_BUFFER_POOL_H_
 #define BMEH_PAGESTORE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -16,6 +17,7 @@
 
 #include "src/common/result.h"
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
 #include "src/pagestore/page_store.h"
 
 namespace bmeh {
@@ -80,9 +82,27 @@ class BufferPool {
   Status FlushAll();
 
   int capacity() const { return capacity_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
+  // The hit/miss/eviction counters are relaxed atomics: the pool itself
+  // is single-writer, but it is reachable from concurrent readers through
+  // ConcurrentIndex-style wrappers whose shared lock permits overlapping
+  // Fetch calls, and observers snapshot the counters from other threads.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Fraction of Fetch calls served from memory (0 when idle).
+  double hit_rate() const {
+    const uint64_t h = hits(), m = misses();
+    return h + m == 0 ? 0.0 : static_cast<double>(h) / double(h + m);
+  }
+
+  /// \brief Registers a sampling source exposing `bufferpool_*` counters
+  /// and the hit rate (in millionths, gauges being integral) on
+  /// `registry`.  The registry must outlive the pool (the destructor
+  /// detaches); pass nullptr to detach.
+  void AttachMetrics(obs::MetricsRegistry* registry);
 
   /// \brief Number of frames currently cached.
   size_t cached_count() const { return frames_.size(); }
@@ -106,9 +126,11 @@ class BufferPool {
   int capacity_;
   std::unordered_map<PageId, Frame> frames_;
   std::list<PageId> lru_;  // front = least recently used
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  obs::MetricsRegistry* metrics_ = nullptr;
+  uint64_t metrics_source_ = 0;
 };
 
 }  // namespace bmeh

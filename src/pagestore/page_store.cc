@@ -20,6 +20,49 @@ namespace bmeh {
 // PageStore: reservation protocol shared by every backend
 // ---------------------------------------------------------------------------
 
+PageStore::~PageStore() {
+  if (metrics_ != nullptr) metrics_->RemoveSource(metrics_source_);
+}
+
+void PageStore::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (metrics_ != nullptr) {
+    metrics_->RemoveSource(metrics_source_);
+    metrics_ = nullptr;
+    metrics_source_ = 0;
+  }
+  if (registry == nullptr) {
+    read_latency_ = nullptr;
+    write_latency_ = nullptr;
+    return;
+  }
+  read_latency_ = registry->GetHistogram("page_read_latency_ns");
+  write_latency_ = registry->GetHistogram("page_write_latency_ns");
+  metrics_ = registry;
+  // StoreStats and the page counts are owner-synchronized plain fields,
+  // so they are sampled at snapshot time rather than mirrored on every
+  // operation.
+  metrics_source_ = registry->AddSource([this](obs::RegistrySnapshot* s) {
+    const StoreStats& st = stats_;
+    s->counters["pagestore_reads_total"] = st.reads;
+    s->counters["pagestore_writes_total"] = st.writes;
+    s->counters["pagestore_allocs_total"] = st.allocs;
+    s->counters["pagestore_frees_total"] = st.frees;
+    s->counters["pagestore_read_retries_total"] = st.read_retries;
+    s->counters["pagestore_checksum_failures_total"] = st.checksum_failures;
+    s->counters["pagestore_pages_quarantined_total"] = st.pages_quarantined;
+    s->counters["pagestore_alloc_failures_total"] = st.alloc_failures;
+    s->gauges["pagestore_live_pages"] =
+        static_cast<int64_t>(live_page_count());
+    s->gauges["pagestore_total_pages"] =
+        static_cast<int64_t>(total_page_count());
+    s->gauges["pagestore_high_water_pages"] =
+        static_cast<int64_t>(st.high_water_pages);
+    s->gauges["pagestore_reserved_pages"] =
+        static_cast<int64_t>(reserved_pages());
+    s->gauges["pagestore_max_pages"] = static_cast<int64_t>(max_pages());
+  });
+}
+
 Status PageStore::Reserve(uint64_t n) {
   if (n == 0) return Status::OK();
   const uint64_t headroom = QuotaHeadroom();
@@ -126,6 +169,7 @@ Status InMemoryPageStore::Read(PageId id, std::span<uint8_t> out) {
     return Status::Invalid("Read buffer size mismatch");
   }
   ++stats_.reads;
+  obs::ScopedLatency timer(read_latency_);
   std::memcpy(out.data(), pages_[id].get(), page_size_);
   return Status::OK();
 }
@@ -138,6 +182,7 @@ Status InMemoryPageStore::Write(PageId id, std::span<const uint8_t> data) {
     return Status::Invalid("Write buffer size mismatch");
   }
   ++stats_.writes;
+  obs::ScopedLatency timer(write_latency_);
   std::memcpy(pages_[id].get(), data.data(), page_size_);
   return Status::OK();
 }
@@ -717,6 +762,7 @@ Status FilePageStore::Read(PageId id, std::span<uint8_t> out) {
     return Status::Invalid("Read buffer size mismatch");
   }
   ++stats_.reads;
+  obs::ScopedLatency timer(read_latency_);
   return ReadRaw(id, out);
 }
 
@@ -728,6 +774,7 @@ Status FilePageStore::Write(PageId id, std::span<const uint8_t> data) {
     return Status::Invalid("Write buffer size mismatch");
   }
   ++stats_.writes;
+  obs::ScopedLatency timer(write_latency_);
   return WriteRaw(id, data);
 }
 

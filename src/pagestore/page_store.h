@@ -18,6 +18,7 @@
 
 #include "src/common/result.h"
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
 #include "src/pagestore/page.h"
 
 namespace bmeh {
@@ -61,7 +62,7 @@ class PageStore {
   /// QuotaHeadroom() value meaning "no limit configured".
   static constexpr uint64_t kUnlimitedHeadroom = ~uint64_t{0};
 
-  virtual ~PageStore() = default;
+  virtual ~PageStore();
 
   /// \brief Size of every page in bytes.
   virtual int page_size() const = 0;
@@ -122,6 +123,15 @@ class PageStore {
   /// quarantined a page after this store reported verified corruption.
   void NoteQuarantined(uint64_t n = 1) { stats_.pages_quarantined += n; }
 
+  /// \brief Hooks this store into a MetricsRegistry: registers a sampling
+  /// source that exposes StoreStats and the page counts as `pagestore_*`
+  /// counters/gauges, and charges physical page read/write latency into
+  /// the `page_read_latency_ns` / `page_write_latency_ns` histograms.
+  /// The registry must outlive the store (the destructor detaches).
+  /// Pass nullptr to detach.  Not attached = zero overhead beyond one
+  /// branch per read/write.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  protected:
   /// Allocation slots obtainable right now without violating the quota:
   /// recyclable free pages plus permitted growth.  kUnlimitedHeadroom
@@ -140,6 +150,14 @@ class PageStore {
   StoreStats stats_;
   uint64_t reserved_ = 0;
   uint64_t max_pages_ = 0;
+  /// Latency histograms charged by the concrete Read/Write paths; null
+  /// (the default) means un-instrumented.
+  obs::Histogram* read_latency_ = nullptr;
+  obs::Histogram* write_latency_ = nullptr;
+
+ private:
+  obs::MetricsRegistry* metrics_ = nullptr;
+  uint64_t metrics_source_ = 0;
 };
 
 /// \brief Heap-backed page store.

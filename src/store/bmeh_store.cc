@@ -92,7 +92,66 @@ BmehStore::BmehStore(std::unique_ptr<PageStore> store,
       super_page_(store_->first_data_page()),
       image_head_(image_head),
       generation_(generation),
-      checkpoint_every_(options.checkpoint_every) {}
+      checkpoint_every_(options.checkpoint_every) {
+  AttachObservability(options);
+}
+
+void BmehStore::AttachObservability(const StoreOptions& options) {
+  tracer_ = options.tracer;
+  if (options.metrics == nullptr) return;
+  metrics_ = options.metrics;
+  puts_total_ = metrics_->GetCounter("store_puts_total");
+  gets_total_ = metrics_->GetCounter("store_gets_total");
+  deletes_total_ = metrics_->GetCounter("store_deletes_total");
+  ranges_total_ = metrics_->GetCounter("store_ranges_total");
+  checkpoints_total_ = metrics_->GetCounter("store_checkpoints_total");
+  wal_appends_total_ = metrics_->GetCounter("wal_appends_total");
+  wal_replayed_total_ = metrics_->GetCounter("wal_replayed_records_total");
+  insert_latency_ = metrics_->GetHistogram("insert_latency_ns");
+  search_latency_ = metrics_->GetHistogram("search_latency_ns");
+  delete_latency_ = metrics_->GetHistogram("delete_latency_ns");
+  range_latency_ = metrics_->GetHistogram("range_latency_ns");
+  checkpoint_latency_ = metrics_->GetHistogram("checkpoint_latency_ns");
+  wal_append_latency_ = metrics_->GetHistogram("wal_append_latency_ns");
+  store_->AttachMetrics(metrics_);
+  if (tree_ != nullptr) {
+    tree_->set_split_latency_histogram(
+        metrics_->GetHistogram("split_latency_ns"));
+  }
+  // Tree / WAL / logical-I/O state, sampled at Snapshot() time.  The
+  // constructor runs before any replay or mutation, so by the time a
+  // snapshot can observe this source tree_ is set (OpenExisting assigns
+  // it before anything escapes).
+  metrics_source_ = metrics_->AddSource([this](obs::RegistrySnapshot* s) {
+    const IndexStructureStats ts = tree_->Stats();
+    s->gauges["tree_records"] = static_cast<int64_t>(ts.records);
+    s->gauges["tree_height"] = tree_->height();
+    s->gauges["tree_directory_nodes"] =
+        static_cast<int64_t>(ts.directory_nodes);
+    s->gauges["tree_directory_entries"] =
+        static_cast<int64_t>(ts.directory_entries);
+    s->gauges["tree_data_pages"] = static_cast<int64_t>(ts.data_pages);
+    s->gauges["store_generation"] = static_cast<int64_t>(generation_);
+    s->gauges["store_dirty_ops"] = static_cast<int64_t>(dirty_ops_);
+    s->gauges["wal_records"] = static_cast<int64_t>(wal_->record_count());
+    s->gauges["wal_pages"] = static_cast<int64_t>(wal_->pages().size());
+    const BmehMutationStats& m = tree_->mutation_stats();
+    s->counters["tree_page_splits_total"] = m.page_splits;
+    s->counters["tree_node_doublings_total"] = m.node_doublings;
+    s->counters["tree_node_splits_total"] = m.node_splits;
+    s->counters["tree_forced_splits_total"] = m.forced_splits;
+    s->counters["tree_new_roots_total"] = m.new_roots;
+    s->counters["tree_page_merges_total"] = m.page_merges;
+    s->counters["tree_node_halvings_total"] = m.node_halvings;
+    s->counters["tree_node_merges_total"] = m.node_merges;
+    s->counters["tree_root_collapses_total"] = m.root_collapses;
+    const IoStats io = tree_->io()->stats();
+    s->counters["logical_dir_reads_total"] = io.dir_reads;
+    s->counters["logical_dir_writes_total"] = io.dir_writes;
+    s->counters["logical_data_reads_total"] = io.data_reads;
+    s->counters["logical_data_writes_total"] = io.data_writes;
+  });
+}
 
 BmehStore::~BmehStore() {
   if (dirty_ops_ > 0 && poisoned_.ok() && !degraded()) {
@@ -101,6 +160,7 @@ BmehStore::~BmehStore() {
       BMEH_LOG(Error) << "final checkpoint failed: " << st;
     }
   }
+  if (metrics_ != nullptr) metrics_->RemoveSource(metrics_source_);
 }
 
 Status BmehStore::ReadSuperblock(PageId* head, uint64_t* generation,
@@ -197,9 +257,18 @@ Result<std::unique_ptr<BmehStore>> BmehStore::OpenExisting(
   // (and zeroed) by the Wal; whatever replays is re-counted as dirty so
   // a clean shutdown folds it into the next checkpoint.
   BmehTree* tree = out->tree_.get();
+  if (out->metrics_ != nullptr) {
+    // The tree was built after the constructor attached observability;
+    // wire it now so replay-induced splits are already charged.
+    tree->set_split_latency_histogram(
+        out->metrics_->GetHistogram("split_latency_ns"));
+  }
+  obs::Counter* replayed = out->wal_replayed_total_;
   BMEH_RETURN_NOT_OK(out->wal_->Replay(
-      wal_head,
-      [tree](const Wal::LogRecord& rec) { return ApplyReplayed(tree, rec); }));
+      wal_head, [tree, replayed](const Wal::LogRecord& rec) {
+        if (replayed != nullptr) replayed->Inc();
+        return ApplyReplayed(tree, rec);
+      }));
   out->dirty_ops_ = out->wal_->record_count();
   out->published_wal_head_ = wal_head;
   if (out->wal_->replay_hit_data_loss()) {
@@ -344,10 +413,16 @@ Result<StoreInfo> BmehStore::Inspect(const std::string& path) {
   info.max_pages = file->max_pages();
   info.reserved_pages = file->reserved_pages();
   info.alloc_failures = file->stats().alloc_failures;
+  info.read_retries = file->stats().read_retries;
+  info.checksum_failures = file->stats().checksum_failures;
+  info.pages_quarantined = file->stats().pages_quarantined;
   return info;
 }
 
 Status BmehStore::LogMutation(const Wal::LogRecord& rec) {
+  if (wal_appends_total_ != nullptr) wal_appends_total_->Inc();
+  obs::ScopedLatency timer(wal_append_latency_);
+  obs::TraceSpan span(tracer_, "wal_append", "wal");
   Status st = wal_->Append(rec);
   if (!st.ok()) {
     // A transient append failure (page quota / ENOSPC) rolled itself back
@@ -379,6 +454,9 @@ Status BmehStore::LogMutation(const Wal::LogRecord& rec) {
 }
 
 Status BmehStore::Put(const PseudoKey& key, uint64_t payload) {
+  if (puts_total_ != nullptr) puts_total_->Inc();
+  obs::ScopedLatency timer(insert_latency_);
+  obs::TraceSpan span(tracer_, "put", "store");
   BMEH_RETURN_NOT_OK(poisoned_);
   BMEH_RETURN_NOT_OK(tree_->schema().Validate(key));
   BMEH_RETURN_NOT_OK(LogMutation({Wal::kOpInsert, key, payload}));
@@ -388,6 +466,9 @@ Status BmehStore::Put(const PseudoKey& key, uint64_t payload) {
 }
 
 Result<uint64_t> BmehStore::Get(const PseudoKey& key) {
+  if (gets_total_ != nullptr) gets_total_->Inc();
+  obs::ScopedLatency timer(search_latency_);
+  obs::TraceSpan span(tracer_, "get", "store");
   auto res = tree_->Search(key);
   if (!res.ok() && res.status().IsKeyError() &&
       (report_.image_lost || report_.wal_data_loss)) {
@@ -401,6 +482,9 @@ Result<uint64_t> BmehStore::Get(const PseudoKey& key) {
 }
 
 Status BmehStore::Delete(const PseudoKey& key) {
+  if (deletes_total_ != nullptr) deletes_total_->Inc();
+  obs::ScopedLatency timer(delete_latency_);
+  obs::TraceSpan span(tracer_, "delete", "store");
   BMEH_RETURN_NOT_OK(poisoned_);
   BMEH_RETURN_NOT_OK(tree_->schema().Validate(key));
   BMEH_RETURN_NOT_OK(LogMutation({Wal::kOpDelete, key, 0}));
@@ -411,6 +495,9 @@ Status BmehStore::Delete(const PseudoKey& key) {
 
 Status BmehStore::Range(const RangePredicate& pred,
                         std::vector<Record>* out) {
+  if (ranges_total_ != nullptr) ranges_total_->Inc();
+  obs::ScopedLatency timer(range_latency_);
+  obs::TraceSpan span(tracer_, "range", "store");
   Status st = tree_->RangeSearch(pred, out);
   if (st.ok() && (report_.image_lost || report_.wal_data_loss)) {
     // The surviving matches are in `out`, but records destroyed with the
@@ -439,6 +526,9 @@ Status BmehStore::MaybeAutoCheckpoint() {
 }
 
 Status BmehStore::Checkpoint() {
+  if (checkpoints_total_ != nullptr) checkpoints_total_->Inc();
+  obs::ScopedLatency timer(checkpoint_latency_);
+  obs::TraceSpan span(tracer_, "checkpoint", "store");
   BMEH_RETURN_NOT_OK(poisoned_);
   if (degraded()) {
     // A checkpoint of the degraded state would replace the still-

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "src/core/bmeh_tree.h"
+#include "src/obs/trace.h"
 #include "src/pagestore/page_store.h"
 #include "src/store/wal.h"
 
@@ -75,6 +76,16 @@ struct StoreOptions {
   /// raised (reopen with a larger value) or space is freed.  Models a
   /// disk-quota deployment and makes the real ENOSPC path testable.
   uint64_t max_pages = 0;
+  /// Observability (optional; both must outlive the store).  With a
+  /// registry attached the store charges `store_*_total` counters and
+  /// latency histograms around every public operation, wires the page
+  /// device (`pagestore_*`, page I/O latency) and the tree's split
+  /// cascade, and registers a sampled source for tree / WAL / logical-I/O
+  /// state — including WAL replay counters, which start charging during
+  /// Open().  With a tracer attached every operation also records a
+  /// scoped span.  Null (the default) costs one branch per charge site.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 /// \brief What corruption, if any, the last Open() had to work around.
@@ -127,6 +138,13 @@ struct StoreInfo {
   uint64_t max_pages = 0;  ///< 0 = unlimited.
   uint64_t reserved_pages = 0;
   uint64_t alloc_failures = 0;
+  /// Integrity counters of the inspecting handle's page device (the
+  /// PR-2/PR-3 hardening story in one place): read attempts repeated
+  /// after transient errors, page-trailer verifications that failed, and
+  /// buckets quarantined after verified corruption.
+  uint64_t read_retries = 0;
+  uint64_t checksum_failures = 0;
+  uint64_t pages_quarantined = 0;
 };
 
 /// \brief A durable multidimensional record store.
@@ -227,6 +245,10 @@ class BmehStore {
   Status ReadSuperblock(PageId* head, uint64_t* generation,
                         PageId* wal_head);
   Status WriteSuperblock(PageId head, uint64_t generation, PageId wal_head);
+  /// Wires StoreOptions::metrics / tracer through every layer (no-op when
+  /// both are null).  Called from the constructor so WAL replay during
+  /// Open() is already counted.
+  void AttachObservability(const StoreOptions& options);
   /// Appends to the WAL and makes the record reachable + durable per the
   /// sync policy.  On failure the store is poisoned.
   Status LogMutation(const Wal::LogRecord& rec);
@@ -247,6 +269,28 @@ class BmehStore {
   /// Non-OK once a durability write failed; mutations are refused so the
   /// divergence between memory and disk cannot widen silently.
   Status poisoned_;
+  /// Observability: cached metric handles (null when no registry was
+  /// attached, making every charge site a single branch) plus the sampled
+  /// source registered for tree / WAL / logical-I/O state.  The sampled
+  /// state is owner-synchronized: snapshotting concurrently with
+  /// mutations requires external locking (ConcurrentIndex-style), same as
+  /// every other BmehStore call.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  uint64_t metrics_source_ = 0;
+  obs::Counter* puts_total_ = nullptr;
+  obs::Counter* gets_total_ = nullptr;
+  obs::Counter* deletes_total_ = nullptr;
+  obs::Counter* ranges_total_ = nullptr;
+  obs::Counter* checkpoints_total_ = nullptr;
+  obs::Counter* wal_appends_total_ = nullptr;
+  obs::Counter* wal_replayed_total_ = nullptr;
+  obs::Histogram* insert_latency_ = nullptr;
+  obs::Histogram* search_latency_ = nullptr;
+  obs::Histogram* delete_latency_ = nullptr;
+  obs::Histogram* range_latency_ = nullptr;
+  obs::Histogram* checkpoint_latency_ = nullptr;
+  obs::Histogram* wal_append_latency_ = nullptr;
 };
 
 namespace internal {

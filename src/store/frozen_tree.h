@@ -56,6 +56,11 @@ class FrozenBmehTree {
   uint64_t pool_hits() const { return pool_->hits(); }
   uint64_t pool_misses() const { return pool_->misses(); }
 
+  /// \brief The underlying buffer pool, e.g. to AttachMetrics so the
+  /// physical-I/O experiments export `bufferpool_*` alongside the logical
+  /// model's counters.
+  BufferPool* mutable_pool() { return pool_.get(); }
+
  private:
   FrozenBmehTree(PageStore* store, const KeySchema& schema,
                  int page_capacity, int levels, uint64_t records,

@@ -39,9 +39,9 @@ void ApplySalvagedOp(const Wal::LogRecord& rec, RecordMap* state) {
   }
 }
 
-}  // namespace
-
-Status ScrubStore(const std::string& path, ScrubReport* report) {
+/// Detection proper; the public wrapper charges the metrics so every
+/// return path is counted once.
+Status ScrubStoreImpl(const std::string& path, ScrubReport* report) {
   BMEH_CHECK(report != nullptr);
   *report = ScrubReport{};
   auto opened = FilePageStore::OpenForRecovery(path);
@@ -131,6 +131,27 @@ Status ScrubStore(const std::string& path, ScrubReport* report) {
   return Status::OK();
 }
 
+}  // namespace
+
+Status ScrubStore(const std::string& path, ScrubReport* report,
+                  obs::MetricsRegistry* metrics) {
+  obs::ScopedLatency timer(
+      metrics != nullptr ? metrics->GetHistogram("scrub_latency_ns")
+                         : nullptr);
+  const Status st = ScrubStoreImpl(path, report);
+  if (metrics != nullptr) {
+    metrics->GetCounter("scrub_runs_total")->Inc();
+    metrics->GetCounter("scrub_pages_scanned_total")
+        ->Inc(report->pages_scanned);
+    metrics->GetCounter("scrub_corrupt_pages_total")
+        ->Inc(report->corrupt_pages.size());
+    if (report->structure_damaged) {
+      metrics->GetCounter("scrub_structure_damaged_total")->Inc();
+    }
+  }
+  return st;
+}
+
 namespace {
 
 /// Best-effort extraction when the tolerant BmehStore open is impossible
@@ -191,10 +212,9 @@ Status SweepSalvage(FilePageStore* file, const StoreOptions& options,
   return Status::OK();
 }
 
-}  // namespace
-
-Status SalvageStore(const std::string& src, const std::string& dst,
-                    const StoreOptions& options, SalvageReport* report) {
+/// Extraction proper; the public wrapper charges the metrics.
+Status SalvageStoreImpl(const std::string& src, const std::string& dst,
+                        const StoreOptions& options, SalvageReport* report) {
   BMEH_CHECK(report != nullptr);
   *report = SalvageReport{};
   if (src == dst) {
@@ -287,6 +307,26 @@ Status SalvageStore(const std::string& src, const std::string& dst,
   BMEH_RETURN_NOT_OK(out->mutable_tree()->Validate());
   report->records_recovered = state.size();
   return Status::OK();
+}
+
+}  // namespace
+
+Status SalvageStore(const std::string& src, const std::string& dst,
+                    const StoreOptions& options, SalvageReport* report,
+                    obs::MetricsRegistry* metrics) {
+  obs::ScopedLatency timer(
+      metrics != nullptr ? metrics->GetHistogram("scrub_latency_ns")
+                         : nullptr);
+  const Status st = SalvageStoreImpl(src, dst, options, report);
+  if (metrics != nullptr) {
+    metrics->GetCounter("salvage_runs_total")->Inc();
+    metrics->GetCounter("salvage_records_recovered_total")
+        ->Inc(report->records_recovered);
+    if (report->used_sweep) {
+      metrics->GetCounter("salvage_sweeps_total")->Inc();
+    }
+  }
+  return st;
 }
 
 }  // namespace bmeh

@@ -47,7 +47,14 @@ struct ScrubReport {
 /// without modifying the file.  A non-OK status means the scrub itself
 /// could not run (e.g. the file is missing); corruption findings are
 /// reported in `report` with an OK status.
-Status ScrubStore(const std::string& path, ScrubReport* report);
+///
+/// With a registry attached the run charges `scrub_runs_total`,
+/// `scrub_pages_scanned_total`, `scrub_corrupt_pages_total`,
+/// `scrub_structure_damaged_total` and the `scrub_latency_ns` histogram —
+/// what a background scrubber exports so bit rot shows up on a dashboard
+/// before it shows up in a query.
+Status ScrubStore(const std::string& path, ScrubReport* report,
+                  obs::MetricsRegistry* metrics = nullptr);
 
 /// \brief What SalvageStore managed to recover.
 struct SalvageReport {
@@ -63,8 +70,14 @@ struct SalvageReport {
 /// and clean.  `options` supplies the schema and tree parameters for the
 /// destination (and the expected schema of the source).  Fails when not
 /// even a brute-force sweep finds a usable record set.
+///
+/// With a registry attached the run charges `salvage_runs_total`,
+/// `salvage_records_recovered_total`, `salvage_sweeps_total` and the
+/// `scrub_latency_ns` histogram (salvage is the mutating half of the same
+/// offline defense).
 Status SalvageStore(const std::string& src, const std::string& dst,
-                    const StoreOptions& options, SalvageReport* report);
+                    const StoreOptions& options, SalvageReport* report,
+                    obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace bmeh
 

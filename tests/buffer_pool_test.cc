@@ -126,6 +126,23 @@ TEST_F(BufferPoolTest, MoveSemanticsOfHandle) {
   EXPECT_FALSE(h2.valid());
 }
 
+TEST_F(BufferPoolTest, HitRateAndMetricsSource) {
+  EXPECT_DOUBLE_EQ(pool_.hit_rate(), 0.0) << "idle pool reports 0";
+  obs::MetricsRegistry registry;
+  pool_.AttachMetrics(&registry);
+  PageId id = NewPageWithByte(9);
+  ASSERT_TRUE(pool_.FlushAll().ok());
+  ASSERT_TRUE(pool_.Fetch(id).ok());  // hit
+  EXPECT_DOUBLE_EQ(pool_.hit_rate(), 1.0) << "New() is not a Fetch";
+  const obs::RegistrySnapshot s = registry.Snapshot();
+  EXPECT_EQ(s.counter("bufferpool_hits_total"), 1u);
+  EXPECT_EQ(s.counter("bufferpool_misses_total"), 0u);
+  EXPECT_EQ(s.gauge("bufferpool_hit_rate_ppm"), 1000000);
+  pool_.AttachMetrics(nullptr);
+  EXPECT_EQ(registry.Snapshot().counter("bufferpool_hits_total"), 0u)
+      << "detached source leaves no stale sample";
+}
+
 TEST_F(BufferPoolTest, DestructorFlushesDirtyPages) {
   PageId id;
   {

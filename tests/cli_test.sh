@@ -107,6 +107,50 @@ echo "$OUT" | grep -q "salvaged [0-9]* records" || fail "repair salvaged nothing
 OUT=$("$CLI" storeinfo --db "$REPAIRED")
 echo "$OUT" | grep -q "write-ahead log:  empty" || fail "salvaged store keeps no WAL"
 
+# ---- observability: stats and trace verbs on a BmehStore file ----
+
+TRACE="$(mktemp -u /tmp/bmeh_cli_test.XXXXXX.trace.json)"
+trap 'rm -f "$DB" "$STORE" "$REPAIRED" "$TRACE"' EXIT
+
+# store-mode stats: Prometheus-shaped text from the metrics registry,
+# probe workload charging the op counters and latency histograms
+OUT=$("$CLI" stats --db "$REPAIRED" --ops 25) || fail "store stats exited non-zero"
+echo "$OUT" | grep -q "# TYPE bmeh_store_puts_total counter" \
+  || fail "stats missing counter TYPE line"
+echo "$OUT" | grep -q "bmeh_store_puts_total 25" || fail "stats puts count"
+echo "$OUT" | grep -q "bmeh_store_checkpoints_total" || fail "stats checkpoint counter"
+echo "$OUT" | grep -q "bmeh_pagestore_reads_total" || fail "stats pagestore counters"
+echo "$OUT" | grep -q "bmeh_insert_latency_ns_count" || fail "stats insert histogram"
+echo "$OUT" | grep -q "bmeh_wal_appends_total" || fail "stats WAL counter"
+echo "$OUT" | grep -q "bmeh_tree_records" || fail "stats tree gauge"
+
+# the probe workload nets zero records and must leave the store intact
+BEFORE=$("$CLI" storeinfo --db "$REPAIRED" | sed -n 's/^records: *\([0-9]*\).*/\1/p')
+"$CLI" stats --db "$REPAIRED" --ops 10 > /dev/null
+AFTER=$("$CLI" storeinfo --db "$REPAIRED" | sed -n 's/^records: *\([0-9]*\).*/\1/p')
+[ "$BEFORE" = "$AFTER" ] || fail "stats probe changed the record count"
+
+# machine-readable variant
+OUT=$("$CLI" stats --db "$REPAIRED" --json) || fail "stats --json exited non-zero"
+echo "$OUT" | grep -q '"counters"' || fail "json stats counters object"
+echo "$OUT" | grep -q '"histograms"' || fail "json stats histograms object"
+echo "$OUT" | grep -q '"pagestore_reads_total"' || fail "json stats pagestore"
+
+# trace: probe ops recorded as Chrome trace events
+OUT=$("$CLI" trace --db "$REPAIRED" --out "$TRACE" --ops 20) \
+  || fail "trace exited non-zero"
+echo "$OUT" | grep -q "wrote [0-9]* spans" || fail "trace span summary"
+[ -s "$TRACE" ] || fail "trace wrote no file"
+grep -q '"traceEvents"' "$TRACE" || fail "trace file is not Chrome JSON"
+grep -q '"name": "put"' "$TRACE" || fail "trace has no put span"
+grep -q '"cat": "wal"' "$TRACE" || fail "trace has no WAL span"
+
+# tree-image stats still answers in the legacy format (checked above) and
+# trace on a raw tree image must fail cleanly
+if "$CLI" trace --db "$DB" --out "$TRACE" > /dev/null 2>&1; then
+  fail "trace on a raw tree image should fail"
+fi
+
 # ---- resource exhaustion: --max-pages quota ----
 
 QUOTA="$(mktemp -u /tmp/bmeh_cli_test.XXXXXX.quota)"

@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "src/metrics/experiment.h"
+#include "src/obs/metrics.h"
 #include "tests/test_util.h"
 
 namespace bmeh {
@@ -27,9 +28,14 @@ constexpr uint32_t kRegion = 1u << 20;  // writer t owns [(t+1)*kRegion, ...)
 
 TEST(ConcurrentStressTest, MixedChurnReadersAndScansStayCoherent) {
   KeySchema schema(2, 31);
+  // Metrics attached so the stress doubles as a TSan check of the charge
+  // paths (counters/histograms from op threads, source sampling from the
+  // snapshot thread below).
+  obs::MetricsRegistry registry;
   ConcurrentIndex index(
       metrics::MakeIndex(metrics::Method::kBmehTree, schema,
-                         /*page_capacity=*/8));
+                         /*page_capacity=*/8),
+      &registry);
 
   // Stable region: keys [0, kStableKeys) never mutated after preload.
   for (uint32_t i = 0; i < kStableKeys; ++i) {
@@ -107,10 +113,24 @@ TEST(ConcurrentStressTest, MixedChurnReadersAndScansStayCoherent) {
     }
   };
 
+  // Metrics reader: snapshots (which sample the index source under its
+  // shared lock) and expositions racing against the operation threads.
+  auto sampler = [&] {
+    for (int i = 0; i < 100 && !failed; ++i) {
+      const obs::RegistrySnapshot s = registry.Snapshot();
+      if (s.gauge("index_records") < 0) {
+        failed = true;
+        return;
+      }
+      (void)registry.TextExposition();
+    }
+  };
+
   std::vector<std::thread> threads;
   for (int t = 0; t < kWriters; ++t) threads.emplace_back(writer, t);
   for (int t = 0; t < 2; ++t) threads.emplace_back(stable_reader, t);
   threads.emplace_back(scanner);
+  threads.emplace_back(sampler);
   for (auto& th : threads) th.join();
   ASSERT_FALSE(failed) << "a concurrent operation observed corrupt state";
 
@@ -132,6 +152,20 @@ TEST(ConcurrentStressTest, MixedChurnReadersAndScansStayCoherent) {
     ASSERT_TRUE(r.ok());
     ASSERT_EQ(*r, i);
   }
+
+  // Quiescent metrics cross-check: the registry's view of the index
+  // agrees with the index itself.
+  const obs::RegistrySnapshot final_snap = registry.Snapshot();
+  EXPECT_EQ(final_snap.gauge("index_records"),
+            static_cast<int64_t>(expected));
+  EXPECT_GE(final_snap.counter("index_inserts_total"),
+            uint64_t{kStableKeys});
+  EXPECT_GT(final_snap.counter("index_searches_total"), 0u);
+  EXPECT_GT(final_snap.counter("index_ranges_total"), 0u);
+  const obs::HistogramSnapshot* h =
+      final_snap.histogram("search_latency_ns");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, final_snap.counter("index_searches_total"));
 }
 
 }  // namespace

@@ -1,0 +1,202 @@
+// Unit tests for the metrics layer: log2 bucket boundaries, percentile
+// interpolation, registry identity/stability, sources, expositions and
+// the null-object overhead contract.
+
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace bmeh {
+namespace obs {
+namespace {
+
+TEST(HistogramBuckets, IndexMatchesDocumentedRanges) {
+  // Bucket 0 is exactly {0}; bucket i >= 1 covers [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11);
+}
+
+TEST(HistogramBuckets, BoundsRoundTripThroughIndex) {
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLowerBound(i)), i)
+        << "lower bound of bucket " << i;
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketUpperBound(i)), i)
+        << "upper bound of bucket " << i;
+    if (i >= 1) {
+      EXPECT_EQ(Histogram::BucketLowerBound(i),
+                Histogram::BucketUpperBound(i - 1) + 1)
+          << "buckets " << i - 1 << " and " << i << " must tile";
+    }
+  }
+}
+
+TEST(HistogramBuckets, ExtremeValuesLandInTheLastBucket) {
+  // 64 buckets cover the whole uint64 range: no Record can ever index
+  // out of bounds.
+  EXPECT_EQ(Histogram::BucketIndex(std::numeric_limits<uint64_t>::max()),
+            Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(uint64_t{1} << 63),
+            Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, CountSumMaxAndBucketOccupancy) {
+  Histogram h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(5);
+  h.Record(5);
+  h.Record(100);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.sum, 111u);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_EQ(s.buckets[0], 1u);                            // the 0
+  EXPECT_EQ(s.buckets[Histogram::BucketIndex(5)], 2u);    // the two 5s
+  EXPECT_EQ(s.buckets[Histogram::BucketIndex(100)], 1u);  // the 100
+}
+
+TEST(Histogram, PercentilesInterpolateWithinBucketsAndClampToMax) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(7);
+  const HistogramSnapshot s = h.Snapshot();
+  // Every sample sits in bucket [4, 8); any quantile must answer inside
+  // it and never beyond the exact observed max.
+  EXPECT_GE(s.Percentile(0.5), 4.0);
+  EXPECT_LE(s.Percentile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 7.0);
+}
+
+TEST(Histogram, PercentileOrderingAcrossBuckets) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.Record(10);
+  for (int i = 0; i < 10; ++i) h.Record(1000);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_LT(s.Percentile(0.5), s.Percentile(0.95));
+  EXPECT_LE(s.Percentile(0.95), 1000.0);
+  // The p50 rank falls among the 10s.
+  EXPECT_LE(s.Percentile(0.5), 15.0);
+}
+
+TEST(Histogram, EmptyAnswersZero) {
+  Histogram h;
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+}
+
+TEST(MetricsRegistry, NamesResolveToStableIdentity) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("ops_total");
+  Counter* b = registry.GetCounter("ops_total");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(registry.GetCounter("other_total"), a);
+  // Distinct kinds live in distinct namespaces even under one name.
+  EXPECT_NE(static_cast<void*>(registry.GetGauge("ops_total")),
+            static_cast<void*>(a));
+  a->Inc();
+  a->Inc(41);
+  EXPECT_EQ(b->value(), 42u);
+}
+
+TEST(MetricsRegistry, SnapshotCarriesEveryKind) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total")->Inc(3);
+  registry.GetGauge("g")->Set(-7);
+  registry.GetHistogram("h_ns")->Record(16);
+  const RegistrySnapshot s = registry.Snapshot();
+  EXPECT_EQ(s.counter("c_total"), 3u);
+  EXPECT_EQ(s.gauge("g"), -7);
+  ASSERT_NE(s.histogram("h_ns"), nullptr);
+  EXPECT_EQ(s.histogram("h_ns")->count, 1u);
+  // Absent names answer zero / null, never throw.
+  EXPECT_EQ(s.counter("missing"), 0u);
+  EXPECT_EQ(s.gauge("missing"), 0);
+  EXPECT_EQ(s.histogram("missing"), nullptr);
+}
+
+TEST(MetricsRegistry, SourcesSampleAtSnapshotAndDetachCleanly) {
+  MetricsRegistry registry;
+  int samples = 0;
+  const uint64_t token = registry.AddSource([&](RegistrySnapshot* s) {
+    ++samples;
+    s->counters["sampled_total"] = 99;
+    s->gauges["sampled_gauge"] = 5;
+  });
+  EXPECT_EQ(registry.Snapshot().counter("sampled_total"), 99u);
+  EXPECT_EQ(registry.Snapshot().gauge("sampled_gauge"), 5);
+  EXPECT_EQ(samples, 2);
+  registry.RemoveSource(token);
+  EXPECT_EQ(registry.Snapshot().counter("sampled_total"), 0u);
+  EXPECT_EQ(samples, 2);
+  // Removing twice (or a bogus token) is harmless.
+  registry.RemoveSource(token);
+  registry.RemoveSource(12345);
+}
+
+TEST(MetricsRegistry, SourcesMayCallBackIntoTheRegistry) {
+  // The registry lock is recursive precisely so a sampling callback can
+  // resolve metrics while Snapshot() holds it.
+  MetricsRegistry registry;
+  registry.AddSource([&](RegistrySnapshot* s) {
+    s->counters["reentrant_total"] = registry.GetCounter("base_total")->value();
+  });
+  registry.GetCounter("base_total")->Inc(7);
+  EXPECT_EQ(registry.Snapshot().counter("reentrant_total"), 7u);
+}
+
+TEST(MetricsRegistry, TextExpositionIsPrometheusShaped) {
+  MetricsRegistry registry;
+  registry.GetCounter("puts_total")->Inc(12);
+  registry.GetGauge("records")->Set(34);
+  for (int i = 0; i < 10; ++i) registry.GetHistogram("op_ns")->Record(100);
+  const std::string text = registry.TextExposition();
+  EXPECT_NE(text.find("# TYPE bmeh_puts_total counter"), std::string::npos);
+  EXPECT_NE(text.find("bmeh_puts_total 12"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE bmeh_records gauge"), std::string::npos);
+  EXPECT_NE(text.find("bmeh_records 34"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE bmeh_op_ns summary"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(text.find("bmeh_op_ns_count 10"), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonExpositionNamesEveryMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total")->Inc();
+  registry.GetHistogram("h_ns")->Record(42);
+  const std::string json = registry.JsonExposition();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"c_total\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"h_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(ScopedLatency, NullHistogramIsANoOp) {
+  // The null-object contract: no clock read, no record, no crash.
+  { ScopedLatency timer(nullptr); }
+  Histogram h;
+  { ScopedLatency timer(&h); }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Counter, ResetForWindowedMeasurements) {
+  Counter c;
+  c.Inc(10);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace bmeh

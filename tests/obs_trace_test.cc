@@ -1,0 +1,95 @@
+// Unit tests for the span tracer: capacity rounding, ring-buffer
+// wraparound accounting, Chrome trace-event export and the null-object
+// contract of TraceSpan.
+
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace bmeh {
+namespace obs {
+namespace {
+
+// Number of occurrences of `needle` in `hay`.
+size_t CountOccurrences(const std::string& hay, const std::string& needle) {
+  size_t n = 0;
+  for (size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(Tracer, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(Tracer(1).capacity(), 8u);  // minimum
+  EXPECT_EQ(Tracer(8).capacity(), 8u);
+  EXPECT_EQ(Tracer(9).capacity(), 16u);
+  EXPECT_EQ(Tracer(4096).capacity(), 4096u);
+  EXPECT_EQ(Tracer(5000).capacity(), 8192u);
+}
+
+TEST(Tracer, RecordedAndDroppedAccountForWraparound) {
+  Tracer tracer(8);
+  for (int i = 0; i < 5; ++i) {
+    tracer.RecordComplete("op", "test", /*start_ns=*/i * 100, /*dur_ns=*/10);
+  }
+  EXPECT_EQ(tracer.recorded(), 5u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  for (int i = 5; i < 20; ++i) {
+    tracer.RecordComplete("op", "test", i * 100, 10);
+  }
+  EXPECT_EQ(tracer.recorded(), 20u);
+  // The ring keeps the newest 8; everything older was overwritten.
+  EXPECT_EQ(tracer.dropped(), 12u);
+}
+
+TEST(Tracer, ExportKeepsOnlyTheSurvivingSpans) {
+  Tracer tracer(8);
+  for (int i = 0; i < 20; ++i) {
+    tracer.RecordComplete(i < 12 ? "old" : "new", "test", i * 1000, 100);
+  }
+  const std::string json = tracer.ToChromeTraceJson();
+  EXPECT_EQ(CountOccurrences(json, "\"ph\": \"X\""), 8u);
+  // Slots 12..19 survive the wrap; every exported span is a "new" one.
+  EXPECT_EQ(CountOccurrences(json, "\"new\""), 8u);
+  EXPECT_EQ(CountOccurrences(json, "\"old\""), 0u);
+}
+
+TEST(Tracer, ChromeJsonShape) {
+  Tracer tracer(8);
+  tracer.RecordComplete("put", "store", /*start_ns=*/5000, /*dur_ns=*/2000);
+  tracer.RecordComplete("get", "store", /*start_ns=*/9000, /*dur_ns=*/1000);
+  const std::string json = tracer.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"put\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"store\""), std::string::npos);
+  // Timestamps are microseconds relative to the earliest span: the first
+  // event starts at ts 0, the second 4000 ns = 4 us later.
+  EXPECT_NE(json.find("\"ts\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 2"), std::string::npos);
+}
+
+TEST(Tracer, EmptyExportIsStillValidJson) {
+  Tracer tracer(8);
+  const std::string json = tracer.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\""), 0u);
+}
+
+TEST(TraceSpan, NullTracerIsANoOp) {
+  // The null-object contract: constructor must not read the clock or
+  // touch any tracer state.
+  { TraceSpan span(nullptr, "noop"); }
+  Tracer tracer(8);
+  { TraceSpan span(&tracer, "real", "test"); }
+  EXPECT_EQ(tracer.recorded(), 1u);
+  EXPECT_NE(tracer.ToChromeTraceJson().find("\"real\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace bmeh

@@ -6,8 +6,15 @@
 //       Generates N keys from the given distribution, bulk-loads a tree,
 //       and saves it to FILE.
 //
-//   bmeh_cli stats  --db FILE
-//       Prints structural statistics of a saved tree.
+//   bmeh_cli stats  --db FILE [--json] [--ops N]
+//       On a raw tree image: prints structural statistics.  On a
+//       BmehStore file: opens it with a metrics registry attached and
+//       prints every counter, gauge and latency summary — Prometheus-
+//       style text by default, one JSON object with --json.  With
+//       --ops N a probe workload (N gets, N put/delete pairs, one range,
+//       one checkpoint) is run first so the latency histograms have
+//       samples; without it the exposition reflects the open/replay only
+//       and the file is not modified.
 //
 //   bmeh_cli get    --db FILE --key C1,C2[,...]
 //       Exact-match lookup.
@@ -56,6 +63,13 @@
 //   bmeh_cli corrupt --db FILE --page N [--byte K] [--mask M]
 //       XORs one byte of physical page N with M (default 0xff) — the
 //       fault-injection half of the scrub/fsck tests.
+//
+//   bmeh_cli trace --db FILE [--out trace.json] [--ops N] [--spans S]
+//       Opens a BmehStore file with a tracer attached, runs the same
+//       probe workload as `stats --ops` (default N = 100), and writes the
+//       recorded spans as Chrome trace-event JSON — load the file in
+//       chrome://tracing or https://ui.perfetto.dev to see where the
+//       operations spent their time.
 
 #include <cstdio>
 #include <cstdlib>
@@ -99,8 +113,12 @@ Args Parse(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     std::string flag = argv[i];
     if (flag.rfind("--", 0) != 0) Die("expected --flag, got " + flag);
-    if (i + 1 >= argc) Die("missing value for " + flag);
-    args.flags[flag.substr(2)] = argv[++i];
+    // A flag followed by another flag (or nothing) is boolean, e.g. --json.
+    if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+      args.flags[flag.substr(2)] = "1";
+    } else {
+      args.flags[flag.substr(2)] = argv[++i];
+    }
   }
   return args;
 }
@@ -316,6 +334,11 @@ int CmdStoreInfo(const Args& args) {
   }
   std::printf("records:          %llu (checkpoint + replayed log)\n",
               static_cast<unsigned long long>(info->records));
+  std::printf("integrity:        %llu read retries, %llu checksum failures, "
+              "%llu pages quarantined\n",
+              static_cast<unsigned long long>(info->read_retries),
+              static_cast<unsigned long long>(info->checksum_failures),
+              static_cast<unsigned long long>(info->pages_quarantined));
   std::printf("free pages:       %llu\n",
               static_cast<unsigned long long>(info->free_pages));
   std::printf("high water:       %llu pages\n",
@@ -346,6 +369,99 @@ StoreOptions MakeStoreOptions(const Args& args) {
   options.wal_sync_every = 0;  // bulk build: one fsync at the checkpoint
   options.max_pages = static_cast<uint64_t>(args.GetInt("max-pages", 0));
   return options;
+}
+
+/// True when `path` is a BmehStore file (superblock magic at the first
+/// data page) rather than a raw tree image.
+bool IsStoreFile(const std::string& path) {
+  auto file = FilePageStore::OpenForRecovery(path);
+  if (!file.ok()) return false;
+  PageId image_head, wal_head;
+  uint64_t generation;
+  return internal::ReadStoreSuperblock(file->get(), (*file)->first_data_page(),
+                                       &image_head, &generation, &wal_head)
+      .ok();
+}
+
+/// The probe workload `stats --ops` and `trace` run so the latency
+/// histograms and the trace buffer have real samples: `ops` exact-match
+/// gets on stored keys, `ops` put/delete pairs of fresh probe keys, one
+/// unconstrained range query, one checkpoint.  Net record count is
+/// unchanged and the store ends checkpoint-clean.
+void RunProbeOps(BmehStore* store, int ops) {
+  if (ops <= 0 || store->degraded()) return;
+  std::vector<PseudoKey> keys;
+  store->mutable_tree()->Scan([&](const Record& rec) {
+    if (static_cast<int>(keys.size()) < ops) keys.push_back(rec.key);
+  });
+  for (const PseudoKey& key : keys) {
+    auto ignored = store->Get(key);
+    (void)ignored;
+  }
+  workload::WorkloadSpec spec;
+  spec.dims = store->schema().dims();
+  spec.width = store->schema().width(0);
+  spec.seed = 0x0b5e;  // distinct from the build seeds so probes miss
+  auto probes = workload::GenerateKeys(spec, static_cast<uint64_t>(ops));
+  for (const PseudoKey& key : probes) {
+    if (store->Put(key, 0).ok()) {
+      Status st = store->Delete(key);
+      if (!st.ok()) Die("probe delete failed: " + st.ToString());
+    }
+  }
+  RangePredicate pred(store->schema());
+  std::vector<Record> out;
+  Status st = store->Range(pred, &out);
+  if (!st.ok()) Die("probe range failed: " + st.ToString());
+  st = store->Checkpoint();
+  if (!st.ok()) Die("probe checkpoint failed: " + st.ToString());
+}
+
+int CmdStoreStats(const Args& args) {
+  const std::string db = args.Get("db");
+  obs::MetricsRegistry registry;
+  StoreOptions options = MakeStoreOptions(args);
+  options.metrics = &registry;
+  auto store = BmehStore::Open(db, options);
+  if (!store.ok()) Die(store.status().ToString());
+  RunProbeOps(store->get(), args.GetInt("ops", 0));
+  // Snapshot while the store's sources are still attached, then suppress
+  // the close-time checkpoint: a stats command must not rewrite a crash
+  // fixture's WAL into an image behind the user's back.
+  const std::string exposition = args.Has("json")
+                                     ? registry.JsonExposition()
+                                     : registry.TextExposition();
+  (*store)->SimulateCrashForTesting();
+  std::fputs(exposition.c_str(), stdout);
+  return 0;
+}
+
+int CmdTrace(const Args& args) {
+  const std::string db = args.Get("db");
+  if (db.empty()) Die("trace requires --db");
+  if (!IsStoreFile(db)) Die("trace requires a BmehStore file (storebuild)");
+  const std::string out_path = args.Get("out", "trace.json");
+  obs::Tracer tracer(static_cast<size_t>(args.GetInt("spans", 4096)));
+  obs::MetricsRegistry registry;
+  StoreOptions options = MakeStoreOptions(args);
+  options.tracer = &tracer;
+  options.metrics = &registry;
+  auto store = BmehStore::Open(db, options);
+  if (!store.ok()) Die(store.status().ToString());
+  RunProbeOps(store->get(), args.GetInt("ops", 100));
+  (*store)->SimulateCrashForTesting();  // see CmdStoreStats
+  const std::string json = tracer.ToChromeTraceJson();
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) Die("cannot open " + out_path + " for writing");
+  if (std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+    Die("short write to " + out_path);
+  }
+  std::fclose(f);
+  std::printf("wrote %llu spans (%llu dropped) to %s\n",
+              static_cast<unsigned long long>(
+                  std::min<uint64_t>(tracer.recorded(), tracer.capacity())),
+              static_cast<unsigned long long>(tracer.dropped()), out_path.c_str());
+  return 0;
 }
 
 int CmdStoreBuild(const Args& args) {
@@ -523,7 +639,12 @@ int CmdCorrupt(const Args& args) {
 int main(int argc, char** argv) {
   Args args = Parse(argc, argv);
   if (args.command == "build") return CmdBuild(args);
-  if (args.command == "stats") return CmdStats(args);
+  if (args.command == "stats") {
+    // One verb, two kinds of file: store files get the full metrics
+    // exposition, raw tree images keep the classic structural report.
+    return IsStoreFile(args.Get("db")) ? CmdStoreStats(args)
+                                       : CmdStats(args);
+  }
   if (args.command == "get") return CmdGet(args);
   if (args.command == "put") return CmdPut(args);
   if (args.command == "del") return CmdDel(args);
@@ -534,5 +655,6 @@ int main(int argc, char** argv) {
   if (args.command == "scrub") return CmdScrub(args);
   if (args.command == "fsck") return CmdFsck(args);
   if (args.command == "corrupt") return CmdCorrupt(args);
+  if (args.command == "trace") return CmdTrace(args);
   Die("unknown command: " + args.command);
 }
