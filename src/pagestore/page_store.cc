@@ -24,7 +24,8 @@ PageStore::~PageStore() {
   if (metrics_ != nullptr) metrics_->RemoveSource(metrics_source_);
 }
 
-void PageStore::AttachMetrics(obs::MetricsRegistry* registry) {
+void PageStore::AttachMetrics(obs::MetricsRegistry* registry,
+                              std::shared_mutex* sample_guard) {
   if (metrics_ != nullptr) {
     metrics_->RemoveSource(metrics_source_);
     metrics_ = nullptr;
@@ -40,8 +41,14 @@ void PageStore::AttachMetrics(obs::MetricsRegistry* registry) {
   metrics_ = registry;
   // StoreStats and the page counts are owner-synchronized plain fields,
   // so they are sampled at snapshot time rather than mirrored on every
-  // operation.
-  metrics_source_ = registry->AddSource([this](obs::RegistrySnapshot* s) {
+  // operation.  `sample_guard`, when provided, is the owner's operation
+  // lock — taken shared so sampling cannot race the owner's mutators.
+  metrics_source_ =
+      registry->AddSource([this, sample_guard](obs::RegistrySnapshot* s) {
+    std::shared_lock<std::shared_mutex> guard_lock;
+    if (sample_guard != nullptr) {
+      guard_lock = std::shared_lock<std::shared_mutex>(*sample_guard);
+    }
     const StoreStats& st = stats_;
     s->counters["pagestore_reads_total"] = st.reads;
     s->counters["pagestore_writes_total"] = st.writes;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_set>
@@ -130,7 +131,15 @@ class PageStore {
   /// The registry must outlive the store (the destructor detaches).
   /// Pass nullptr to detach.  Not attached = zero overhead beyond one
   /// branch per read/write.
-  void AttachMetrics(obs::MetricsRegistry* registry);
+  ///
+  /// StoreStats and the page counts are owner-synchronized plain fields.
+  /// When the owner mutates the store from its own threads (e.g.
+  /// BmehStore's group-commit thread), pass its operation lock as
+  /// `sample_guard`: the sampling source then takes it shared, making
+  /// Snapshot() safe against concurrent mutation.  Null (the default)
+  /// keeps the single-threaded-owner behaviour.
+  void AttachMetrics(obs::MetricsRegistry* registry,
+                     std::shared_mutex* sample_guard = nullptr);
 
  protected:
   /// Allocation slots obtainable right now without violating the quota:

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "src/common/crc32.h"
+#include "src/store/group_committer.h"
 
 namespace bmeh {
 
@@ -60,24 +61,24 @@ Status WriteSuperblockTo(PageStore* store, PageId page, PageId head,
   return store->Sync();
 }
 
-/// Applies one replayed WAL record to the tree.  Logical failures
-/// (duplicate insert, delete of an absent key, a key outside the schema
-/// domain, a structural capacity limit) were no-ops when the record was
-/// logged live, so they are no-ops at replay too; only real IO/corruption
-/// failures abort recovery.
+/// Deterministic logical outcomes of applying a mutation to the tree:
+/// duplicate insert, delete of an absent key, a key outside the schema
+/// domain, a structural capacity limit, or a landing on a quarantined
+/// bucket of a degraded tree.  These were (or would have been) rejections
+/// when the record was logged live and reject identically at replay, so
+/// both the live batch path and recovery treat them as per-record no-ops
+/// — anything else is a real IO/corruption failure.
+bool IsToleratedApplyOutcome(const Status& st) {
+  return st.IsAlreadyExists() || st.IsKeyError() || st.IsInvalid() ||
+         st.IsCapacityError() || st.IsDataLoss();
+}
+
+/// Applies one replayed WAL record to the tree (see above for why logical
+/// failures are swallowed; only real failures abort recovery).
 Status ApplyReplayed(BmehTree* tree, const Wal::LogRecord& rec) {
   Status st = (rec.op == Wal::kOpInsert) ? tree->Insert(rec.key, rec.payload)
                                          : tree->Delete(rec.key);
-  if (st.ok() || st.IsAlreadyExists() || st.IsKeyError() || st.IsInvalid() ||
-      st.IsCapacityError()) {
-    return Status::OK();
-  }
-  if (st.IsDataLoss()) {
-    // The record lands on a quarantined bucket of a degraded tree — a
-    // deterministic rejection, exactly as it would have been rejected
-    // live.  The quarantine already accounts for the loss.
-    return Status::OK();
-  }
+  if (st.ok() || IsToleratedApplyOutcome(st)) return Status::OK();
   return st;
 }
 
@@ -94,6 +95,22 @@ BmehStore::BmehStore(std::unique_ptr<PageStore> store,
       generation_(generation),
       checkpoint_every_(options.checkpoint_every) {
   AttachObservability(options);
+  StartGroupCommit(options);
+}
+
+void BmehStore::StartGroupCommit(const StoreOptions& options) {
+  if (options.group_commit_window_us == 0) return;
+  GroupCommitter::Options gc;
+  gc.window_us = options.group_commit_window_us;
+  gc.queue_depth = options.group_commit_queue_depth;
+  gc.max_batch = options.group_commit_max_batch;
+  committer_ = std::make_unique<GroupCommitter>(
+      gc, [this](std::span<const Wal::LogRecord> recs,
+                 std::vector<Status>* results) {
+        std::unique_lock<std::shared_mutex> lock(op_mutex_);
+        ApplyBatchLocked(recs, results);
+      });
+  if (metrics_ != nullptr) committer_->AttachMetrics(metrics_);
 }
 
 void BmehStore::AttachObservability(const StoreOptions& options) {
@@ -107,13 +124,15 @@ void BmehStore::AttachObservability(const StoreOptions& options) {
   checkpoints_total_ = metrics_->GetCounter("store_checkpoints_total");
   wal_appends_total_ = metrics_->GetCounter("wal_appends_total");
   wal_replayed_total_ = metrics_->GetCounter("wal_replayed_records_total");
+  batch_writes_total_ = metrics_->GetCounter("store_batch_writes_total");
+  batch_records_ = metrics_->GetHistogram("wal_batch_records");
   insert_latency_ = metrics_->GetHistogram("insert_latency_ns");
   search_latency_ = metrics_->GetHistogram("search_latency_ns");
   delete_latency_ = metrics_->GetHistogram("delete_latency_ns");
   range_latency_ = metrics_->GetHistogram("range_latency_ns");
   checkpoint_latency_ = metrics_->GetHistogram("checkpoint_latency_ns");
   wal_append_latency_ = metrics_->GetHistogram("wal_append_latency_ns");
-  store_->AttachMetrics(metrics_);
+  store_->AttachMetrics(metrics_, &op_mutex_);
   if (tree_ != nullptr) {
     tree_->set_split_latency_histogram(
         metrics_->GetHistogram("split_latency_ns"));
@@ -121,8 +140,10 @@ void BmehStore::AttachObservability(const StoreOptions& options) {
   // Tree / WAL / logical-I/O state, sampled at Snapshot() time.  The
   // constructor runs before any replay or mutation, so by the time a
   // snapshot can observe this source tree_ is set (OpenExisting assigns
-  // it before anything escapes).
+  // it before anything escapes).  The shared lock makes sampling safe
+  // against the group-commit thread (and costs nothing uncontended).
   metrics_source_ = metrics_->AddSource([this](obs::RegistrySnapshot* s) {
+    std::shared_lock<std::shared_mutex> lock(op_mutex_);
     const IndexStructureStats ts = tree_->Stats();
     s->gauges["tree_records"] = static_cast<int64_t>(ts.records);
     s->gauges["tree_height"] = tree_->height();
@@ -154,6 +175,9 @@ void BmehStore::AttachObservability(const StoreOptions& options) {
 }
 
 BmehStore::~BmehStore() {
+  // Stop the commit thread first: after Stop() returns no thread but this
+  // one touches the store, so the final checkpoint runs single-threaded.
+  if (committer_ != nullptr) committer_->Stop();
   if (dirty_ops_ > 0 && poisoned_.ok() && !degraded()) {
     Status st = Checkpoint();
     if (!st.ok()) {
@@ -432,9 +456,14 @@ Status BmehStore::LogMutation(const Wal::LogRecord& rec) {
     if (!st.IsTransient()) poisoned_ = st;
     return st;
   }
+  return PublishAppended();
+}
+
+Status BmehStore::PublishAppended() {
+  Status st;
   if (wal_->head() != published_wal_head_) {
-    // First record of a fresh log: make it reachable from the superblock
-    // (the publish syncs, covering the record page as well).
+    // First record(s) of a fresh log: make the chain reachable from the
+    // superblock (the publish syncs, covering the record pages as well).
     st = WriteSuperblock(image_head_, generation_, wal_->head());
     if (st.ok()) {
       published_wal_head_ = wal_->head();
@@ -444,31 +473,113 @@ Status BmehStore::LogMutation(const Wal::LogRecord& rec) {
     st = wal_->MaybeSync();
   }
   if (!st.ok()) {
-    // Past the append there is no rollback: the record is in the log but
-    // its durability is unknown, so memory and disk must not diverge
-    // further — whatever the failure's code.
+    // Past the append there is no rollback: the records are in the log
+    // but their durability is unknown, so memory and disk must not
+    // diverge further — whatever the failure's code.
     poisoned_ = st;
-    return st;
   }
-  return Status::OK();
+  return st;
+}
+
+Status BmehStore::ApplyBatchLocked(std::span<const Wal::LogRecord> recs,
+                                   std::vector<Status>* per_record) {
+  auto fail_all = [&](const Status& st) {
+    if (per_record != nullptr) per_record->assign(recs.size(), st);
+    return st;
+  };
+  if (per_record != nullptr) per_record->assign(recs.size(), Status::OK());
+  if (recs.empty()) return Status::OK();
+  if (!poisoned_.ok()) return fail_all(poisoned_);
+  // Validate every key before anything touches the log: a malformed key
+  // fails the whole batch with nothing written (it could never replay).
+  for (const Wal::LogRecord& rec : recs) {
+    const Status st = tree_->schema().Validate(rec.key);
+    if (!st.ok()) return fail_all(st);
+  }
+  if (wal_appends_total_ != nullptr) wal_appends_total_->Inc(recs.size());
+  if (batch_writes_total_ != nullptr) batch_writes_total_->Inc();
+  if (batch_records_ != nullptr) batch_records_->Record(recs.size());
+  {
+    obs::ScopedLatency timer(wal_append_latency_);
+    obs::TraceSpan span(tracer_, "wal_append_batch", "wal");
+    Status st = wal_->AppendBatch(recs);
+    if (!st.ok()) {
+      // Rolled back entirely on a transient failure — the batch can be
+      // retried as a unit, same contract as a single append.
+      if (!st.IsTransient()) poisoned_ = st;
+      return fail_all(st);
+    }
+    st = PublishAppended();  // one superblock flip or one fsync for all
+    if (!st.ok()) return fail_all(st);
+  }
+  // The batch is durable; apply it to the tree with exactly the tolerance
+  // replay uses, so recovery reproduces live state record for record.
+  Status first_logical = Status::OK();
+  for (size_t i = 0; i < recs.size(); ++i) {
+    const Wal::LogRecord& rec = recs[i];
+    Status st = (rec.op == Wal::kOpInsert)
+                    ? tree_->Insert(rec.key, rec.payload)
+                    : tree_->Delete(rec.key);
+    if (!st.ok() && !IsToleratedApplyOutcome(st)) {
+      // A real (IO-grade) tree failure mid-batch: the log and the tree
+      // have diverged, so poison — per-record statuses all report it,
+      // since no acknowledgement can be trusted past this point.
+      poisoned_ = st;
+      return fail_all(st);
+    }
+    if (per_record != nullptr) (*per_record)[i] = st;
+    if (first_logical.ok() && !st.ok()) first_logical = st;
+  }
+  // Every record is in the WAL, so every record counts as dirty — the
+  // same arithmetic recovery uses (dirty_ops = replayed record count).
+  dirty_ops_ += recs.size();
+  BMEH_RETURN_NOT_OK(MaybeAutoCheckpointLocked());
+  return first_logical;
+}
+
+Status BmehStore::Write(const WriteBatch& batch,
+                        std::vector<Status>* per_record) {
+  obs::TraceSpan span(tracer_, "write_batch", "store");
+  std::unique_lock<std::shared_mutex> lock(op_mutex_);
+  return ApplyBatchLocked(batch.records(), per_record);
+}
+
+Status BmehStore::InsertBatch(std::span<const Record> recs) {
+  WriteBatch batch;
+  for (const Record& rec : recs) batch.Put(rec.key, rec.payload);
+  return Write(batch);
+}
+
+Status BmehStore::DeleteBatch(std::span<const PseudoKey> keys) {
+  WriteBatch batch;
+  for (const PseudoKey& key : keys) batch.Delete(key);
+  return Write(batch);
 }
 
 Status BmehStore::Put(const PseudoKey& key, uint64_t payload) {
   if (puts_total_ != nullptr) puts_total_->Inc();
   obs::ScopedLatency timer(insert_latency_);
   obs::TraceSpan span(tracer_, "put", "store");
-  BMEH_RETURN_NOT_OK(poisoned_);
+  // The schema is immutable after open, so validating outside the lock is
+  // safe — and in group mode it fails malformed keys fast, before they
+  // occupy a queue slot.
   BMEH_RETURN_NOT_OK(tree_->schema().Validate(key));
+  if (committer_ != nullptr) {
+    return committer_->Submit({Wal::kOpInsert, key, payload});
+  }
+  std::unique_lock<std::shared_mutex> lock(op_mutex_);
+  BMEH_RETURN_NOT_OK(poisoned_);
   BMEH_RETURN_NOT_OK(LogMutation({Wal::kOpInsert, key, payload}));
   BMEH_RETURN_NOT_OK(tree_->Insert(key, payload));
   ++dirty_ops_;
-  return MaybeAutoCheckpoint();
+  return MaybeAutoCheckpointLocked();
 }
 
 Result<uint64_t> BmehStore::Get(const PseudoKey& key) {
   if (gets_total_ != nullptr) gets_total_->Inc();
   obs::ScopedLatency timer(search_latency_);
   obs::TraceSpan span(tracer_, "get", "store");
+  std::shared_lock<std::shared_mutex> lock(op_mutex_);
   auto res = tree_->Search(key);
   if (!res.ok() && res.status().IsKeyError() &&
       (report_.image_lost || report_.wal_data_loss)) {
@@ -485,12 +596,16 @@ Status BmehStore::Delete(const PseudoKey& key) {
   if (deletes_total_ != nullptr) deletes_total_->Inc();
   obs::ScopedLatency timer(delete_latency_);
   obs::TraceSpan span(tracer_, "delete", "store");
-  BMEH_RETURN_NOT_OK(poisoned_);
   BMEH_RETURN_NOT_OK(tree_->schema().Validate(key));
+  if (committer_ != nullptr) {
+    return committer_->Submit({Wal::kOpDelete, key, 0});
+  }
+  std::unique_lock<std::shared_mutex> lock(op_mutex_);
+  BMEH_RETURN_NOT_OK(poisoned_);
   BMEH_RETURN_NOT_OK(LogMutation({Wal::kOpDelete, key, 0}));
   BMEH_RETURN_NOT_OK(tree_->Delete(key));
   ++dirty_ops_;
-  return MaybeAutoCheckpoint();
+  return MaybeAutoCheckpointLocked();
 }
 
 Status BmehStore::Range(const RangePredicate& pred,
@@ -498,6 +613,7 @@ Status BmehStore::Range(const RangePredicate& pred,
   if (ranges_total_ != nullptr) ranges_total_->Inc();
   obs::ScopedLatency timer(range_latency_);
   obs::TraceSpan span(tracer_, "range", "store");
+  std::shared_lock<std::shared_mutex> lock(op_mutex_);
   Status st = tree_->RangeSearch(pred, out);
   if (st.ok() && (report_.image_lost || report_.wal_data_loss)) {
     // The surviving matches are in `out`, but records destroyed with the
@@ -508,10 +624,10 @@ Status BmehStore::Range(const RangePredicate& pred,
   return st;
 }
 
-Status BmehStore::MaybeAutoCheckpoint() {
+Status BmehStore::MaybeAutoCheckpointLocked() {
   if (degraded()) return Status::OK();  // see Checkpoint()
   if (checkpoint_every_ > 0 && dirty_ops_ >= checkpoint_every_) {
-    Status st = Checkpoint();
+    Status st = CheckpointLocked();
     if (!st.ok() && st.IsTransient() && poisoned_.ok()) {
       // The mutation that triggered this checkpoint is already logged and
       // applied; only the checkpoint found no space, and it rolled back
@@ -526,6 +642,11 @@ Status BmehStore::MaybeAutoCheckpoint() {
 }
 
 Status BmehStore::Checkpoint() {
+  std::unique_lock<std::shared_mutex> lock(op_mutex_);
+  return CheckpointLocked();
+}
+
+Status BmehStore::CheckpointLocked() {
   if (checkpoints_total_ != nullptr) checkpoints_total_->Inc();
   obs::ScopedLatency timer(checkpoint_latency_);
   obs::TraceSpan span(tracer_, "checkpoint", "store");

@@ -25,6 +25,14 @@
 //    lost on a crash — but recovery always yields a clean *prefix* of
 //    the acknowledged history, never a torn or reordered state.
 //
+//  * Batched writes.  WriteBatch / InsertBatch / DeleteBatch encode many
+//    mutations into one WAL batch chain (begin/commit framed), apply them
+//    under one lock acquisition and acknowledge them with one fsync;
+//    recovery sees the whole batch or none of it.  The optional
+//    group-commit mode (StoreOptions::group_commit_window_us) coalesces
+//    concurrent single-record writers onto that same path via a dedicated
+//    commit thread.  See DESIGN.md §7.
+//
 // Recovery invariants (exercised exhaustively by tests/crash_matrix_test):
 //  1. Open() after any crash yields a tree that Validate()s and whose
 //     contents equal the checkpoint image plus a prefix of the logged
@@ -38,6 +46,8 @@
 #define BMEH_STORE_BMEH_STORE_H_
 
 #include <memory>
+#include <shared_mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -47,6 +57,8 @@
 #include "src/store/wal.h"
 
 namespace bmeh {
+
+class GroupCommitter;
 
 /// \brief Configuration for opening / creating a store file.
 struct StoreOptions {
@@ -76,6 +88,21 @@ struct StoreOptions {
   /// raised (reopen with a larger value) or space is freed.  Models a
   /// disk-quota deployment and makes the real ENOSPC path testable.
   uint64_t max_pages = 0;
+  /// Background group commit: when > 0, Put()/Delete() hand their record
+  /// to a dedicated commit thread that coalesces concurrent writers into
+  /// one WAL batch chain and one fsync, lingering up to this many
+  /// microseconds for companions before committing.  Callers block until
+  /// their record is durable and receive its individual status.  Reads
+  /// (Get/Range) and explicit batch writes stay safe to call from any
+  /// thread while the mode is on.  0 (the default) keeps the synchronous
+  /// owner-threaded write path.
+  uint64_t group_commit_window_us = 0;
+  /// Pending-record bound of the group-commit queue; a submission that
+  /// finds it full fails with Status::ResourceExhausted — the same
+  /// retryable backpressure contract as a page-quota refusal.
+  size_t group_commit_queue_depth = 1024;
+  /// Largest coalesced batch the commit thread applies at once.
+  size_t group_commit_max_batch = 256;
   /// Observability (optional; both must outlive the store).  With a
   /// registry attached the store charges `store_*_total` counters and
   /// latency histograms around every public operation, wires the page
@@ -147,6 +174,26 @@ struct StoreInfo {
   uint64_t pages_quarantined = 0;
 };
 
+/// \brief Builder for a set of mutations applied by BmehStore::Write as
+/// one durable unit: a single WAL record chain, one lock acquisition, one
+/// fsync — and all-or-nothing visibility after a crash.
+class WriteBatch {
+ public:
+  void Put(const PseudoKey& key, uint64_t payload) {
+    records_.push_back({Wal::kOpInsert, key, payload});
+  }
+  void Delete(const PseudoKey& key) {
+    records_.push_back({Wal::kOpDelete, key, 0});
+  }
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  void Clear() { records_.clear(); }
+  const std::vector<Wal::LogRecord>& records() const { return records_; }
+
+ private:
+  std::vector<Wal::LogRecord> records_;
+};
+
 /// \brief A durable multidimensional record store.
 class BmehStore {
  public:
@@ -181,6 +228,27 @@ class BmehStore {
   /// \brief Deletes a record (KeyError when absent).
   Status Delete(const PseudoKey& key);
 
+  /// \brief Applies `batch` as one durable unit: every mutation is
+  /// encoded into a single WAL batch chain, applied under one lock
+  /// acquisition, and covered by one fsync.  Crash atomicity is
+  /// all-or-nothing: recovery sees either the whole batch or none of it,
+  /// never a prefix.
+  ///
+  /// Outcomes: OK when every member applied cleanly.  A deterministic
+  /// logical no-op (duplicate insert, delete of an absent key) does not
+  /// void the batch — the batch still commits durably and the first such
+  /// status is returned; pass `per_record` for each member's individual
+  /// outcome.  ResourceExhausted means nothing was written (rolled back,
+  /// retryable).  Any other failure poisons the store.
+  Status Write(const WriteBatch& batch,
+               std::vector<Status>* per_record = nullptr);
+
+  /// \brief Batched insert convenience over Write() — same contract.
+  Status InsertBatch(std::span<const Record> recs);
+
+  /// \brief Batched delete convenience over Write() — same contract.
+  Status DeleteBatch(std::span<const PseudoKey> keys);
+
   /// \brief Partial-range query.
   Status Range(const RangePredicate& pred, std::vector<Record>* out);
 
@@ -191,7 +259,9 @@ class BmehStore {
   /// be coherent with memory).
   Status Checkpoint();
 
-  /// \brief Mutations since the last successful checkpoint.
+  /// \brief Mutations since the last successful checkpoint.  Like
+  /// wal_records() and generation(), owner-synchronized: in group-commit
+  /// mode read it only at quiescence (no Submit in flight).
   uint64_t dirty_ops() const { return dirty_ops_; }
 
   /// \brief Records currently in the write-ahead log.
@@ -252,11 +322,30 @@ class BmehStore {
   /// Appends to the WAL and makes the record reachable + durable per the
   /// sync policy.  On failure the store is poisoned.
   Status LogMutation(const Wal::LogRecord& rec);
-  Status MaybeAutoCheckpoint();
+  /// Publishes / syncs whatever the WAL just appended (superblock flip
+  /// for a fresh log head, MaybeSync otherwise).  Poisons on failure.
+  Status PublishAppended();
+  /// The batch engine behind Write(), InsertBatch/DeleteBatch and the
+  /// group-commit thread.  Caller holds op_mutex_ exclusively.
+  Status ApplyBatchLocked(std::span<const Wal::LogRecord> recs,
+                          std::vector<Status>* per_record);
+  /// Starts the group-commit thread when the options ask for it.
+  void StartGroupCommit(const StoreOptions& options);
+  Status CheckpointLocked();
+  Status MaybeAutoCheckpointLocked();
 
+  /// Operation lock.  Without group commit the store stays
+  /// owner-synchronized and the lock is merely uncontended overhead; with
+  /// the commit thread running it is what makes Get/Range, explicit
+  /// batch writes, checkpoints and metrics sampling safe against the
+  /// thread: mutators hold it exclusively, readers and the sampled
+  /// sources take it shared.
+  mutable std::shared_mutex op_mutex_;
   std::unique_ptr<PageStore> store_;
   std::unique_ptr<BmehTree> tree_;
   std::unique_ptr<Wal> wal_;
+  /// Non-null only in group-commit mode; stopped before teardown.
+  std::unique_ptr<GroupCommitter> committer_;
   PageId super_page_ = kInvalidPageId;
   PageId image_head_ = kInvalidPageId;
   /// WAL head the on-disk superblock currently points at.
@@ -285,6 +374,8 @@ class BmehStore {
   obs::Counter* checkpoints_total_ = nullptr;
   obs::Counter* wal_appends_total_ = nullptr;
   obs::Counter* wal_replayed_total_ = nullptr;
+  obs::Counter* batch_writes_total_ = nullptr;
+  obs::Histogram* batch_records_ = nullptr;
   obs::Histogram* insert_latency_ = nullptr;
   obs::Histogram* search_latency_ = nullptr;
   obs::Histogram* delete_latency_ = nullptr;

@@ -22,6 +22,7 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <span>
 #include <vector>
 
 #include "src/hashdir/multikey_index.h"
@@ -82,6 +83,24 @@ class ConcurrentIndex {
     return index_->Insert(key, payload);
   }
 
+  /// \brief Inserts every record under ONE exclusive-lock acquisition —
+  /// the batched write path's answer to paying per-record lock traffic.
+  /// Records are attempted in order and all of them are tried; the first
+  /// non-OK status (e.g. AlreadyExists on a duplicate) is returned.  No
+  /// rollback: like N consecutive Insert() calls, minus N-1 lock round
+  /// trips and with no other writer interleaved inside the batch.
+  Status InsertBatch(std::span<const Record> records) {
+    if (inserts_ != nullptr) inserts_->Inc(records.size());
+    obs::ScopedLatency timer(insert_latency_);
+    std::unique_lock lock(mutex_);
+    Status first;
+    for (const Record& rec : records) {
+      Status st = index_->Insert(rec.key, rec.payload);
+      if (!st.ok() && first.ok()) first = std::move(st);
+    }
+    return first;
+  }
+
   Result<uint64_t> Search(const PseudoKey& key) {
     if (searches_ != nullptr) searches_->Inc();
     obs::ScopedLatency timer(search_latency_);
@@ -94,6 +113,21 @@ class ConcurrentIndex {
     obs::ScopedLatency timer(delete_latency_);
     std::unique_lock lock(mutex_);
     return index_->Delete(key);
+  }
+
+  /// \brief Deletes every key under one exclusive-lock acquisition.  Same
+  /// contract as InsertBatch: all keys attempted in order, first non-OK
+  /// status (e.g. KeyError on a missing key) returned, no rollback.
+  Status DeleteBatch(std::span<const PseudoKey> keys) {
+    if (deletes_ != nullptr) deletes_->Inc(keys.size());
+    obs::ScopedLatency timer(delete_latency_);
+    std::unique_lock lock(mutex_);
+    Status first;
+    for (const PseudoKey& key : keys) {
+      Status st = index_->Delete(key);
+      if (!st.ok() && first.ok()) first = std::move(st);
+    }
+    return first;
   }
 
   Status RangeSearch(const RangePredicate& pred, std::vector<Record>* out) {

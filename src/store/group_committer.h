@@ -1,0 +1,126 @@
+// GroupCommitter: coalesces concurrent single-record writers into batched
+// commits executed by one dedicated thread.
+//
+// Writers call Submit(), which enqueues the record and blocks until the
+// commit thread has made it durable (or refused it).  The commit thread
+// drains the queue into batches of up to `max_batch` records, optionally
+// lingering `window_us` microseconds after the first record arrives so
+// that closely-spaced writers share one WAL append chain and one fsync,
+// then hands the batch to the owner-supplied CommitFn and wakes every
+// waiter with its own record's status.
+//
+// Backpressure: the queue is bounded at `queue_depth` pending records.
+// A Submit() that finds it full is refused immediately with
+// Status::ResourceExhausted — the same retryable contract as a page-quota
+// refusal, so callers already written against the store's exhaustion
+// semantics need no new handling.
+//
+// Ack ordering: records are committed in submission order (the queue is
+// FIFO and batches are contiguous prefixes), so when a waiter wakes with
+// OK, every record submitted before its own is durable too.
+//
+// The committer knows nothing about WAL or tree internals — CommitFn
+// owns all of that — so it can be tested standalone and cannot deadlock
+// against store locks (it holds no committer lock while CommitFn runs).
+
+#ifndef BMEH_STORE_GROUP_COMMITTER_H_
+#define BMEH_STORE_GROUP_COMMITTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/store/wal.h"
+
+namespace bmeh {
+
+/// \brief Background thread that turns concurrent Submit()s into batches.
+class GroupCommitter {
+ public:
+  struct Options {
+    /// How long the commit thread lingers after the first queued record
+    /// waiting for companions (0 = commit as soon as the thread wakes).
+    uint64_t window_us = 0;
+    /// Pending-record bound; a Submit() beyond it is refused with
+    /// ResourceExhausted.
+    size_t queue_depth = 1024;
+    /// Largest batch handed to the CommitFn in one call.
+    size_t max_batch = 256;
+  };
+
+  /// Commits `recs` as one durable batch and fills `results` (same size)
+  /// with each record's individual outcome.  Runs on the commit thread
+  /// with no committer lock held.
+  using CommitFn = std::function<void(std::span<const Wal::LogRecord> recs,
+                                      std::vector<Status>* results)>;
+
+  GroupCommitter(const Options& options, CommitFn fn);
+  ~GroupCommitter();  ///< Stops (draining pending records) and joins.
+
+  GroupCommitter(const GroupCommitter&) = delete;
+  GroupCommitter& operator=(const GroupCommitter&) = delete;
+
+  /// \brief Enqueues `rec` and blocks until the commit thread resolved
+  /// it.  Returns the record's individual commit status; ResourceExhausted
+  /// (retryable) when the queue is full or the committer is stopping.
+  Status Submit(const Wal::LogRecord& rec);
+
+  /// \brief Stops the commit thread after draining already-queued
+  /// records; idempotent.  Subsequent Submit()s are refused.
+  void Stop();
+
+  /// \brief Optional metrics: `wal_group_commits_total`,
+  /// `wal_batch_records`, `group_commit_wait_ns`,
+  /// `group_commit_refused_total`.  Call before the first Submit().
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
+  // Test/introspection counters (racy reads are fine: monotone).
+  uint64_t batches_committed() const {
+    return batches_.load(std::memory_order_relaxed);
+  }
+  uint64_t records_committed() const {
+    return records_.load(std::memory_order_relaxed);
+  }
+  uint64_t submissions_refused() const {
+    return refused_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One blocked Submit(); lives on the submitter's stack for its whole
+  /// queue residency (the submitter cannot return before `done`).
+  struct Pending {
+    const Wal::LogRecord* rec;
+    Status result;
+    bool done = false;
+  };
+
+  void Run();
+
+  const Options options_;
+  const CommitFn fn_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< Queue became non-empty / stop.
+  std::condition_variable done_cv_;  ///< Some batch was resolved.
+  std::deque<Pending*> queue_;
+  bool stopping_ = false;
+  std::thread thread_;
+
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> records_{0};
+  std::atomic<uint64_t> refused_{0};
+
+  obs::Counter* group_commits_total_ = nullptr;
+  obs::Counter* refused_total_ = nullptr;
+  obs::Histogram* wait_ns_ = nullptr;
+};
+
+}  // namespace bmeh
+
+#endif  // BMEH_STORE_GROUP_COMMITTER_H_

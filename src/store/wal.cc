@@ -32,10 +32,33 @@ size_t BodySize(uint8_t op, int dims) {
          (op == Wal::kOpInsert ? 8 : 0);
 }
 
+// Marker body: [op u8 | 0 u8 | count u32].
+constexpr size_t kMarkerBodySize = 6;
+
+bool IsMutationOp(uint8_t op) {
+  return op == Wal::kOpInsert || op == Wal::kOpDelete;
+}
+
 }  // namespace
 
 size_t Wal::WireSize(const LogRecord& rec) {
   return kLenSize + BodySize(rec.op, rec.key.dims()) + kCrcSize;
+}
+
+size_t Wal::MarkerWireSize() {
+  return kLenSize + kMarkerBodySize + kCrcSize;
+}
+
+void Wal::EncodeMarker(uint8_t op, uint32_t count, uint8_t* buf,
+                       size_t off) {
+  const uint16_t len = static_cast<uint16_t>(kMarkerBodySize);
+  std::memcpy(buf + off, &len, 2);
+  uint8_t* body = buf + off + kLenSize;
+  body[0] = op;
+  body[1] = 0;
+  PutU32(body + 2, count);
+  const uint32_t crc = Crc32(body, len, static_cast<uint32_t>(off));
+  PutU32(body + len, crc);
 }
 
 void Wal::Encode(const LogRecord& rec, uint8_t* buf, size_t off) {
@@ -134,6 +157,143 @@ Status Wal::Append(const LogRecord& rec) {
   return Status::OK();
 }
 
+uint64_t Wal::PagesNeededFor(std::span<const LogRecord> recs) const {
+  const size_t page_size = static_cast<size_t>(store_->page_size());
+  uint64_t fresh = 0;
+  size_t cursor = tail_used_;
+  bool have_page = !empty();
+  auto place = [&](size_t need) {
+    if (!have_page || cursor + need > page_size) {
+      ++fresh;
+      have_page = true;
+      cursor = kPageHeaderSize;
+    }
+    cursor += need;
+  };
+  if (recs.size() > 1) place(MarkerWireSize());
+  for (const LogRecord& rec : recs) place(WireSize(rec));
+  if (recs.size() > 1) place(MarkerWireSize());
+  return fresh;
+}
+
+Status Wal::AppendBatch(std::span<const LogRecord> recs) {
+  if (recs.empty()) return Status::OK();
+  if (recs.size() == 1) return Append(recs[0]);
+  const size_t page_size = static_cast<size_t>(store_->page_size());
+  for (const LogRecord& rec : recs) {
+    if (!IsMutationOp(rec.op)) {
+      return Status::Invalid("bad WAL op " + std::to_string(rec.op));
+    }
+    if (WireSize(rec) > page_size - kPageHeaderSize) {
+      return Status::Invalid("WAL record of " +
+                             std::to_string(WireSize(rec)) +
+                             " bytes exceeds page capacity of " +
+                             std::to_string(page_size - kPageHeaderSize));
+    }
+  }
+
+  // Snapshot the cursor so a mid-flight failure can restore it; the
+  // on-disk effects are unwound by the journal.
+  const PageId old_head = head_;
+  const PageId old_tail = tail_;
+  const size_t old_tail_used = tail_used_;
+  const size_t old_page_count = pages_.size();
+  const std::vector<uint8_t> old_tail_buf = tail_buf_;
+
+  PageOpJournal journal(store_);
+  // Reserve every fresh page up front so a full device refuses the whole
+  // batch here, before anything is touched.
+  const uint64_t fresh_pages = PagesNeededFor(recs);
+  if (fresh_pages > 0) {
+    BMEH_RETURN_NOT_OK(journal.Reserve(fresh_pages));
+  }
+
+  auto restore = [&] {
+    head_ = old_head;
+    tail_ = old_tail;
+    tail_used_ = old_tail_used;
+    tail_buf_ = old_tail_buf;
+    pages_.resize(old_page_count);
+  };
+
+  // Pack the framed record stream into page images, writing nothing yet.
+  // The first staged page is the sealed old tail (if any) — its on-disk
+  // bytes hold committed records, so it gets the guarded write; fresh
+  // pages roll back by being freed.
+  struct StagedPage {
+    PageId id;
+    std::vector<uint8_t> bytes;
+  };
+  std::vector<StagedPage> staged;
+  auto make_room = [&](size_t need) -> Status {
+    if (empty()) {
+      BMEH_ASSIGN_OR_RETURN(const PageId id, journal.Allocate());
+      head_ = id;
+      InitTailBuffer(id);
+      pages_.push_back(id);
+    } else if (tail_used_ + need > page_size) {
+      BMEH_ASSIGN_OR_RETURN(const PageId id, journal.Allocate());
+      PutU32(tail_buf_.data() + 4, id);
+      staged.push_back({tail_, tail_buf_});
+      InitTailBuffer(id);
+      pages_.push_back(id);
+    }
+    return Status::OK();
+  };
+  auto emit = [&](auto&& encode, size_t need) -> Status {
+    BMEH_RETURN_NOT_OK(make_room(need));
+    encode(tail_buf_.data(), tail_used_);
+    tail_used_ += need;
+    return Status::OK();
+  };
+
+  const uint32_t count = static_cast<uint32_t>(recs.size());
+  Status st = emit(
+      [&](uint8_t* buf, size_t off) {
+        EncodeMarker(kOpBatchBegin, count, buf, off);
+      },
+      MarkerWireSize());
+  for (size_t i = 0; st.ok() && i < recs.size(); ++i) {
+    st = emit(
+        [&](uint8_t* buf, size_t off) { Encode(recs[i], buf, off); },
+        WireSize(recs[i]));
+  }
+  if (st.ok()) {
+    st = emit(
+        [&](uint8_t* buf, size_t off) {
+          EncodeMarker(kOpBatchCommit, count, buf, off);
+        },
+        MarkerWireSize());
+  }
+  if (st.ok()) {
+    staged.push_back({tail_, tail_buf_});
+    // Write every touched page exactly once, old tail first (the same
+    // seal-then-extend discipline as Append): a crash between writes
+    // leaves either a chain without the commit marker — discarded whole
+    // by Replay — or links into not-yet-written pages, which cannot
+    // verify as WAL pages.
+    for (size_t i = 0; st.ok() && i < staged.size(); ++i) {
+      if (staged[i].id == old_tail) {
+        st = journal.GuardedWrite(staged[i].id, staged[i].bytes,
+                                  old_tail_buf);
+      } else {
+        st = store_->Write(staged[i].id, staged[i].bytes);
+      }
+    }
+  }
+  if (!st.ok()) {
+    Status rb = journal.RollbackNow();
+    restore();
+    // A failed rollback left disk and memory diverged — report that
+    // (non-transient) instead of the original error so the owner poisons.
+    return rb.ok() ? st : rb;
+  }
+  journal.Commit();
+  record_count_ += recs.size();
+  unsynced_ += recs.size();
+  return Status::OK();
+}
+
 Status Wal::MaybeSync() {
   if (sync_every_ > 0 && unsynced_ >= sync_every_) {
     return Sync();
@@ -164,8 +324,26 @@ Status Wal::Replay(PageId head, const ReplayFn& fn, bool sanitize_tail) {
   const size_t page_size = static_cast<size_t>(store_->page_size());
   std::vector<uint8_t> buf(page_size);
   std::unordered_set<PageId> visited;
+  std::vector<PageId> chain;  // pages visited, in chain order
+  // An open batch: members are buffered and only delivered (and the
+  // cursor advanced) when the commit marker verifies, so a batch cut by
+  // a crash vanishes whole.
+  bool batch_active = false;
+  uint32_t batch_expected = 0;
+  std::vector<LogRecord> batch_members;
   PageId id = head;
   bool truncated = false;
+  // Adopts the position right after the record that ends at `off` on the
+  // current page as the new append cursor.  Pages before an adoption
+  // point only ever hold delivered records, so the whole visited chain
+  // becomes the log's page list.
+  auto adopt = [&](size_t off) {
+    if (head_ == kInvalidPageId) head_ = head;
+    tail_ = id;
+    tail_buf_ = buf;
+    tail_used_ = off;
+    pages_ = chain;
+  };
   // Everything below treats any inconsistency as "the log ends here":
   // after a crash the tail may be unwritten (zeros), half-written (CRC
   // mismatch), or dangling (unreadable page) — all are expected states,
@@ -181,6 +359,7 @@ Status Wal::Replay(PageId head, const ReplayFn& fn, bool sanitize_tail) {
       if (read_st.IsDataLoss()) replay_hit_data_loss_ = true;
       break;
     }
+    chain.push_back(id);
     const PageId next = GetU32(buf.data() + 4);
     size_t off = kPageHeaderSize;
     bool page_ok = true;
@@ -197,11 +376,44 @@ Status Wal::Replay(PageId head, const ReplayFn& fn, bool sanitize_tail) {
         page_ok = false;
         break;
       }
-      LogRecord rec;
-      rec.op = body[0];
+      const uint8_t op = body[0];
       const int dims = body[1];
-      if ((rec.op != kOpInsert && rec.op != kOpDelete) || dims < 1 ||
-          dims > kMaxDims || len != BodySize(rec.op, dims)) {
+      if (op == kOpBatchBegin || op == kOpBatchCommit) {
+        if (dims != 0 || len != kMarkerBodySize) {
+          page_ok = false;
+          break;
+        }
+        const uint32_t count = GetU32(body + 2);
+        if (op == kOpBatchBegin) {
+          // A begin inside an open batch is structural nonsense — cut at
+          // the last committed record.
+          if (batch_active) {
+            page_ok = false;
+            break;
+          }
+          batch_active = true;
+          batch_expected = count;
+          batch_members.clear();
+        } else {
+          if (!batch_active || count != batch_expected ||
+              batch_members.size() != batch_expected) {
+            page_ok = false;
+            break;
+          }
+          for (const LogRecord& member : batch_members) {
+            BMEH_RETURN_NOT_OK(fn(member));
+            ++record_count_;
+          }
+          batch_active = false;
+          adopt(off + kLenSize + len + kCrcSize);
+        }
+        off += kLenSize + len + kCrcSize;
+        continue;
+      }
+      LogRecord rec;
+      rec.op = op;
+      if (!IsMutationOp(op) || dims < 1 || dims > kMaxDims ||
+          len != BodySize(rec.op, dims)) {
         page_ok = false;
         break;
       }
@@ -213,21 +425,32 @@ Status Wal::Replay(PageId head, const ReplayFn& fn, bool sanitize_tail) {
       if (rec.op == kOpInsert) {
         std::memcpy(&rec.payload, body + 2 + 4 * dims, 8);
       }
+      off += kLenSize + len + kCrcSize;
+      if (batch_active) {
+        if (batch_members.size() >= batch_expected) {
+          // More members than the frame declared: cut.
+          page_ok = false;
+          break;
+        }
+        batch_members.push_back(rec);
+        continue;
+      }
       BMEH_RETURN_NOT_OK(fn(rec));
       ++record_count_;
-      off += kLenSize + len + kCrcSize;
-      // Adopt this page as the tail as soon as it holds a valid record.
-      if (head_ == kInvalidPageId) head_ = head;
-      tail_ = id;
-      tail_buf_ = buf;
-      tail_used_ = off;
-      if (pages_.empty() || pages_.back() != id) pages_.push_back(id);
+      adopt(off);
     }
     if (!page_ok) {
       truncated = true;
       break;
     }
     id = next;
+  }
+  if (batch_active) {
+    // The chain ended with an uncommitted batch — the on-disk signature
+    // of a crash inside AppendBatch.  The buffered members are dropped
+    // and the cursor stays at the last committed record; mark the log
+    // truncated so the tail past the cursor is sanitized below.
+    truncated = true;
   }
   replay_truncated_ = truncated;
 

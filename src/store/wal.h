@@ -18,17 +18,32 @@
 // the whole tail page — one page-sized write per mutation, the same cost
 // discipline as the superblock flip.
 //
-// Durability is batched: Append() only issues page writes; the owner
-// decides when to make them durable (MaybeSync() honours the configured
-// sync_every, Sync() forces it).  A record is only *guaranteed* durable
-// after the store sync that covers it; replay after a crash recovers a
-// prefix of the appended records that always includes every record
-// covered by a completed sync, and discards any torn tail via the CRC.
+// Batches.  AppendBatch() encodes many mutations as one record chain
+// framed by a pair of marker records:
+//
+//     [kOpBatchBegin count] rec... [kOpBatchCommit count]
+//     marker body = [op u8 | 0 u8 | count u32]
+//
+// packed so every touched page is written exactly once (the old tail is
+// rewritten with appended records, full fresh pages follow in chain
+// order).  Replay buffers the members of an open batch and only delivers
+// them when the commit marker verifies; a batch cut by a crash — at any
+// page-write boundary — is discarded whole and the log truncated back to
+// the last committed record, so a batch is all-or-nothing on recovery.
+//
+// Durability is batched: Append()/AppendBatch() only issue page writes;
+// the owner decides when to make them durable (MaybeSync() honours the
+// configured sync_every, Sync() forces it).  A record is only
+// *guaranteed* durable after the store sync that covers it; replay after
+// a crash recovers a prefix of the appended records that always includes
+// every record covered by a completed sync, and discards any torn tail
+// via the CRC.
 
 #ifndef BMEH_STORE_WAL_H_
 #define BMEH_STORE_WAL_H_
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "src/encoding/pseudo_key.h"
@@ -41,6 +56,9 @@ class Wal {
  public:
   static constexpr uint8_t kOpInsert = 1;
   static constexpr uint8_t kOpDelete = 2;
+  /// Batch framing markers (never surfaced through Replay's callback).
+  static constexpr uint8_t kOpBatchBegin = 3;
+  static constexpr uint8_t kOpBatchCommit = 4;
 
   /// First four bytes of every WAL chain page ("BMWL") — public so the
   /// offline tooling (scrub/fsck) can recognize log pages in a sweep.
@@ -84,6 +102,25 @@ class Wal {
   /// IoError (the owner should stop mutating).
   Status Append(const LogRecord& rec);
 
+  /// \brief Appends `recs` as one all-or-nothing batch: the records are
+  /// framed by begin/commit markers and packed so every touched page is
+  /// written exactly once — the amortized-I/O path group commit rides on.
+  /// After a crash anywhere inside the append, Replay discards the whole
+  /// batch; once the commit marker is on disk (and synced), the whole
+  /// batch survives.  A size-1 batch degenerates to Append(); an empty
+  /// batch is a no-op.
+  ///
+  /// Atomic under failure with the same contract as Append(): the pages
+  /// the batch needs are reserved up front (one ResourceExhausted before
+  /// anything is touched), and a mid-flight write failure rolls every
+  /// in-memory and on-disk effect back so the batch can be retried.
+  Status AppendBatch(std::span<const LogRecord> recs);
+
+  /// \brief Pages a batch of `recs` would have to allocate if appended
+  /// now — what AppendBatch() reserves up front.  Exposed for tests and
+  /// capacity planning.
+  uint64_t PagesNeededFor(std::span<const LogRecord> recs) const;
+
   /// \brief Syncs the store if `sync_every` unsynced records accumulated.
   Status MaybeSync();
 
@@ -98,7 +135,10 @@ class Wal {
   /// record in append order, and positions the append cursor after the
   /// last valid record.  Replay stops — without error — at the first sign
   /// of a torn tail: an unreadable page, a bad page magic, a bad CRC, or a
-  /// malformed body.  `fn` errors are propagated.  When `sanitize_tail`
+  /// malformed body.  Batch members are buffered and delivered only when
+  /// their commit marker verifies; a batch left open at the cut (the
+  /// crash-inside-AppendBatch signature) is discarded whole and the
+  /// cursor rewound to the last committed record.  `fn` errors are propagated.  When `sanitize_tail`
   /// is true (the normal recovery path), the tail page is rewritten with
   /// any truncated garbage zeroed out so that stale bytes and dangling
   /// chain links cannot resurface on later appends; pass false for
@@ -124,8 +164,14 @@ class Wal {
  private:
   /// Serialized size of `rec` including length prefix and CRC.
   static size_t WireSize(const LogRecord& rec);
+  /// Serialized size of a batch begin/commit marker record.
+  static size_t MarkerWireSize();
   /// Writes `rec` into `buf` at `off` (which seeds the CRC).
   static void Encode(const LogRecord& rec, uint8_t* buf, size_t off);
+  /// Writes a batch marker (`op` is kOpBatchBegin/kOpBatchCommit) into
+  /// `buf` at `off`.
+  static void EncodeMarker(uint8_t op, uint32_t count, uint8_t* buf,
+                           size_t off);
   /// Starts a fresh tail page image in tail_buf_.
   void InitTailBuffer(PageId id);
 

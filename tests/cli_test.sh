@@ -10,8 +10,9 @@ fi
 
 DB="$(mktemp -u /tmp/bmeh_cli_test.XXXXXX.db)"
 STORE="$(mktemp -u /tmp/bmeh_cli_test.XXXXXX.store)"
+BATCHED="$(mktemp -u /tmp/bmeh_cli_test.XXXXXX.batched)"
 REPAIRED="$(mktemp -u /tmp/bmeh_cli_test.XXXXXX.repaired)"
-trap 'rm -f "$DB" "$STORE" "$REPAIRED"' EXIT
+trap 'rm -f "$DB" "$STORE" "$BATCHED" "$REPAIRED"' EXIT
 
 fail() {
   echo "FAIL: $1" >&2
@@ -69,6 +70,17 @@ OUT=$("$CLI" storebuild --db "$STORE" --n 500 --b 8 --page-size 512 \
       --leave-wal 40 --seed 11)
 echo "$OUT" | grep -q "(40 in the WAL)" || fail "storebuild did not leave a WAL"
 BUILT=$(echo "$OUT" | sed -n 's/.*: \([0-9]*\) records.*/\1/p')
+
+# --batch loads through the group-commit batch path and must produce the
+# same record population as the single-record path (same seed), including
+# the --leave-wal crash fixture semantics.
+OUT=$("$CLI" storebuild --db "$BATCHED" --n 500 --b 8 --page-size 512 \
+      --leave-wal 40 --seed 11 --batch 64)
+echo "$OUT" | grep -q "(40 in the WAL)" || fail "batched storebuild WAL tail"
+BATCH_BUILT=$(echo "$OUT" | sed -n 's/.*: \([0-9]*\) records.*/\1/p')
+"$CLI" scrub --db "$BATCHED" > /dev/null || fail "batched store must scrub clean"
+[ "$BATCH_BUILT" = "$BUILT" ] \
+  || fail "batched build population ($BATCH_BUILT) != single-record ($BUILT)"
 
 # storeinfo recovers the crashed store's state without mutating it
 OUT=$("$CLI" storeinfo --db "$STORE") || fail "storeinfo on a crashed store"

@@ -27,6 +27,99 @@ TEST(ConcurrentIndexTest, SingleThreadedBasics) {
   EXPECT_TRUE(idx->Validate().ok());
 }
 
+TEST(ConcurrentIndexTest, BatchInsertAndDeleteSingleLockSemantics) {
+  auto idx = MakeShared(metrics::Method::kBmehTree);
+  std::vector<Record> records;
+  for (uint32_t i = 0; i < 100; ++i) {
+    records.push_back({PseudoKey({i, i}), i});
+  }
+  ASSERT_TRUE(idx->InsertBatch(records).ok());
+  EXPECT_EQ(idx->Stats().records, 100u);
+  for (uint32_t i = 0; i < 100; ++i) {
+    auto r = idx->Search(PseudoKey({i, i}));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, i);
+  }
+
+  // Duplicates report the first failure but every non-duplicate member
+  // still lands (N-consecutive-inserts semantics, no rollback).
+  std::vector<Record> with_dup = {{PseudoKey({7u, 7u}), 7},
+                                  {PseudoKey({200u, 200u}), 200}};
+  EXPECT_EQ(idx->InsertBatch(with_dup).code(), StatusCode::kAlreadyExists);
+  auto landed = idx->Search(PseudoKey({200u, 200u}));
+  ASSERT_TRUE(landed.ok());
+  EXPECT_EQ(*landed, 200u);
+
+  std::vector<PseudoKey> doomed;
+  for (uint32_t i = 0; i < 50; ++i) doomed.push_back(PseudoKey({i, i}));
+  ASSERT_TRUE(idx->DeleteBatch(doomed).ok());
+  EXPECT_EQ(idx->Stats().records, 51u);
+  // Missing keys report KeyError; present members of the batch still go.
+  std::vector<PseudoKey> mixed = {PseudoKey({0u, 0u}), PseudoKey({99u, 99u})};
+  EXPECT_EQ(idx->DeleteBatch(mixed).code(), StatusCode::kKeyError);
+  EXPECT_FALSE(idx->Search(PseudoKey({99u, 99u})).ok());
+  EXPECT_TRUE(idx->Validate().ok());
+}
+
+TEST(ConcurrentIndexTest, ConcurrentBatchesAndReadersStayCoherent) {
+  auto idx = MakeShared(metrics::Method::kBmehTree);
+  // Stable region for the readers.
+  std::vector<Record> stable;
+  for (uint32_t i = 0; i < 300; ++i) stable.push_back({PseudoKey({i, i}), i});
+  ASSERT_TRUE(idx->InsertBatch(stable).ok());
+
+  std::atomic<bool> failed{false};
+  constexpr int kBatchWriters = 2;
+  constexpr int kBatchesPerWriter = 40;
+  constexpr uint32_t kSpan = 16;
+  auto batcher = [&](int t) {
+    const uint32_t base = static_cast<uint32_t>(t + 1) << 20;
+    for (int b = 0; b < kBatchesPerWriter && !failed; ++b) {
+      std::vector<Record> batch;
+      for (uint32_t i = 0; i < kSpan; ++i) {
+        const uint32_t c = base + static_cast<uint32_t>(b) * kSpan + i;
+        batch.push_back({PseudoKey({c, c}), c});
+      }
+      if (!idx->InsertBatch(batch).ok()) {
+        failed = true;
+        return;
+      }
+      if (b % 2 == 1) {  // churn: delete the previous batch
+        std::vector<PseudoKey> keys;
+        for (uint32_t i = 0; i < kSpan; ++i) {
+          const uint32_t c = base + static_cast<uint32_t>(b - 1) * kSpan + i;
+          keys.push_back(PseudoKey({c, c}));
+        }
+        if (!idx->DeleteBatch(keys).ok()) {
+          failed = true;
+          return;
+        }
+      }
+    }
+  };
+  auto reader = [&] {
+    for (int i = 0; i < 5000 && !failed; ++i) {
+      const uint32_t k = static_cast<uint32_t>(i) % 300;
+      auto r = idx->Search(PseudoKey({k, k}));
+      if (!r.ok() || *r != k) {
+        failed = true;
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kBatchWriters; ++t) threads.emplace_back(batcher, t);
+  threads.emplace_back(reader);
+  threads.emplace_back(reader);
+  for (auto& th : threads) th.join();
+  ASSERT_FALSE(failed);
+  EXPECT_TRUE(idx->Validate().ok());
+  // Each writer churned away half its batches and kept the other half.
+  const size_t kept = kBatchWriters * (kBatchesPerWriter / 2) * kSpan;
+  EXPECT_EQ(idx->Stats().records, 300u + kept);
+}
+
 TEST(ConcurrentIndexTest, ParallelReadersOverStaticTree) {
   auto idx = MakeShared(metrics::Method::kBmehTree);
   auto keys =

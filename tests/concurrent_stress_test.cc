@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <thread>
 
 #include "src/metrics/experiment.h"
@@ -26,7 +27,30 @@ constexpr int kOpsPerWriter = 500;
 constexpr uint32_t kStableKeys = 400;
 constexpr uint32_t kRegion = 1u << 20;  // writer t owns [(t+1)*kRegion, ...)
 
+// Every thread's PRNG stream derives from one base seed (override with
+// BMEH_STRESS_SEED to reproduce a failing schedule) through a SplitMix64
+// finalizer, so streams are decorrelated without hand-picked magic offsets
+// that silently collide when thread counts change.
+uint64_t BaseSeed() {
+  if (const char* env = std::getenv("BMEH_STRESS_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 20260807;
+}
+
+uint64_t MixSeed(uint64_t base, uint64_t stream) {
+  uint64_t z = base + (stream + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 TEST(ConcurrentStressTest, MixedChurnReadersAndScansStayCoherent) {
+  const uint64_t base_seed = BaseSeed();
+  // GTest prints properties on failure output; rerun with
+  // BMEH_STRESS_SEED=<value> to replay the same operation streams.
+  ::testing::Test::RecordProperty("bmeh_stress_seed",
+                                  std::to_string(base_seed));
   KeySchema schema(2, 31);
   // Metrics attached so the stress doubles as a TSan check of the charge
   // paths (counters/histograms from op threads, source sampling from the
@@ -47,7 +71,7 @@ TEST(ConcurrentStressTest, MixedChurnReadersAndScansStayCoherent) {
 
   auto writer = [&](int t) {
     const uint32_t base = static_cast<uint32_t>(t + 1) * kRegion;
-    Rng rng(500 + t);
+    Rng rng(MixSeed(base_seed, static_cast<uint64_t>(t)));
     std::vector<PseudoKey> live;
     uint32_t serial = 0;
     for (int op = 0; op < kOpsPerWriter && !failed; ++op) {
@@ -85,7 +109,8 @@ TEST(ConcurrentStressTest, MixedChurnReadersAndScansStayCoherent) {
   // measures lock contention and inflates the wall clock (badly so under
   // TSan) without adding interleavings.
   auto stable_reader = [&](int t) {
-    Rng rng(900 + t);
+    // Reader streams live past the writer streams in seed space.
+    Rng rng(MixSeed(base_seed, kWriters + static_cast<uint64_t>(t)));
     for (int i = 0; i < 20000 && !failed; ++i) {
       const uint32_t k = static_cast<uint32_t>(rng.Uniform(kStableKeys));
       auto r = index.Search(PseudoKey({k, k}));

@@ -203,6 +203,107 @@ TEST_F(CrashMatrixTest, KillAtEveryWriteIndex) {
   }
 }
 
+TEST_F(CrashMatrixTest, BatchAppendAllOrNothingAtEveryWriteIndex) {
+  // Seed a base population, checkpoint it (WAL empty), then apply one
+  // 48-record mixed batch that spans several WAL pages plus the
+  // superblock publish.  Kill at every page-write index of the batch, in
+  // both failure flavours: recovery must surface the base state or the
+  // base plus the *whole* batch — any partially visible batch is a
+  // framing bug.
+  auto base_state = [&] {
+    std::map<PseudoKey, uint64_t> s;
+    for (uint32_t i = 0; i < 30; ++i) {
+      s.emplace(PseudoKey({1000 + i, i}), 500 + i);
+    }
+    return s;
+  }();
+  auto batch_state = [&] {
+    auto s = base_state;
+    for (uint32_t i = 0; i < 10; ++i) s.erase(PseudoKey({1000 + i, i}));
+    for (uint32_t i = 0; i < 38; ++i) {
+      s.emplace(PseudoKey({5000 + i, 100 + i}), 9000 + i);
+    }
+    return s;
+  }();
+
+  // Runs base + checkpoint + batch with an optional fault at batch write
+  // index `w`; returns whether the batch was acknowledged.
+  auto run = [&](uint64_t w, FaultInjectingPageStore::WriteFault fault,
+                 uint64_t* batch_writes_out) {
+    std::remove(path_.c_str());
+    auto created = FilePageStore::Create(path_, Opts().page_size);
+    BMEH_CHECK(created.ok()) << created.status();
+    auto file = std::move(created).ValueOrDie();
+    file->DisableFsyncForTesting();
+    FilePageStore* raw_file = file.get();
+    auto injector =
+        std::make_unique<FaultInjectingPageStore>(std::move(file));
+    FaultInjectingPageStore* raw_injector = injector.get();
+    StoreOptions opts = Opts();
+    opts.checkpoint_every = 0;  // the batch must stay in the WAL
+    auto opened = BmehStore::Open(std::move(injector), opts);
+    BMEH_CHECK(opened.ok()) << opened.status();
+    auto store = std::move(opened).ValueOrDie();
+    for (const auto& [key, payload] : base_state) {
+      BMEH_CHECK(store->Put(key, payload).ok());
+    }
+    BMEH_CHECK(store->Checkpoint().ok());
+    BMEH_CHECK(store->wal_records() == 0u);
+
+    if (w != kNoFault) {
+      raw_injector->FailNthWrite(raw_injector->writes_issued() + w, fault);
+    }
+    const uint64_t writes_before = raw_injector->writes_issued();
+    WriteBatch batch;
+    for (uint32_t i = 0; i < 10; ++i) batch.Delete(PseudoKey({1000 + i, i}));
+    for (uint32_t i = 0; i < 38; ++i) {
+      batch.Put(PseudoKey({5000 + i, 100 + i}), 9000 + i);
+    }
+    const Status st = store->Write(batch);
+    if (batch_writes_out != nullptr) {
+      *batch_writes_out = raw_injector->writes_issued() - writes_before;
+    }
+    store->SimulateCrashForTesting();
+    raw_file->CrashForTesting();
+    return st.ok();
+  };
+
+  uint64_t batch_writes = 0;
+  ASSERT_TRUE(run(kNoFault, FaultInjectingPageStore::WriteFault::kError,
+                  &batch_writes));
+  ASSERT_GE(batch_writes, 4u)
+      << "the batch must span several WAL pages plus the publish";
+  {
+    // Fault-free baseline: the whole batch is durable.
+    auto reopened = BmehStore::Open(path_, Opts());
+    ASSERT_TRUE(reopened.ok()) << reopened.status();
+    auto store = std::move(reopened).ValueOrDie();
+    ASSERT_TRUE(ContentsEqual(store.get(), batch_state));
+    store->SimulateCrashForTesting();
+  }
+
+  for (uint64_t w = 0; w < batch_writes; ++w) {
+    const auto fault = (w % 2 == 0)
+                           ? FaultInjectingPageStore::WriteFault::kError
+                           : FaultInjectingPageStore::WriteFault::kTorn;
+    const bool acked = run(w, fault, nullptr);
+    const std::string label = "batch crash at write " + std::to_string(w) +
+                              (w % 2 == 0 ? " (clean)" : " (torn)");
+    auto reopened = BmehStore::Open(path_, Opts());
+    ASSERT_TRUE(reopened.ok()) << label << ": " << reopened.status();
+    auto store = std::move(reopened).ValueOrDie();
+    ASSERT_TRUE(store->tree().Validate().ok()) << label;
+    const bool none = ContentsEqual(store.get(), base_state);
+    const bool whole = ContentsEqual(store.get(), batch_state);
+    EXPECT_TRUE(none || whole)
+        << label << ": batch is partially visible after recovery";
+    if (acked) {
+      EXPECT_TRUE(whole) << label << ": acknowledged batch must survive";
+    }
+    store->SimulateCrashForTesting();
+  }
+}
+
 TEST_F(CrashMatrixTest, KillAtSampledSyncIndexes) {
   // Syncs are an order of magnitude denser in consequence than in variety
   // (every one follows the same append-then-flush pattern), so a strided

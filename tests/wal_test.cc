@@ -190,6 +190,146 @@ TEST(WalTest, TruncateReturnsPagesToTheStore) {
   EXPECT_EQ(ReplayAll(&reader, wal.head()).size(), 1u);
 }
 
+TEST(WalBatchTest, AppendBatchReplayRoundTrip) {
+  // 64-byte pages force the framed batch across several pages.
+  InMemoryPageStore store(64);
+  Wal wal(&store, 1);
+  ASSERT_TRUE(wal.Append(Insert(100, 100, 100)).ok());  // pre-batch single
+  std::vector<Wal::LogRecord> batch;
+  for (uint32_t i = 0; i < 8; ++i) {
+    batch.push_back((i % 4 == 3) ? Delete(i, i) : Insert(i, i, 2000 + i));
+  }
+  ASSERT_TRUE(wal.AppendBatch(batch).ok());
+  EXPECT_EQ(wal.record_count(), 9u) << "markers are not records";
+  ASSERT_TRUE(wal.Append(Insert(200, 200, 200)).ok());  // appendable after
+
+  Wal reader(&store, 1);
+  auto replayed = ReplayAll(&reader, wal.head());
+  ASSERT_EQ(replayed.size(), 10u);
+  EXPECT_TRUE(SameRecord(replayed[0], Insert(100, 100, 100)));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(SameRecord(replayed[1 + i], batch[i])) << "member " << i;
+  }
+  EXPECT_TRUE(SameRecord(replayed[9], Insert(200, 200, 200)));
+  EXPECT_FALSE(reader.replay_truncated());
+  EXPECT_EQ(reader.pages(), wal.pages())
+      << "replay must adopt every page of a committed batch's chain";
+}
+
+TEST(WalBatchTest, EmptyAndSingletonBatchesDegenerate) {
+  InMemoryPageStore store(256);
+  Wal wal(&store, 1);
+  ASSERT_TRUE(wal.AppendBatch({}).ok());
+  EXPECT_TRUE(wal.empty());
+  const std::vector<Wal::LogRecord> one = {Insert(1, 2, 3)};
+  ASSERT_TRUE(wal.AppendBatch(one).ok());
+  EXPECT_EQ(wal.record_count(), 1u);
+  // A singleton batch is an unframed Append: a pre-batch reader replays it.
+  Wal reader(&store, 1);
+  auto replayed = ReplayAll(&reader, wal.head());
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_TRUE(SameRecord(replayed[0], Insert(1, 2, 3)));
+}
+
+TEST(WalBatchTest, PagesNeededForMatchesActualAllocation) {
+  InMemoryPageStore store(64);
+  Wal wal(&store, 1);
+  ASSERT_TRUE(wal.Append(Insert(0, 0, 0)).ok());
+  std::vector<Wal::LogRecord> batch;
+  for (uint32_t i = 0; i < 12; ++i) batch.push_back(Insert(i, i, i));
+  const uint64_t predicted = wal.PagesNeededFor(batch);
+  const size_t before = wal.pages().size();
+  ASSERT_TRUE(wal.AppendBatch(batch).ok());
+  EXPECT_EQ(wal.pages().size() - before, predicted);
+}
+
+TEST(WalBatchTest, BatchMissingItsTailIsDiscardedWhole) {
+  // Commit a batch spanning multiple pages, then zero the page holding
+  // the commit marker — the state a crash leaves when the final page
+  // write never reached the disk.  Every buffered member must vanish.
+  InMemoryPageStore store(64);
+  Wal wal(&store, 1);
+  ASSERT_TRUE(wal.Append(Insert(100, 100, 100)).ok());
+  std::vector<Wal::LogRecord> batch;
+  for (uint32_t i = 0; i < 8; ++i) batch.push_back(Insert(i, i, i));
+  ASSERT_TRUE(wal.AppendBatch(batch).ok());
+  ASSERT_GE(wal.pages().size(), 3u);
+  const PageId last = wal.pages().back();
+  std::vector<uint8_t> zeros(64, 0);
+  ASSERT_TRUE(store.Write(last, zeros).ok());
+
+  Wal reader(&store, 1);
+  auto replayed = ReplayAll(&reader, wal.head());
+  ASSERT_EQ(replayed.size(), 1u) << "open batch must be discarded whole";
+  EXPECT_TRUE(SameRecord(replayed[0], Insert(100, 100, 100)));
+  EXPECT_TRUE(reader.replay_truncated());
+
+  // Appends after recovery must not resurrect any discarded member.
+  ASSERT_TRUE(reader.Append(Insert(300, 300, 300)).ok());
+  Wal reread(&store, 1);
+  auto again = ReplayAll(&reread, wal.head());
+  ASSERT_EQ(again.size(), 2u);
+  EXPECT_TRUE(SameRecord(again[1], Insert(300, 300, 300)));
+}
+
+TEST(WalBatchTest, TornMemberDiscardsTheWholeBatch) {
+  // Unlike a torn standalone record (prefix kept), a torn *member* voids
+  // the batch: flip one byte inside a middle member and not even the
+  // members before it may replay.
+  InMemoryPageStore store(512);
+  Wal wal(&store, 1);
+  ASSERT_TRUE(wal.Append(Insert(100, 100, 100)).ok());
+  std::vector<Wal::LogRecord> batch;
+  for (uint32_t i = 0; i < 5; ++i) batch.push_back(Insert(i, i, i));
+  ASSERT_TRUE(wal.AppendBatch(batch).ok());
+  ASSERT_EQ(wal.pages().size(), 1u) << "batch must fit one page here";
+  const PageId head = wal.head();
+  std::vector<uint8_t> buf(512);
+  ASSERT_TRUE(store.Read(head, buf).ok());
+  // Record layout on the page: header 8, single insert 24, begin marker
+  // 12, then 24-byte members — flip a byte in the third member's body.
+  buf[8 + 24 + 12 + 2 * 24 + 4] ^= 0xff;
+  ASSERT_TRUE(store.Write(head, buf).ok());
+
+  Wal reader(&store, 1);
+  auto replayed = ReplayAll(&reader, head);
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_TRUE(SameRecord(replayed[0], Insert(100, 100, 100)));
+  EXPECT_TRUE(reader.replay_truncated());
+}
+
+TEST(WalBatchTest, ExhaustionRefusesTheWholeBatchRetryably) {
+  InMemoryPageStore store(64);
+  Wal wal(&store, 1);
+  ASSERT_TRUE(wal.Append(Insert(0, 0, 0)).ok());
+  const uint64_t before_pages = store.live_page_count();
+  const uint64_t before_records = wal.record_count();
+  store.SetMaxPages(store.total_page_count());  // no growth allowed
+
+  std::vector<Wal::LogRecord> batch;
+  for (uint32_t i = 0; i < 10; ++i) batch.push_back(Insert(i, i, i));
+  Status st = wal.AppendBatch(batch);
+  ASSERT_TRUE(st.IsResourceExhausted()) << st;
+  EXPECT_EQ(store.live_page_count(), before_pages) << "nothing allocated";
+  EXPECT_EQ(wal.record_count(), before_records) << "nothing appended";
+
+  // Same batch succeeds once the quota clears, and replays intact.
+  store.SetMaxPages(0);
+  ASSERT_TRUE(wal.AppendBatch(batch).ok());
+  Wal reader(&store, 1);
+  EXPECT_EQ(ReplayAll(&reader, wal.head()).size(), 11u);
+}
+
+TEST(WalBatchTest, BatchRejectsBadOpsAndOversizedRecords) {
+  InMemoryPageStore store(64);
+  Wal wal(&store, 1);
+  std::vector<Wal::LogRecord> bad_op = {Insert(1, 1, 1),
+                                        {Wal::kOpBatchBegin, PseudoKey({1, 2}), 0}};
+  EXPECT_TRUE(wal.AppendBatch(bad_op).IsInvalid())
+      << "marker ops cannot be smuggled in as members";
+  EXPECT_TRUE(wal.empty());
+}
+
 TEST(WalTest, SyncBatchingHonorsSyncEvery) {
   auto inner = std::make_unique<InMemoryPageStore>(64);
   FaultInjectingPageStore store(std::move(inner));

@@ -38,7 +38,7 @@
 //
 //   bmeh_cli storebuild --db FILE [--dims D] [--width W] [--b B] [--phi P]
 //                   [--n N] [--dist NAME] [--seed S] [--page-size P]
-//                   [--leave-wal K] [--max-pages M]
+//                   [--leave-wal K] [--max-pages M] [--batch B]
 //       Creates a durable BmehStore file (checkpoint + WAL, unlike `build`
 //       which writes a raw tree image) holding N generated records.  With
 //       --leave-wal K the last K mutations stay in the write-ahead log and
@@ -48,6 +48,10 @@
 //       quota fills mid-build the build stops gracefully (exit code 3)
 //       with every acknowledged record durable and the file scrub-clean —
 //       rerunning with a larger quota resumes from that state.
+//       With --batch B records are loaded through the group-commit batch
+//       path, B per WriteBatch — one WAL chain and one fsync per batch
+//       instead of per record, typically an order of magnitude faster.
+//       --leave-wal and --max-pages compose with it unchanged.
 //
 //   bmeh_cli scrub --db FILE
 //       Read-only integrity check: verifies every page's checksum trailer
@@ -472,6 +476,8 @@ int CmdStoreBuild(const Args& args) {
   const uint64_t leave_wal =
       static_cast<uint64_t>(args.GetInt("leave-wal", 0));
   if (leave_wal > n) Die("--leave-wal cannot exceed --n");
+  const uint64_t batch = static_cast<uint64_t>(args.GetInt("batch", 1));
+  if (batch == 0) Die("--batch must be at least 1");
 
   workload::WorkloadSpec spec;
   spec.distribution = ParseDist(args.Get("dist", "uniform"));
@@ -484,21 +490,35 @@ int CmdStoreBuild(const Args& args) {
   auto keys = workload::GenerateKeys(spec, n);
   uint64_t inserted = 0;
   Status exhausted = Status::OK();
-  for (uint64_t i = 0; i < n; ++i) {
+  for (uint64_t i = 0; i < n;) {
     if (leave_wal > 0 && i == n - leave_wal) {
       Status st = (*store)->Checkpoint();
       if (!st.ok()) Die(st.ToString());
     }
-    Status st = (*store)->Put(keys[i], i);
-    if (st.IsAlreadyExists()) continue;  // the generator may repeat keys
+    // Chunks never straddle the --leave-wal checkpoint boundary.
+    uint64_t limit = n;
+    if (leave_wal > 0 && i < n - leave_wal) limit = n - leave_wal;
+    const uint64_t take = std::min(batch, limit - i);
+    WriteBatch wb;
+    for (uint64_t j = i; j < i + take; ++j) wb.Put(keys[j], j);
+    std::vector<Status> per_record;
+    Status st = (*store)->Write(wb, &per_record);
     if (st.IsResourceExhausted()) {
-      // The quota filled.  The failed insert was rolled back whole; stop
+      // The quota filled.  The failed batch was rolled back whole; stop
       // gracefully with everything acknowledged so far intact.
       exhausted = st;
       break;
     }
-    if (!st.ok()) Die(st.ToString());
-    ++inserted;
+    // Any other batch-level status is the first logical per-record
+    // failure; judge the members individually.
+    for (const Status& rs : per_record) {
+      if (rs.ok()) {
+        ++inserted;
+      } else if (!rs.IsAlreadyExists()) {  // the generator may repeat keys
+        Die(rs.ToString());
+      }
+    }
+    i += take;
   }
   if (leave_wal == 0) {
     Status st = (*store)->Checkpoint();
