@@ -38,6 +38,8 @@
 #include "src/store/concurrent_index.h"
 #include "src/store/frozen_tree.h"
 #include "src/store/scrub.h"
+#include "src/store/sharded_store.h"
+#include "src/store/storage_unit.h"
 #include "src/workload/datasets.h"
 #include "src/workload/distributions.h"
 

@@ -25,7 +25,8 @@ PageStore::~PageStore() {
 }
 
 void PageStore::AttachMetrics(obs::MetricsRegistry* registry,
-                              std::shared_mutex* sample_guard) {
+                              std::shared_mutex* sample_guard,
+                              const std::string& prefix) {
   if (metrics_ != nullptr) {
     metrics_->RemoveSource(metrics_source_);
     metrics_ = nullptr;
@@ -43,30 +44,37 @@ void PageStore::AttachMetrics(obs::MetricsRegistry* registry,
   // so they are sampled at snapshot time rather than mirrored on every
   // operation.  `sample_guard`, when provided, is the owner's operation
   // lock — taken shared so sampling cannot race the owner's mutators.
-  metrics_source_ =
-      registry->AddSource([this, sample_guard](obs::RegistrySnapshot* s) {
+  // `prefix` labels the sampled names (e.g. "shard3_pagestore_reads_total")
+  // so devices sharing a registry — one per shard of a sharded store —
+  // don't overwrite each other's sample at Snapshot() time.
+  metrics_source_ = registry->AddSource(
+      [this, sample_guard, prefix](obs::RegistrySnapshot* s) {
     std::shared_lock<std::shared_mutex> guard_lock;
     if (sample_guard != nullptr) {
       guard_lock = std::shared_lock<std::shared_mutex>(*sample_guard);
     }
     const StoreStats& st = stats_;
-    s->counters["pagestore_reads_total"] = st.reads;
-    s->counters["pagestore_writes_total"] = st.writes;
-    s->counters["pagestore_allocs_total"] = st.allocs;
-    s->counters["pagestore_frees_total"] = st.frees;
-    s->counters["pagestore_read_retries_total"] = st.read_retries;
-    s->counters["pagestore_checksum_failures_total"] = st.checksum_failures;
-    s->counters["pagestore_pages_quarantined_total"] = st.pages_quarantined;
-    s->counters["pagestore_alloc_failures_total"] = st.alloc_failures;
-    s->gauges["pagestore_live_pages"] =
+    s->counters[prefix + "pagestore_reads_total"] = st.reads;
+    s->counters[prefix + "pagestore_writes_total"] = st.writes;
+    s->counters[prefix + "pagestore_allocs_total"] = st.allocs;
+    s->counters[prefix + "pagestore_frees_total"] = st.frees;
+    s->counters[prefix + "pagestore_read_retries_total"] = st.read_retries;
+    s->counters[prefix + "pagestore_checksum_failures_total"] =
+        st.checksum_failures;
+    s->counters[prefix + "pagestore_pages_quarantined_total"] =
+        st.pages_quarantined;
+    s->counters[prefix + "pagestore_alloc_failures_total"] =
+        st.alloc_failures;
+    s->gauges[prefix + "pagestore_live_pages"] =
         static_cast<int64_t>(live_page_count());
-    s->gauges["pagestore_total_pages"] =
+    s->gauges[prefix + "pagestore_total_pages"] =
         static_cast<int64_t>(total_page_count());
-    s->gauges["pagestore_high_water_pages"] =
+    s->gauges[prefix + "pagestore_high_water_pages"] =
         static_cast<int64_t>(st.high_water_pages);
-    s->gauges["pagestore_reserved_pages"] =
+    s->gauges[prefix + "pagestore_reserved_pages"] =
         static_cast<int64_t>(reserved_pages());
-    s->gauges["pagestore_max_pages"] = static_cast<int64_t>(max_pages());
+    s->gauges[prefix + "pagestore_max_pages"] =
+        static_cast<int64_t>(max_pages());
   });
 }
 

@@ -138,8 +138,14 @@ class PageStore {
   /// `sample_guard`: the sampling source then takes it shared, making
   /// Snapshot() safe against concurrent mutation.  Null (the default)
   /// keeps the single-threaded-owner behaviour.
+  ///
+  /// `prefix` labels the sampled names (e.g. "shard3_" publishes
+  /// shard3_pagestore_reads_total) so several devices can share one
+  /// registry without overwriting each other's sample; the latency
+  /// histograms stay unprefixed and aggregate across devices.
   void AttachMetrics(obs::MetricsRegistry* registry,
-                     std::shared_mutex* sample_guard = nullptr);
+                     std::shared_mutex* sample_guard = nullptr,
+                     const std::string& prefix = "");
 
  protected:
   /// Allocation slots obtainable right now without violating the quota:

@@ -132,7 +132,7 @@ void BmehStore::AttachObservability(const StoreOptions& options) {
   range_latency_ = metrics_->GetHistogram("range_latency_ns");
   checkpoint_latency_ = metrics_->GetHistogram("checkpoint_latency_ns");
   wal_append_latency_ = metrics_->GetHistogram("wal_append_latency_ns");
-  store_->AttachMetrics(metrics_, &op_mutex_);
+  store_->AttachMetrics(metrics_, &op_mutex_, options.metrics_label);
   if (tree_ != nullptr) {
     tree_->set_split_latency_histogram(
         metrics_->GetHistogram("split_latency_ns"));
@@ -142,36 +142,57 @@ void BmehStore::AttachObservability(const StoreOptions& options) {
   // snapshot can observe this source tree_ is set (OpenExisting assigns
   // it before anything escapes).  The shared lock makes sampling safe
   // against the group-commit thread (and costs nothing uncontended).
-  metrics_source_ = metrics_->AddSource([this](obs::RegistrySnapshot* s) {
-    std::shared_lock<std::shared_mutex> lock(op_mutex_);
-    const IndexStructureStats ts = tree_->Stats();
-    s->gauges["tree_records"] = static_cast<int64_t>(ts.records);
-    s->gauges["tree_height"] = tree_->height();
-    s->gauges["tree_directory_nodes"] =
-        static_cast<int64_t>(ts.directory_nodes);
-    s->gauges["tree_directory_entries"] =
-        static_cast<int64_t>(ts.directory_entries);
-    s->gauges["tree_data_pages"] = static_cast<int64_t>(ts.data_pages);
-    s->gauges["store_generation"] = static_cast<int64_t>(generation_);
-    s->gauges["store_dirty_ops"] = static_cast<int64_t>(dirty_ops_);
-    s->gauges["wal_records"] = static_cast<int64_t>(wal_->record_count());
-    s->gauges["wal_pages"] = static_cast<int64_t>(wal_->pages().size());
-    const BmehMutationStats& m = tree_->mutation_stats();
-    s->counters["tree_page_splits_total"] = m.page_splits;
-    s->counters["tree_node_doublings_total"] = m.node_doublings;
-    s->counters["tree_node_splits_total"] = m.node_splits;
-    s->counters["tree_forced_splits_total"] = m.forced_splits;
-    s->counters["tree_new_roots_total"] = m.new_roots;
-    s->counters["tree_page_merges_total"] = m.page_merges;
-    s->counters["tree_node_halvings_total"] = m.node_halvings;
-    s->counters["tree_node_merges_total"] = m.node_merges;
-    s->counters["tree_root_collapses_total"] = m.root_collapses;
-    const IoStats io = tree_->io()->stats();
-    s->counters["logical_dir_reads_total"] = io.dir_reads;
-    s->counters["logical_dir_writes_total"] = io.dir_writes;
-    s->counters["logical_data_reads_total"] = io.data_reads;
-    s->counters["logical_data_writes_total"] = io.data_writes;
-  });
+  // Every sampled name carries the store's label (empty for a standalone
+  // store) so sibling shards sharing the registry don't overwrite each
+  // other at Snapshot() time.
+  const std::string label = options.metrics_label;
+  metrics_source_ =
+      metrics_->AddSource([this, label](obs::RegistrySnapshot* s) {
+        std::shared_lock<std::shared_mutex> lock(op_mutex_);
+        const IndexStructureStats ts = tree_->Stats();
+        s->gauges[label + "tree_records"] = static_cast<int64_t>(ts.records);
+        s->gauges[label + "tree_height"] = tree_->height();
+        s->gauges[label + "tree_directory_nodes"] =
+            static_cast<int64_t>(ts.directory_nodes);
+        s->gauges[label + "tree_directory_entries"] =
+            static_cast<int64_t>(ts.directory_entries);
+        s->gauges[label + "tree_data_pages"] =
+            static_cast<int64_t>(ts.data_pages);
+        s->gauges[label + "store_generation"] =
+            static_cast<int64_t>(generation_);
+        s->gauges[label + "store_dirty_ops"] =
+            static_cast<int64_t>(dirty_ops_);
+        s->gauges[label + "wal_records"] =
+            static_cast<int64_t>(wal_->record_count());
+        s->gauges[label + "wal_pages"] =
+            static_cast<int64_t>(wal_->pages().size());
+        const BmehMutationStats& m = tree_->mutation_stats();
+        s->counters[label + "tree_page_splits_total"] = m.page_splits;
+        s->counters[label + "tree_node_doublings_total"] = m.node_doublings;
+        s->counters[label + "tree_node_splits_total"] = m.node_splits;
+        s->counters[label + "tree_forced_splits_total"] = m.forced_splits;
+        s->counters[label + "tree_new_roots_total"] = m.new_roots;
+        s->counters[label + "tree_page_merges_total"] = m.page_merges;
+        s->counters[label + "tree_node_halvings_total"] = m.node_halvings;
+        s->counters[label + "tree_node_merges_total"] = m.node_merges;
+        s->counters[label + "tree_root_collapses_total"] = m.root_collapses;
+        const IoStats io = tree_->io()->stats();
+        s->counters[label + "logical_dir_reads_total"] = io.dir_reads;
+        s->counters[label + "logical_dir_writes_total"] = io.dir_writes;
+        s->counters[label + "logical_data_reads_total"] = io.data_reads;
+        s->counters[label + "logical_data_writes_total"] = io.data_writes;
+      });
+}
+
+BmehStore::SampledState BmehStore::SampleStateForMetrics() const {
+  std::shared_lock<std::shared_mutex> lock(op_mutex_);
+  SampledState st;
+  st.records = tree_->Stats().records;
+  st.height = tree_->height();
+  st.wal_records = wal_->record_count();
+  st.dirty_ops = dirty_ops_;
+  st.generation = generation_;
+  return st;
 }
 
 BmehStore::~BmehStore() {

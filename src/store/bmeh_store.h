@@ -113,6 +113,13 @@ struct StoreOptions {
   /// scoped span.  Null (the default) costs one branch per charge site.
   obs::MetricsRegistry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
+  /// Prefix for this store's *sampled* metric names (e.g. "shard3_" makes
+  /// the source publish shard3_tree_records instead of tree_records).
+  /// Required when several stores share one registry: snapshot sources
+  /// assign by name, so unlabeled sources would silently overwrite each
+  /// other.  Shared Counter / Histogram handles are never prefixed — they
+  /// are single objects that aggregate across stores by construction.
+  std::string metrics_label;
 };
 
 /// \brief What corruption, if any, the last Open() had to work around.
@@ -284,6 +291,19 @@ class BmehStore {
 
   /// \brief The underlying page device (introspection / test assertions).
   const PageStore& page_store() const { return *store_; }
+  PageStore* mutable_page_store() { return store_.get(); }
+
+  /// \brief One consistent sample of the store's sampled-gauge state,
+  /// taken under the operation lock (shared) so it is safe to call
+  /// concurrently with a group-commit thread or writers on other stores.
+  struct SampledState {
+    uint64_t records = 0;
+    int height = 0;
+    uint64_t wal_records = 0;
+    uint64_t dirty_ops = 0;
+    uint64_t generation = 0;
+  };
+  SampledState SampleStateForMetrics() const;
 
   const KeySchema& schema() const { return tree_->schema(); }
 

@@ -1,0 +1,576 @@
+#include "src/store/sharded_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <queue>
+#include <sstream>
+#include <thread>
+
+#include "src/common/crc32.h"
+
+namespace bmeh {
+
+namespace {
+
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kManifestMagic[] = "BMEH-SHARD v1";
+
+bool IsPowerOfTwo(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+int Log2Exact(int n) {
+  int bits = 0;
+  while ((1 << bits) < n) ++bits;
+  return bits;
+}
+
+bool PathExists(const std::string& path, bool* is_dir) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return false;
+  if (is_dir != nullptr) *is_dir = S_ISDIR(st.st_mode);
+  return true;
+}
+
+Status ValidateShardCount(int shards, const KeySchema& schema) {
+  if (!IsPowerOfTwo(shards) || shards > 4096) {
+    return Status::Invalid("shard count must be a power of two in [1, 4096], "
+                           "got " + std::to_string(shards));
+  }
+  if (Log2Exact(shards) > schema.total_bits()) {
+    return Status::Invalid("shard count " + std::to_string(shards) +
+                           " needs more routing bits than the schema has (" +
+                           std::to_string(schema.total_bits()) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int ShardRouter::ShardOf(const PseudoKey& key, const KeySchema& schema,
+                         int shard_bits) {
+  if (shard_bits <= 0) return 0;
+  const int d = schema.dims();
+  int out = 0;
+  int got = 0;
+  // Walk the interleaved ψ digit string (dimension round-robin, MSB
+  // first) until the routing prefix is assembled; a dimension whose
+  // width is exhausted contributes no digit in that round.
+  for (int t = 0; got < shard_bits && t < d * 32; ++t) {
+    const int j = t % d;
+    const int i = t / d;
+    const int w = schema.width(j);
+    if (i >= w) continue;
+    out = (out << 1) |
+          static_cast<int>((key.component(j) >> (w - 1 - i)) & 1u);
+    ++got;
+  }
+  return out;
+}
+
+bool ShardRouter::PsiLess(const PseudoKey& a, const PseudoKey& b,
+                          const KeySchema& schema) {
+  const int d = schema.dims();
+  int max_w = 0;
+  for (int j = 0; j < d; ++j) max_w = std::max(max_w, schema.width(j));
+  for (int t = 0; t < d * max_w; ++t) {
+    const int j = t % d;
+    const int i = t / d;
+    const int w = schema.width(j);
+    if (i >= w) continue;
+    const uint32_t ba = (a.component(j) >> (w - 1 - i)) & 1u;
+    const uint32_t bb = (b.component(j) >> (w - 1 - i)) & 1u;
+    if (ba != bb) return ba < bb;
+  }
+  return false;
+}
+
+std::string ShardedStore::ShardPath(const std::string& dir, int shard_index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard-%04d.bmeh", shard_index);
+  return dir + "/" + name;
+}
+
+Status ShardedStore::WriteManifest(const std::string& dir,
+                                   const ShardManifest& manifest) {
+  bool is_dir = false;
+  if (!PathExists(dir, &is_dir)) {
+    if (::mkdir(dir.c_str(), 0755) != 0) {
+      return Status::IoError("cannot create " + dir + ": " +
+                             std::strerror(errno));
+    }
+  } else if (!is_dir) {
+    return Status::Invalid(dir + " exists and is not a directory");
+  }
+  std::string body = std::string(kManifestMagic) + "\n";
+  body += "shards " + std::to_string(manifest.shards) + "\n";
+  body += "shard_bits " + std::to_string(manifest.shard_bits) + "\n";
+  body += "page_size " + std::to_string(manifest.page_size) + "\n";
+  body += "dims " + std::to_string(manifest.schema.dims()) + "\n";
+  body += "widths";
+  for (int j = 0; j < manifest.schema.dims(); ++j) {
+    body += " " + std::to_string(manifest.schema.width(j));
+  }
+  body += "\n";
+  char seal[32];
+  std::snprintf(seal, sizeof(seal), "crc %08x\n",
+                Crc32(body.data(), body.size()));
+  body += seal;
+
+  // Write-temp-then-rename so a crash never leaves a half-written
+  // manifest where Open() would read it.
+  const std::string final_path = dir + "/" + kManifestName;
+  const std::string tmp_path = final_path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot write " + tmp_path);
+  }
+  const bool wrote = std::fwrite(body.data(), 1, body.size(), f) ==
+                     body.size();
+  std::fflush(f);
+  ::fsync(::fileno(f));
+  std::fclose(f);
+  if (!wrote) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("short write to " + tmp_path);
+  }
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("cannot publish " + final_path + ": " +
+                           std::strerror(errno));
+  }
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+Result<ShardManifest> ShardedStore::ReadManifest(const std::string& dir) {
+  const std::string path = dir + "/" + kManifestName;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::string text;
+  char buf[512];
+  size_t k;
+  while ((k = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, k);
+  std::fclose(f);
+
+  const size_t crc_pos = text.rfind("crc ");
+  if (crc_pos == std::string::npos ||
+      (crc_pos != 0 && text[crc_pos - 1] != '\n')) {
+    return Status::Corruption("manifest missing its crc seal: " + path);
+  }
+  uint32_t want = 0;
+  if (std::sscanf(text.c_str() + crc_pos, "crc %x", &want) != 1) {
+    return Status::Corruption("manifest crc seal unreadable: " + path);
+  }
+  if (Crc32(text.data(), crc_pos) != want) {
+    return Status::Corruption("manifest checksum mismatch: " + path);
+  }
+
+  std::istringstream in(text.substr(0, crc_pos));
+  std::string line;
+  if (!std::getline(in, line) || line != kManifestMagic) {
+    return Status::Corruption("not a sharded store manifest: " + path);
+  }
+  ShardManifest m;
+  int dims = 0;
+  std::vector<int> widths;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string name;
+    fields >> name;
+    if (name == "shards") {
+      fields >> m.shards;
+    } else if (name == "shard_bits") {
+      fields >> m.shard_bits;
+    } else if (name == "page_size") {
+      fields >> m.page_size;
+    } else if (name == "dims") {
+      fields >> dims;
+    } else if (name == "widths") {
+      int w;
+      while (fields >> w) widths.push_back(w);
+    }
+    // Unknown fields are ignored: the crc seals them, and a newer writer
+    // may add informational lines an older reader can skip.
+  }
+  if (!IsPowerOfTwo(m.shards) || m.shard_bits != Log2Exact(m.shards) ||
+      m.page_size <= 0 || dims <= 0 || dims > kMaxDims ||
+      static_cast<int>(widths.size()) != dims) {
+    return Status::Corruption("manifest fields inconsistent: " + path);
+  }
+  m.schema = KeySchema(std::span<const int>(widths.data(), widths.size()));
+  return m;
+}
+
+bool ShardedStore::IsShardedDir(const std::string& path) {
+  bool is_dir = false;
+  if (!PathExists(path, &is_dir) || !is_dir) return false;
+  return ReadManifest(path).ok();
+}
+
+ShardedStore::ShardedStore(std::vector<std::unique_ptr<StorageUnit>> units,
+                           int shard_bits, const KeySchema& schema,
+                           obs::MetricsRegistry* metrics)
+    : units_(std::move(units)), shard_bits_(shard_bits), schema_(schema) {
+  if (metrics == nullptr) return;
+  metrics_ = metrics;
+  // Aggregate sampled state under the unlabeled names a single store
+  // publishes, so dashboards (and the CLI greps) keep working against a
+  // sharded store; the per-shard breakdown is what the units publish
+  // under their "shard<k>_" labels.
+  metrics_source_ = metrics_->AddSource([this](obs::RegistrySnapshot* s) {
+    uint64_t records = 0, wal = 0, dirty = 0;
+    int64_t height = 0;
+    for (const auto& u : units_) {
+      const BmehStore::SampledState st = u->store()->SampleStateForMetrics();
+      records += st.records;
+      wal += st.wal_records;
+      dirty += st.dirty_ops;
+      height = std::max<int64_t>(height, st.height);
+    }
+    s->gauges["store_shards"] = static_cast<int64_t>(units_.size());
+    s->gauges["tree_records"] = static_cast<int64_t>(records);
+    s->gauges["tree_height"] = height;
+    s->gauges["wal_records"] = static_cast<int64_t>(wal);
+    s->gauges["store_dirty_ops"] = static_cast<int64_t>(dirty);
+  });
+}
+
+ShardedStore::~ShardedStore() {
+  // The source samples the units; detach it before they die.  The units
+  // then close one by one, each folding its WAL into a final per-shard
+  // checkpoint exactly as a standalone store would.
+  if (metrics_ != nullptr) metrics_->RemoveSource(metrics_source_);
+}
+
+Result<std::unique_ptr<ShardedStore>> ShardedStore::OpenUnits(
+    const std::string& dir, int shards, const ShardedStoreOptions& options) {
+  const int n = shards;
+  std::vector<std::unique_ptr<StorageUnit>> units(n);
+  std::vector<Status> statuses(n, Status::OK());
+  auto open_one = [&](int i) {
+    auto r = StorageUnit::Open(i, ShardPath(dir, i), options.store);
+    if (r.ok()) {
+      units[i] = std::move(r).ValueOrDie();
+    } else {
+      statuses[i] = r.status();
+    }
+  };
+  if (n == 1) {
+    open_one(0);
+  } else {
+    // Parallel recovery: every shard replays its own WAL (and rebuilds
+    // its own free list) on its own thread.  The units share nothing but
+    // the mutex-guarded metrics registry, so concurrent opens are safe.
+    std::vector<std::thread> workers;
+    workers.reserve(n);
+    for (int i = 0; i < n; ++i) workers.emplace_back(open_one, i);
+    for (auto& w : workers) w.join();
+  }
+  for (int i = 0; i < n; ++i) {
+    if (!statuses[i].ok()) {
+      // A failed open must not mutate shard files: poison the units that
+      // did open so their destructors skip the close-time checkpoint.
+      for (auto& u : units) {
+        if (u != nullptr) u->store()->SimulateCrashForTesting();
+      }
+      return Status(statuses[i].code(),
+                    "shard " + std::to_string(i) + ": " +
+                        statuses[i].message());
+    }
+  }
+  return std::unique_ptr<ShardedStore>(
+      new ShardedStore(std::move(units), Log2Exact(n), options.store.schema,
+                       options.store.metrics));
+}
+
+Result<std::unique_ptr<ShardedStore>> ShardedStore::Open(
+    const std::string& dir, const ShardedStoreOptions& options) {
+  bool is_dir = false;
+  const bool exists = PathExists(dir, &is_dir);
+  if (exists && !is_dir) {
+    return Status::Invalid(dir + " is not a sharded store directory");
+  }
+  ShardManifest manifest;
+  const bool have_manifest = exists && PathExists(dir + "/" + kManifestName,
+                                                  nullptr);
+  if (!have_manifest) {
+    // Fresh store: fix the routing contract and seal it in the manifest
+    // before any shard file exists.
+    manifest.shards = options.shards == 0 ? 1 : options.shards;
+    BMEH_RETURN_NOT_OK(
+        ValidateShardCount(manifest.shards, options.store.schema));
+    manifest.shard_bits = Log2Exact(manifest.shards);
+    manifest.page_size = options.store.page_size;
+    manifest.schema = options.store.schema;
+    BMEH_RETURN_NOT_OK(WriteManifest(dir, manifest));
+  } else {
+    BMEH_ASSIGN_OR_RETURN(manifest, ReadManifest(dir));
+    if (options.shards != 0 && options.shards != manifest.shards) {
+      return Status::Invalid(
+          "shard count mismatch: directory has " +
+          std::to_string(manifest.shards) + " shards, caller expects " +
+          std::to_string(options.shards));
+    }
+    if (!(manifest.schema == options.store.schema)) {
+      return Status::Invalid("schema mismatch: sharded store has " +
+                             manifest.schema.ToString() + ", caller expects " +
+                             options.store.schema.ToString());
+    }
+  }
+  ShardedStoreOptions fixed = options;
+  fixed.store.page_size = manifest.page_size;
+  return OpenUnits(dir, manifest.shards, fixed);
+}
+
+Result<std::unique_ptr<ShardedStore>> ShardedStore::Open(
+    std::vector<std::unique_ptr<PageStore>> devices,
+    const ShardedStoreOptions& options) {
+  const int n = static_cast<int>(devices.size());
+  BMEH_RETURN_NOT_OK(ValidateShardCount(n, options.store.schema));
+  if (options.shards != 0 && options.shards != n) {
+    return Status::Invalid("options.shards disagrees with the device count");
+  }
+  std::vector<std::unique_ptr<StorageUnit>> units(n);
+  for (int i = 0; i < n; ++i) {
+    auto r = StorageUnit::Open(i, std::move(devices[i]), options.store);
+    if (!r.ok()) {
+      for (auto& u : units) {
+        if (u != nullptr) u->store()->SimulateCrashForTesting();
+      }
+      return Status(r.status().code(), "shard " + std::to_string(i) + ": " +
+                                           r.status().message());
+    }
+    units[i] = std::move(r).ValueOrDie();
+  }
+  return std::unique_ptr<ShardedStore>(
+      new ShardedStore(std::move(units), Log2Exact(n), options.store.schema,
+                       options.store.metrics));
+}
+
+Result<ShardedStoreInfo> ShardedStore::Inspect(const std::string& dir) {
+  BMEH_ASSIGN_OR_RETURN(const ShardManifest manifest, ReadManifest(dir));
+  ShardedStoreInfo info;
+  info.shards = manifest.shards;
+  info.shard_bits = manifest.shard_bits;
+  info.page_size = manifest.page_size;
+  info.shard.reserve(manifest.shards);
+  for (int i = 0; i < manifest.shards; ++i) {
+    auto r = BmehStore::Inspect(ShardPath(dir, i));
+    if (!r.ok()) {
+      return Status(r.status().code(), "shard " + std::to_string(i) + ": " +
+                                           r.status().message());
+    }
+    info.records += r->records;
+    info.wal_records += r->wal_records;
+    info.page_count += r->page_count;
+    info.shard.push_back(*r);
+  }
+  return info;
+}
+
+Status ShardedStore::Put(const PseudoKey& key, uint64_t payload) {
+  BMEH_RETURN_NOT_OK(schema_.Validate(key));
+  return units_[ShardOf(key)]->store()->Put(key, payload);
+}
+
+Result<uint64_t> ShardedStore::Get(const PseudoKey& key) {
+  BMEH_RETURN_NOT_OK(schema_.Validate(key));
+  return units_[ShardOf(key)]->store()->Get(key);
+}
+
+Status ShardedStore::Delete(const PseudoKey& key) {
+  BMEH_RETURN_NOT_OK(schema_.Validate(key));
+  return units_[ShardOf(key)]->store()->Delete(key);
+}
+
+Status ShardedStore::Write(const WriteBatch& batch,
+                           std::vector<Status>* per_record) {
+  const std::vector<Wal::LogRecord>& recs = batch.records();
+  std::vector<Status> local;
+  std::vector<Status>& statuses = per_record != nullptr ? *per_record : local;
+  statuses.assign(recs.size(), Status::OK());
+  if (recs.empty()) return Status::OK();
+
+  // Validate every key before anything is routed: a malformed key fails
+  // the whole batch with nothing written on any shard — the same
+  // up-front contract as the single-store batch path.
+  for (const Wal::LogRecord& rec : recs) {
+    const Status st = schema_.Validate(rec.key);
+    if (!st.ok()) {
+      statuses.assign(recs.size(), st);
+      return st;
+    }
+  }
+
+  // Split into per-shard sub-batches, preserving the caller's relative
+  // order within each shard (a duplicate key always lands on one shard,
+  // so per-shard order is all that per-record outcomes depend on).
+  std::vector<WriteBatch> sub(units_.size());
+  std::vector<std::vector<size_t>> origin(units_.size());
+  for (size_t i = 0; i < recs.size(); ++i) {
+    const int s = ShardOf(recs[i].key);
+    if (recs[i].op == Wal::kOpInsert) {
+      sub[s].Put(recs[i].key, recs[i].payload);
+    } else {
+      sub[s].Delete(recs[i].key);
+    }
+    origin[s].push_back(i);
+  }
+
+  // Each sub-batch commits independently with single-store atomicity
+  // (one WAL chain, one fsync, all-or-nothing on crash).  There is no
+  // cross-shard transaction: a shard that refuses its sub-batch leaves
+  // sibling commits standing, and the per-record statuses say which.
+  std::vector<Status> sub_statuses;
+  for (size_t s = 0; s < units_.size(); ++s) {
+    if (sub[s].empty()) continue;
+    units_[s]->store()->Write(sub[s], &sub_statuses);
+    for (size_t k = 0; k < sub_statuses.size(); ++k) {
+      statuses[origin[s][k]] = sub_statuses[k];
+    }
+  }
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status ShardedStore::InsertBatch(std::span<const Record> recs) {
+  WriteBatch batch;
+  for (const Record& rec : recs) batch.Put(rec.key, rec.payload);
+  return Write(batch);
+}
+
+Status ShardedStore::DeleteBatch(std::span<const PseudoKey> keys) {
+  WriteBatch batch;
+  for (const PseudoKey& key : keys) batch.Delete(key);
+  return Write(batch);
+}
+
+Status ShardedStore::Range(const RangePredicate& pred,
+                           std::vector<Record>* out) {
+  out->clear();
+  std::vector<std::vector<Record>> per(units_.size());
+  bool data_loss = false;
+  size_t total = 0;
+  for (size_t s = 0; s < units_.size(); ++s) {
+    Status st = units_[s]->store()->Range(pred, &per[s]);
+    if (st.IsDataLoss()) {
+      // Keep collecting: the surviving shards' matches are still owed to
+      // the caller, and the final status reports the partiality.
+      data_loss = true;
+    } else if (!st.ok()) {
+      return st;
+    }
+    // A shard returns its matches unordered; sort each by ψ so the
+    // cursors below emit it in order.
+    std::sort(per[s].begin(), per[s].end(),
+              [this](const Record& a, const Record& b) {
+                return ShardRouter::PsiLess(a.key, b.key, schema_);
+              });
+    total += per[s].size();
+  }
+
+  // Ordered k-way merge across the shard cursors.  Shards own contiguous
+  // ψ ranges (the routing prefix is the most significant digits), so the
+  // merge preserves global ψ order across shard boundaries; it stays a
+  // real merge rather than a concatenation so the invariant holds even
+  // for exotic predicates or future non-prefix routers.
+  struct Cursor {
+    size_t shard;
+    size_t pos;
+  };
+  auto later = [&](const Cursor& x, const Cursor& y) {
+    return ShardRouter::PsiLess(per[y.shard][y.pos].key,
+                                per[x.shard][x.pos].key, schema_);
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(later)> heap(
+      later);
+  for (size_t s = 0; s < per.size(); ++s) {
+    if (!per[s].empty()) heap.push({s, 0});
+  }
+  out->reserve(total);
+  while (!heap.empty()) {
+    Cursor c = heap.top();
+    heap.pop();
+    out->push_back(per[c.shard][c.pos]);
+    if (++c.pos < per[c.shard].size()) heap.push(c);
+  }
+  if (data_loss) {
+    return Status::DataLoss(
+        "range result is partial: a shard lost data to corruption");
+  }
+  return Status::OK();
+}
+
+Status ShardedStore::Checkpoint() {
+  // Every shard is attempted: checkpoints are independent per-shard
+  // superblock flips, and one shard's refusal (quota, degradation) is no
+  // reason to leave its siblings' WALs long.
+  Status first;
+  for (const auto& u : units_) {
+    Status st = u->store()->Checkpoint();
+    if (!st.ok() && first.ok()) first = st;
+  }
+  return first;
+}
+
+uint64_t ShardedStore::records() const {
+  uint64_t n = 0;
+  for (const auto& u : units_) n += u->store()->tree().Stats().records;
+  return n;
+}
+
+uint64_t ShardedStore::wal_records() const {
+  uint64_t n = 0;
+  for (const auto& u : units_) n += u->store()->wal_records();
+  return n;
+}
+
+uint64_t ShardedStore::dirty_ops() const {
+  uint64_t n = 0;
+  for (const auto& u : units_) n += u->store()->dirty_ops();
+  return n;
+}
+
+bool ShardedStore::degraded() const {
+  for (const auto& u : units_) {
+    if (u->store()->degraded()) return true;
+  }
+  return false;
+}
+
+void ShardedStore::SimulateCrashForTesting() {
+  for (const auto& u : units_) u->store()->SimulateCrashForTesting();
+}
+
+void ShardedStore::SimulateProcessCrashForTesting() {
+  for (const auto& u : units_) {
+    u->store()->SimulateCrashForTesting();
+    if (auto* file =
+            dynamic_cast<FilePageStore*>(u->store()->mutable_page_store())) {
+      file->CrashForTesting();
+    }
+  }
+}
+
+void ShardedStore::DisableFsyncForTesting() {
+  for (const auto& u : units_) {
+    if (auto* file =
+            dynamic_cast<FilePageStore*>(u->store()->mutable_page_store())) {
+      file->DisableFsyncForTesting();
+    }
+  }
+}
+
+}  // namespace bmeh

@@ -1,0 +1,230 @@
+// ShardedStore: N independent BMEH trees behind one facade.
+//
+// Records are routed by the top log2(N) bits of the order-preserving ψ
+// pseudo-key — the bit-interleaved (z-order) digit string the paper's
+// directory addresses with, taken round-robin across dimensions,
+// most-significant bit first.  Each of the N shards is a complete
+// StorageUnit (tree + WAL + group committer + page device + quota) over
+// its own file, so:
+//
+//  * writers on distinct shards never touch shared state (no global
+//    lock, no shared WAL tail, independently overlapping fsyncs);
+//  * recovery replays the shard WALs in parallel, one thread per shard;
+//  * checkpoints are per shard — a small fsync blast radius, and a
+//    crashed shard recovers on its own while its siblings' committed
+//    data is untouched;
+//  * because the routing prefix is the most significant ψ digits, every
+//    shard owns one contiguous ψ range, and Range() can merge the
+//    per-shard results with an ordered k-way cursor merge that
+//    preserves global ψ order across shard boundaries.
+//
+// On disk a sharded store is a directory:
+//
+//     <dir>/MANIFEST          routing + shape, CRC-sealed (see
+//                             ShardManifest)
+//     <dir>/shard-0000.bmeh   one BmehStore file per shard
+//     <dir>/shard-0001.bmeh   ...
+//
+// Every shard file carries its own flock, so a second open of the same
+// directory fails exactly like a double open of a single-file store.
+//
+// WriteBatch semantics: a batch is split into per-shard sub-batches that
+// commit independently (each sub-batch keeps the single-store
+// all-or-nothing crash atomicity).  Per-record statuses are mapped back
+// to the caller's original order; the batch-level status is the first
+// non-OK per-record status in that order.  A malformed key fails the
+// whole batch up front with nothing written anywhere.  With one shard a
+// ShardedStore is behaviorally identical to a BmehStore.
+
+#ifndef BMEH_STORE_SHARDED_STORE_H_
+#define BMEH_STORE_SHARDED_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/store/storage_unit.h"
+
+namespace bmeh {
+
+/// \brief ψ-prefix routing and ordering over interleaved pseudo-keys.
+struct ShardRouter {
+  /// \brief The shard owning `key`: the first `shard_bits` bits of the
+  /// interleaved ψ digit string (dimension-round-robin, MSB first;
+  /// dimensions narrower than the current round are skipped, matching
+  /// the paper's treatment of shorter digit strings).
+  static int ShardOf(const PseudoKey& key, const KeySchema& schema,
+                     int shard_bits);
+
+  /// \brief Strict weak order by the full interleaved ψ digit string —
+  /// the z-order the shards partition, and the order Range() returns.
+  static bool PsiLess(const PseudoKey& a, const PseudoKey& b,
+                      const KeySchema& schema);
+};
+
+/// \brief The durable routing contract of a sharded store directory.
+/// Text file `<dir>/MANIFEST`, CRC-sealed; every field must match the
+/// opener's expectations (schema) or is authoritative (shards,
+/// page_size).
+struct ShardManifest {
+  int shards = 1;      ///< Power of two.
+  int shard_bits = 0;  ///< log2(shards), the routing prefix length.
+  int page_size = kDefaultPageSize;
+  KeySchema schema{2, 31};
+};
+
+/// \brief Configuration for opening / creating a sharded store.
+struct ShardedStoreOptions {
+  /// Shard count.  Creating: must be a power of two >= 1.  Opening an
+  /// existing directory: 0 (the default) adopts the manifest's count,
+  /// any other value must match the manifest.
+  int shards = 0;
+  /// Per-shard store options (schema, page size, WAL sync policy, group
+  /// commit, quota — the quota applies per shard).  A metrics registry
+  /// here is shared by every shard: operation counters and latency
+  /// histograms aggregate across shards automatically, while sampled
+  /// per-shard state is published under a "shard<k>_" label.
+  StoreOptions store;
+};
+
+/// \brief Durable state of a sharded store directory (Inspect).
+struct ShardedStoreInfo {
+  int shards = 0;
+  int shard_bits = 0;
+  int page_size = 0;
+  uint64_t records = 0;      ///< Sum over shards, replayed WALs included.
+  uint64_t wal_records = 0;  ///< Sum over shards.
+  uint64_t page_count = 0;   ///< Sum over shards.
+  std::vector<StoreInfo> shard;
+};
+
+/// \brief N independent BMEH stores routed by the top ψ bits.
+class ShardedStore {
+ public:
+  ~ShardedStore();
+  ShardedStore(const ShardedStore&) = delete;
+  ShardedStore& operator=(const ShardedStore&) = delete;
+
+  /// \brief Opens `dir`, creating the directory, manifest and shard
+  /// files when it does not exist.  Reopening after a crash recovers
+  /// every shard (WAL replay + free-list rebuild) in parallel, one
+  /// thread per shard.
+  static Result<std::unique_ptr<ShardedStore>> Open(
+      const std::string& dir, const ShardedStoreOptions& options);
+
+  /// \brief Opens over injected page devices, one per shard (the count
+  /// must be a power of two).  No directory, manifest or free-list
+  /// recovery — the seam the shard crash matrix and the scaling bench
+  /// drive.
+  static Result<std::unique_ptr<ShardedStore>> Open(
+      std::vector<std::unique_ptr<PageStore>> devices,
+      const ShardedStoreOptions& options);
+
+  /// \brief Reads the durable state of every shard without mutating it.
+  static Result<ShardedStoreInfo> Inspect(const std::string& dir);
+
+  /// \brief True when `path` is a sharded store directory (manifest
+  /// present and well-formed).
+  static bool IsShardedDir(const std::string& path);
+
+  /// \brief Reads / writes `<dir>/MANIFEST` — public so the offline
+  /// tooling (fsck --repair into a fresh sharded directory) shares the
+  /// format with Open().  WriteManifest creates `dir` if needed.
+  static Result<ShardManifest> ReadManifest(const std::string& dir);
+  static Status WriteManifest(const std::string& dir,
+                              const ShardManifest& manifest);
+
+  /// \brief The shard file path for `shard_index` under `dir`.
+  static std::string ShardPath(const std::string& dir, int shard_index);
+
+  /// \brief Single-record operations: validate, route by ψ prefix,
+  /// delegate to the owning unit.  Same contracts as BmehStore.
+  Status Put(const PseudoKey& key, uint64_t payload);
+  Result<uint64_t> Get(const PseudoKey& key);
+  Status Delete(const PseudoKey& key);
+
+  /// \brief Applies `batch` split into per-shard sub-batches, each
+  /// committed independently with single-store batch atomicity.
+  /// `per_record` (optional) receives each member's status in the
+  /// caller's original order; the returned status is the first non-OK
+  /// of those.  There is no cross-shard atomicity: a hard failure on
+  /// one shard does not undo sibling sub-batches — the per-record
+  /// statuses say exactly which members are durable.
+  Status Write(const WriteBatch& batch,
+               std::vector<Status>* per_record = nullptr);
+
+  Status InsertBatch(std::span<const Record> recs);
+  Status DeleteBatch(std::span<const PseudoKey> keys);
+
+  /// \brief Partial-range query over all shards.  The result is in
+  /// global ψ (z-)order: each shard's matches are sorted by ψ and the
+  /// per-shard cursors k-way merged — since shards own contiguous ψ
+  /// ranges the merge preserves order across shard boundaries.  Shards
+  /// with no matches contribute nothing.  DataLoss from any degraded
+  /// shard is reported after all shards were collected (the surviving
+  /// matches are in `out`).
+  Status Range(const RangePredicate& pred, std::vector<Record>* out);
+
+  /// \brief Checkpoints every shard (each an independent atomic
+  /// superblock flip).  All shards are attempted; the first failure is
+  /// returned.
+  Status Checkpoint();
+
+  int shards() const { return static_cast<int>(units_.size()); }
+  int shard_bits() const { return shard_bits_; }
+  const KeySchema& schema() const { return schema_; }
+
+  /// \brief The shard `key` routes to.
+  int ShardOf(const PseudoKey& key) const {
+    return ShardRouter::ShardOf(key, schema_, shard_bits_);
+  }
+
+  /// \brief Per-shard introspection (test assertions, tooling).
+  BmehStore* shard(int i) { return units_[i]->store(); }
+  const StorageUnit& unit(int i) const { return *units_[i]; }
+
+  /// \brief Records across all shards (owner-synchronized, like the
+  /// per-store accessors it sums).
+  uint64_t records() const;
+  /// \brief WAL records across all shards.
+  uint64_t wal_records() const;
+  /// \brief Mutations since the last checkpoint, across all shards.
+  uint64_t dirty_ops() const;
+  /// \brief True when any shard's open had to work around corruption.
+  bool degraded() const;
+
+  /// \brief Testing hook: poisons every shard so teardown performs no
+  /// final checkpoint (the per-shard files keep their WALs).
+  void SimulateCrashForTesting();
+
+  /// \brief Testing hook: process death — poisons every shard and drops
+  /// the file descriptors of file-backed shards without the clean-close
+  /// header flush, so only completed page writes survive.
+  void SimulateProcessCrashForTesting();
+
+  /// \brief Testing hook: disables fsync on every file-backed shard.
+  void DisableFsyncForTesting();
+
+ private:
+  ShardedStore(std::vector<std::unique_ptr<StorageUnit>> units,
+               int shard_bits, const KeySchema& schema,
+               obs::MetricsRegistry* metrics);
+
+  /// Opens every unit concurrently (one thread per shard) and builds the
+  /// facade; on any failure the already-opened units are poisoned before
+  /// destruction so a failed open never mutates shard files.
+  static Result<std::unique_ptr<ShardedStore>> OpenUnits(
+      const std::string& dir, int shards, const ShardedStoreOptions& options);
+
+  std::vector<std::unique_ptr<StorageUnit>> units_;
+  int shard_bits_ = 0;
+  KeySchema schema_;
+  /// Aggregate sampled source (tree records / WAL depth summed across
+  /// shards under the unlabeled names a single store would publish).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  uint64_t metrics_source_ = 0;
+};
+
+}  // namespace bmeh
+
+#endif  // BMEH_STORE_SHARDED_STORE_H_

@@ -1,0 +1,25 @@
+#include "src/store/storage_unit.h"
+
+namespace bmeh {
+
+Result<std::unique_ptr<StorageUnit>> StorageUnit::Open(
+    int shard_index, const std::string& path, const StoreOptions& options) {
+  StoreOptions unit_options = options;
+  unit_options.metrics_label = MetricsLabel(shard_index);
+  BMEH_ASSIGN_OR_RETURN(auto store, BmehStore::Open(path, unit_options));
+  return std::unique_ptr<StorageUnit>(
+      new StorageUnit(shard_index, path, std::move(store)));
+}
+
+Result<std::unique_ptr<StorageUnit>> StorageUnit::Open(
+    int shard_index, std::unique_ptr<PageStore> device,
+    const StoreOptions& options) {
+  StoreOptions unit_options = options;
+  unit_options.metrics_label = MetricsLabel(shard_index);
+  BMEH_ASSIGN_OR_RETURN(auto store,
+                        BmehStore::Open(std::move(device), unit_options));
+  return std::unique_ptr<StorageUnit>(
+      new StorageUnit(shard_index, std::string(), std::move(store)));
+}
+
+}  // namespace bmeh

@@ -1,0 +1,76 @@
+// StorageUnit: one self-contained durability domain — a BMEH tree plus
+// its own write-ahead log, group-commit thread, page device and quota,
+// wrapped with a shard identity (index, file path, metrics label).
+//
+// This is the per-tree extraction the sharded store is built from: a
+// ShardedStore owns N StorageUnits and routes records between them, and
+// every durability property (crash recovery, checkpoint atomicity,
+// resource backpressure) holds per unit because each unit is a complete
+// BmehStore over its own file.  A unit never shares mutable state with
+// its siblings, so writers on distinct units cannot contend — the whole
+// point of sharding.
+//
+// A StorageUnit attached to a shared MetricsRegistry charges the common
+// operation counters and latency histograms (which therefore aggregate
+// across units automatically) while publishing its sampled per-unit
+// state — tree size, WAL depth, page-device counters — under a
+// "shard<k>_" label so individual shards stay observable.
+
+#ifndef BMEH_STORE_STORAGE_UNIT_H_
+#define BMEH_STORE_STORAGE_UNIT_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/store/bmeh_store.h"
+
+namespace bmeh {
+
+/// \brief One shard of a ShardedStore: a BmehStore plus shard identity.
+class StorageUnit {
+ public:
+  /// \brief Opens (or creates) the unit's file at `path`.  Reopening
+  /// after a crash replays this unit's WAL and rebuilds its free list —
+  /// exactly BmehStore::Open(path) semantics, per shard.  The options'
+  /// metrics_label is overwritten with this unit's "shard<k>_" label.
+  static Result<std::unique_ptr<StorageUnit>> Open(int shard_index,
+                                                   const std::string& path,
+                                                   const StoreOptions& options);
+
+  /// \brief Opens the unit over an injected page device (in-memory,
+  /// fault-injecting, ...).  No free-list recovery — the seam the shard
+  /// crash matrix and the scaling bench drive, mirroring the BmehStore
+  /// PageStore overload.
+  static Result<std::unique_ptr<StorageUnit>> Open(
+      int shard_index, std::unique_ptr<PageStore> device,
+      const StoreOptions& options);
+
+  BmehStore* store() { return store_.get(); }
+  const BmehStore* store() const { return store_.get(); }
+
+  int shard_index() const { return shard_index_; }
+
+  /// \brief The unit's file path (empty for an injected device).
+  const std::string& path() const { return path_; }
+
+  /// \brief The "shard<k>_" prefix this unit's sampled metrics carry.
+  static std::string MetricsLabel(int shard_index) {
+    return "shard" + std::to_string(shard_index) + "_";
+  }
+
+ private:
+  StorageUnit(int shard_index, std::string path,
+              std::unique_ptr<BmehStore> store)
+      : shard_index_(shard_index),
+        path_(std::move(path)),
+        store_(std::move(store)) {}
+
+  int shard_index_;
+  std::string path_;
+  std::unique_ptr<BmehStore> store_;
+};
+
+}  // namespace bmeh
+
+#endif  // BMEH_STORE_STORAGE_UNIT_H_

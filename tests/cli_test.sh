@@ -196,4 +196,63 @@ OUT=$("$CLI" storeinfo --db "$QUOTA")
 DONE=$(echo "$OUT" | sed -n 's/^records: *\([0-9]*\).*/\1/p')
 [ "$DONE" -gt "$KEPT" ] || fail "raised quota did not grow the store"
 
+# ---- sharded store: storebuild --shards / storeinfo / stats / scrub / fsck ----
+
+SHARDDIR="$(mktemp -u /tmp/bmeh_cli_test.XXXXXX.shards)"
+SHARDFIX="$(mktemp -u /tmp/bmeh_cli_test.XXXXXX.shardfix)"
+trap 'rm -f "$DB" "$STORE" "$REPAIRED" "$QUOTA" "$TRACE"; rm -rf "$SHARDDIR" "$SHARDFIX"' EXIT
+
+# storebuild into a 4-shard directory
+OUT=$("$CLI" storebuild --db "$SHARDDIR" --shards 4 --n 400 --b 8 \
+      --page-size 512 --seed 11 --batch 32) \
+  || fail "sharded storebuild exited non-zero"
+echo "$OUT" | grep -q "built sharded store" || fail "sharded build summary"
+echo "$OUT" | grep -q "across 4 shards" || fail "sharded build shard count"
+SHARD_BUILT=$(echo "$OUT" | sed -n 's/.*: \([0-9]*\) records.*/\1/p')
+[ -n "$SHARD_BUILT" ] && [ "$SHARD_BUILT" -gt 0 ] || fail "sharded build count"
+[ -f "$SHARDDIR/MANIFEST" ] || fail "sharded build wrote no manifest"
+[ -f "$SHARDDIR/shard-0003.bmeh" ] || fail "sharded build wrote no shard files"
+
+# storeinfo detects the directory and aggregates across shards
+OUT=$("$CLI" storeinfo --db "$SHARDDIR") || fail "sharded storeinfo"
+echo "$OUT" | grep -q "sharded store:    4 shards (2 routing bits)" \
+  || fail "sharded storeinfo header"
+echo "$OUT" | grep -q "records:          $SHARD_BUILT " \
+  || fail "sharded storeinfo record count"
+echo "$OUT" | grep -q "shard 3" || fail "sharded storeinfo per-shard lines"
+
+# stats: one registry across shards — aggregate gauges plus shard labels
+OUT=$("$CLI" stats --db "$SHARDDIR" --ops 25 --page-size 512) \
+  || fail "sharded stats exited non-zero"
+echo "$OUT" | grep -q "bmeh_store_puts_total 25" || fail "sharded stats puts count"
+echo "$OUT" | grep -q "bmeh_tree_records $SHARD_BUILT" \
+  || fail "sharded stats aggregate record gauge"
+echo "$OUT" | grep -q "bmeh_store_shards 4" || fail "sharded stats shard gauge"
+echo "$OUT" | grep -q "bmeh_shard0_tree_records" || fail "sharded stats shard label"
+
+# every shard scrubs clean; the combined verdict names the shard count
+OUT=$("$CLI" scrub --db "$SHARDDIR") || fail "sharded scrub exited non-zero"
+echo "$OUT" | grep -q "$SHARDDIR: clean (4 shards)" || fail "sharded scrub verdict"
+
+# corrupt ONE shard: scrub flags the directory, siblings stay clean
+"$CLI" corrupt --db "$SHARDDIR/shard-0001.bmeh" --page 2 --byte 60 > /dev/null \
+  || fail "corrupt of a shard file failed"
+set +e
+OUT=$("$CLI" scrub --db "$SHARDDIR")
+RC=$?
+set -e
+[ "$RC" -eq 1 ] || fail "scrub of a corrupt shard should exit 1, got $RC"
+echo "$OUT" | grep -q "shard-0001.bmeh: CORRUPT" || fail "scrub missed the bad shard"
+echo "$OUT" | grep -q "shard-0000.bmeh: clean" || fail "scrub flagged a clean sibling"
+
+# fsck --repair salvages shard by shard into a fresh sharded directory
+OUT=$("$CLI" fsck --db "$SHARDDIR" --repair "$SHARDFIX" --b 8) \
+  || fail "sharded fsck --repair exited non-zero"
+echo "$OUT" | grep -q "salvaged [0-9]* records into $SHARDFIX across 4 shards" \
+  || fail "sharded repair summary"
+"$CLI" scrub --db "$SHARDFIX" > /dev/null || fail "repaired shards must scrub clean"
+OUT=$("$CLI" storeinfo --db "$SHARDFIX")
+FIXED=$(echo "$OUT" | sed -n 's/^records: *\([0-9]*\).*/\1/p')
+[ -n "$FIXED" ] && [ "$FIXED" -gt 0 ] || fail "sharded repair kept no records"
+
 echo "cli_test: all checks passed"

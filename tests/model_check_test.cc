@@ -1,8 +1,9 @@
-// Model-based differential test for BmehStore: seeded random op sequences
-// (insert / delete / search / range / batched writes / checkpoint / clean
-// reopen / crash-reopen) run against both the store and a std::map-backed
-// reference model, asserting identical observable results after every
-// step and identical full contents at periodic sync points.
+// Model-based differential test for BmehStore and ShardedStore: seeded
+// random op sequences (insert / delete / search / range / batched writes
+// / checkpoint / clean reopen / crash-reopen) run against both the store
+// and a std::map-backed reference model, asserting identical observable
+// results after every step and identical full contents at periodic sync
+// points.
 //
 // The store runs file-backed with wal_sync_every = 1 and simulated
 // process crashes (completed page writes survive, nothing else does), so
@@ -11,8 +12,15 @@
 // test noise.  Reproduce a failure by re-running with the seed printed in
 // the failure message (BMEH_MODEL_CHECK_SEED / BMEH_MODEL_CHECK_OPS
 // override the sweep).
+//
+// The same harness drives a ShardedStore directory with shards ∈
+// {1, 2, 8}; a 1-shard ShardedStore must be behaviorally identical to a
+// BmehStore, and the multi-shard runs must still match the model through
+// per-shard batches, checkpoints and parallel crash recovery.
 
 #include <gtest/gtest.h>
+
+#include <sys/stat.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -22,7 +30,7 @@
 #include <vector>
 
 #include "src/common/random.h"
-#include "src/store/bmeh_store.h"
+#include "src/store/sharded_store.h"
 
 namespace bmeh {
 namespace {
@@ -31,20 +39,14 @@ namespace {
 // non-trivial range predicates arise constantly.
 constexpr uint32_t kDomain = 48;
 
-class ModelChecker {
+// Drives a file-backed BmehStore through the checker's lifecycle hooks.
+class SingleStoreDriver {
  public:
-  ModelChecker(const std::string& path, uint64_t seed)
-      : path_(path), rng_(seed), seed_(seed) {
+  explicit SingleStoreDriver(std::string path) : path_(std::move(path)) {
     std::remove(path_.c_str());
-    OpenFresh();
   }
 
-  ~ModelChecker() {
-    // Keep teardown write-free; the file is removed by the caller.
-    if (store_ != nullptr) store_->SimulateCrashForTesting();
-  }
-
-  StoreOptions Opts() const {
+  static StoreOptions Opts() {
     StoreOptions o;
     o.schema = KeySchema(2, 31);
     o.tree = TreeOptions::Make(2, 8);
@@ -52,6 +54,141 @@ class ModelChecker {
     o.wal_sync_every = 1;
     o.checkpoint_every = 200;
     return o;
+  }
+
+  BmehStore* store() { return store_.get(); }
+
+  void OpenFresh() {
+    auto created = FilePageStore::Create(path_, Opts().page_size);
+    ASSERT_TRUE(created.ok()) << created.status();
+    auto file = std::move(created).ValueOrDie();
+    file->DisableFsyncForTesting();
+    raw_file_ = file.get();
+    auto opened = BmehStore::Open(std::move(file), Opts());
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    store_ = std::move(opened).ValueOrDie();
+  }
+
+  void Reopen() {
+    auto recovered = FilePageStore::OpenForRecovery(path_);
+    ASSERT_TRUE(recovered.ok()) << recovered.status();
+    auto file = std::move(recovered).ValueOrDie();
+    file->DisableFsyncForTesting();
+    raw_file_ = file.get();
+    auto opened = BmehStore::Open(std::move(file), Opts());
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    store_ = std::move(opened).ValueOrDie();
+  }
+
+  void CleanClose() { store_.reset(); }  // destructor checkpoints
+
+  void Crash() {
+    store_->SimulateCrashForTesting();
+    raw_file_->CrashForTesting();
+    store_.reset();
+  }
+
+  void Abandon() {
+    if (store_ != nullptr) store_->SimulateCrashForTesting();
+  }
+
+  bool Validate() { return store_->tree().Validate().ok(); }
+  uint64_t RecordCount() { return store_->tree().Stats().records; }
+
+  /// Checker keys need no special shape for a single tree.
+  static constexpr int kKeyShift = 0;
+
+ private:
+  std::string path_;
+  std::unique_ptr<BmehStore> store_;
+  FilePageStore* raw_file_ = nullptr;
+};
+
+// Drives a ShardedStore directory.  Keys are shifted into the top
+// component bits (kKeyShift) so the ψ-prefix router actually spreads the
+// small checker domain across shards instead of parking it on shard 0.
+class ShardedStoreDriver {
+ public:
+  ShardedStoreDriver(std::string dir, int shards)
+      : dir_(std::move(dir)), shards_(shards) {
+    RemoveAll();
+  }
+
+  ShardedStoreOptions Opts() const {
+    ShardedStoreOptions o;
+    o.shards = shards_;
+    o.store = SingleStoreDriver::Opts();
+    return o;
+  }
+
+  ShardedStore* store() { return store_.get(); }
+
+  void OpenFresh() {
+    auto opened = ShardedStore::Open(dir_, Opts());
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    store_ = std::move(opened).ValueOrDie();
+    store_->DisableFsyncForTesting();
+  }
+
+  void Reopen() {
+    ShardedStoreOptions opts = Opts();
+    opts.shards = 0;  // adopt the manifest
+    auto opened = ShardedStore::Open(dir_, opts);
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    store_ = std::move(opened).ValueOrDie();
+    ASSERT_EQ(store_->shards(), shards_);
+    store_->DisableFsyncForTesting();
+  }
+
+  void CleanClose() { store_.reset(); }  // destructors checkpoint per shard
+
+  void Crash() {
+    store_->SimulateProcessCrashForTesting();
+    store_.reset();
+  }
+
+  void Abandon() {
+    if (store_ != nullptr) store_->SimulateCrashForTesting();
+  }
+
+  bool Validate() {
+    for (int s = 0; s < store_->shards(); ++s) {
+      if (!store_->shard(s)->tree().Validate().ok()) return false;
+    }
+    return true;
+  }
+  uint64_t RecordCount() { return store_->records(); }
+
+  void RemoveAll() {
+    for (int s = 0; s < shards_; ++s) {
+      std::remove(ShardedStore::ShardPath(dir_, s).c_str());
+    }
+    std::remove((dir_ + "/MANIFEST").c_str());
+    ::rmdir(dir_.c_str());
+  }
+
+  /// Lift the checker's [0, kDomain) components into the top bits so the
+  /// routing prefix varies: 47 << 25 < 2^31, and exact duplicates stay as
+  /// frequent as in the unshifted domain.
+  static constexpr int kKeyShift = 25;
+
+ private:
+  std::string dir_;
+  int shards_;
+  std::unique_ptr<ShardedStore> store_;
+};
+
+template <typename Driver>
+class ModelChecker {
+ public:
+  ModelChecker(Driver driver, uint64_t seed)
+      : driver_(std::move(driver)), rng_(seed), seed_(seed) {
+    driver_.OpenFresh();
+  }
+
+  ~ModelChecker() {
+    // Keep teardown write-free; files are removed by the caller.
+    driver_.Abandon();
   }
 
   void Step(int op_index) {
@@ -76,17 +213,17 @@ class ModelChecker {
   }
 
   void CheckFullState(const std::string& when) {
-    ASSERT_TRUE(store_->tree().Validate().ok()) << Label(when);
-    ASSERT_EQ(store_->tree().Stats().records, model_.size()) << Label(when);
+    ASSERT_TRUE(driver_.Validate()) << Label(when);
+    ASSERT_EQ(driver_.RecordCount(), model_.size()) << Label(when);
     for (const auto& [key, payload] : model_) {
-      auto r = store_->Get(key);
+      auto r = store()->Get(key);
       ASSERT_TRUE(r.ok()) << Label(when) << ": missing " << key.ToString();
       ASSERT_EQ(*r, payload) << Label(when) << ": " << key.ToString();
     }
     // Full-domain range returns exactly the model, key for key.
-    RangePredicate pred(store_->schema());
+    RangePredicate pred(store()->schema());
     std::vector<Record> out;
-    ASSERT_TRUE(store_->Range(pred, &out).ok()) << Label(when);
+    ASSERT_TRUE(store()->Range(pred, &out).ok()) << Label(when);
     ASSERT_EQ(out.size(), model_.size()) << Label(when);
     std::sort(out.begin(), out.end(),
               [](const Record& a, const Record& b) { return a.key < b.key; });
@@ -99,42 +236,23 @@ class ModelChecker {
   }
 
  private:
+  auto* store() { return driver_.store(); }
+
   std::string Label(const std::string& what) const {
     return what + " (seed " + std::to_string(seed_) + ")";
   }
 
   PseudoKey RandomKey() {
-    return PseudoKey({static_cast<uint32_t>(rng_.Uniform(kDomain)),
-                      static_cast<uint32_t>(rng_.Uniform(kDomain))});
-  }
-
-  void OpenFresh() {
-    auto created = FilePageStore::Create(path_, Opts().page_size);
-    ASSERT_TRUE(created.ok()) << created.status();
-    auto file = std::move(created).ValueOrDie();
-    file->DisableFsyncForTesting();
-    raw_file_ = file.get();
-    auto opened = BmehStore::Open(std::move(file), Opts());
-    ASSERT_TRUE(opened.ok()) << opened.status();
-    store_ = std::move(opened).ValueOrDie();
-  }
-
-  void Reopen() {
-    auto recovered = FilePageStore::OpenForRecovery(path_);
-    ASSERT_TRUE(recovered.ok()) << recovered.status();
-    auto file = std::move(recovered).ValueOrDie();
-    file->DisableFsyncForTesting();
-    raw_file_ = file.get();
-    auto opened = BmehStore::Open(std::move(file), Opts());
-    ASSERT_TRUE(opened.ok()) << opened.status();
-    store_ = std::move(opened).ValueOrDie();
+    return PseudoKey(
+        {static_cast<uint32_t>(rng_.Uniform(kDomain)) << Driver::kKeyShift,
+         static_cast<uint32_t>(rng_.Uniform(kDomain)) << Driver::kKeyShift});
   }
 
   void StepPut() {
     const PseudoKey key = RandomKey();
     const uint64_t payload = next_payload_++;
     const bool fresh = model_.emplace(key, payload).second;
-    Status st = store_->Put(key, payload);
+    Status st = store()->Put(key, payload);
     if (fresh) {
       ASSERT_TRUE(st.ok()) << Label("put " + key.ToString()) << ": " << st;
     } else {
@@ -146,7 +264,7 @@ class ModelChecker {
   void StepDelete() {
     const PseudoKey key = RandomKey();
     const bool present = model_.erase(key) > 0;
-    Status st = store_->Delete(key);
+    Status st = store()->Delete(key);
     if (present) {
       ASSERT_TRUE(st.ok()) << Label("delete " + key.ToString()) << ": " << st;
     } else {
@@ -158,7 +276,7 @@ class ModelChecker {
   void StepSearch() {
     const PseudoKey key = RandomKey();
     auto it = model_.find(key);
-    auto r = store_->Get(key);
+    auto r = store()->Get(key);
     if (it != model_.end()) {
       ASSERT_TRUE(r.ok()) << Label("get " + key.ToString()) << ": "
                           << r.status();
@@ -170,14 +288,16 @@ class ModelChecker {
   }
 
   void StepRange() {
-    RangePredicate pred(store_->schema());
+    RangePredicate pred(store()->schema());
     for (int j = 0; j < 2; ++j) {
-      const uint32_t a = static_cast<uint32_t>(rng_.Uniform(kDomain));
-      const uint32_t b = static_cast<uint32_t>(rng_.Uniform(kDomain));
+      const uint32_t a =
+          static_cast<uint32_t>(rng_.Uniform(kDomain)) << Driver::kKeyShift;
+      const uint32_t b =
+          static_cast<uint32_t>(rng_.Uniform(kDomain)) << Driver::kKeyShift;
       pred.Constrain(j, std::min(a, b), std::max(a, b));
     }
     std::vector<Record> got;
-    ASSERT_TRUE(store_->Range(pred, &got).ok()) << Label("range");
+    ASSERT_TRUE(store()->Range(pred, &got).ok()) << Label("range");
     std::vector<Record> want;
     for (const auto& [key, payload] : model_) {
       if (pred.Matches(key)) want.push_back({key, payload});
@@ -216,7 +336,7 @@ class ModelChecker {
       }
     }
     std::vector<Status> per_record;
-    Status st = store_->Write(batch, &per_record);
+    Status st = store()->Write(batch, &per_record);
     ASSERT_TRUE(st.ok() || st.IsAlreadyExists() || st.IsKeyError())
         << Label("batch") << ": " << st;
     ASSERT_EQ(per_record.size(), n) << Label("batch");
@@ -229,8 +349,8 @@ class ModelChecker {
   }
 
   void StepCheckpoint() {
-    ASSERT_TRUE(store_->Checkpoint().ok()) << Label("checkpoint");
-    ASSERT_EQ(store_->wal_records(), 0u) << Label("checkpoint");
+    ASSERT_TRUE(store()->Checkpoint().ok()) << Label("checkpoint");
+    ASSERT_EQ(store()->wal_records(), 0u) << Label("checkpoint");
   }
 
   void StepReopen(bool crash, int op_index) {
@@ -241,22 +361,18 @@ class ModelChecker {
       // Process death at a quiescent point: with wal_sync_every = 1 every
       // acknowledged mutation is on disk, so recovery must reproduce the
       // model exactly — batches included, whole or not at all.
-      store_->SimulateCrashForTesting();
-      raw_file_->CrashForTesting();
-      store_.reset();
+      driver_.Crash();
     } else {
-      store_.reset();  // destructor checkpoints
+      driver_.CleanClose();
     }
-    Reopen();
+    driver_.Reopen();
     CheckFullState(label);
   }
 
-  std::string path_;
+  Driver driver_;
   Rng rng_;
   uint64_t seed_;
   std::map<PseudoKey, uint64_t> model_;
-  std::unique_ptr<BmehStore> store_;
-  FilePageStore* raw_file_ = nullptr;
   uint64_t next_payload_ = 1;
 };
 
@@ -283,7 +399,7 @@ TEST_F(ModelCheckTest, RandomOpsMatchReferenceModel) {
   for (int s = 0; s < seeds; ++s) {
     const uint64_t seed = base_seed + static_cast<uint64_t>(s);
     SCOPED_TRACE("seed " + std::to_string(seed));
-    ModelChecker checker(path_, seed);
+    ModelChecker<SingleStoreDriver> checker(SingleStoreDriver(path_), seed);
     for (int op = 0; op < ops; ++op) {
       checker.Step(op);
       if (::testing::Test::HasFatalFailure()) return;
@@ -293,6 +409,39 @@ TEST_F(ModelCheckTest, RandomOpsMatchReferenceModel) {
       }
     }
     checker.CheckFullState("final");
+  }
+}
+
+TEST_F(ModelCheckTest, ShardedStoreMatchesReferenceModel) {
+  // The identical differential harness against a sharded directory.  With
+  // one shard the facade must be behaviorally indistinguishable from a
+  // BmehStore (same statuses, same recovered states); with 2 and 8 shards
+  // the per-shard batch split, per-shard checkpoints and parallel crash
+  // recovery must still reproduce the model exactly.
+  const uint64_t base_seed = EnvOr("BMEH_MODEL_CHECK_SEED", 20260807);
+  const int ops = static_cast<int>(EnvOr("BMEH_MODEL_CHECK_OPS", 700));
+  for (int shards : {1, 2, 8}) {
+    const std::string dir = path_ + "_shards" + std::to_string(shards);
+    const uint64_t seed = base_seed + 10u * static_cast<uint64_t>(shards);
+    SCOPED_TRACE("shards " + std::to_string(shards) + ", seed " +
+                 std::to_string(seed));
+    {
+      ModelChecker<ShardedStoreDriver> checker(
+          ShardedStoreDriver(dir, shards), seed);
+      for (int op = 0; op < ops; ++op) {
+        checker.Step(op);
+        if (::testing::Test::HasFatalFailure()) break;
+        if (op % 100 == 99) {
+          checker.CheckFullState("op " + std::to_string(op));
+          if (::testing::Test::HasFatalFailure()) break;
+        }
+      }
+      if (!::testing::Test::HasFatalFailure()) {
+        checker.CheckFullState("final");
+      }
+    }
+    ShardedStoreDriver(dir, shards).RemoveAll();
+    if (::testing::Test::HasFatalFailure()) return;
   }
 }
 

@@ -1,0 +1,280 @@
+// Sharded crash-recovery matrix: run a fixed mutation workload spread
+// over a 4-shard ShardedStore with ONE shard wrapped in the fault
+// injector, kill that shard at EVERY page-write index (alternating clean
+// and torn faults), and verify on reopen that
+//
+//  * the crashed shard recovers independently to a clean prefix of the
+//    ops routed to it (acked or acked + 1, the single-store contract),
+//  * sibling shards' committed data is never lost and never duplicated —
+//    their recovered contents are exactly the ops routed to them,
+//
+// for every choice of target shard.
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/pagestore/fault_injecting_page_store.h"
+#include "src/store/sharded_store.h"
+
+namespace bmeh {
+namespace {
+
+constexpr int kShards = 4;
+constexpr uint64_t kNoFault = std::numeric_limits<uint64_t>::max();
+
+struct Op {
+  bool insert;
+  PseudoKey key;
+  uint64_t payload;
+};
+
+// A deterministic script of unique-key inserts (~3/4) and deletes of live
+// keys (~1/4); every op succeeds logically, so any non-OK status during a
+// run is the injected crash.
+std::vector<Op> MakeScript(int n) {
+  std::vector<Op> script;
+  Rng rng(5678);
+  std::vector<PseudoKey> live;
+  uint32_t serial = 1;
+  for (int i = 0; i < n; ++i) {
+    if (!live.empty() && rng.NextBool(0.25)) {
+      const size_t pos = rng.Uniform(live.size());
+      script.push_back({false, live[pos], 0});
+      live[pos] = live.back();
+      live.pop_back();
+    } else {
+      // Both components hash the serial so the interleaved routing
+      // prefix (top bit of each dimension) reaches every shard.
+      const PseudoKey key({(serial * 2654435761u) & 0x7fffffffu,
+                           (serial * 0x85ebca6bu + 0x7f4a7c15u) & 0x7fffffffu});
+      ++serial;
+      script.push_back({true, key, 10000u + static_cast<uint64_t>(i)});
+      live.push_back(key);
+    }
+  }
+  return script;
+}
+
+// The state of one shard after the first `m` of the ops routed to it.
+std::map<PseudoKey, uint64_t> StateAfter(const std::vector<Op>& shard_script,
+                                         size_t m) {
+  std::map<PseudoKey, uint64_t> state;
+  for (size_t i = 0; i < m; ++i) {
+    if (shard_script[i].insert) {
+      state.emplace(shard_script[i].key, shard_script[i].payload);
+    } else {
+      state.erase(shard_script[i].key);
+    }
+  }
+  return state;
+}
+
+bool ContentsEqual(BmehStore* store,
+                   const std::map<PseudoKey, uint64_t>& want) {
+  // Record-count equality first: data present that should not be —
+  // e.g. a sibling replaying a mutation twice — fails here.
+  if (store->tree().Stats().records != want.size()) return false;
+  for (const auto& [key, payload] : want) {
+    auto r = store->Get(key);
+    if (!r.ok() || *r != payload) return false;
+  }
+  return true;
+}
+
+class ShardCrashMatrixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/bmeh_shard_crash_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    RemoveAll();
+    script_ = MakeScript(160);
+    // Pre-split the script per shard so expected states are computable.
+    const KeySchema schema(2, 31);
+    per_shard_.assign(kShards, {});
+    for (const Op& op : script_) {
+      per_shard_[ShardRouter::ShardOf(op.key, schema, 2)].push_back(op);
+    }
+    for (int s = 0; s < kShards; ++s) {
+      ASSERT_GT(per_shard_[s].size(), 10u)
+          << "script must exercise every shard";
+    }
+  }
+  void TearDown() override { RemoveAll(); }
+
+  void RemoveAll() {
+    for (int s = 0; s < kShards; ++s) {
+      std::remove(ShardedStore::ShardPath(dir_, s).c_str());
+    }
+    std::remove((dir_ + "/MANIFEST").c_str());
+    ::rmdir(dir_.c_str());
+  }
+
+  ShardedStoreOptions Opts() {
+    ShardedStoreOptions o;
+    o.shards = kShards;
+    o.store.schema = KeySchema(2, 31);
+    o.store.tree = TreeOptions::Make(2, 8);
+    o.store.page_size = 512;
+    o.store.checkpoint_every = 20;  // several per-shard checkpoints
+    o.store.wal_sync_every = 1;
+    return o;
+  }
+
+  // Rebuilds the directory from scratch with `target` wrapped in the
+  // fault injector, runs the script (skipping the target's remaining ops
+  // once it crashes), then dies at the process level.  Returns the number
+  // of target-shard ops acknowledged; `writes_out` receives the target's
+  // workload write count.
+  size_t RunWorkload(int target, uint64_t fail_write_at,
+                     FaultInjectingPageStore::WriteFault fault,
+                     uint64_t* writes_out) {
+    RemoveAll();
+    ShardManifest manifest;
+    manifest.shards = kShards;
+    manifest.shard_bits = 2;
+    manifest.page_size = Opts().store.page_size;
+    manifest.schema = Opts().store.schema;
+    BMEH_CHECK(ShardedStore::WriteManifest(dir_, manifest).ok());
+
+    std::vector<std::unique_ptr<PageStore>> devices;
+    std::vector<FilePageStore*> raw_files(kShards, nullptr);
+    FaultInjectingPageStore* raw_injector = nullptr;
+    for (int s = 0; s < kShards; ++s) {
+      auto created = FilePageStore::Create(ShardedStore::ShardPath(dir_, s),
+                                           Opts().store.page_size);
+      BMEH_CHECK(created.ok()) << created.status();
+      auto file = std::move(created).ValueOrDie();
+      // Crashes are simulated at the process level (completed writes
+      // survive), so physical fsync only adds wall clock.
+      file->DisableFsyncForTesting();
+      raw_files[s] = file.get();
+      if (s == target) {
+        auto injector =
+            std::make_unique<FaultInjectingPageStore>(std::move(file));
+        raw_injector = injector.get();
+        devices.push_back(std::move(injector));
+      } else {
+        devices.push_back(std::move(file));
+      }
+    }
+
+    auto opened = ShardedStore::Open(std::move(devices), Opts());
+    BMEH_CHECK(opened.ok()) << opened.status();
+    auto store = std::move(opened).ValueOrDie();
+    // Fault indices are relative to the workload, not the bootstrap
+    // writes Open() itself issues.
+    if (fail_write_at != kNoFault) {
+      raw_injector->FailNthWrite(raw_injector->writes_issued() + fail_write_at,
+                                 fault);
+    }
+    const uint64_t writes_before = raw_injector->writes_issued();
+
+    size_t target_acked = 0;
+    bool target_down = false;
+    for (const Op& op : script_) {
+      const int s = store->ShardOf(op.key);
+      if (s == target && target_down) continue;
+      Status st = op.insert ? store->Put(op.key, op.payload)
+                            : store->Delete(op.key);
+      if (st.ok()) {
+        if (s == target) ++target_acked;
+        continue;
+      }
+      // Only the injected fault may fail an op, and only on the target:
+      // sibling shards never see a fault and must keep acking.
+      EXPECT_TRUE(st.IsIoError()) << "unexpected failure mode: " << st;
+      EXPECT_EQ(s, target) << "fault leaked to a sibling shard";
+      target_down = true;
+    }
+    *writes_out = raw_injector->writes_issued() - writes_before;
+
+    // Process death: poison every shard, drop every file descriptor.
+    store->SimulateCrashForTesting();
+    for (FilePageStore* f : raw_files) f->CrashForTesting();
+    return target_acked;
+  }
+
+  // Reopens the directory (parallel per-shard WAL replay + free-list
+  // rebuild) and checks the per-shard recovery contract.
+  void CheckRecovery(int target, size_t target_acked,
+                     const std::string& label) {
+    ShardedStoreOptions opts = Opts();
+    opts.shards = 0;  // adopt the manifest
+    auto reopened = ShardedStore::Open(dir_, opts);
+    ASSERT_TRUE(reopened.ok()) << label << ": " << reopened.status();
+    auto store = std::move(reopened).ValueOrDie();
+    ASSERT_EQ(store->shards(), kShards);
+
+    for (int s = 0; s < kShards; ++s) {
+      ASSERT_TRUE(store->shard(s)->tree().Validate().ok())
+          << label << ": shard " << s;
+      if (s == target) {
+        // The crashed shard recovers to a clean prefix of its own ops:
+        // everything acknowledged, plus possibly the one in flight.
+        const bool at_acked = ContentsEqual(
+            store->shard(s), StateAfter(per_shard_[s], target_acked));
+        const bool at_next =
+            target_acked < per_shard_[s].size() &&
+            ContentsEqual(store->shard(s),
+                          StateAfter(per_shard_[s], target_acked + 1));
+        EXPECT_TRUE(at_acked || at_next)
+            << label << ": target shard state is not ops[0.." << target_acked
+            << ") nor ops[0.." << target_acked + 1 << ")";
+      } else {
+        // Siblings acked every op routed to them; their recovered state
+        // must be exactly that — nothing lost, nothing duplicated.
+        EXPECT_TRUE(ContentsEqual(
+            store->shard(s),
+            StateAfter(per_shard_[s], per_shard_[s].size())))
+            << label << ": sibling shard " << s
+            << " lost or duplicated committed data";
+      }
+    }
+    store->SimulateCrashForTesting();  // keep teardown write-free
+  }
+
+  std::string dir_;
+  std::vector<Op> script_;
+  std::vector<std::vector<Op>> per_shard_;
+};
+
+TEST_F(ShardCrashMatrixTest, KillAtEveryWriteIndexOfEveryShard) {
+  for (int target = 0; target < kShards; ++target) {
+    // Fault-free baseline sizes this target's write schedule.
+    uint64_t total_writes = 0;
+    const size_t all =
+        RunWorkload(target, kNoFault,
+                    FaultInjectingPageStore::WriteFault::kError, &total_writes);
+    ASSERT_EQ(all, per_shard_[target].size())
+        << "baseline must ack every op routed to shard " << target;
+    ASSERT_GT(total_writes, per_shard_[target].size())
+        << "every op logs at least one page write";
+
+    for (uint64_t w = 0; w < total_writes; ++w) {
+      // Alternate the failure flavour so both halves of the fault model
+      // sweep the whole write schedule.
+      const auto fault = (w % 2 == 0)
+                             ? FaultInjectingPageStore::WriteFault::kError
+                             : FaultInjectingPageStore::WriteFault::kTorn;
+      uint64_t writes = 0;
+      const size_t acked = RunWorkload(target, w, fault, &writes);
+      ASSERT_LT(acked, per_shard_[target].size())
+          << "write " << w << " must crash shard " << target;
+      CheckRecovery(target, acked,
+                    "shard " + std::to_string(target) + ", crash at write " +
+                        std::to_string(w) +
+                        (w % 2 == 0 ? " (clean)" : " (torn)"));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bmeh

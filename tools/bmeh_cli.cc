@@ -38,7 +38,7 @@
 //
 //   bmeh_cli storebuild --db FILE [--dims D] [--width W] [--b B] [--phi P]
 //                   [--n N] [--dist NAME] [--seed S] [--page-size P]
-//                   [--leave-wal K] [--max-pages M] [--batch B]
+//                   [--leave-wal K] [--max-pages M] [--batch B] [--shards N]
 //       Creates a durable BmehStore file (checkpoint + WAL, unlike `build`
 //       which writes a raw tree image) holding N generated records.  With
 //       --leave-wal K the last K mutations stay in the write-ahead log and
@@ -52,6 +52,11 @@
 //       path, B per WriteBatch — one WAL chain and one fsync per batch
 //       instead of per record, typically an order of magnitude faster.
 //       --leave-wal and --max-pages compose with it unchanged.
+//       With --shards N the target is a sharded store DIRECTORY: N
+//       independent shard files behind one facade, records routed by the
+//       top log2(N) bits of the interleaved pseudo-key (--max-pages then
+//       caps each shard).  storeinfo, stats, scrub and fsck all detect
+//       sharded directories automatically.
 //
 //   bmeh_cli scrub --db FILE
 //       Read-only integrity check: verifies every page's checksum trailer
@@ -309,9 +314,36 @@ int CmdDot(const Args& args) {
   return 0;
 }
 
+/// storeinfo on a sharded directory: aggregate shape plus one summary
+/// line per shard, read-only like the single-file path.
+int CmdStoreInfoSharded(const std::string& db) {
+  auto info = ShardedStore::Inspect(db);
+  if (!info.ok()) Die(info.status().ToString());
+  std::printf("sharded store:    %d shards (%d routing bits)\n", info->shards,
+              info->shard_bits);
+  std::printf("page size:        %d\n", info->page_size);
+  std::printf("pages in file:    %llu across all shards\n",
+              static_cast<unsigned long long>(info->page_count));
+  std::printf("write-ahead log:  %llu records across all shards\n",
+              static_cast<unsigned long long>(info->wal_records));
+  std::printf("records:          %llu (checkpoint + replayed log)\n",
+              static_cast<unsigned long long>(info->records));
+  for (int s = 0; s < info->shards; ++s) {
+    const StoreInfo& si = info->shard[s];
+    std::printf("shard %-11d %llu records, %llu in the WAL, "
+                "generation %llu, %llu pages\n",
+                s, static_cast<unsigned long long>(si.records),
+                static_cast<unsigned long long>(si.wal_records),
+                static_cast<unsigned long long>(si.generation),
+                static_cast<unsigned long long>(si.page_count));
+  }
+  return 0;
+}
+
 int CmdStoreInfo(const Args& args) {
   const std::string db = args.Get("db");
   if (db.empty()) Die("storeinfo requires --db");
+  if (ShardedStore::IsShardedDir(db)) return CmdStoreInfoSharded(db);
   auto info = BmehStore::Inspect(db);
   if (!info.ok()) Die(info.status().ToString());
   std::printf("page size:        %d (format v%d)\n", info->page_size,
@@ -421,6 +453,65 @@ void RunProbeOps(BmehStore* store, int ops) {
   if (!st.ok()) Die("probe checkpoint failed: " + st.ToString());
 }
 
+/// The sharded flavour of RunProbeOps: same shape, but the gets sample
+/// stored keys across shards and the probe put/delete pairs route
+/// wherever their ψ prefix says, so the per-shard histograms all see
+/// traffic.
+void RunProbeOpsSharded(ShardedStore* store, int ops) {
+  if (ops <= 0 || store->degraded()) return;
+  std::vector<PseudoKey> keys;
+  for (int s = 0; s < store->shards(); ++s) {
+    store->shard(s)->mutable_tree()->Scan([&](const Record& rec) {
+      if (static_cast<int>(keys.size()) < ops) keys.push_back(rec.key);
+    });
+    if (static_cast<int>(keys.size()) >= ops) break;
+  }
+  for (const PseudoKey& key : keys) {
+    auto ignored = store->Get(key);
+    (void)ignored;
+  }
+  workload::WorkloadSpec spec;
+  spec.dims = store->schema().dims();
+  spec.width = store->schema().width(0);
+  spec.seed = 0x0b5e;  // distinct from the build seeds so probes miss
+  auto probes = workload::GenerateKeys(spec, static_cast<uint64_t>(ops));
+  for (const PseudoKey& key : probes) {
+    if (store->Put(key, 0).ok()) {
+      Status st = store->Delete(key);
+      if (!st.ok()) Die("probe delete failed: " + st.ToString());
+    }
+  }
+  RangePredicate pred(store->schema());
+  std::vector<Record> out;
+  Status st = store->Range(pred, &out);
+  if (!st.ok()) Die("probe range failed: " + st.ToString());
+  st = store->Checkpoint();
+  if (!st.ok()) Die("probe checkpoint failed: " + st.ToString());
+}
+
+/// stats on a sharded directory: one shared registry across every shard
+/// (operation counters and latency histograms aggregate automatically;
+/// sampled per-shard state appears under "shard<k>_" labels alongside
+/// the aggregate "bmeh_tree_records" etc. the facade publishes).
+int CmdStoreStatsSharded(const Args& args) {
+  const std::string db = args.Get("db");
+  obs::MetricsRegistry registry;
+  ShardedStoreOptions options;
+  options.shards = 0;  // adopt the manifest
+  options.store = MakeStoreOptions(args);
+  options.store.metrics = &registry;
+  auto store = ShardedStore::Open(db, options);
+  if (!store.ok()) Die(store.status().ToString());
+  RunProbeOpsSharded(store->get(), args.GetInt("ops", 0));
+  // Snapshot, then suppress the close-time checkpoints (see CmdStoreStats).
+  const std::string exposition = args.Has("json")
+                                     ? registry.JsonExposition()
+                                     : registry.TextExposition();
+  (*store)->SimulateCrashForTesting();
+  std::fputs(exposition.c_str(), stdout);
+  return 0;
+}
+
 int CmdStoreStats(const Args& args) {
   const std::string db = args.Get("db");
   obs::MetricsRegistry registry;
@@ -468,9 +559,106 @@ int CmdTrace(const Args& args) {
   return 0;
 }
 
+/// storebuild --shards N: same load loop as the single-file path, but
+/// against the sharded facade — batches are split per shard and commit
+/// independently, --leave-wal leaves every shard's tail in its own WAL,
+/// and --max-pages caps each shard.
+int CmdStoreBuildSharded(const Args& args, int shards) {
+  const std::string db = args.Get("db");
+  ShardedStoreOptions options;
+  options.shards = shards;
+  options.store = MakeStoreOptions(args);
+  const uint64_t n = static_cast<uint64_t>(args.GetInt("n", 2000));
+  const uint64_t leave_wal =
+      static_cast<uint64_t>(args.GetInt("leave-wal", 0));
+  if (leave_wal > n) Die("--leave-wal cannot exceed --n");
+  const uint64_t batch = static_cast<uint64_t>(args.GetInt("batch", 1));
+  if (batch == 0) Die("--batch must be at least 1");
+
+  workload::WorkloadSpec spec;
+  spec.distribution = ParseDist(args.Get("dist", "uniform"));
+  spec.dims = options.store.schema.dims();
+  spec.width = options.store.schema.width(0);
+  spec.seed = static_cast<uint64_t>(args.GetInt("seed", 1986));
+
+  auto store = ShardedStore::Open(db, options);
+  if (!store.ok()) Die(store.status().ToString());
+  auto keys = workload::GenerateKeys(spec, n);
+  uint64_t inserted = 0;
+  Status exhausted = Status::OK();
+  for (uint64_t i = 0; i < n;) {
+    if (leave_wal > 0 && i == n - leave_wal) {
+      Status st = (*store)->Checkpoint();
+      if (!st.ok()) Die(st.ToString());
+    }
+    uint64_t limit = n;
+    if (leave_wal > 0 && i < n - leave_wal) limit = n - leave_wal;
+    const uint64_t take = std::min(batch, limit - i);
+    WriteBatch wb;
+    for (uint64_t j = i; j < i + take; ++j) wb.Put(keys[j], j);
+    std::vector<Status> per_record;
+    Status st = (*store)->Write(wb, &per_record);
+    (void)st;  // judged member by member: sub-batches commit independently
+    bool hit_quota = false;
+    for (const Status& rs : per_record) {
+      if (rs.ok()) {
+        ++inserted;
+      } else if (rs.IsResourceExhausted()) {
+        // One shard's quota filled; its sub-batch rolled back whole while
+        // sibling sub-batches committed.  Stop gracefully.
+        exhausted = rs;
+        hit_quota = true;
+      } else if (!rs.IsAlreadyExists()) {  // the generator may repeat keys
+        Die(rs.ToString());
+      }
+    }
+    if (hit_quota) break;
+    i += take;
+  }
+  if (leave_wal == 0) {
+    Status st = (*store)->Checkpoint();
+    if (st.IsResourceExhausted()) {
+      if (exhausted.ok()) exhausted = st;
+      (*store)->SimulateCrashForTesting();
+    } else if (!st.ok()) {
+      Die(st.ToString());
+    }
+  } else {
+    // Keep every shard's WAL: the sharded crash fixture.
+    (*store)->SimulateCrashForTesting();
+  }
+  uint64_t allocs = 0, refused = 0, high_water = 0;
+  for (int s = 0; s < (*store)->shards(); ++s) {
+    const PageStore& pages = (*store)->shard(s)->page_store();
+    allocs += pages.stats().allocs;
+    refused += pages.stats().alloc_failures;
+    high_water += pages.stats().high_water_pages;
+  }
+  std::printf("built sharded store %s: %llu records (%llu in the WAL) "
+              "across %d shards\n",
+              db.c_str(), static_cast<unsigned long long>(inserted),
+              static_cast<unsigned long long>((*store)->wal_records()),
+              (*store)->shards());
+  std::printf("resources:        %llu allocs, %llu refused, high water "
+              "%llu pages, quota %llu per shard\n",
+              static_cast<unsigned long long>(allocs),
+              static_cast<unsigned long long>(refused),
+              static_cast<unsigned long long>(high_water),
+              static_cast<unsigned long long>(options.store.max_pages));
+  if (!exhausted.ok()) {
+    std::printf("page quota exhausted after %llu records: %s\n",
+                static_cast<unsigned long long>(inserted),
+                exhausted.ToString().c_str());
+    return 3;
+  }
+  return 0;
+}
+
 int CmdStoreBuild(const Args& args) {
   const std::string db = args.Get("db");
   if (db.empty()) Die("storebuild requires --db");
+  const int shards = args.GetInt("shards", 0);
+  if (shards != 0) return CmdStoreBuildSharded(args, shards);
   StoreOptions options = MakeStoreOptions(args);
   const uint64_t n = static_cast<uint64_t>(args.GetInt("n", 2000));
   const uint64_t leave_wal =
@@ -582,18 +770,84 @@ bool PrintScrubReport(const std::string& db, const ScrubReport& report) {
   return report.clean();
 }
 
+/// Scrubs every shard file of a sharded directory and prints a combined
+/// verdict line.  Returns true when every shard (and the manifest) is
+/// clean.
+bool ScrubShardedDir(const std::string& db, const ShardManifest& manifest) {
+  bool all_clean = true;
+  for (int s = 0; s < manifest.shards; ++s) {
+    const std::string path = ShardedStore::ShardPath(db, s);
+    ScrubReport report;
+    Status st = ScrubStore(path, &report);
+    if (!st.ok()) Die(st.ToString());
+    all_clean = PrintScrubReport(path, report) && all_clean;
+  }
+  std::printf("%s: %s (%d shards)\n", db.c_str(),
+              all_clean ? "clean" : "CORRUPT", manifest.shards);
+  return all_clean;
+}
+
 int CmdScrub(const Args& args) {
   const std::string db = args.Get("db");
   if (db.empty()) Die("scrub requires --db");
+  if (ShardedStore::IsShardedDir(db)) {
+    auto manifest = ShardedStore::ReadManifest(db);
+    if (!manifest.ok()) Die(manifest.status().ToString());
+    return ScrubShardedDir(db, *manifest) ? 0 : 1;
+  }
   ScrubReport report;
   Status st = ScrubStore(db, &report);
   if (!st.ok()) Die(st.ToString());
   return PrintScrubReport(db, report) ? 0 : 1;
 }
 
+/// fsck on a sharded directory: scrub every shard; with --repair salvage
+/// each shard file into the matching slot of a fresh sharded directory
+/// (same manifest) — shard-local damage stays shard-local, so siblings
+/// salvage completely even when one shard needs the brute-force sweep.
+int CmdFsckSharded(const Args& args, const std::string& db) {
+  auto manifest = ShardedStore::ReadManifest(db);
+  if (!manifest.ok()) Die(manifest.status().ToString());
+  const bool clean = ScrubShardedDir(db, *manifest);
+  if (!args.Has("repair")) return clean ? 0 : 1;
+
+  const std::string out = args.Get("repair");
+  Status st = ShardedStore::WriteManifest(out, *manifest);
+  if (!st.ok()) Die("repair failed: " + st.ToString());
+  // The manifest, not the flags, is authoritative for the salvage shape.
+  StoreOptions salvage_options = MakeStoreOptions(args);
+  salvage_options.schema = manifest->schema;
+  salvage_options.tree = TreeOptions::Make(
+      manifest->schema.dims(), args.GetInt("b", 16), args.GetInt("phi", 6));
+  salvage_options.page_size = manifest->page_size;
+  uint64_t recovered = 0;
+  bool degraded = false;
+  bool swept = false;
+  for (int s = 0; s < manifest->shards; ++s) {
+    SalvageReport salvage;
+    st = SalvageStore(ShardedStore::ShardPath(db, s),
+                      ShardedStore::ShardPath(out, s), salvage_options,
+                      &salvage);
+    if (!st.ok()) {
+      Die("repair failed on shard " + std::to_string(s) + ": " +
+          st.ToString());
+    }
+    recovered += salvage.records_recovered;
+    degraded |= salvage.source_degraded;
+    swept |= salvage.used_sweep;
+  }
+  std::printf("salvaged %llu records into %s across %d shards%s%s\n",
+              static_cast<unsigned long long>(recovered), out.c_str(),
+              manifest->shards,
+              degraded ? " (source was degraded)" : "",
+              swept ? " (via brute-force page sweep)" : "");
+  return 0;
+}
+
 int CmdFsck(const Args& args) {
   const std::string db = args.Get("db");
   if (db.empty()) Die("fsck requires --db");
+  if (ShardedStore::IsShardedDir(db)) return CmdFsckSharded(args, db);
   ScrubReport report;
   Status st = ScrubStore(db, &report);
   if (!st.ok()) Die(st.ToString());
@@ -660,8 +914,12 @@ int main(int argc, char** argv) {
   Args args = Parse(argc, argv);
   if (args.command == "build") return CmdBuild(args);
   if (args.command == "stats") {
-    // One verb, two kinds of file: store files get the full metrics
-    // exposition, raw tree images keep the classic structural report.
+    // One verb, three kinds of target: sharded directories and store
+    // files get the full metrics exposition, raw tree images keep the
+    // classic structural report.
+    if (ShardedStore::IsShardedDir(args.Get("db"))) {
+      return CmdStoreStatsSharded(args);
+    }
     return IsStoreFile(args.Get("db")) ? CmdStoreStats(args)
                                        : CmdStats(args);
   }
