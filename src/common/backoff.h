@@ -1,0 +1,101 @@
+// Backoff: bounded retry budget with decorrelated jitter.
+//
+// A Backoff instance captures one logical operation's retry state: how many
+// attempts have been made, how long the caller has slept so far, and when to
+// give up.  The delay sequence follows the "decorrelated jitter" scheme
+// (next delay drawn uniformly from [base, min(cap, 3 * previous)]), which
+// spreads concurrent retriers apart instead of synchronizing them the way
+// plain exponential backoff does.  All randomness comes from the repo's
+// deterministic Rng so tests replay exactly from a seed.
+//
+// Usage:
+//   Backoff backoff(policy, seed);
+//   for (;;) {
+//     Status st = op();
+//     if (!backoff.ShouldRetry(st)) return st;
+//     SleepMicros(backoff.NextDelayUs());
+//   }
+
+#ifndef BMEH_COMMON_BACKOFF_H_
+#define BMEH_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace bmeh {
+
+/// \brief Tunables for a bounded retry loop.  The defaults suit an
+/// interactive store call: a handful of attempts, sub-millisecond first
+/// delay, and a total sleep budget well under a second.
+struct BackoffPolicy {
+  /// Total tries including the first one; <= 1 disables retry entirely.
+  int max_attempts = 4;
+  /// First delay and lower bound of every jittered draw, in microseconds.
+  uint64_t base_delay_us = 100;
+  /// Upper bound of any single delay, in microseconds.
+  uint64_t max_delay_us = 10000;
+  /// Cap on cumulative sleep time, in microseconds (0 = no budget cap).
+  /// Once the caller has slept this long, ShouldRetry refuses further tries.
+  uint64_t total_budget_us = 100000;
+};
+
+/// \brief Per-operation retry state machine (not thread-safe; create one
+/// per logical operation).
+class Backoff {
+ public:
+  Backoff(const BackoffPolicy& policy, uint64_t seed)
+      : policy_(policy), rng_(seed) {}
+
+  /// \brief Decides whether the caller should sleep and try again after
+  /// observing `st`.  Only transient statuses are retried — IsTransient()
+  /// guarantees the failed attempt left all state untouched, which is what
+  /// makes a blind retry safe.
+  bool ShouldRetry(const Status& st) const {
+    if (st.ok() || !st.IsTransient()) return false;
+    if (attempts_ + 1 >= policy_.max_attempts) return false;
+    if (policy_.total_budget_us != 0 && waited_us_ >= policy_.total_budget_us) {
+      return false;
+    }
+    return true;
+  }
+
+  /// \brief Draws the next sleep duration (microseconds), charges it to the
+  /// budget, and advances the attempt counter.  Call only after ShouldRetry
+  /// returned true.
+  uint64_t NextDelayUs() {
+    const uint64_t base = std::max<uint64_t>(policy_.base_delay_us, 1);
+    const uint64_t cap = std::max(policy_.max_delay_us, base);
+    // Decorrelated jitter: uniform in [base, min(cap, 3 * previous)].
+    const uint64_t prev = prev_delay_us_ == 0 ? base : prev_delay_us_;
+    const uint64_t hi = std::min(cap, prev > cap / 3 ? cap : prev * 3);
+    uint64_t delay = rng_.UniformRange(base, std::max(hi, base));
+    if (policy_.total_budget_us != 0) {
+      const uint64_t remaining = policy_.total_budget_us - waited_us_;
+      delay = std::min(delay, remaining);
+    }
+    prev_delay_us_ = delay;
+    waited_us_ += delay;
+    ++attempts_;
+    return delay;
+  }
+
+  /// \brief Retries consumed so far (0 before the first NextDelayUs).
+  int attempts() const { return attempts_; }
+
+  /// \brief Cumulative sleep time charged so far, in microseconds.
+  uint64_t waited_us() const { return waited_us_; }
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+  int attempts_ = 0;
+  uint64_t prev_delay_us_ = 0;
+  uint64_t waited_us_ = 0;
+};
+
+}  // namespace bmeh
+
+#endif  // BMEH_COMMON_BACKOFF_H_

@@ -26,6 +26,7 @@ enum class StatusCode : int {
   kNotImplemented = 7, ///< Feature not available.
   kDataLoss = 8,       ///< Verified corruption: data is unrecoverable here.
   kResourceExhausted = 9,  ///< Out of pages/disk/memory; retryable.
+  kUnavailable = 10,       ///< Routed to a down shard / service; retryable.
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "Invalid").
@@ -77,6 +78,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// \brief True iff the operation succeeded.
   bool ok() const { return state_ == nullptr; }
@@ -97,6 +101,7 @@ class Status {
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
   }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// \brief True when the failed operation may simply be retried later and
   /// succeed, with no repair or recovery step in between.  This is a
@@ -104,9 +109,12 @@ class Status {
   /// transiently left every structure (in memory and on disk) exactly as it
   /// was before the call.  IoError is deliberately not transient — a failed
   /// write or fsync leaves the durable state unknown, so blind retry is not
-  /// safe.  Currently only ResourceExhausted qualifies.
+  /// safe.  ResourceExhausted qualifies (the quota check rejects before any
+  /// mutation), and so does Unavailable (the request never reached the down
+  /// shard at all).
   bool IsTransient() const {
-    return code() == StatusCode::kResourceExhausted;
+    return code() == StatusCode::kResourceExhausted ||
+           code() == StatusCode::kUnavailable;
   }
 
   /// \brief The error message ("" when ok()).

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <new>
@@ -255,6 +256,39 @@ Status ErrnoStatus(const std::string& what, int err) {
                                 : Status::IoError(msg);
 }
 
+/// EINTR fault injection (see internal::InjectEintrForTesting): while
+/// armed, intercepted syscalls in the window fail with EINTR before
+/// reaching the kernel, proving every loop below absorbs the
+/// interruption.  Disarmed (the default) this is one relaxed load per
+/// syscall.
+std::atomic<uint64_t> g_eintr_start{UINT64_MAX};
+std::atomic<uint64_t> g_eintr_count{0};
+std::atomic<uint64_t> g_eintr_calls{0};
+std::atomic<uint64_t> g_eintr_absorbed{0};
+
+bool SimulateEintr() {
+  const uint64_t start = g_eintr_start.load(std::memory_order_relaxed);
+  if (start == UINT64_MAX) return false;
+  const uint64_t k = g_eintr_calls.fetch_add(1, std::memory_order_relaxed);
+  if (k < start || k >= start + g_eintr_count.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  g_eintr_absorbed.fetch_add(1, std::memory_order_relaxed);
+  errno = EINTR;
+  return true;
+}
+
+/// open(2) that survives EINTR — open is interruptible like any other
+/// slow syscall (e.g. on a network or FUSE filesystem), and a signal
+/// during open is not an I/O failure.
+int OpenRetryEintr(const char* path, int flags, mode_t mode = 0) {
+  for (;;) {
+    if (SimulateEintr()) continue;
+    const int fd = ::open(path, flags, mode);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
 /// pread that survives EINTR and legal partial transfers.  POSIX allows a
 /// read to return fewer bytes than requested without error; treating that
 /// as failure misreports a healthy device, so loop on the remainder and
@@ -263,7 +297,9 @@ Status PreadFull(int fd, uint8_t* buf, size_t n, off_t off,
                  const std::string& what) {
   size_t done = 0;
   while (done < n) {
-    const ssize_t r = ::pread(fd, buf + done, n - done, off + done);
+    const ssize_t r = SimulateEintr()
+                          ? -1
+                          : ::pread(fd, buf + done, n - done, off + done);
     if (r < 0) {
       if (errno == EINTR) continue;
       return Status::IoError(what + ": " + std::strerror(errno));
@@ -282,7 +318,9 @@ Status PwriteFull(int fd, const uint8_t* buf, size_t n, off_t off,
                   const std::string& what) {
   size_t done = 0;
   while (done < n) {
-    const ssize_t r = ::pwrite(fd, buf + done, n - done, off + done);
+    const ssize_t r = SimulateEintr()
+                          ? -1
+                          : ::pwrite(fd, buf + done, n - done, off + done);
     if (r < 0) {
       if (errno == EINTR) continue;
       // ENOSPC/EDQUOT here is the real-disk-full path: surface it as the
@@ -306,6 +344,21 @@ uint32_t FreshEpoch() {
 
 }  // namespace
 
+namespace internal {
+
+void InjectEintrForTesting(uint64_t nth, uint64_t count) {
+  g_eintr_start.store(UINT64_MAX, std::memory_order_relaxed);  // disarm first
+  g_eintr_calls.store(0, std::memory_order_relaxed);
+  g_eintr_count.store(count, std::memory_order_relaxed);
+  g_eintr_start.store(nth, std::memory_order_relaxed);
+}
+
+uint64_t EintrRetriesForTesting() {
+  return g_eintr_absorbed.load(std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
 FilePageStore::FilePageStore(int fd, int page_size, int format_version,
                              uint32_t epoch)
     : fd_(fd),
@@ -328,7 +381,7 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
   if (page_size < 64) {
     return Status::Invalid("page_size too small: " + std::to_string(page_size));
   }
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  int fd = OpenRetryEintr(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) {
     return ErrnoStatus("open(" + path + ")", errno);
   }
@@ -363,7 +416,7 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::OpenIgnoringHeader(
   if (page_size < 64) {
     return Status::Invalid("page_size too small: " + std::to_string(page_size));
   }
-  int fd = ::open(path.c_str(), O_RDWR);
+  int fd = OpenRetryEintr(path.c_str(), O_RDWR);
   if (fd < 0) {
     return ErrnoStatus("open(" + path + ")", errno);
   }
@@ -417,7 +470,7 @@ Result<std::unique_ptr<FilePageStore>> FilePageStore::OpenIgnoringHeader(
 
 Result<std::unique_ptr<FilePageStore>> FilePageStore::OpenImpl(
     const std::string& path, bool walk_free_chain) {
-  int fd = ::open(path.c_str(), O_RDWR);
+  int fd = OpenRetryEintr(path.c_str(), O_RDWR);
   if (fd < 0) {
     return ErrnoStatus("open(" + path + ")", errno);
   }

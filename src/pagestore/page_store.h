@@ -398,6 +398,23 @@ class FilePageStore : public PageStore {
   std::unordered_set<PageId> free_set_;
 };
 
+namespace internal {
+
+/// \brief Testing seam for the EINTR-retry loops around the file page
+/// store's syscalls (pread / pwrite / open).  Arms the injector so that,
+/// starting with the `nth` intercepted syscall (0-based), the next
+/// `count` syscalls fail with EINTR before reaching the kernel.  Every
+/// syscall site must absorb the interruption and retry — EINTR is a
+/// signal delivery, not an I/O failure.  Pass (UINT64_MAX, 0) to disarm
+/// (the default state).  Process-global; not for concurrent tests.
+void InjectEintrForTesting(uint64_t nth, uint64_t count);
+
+/// \brief How many injected EINTRs the retry loops have absorbed since
+/// process start (asserts that the injection actually hit a loop).
+uint64_t EintrRetriesForTesting();
+
+}  // namespace internal
+
 }  // namespace bmeh
 
 #endif  // BMEH_PAGESTORE_PAGE_STORE_H_

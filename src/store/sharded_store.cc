@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <queue>
@@ -12,6 +13,7 @@
 #include <thread>
 
 #include "src/common/crc32.h"
+#include "src/obs/trace.h"
 
 namespace bmeh {
 
@@ -46,6 +48,45 @@ Status ValidateShardCount(int shards, const KeySchema& schema) {
                            std::to_string(schema.total_bits()) + ")");
   }
   return Status::OK();
+}
+
+/// Fsyncs a directory so a rename / create inside it is durable.  The
+/// same discipline the WAL applies to its own pages: data fsyncs alone
+/// do not persist directory entries.
+Status SyncDir(const std::string& dir) {
+  int fd;
+  do {
+    fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return Status::IoError("open dir for fsync: " + dir + ": " +
+                           std::strerror(errno));
+  }
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  const int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError("fsync dir: " + dir + ": " + std::strerror(saved));
+  }
+  return Status::OK();
+}
+
+/// The directory containing `path` ("." when `path` has no slash).
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+uint64_t SplitMix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
 }
 
 }  // namespace
@@ -102,6 +143,10 @@ Status ShardedStore::WriteManifest(const std::string& dir,
       return Status::IoError("cannot create " + dir + ": " +
                              std::strerror(errno));
     }
+    // Persist the new directory's own entry: a crash right after store
+    // creation must not lose the directory (and with it the manifest and
+    // every shard file) from its parent.
+    BMEH_RETURN_NOT_OK(SyncDir(ParentDir(dir)));
   } else if (!is_dir) {
     return Status::Invalid(dir + " exists and is not a directory");
   }
@@ -142,12 +187,9 @@ Status ShardedStore::WriteManifest(const std::string& dir,
     return Status::IoError("cannot publish " + final_path + ": " +
                            std::strerror(errno));
   }
-  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dfd >= 0) {
-    ::fsync(dfd);
-    ::close(dfd);
-  }
-  return Status::OK();
+  // The rename is not durable until the directory itself is synced; a
+  // failure here is a real durability failure, not advisory.
+  return SyncDir(dir);
 }
 
 Result<ShardManifest> ShardedStore::ReadManifest(const std::string& dir) {
@@ -218,26 +260,41 @@ bool ShardedStore::IsShardedDir(const std::string& path) {
 }
 
 ShardedStore::ShardedStore(std::vector<std::unique_ptr<StorageUnit>> units,
-                           int shard_bits, const KeySchema& schema,
-                           obs::MetricsRegistry* metrics)
-    : units_(std::move(units)), shard_bits_(shard_bits), schema_(schema) {
-  if (metrics == nullptr) return;
-  metrics_ = metrics;
+                           int shard_bits, const ShardedStoreOptions& options)
+    : units_(std::move(units)),
+      shard_bits_(shard_bits),
+      schema_(options.store.schema),
+      retry_(options.retry),
+      tracer_(options.store.tracer) {
+  if (options.store.metrics == nullptr) return;
+  metrics_ = options.store.metrics;
+  retries_total_ = metrics_->GetCounter("store_shard_retries_total");
+  unavailable_total_ = metrics_->GetCounter("store_shard_unavailable_total");
+  repairs_total_ = metrics_->GetCounter("store_shard_repairs_total");
+  backoff_ns_ = metrics_->GetHistogram("store_retry_backoff_ns");
   // Aggregate sampled state under the unlabeled names a single store
   // publishes, so dashboards (and the CLI greps) keep working against a
   // sharded store; the per-shard breakdown is what the units publish
   // under their "shard<k>_" labels.
   metrics_source_ = metrics_->AddSource([this](obs::RegistrySnapshot* s) {
     uint64_t records = 0, wal = 0, dirty = 0;
-    int64_t height = 0;
-    for (const auto& u : units_) {
-      const BmehStore::SampledState st = u->store()->SampleStateForMetrics();
+    int64_t height = 0, down = 0;
+    for (size_t k = 0; k < units_.size(); ++k) {
+      StorageUnit::Ref ref = units_[k]->Acquire();
+      s->gauges[StorageUnit::MetricsLabel(static_cast<int>(k)) + "up"] =
+          ref ? 1 : 0;
+      if (!ref) {
+        ++down;
+        continue;
+      }
+      const BmehStore::SampledState st = ref->SampleStateForMetrics();
       records += st.records;
       wal += st.wal_records;
       dirty += st.dirty_ops;
       height = std::max<int64_t>(height, st.height);
     }
     s->gauges["store_shards"] = static_cast<int64_t>(units_.size());
+    s->gauges["store_shards_down"] = down;
     s->gauges["tree_records"] = static_cast<int64_t>(records);
     s->gauges["tree_height"] = height;
     s->gauges["wal_records"] = static_cast<int64_t>(wal);
@@ -276,21 +333,40 @@ Result<std::unique_ptr<ShardedStore>> ShardedStore::OpenUnits(
     for (int i = 0; i < n; ++i) workers.emplace_back(open_one, i);
     for (auto& w : workers) w.join();
   }
+  int failed = 0;
+  int first_failed = -1;
   for (int i = 0; i < n; ++i) {
     if (!statuses[i].ok()) {
-      // A failed open must not mutate shard files: poison the units that
-      // did open so their destructors skip the close-time checkpoint.
-      for (auto& u : units) {
-        if (u != nullptr) u->store()->SimulateCrashForTesting();
+      ++failed;
+      if (first_failed < 0) first_failed = i;
+    }
+  }
+  if (failed > 0 &&
+      (options.open_policy == OpenPolicy::kStrict || failed == n)) {
+    // Strict (or nothing at all came up): a failed open must not mutate
+    // shard files — poison the units that did open so their destructors
+    // skip the close-time checkpoint.
+    for (auto& u : units) {
+      if (u != nullptr && u->store() != nullptr) {
+        u->store()->SimulateCrashForTesting();
       }
-      return Status(statuses[i].code(),
-                    "shard " + std::to_string(i) + ": " +
-                        statuses[i].message());
+    }
+    return Status(statuses[first_failed].code(),
+                  "shard " + std::to_string(first_failed) + ": " +
+                      statuses[first_failed].message());
+  }
+  // Partial availability: keep a down placeholder per failed shard so
+  // routing, health reporting, and RepairShard all have a target while
+  // the healthy shards serve.
+  for (int i = 0; i < n; ++i) {
+    if (units[i] == nullptr) {
+      units[i] = StorageUnit::Down(
+          i, ShardPath(dir, i), options.store,
+          Status(statuses[i].code(), "open failed: " + statuses[i].message()));
     }
   }
   return std::unique_ptr<ShardedStore>(
-      new ShardedStore(std::move(units), Log2Exact(n), options.store.schema,
-                       options.store.metrics));
+      new ShardedStore(std::move(units), Log2Exact(n), options));
 }
 
 Result<std::unique_ptr<ShardedStore>> ShardedStore::Open(
@@ -341,20 +417,45 @@ Result<std::unique_ptr<ShardedStore>> ShardedStore::Open(
     return Status::Invalid("options.shards disagrees with the device count");
   }
   std::vector<std::unique_ptr<StorageUnit>> units(n);
+  std::vector<Status> statuses(n, Status::OK());
   for (int i = 0; i < n; ++i) {
     auto r = StorageUnit::Open(i, std::move(devices[i]), options.store);
-    if (!r.ok()) {
-      for (auto& u : units) {
-        if (u != nullptr) u->store()->SimulateCrashForTesting();
-      }
-      return Status(r.status().code(), "shard " + std::to_string(i) + ": " +
-                                           r.status().message());
+    if (r.ok()) {
+      units[i] = std::move(r).ValueOrDie();
+    } else {
+      statuses[i] = r.status();
     }
-    units[i] = std::move(r).ValueOrDie();
+  }
+  int failed = 0;
+  int first_failed = -1;
+  for (int i = 0; i < n; ++i) {
+    if (!statuses[i].ok()) {
+      ++failed;
+      if (first_failed < 0) first_failed = i;
+    }
+  }
+  if (failed > 0 &&
+      (options.open_policy == OpenPolicy::kStrict || failed == n)) {
+    for (auto& u : units) {
+      if (u != nullptr && u->store() != nullptr) {
+        u->store()->SimulateCrashForTesting();
+      }
+    }
+    return Status(statuses[first_failed].code(),
+                  "shard " + std::to_string(first_failed) + ": " +
+                      statuses[first_failed].message());
+  }
+  for (int i = 0; i < n; ++i) {
+    if (units[i] == nullptr) {
+      // A device-backed down unit has no path, so it cannot be repaired —
+      // but the siblings still serve, and routing stays honest.
+      units[i] = StorageUnit::Down(
+          i, std::string(), options.store,
+          Status(statuses[i].code(), "open failed: " + statuses[i].message()));
+    }
   }
   return std::unique_ptr<ShardedStore>(
-      new ShardedStore(std::move(units), Log2Exact(n), options.store.schema,
-                       options.store.metrics));
+      new ShardedStore(std::move(units), Log2Exact(n), options));
 }
 
 Result<ShardedStoreInfo> ShardedStore::Inspect(const std::string& dir) {
@@ -364,33 +465,86 @@ Result<ShardedStoreInfo> ShardedStore::Inspect(const std::string& dir) {
   info.shard_bits = manifest.shard_bits;
   info.page_size = manifest.page_size;
   info.shard.reserve(manifest.shards);
+  info.shard_status.reserve(manifest.shards);
   for (int i = 0; i < manifest.shards; ++i) {
     auto r = BmehStore::Inspect(ShardPath(dir, i));
     if (!r.ok()) {
-      return Status(r.status().code(), "shard " + std::to_string(i) + ": " +
-                                           r.status().message());
+      // One unreadable shard must not hide the health of its siblings:
+      // record the failure per shard and keep inspecting.
+      info.shard.emplace_back();
+      info.shard_status.push_back(
+          Status(r.status().code(), "shard " + std::to_string(i) + ": " +
+                                        r.status().message()));
+      ++info.down_shards;
+      continue;
     }
     info.records += r->records;
     info.wal_records += r->wal_records;
     info.page_count += r->page_count;
     info.shard.push_back(*r);
+    info.shard_status.push_back(Status::OK());
   }
   return info;
 }
 
+uint64_t ShardedStore::NextRetrySeed(int s) {
+  return SplitMix64(retry_seq_.fetch_add(1, std::memory_order_relaxed) +
+                    (static_cast<uint64_t>(s) << 32));
+}
+
+Status ShardedStore::RunWithRetry(int s,
+                                  const std::function<Status(BmehStore*)>& op) {
+  Backoff backoff(retry_, NextRetrySeed(s));
+  for (;;) {
+    Status st;
+    {
+      StorageUnit::Ref ref = units_[s]->Acquire();
+      if (ref) {
+        st = op(ref.get());
+      } else {
+        st = Status::Unavailable("shard " + std::to_string(s) +
+                                 " is unavailable: " +
+                                 units_[s]->down_reason().message());
+        if (unavailable_total_ != nullptr) unavailable_total_->Inc();
+      }
+    }
+    // The Ref (and its shared lock) is released before any sleep: a
+    // repair must never wait on a sleeping retrier.
+    if (!backoff.ShouldRetry(st)) return st;
+    const uint64_t delay_us = backoff.NextDelayUs();
+    if (retries_total_ != nullptr) retries_total_->Inc();
+    {
+      obs::TraceSpan span(tracer_, "shard_retry_backoff", "store");
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    }
+    if (backoff_ns_ != nullptr) backoff_ns_->Record(delay_us * 1000);
+  }
+}
+
 Status ShardedStore::Put(const PseudoKey& key, uint64_t payload) {
   BMEH_RETURN_NOT_OK(schema_.Validate(key));
-  return units_[ShardOf(key)]->store()->Put(key, payload);
+  return RunWithRetry(ShardOf(key), [&](BmehStore* store) {
+    return store->Put(key, payload);
+  });
 }
 
 Result<uint64_t> ShardedStore::Get(const PseudoKey& key) {
   BMEH_RETURN_NOT_OK(schema_.Validate(key));
-  return units_[ShardOf(key)]->store()->Get(key);
+  uint64_t value = 0;
+  BMEH_RETURN_NOT_OK(RunWithRetry(ShardOf(key), [&](BmehStore* store) {
+    auto r = store->Get(key);
+    if (!r.ok()) return r.status();
+    value = r.ValueOrDie();
+    return Status::OK();
+  }));
+  return value;
 }
 
 Status ShardedStore::Delete(const PseudoKey& key) {
   BMEH_RETURN_NOT_OK(schema_.Validate(key));
-  return units_[ShardOf(key)]->store()->Delete(key);
+  return RunWithRetry(ShardOf(key), [&](BmehStore* store) {
+    return store->Delete(key);
+  });
 }
 
 Status ShardedStore::Write(const WriteBatch& batch,
@@ -431,10 +585,21 @@ Status ShardedStore::Write(const WriteBatch& batch,
   // (one WAL chain, one fsync, all-or-nothing on crash).  There is no
   // cross-shard transaction: a shard that refuses its sub-batch leaves
   // sibling commits standing, and the per-record statuses say which.
-  std::vector<Status> sub_statuses;
+  // Transient refusals (quota, shard mid-repair) retry the whole
+  // sub-batch — safe because a transient batch failure is fully rolled
+  // back on the shard.
   for (size_t s = 0; s < units_.size(); ++s) {
     if (sub[s].empty()) continue;
-    units_[s]->store()->Write(sub[s], &sub_statuses);
+    std::vector<Status> sub_statuses;
+    const Status st = RunWithRetry(static_cast<int>(s), [&](BmehStore* store) {
+      return store->Write(sub[s], &sub_statuses);
+    });
+    if (st.IsUnavailable() || sub_statuses.size() != origin[s].size()) {
+      // The sub-batch never reached a live shard (or the shard died
+      // before reporting): every member shares the routing-level status.
+      for (const size_t idx : origin[s]) statuses[idx] = st;
+      continue;
+    }
     for (size_t k = 0; k < sub_statuses.size(); ++k) {
       statuses[origin[s][k]] = sub_statuses[k];
     }
@@ -458,16 +623,27 @@ Status ShardedStore::DeleteBatch(std::span<const PseudoKey> keys) {
 }
 
 Status ShardedStore::Range(const RangePredicate& pred,
-                           std::vector<Record>* out) {
+                           std::vector<Record>* out, bool* partial) {
   out->clear();
+  if (partial != nullptr) *partial = false;
   std::vector<std::vector<Record>> per(units_.size());
   bool data_loss = false;
+  int down = 0;
   size_t total = 0;
   for (size_t s = 0; s < units_.size(); ++s) {
-    Status st = units_[s]->store()->Range(pred, &per[s]);
-    if (st.IsDataLoss()) {
-      // Keep collecting: the surviving shards' matches are still owed to
+    Status st = RunWithRetry(static_cast<int>(s), [&](BmehStore* store) {
+      per[s].clear();
+      return store->Range(pred, &per[s]);
+    });
+    if (st.IsUnavailable()) {
+      // Keep collecting: the healthy shards' matches are still owed to
       // the caller, and the final status reports the partiality.
+      per[s].clear();
+      ++down;
+      continue;
+    }
+    if (st.IsDataLoss()) {
+      // Same: a degraded shard returns its surviving matches.
       data_loss = true;
     } else if (!st.ok()) {
       return st;
@@ -506,7 +682,16 @@ Status ShardedStore::Range(const RangePredicate& pred,
     out->push_back(per[c.shard][c.pos]);
     if (++c.pos < per[c.shard].size()) heap.push(c);
   }
+  if (down > 0) {
+    // Unavailable outranks DataLoss: it is retryable (the shard may come
+    // back with all its data), while DataLoss is a verified hole.
+    if (partial != nullptr) *partial = true;
+    return Status::Unavailable("range result is partial: " +
+                               std::to_string(down) +
+                               " shard(s) unavailable");
+  }
   if (data_loss) {
+    if (partial != nullptr) *partial = true;
     return Status::DataLoss(
         "range result is partial: a shard lost data to corruption");
   }
@@ -514,48 +699,101 @@ Status ShardedStore::Range(const RangePredicate& pred,
 }
 
 Status ShardedStore::Checkpoint() {
-  // Every shard is attempted: checkpoints are independent per-shard
-  // superblock flips, and one shard's refusal (quota, degradation) is no
-  // reason to leave its siblings' WALs long.
+  // Every healthy shard is attempted: checkpoints are independent
+  // per-shard superblock flips, and one shard's refusal (quota,
+  // degradation, unavailability) is no reason to leave its siblings'
+  // WALs long.
   Status first;
-  for (const auto& u : units_) {
-    Status st = u->store()->Checkpoint();
+  for (size_t s = 0; s < units_.size(); ++s) {
+    StorageUnit::Ref ref = units_[s]->Acquire();
+    Status st = ref ? ref->Checkpoint()
+                    : Status::Unavailable("shard " + std::to_string(s) +
+                                          " is unavailable");
     if (!st.ok() && first.ok()) first = st;
   }
   return first;
 }
 
+Status ShardedStore::RepairShard(int i, ShardRepairReport* report) {
+  if (i < 0 || i >= shards()) {
+    return Status::Invalid("shard index out of range: " + std::to_string(i));
+  }
+  obs::TraceSpan span(tracer_, "shard_repair", "store");
+  const Status st = units_[i]->Repair(report);
+  if (st.ok() && repairs_total_ != nullptr) repairs_total_->Inc();
+  return st;
+}
+
+int ShardedStore::TryReopenDownShards() {
+  int reopened = 0;
+  for (const auto& u : units_) {
+    if (u->healthy()) continue;
+    if (u->TryReopen().ok()) ++reopened;
+  }
+  return reopened;
+}
+
+Status ShardedStore::BringDownShard(int i) {
+  if (i < 0 || i >= shards()) {
+    return Status::Invalid("shard index out of range: " + std::to_string(i));
+  }
+  units_[i]->BringDown(
+      Status::Unavailable("shard " + std::to_string(i) + " brought down"));
+  return Status::OK();
+}
+
+int ShardedStore::down_shards() const {
+  int n = 0;
+  for (const auto& u : units_) {
+    if (!u->healthy()) ++n;
+  }
+  return n;
+}
+
 uint64_t ShardedStore::records() const {
   uint64_t n = 0;
-  for (const auto& u : units_) n += u->store()->tree().Stats().records;
+  for (const auto& u : units_) {
+    StorageUnit::Ref ref = u->Acquire();
+    if (ref) n += ref->tree().Stats().records;
+  }
   return n;
 }
 
 uint64_t ShardedStore::wal_records() const {
   uint64_t n = 0;
-  for (const auto& u : units_) n += u->store()->wal_records();
+  for (const auto& u : units_) {
+    StorageUnit::Ref ref = u->Acquire();
+    if (ref) n += ref->wal_records();
+  }
   return n;
 }
 
 uint64_t ShardedStore::dirty_ops() const {
   uint64_t n = 0;
-  for (const auto& u : units_) n += u->store()->dirty_ops();
+  for (const auto& u : units_) {
+    StorageUnit::Ref ref = u->Acquire();
+    if (ref) n += ref->dirty_ops();
+  }
   return n;
 }
 
 bool ShardedStore::degraded() const {
   for (const auto& u : units_) {
-    if (u->store()->degraded()) return true;
+    StorageUnit::Ref ref = u->Acquire();
+    if (!ref || ref->degraded()) return true;
   }
   return false;
 }
 
 void ShardedStore::SimulateCrashForTesting() {
-  for (const auto& u : units_) u->store()->SimulateCrashForTesting();
+  for (const auto& u : units_) {
+    if (u->store() != nullptr) u->store()->SimulateCrashForTesting();
+  }
 }
 
 void ShardedStore::SimulateProcessCrashForTesting() {
   for (const auto& u : units_) {
+    if (u->store() == nullptr) continue;
     u->store()->SimulateCrashForTesting();
     if (auto* file =
             dynamic_cast<FilePageStore*>(u->store()->mutable_page_store())) {
@@ -566,6 +804,7 @@ void ShardedStore::SimulateProcessCrashForTesting() {
 
 void ShardedStore::DisableFsyncForTesting() {
   for (const auto& u : units_) {
+    if (u->store() == nullptr) continue;
     if (auto* file =
             dynamic_cast<FilePageStore*>(u->store()->mutable_page_store())) {
       file->DisableFsyncForTesting();

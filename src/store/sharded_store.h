@@ -39,10 +39,13 @@
 #ifndef BMEH_STORE_SHARDED_STORE_H_
 #define BMEH_STORE_SHARDED_STORE_H_
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/common/backoff.h"
 #include "src/store/storage_unit.h"
 
 namespace bmeh {
@@ -73,6 +76,18 @@ struct ShardManifest {
   KeySchema schema{2, 31};
 };
 
+/// \brief How Open() treats shards that fail to open or recover.
+enum class OpenPolicy {
+  /// Any shard failure fails the whole open (the conservative default:
+  /// a caller that never checks per-shard health sees all-or-nothing).
+  kStrict,
+  /// Bring up every healthy shard; a failed shard becomes a down unit
+  /// whose keys answer kUnavailable until RepairShard() /
+  /// TryReopenDownShards() brings it back.  The open only fails when no
+  /// shard at all comes up.
+  kPartial,
+};
+
 /// \brief Configuration for opening / creating a sharded store.
 struct ShardedStoreOptions {
   /// Shard count.  Creating: must be a power of two >= 1.  Opening an
@@ -85,6 +100,13 @@ struct ShardedStoreOptions {
   /// histograms aggregate across shards automatically, while sampled
   /// per-shard state is published under a "shard<k>_" label.
   StoreOptions store;
+  /// Whether a shard that fails to open takes the whole store with it.
+  OpenPolicy open_policy = OpenPolicy::kStrict;
+  /// Facade-level retry for per-shard transient failures (quota
+  /// backpressure, a shard mid-repair).  Every routed operation retries
+  /// under this policy with decorrelated jitter before surfacing the
+  /// transient status; max_attempts <= 1 disables retry.
+  BackoffPolicy retry;
 };
 
 /// \brief Durable state of a sharded store directory (Inspect).
@@ -92,10 +114,16 @@ struct ShardedStoreInfo {
   int shards = 0;
   int shard_bits = 0;
   int page_size = 0;
-  uint64_t records = 0;      ///< Sum over shards, replayed WALs included.
-  uint64_t wal_records = 0;  ///< Sum over shards.
-  uint64_t page_count = 0;   ///< Sum over shards.
+  uint64_t records = 0;      ///< Sum over healthy shards, replayed WALs
+                             ///< included.
+  uint64_t wal_records = 0;  ///< Sum over healthy shards.
+  uint64_t page_count = 0;   ///< Sum over healthy shards.
   std::vector<StoreInfo> shard;
+  /// Per-shard inspect outcome (OK, or why the shard is unreadable); a
+  /// non-OK slot leaves a default StoreInfo in `shard`.
+  std::vector<Status> shard_status;
+  /// Shards whose files could not be inspected.
+  int down_shards = 0;
 };
 
 /// \brief N independent BMEH stores routed by the top ψ bits.
@@ -138,7 +166,10 @@ class ShardedStore {
   static std::string ShardPath(const std::string& dir, int shard_index);
 
   /// \brief Single-record operations: validate, route by ψ prefix,
-  /// delegate to the owning unit.  Same contracts as BmehStore.
+  /// delegate to the owning unit.  Same contracts as BmehStore, plus the
+  /// failure-domain contract: a key routed to a down shard answers
+  /// kUnavailable (after the retry policy is exhausted), and transient
+  /// per-shard failures are retried with jittered backoff first.
   Status Put(const PseudoKey& key, uint64_t payload);
   Result<uint64_t> Get(const PseudoKey& key);
   Status Delete(const PseudoKey& key);
@@ -160,15 +191,47 @@ class ShardedStore {
   /// global ψ (z-)order: each shard's matches are sorted by ψ and the
   /// per-shard cursors k-way merged — since shards own contiguous ψ
   /// ranges the merge preserves order across shard boundaries.  Shards
-  /// with no matches contribute nothing.  DataLoss from any degraded
-  /// shard is reported after all shards were collected (the surviving
-  /// matches are in `out`).
-  Status Range(const RangePredicate& pred, std::vector<Record>* out);
+  /// with no matches contribute nothing.  Partiality is never silent:
+  /// when a shard is unavailable the surviving matches are still merged
+  /// into `out`, `*partial` (if given) is set, and the status is
+  /// kUnavailable; DataLoss from a degraded shard is reported the same
+  /// way after all shards were collected.  Unavailable outranks DataLoss
+  /// when both apply.
+  Status Range(const RangePredicate& pred, std::vector<Record>* out,
+               bool* partial = nullptr);
 
   /// \brief Checkpoints every shard (each an independent atomic
-  /// superblock flip).  All shards are attempted; the first failure is
-  /// returned.
+  /// superblock flip).  All healthy shards are attempted; the first
+  /// failure (kUnavailable for a down shard) is returned.
   Status Checkpoint();
+
+  /// \brief Runs the scrub → salvage → reopen repair ladder on shard `i`
+  /// and brings it back into service on success.  Only that shard's
+  /// traffic quiesces (its unit's exclusive lock); siblings keep serving
+  /// throughout, so a store opened kPartial regains full service without
+  /// reopening.  Works on healthy shards too (offline-style fsck of one
+  /// shard under a live store).
+  Status RepairShard(int i, ShardRepairReport* report = nullptr);
+
+  /// \brief Optimistic plain reopen of every down shard (no scrub or
+  /// salvage — the cheap path for shards that went down transiently).
+  /// Returns how many came back up; shards that still fail stay down
+  /// with their reason updated.
+  int TryReopenDownShards();
+
+  /// \brief Takes shard `i` down as a crash would (close without
+  /// checkpoint, WAL preserved), draining its in-flight operations
+  /// first.  Traffic to siblings is unaffected; keys routed here answer
+  /// kUnavailable until repair/reopen.  The chaos harness's crash lever,
+  /// and an operator's quarantine lever.
+  Status BringDownShard(int i);
+
+  /// \brief Per-shard health (lock-free snapshot).
+  bool shard_healthy(int i) const { return units_[i]->healthy(); }
+  /// \brief Why shard `i` is down (OK when healthy).
+  Status shard_down_reason(int i) const { return units_[i]->down_reason(); }
+  /// \brief How many shards are currently down.
+  int down_shards() const;
 
   int shards() const { return static_cast<int>(units_.size()); }
   int shard_bits() const { return shard_bits_; }
@@ -180,17 +243,20 @@ class ShardedStore {
   }
 
   /// \brief Per-shard introspection (test assertions, tooling).
+  /// nullptr while shard `i` is down; racy against concurrent
+  /// BringDownShard/RepairShard — owner-synchronized callers only.
   BmehStore* shard(int i) { return units_[i]->store(); }
   const StorageUnit& unit(int i) const { return *units_[i]; }
 
-  /// \brief Records across all shards (owner-synchronized, like the
-  /// per-store accessors it sums).
+  /// \brief Records across all healthy shards (owner-synchronized, like
+  /// the per-store accessors it sums).
   uint64_t records() const;
-  /// \brief WAL records across all shards.
+  /// \brief WAL records across all healthy shards.
   uint64_t wal_records() const;
-  /// \brief Mutations since the last checkpoint, across all shards.
+  /// \brief Mutations since the last checkpoint, across healthy shards.
   uint64_t dirty_ops() const;
-  /// \brief True when any shard's open had to work around corruption.
+  /// \brief True when any shard is down or its open had to work around
+  /// corruption.
   bool degraded() const;
 
   /// \brief Testing hook: poisons every shard so teardown performs no
@@ -207,22 +273,42 @@ class ShardedStore {
 
  private:
   ShardedStore(std::vector<std::unique_ptr<StorageUnit>> units,
-               int shard_bits, const KeySchema& schema,
-               obs::MetricsRegistry* metrics);
+               int shard_bits, const ShardedStoreOptions& options);
 
   /// Opens every unit concurrently (one thread per shard) and builds the
-  /// facade; on any failure the already-opened units are poisoned before
-  /// destruction so a failed open never mutates shard files.
+  /// facade.  kStrict: on any failure the already-opened units are
+  /// poisoned before destruction so a failed open never mutates shard
+  /// files.  kPartial: failed shards become down placeholder units and
+  /// the open succeeds as long as at least one shard came up.
   static Result<std::unique_ptr<ShardedStore>> OpenUnits(
       const std::string& dir, int shards, const ShardedStoreOptions& options);
+
+  /// Runs `op` against shard `s` under the facade retry policy: borrow
+  /// the unit (kUnavailable when down/repairing), invoke, and on a
+  /// transient status sleep a jittered backoff delay and try again until
+  /// the policy's attempt/budget bound.  Wait time is charged to the
+  /// store_retry_backoff_ns histogram.
+  Status RunWithRetry(int s, const std::function<Status(BmehStore*)>& op);
+
+  /// Deterministic per-call seed for the backoff jitter (SplitMix64 of a
+  /// global sequence number and the shard index).
+  uint64_t NextRetrySeed(int s);
 
   std::vector<std::unique_ptr<StorageUnit>> units_;
   int shard_bits_ = 0;
   KeySchema schema_;
+  BackoffPolicy retry_;
+  obs::Tracer* tracer_ = nullptr;
   /// Aggregate sampled source (tree records / WAL depth summed across
   /// shards under the unlabeled names a single store would publish).
   obs::MetricsRegistry* metrics_ = nullptr;
   uint64_t metrics_source_ = 0;
+  /// Retry/availability instrumentation (null without a registry).
+  obs::Counter* retries_total_ = nullptr;
+  obs::Counter* unavailable_total_ = nullptr;
+  obs::Counter* repairs_total_ = nullptr;
+  obs::Histogram* backoff_ns_ = nullptr;
+  std::atomic<uint64_t> retry_seq_{0};
 };
 
 }  // namespace bmeh

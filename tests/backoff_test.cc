@@ -1,0 +1,98 @@
+#include "src/common/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/status.h"
+
+namespace bmeh {
+namespace {
+
+TEST(BackoffTest, RetriesOnlyTransientStatuses) {
+  const BackoffPolicy policy;
+  Backoff backoff(policy, /*seed=*/1);
+  EXPECT_TRUE(backoff.ShouldRetry(Status::ResourceExhausted("quota")));
+  EXPECT_TRUE(backoff.ShouldRetry(Status::Unavailable("shard down")));
+  EXPECT_FALSE(backoff.ShouldRetry(Status::OK()));
+  EXPECT_FALSE(backoff.ShouldRetry(Status::IoError("disk")));
+  EXPECT_FALSE(backoff.ShouldRetry(Status::DataLoss("hole")));
+  EXPECT_FALSE(backoff.ShouldRetry(Status::KeyError("absent")));
+}
+
+TEST(BackoffTest, StopsAfterMaxAttempts) {
+  BackoffPolicy policy;
+  policy.max_attempts = 3;
+  policy.total_budget_us = 0;  // attempts are the only bound
+  Backoff backoff(policy, 42);
+  const Status transient = Status::ResourceExhausted("quota");
+  // First call = attempt 1; two retries are allowed, then no more.
+  EXPECT_TRUE(backoff.ShouldRetry(transient));
+  backoff.NextDelayUs();
+  EXPECT_TRUE(backoff.ShouldRetry(transient));
+  backoff.NextDelayUs();
+  EXPECT_FALSE(backoff.ShouldRetry(transient));
+  EXPECT_EQ(backoff.attempts(), 2);
+}
+
+TEST(BackoffTest, SingleAttemptPolicyNeverRetries) {
+  BackoffPolicy policy;
+  policy.max_attempts = 1;
+  Backoff backoff(policy, 7);
+  EXPECT_FALSE(backoff.ShouldRetry(Status::ResourceExhausted("quota")));
+}
+
+TEST(BackoffTest, DelaysStayWithinJitterBounds) {
+  BackoffPolicy policy;
+  policy.max_attempts = 64;
+  policy.base_delay_us = 100;
+  policy.max_delay_us = 1000;
+  policy.total_budget_us = 0;
+  Backoff backoff(policy, 99);
+  uint64_t prev = 0;
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t d = backoff.NextDelayUs();
+    EXPECT_GE(d, policy.base_delay_us);
+    EXPECT_LE(d, policy.max_delay_us);
+    // Decorrelated jitter: each delay is bounded by 3x the previous one.
+    if (prev != 0) {
+      EXPECT_LE(d, std::max(prev * 3, policy.base_delay_us));
+    }
+    prev = d;
+  }
+  EXPECT_EQ(backoff.attempts(), 50);
+}
+
+TEST(BackoffTest, TotalBudgetCapsCumulativeSleep) {
+  BackoffPolicy policy;
+  policy.max_attempts = 1000;
+  policy.base_delay_us = 300;
+  policy.max_delay_us = 500;
+  policy.total_budget_us = 1000;
+  Backoff backoff(policy, 5);
+  const Status transient = Status::Unavailable("down");
+  uint64_t slept = 0;
+  int rounds = 0;
+  while (backoff.ShouldRetry(transient)) {
+    slept += backoff.NextDelayUs();
+    ++rounds;
+    ASSERT_LT(rounds, 100) << "budget failed to terminate the loop";
+  }
+  // The last delay is clamped to the remaining budget, so the total never
+  // exceeds it.
+  EXPECT_LE(slept, policy.total_budget_us);
+  EXPECT_EQ(slept, backoff.waited_us());
+  EXPECT_GE(rounds, 2);
+}
+
+TEST(BackoffTest, DeterministicUnderSameSeed) {
+  BackoffPolicy policy;
+  policy.max_attempts = 16;
+  policy.total_budget_us = 0;
+  Backoff a(policy, 1234);
+  Backoff b(policy, 1234);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.NextDelayUs(), b.NextDelayUs());
+  }
+}
+
+}  // namespace
+}  // namespace bmeh

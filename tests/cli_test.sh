@@ -255,4 +255,58 @@ OUT=$("$CLI" storeinfo --db "$SHARDFIX")
 FIXED=$(echo "$OUT" | sed -n 's/^records: *\([0-9]*\).*/\1/p')
 [ -n "$FIXED" ] && [ "$FIXED" -gt 0 ] || fail "sharded repair kept no records"
 
+# ---- per-shard failure domains: degraded storeinfo + in-place fsck --shard ----
+
+DEGDIR="$(mktemp -u /tmp/bmeh_cli_test.XXXXXX.degraded)"
+trap 'rm -f "$DB" "$STORE" "$REPAIRED" "$QUOTA" "$TRACE"; rm -rf "$SHARDDIR" "$SHARDFIX" "$DEGDIR"' EXIT
+
+"$CLI" storebuild --db "$DEGDIR" --shards 4 --n 400 --b 8 \
+      --page-size 512 --seed 11 > /dev/null \
+  || fail "degraded-scenario storebuild exited non-zero"
+OUT=$("$CLI" storeinfo --db "$DEGDIR") \
+  || fail "storeinfo of a healthy sharded store should exit 0"
+echo "$OUT" | grep -q "health:           healthy" || fail "missing healthy line"
+
+# destroy ONE shard's superblock (page 1 is always the superblock)
+"$CLI" corrupt --db "$DEGDIR/shard-0002.bmeh" --page 1 --byte 100 > /dev/null \
+  || fail "superblock corrupt verb failed"
+
+# storeinfo still answers from the surviving shards, names the down one,
+# and exits 2 so scripts can branch on degradation without parsing
+set +e
+OUT=$("$CLI" storeinfo --db "$DEGDIR")
+RC=$?
+set -e
+[ "$RC" -eq 2 ] || fail "degraded storeinfo should exit 2, got $RC"
+echo "$OUT" | grep -q "DEGRADED (1 of 4 shards down)" || fail "no DEGRADED verdict"
+echo "$OUT" | grep "shard 2" | grep -q "DOWN" || fail "down shard not named"
+echo "$OUT" | grep "shard 0" | grep -q "records" || fail "healthy sibling not listed"
+
+# fsck scoped to the bad shard: diagnosis exits 1, a healthy sibling exits 0
+set +e
+OUT=$("$CLI" fsck --db "$DEGDIR" --shard 2)
+RC=$?
+set -e
+[ "$RC" -eq 1 ] || fail "fsck of the degraded shard should exit 1, got $RC"
+echo "$OUT" | grep -q "shard 2: DEGRADED" || fail "fsck missed the degraded shard"
+OUT=$("$CLI" fsck --db "$DEGDIR" --shard 0) \
+  || fail "fsck of a healthy shard should exit 0"
+echo "$OUT" | grep -q "shard 0: healthy" || fail "healthy shard verdict"
+
+# in-place repair heals only that shard (siblings untouched), exits 2
+set +e
+OUT=$("$CLI" fsck --db "$DEGDIR" --shard 2 --repair --b 8)
+RC=$?
+set -e
+[ "$RC" -eq 2 ] || fail "fsck --shard --repair should exit 2, got $RC"
+echo "$OUT" | grep -q "shard 2: repaired" || fail "repair verdict missing"
+
+# full service restored: healthy storeinfo, clean scrub, records survived
+OUT=$("$CLI" storeinfo --db "$DEGDIR") \
+  || fail "storeinfo after shard repair should exit 0"
+echo "$OUT" | grep -q "health:           healthy" || fail "store still degraded"
+HEALED=$(echo "$OUT" | sed -n 's/^records: *\([0-9]*\).*/\1/p')
+[ -n "$HEALED" ] && [ "$HEALED" -gt 0 ] || fail "repaired shard kept no records"
+"$CLI" scrub --db "$DEGDIR" > /dev/null || fail "repaired store must scrub clean"
+
 echo "cli_test: all checks passed"

@@ -567,5 +567,42 @@ TEST(FilePageStoreTest, HeaderPageIsProtected) {
   std::remove(path.c_str());
 }
 
+TEST(FilePageStoreTest, EintrIsAbsorbedAtEverySyscallSite) {
+  // A signal delivery can interrupt any slow syscall.  Slide a burst of
+  // injected EINTRs across every intercepted open/pread/pwrite of a fixed
+  // create → write → sync → reopen → read scenario: wherever the burst
+  // lands, the retry loops must absorb it with no surfaced error.
+  const std::string path = ::testing::TempDir() + "/bmeh_eintr.db";
+  const uint64_t absorbed_before = internal::EintrRetriesForTesting();
+  const auto data = Pattern(256, 9);
+  for (uint64_t nth = 0; nth < 48; ++nth) {
+    std::remove(path.c_str());
+    internal::InjectEintrForTesting(nth, 3);
+    PageId id;
+    {
+      auto r = FilePageStore::Create(path, 256);
+      ASSERT_TRUE(r.ok()) << "nth=" << nth << ": " << r.status();
+      auto store = std::move(r).ValueOrDie();
+      auto a = store->Allocate();
+      ASSERT_TRUE(a.ok()) << "nth=" << nth << ": " << a.status();
+      id = *a;
+      ASSERT_TRUE(store->Write(id, data).ok()) << "nth=" << nth;
+      ASSERT_TRUE(store->Sync().ok()) << "nth=" << nth;
+    }
+    {
+      auto r = FilePageStore::Open(path);
+      ASSERT_TRUE(r.ok()) << "nth=" << nth << ": " << r.status();
+      auto store = std::move(r).ValueOrDie();
+      std::vector<uint8_t> back(256);
+      ASSERT_TRUE(store->Read(id, back).ok()) << "nth=" << nth;
+      EXPECT_EQ(back, data) << "nth=" << nth;
+    }
+  }
+  internal::InjectEintrForTesting(UINT64_MAX, 0);  // disarm
+  // The sweep must actually have exercised the retry paths.
+  EXPECT_GT(internal::EintrRetriesForTesting(), absorbed_before);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace bmeh

@@ -1,0 +1,665 @@
+// Cross-shard chaos harness (ISSUE 7): a seeded mixed workload runs
+// against a kPartial ShardedStore while chaos events crash random
+// shards, corrupt pages on disk, squeeze allocation quotas (ENOSPC) and
+// run repairs — checking three invariants at every step and after every
+// reopen:
+//
+//  1. no lost acknowledged write — every op the facade acked is
+//     reflected in later reads, across shard crashes and process
+//     crashes;
+//  2. no resurrected delete — a key the model says is gone never comes
+//     back (salvage of a deliberately-corrupted shard may recover a
+//     stale-but-really-written record, and must say so in its report);
+//  3. every error is honest — transient statuses (kUnavailable,
+//     kResourceExhausted) leave the store unchanged and eventually
+//     succeed on retry; only shards whose files were actually damaged
+//     may go down.
+//
+// Differential against the same std::map model as model_check_test.
+// Iteration count: BMEH_CHAOS_ITERS wins, else BMEH_CHAOS_SMOKE=1 runs
+// a CI-sized 40, else 200.  Seeds follow the BMEH_STRESS_SEED /
+// SplitMix64 convention of concurrent_stress_test.
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/obs/metrics.h"
+#include "src/pagestore/fault_injecting_page_store.h"
+#include "src/store/sharded_store.h"
+
+namespace bmeh {
+namespace {
+
+constexpr int kShards = 4;
+constexpr int kShardBits = 2;
+
+uint64_t BaseSeed() {
+  if (const char* env = std::getenv("BMEH_STRESS_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 20260809;
+}
+
+uint64_t MixSeed(uint64_t base, uint64_t stream) {
+  uint64_t z = base + (stream + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+int Iterations() {
+  if (const char* env = std::getenv("BMEH_CHAOS_ITERS")) {
+    return std::atoi(env);
+  }
+  return std::getenv("BMEH_CHAOS_SMOKE") != nullptr ? 40 : 200;
+}
+
+// Injective multiplicative hashes in both components: the routing
+// prefix reaches every shard, and distinct serials never collide.
+PseudoKey KeyFor(uint32_t serial) {
+  return PseudoKey({(serial * 2654435761u) & 0x7fffffffu,
+                    (serial * 0x85ebca6bu + 0x7f4a7c15u) & 0x7fffffffu});
+}
+
+// Payloads are a function of the key, so every record anywhere — the
+// live store, a salvaged shard, a Range result — is self-verifying.
+uint64_t PayloadFor(const PseudoKey& key) {
+  return (static_cast<uint64_t>(key.component(0)) << 31) ^
+         key.component(1) ^ 0x9e3779b97f4a7c15ull;
+}
+
+void RemoveAll(const std::string& dir) {
+  for (int s = 0; s < kShards; ++s) {
+    std::remove(ShardedStore::ShardPath(dir, s).c_str());
+    std::remove((ShardedStore::ShardPath(dir, s) + ".repair").c_str());
+  }
+  std::remove((dir + "/MANIFEST").c_str());
+  std::remove((dir + "/MANIFEST.tmp").c_str());
+  ::rmdir(dir.c_str());
+}
+
+ShardedStoreOptions ChaosOpts() {
+  ShardedStoreOptions o;
+  o.shards = kShards;
+  o.store.schema = KeySchema(2, 31);
+  o.store.tree = TreeOptions::Make(2, 8);
+  o.store.page_size = 512;
+  o.store.wal_sync_every = 1;      // acked => in the WAL file
+  o.store.checkpoint_every = 25;   // several superblock flips per run
+  o.store.tolerate_corruption = false;  // damage => down, not degraded
+  o.open_policy = OpenPolicy::kPartial;
+  // Tiny delays: the chaos loop proves retry *semantics*, not wall
+  // clock.
+  o.retry.max_attempts = 3;
+  o.retry.base_delay_us = 20;
+  o.retry.max_delay_us = 200;
+  o.retry.total_budget_us = 2000;
+  return o;
+}
+
+// Flips one byte inside the superblock (page 1; page 0 is the file
+// header, and physical pages carry the v2 checksum trailer) of `path`,
+// after which an open must refuse the shard.
+void CorruptSuperblock(const std::string& path, int page_size) {
+  const long off = page_size + FilePageStore::kPageTrailerSize + 100;
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fseek(f, off, SEEK_SET), 0);
+  const int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(f, off, SEEK_SET), 0);
+  std::fputc(byte ^ 0xff, f);
+  std::fclose(f);
+}
+
+// Invariants 1 + 2 at quiescence: the store holds exactly the model.
+void CheckFullState(ShardedStore* store,
+                    const std::map<PseudoKey, uint64_t>& model,
+                    const KeySchema& schema, const std::string& label) {
+  ASSERT_EQ(store->down_shards(), 0) << label;
+  bool partial = true;
+  std::vector<Record> got;
+  ASSERT_TRUE(store->Range(RangePredicate(schema), &got, &partial).ok())
+      << label;
+  EXPECT_FALSE(partial) << label;
+  ASSERT_EQ(got.size(), model.size()) << label;
+  for (const Record& r : got) {
+    auto it = model.find(r.key);
+    ASSERT_NE(it, model.end()) << label << ": resurrected or invented key";
+    EXPECT_EQ(r.payload, it->second) << label;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 1. Seeded single-driver chaos, differential against the model
+// ---------------------------------------------------------------------------
+
+TEST(ShardChaosTest, SeededChaosMatchesModel) {
+  const uint64_t base_seed = BaseSeed();
+  ::testing::Test::RecordProperty("bmeh_stress_seed",
+                                  std::to_string(base_seed));
+  const int iters = Iterations();
+  const KeySchema schema(2, 31);
+  const std::string dir = ::testing::TempDir() + "/bmeh_chaos_model";
+  constexpr int kOpsPerIter = 60;
+
+  for (int iter = 0; iter < iters && !::testing::Test::HasFailure(); ++iter) {
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    RemoveAll(dir);
+    Rng rng(MixSeed(base_seed, static_cast<uint64_t>(iter)));
+    ShardedStoreOptions opts = ChaosOpts();
+
+    auto opened = ShardedStore::Open(dir, opts);
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    auto store = std::move(opened).ValueOrDie();
+    store->DisableFsyncForTesting();
+
+    std::map<PseudoKey, uint64_t> model;
+    std::set<PseudoKey> ever_inserted;
+    std::vector<bool> squeezed(kShards, false);
+    uint32_t next_serial = 1;
+    std::vector<PseudoKey> live;  // sampling pool mirroring the model
+
+    auto heal_quotas = [&] {
+      for (int s = 0; s < kShards; ++s) {
+        if (store->shard_healthy(s) && squeezed[s]) {
+          store->shard(s)->mutable_page_store()->SetMaxPages(0);
+          squeezed[s] = false;
+        }
+      }
+    };
+
+    for (int op_i = 0; op_i < kOpsPerIter && !::testing::Test::HasFailure();
+         ++op_i) {
+      // -- chaos event with probability ~0.18 --------------------------
+      if (rng.NextBool(0.18)) {
+        switch (rng.Uniform(6)) {
+          case 0: {  // crash one shard
+            ASSERT_TRUE(store->BringDownShard(
+                            static_cast<int>(rng.Uniform(kShards))).ok());
+            break;
+          }
+          case 1: {  // repair a down shard (file intact: no salvage)
+            for (int s = 0; s < kShards; ++s) {
+              if (store->shard_healthy(s)) continue;
+              ShardRepairReport report;
+              ASSERT_TRUE(store->RepairShard(s, &report).ok());
+              EXPECT_FALSE(report.salvaged)
+                  << "intact shard " << s << " should reopen via scrub";
+              squeezed[s] = false;  // fresh unit, unlimited quota
+              break;
+            }
+            break;
+          }
+          case 2: {  // optimistic reopen of everything that is down
+            std::vector<bool> was_down(kShards, false);
+            for (int s = 0; s < kShards; ++s) {
+              was_down[s] = !store->shard_healthy(s);
+            }
+            const int down = store->down_shards();
+            EXPECT_EQ(store->TryReopenDownShards(), down);
+            EXPECT_EQ(store->down_shards(), 0);
+            for (int s = 0; s < kShards; ++s) {
+              // A reopened unit starts with a fresh, unlimited device;
+              // healthy shards keep whatever quota they were under.
+              if (was_down[s]) squeezed[s] = false;
+            }
+            break;
+          }
+          case 3: {  // ENOSPC: cap a shard's device at its current size
+            const int s = static_cast<int>(rng.Uniform(kShards));
+            if (store->shard_healthy(s)) {
+              PageStore* ps = store->shard(s)->mutable_page_store();
+              ps->SetMaxPages(ps->total_page_count());
+              squeezed[s] = true;
+            }
+            break;
+          }
+          case 4: {  // space freed
+            heal_quotas();
+            break;
+          }
+          default: {  // process crash, maybe disk corruption, reopen
+            store->SimulateProcessCrashForTesting();
+            store.reset();
+            std::vector<bool> corrupted(kShards, false);
+            if (rng.NextBool(0.4)) {
+              // Only corrupt a shard that owns at least one acked record.
+              // An empty shard has no checkpoint image and no WAL, so its
+              // salvage honestly reports DataLoss — a different scenario
+              // from the recover-the-data one this event exercises.
+              std::vector<int> candidates;
+              {
+                std::vector<bool> owns(kShards, false);
+                for (const auto& [key, payload] : model) {
+                  owns[ShardRouter::ShardOf(key, schema, kShardBits)] = true;
+                }
+                for (int s = 0; s < kShards; ++s) {
+                  if (owns[s]) candidates.push_back(s);
+                }
+              }
+              if (!candidates.empty()) {
+                const int c = candidates[rng.Uniform(candidates.size())];
+                CorruptSuperblock(ShardedStore::ShardPath(dir, c),
+                                  opts.store.page_size);
+                corrupted[c] = true;
+              }
+            }
+            ShardedStoreOptions reopen = opts;
+            reopen.shards = 0;  // adopt the manifest
+            auto r = ShardedStore::Open(dir, reopen);
+            ASSERT_TRUE(r.ok()) << r.status();
+            store = std::move(r).ValueOrDie();
+            store->DisableFsyncForTesting();
+            for (int s = 0; s < kShards; ++s) {
+              squeezed[s] = false;
+              // Honest errors: exactly the damaged shards are down.
+              EXPECT_EQ(store->shard_healthy(s), !corrupted[s])
+                  << "shard " << s;
+              if (!corrupted[s]) continue;
+              // Repair the damage immediately and reconcile the model:
+              // the superblock was corrupted but every data page is
+              // intact, so nothing may be lost or invented — but the
+              // report must admit the salvage.
+              ShardRepairReport report;
+              const Status repair_st = store->RepairShard(s, &report);
+              ASSERT_TRUE(repair_st.ok()) << repair_st;
+              EXPECT_TRUE(report.salvaged)
+                  << "corrupt superblock cannot reopen via plain scrub";
+              std::vector<Record> recs;
+              ASSERT_TRUE(store->shard(s)
+                              ->Range(RangePredicate(schema), &recs)
+                              .ok());
+              std::set<PseudoKey> salvaged_keys;
+              bool diverged = false;
+              for (const Record& rec : recs) {
+                // A salvaged record may be stale (a brute-force sweep
+                // can replay a freed WAL chain), but never invented and
+                // never torn: the key was really inserted once and the
+                // payload is its key's.
+                ASSERT_TRUE(ever_inserted.count(rec.key))
+                    << "salvage invented a key";
+                EXPECT_EQ(rec.payload, PayloadFor(rec.key))
+                    << "salvaged record torn";
+                salvaged_keys.insert(rec.key);
+                if (model.count(rec.key) == 0) diverged = true;
+              }
+              for (const auto& [key, payload] : model) {
+                if (store->ShardOf(key) == s &&
+                    salvaged_keys.count(key) == 0) {
+                  diverged = true;  // acked write missing after salvage
+                }
+              }
+              // Invariant 3: divergence from the acked state (a lost
+              // write or a resurrected delete) is only acceptable when
+              // the report admits it had to fall back to the sweep.
+              EXPECT_TRUE(!diverged || report.salvage.used_sweep)
+                  << "salvage diverged from the acked state without "
+                     "reporting the brute-force sweep";
+              // Reconcile: the repaired shard's contents are now the
+              // truth the rest of the iteration measures against.
+              for (auto it = model.begin(); it != model.end();) {
+                it = store->ShardOf(it->first) == s ? model.erase(it)
+                                                    : ++it;
+              }
+              for (const Record& rec : recs) {
+                model.emplace(rec.key, rec.payload);
+              }
+              live.clear();
+              for (const auto& [key, payload] : model) {
+                live.push_back(key);
+              }
+            }
+            break;
+          }
+        }
+        continue;
+      }
+
+      // -- one workload op against store and model ---------------------
+      const double roll = rng.NextDouble();
+      if (roll < 0.55 || live.empty()) {  // insert a fresh key
+        const PseudoKey key = KeyFor(next_serial++);
+        const uint64_t payload = PayloadFor(key);
+        const int s = store->ShardOf(key);
+        const Status st = store->Put(key, payload);
+        if (st.ok()) {
+          ASSERT_EQ(model.count(key), 0u);
+          model.emplace(key, payload);
+          ever_inserted.insert(key);
+          live.push_back(key);
+        } else if (st.IsUnavailable()) {
+          EXPECT_FALSE(store->shard_healthy(s)) << st;
+        } else {
+          // Only quota backpressure may fail a fresh insert, and it
+          // must leave no trace.
+          EXPECT_TRUE(st.IsResourceExhausted()) << st;
+          EXPECT_TRUE(squeezed[s]) << st;
+        }
+      } else if (roll < 0.70) {  // delete a live key
+        const size_t pos = rng.Uniform(live.size());
+        const PseudoKey key = live[pos];
+        const int s = store->ShardOf(key);
+        const Status st = store->Delete(key);
+        if (st.ok()) {
+          ASSERT_EQ(model.erase(key), 1u);
+          live[pos] = live.back();
+          live.pop_back();
+        } else if (st.IsUnavailable()) {
+          EXPECT_FALSE(store->shard_healthy(s)) << st;
+        } else {
+          EXPECT_TRUE(st.IsResourceExhausted()) << st;
+          EXPECT_TRUE(squeezed[s]) << st;
+        }
+      } else if (roll < 0.80) {  // duplicate insert / absent delete
+        if (rng.NextBool(0.5) && !live.empty()) {
+          // Same payload as the original insert: a duplicate's WAL
+          // record may legitimately surface in a later brute-force
+          // salvage sweep, and must still be self-verifying then.
+          const PseudoKey key = live[rng.Uniform(live.size())];
+          const Status st = store->Put(key, PayloadFor(key));
+          if (!st.IsUnavailable() && !st.IsResourceExhausted()) {
+            EXPECT_TRUE(st.IsAlreadyExists()) << st;
+          }
+        } else {
+          const PseudoKey key = KeyFor(next_serial++);  // never inserted
+          const Status st = store->Delete(key);
+          if (!st.IsUnavailable() && !st.IsResourceExhausted()) {
+            EXPECT_TRUE(st.IsKeyError()) << st;
+          }
+        }
+      } else if (roll < 0.93) {  // point read
+        const PseudoKey key = live.empty()
+                                  ? KeyFor(next_serial - 1)
+                                  : live[rng.Uniform(live.size())];
+        const int s = store->ShardOf(key);
+        auto r = store->Get(key);
+        if (r.ok()) {
+          auto it = model.find(key);
+          ASSERT_NE(it, model.end()) << "read invented a key";
+          EXPECT_EQ(*r, it->second);
+        } else if (r.status().IsUnavailable()) {
+          EXPECT_FALSE(store->shard_healthy(s)) << r.status();
+        } else {
+          EXPECT_TRUE(r.status().IsKeyError()) << r.status();
+          EXPECT_EQ(model.count(key), 0u) << "read lost an acked key";
+        }
+      } else {  // merged range scan, partiality never silent
+        bool partial = false;
+        std::vector<Record> got;
+        const Status st = store->Range(RangePredicate(schema), &got, &partial);
+        std::map<PseudoKey, uint64_t> want;
+        for (const auto& [key, payload] : model) {
+          if (store->shard_healthy(store->ShardOf(key))) {
+            want.emplace(key, payload);
+          }
+        }
+        if (store->down_shards() == 0) {
+          EXPECT_TRUE(st.ok()) << st;
+          EXPECT_FALSE(partial);
+        } else {
+          EXPECT_TRUE(st.IsUnavailable()) << st;
+          EXPECT_TRUE(partial);
+        }
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t i = 1; i < got.size(); ++i) {
+          EXPECT_TRUE(
+              ShardRouter::PsiLess(got[i - 1].key, got[i].key, schema));
+        }
+        for (const Record& rec : got) {
+          auto it = want.find(rec.key);
+          ASSERT_NE(it, want.end());
+          EXPECT_EQ(rec.payload, it->second);
+        }
+      }
+    }
+
+    // -- quiesce: heal everything, then the model must match exactly ----
+    heal_quotas();
+    for (int s = 0; s < kShards; ++s) {
+      if (!store->shard_healthy(s)) {
+        ASSERT_TRUE(store->RepairShard(s).ok());
+      }
+    }
+    CheckFullState(store.get(), model, schema, "post-chaos");
+    store.reset();  // clean close checkpoints every shard
+
+    ShardedStoreOptions reopen = ChaosOpts();
+    reopen.shards = 0;
+    reopen.open_policy = OpenPolicy::kStrict;  // nothing may be damaged now
+    auto r = ShardedStore::Open(dir, reopen);
+    ASSERT_TRUE(r.ok()) << r.status();
+    CheckFullState(r.ValueOrDie().get(), model, schema, "clean reopen");
+  }
+  RemoveAll(dir);
+}
+
+// ---------------------------------------------------------------------------
+// 2. Injected allocation faults: transient errors succeed on retry
+// ---------------------------------------------------------------------------
+
+TEST(ShardChaosTest, InjectorTransientFaultsAreAbsorbed) {
+  const KeySchema schema(2, 31);
+  obs::MetricsRegistry registry;
+  ShardedStoreOptions opts = ChaosOpts();
+  opts.store.metrics = &registry;
+  opts.retry.max_attempts = 6;
+  opts.retry.total_budget_us = 50000;
+
+  std::vector<std::unique_ptr<PageStore>> devices;
+  std::vector<FaultInjectingPageStore*> injector(kShards, nullptr);
+  for (int s = 0; s < kShards; ++s) {
+    auto inj = std::make_unique<FaultInjectingPageStore>(
+        std::make_unique<InMemoryPageStore>(opts.store.page_size));
+    injector[s] = inj.get();
+    devices.push_back(std::move(inj));
+  }
+  auto opened = ShardedStore::Open(std::move(devices), opts);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  auto store = std::move(opened).ValueOrDie();
+
+  std::map<PseudoKey, uint64_t> model;
+  uint32_t serial = 1;
+  auto put_fresh = [&](int target_shard) {
+    while (store->ShardOf(KeyFor(serial)) != target_shard) ++serial;
+    const PseudoKey key = KeyFor(serial++);
+    const Status st = store->Put(key, PayloadFor(key));
+    if (st.ok()) model.emplace(key, PayloadFor(key));
+    return st;
+  };
+
+  for (int i = 0; i < 200; ++i) {
+    for (int s = 0; s < kShards; ++s) {
+      ASSERT_TRUE(put_fresh(s).ok());
+    }
+  }
+
+  // A transient ENOSPC window narrower than the retry policy: the facade
+  // must absorb it and ack — invariant 3's "transient errors eventually
+  // succeed on retry".
+  const auto before = registry.Snapshot();
+  for (int s = 0; s < kShards; ++s) {
+    injector[s]->FailNthAllocation(injector[s]->allocs_issued(), 2);
+    ASSERT_TRUE(put_fresh(s).ok())
+        << "facade retry failed to absorb a 2-allocation ENOSPC blip";
+  }
+  const auto after = registry.Snapshot();
+  EXPECT_GT(after.counter("store_shard_retries_total"),
+            before.counter("store_shard_retries_total"));
+  const obs::HistogramSnapshot* backoff =
+      after.histogram("store_retry_backoff_ns");
+  ASSERT_NE(backoff, nullptr);
+  EXPECT_GT(backoff->count, 0u);
+
+  // A hard quota outlives any retry policy: the put fails honestly with
+  // ResourceExhausted, nothing is applied, siblings are untouched...
+  const int victim = 2;
+  injector[victim]->SetAllocationQuota(0);
+  Status st;
+  uint32_t probe = serial;
+  do {  // small puts may not allocate; drive until the quota bites
+    while (store->ShardOf(KeyFor(probe)) != victim) ++probe;
+    st = store->Put(KeyFor(probe), PayloadFor(KeyFor(probe)));
+    if (st.ok()) model.emplace(KeyFor(probe), PayloadFor(KeyFor(probe)));
+    ++probe;
+  } while (st.ok());
+  EXPECT_TRUE(st.IsResourceExhausted()) << st;
+  EXPECT_TRUE(store->shard_healthy(victim)) << "exhaustion is not a crash";
+  serial = probe;
+  for (int s = 0; s < kShards; ++s) {
+    if (s != victim) {
+      ASSERT_TRUE(put_fresh(s).ok()) << "quota leaked to a sibling shard";
+    }
+  }
+
+  // ...and once space frees up the same shard acks again.
+  injector[victim]->LiftAllocationLimit();
+  ASSERT_TRUE(put_fresh(victim).ok());
+
+  // Differential close-out: exactly the acked writes, nothing else.
+  CheckFullState(store.get(), model, schema, "injector quiescence");
+  store->SimulateCrashForTesting();  // in-memory devices: skip checkpoint
+}
+
+// ---------------------------------------------------------------------------
+// 3. Concurrent chaos: repair under live traffic (TSan target)
+// ---------------------------------------------------------------------------
+
+TEST(ShardChaosTest, ConcurrentChaosRepairUnderTraffic) {
+  const uint64_t base_seed = BaseSeed();
+  ::testing::Test::RecordProperty("bmeh_stress_seed",
+                                  std::to_string(base_seed));
+  const bool smoke = std::getenv("BMEH_CHAOS_SMOKE") != nullptr;
+  const int kWriters = 3;
+  const int kOpsPerWriter = smoke ? 300 : 800;
+  const int kFlaps = smoke ? 12 : 25;
+  const KeySchema schema(2, 31);
+  const std::string dir = ::testing::TempDir() + "/bmeh_chaos_concurrent";
+  RemoveAll(dir);
+
+  ShardedStoreOptions opts = ChaosOpts();
+  auto opened = ShardedStore::Open(dir, opts);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  auto store = std::move(opened).ValueOrDie();
+  store->DisableFsyncForTesting();
+
+  std::atomic<bool> failed{false};
+  std::atomic<int> writers_live{kWriters};
+  std::vector<std::vector<PseudoKey>> acked(kWriters);
+
+  // Writers: disjoint serial spaces; an acked key must survive every
+  // BringDown/Repair cycle the chaos thread throws at its shard.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(MixSeed(base_seed, static_cast<uint64_t>(t)));
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        const uint32_t serial =
+            static_cast<uint32_t>(t + 1) * 1000000u + static_cast<uint32_t>(i);
+        const PseudoKey key = KeyFor(serial);
+        const Status st = store->Put(key, PayloadFor(key));
+        if (st.ok()) {
+          acked[t].push_back(key);
+        } else if (!st.IsUnavailable()) {
+          // The chaos thread only crashes shards — every refusal must be
+          // the honest routed-to-down-shard status.
+          failed = true;
+          return;
+        }
+        if (rng.NextBool(0.05)) std::this_thread::yield();
+      }
+      writers_live.fetch_sub(1);
+    });
+  }
+
+  // Reader: whatever interleaving it lands in, a Get answers OK with the
+  // self-verifying payload, KeyError, or an honest Unavailable.
+  threads.emplace_back([&] {
+    Rng rng(MixSeed(base_seed, 100));
+    while (writers_live.load() > 0 && !failed) {
+      const int t = static_cast<int>(rng.Uniform(kWriters));
+      const uint32_t serial = static_cast<uint32_t>(t + 1) * 1000000u +
+                              static_cast<uint32_t>(rng.Uniform(kOpsPerWriter));
+      auto r = store->Get(KeyFor(serial));
+      if (r.ok()) {
+        if (*r != PayloadFor(KeyFor(serial))) failed = true;
+      } else if (!r.status().IsKeyError() && !r.status().IsUnavailable()) {
+        failed = true;
+      }
+    }
+  });
+
+  // Scanner: merged ranges stay ψ-sorted and self-verifying, and report
+  // partiality honestly instead of silently dropping a down shard.
+  threads.emplace_back([&] {
+    std::vector<Record> out;
+    while (writers_live.load() > 0 && !failed) {
+      bool partial = false;
+      const Status st = store->Range(RangePredicate(schema), &out, &partial);
+      if (!st.ok() && !st.IsUnavailable()) {
+        failed = true;
+        break;
+      }
+      if (st.IsUnavailable() && !partial) failed = true;
+      for (size_t i = 0; i < out.size(); ++i) {
+        if (out[i].payload != PayloadFor(out[i].key)) failed = true;
+        if (i > 0 &&
+            !ShardRouter::PsiLess(out[i - 1].key, out[i].key, schema)) {
+          failed = true;
+        }
+      }
+    }
+  });
+
+  // Chaos: flap shards down and repair them under live traffic.
+  threads.emplace_back([&] {
+    Rng rng(MixSeed(base_seed, 200));
+    for (int flap = 0; flap < kFlaps && writers_live.load() > 0 && !failed;
+         ++flap) {
+      const int s = static_cast<int>(rng.Uniform(kShards));
+      if (!store->BringDownShard(s).ok()) failed = true;
+      std::this_thread::yield();
+      if (rng.NextBool(0.5)) {
+        if (!store->RepairShard(s).ok()) failed = true;
+      } else {
+        store->TryReopenDownShards();
+      }
+    }
+    // Leave no shard down behind us.
+    while (store->down_shards() > 0 && !failed) {
+      store->TryReopenDownShards();
+    }
+  });
+
+  for (auto& th : threads) th.join();
+  ASSERT_FALSE(failed.load());
+  ASSERT_EQ(store->down_shards(), 0);
+
+  // Quiescent: invariant 1 — every acked write survived the flapping.
+  for (int t = 0; t < kWriters; ++t) {
+    for (const PseudoKey& key : acked[t]) {
+      auto r = store->Get(key);
+      ASSERT_TRUE(r.ok()) << "acked key lost: " << r.status();
+      EXPECT_EQ(*r, PayloadFor(key));
+    }
+  }
+  for (int s = 0; s < kShards; ++s) {
+    EXPECT_TRUE(store->shard(s)->mutable_tree()->Validate().ok());
+  }
+  store.reset();
+  RemoveAll(dir);
+}
+
+}  // namespace
+}  // namespace bmeh

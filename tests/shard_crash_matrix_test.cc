@@ -114,6 +114,7 @@ class ShardCrashMatrixTest : public ::testing::Test {
       std::remove(ShardedStore::ShardPath(dir_, s).c_str());
     }
     std::remove((dir_ + "/MANIFEST").c_str());
+    std::remove((dir_ + "/MANIFEST.tmp").c_str());
     ::rmdir(dir_.c_str());
   }
 
@@ -273,6 +274,95 @@ TEST_F(ShardCrashMatrixTest, KillAtEveryWriteIndexOfEveryShard) {
                         std::to_string(w) +
                         (w % 2 == 0 ? " (clean)" : " (torn)"));
     }
+  }
+}
+
+// A process can die anywhere inside WriteManifest: after mkdir, after
+// writing MANIFEST.tmp (fully or torn), after the rename but before the
+// directory fsync makes it durable (the tmp may reappear, the manifest
+// may not), or after a retry republished over a surviving manifest and
+// left a stale tmp behind.  Every one of those on-disk pre-states must
+// open cleanly, run the workload, and end with a sealed manifest.
+TEST_F(ShardCrashMatrixTest, ManifestCreationSurvivesEveryKillPoint) {
+  const std::string manifest_path = dir_ + "/MANIFEST";
+  const std::string tmp_path = manifest_path + ".tmp";
+
+  auto write_file = [](const std::string& path, const std::string& body) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << path;
+    ASSERT_EQ(std::fwrite(body.data(), 1, body.size(), f), body.size());
+    std::fclose(f);
+  };
+  auto write_sealed_manifest = [&] {
+    ShardManifest m;
+    m.shards = kShards;
+    m.shard_bits = 2;
+    m.page_size = Opts().store.page_size;
+    m.schema = Opts().store.schema;
+    ASSERT_TRUE(ShardedStore::WriteManifest(dir_, m).ok());
+  };
+
+  enum PreState {
+    kEmptyDir,       // killed after mkdir, before the tmp write
+    kTornTmp,        // killed mid tmp write
+    kFullTmp,        // killed between tmp fsync and rename
+    kManifestOnly,   // rename survived the crash, shard files never made
+    kManifestAndTmp  // a retry's tmp written, killed before its rename
+  };
+  for (PreState state :
+       {kEmptyDir, kTornTmp, kFullTmp, kManifestOnly, kManifestAndTmp}) {
+    SCOPED_TRACE("pre-state " + std::to_string(state));
+    RemoveAll();
+    ASSERT_EQ(::mkdir(dir_.c_str(), 0755), 0);
+    switch (state) {
+      case kEmptyDir:
+        break;
+      case kTornTmp:
+        write_file(tmp_path, "BMEH-SH");
+        break;
+      case kFullTmp:
+        write_sealed_manifest();
+        ASSERT_EQ(::rename(manifest_path.c_str(), tmp_path.c_str()), 0);
+        break;
+      case kManifestOnly:
+        write_sealed_manifest();
+        break;
+      case kManifestAndTmp:
+        write_sealed_manifest();
+        write_file(tmp_path, "BMEH-SH");
+        break;
+    }
+
+    // Creation retry: an explicit shard count either seals a fresh
+    // manifest or validates against the surviving one.
+    {
+      auto opened = ShardedStore::Open(dir_, Opts());
+      ASSERT_TRUE(opened.ok()) << opened.status();
+      auto store = std::move(opened).ValueOrDie();
+      for (const Op& op : script_) {
+        Status st = op.insert ? store->Put(op.key, op.payload)
+                              : store->Delete(op.key);
+        ASSERT_TRUE(st.ok()) << st;
+      }
+    }
+    ASSERT_TRUE(ShardedStore::IsShardedDir(dir_));
+    auto m = ShardedStore::ReadManifest(dir_);
+    ASSERT_TRUE(m.ok()) << m.status();
+    EXPECT_EQ(m->shards, kShards);
+
+    // And the sealed directory reopens by adopting that manifest.
+    ShardedStoreOptions opts = Opts();
+    opts.shards = 0;
+    auto reopened = ShardedStore::Open(dir_, opts);
+    ASSERT_TRUE(reopened.ok()) << reopened.status();
+    auto store = std::move(reopened).ValueOrDie();
+    for (int s = 0; s < kShards; ++s) {
+      EXPECT_TRUE(ContentsEqual(
+          store->shard(s),
+          StateAfter(per_shard_[s], per_shard_[s].size())))
+          << "shard " << s;
+    }
+    store->SimulateCrashForTesting();  // keep teardown write-free
   }
 }
 

@@ -34,6 +34,7 @@ class ShardedStoreTest : public ::testing::Test {
       std::remove(ShardedStore::ShardPath(dir_, i).c_str());
     }
     std::remove((dir_ + "/MANIFEST").c_str());
+    std::remove((dir_ + "/MANIFEST.tmp").c_str());
     ::rmdir(dir_.c_str());
   }
 
@@ -477,6 +478,163 @@ TEST_F(ShardedStoreTest, SharedRegistryLabelsShardsAndAggregates) {
   EXPECT_EQ(snap.gauges["store_shards"], 2);
   EXPECT_GT(snap.counters["shard0_pagestore_writes_total"], 0u);
   EXPECT_GT(snap.counters["shard1_pagestore_writes_total"], 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Partial availability
+// ---------------------------------------------------------------------------
+
+// The ISSUE-7 acceptance scenario: with shards = 8 and one shard's
+// superblock corrupted on disk, a kPartial open serves Get/Insert/Range
+// on the seven healthy shards, ops routed to the down shard fail with
+// kUnavailable, and RepairShard restores full service without reopening
+// the store.
+TEST_F(ShardedStoreTest, PartialOpenServesHealthyShardsAndRepairHeals) {
+  constexpr uint32_t kRecords = 400;
+  const KeySchema schema(2, 31);
+  ShardedStoreOptions opts = Opts(8);
+  // A corrupt superblock must bring the shard DOWN, not open it
+  // degraded-readonly.
+  opts.store.tolerate_corruption = false;
+  {
+    auto store = MustOpen(opts);
+    for (uint32_t i = 0; i < kRecords; ++i) {
+      ASSERT_TRUE(store->Put(KeyFor(i), i).ok());
+    }
+  }
+
+  // Corrupt the superblock (page 1; page 0 is the file header) of the
+  // shard that owns KeyFor(0).  Physical pages carry the v2 checksum
+  // trailer, so page 1 starts at page_size + kPageTrailerSize.
+  const int down = ShardRouter::ShardOf(KeyFor(0), schema, 3);
+  {
+    const std::string path = ShardedStore::ShardPath(dir_, down);
+    const long off = 512 + FilePageStore::kPageTrailerSize + 10;
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, off, SEEK_SET), 0);
+    const int byte = std::fgetc(f);
+    ASSERT_NE(byte, EOF);
+    ASSERT_EQ(std::fseek(f, off, SEEK_SET), 0);
+    std::fputc(byte ^ 0xff, f);
+    std::fclose(f);
+  }
+
+  // Strict open (the default) refuses the whole store.
+  EXPECT_FALSE(ShardedStore::Open(dir_, opts).ok());
+
+  opts.open_policy = OpenPolicy::kPartial;
+  // Keep the facade's retries cheap: a down shard is not coming back by
+  // itself, so don't burn wall clock proving it.
+  opts.retry.max_attempts = 2;
+  opts.retry.base_delay_us = 10;
+  opts.retry.max_delay_us = 50;
+  opts.retry.total_budget_us = 1000;
+  auto store = MustOpen(opts);
+  EXPECT_EQ(store->shards(), 8);
+  EXPECT_EQ(store->down_shards(), 1);
+  EXPECT_FALSE(store->shard_healthy(down));
+  EXPECT_FALSE(store->shard_down_reason(down).ok());
+  for (int s = 0; s < 8; ++s) {
+    if (s != down) {
+      EXPECT_TRUE(store->shard_healthy(s)) << "shard " << s;
+    }
+  }
+
+  // Reads: healthy shards answer, the down shard is honestly Unavailable.
+  uint32_t routed_down = 0;
+  for (uint32_t i = 0; i < kRecords; ++i) {
+    auto r = store->Get(KeyFor(i));
+    if (ShardRouter::ShardOf(KeyFor(i), schema, 3) == down) {
+      ++routed_down;
+      EXPECT_TRUE(r.status().IsUnavailable()) << "key " << i << ": "
+                                              << r.status();
+    } else {
+      ASSERT_TRUE(r.ok()) << "key " << i << ": " << r.status();
+      EXPECT_EQ(*r, i);
+    }
+  }
+  EXPECT_GT(routed_down, 0u);
+
+  // Writes follow the same contract.
+  uint32_t fresh_down = kRecords;
+  while (ShardRouter::ShardOf(KeyFor(fresh_down), schema, 3) != down) {
+    ++fresh_down;
+  }
+  uint32_t fresh_up = kRecords;
+  while (ShardRouter::ShardOf(KeyFor(fresh_up), schema, 3) == down) {
+    ++fresh_up;
+  }
+  EXPECT_TRUE(store->Put(KeyFor(fresh_down), fresh_down).IsUnavailable());
+  EXPECT_TRUE(store->Put(KeyFor(fresh_up), fresh_up).ok());
+
+  // Range merges the healthy shards and flags the hole instead of
+  // silently dropping it.
+  bool partial = false;
+  std::vector<Record> got;
+  Status st = store->Range(RangePredicate(schema), &got, &partial);
+  EXPECT_TRUE(st.IsUnavailable()) << st;
+  EXPECT_TRUE(partial);
+  EXPECT_EQ(got.size(), kRecords + 1 - routed_down);
+  EXPECT_TRUE(std::is_sorted(
+      got.begin(), got.end(), [&](const Record& a, const Record& b) {
+        return ShardRouter::PsiLess(a.key, b.key, schema);
+      }));
+
+  // Repair brings the shard back under the live facade — no reopen.
+  ShardRepairReport report;
+  ASSERT_TRUE(store->RepairShard(down, &report).ok());
+  EXPECT_EQ(store->down_shards(), 0);
+  EXPECT_TRUE(store->shard_healthy(down));
+
+  for (uint32_t i = 0; i < kRecords; ++i) {
+    auto r = store->Get(KeyFor(i));
+    ASSERT_TRUE(r.ok()) << "key " << i << " after repair: " << r.status();
+    EXPECT_EQ(*r, i);
+  }
+  // The rejected write never happened; it succeeds now.
+  EXPECT_TRUE(store->Get(KeyFor(fresh_down)).status().IsKeyError());
+  EXPECT_TRUE(store->Put(KeyFor(fresh_down), fresh_down).ok());
+
+  partial = true;
+  got.clear();
+  ASSERT_TRUE(store->Range(RangePredicate(schema), &got, &partial).ok());
+  EXPECT_FALSE(partial);
+  EXPECT_EQ(got.size(), kRecords + 2u);
+}
+
+// BringDownShard/TryReopenDownShards model a crash of one shard's
+// "process": acknowledged writes survive via its WAL, and reopen needs
+// no salvage.
+TEST_F(ShardedStoreTest, BringDownAndReopenShardKeepsAckedWrites) {
+  ShardedStoreOptions opts = Opts(4);
+  opts.retry.max_attempts = 2;
+  opts.retry.base_delay_us = 10;
+  opts.retry.max_delay_us = 50;
+  opts.retry.total_budget_us = 500;
+  // Acked writes must be durable at BringDown, which discards the
+  // not-yet-checkpointed tree: sync the WAL on every mutation.
+  opts.store.wal_sync_every = 1;
+  auto store = MustOpen(opts);
+  store->DisableFsyncForTesting();
+  const KeySchema schema(2, 31);
+  for (uint32_t i = 0; i < 120; ++i) {
+    ASSERT_TRUE(store->Put(KeyFor(i), i).ok());
+  }
+
+  const int victim = ShardRouter::ShardOf(KeyFor(3), schema, 2);
+  ASSERT_TRUE(store->BringDownShard(victim).ok());
+  EXPECT_EQ(store->down_shards(), 1);
+  EXPECT_TRUE(store->Get(KeyFor(3)).status().IsUnavailable());
+  EXPECT_TRUE(store->shard_down_reason(victim).IsUnavailable());
+
+  EXPECT_EQ(store->TryReopenDownShards(), 1);
+  EXPECT_EQ(store->down_shards(), 0);
+  for (uint32_t i = 0; i < 120; ++i) {
+    auto r = store->Get(KeyFor(i));
+    ASSERT_TRUE(r.ok()) << "key " << i << ": " << r.status();
+    EXPECT_EQ(*r, i);
+  }
 }
 
 // ---------------------------------------------------------------------------

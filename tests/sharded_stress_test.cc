@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -26,6 +27,23 @@ namespace {
 constexpr int kShards = 8;
 constexpr int kShardBits = 3;
 
+// Seed convention shared with concurrent_stress_test: one base seed
+// (override with BMEH_STRESS_SEED to replay a failing schedule), derived
+// streams through a SplitMix64 finalizer.
+uint64_t BaseSeed() {
+  if (const char* env = std::getenv("BMEH_STRESS_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 20260809;
+}
+
+uint64_t MixSeed(uint64_t base, uint64_t stream) {
+  uint64_t z = base + (stream + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 // Payload every record must carry: a mix of the key's components, so a
 // reader can verify any record in isolation.
 uint64_t PayloadFor(const PseudoKey& key) {
@@ -34,6 +52,9 @@ uint64_t PayloadFor(const PseudoKey& key) {
 }
 
 TEST(ShardedStressTest, DistinctShardWritersWithMergingReaders) {
+  const uint64_t base_seed = BaseSeed();
+  ::testing::Test::RecordProperty("bmeh_stress_seed",
+                                  std::to_string(base_seed));
   const KeySchema schema(2, 31);
   ShardedStoreOptions opts;
   opts.shards = kShards;
@@ -53,7 +74,9 @@ TEST(ShardedStressTest, DistinctShardWritersWithMergingReaders) {
   // Pre-partition a key stream so writer t owns exactly shard t.
   const int per_shard = 400;
   workload::WorkloadSpec spec;
-  spec.seed = 20260809;
+  // Stream 0 of the base seed feeds the key generator; writers are
+  // deterministic given their key lists, so no further streams needed.
+  spec.seed = MixSeed(base_seed, 0);
   std::vector<std::vector<PseudoKey>> owned(kShards);
   {
     workload::KeyGenerator gen(spec);

@@ -60,12 +60,23 @@ TEST(StatusTest, StatusCodeNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
   EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
                "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(StatusTest, UnavailableFactoryAndPredicate) {
+  const Status st = Status::Unavailable("shard 3 is down");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_EQ(st.message(), "shard 3 is down");
+  EXPECT_FALSE(Status::IoError("x").IsUnavailable());
 }
 
 TEST(StatusTest, TransiencePredicate) {
-  // ResourceExhausted is the retryable failure: the failing layer promises
-  // it left its state untouched.
+  // ResourceExhausted and Unavailable are the retryable failures: the
+  // failing layer promises it left its state untouched.
   EXPECT_TRUE(Status::ResourceExhausted("no space").IsTransient());
+  EXPECT_TRUE(Status::Unavailable("shard down").IsTransient());
   // Everything else requires repair, recovery, or caller changes first.
   EXPECT_FALSE(Status::OK().IsTransient());
   EXPECT_FALSE(Status::IoError("x").IsTransient());

@@ -329,6 +329,11 @@ int CmdStoreInfoSharded(const std::string& db) {
   std::printf("records:          %llu (checkpoint + replayed log)\n",
               static_cast<unsigned long long>(info->records));
   for (int s = 0; s < info->shards; ++s) {
+    if (!info->shard_status[s].ok()) {
+      std::printf("shard %-11d DOWN: %s\n", s,
+                  info->shard_status[s].ToString().c_str());
+      continue;
+    }
     const StoreInfo& si = info->shard[s];
     std::printf("shard %-11d %llu records, %llu in the WAL, "
                 "generation %llu, %llu pages\n",
@@ -337,6 +342,14 @@ int CmdStoreInfoSharded(const std::string& db) {
                 static_cast<unsigned long long>(si.generation),
                 static_cast<unsigned long long>(si.page_count));
   }
+  // Exit codes mirror the health line so scripts can branch without
+  // parsing: 0 healthy, 2 degraded (unreadable shards listed above).
+  if (info->down_shards > 0) {
+    std::printf("health:           DEGRADED (%d of %d shards down)\n",
+                info->down_shards, info->shards);
+    return 2;
+  }
+  std::printf("health:           healthy\n");
   return 0;
 }
 
@@ -844,10 +857,75 @@ int CmdFsckSharded(const Args& args, const std::string& db) {
   return 0;
 }
 
+/// fsck scoped to one shard of a sharded directory (`--shard N`): scrub
+/// that shard file only; with `--repair` (boolean here) heal it in place
+/// through ShardedStore::RepairShard — the store opens under the partial
+/// policy, so a shard too damaged to open still yields a live store with
+/// a repair target, and siblings are never rewritten.  Exit codes: 0 the
+/// shard is healthy, 1 degraded (or repair failed via Die), 2 repaired.
+int CmdFsckShard(const Args& args, const std::string& db) {
+  auto manifest = ShardedStore::ReadManifest(db);
+  if (!manifest.ok()) Die(manifest.status().ToString());
+  const int s = args.GetInt("shard", -1);
+  if (s < 0 || s >= manifest->shards) {
+    Die("--shard " + args.Get("shard") + " out of range (store has " +
+        std::to_string(manifest->shards) + " shards)");
+  }
+  const std::string path = ShardedStore::ShardPath(db, s);
+  ScrubReport report;
+  Status st = ScrubStore(path, &report);
+  bool clean = st.ok() && report.clean();
+  if (st.ok()) {
+    PrintScrubReport(path, report);
+  } else {
+    std::printf("%s: unreadable (%s)\n", path.c_str(), st.ToString().c_str());
+  }
+  if (clean) {
+    std::printf("shard %d: healthy\n", s);
+    return 0;
+  }
+  if (!args.Has("repair")) {
+    std::printf("shard %d: DEGRADED\n", s);
+    return 1;
+  }
+
+  // The manifest, not the flags, is authoritative for the store shape.
+  ShardedStoreOptions options;
+  options.store = MakeStoreOptions(args);
+  options.store.schema = manifest->schema;
+  options.store.tree = TreeOptions::Make(
+      manifest->schema.dims(), args.GetInt("b", 16), args.GetInt("phi", 6));
+  options.store.page_size = manifest->page_size;
+  options.store.tolerate_corruption = false;
+  options.open_policy = OpenPolicy::kPartial;
+  auto opened = ShardedStore::Open(db, options);
+  if (!opened.ok()) Die(opened.status().ToString());
+  auto store = std::move(opened).ValueOrDie();
+  ShardRepairReport repair;
+  st = store->RepairShard(s, &repair);
+  if (!st.ok()) {
+    Die("repair failed on shard " + std::to_string(s) + ": " + st.ToString());
+  }
+  store.reset();  // clean close: checkpoint + header flush per shard
+  if (repair.salvaged) {
+    std::printf("shard %d: repaired (salvaged %llu records%s)\n", s,
+                static_cast<unsigned long long>(
+                    repair.salvage.records_recovered),
+                repair.salvage.used_sweep ? ", via brute-force page sweep"
+                                          : "");
+  } else {
+    std::printf("shard %d: repaired (clean reopen)\n", s);
+  }
+  return 2;
+}
+
 int CmdFsck(const Args& args) {
   const std::string db = args.Get("db");
   if (db.empty()) Die("fsck requires --db");
-  if (ShardedStore::IsShardedDir(db)) return CmdFsckSharded(args, db);
+  if (ShardedStore::IsShardedDir(db)) {
+    if (args.Has("shard")) return CmdFsckShard(args, db);
+    return CmdFsckSharded(args, db);
+  }
   ScrubReport report;
   Status st = ScrubStore(db, &report);
   if (!st.ok()) Die(st.ToString());
