@@ -20,12 +20,49 @@
 #define BMEH_COMMON_BACKOFF_H_
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <thread>
 
 #include "src/common/random.h"
 #include "src/common/status.h"
 
 namespace bmeh {
+
+/// \brief Replacement for the real sleep in retry paths: receives the
+/// delay that would have been slept, in microseconds.
+using SleepHook = void (*)(uint64_t delay_us);
+
+namespace internal {
+/// Process-wide sleep hook (null = real sleep).  Inline so the header
+/// stays self-contained; atomic so a test can install it while retry
+/// threads run.
+inline std::atomic<SleepHook> g_sleep_hook{nullptr};
+}  // namespace internal
+
+/// \brief Installs `hook` as the process-wide replacement for SleepUs's
+/// real sleep (nullptr restores real sleeping).  Lets backoff tests and
+/// the chaos harness's retry paths run at full speed while still
+/// observing every delay the policy would have imposed.
+inline void SetSleepHookForTesting(SleepHook hook) {
+  internal::g_sleep_hook.store(hook, std::memory_order_release);
+}
+
+/// \brief Sleeps `delay_us` microseconds — or hands the delay to the
+/// installed test hook instead of sleeping.  Every retry path sleeps
+/// through this seam so no test has to real-sleep a backoff schedule.
+inline void SleepUs(uint64_t delay_us) {
+  const SleepHook hook =
+      internal::g_sleep_hook.load(std::memory_order_acquire);
+  if (hook != nullptr) {
+    hook(delay_us);
+    return;
+  }
+  if (delay_us != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
+}
 
 /// \brief Tunables for a bounded retry loop.  The defaults suit an
 /// interactive store call: a handful of attempts, sub-millisecond first

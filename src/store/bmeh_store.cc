@@ -14,14 +14,21 @@ namespace bmeh {
 
 namespace {
 
-// Superblock layout (version 2, WAL-aware):
-//   [0]  magic "BMS2"
+// Superblock layout (version 3, LSN-aware):
+//   [0]  magic "BMS3"
 //   [4]  image chain head (kInvalidPageId = no checkpoint yet)
 //   [8]  checkpoint generation (u64)
 //   [16] WAL chain head (kInvalidPageId = empty log)
-//   [20] CRC32 of bytes [0, 20)
-constexpr uint32_t kSuperMagic = 0x424d5332;  // "BMS2"
-constexpr size_t kSuperPayload = 20;
+//   [20] WAL base LSN (u64) — LSN of the first record in the log
+//   [28] CRC32 of bytes [0, 28)
+// The version-2 layout ("BMS2", no base LSN, CRC over [0, 20)) is still
+// accepted on read — a v2 store simply reports base LSN 1, losing the
+// pre-upgrade mutation count but never identity ordering — and upgraded
+// to v3 on the first superblock write.
+constexpr uint32_t kSuperMagicV2 = 0x424d5332;  // "BMS2"
+constexpr uint32_t kSuperMagic = 0x424d5333;    // "BMS3"
+constexpr size_t kSuperPayloadV2 = 20;
+constexpr size_t kSuperPayload = 28;
 
 bool FileExists(const std::string& path) {
   struct stat st;
@@ -29,32 +36,40 @@ bool FileExists(const std::string& path) {
 }
 
 Status ReadSuperblockFrom(PageStore* store, PageId page, PageId* head,
-                          uint64_t* generation, PageId* wal_head) {
+                          uint64_t* generation, PageId* wal_head,
+                          uint64_t* wal_base_lsn) {
   std::vector<uint8_t> buf(store->page_size());
   BMEH_RETURN_NOT_OK(store->Read(page, buf));
   uint32_t magic;
   std::memcpy(&magic, buf.data(), 4);
-  if (magic != kSuperMagic) {
+  if (magic != kSuperMagic && magic != kSuperMagicV2) {
     return Status::Corruption("bad superblock magic");
   }
+  const size_t payload =
+      magic == kSuperMagic ? kSuperPayload : kSuperPayloadV2;
   uint32_t crc;
-  std::memcpy(&crc, buf.data() + kSuperPayload, 4);
-  if (crc != Crc32(buf.data(), kSuperPayload)) {
+  std::memcpy(&crc, buf.data() + payload, 4);
+  if (crc != Crc32(buf.data(), payload)) {
     return Status::Corruption("superblock checksum mismatch");
   }
   std::memcpy(head, buf.data() + 4, 4);
   std::memcpy(generation, buf.data() + 8, 8);
   std::memcpy(wal_head, buf.data() + 16, 4);
+  uint64_t base = 1;
+  if (magic == kSuperMagic) std::memcpy(&base, buf.data() + 20, 8);
+  if (wal_base_lsn != nullptr) *wal_base_lsn = base;
   return Status::OK();
 }
 
 Status WriteSuperblockTo(PageStore* store, PageId page, PageId head,
-                         uint64_t generation, PageId wal_head) {
+                         uint64_t generation, PageId wal_head,
+                         uint64_t wal_base_lsn) {
   std::vector<uint8_t> buf(store->page_size(), 0);
   std::memcpy(buf.data(), &kSuperMagic, 4);
   std::memcpy(buf.data() + 4, &head, 4);
   std::memcpy(buf.data() + 8, &generation, 8);
   std::memcpy(buf.data() + 16, &wal_head, 4);
+  std::memcpy(buf.data() + 20, &wal_base_lsn, 8);
   const uint32_t crc = Crc32(buf.data(), kSuperPayload);
   std::memcpy(buf.data() + kSuperPayload, &crc, 4);
   BMEH_RETURN_NOT_OK(store->Write(page, buf));
@@ -93,7 +108,8 @@ BmehStore::BmehStore(std::unique_ptr<PageStore> store,
       super_page_(store_->first_data_page()),
       image_head_(image_head),
       generation_(generation),
-      checkpoint_every_(options.checkpoint_every) {
+      checkpoint_every_(options.checkpoint_every),
+      wal_archive_dir_(options.wal_archive_dir) {
   AttachObservability(options);
   StartGroupCommit(options);
 }
@@ -209,15 +225,15 @@ BmehStore::~BmehStore() {
 }
 
 Status BmehStore::ReadSuperblock(PageId* head, uint64_t* generation,
-                                 PageId* wal_head) {
+                                 PageId* wal_head, uint64_t* wal_base_lsn) {
   return ReadSuperblockFrom(store_.get(), super_page_, head, generation,
-                            wal_head);
+                            wal_head, wal_base_lsn);
 }
 
 Status BmehStore::WriteSuperblock(PageId head, uint64_t generation,
-                                  PageId wal_head) {
+                                  PageId wal_head, uint64_t wal_base_lsn) {
   return WriteSuperblockTo(store_.get(), super_page_, head, generation,
-                           wal_head);
+                           wal_head, wal_base_lsn);
 }
 
 Result<std::unique_ptr<BmehStore>> BmehStore::InitFresh(
@@ -232,7 +248,8 @@ Result<std::unique_ptr<BmehStore>> BmehStore::InitFresh(
       new BmehStore(std::move(store), std::move(tree), kInvalidPageId, 0,
                     options));
   BMEH_RETURN_NOT_OK(out->WriteSuperblock(kInvalidPageId, /*generation=*/0,
-                                          kInvalidPageId));
+                                          kInvalidPageId,
+                                          /*wal_base_lsn=*/1));
   return out;
 }
 
@@ -241,8 +258,9 @@ Result<std::unique_ptr<BmehStore>> BmehStore::OpenExisting(
   auto out = std::unique_ptr<BmehStore>(
       new BmehStore(std::move(store), nullptr, kInvalidPageId, 0, options));
   PageId head = kInvalidPageId, wal_head = kInvalidPageId;
-  uint64_t generation = 0;
-  const Status super_st = out->ReadSuperblock(&head, &generation, &wal_head);
+  uint64_t generation = 0, wal_base_lsn = 1;
+  const Status super_st =
+      out->ReadSuperblock(&head, &generation, &wal_head, &wal_base_lsn);
   if (!super_st.ok()) {
     // A verified-corrupt superblock (DataLoss) on a tolerant open still
     // yields a store object — with both chain heads gone there is nothing
@@ -309,6 +327,7 @@ Result<std::unique_ptr<BmehStore>> BmehStore::OpenExisting(
         out->metrics_->GetHistogram("split_latency_ns"));
   }
   obs::Counter* replayed = out->wal_replayed_total_;
+  out->wal_->SetBaseLsn(wal_base_lsn);
   BMEH_RETURN_NOT_OK(out->wal_->Replay(
       wal_head, [tree, replayed](const Wal::LogRecord& rec) {
         if (replayed != nullptr) replayed->Inc();
@@ -339,7 +358,8 @@ Result<std::unique_ptr<BmehStore>> BmehStore::OpenExisting(
     // evidence fsck still wants to walk.)
     BMEH_RETURN_NOT_OK(out->WriteSuperblock(out->image_head_,
                                             out->generation_,
-                                            out->wal_->head()));
+                                            out->wal_->head(),
+                                            out->wal_->base_lsn()));
     out->published_wal_head_ = out->wal_->head();
     out->wal_->NoteSynced();
   }
@@ -412,12 +432,14 @@ Result<StoreInfo> BmehStore::Inspect(const std::string& path) {
   info.page_count = file->page_count();
   info.format_version = file->format_version();
   PageId head, wal_head;
-  uint64_t generation;
+  uint64_t generation, wal_base_lsn = 1;
   BMEH_RETURN_NOT_OK(ReadSuperblockFrom(file.get(), file->first_data_page(),
-                                        &head, &generation, &wal_head));
+                                        &head, &generation, &wal_head,
+                                        &wal_base_lsn));
   info.generation = generation;
   info.image_head = head;
   info.wal_head = wal_head;
+  info.wal_base_lsn = wal_base_lsn;
 
   std::unique_ptr<BmehTree> tree;
   uint64_t image_pages = 0;
@@ -432,6 +454,7 @@ Result<StoreInfo> BmehStore::Inspect(const std::string& path) {
   // sanitization, no superblock rewrite).
   std::map<PseudoKey, uint64_t> scratch;
   Wal wal(file.get(), 0);
+  wal.SetBaseLsn(wal_base_lsn);
   BMEH_RETURN_NOT_OK(wal.Replay(
       wal_head,
       [&](const Wal::LogRecord& rec) -> Status {
@@ -446,6 +469,7 @@ Result<StoreInfo> BmehStore::Inspect(const std::string& path) {
       /*sanitize_tail=*/false));
   info.wal_records = wal.record_count();
   info.wal_pages = wal.pages().size();
+  info.durable_lsn = wal.next_lsn() - 1;
   info.records = tree != nullptr ? tree->Stats().records : scratch.size();
   // Live pages after the recovery a real Open() would perform:
   // superblock + image chain + WAL chain.
@@ -485,7 +509,8 @@ Status BmehStore::PublishAppended() {
   if (wal_->head() != published_wal_head_) {
     // First record(s) of a fresh log: make the chain reachable from the
     // superblock (the publish syncs, covering the record pages as well).
-    st = WriteSuperblock(image_head_, generation_, wal_->head());
+    st = WriteSuperblock(image_head_, generation_, wal_->head(),
+                         wal_->base_lsn());
     if (st.ok()) {
       published_wal_head_ = wal_->head();
       wal_->NoteSynced();
@@ -679,6 +704,10 @@ Status BmehStore::CheckpointLocked() {
     return Status::DataLoss(
         "refusing to checkpoint a store degraded by corruption");
   }
+  // Seal the records this checkpoint is about to truncate into the
+  // archive (when configured) *before* anything becomes unreachable; a
+  // failed archive write fails the checkpoint with the log intact.
+  BMEH_RETURN_NOT_OK(ArchiveWalLocked());
   BMEH_ASSIGN_OR_RETURN(PageId new_head, tree_->SaveTo(store_.get()));
   if (crash_before_publish_) {
     // Testing hook: the image is on disk but the superblock still points
@@ -686,7 +715,10 @@ Status BmehStore::CheckpointLocked() {
     crash_before_publish_ = false;
     return Status::OK();
   }
-  Status publish = WriteSuperblock(new_head, generation_ + 1, kInvalidPageId);
+  // The new image folds in every logged record, so the next WAL
+  // incarnation starts right after the highest LSN assigned so far.
+  Status publish = WriteSuperblock(new_head, generation_ + 1, kInvalidPageId,
+                                   wal_->next_lsn());
   if (!publish.ok()) {
     // The flip (or its fsync) failed: the durable state is unknown, so
     // refuse further mutations rather than let memory and disk diverge.
@@ -696,13 +728,24 @@ Status BmehStore::CheckpointLocked() {
   // Publish succeeded: the new image and an empty WAL are the durable
   // truth.  Update in-memory state first, then reclaim the old chains —
   // a failed Free here leaks pages (reclaimed by the next recovery Open)
-  // but cannot corrupt the published state.
+  // but cannot corrupt the published state.  While an online backup has
+  // the old chains pinned, their frees are deferred to EndBackup() so
+  // the pages cannot be recycled under the backup's page copies.
   const PageId old_image = image_head_;
   image_head_ = new_head;
   ++generation_;
   dirty_ops_ = 0;
   published_wal_head_ = kInvalidPageId;
   wal_->NoteSynced();
+  if (backup_pins_ > 0) {
+    if (old_image != kInvalidPageId) {
+      deferred_image_frees_.push_back(old_image);
+    }
+    const std::vector<PageId> wal_pages = wal_->TruncateDeferred();
+    deferred_page_frees_.insert(deferred_page_frees_.end(),
+                                wal_pages.begin(), wal_pages.end());
+    return Status::OK();
+  }
   if (old_image != kInvalidPageId) {
     BMEH_RETURN_NOT_OK(BmehTree::FreeImage(store_.get(), old_image));
   }
@@ -710,10 +753,120 @@ Status BmehStore::CheckpointLocked() {
   return Status::OK();
 }
 
+Status BmehStore::ArchiveWalLocked() {
+  if (wal_archive_dir_.empty() || wal_->record_count() == 0) {
+    return Status::OK();
+  }
+  // Create the archive directory (and, for a sharded store's per-shard
+  // subdirectory, its parent) on first use; a real failure surfaces from
+  // the segment write below.
+  const size_t slash = wal_archive_dir_.find_last_of('/');
+  if (slash != std::string::npos && slash > 0) {
+    ::mkdir(wal_archive_dir_.substr(0, slash).c_str(), 0755);
+  }
+  ::mkdir(wal_archive_dir_.c_str(), 0755);
+  // Every append rewrites the tail page before acknowledging, so the
+  // on-disk chain equals the in-memory log: a read-only replay collects
+  // exactly the records about to be truncated, LSNs included.
+  std::vector<Wal::LogRecord> records;
+  records.reserve(wal_->record_count());
+  Wal reader(store_.get(), 0);
+  reader.SetBaseLsn(wal_->base_lsn());
+  BMEH_RETURN_NOT_OK(reader.Replay(
+      wal_->head(),
+      [&records](const Wal::LogRecord& rec) -> Status {
+        records.push_back(rec);
+        return Status::OK();
+      },
+      /*sanitize_tail=*/false));
+  if (records.size() != wal_->record_count()) {
+    return Status::Corruption(
+        "WAL archive collection saw " + std::to_string(records.size()) +
+        " records where the live log holds " +
+        std::to_string(wal_->record_count()));
+  }
+  return Wal::WriteSegmentFile(wal_archive_dir_, records,
+                               wal_->base_lsn());
+}
+
+Result<BmehStore::BackupSnapshot> BmehStore::BeginBackup() {
+  std::unique_lock<std::shared_mutex> lock(op_mutex_);
+  BMEH_RETURN_NOT_OK(poisoned_);
+  if (degraded()) {
+    return Status::DataLoss(
+        "refusing to back up a store degraded by corruption");
+  }
+  BackupSnapshot snap;
+  snap.image_head = image_head_;
+  snap.generation = generation_;
+  snap.base_lsn = wal_->base_lsn();
+  snap.watermark = wal_->next_lsn() - 1;
+  if (image_head_ != kInvalidPageId) {
+    BMEH_RETURN_NOT_OK(BmehTree::CollectImagePages(
+        store_.get(), image_head_, &snap.image_pages));
+  }
+  if (wal_->record_count() > 0) {
+    snap.wal_records.reserve(wal_->record_count());
+    Wal reader(store_.get(), 0);
+    reader.SetBaseLsn(wal_->base_lsn());
+    BMEH_RETURN_NOT_OK(reader.Replay(
+        wal_->head(),
+        [&snap](const Wal::LogRecord& rec) -> Status {
+          snap.wal_records.push_back(rec);
+          return Status::OK();
+        },
+        /*sanitize_tail=*/false));
+    if (snap.wal_records.size() != wal_->record_count()) {
+      return Status::Corruption("backup WAL collection came up short");
+    }
+  }
+  ++backup_pins_;
+  return snap;
+}
+
+Status BmehStore::ReadPageForBackup(PageId id, std::vector<uint8_t>* out) {
+  std::shared_lock<std::shared_mutex> lock(op_mutex_);
+  out->resize(store_->page_size());
+  return store_->Read(id, *out);
+}
+
+void BmehStore::EndBackup() {
+  std::unique_lock<std::shared_mutex> lock(op_mutex_);
+  if (backup_pins_ == 0) return;
+  if (--backup_pins_ > 0) return;
+  // Last pin released: perform the frees checkpoints deferred.  A failed
+  // free only leaks pages (the next recovery Open reclaims them from
+  // reachability), so log and keep going.
+  for (PageId head : deferred_image_frees_) {
+    Status st = BmehTree::FreeImage(store_.get(), head);
+    if (!st.ok()) {
+      BMEH_LOG(Warning) << "deferred image free leaked pages: " << st;
+    }
+  }
+  deferred_image_frees_.clear();
+  for (PageId id : deferred_page_frees_) {
+    Status st = store_->Free(id);
+    if (!st.ok()) {
+      BMEH_LOG(Warning) << "deferred WAL page free leaked a page: " << st;
+    }
+  }
+  deferred_page_frees_.clear();
+}
+
 Status internal::ReadStoreSuperblock(PageStore* store, PageId page,
                                      PageId* image_head, uint64_t* generation,
-                                     PageId* wal_head) {
-  return ReadSuperblockFrom(store, page, image_head, generation, wal_head);
+                                     PageId* wal_head,
+                                     uint64_t* wal_base_lsn) {
+  return ReadSuperblockFrom(store, page, image_head, generation, wal_head,
+                            wal_base_lsn);
+}
+
+Status internal::WriteStoreSuperblock(PageStore* store, PageId page,
+                                      PageId image_head, uint64_t generation,
+                                      PageId wal_head,
+                                      uint64_t wal_base_lsn) {
+  return WriteSuperblockTo(store, page, image_head, generation, wal_head,
+                           wal_base_lsn);
 }
 
 }  // namespace bmeh

@@ -120,6 +120,13 @@ struct StoreOptions {
   /// other.  Shared Counter / Histogram handles are never prefixed — they
   /// are single objects that aggregate across stores by construction.
   std::string metrics_label;
+  /// WAL archiving: when non-empty, every checkpoint first seals the
+  /// records it is about to truncate into a CRC-sealed segment file
+  /// (`wal-<lo_lsn>.seg`) in this directory, written before the publish
+  /// flip so the archive never misses a truncated record.  An archive
+  /// write failure fails the checkpoint (the log is kept).  Empty (the
+  /// default) disables archiving.
+  std::string wal_archive_dir;
 };
 
 /// \brief What corruption, if any, the last Open() had to work around.
@@ -154,6 +161,11 @@ struct StoreInfo {
   PageId wal_head = kInvalidPageId;
   uint64_t wal_records = 0;
   uint64_t wal_pages = 0;
+  /// LSN of the first record in the current WAL incarnation (1 for a
+  /// store that never checkpointed; see Wal::base_lsn).
+  uint64_t wal_base_lsn = 1;
+  /// Highest LSN ever assigned to a committed mutation (0 = none yet).
+  uint64_t durable_lsn = 0;
   uint64_t records = 0;  ///< Records after WAL replay.
   uint64_t page_count = 0;
   uint64_t live_pages = 0;
@@ -277,6 +289,45 @@ class BmehStore {
   /// \brief Monotone checkpoint generation (0 for a fresh store).
   uint64_t generation() const { return generation_; }
 
+  /// \brief LSN of the first record in the current WAL incarnation;
+  /// everything below it is folded into the checkpoint image.
+  uint64_t wal_base_lsn() const { return wal_->base_lsn(); }
+
+  /// \brief Highest LSN assigned to a committed mutation (0 for a store
+  /// that never logged one).  Owner-synchronized like dirty_ops().
+  uint64_t durable_lsn() const { return wal_->next_lsn() - 1; }
+
+  /// \brief Consistent view of the store captured for an online backup:
+  /// the published checkpoint chain plus every WAL record, with LSNs.
+  /// Taken under the operation lock in one brief critical section; the
+  /// image pages are then copied page-at-a-time via ReadPageForBackup()
+  /// while writers keep committing.
+  struct BackupSnapshot {
+    PageId image_head = kInvalidPageId;
+    uint64_t generation = 0;
+    /// First LSN not covered by the image (== wal_base_lsn at capture).
+    uint64_t base_lsn = 1;
+    /// Highest LSN in the snapshot (base_lsn - 1 when the WAL is empty).
+    uint64_t watermark = 0;
+    std::vector<PageId> image_pages;
+    std::vector<Wal::LogRecord> wal_records;
+  };
+
+  /// \brief Starts an online backup: captures a BackupSnapshot and pins
+  /// the captured chains — checkpoints that would free the snapshot's
+  /// image or WAL pages defer those frees until EndBackup().  Every
+  /// successful BeginBackup() must be paired with EndBackup().  Refused
+  /// on a degraded or poisoned store (the copy could not be trusted).
+  Result<BackupSnapshot> BeginBackup();
+
+  /// \brief Copies one page of a pinned snapshot under a shared lock, so
+  /// concurrent writers are paused only per page, not per backup.
+  Status ReadPageForBackup(PageId id, std::vector<uint8_t>* out);
+
+  /// \brief Releases the pin taken by BeginBackup() and performs any
+  /// page frees a checkpoint deferred while the backup ran.
+  void EndBackup();
+
   /// \brief What corruption the open had to work around (all-false for a
   /// healthy store).
   const RecoveryReport& recovery_report() const { return report_; }
@@ -332,9 +383,14 @@ class BmehStore {
   static Result<std::unique_ptr<BmehStore>> InitFresh(
       std::unique_ptr<PageStore> store, const StoreOptions& options);
 
-  Status ReadSuperblock(PageId* head, uint64_t* generation,
-                        PageId* wal_head);
-  Status WriteSuperblock(PageId head, uint64_t generation, PageId wal_head);
+  Status ReadSuperblock(PageId* head, uint64_t* generation, PageId* wal_head,
+                        uint64_t* wal_base_lsn);
+  Status WriteSuperblock(PageId head, uint64_t generation, PageId wal_head,
+                         uint64_t wal_base_lsn);
+  /// Seals the WAL records a checkpoint is about to truncate into an
+  /// archive segment file (no-op when archiving is off or the log is
+  /// empty).  Failure fails the checkpoint before anything is truncated.
+  Status ArchiveWalLocked();
   /// Wires StoreOptions::metrics / tracer through every layer (no-op when
   /// both are null).  Called from the constructor so WAL replay during
   /// Open() is already counted.
@@ -373,6 +429,14 @@ class BmehStore {
   uint64_t generation_ = 0;
   uint64_t checkpoint_every_ = 0;
   uint64_t dirty_ops_ = 0;
+  /// WAL archiving directory ("" = archiving off).
+  std::string wal_archive_dir_;
+  /// Outstanding BeginBackup() pins.  While nonzero, checkpoints defer
+  /// the frees below so pinned snapshot pages cannot be recycled under a
+  /// concurrent page copy.
+  uint64_t backup_pins_ = 0;
+  std::vector<PageId> deferred_image_frees_;
+  std::vector<PageId> deferred_page_frees_;
   RecoveryReport report_;
   bool crash_before_publish_ = false;
   /// Non-OK once a durability write failed; mutations are refused so the
@@ -409,9 +473,18 @@ namespace internal {
 /// \brief Reads and CRC-verifies a BmehStore superblock page — shared
 /// with the offline tooling (scrub/fsck) so the layout stays in one
 /// place.  Statuses: OK, Corruption (not a superblock), or whatever the
-/// page read returned (e.g. DataLoss on a corrupt v2 page).
+/// page read returned (e.g. DataLoss on a corrupt v2 page).  Both the
+/// v2 ("BMS2") and the LSN-aware v3 ("BMS3") layouts are accepted;
+/// `wal_base_lsn` (optional) reports 1 for a v2 superblock.
 Status ReadStoreSuperblock(PageStore* store, PageId page, PageId* image_head,
-                           uint64_t* generation, PageId* wal_head);
+                           uint64_t* generation, PageId* wal_head,
+                           uint64_t* wal_base_lsn = nullptr);
+
+/// \brief Writes a v3 superblock — used by RestoreStore to stitch a
+/// rebuilt store file together before its first open.
+Status WriteStoreSuperblock(PageStore* store, PageId page, PageId image_head,
+                            uint64_t generation, PageId wal_head,
+                            uint64_t wal_base_lsn);
 
 }  // namespace internal
 

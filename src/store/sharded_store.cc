@@ -1,5 +1,6 @@
 #include "src/store/sharded_store.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -37,6 +38,26 @@ bool PathExists(const std::string& path, bool* is_dir) {
   return true;
 }
 
+bool DirectoryIsEmptyExcept(const std::string& path,
+                            const std::string& ignore) {
+  DIR* d = ::opendir(path.c_str());
+  if (d == nullptr) return false;
+  bool empty = true;
+  while (const dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name != "." && name != ".." && name != ignore) {
+      empty = false;
+      break;
+    }
+  }
+  ::closedir(d);
+  return empty;
+}
+
+bool DirectoryIsEmpty(const std::string& path) {
+  return DirectoryIsEmptyExcept(path, std::string());
+}
+
 Status ValidateShardCount(int shards, const KeySchema& schema) {
   if (!IsPowerOfTwo(shards) || shards > 4096) {
     return Status::Invalid("shard count must be a power of two in [1, 4096], "
@@ -46,30 +67,6 @@ Status ValidateShardCount(int shards, const KeySchema& schema) {
     return Status::Invalid("shard count " + std::to_string(shards) +
                            " needs more routing bits than the schema has (" +
                            std::to_string(schema.total_bits()) + ")");
-  }
-  return Status::OK();
-}
-
-/// Fsyncs a directory so a rename / create inside it is durable.  The
-/// same discipline the WAL applies to its own pages: data fsyncs alone
-/// do not persist directory entries.
-Status SyncDir(const std::string& dir) {
-  int fd;
-  do {
-    fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  } while (fd < 0 && errno == EINTR);
-  if (fd < 0) {
-    return Status::IoError("open dir for fsync: " + dir + ": " +
-                           std::strerror(errno));
-  }
-  int rc;
-  do {
-    rc = ::fsync(fd);
-  } while (rc != 0 && errno == EINTR);
-  const int saved = errno;
-  ::close(fd);
-  if (rc != 0) {
-    return Status::IoError("fsync dir: " + dir + ": " + std::strerror(saved));
   }
   return Status::OK();
 }
@@ -146,7 +143,7 @@ Status ShardedStore::WriteManifest(const std::string& dir,
     // Persist the new directory's own entry: a crash right after store
     // creation must not lose the directory (and with it the manifest and
     // every shard file) from its parent.
-    BMEH_RETURN_NOT_OK(SyncDir(ParentDir(dir)));
+    BMEH_RETURN_NOT_OK(SyncDirectory(ParentDir(dir)));
   } else if (!is_dir) {
     return Status::Invalid(dir + " exists and is not a directory");
   }
@@ -189,7 +186,7 @@ Status ShardedStore::WriteManifest(const std::string& dir,
   }
   // The rename is not durable until the directory itself is synced; a
   // failure here is a real durability failure, not advisory.
-  return SyncDir(dir);
+  return SyncDirectory(dir);
 }
 
 Result<ShardManifest> ShardedStore::ReadManifest(const std::string& dir) {
@@ -380,6 +377,17 @@ Result<std::unique_ptr<ShardedStore>> ShardedStore::Open(
   const bool have_manifest = exists && PathExists(dir + "/" + kManifestName,
                                                   nullptr);
   if (!have_manifest) {
+    // Never create a fresh store on top of existing files: a directory
+    // holding shard files but no readable manifest is debris (a restore
+    // or creation killed midway), and adopting part of it would silently
+    // serve a fraction of the data as if it were all of it.  Our own
+    // create-crash leftover, a lone MANIFEST.tmp, is safe to overwrite.
+    if (exists &&
+        !DirectoryIsEmptyExcept(dir, std::string(kManifestName) + ".tmp")) {
+      return Status::AlreadyExists(
+          dir + " contains files but no readable manifest; refusing to "
+                "create a fresh store over them");
+    }
     // Fresh store: fix the routing contract and seal it in the manifest
     // before any shard file exists.
     manifest.shards = options.shards == 0 ? 1 : options.shards;
@@ -515,7 +523,7 @@ Status ShardedStore::RunWithRetry(int s,
     if (retries_total_ != nullptr) retries_total_->Inc();
     {
       obs::TraceSpan span(tracer_, "shard_retry_backoff", "store");
-      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      SleepUs(delay_us);
     }
     if (backoff_ns_ != nullptr) backoff_ns_->Record(delay_us * 1000);
   }
@@ -712,6 +720,374 @@ Status ShardedStore::Checkpoint() {
     if (!st.ok() && first.ok()) first = st;
   }
   return first;
+}
+
+namespace {
+
+constexpr char kShardBackupManifestName[] = "SHARDBACKUP";
+constexpr char kShardBackupMagic[] = "BMEH-SHARD-BACKUP v1";
+
+/// Per-shard subdirectory name inside a sharded backup set.
+std::string ShardSetSubdir(int shard_index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard-%04d", shard_index);
+  return name;
+}
+
+/// Appends the crc seal to `body` and publishes it as `dir/name` with
+/// the temp + fsync + rename + directory-fsync dance.
+Status WriteSealedTextFile(const std::string& dir, const std::string& name,
+                           std::string body) {
+  char seal[32];
+  std::snprintf(seal, sizeof(seal), "crc %08x\n",
+                Crc32(body.data(), body.size()));
+  body += seal;
+  const std::string final_path = dir + "/" + name;
+  const std::string tmp_path = final_path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot write " + tmp_path);
+  const bool wrote =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fflush(f);
+  ::fsync(::fileno(f));
+  std::fclose(f);
+  if (!wrote) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("short write to " + tmp_path);
+  }
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("cannot publish " + final_path + ": " +
+                           std::strerror(errno));
+  }
+  return SyncDirectory(dir);
+}
+
+Status EnsureDirExists(const std::string& dir) {
+  bool is_dir = false;
+  if (PathExists(dir, &is_dir)) {
+    if (!is_dir) {
+      return Status::Invalid(dir + " exists and is not a directory");
+    }
+    return Status::OK();
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0) {
+    return Status::IoError("cannot create " + dir + ": " +
+                           std::strerror(errno));
+  }
+  return SyncDirectory(ParentDir(dir));
+}
+
+}  // namespace
+
+Result<ShardBackupInfo> ShardedStore::Backup(const std::string& out_dir,
+                                             const BackupOptions& options) {
+  const int n = shards();
+  const bool incremental = !options.base_set.empty();
+  ShardBackupSetInfo prev;
+  if (incremental) {
+    BMEH_ASSIGN_OR_RETURN(prev, ReadBackupManifest(options.base_set));
+    if (prev.shards != n) {
+      return Status::Invalid("incremental backup: base set has " +
+                             std::to_string(prev.shards) +
+                             " shards, store has " + std::to_string(n));
+    }
+  }
+  BMEH_RETURN_NOT_OK(EnsureDirExists(out_dir));
+  if (PathExists(out_dir + "/" + kShardBackupManifestName, nullptr)) {
+    return Status::AlreadyExists(out_dir +
+                                 " already holds a sealed sharded backup");
+  }
+
+  ShardBackupInfo info;
+  info.shards = n;
+  info.shard_status.assign(n, Status::OK());
+  info.watermark.assign(n, 0);
+  std::vector<uint64_t> shard_bytes(n, 0);
+  std::vector<int> shard_page_size(n, 0);
+
+  // One thread per shard, like parallel recovery: each backup touches
+  // only shard-local state (its pinned chains, its archive subdir, its
+  // set subdirectory), so shards never contend.
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (int s = 0; s < n; ++s) {
+    workers.emplace_back([&, s] {
+      StorageUnit::Ref ref = units_[s]->Acquire();
+      if (!ref) {
+        const Status why = units_[s]->down_reason();
+        info.shard_status[s] = Status::Unavailable(
+            "shard " + std::to_string(s) + " is unavailable" +
+            (why.ok() ? "" : ": " + why.message()));
+        return;
+      }
+      BackupOptions per;
+      per.metrics = options.metrics;
+      if (!options.wal_archive_dir.empty()) {
+        per.wal_archive_dir =
+            StorageUnit::ShardArchiveDir(options.wal_archive_dir, s);
+      }
+      if (incremental && prev.shard[s].ok) {
+        per.base_set = options.base_set + "/" + prev.shard[s].subdir;
+      }
+      // A shard whose previous backup failed gets a fresh full set
+      // (per.base_set stays empty): per-shard chains are independent,
+      // so one bad link never spreads.
+      shard_page_size[s] = ref->page_store().page_size();
+      auto run =
+          BackupStore::Run(ref.get(), out_dir + "/" + ShardSetSubdir(s), per);
+      if (!run.ok()) {
+        info.shard_status[s] = run.status();
+        return;
+      }
+      info.watermark[s] = run.ValueOrDie().watermark;
+      shard_bytes[s] = run.ValueOrDie().bytes;
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  Status first;
+  int page_size = 0;
+  for (int s = 0; s < n; ++s) {
+    if (!info.shard_status[s].ok()) {
+      ++info.failed;
+      if (first.ok()) first = info.shard_status[s];
+    } else {
+      info.bytes += shard_bytes[s];
+      if (page_size == 0) page_size = shard_page_size[s];
+    }
+  }
+  // Nothing was captured: refuse rather than seal an empty set.
+  if (info.failed == n) return first;
+
+  std::string body = std::string(kShardBackupMagic) + "\n";
+  body += "shards " + std::to_string(n) + "\n";
+  body += "shard_bits " + std::to_string(shard_bits_) + "\n";
+  body += "page_size " + std::to_string(page_size) + "\n";
+  body += "dims " + std::to_string(schema_.dims()) + "\n";
+  body += "widths";
+  for (int j = 0; j < schema_.dims(); ++j) {
+    body += " " + std::to_string(schema_.width(j));
+  }
+  body += "\n";
+  for (int s = 0; s < n; ++s) {
+    if (info.shard_status[s].ok()) {
+      body += "shard " + std::to_string(s) + " ok " +
+              std::to_string(info.watermark[s]) + " " + ShardSetSubdir(s) +
+              "\n";
+    } else {
+      std::string why = info.shard_status[s].message();
+      std::replace(why.begin(), why.end(), '\n', ' ');
+      body += "shard " + std::to_string(s) + " err " + why + "\n";
+    }
+  }
+  BMEH_RETURN_NOT_OK(
+      WriteSealedTextFile(out_dir, kShardBackupManifestName, std::move(body)));
+  return info;
+}
+
+Result<ShardBackupSetInfo> ShardedStore::ReadBackupManifest(
+    const std::string& set_dir) {
+  const std::string path = set_dir + "/" + kShardBackupManifestName;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  std::string text;
+  char buf[512];
+  size_t k;
+  while ((k = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, k);
+  std::fclose(f);
+
+  const size_t crc_pos = text.rfind("crc ");
+  if (crc_pos == std::string::npos ||
+      (crc_pos != 0 && text[crc_pos - 1] != '\n')) {
+    return Status::Corruption("backup super-manifest missing its crc seal: " +
+                              path);
+  }
+  uint32_t want = 0;
+  if (std::sscanf(text.c_str() + crc_pos, "crc %x", &want) != 1) {
+    return Status::Corruption("backup super-manifest crc seal unreadable: " +
+                              path);
+  }
+  if (Crc32(text.data(), crc_pos) != want) {
+    return Status::Corruption("backup super-manifest checksum mismatch: " +
+                              path);
+  }
+
+  std::istringstream in(text.substr(0, crc_pos));
+  std::string line;
+  if (!std::getline(in, line) || line != kShardBackupMagic) {
+    return Status::Corruption("not a sharded backup set: " + path);
+  }
+  ShardBackupSetInfo set;
+  int dims = 0;
+  std::vector<int> widths;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string name;
+    fields >> name;
+    if (name == "shards") {
+      fields >> set.shards;
+    } else if (name == "shard_bits") {
+      fields >> set.shard_bits;
+    } else if (name == "page_size") {
+      fields >> set.page_size;
+    } else if (name == "dims") {
+      fields >> dims;
+    } else if (name == "widths") {
+      int w;
+      while (fields >> w) widths.push_back(w);
+    } else if (name == "shard") {
+      int idx = -1;
+      std::string state;
+      fields >> idx >> state;
+      if (idx < 0 || idx >= 4096) {
+        return Status::Corruption("backup super-manifest shard index bad: " +
+                                  path);
+      }
+      if (static_cast<size_t>(idx) >= set.shard.size()) {
+        set.shard.resize(idx + 1);
+      }
+      ShardBackupSetInfo::ShardEntry& entry = set.shard[idx];
+      if (state == "ok") {
+        entry.ok = true;
+        fields >> entry.watermark >> entry.subdir;
+        if (entry.subdir.empty() ||
+            entry.subdir.find('/') != std::string::npos ||
+            entry.subdir.find("..") != std::string::npos) {
+          return Status::Corruption(
+              "backup super-manifest shard subdir bad: " + path);
+        }
+      } else if (state == "err") {
+        entry.ok = false;
+        std::getline(fields, entry.error);
+        while (!entry.error.empty() && entry.error.front() == ' ') {
+          entry.error.erase(entry.error.begin());
+        }
+      } else {
+        return Status::Corruption("backup super-manifest shard state bad: " +
+                                  path);
+      }
+    }
+    // Unknown fields are ignored: the crc seals them, and a newer
+    // writer may add lines an older reader can skip.
+  }
+  if (!IsPowerOfTwo(set.shards) || set.shard_bits != Log2Exact(set.shards) ||
+      set.page_size <= 0 || dims <= 0 || dims > kMaxDims ||
+      static_cast<int>(widths.size()) != dims ||
+      static_cast<int>(set.shard.size()) != set.shards) {
+    return Status::Corruption("backup super-manifest fields inconsistent: " +
+                              path);
+  }
+  set.schema = KeySchema(std::span<const int>(widths.data(), widths.size()));
+  return set;
+}
+
+bool ShardedStore::IsShardedBackupDir(const std::string& path) {
+  bool is_dir = false;
+  if (!PathExists(path, &is_dir) || !is_dir) return false;
+  return ReadBackupManifest(path).ok();
+}
+
+Result<ShardRestoreInfo> ShardedStore::Restore(const std::string& set_dir,
+                                               const std::string& dest_dir,
+                                               const RestoreOptions& options) {
+  BMEH_ASSIGN_OR_RETURN(ShardBackupSetInfo set, ReadBackupManifest(set_dir));
+  // Refuse any non-empty destination — a live store, or the debris of a
+  // restore that was killed midway.  Restoring over leftovers must be an
+  // explicit operator decision (remove the directory first), never a
+  // silent merge.
+  bool dest_is_dir = false;
+  if (PathExists(dest_dir, &dest_is_dir)) {
+    if (!dest_is_dir) {
+      return Status::Invalid(dest_dir + " exists and is not a directory");
+    }
+    if (!DirectoryIsEmpty(dest_dir)) {
+      return Status::AlreadyExists(dest_dir +
+                                   " is not empty; remove it before restoring");
+    }
+  } else {
+    if (::mkdir(dest_dir.c_str(), 0755) != 0) {
+      return Status::IoError("cannot create " + dest_dir + ": " +
+                             std::strerror(errno));
+    }
+    BMEH_RETURN_NOT_OK(SyncDirectory(ParentDir(dest_dir)));
+  }
+
+  ShardRestoreInfo info;
+  info.shards = set.shards;
+  info.shard_status.assign(set.shards, Status::OK());
+  info.replay_lsn.assign(set.shards, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(set.shards);
+  // A shard that cannot be restored — absent from the set, or its sub-set
+  // refused — must not leave a bare hole: a later open would create a
+  // fresh *empty* shard there and silently answer KeyError for records
+  // that existed.  A tombstone file that cannot parse as a store makes a
+  // kPartial open bring the shard up *down* (Unavailable), which is the
+  // honest answer until the operator repairs or re-restores it.
+  const auto entomb = [&dest_dir](int s, const std::string& why) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "shard-%04d.bmeh", s);
+    (void)WriteSealedTextFile(dest_dir, name,
+                              "BMEH-RESTORE-TOMBSTONE v1\n" + why + "\n");
+  };
+  for (int s = 0; s < set.shards; ++s) {
+    workers.emplace_back([&, s] {
+      const ShardBackupSetInfo::ShardEntry& entry = set.shard[s];
+      if (!entry.ok) {
+        // Recorded-failed shard: skip it so the rest of the store still
+        // comes back.
+        const std::string why =
+            "shard " + std::to_string(s) + " absent from backup set" +
+            (entry.error.empty() ? "" : " (" + entry.error + ")");
+        entomb(s, why);
+        info.shard_status[s] = Status::Unavailable(why);
+        return;
+      }
+      RestoreOptions per = options;
+      per.store.schema = set.schema;
+      if (options.to_lsn != 0) {
+        // LSN domains are independent per shard: a global target is the
+        // per-shard clamp to that shard's own watermark.
+        per.to_lsn = std::min(options.to_lsn, entry.watermark);
+      }
+      auto run = RestoreStore::Run(set_dir + "/" + entry.subdir,
+                                   ShardPath(dest_dir, s), per);
+      if (!run.ok()) {
+        // The per-shard restore refused (corrupt/gapped sub-set) and
+        // removed its temp; entomb the slot so the failure stays loud.
+        entomb(s, run.status().message());
+        info.shard_status[s] = run.status();
+        return;
+      }
+      info.replay_lsn[s] = run.ValueOrDie().replay_lsn;
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  Status first;
+  for (int s = 0; s < set.shards; ++s) {
+    if (!info.shard_status[s].ok()) {
+      ++info.failed;
+      if (first.ok()) first = info.shard_status[s];
+    }
+  }
+  // No shard restored at all: nothing useful was produced — report the
+  // failure outright and publish no manifest.
+  if (info.failed == set.shards) return first;
+  // The store manifest is the commit point: it lands only after every
+  // shard worker has finished, so a restore killed midway leaves a
+  // directory with no MANIFEST — which an adopting Open refuses — rather
+  // than a valid-looking store whose missing shards would come up as
+  // fresh empty trees, silently answering KeyError for records that
+  // existed at backup time.
+  ShardManifest m;
+  m.shards = set.shards;
+  m.shard_bits = set.shard_bits;
+  m.page_size = set.page_size;
+  m.schema = set.schema;
+  BMEH_RETURN_NOT_OK(WriteManifest(dest_dir, m));
+  return info;
 }
 
 Status ShardedStore::RepairShard(int i, ShardRepairReport* report) {

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "src/common/backoff.h"
+#include "src/store/backup.h"
 #include "src/store/storage_unit.h"
 
 namespace bmeh {
@@ -126,6 +127,42 @@ struct ShardedStoreInfo {
   int down_shards = 0;
 };
 
+/// \brief Outcome of ShardedStore::Backup across shards.  A backup set
+/// with failed shards is still sealed (the super-manifest records the
+/// failure honestly); restoring it yields a store that opens degraded
+/// under OpenPolicy::kPartial instead of not at all.
+struct ShardBackupInfo {
+  int shards = 0;
+  int failed = 0;          ///< Shards whose backup failed (recorded, not hidden).
+  uint64_t bytes = 0;      ///< Payload bytes across all shard sets.
+  std::vector<Status> shard_status;
+  std::vector<uint64_t> watermark;  ///< Per-shard LSN watermark (0 on failure).
+};
+
+/// \brief Outcome of ShardedStore::Restore across shards.
+struct ShardRestoreInfo {
+  int shards = 0;
+  int failed = 0;  ///< Shards not restored (absent from the set, or refused).
+  std::vector<Status> shard_status;
+  std::vector<uint64_t> replay_lsn;  ///< Per-shard LSN reached (0 on failure).
+};
+
+/// \brief Parsed sharded-backup super-manifest (see
+/// ShardedStore::Backup).
+struct ShardBackupSetInfo {
+  int shards = 0;
+  int shard_bits = 0;
+  int page_size = 0;
+  KeySchema schema{2, 31};
+  struct ShardEntry {
+    bool ok = false;
+    uint64_t watermark = 0;
+    std::string subdir;  ///< Per-shard backup set, relative to the set dir.
+    std::string error;   ///< Why the shard's backup failed (ok == false).
+  };
+  std::vector<ShardEntry> shard;
+};
+
 /// \brief N independent BMEH stores routed by the top ψ bits.
 class ShardedStore {
  public:
@@ -204,6 +241,46 @@ class ShardedStore {
   /// superblock flip).  All healthy shards are attempted; the first
   /// failure (kUnavailable for a down shard) is returned.
   Status Checkpoint();
+
+  /// \brief Online backup of every shard into one set directory:
+  ///
+  ///     <out_dir>/SHARDBACKUP    CRC-sealed super-manifest (routing
+  ///                              shape + per-shard outcome/watermark)
+  ///     <out_dir>/shard-0000/    one BackupStore set per shard
+  ///
+  /// Shards are backed up in parallel while writers keep committing
+  /// (each shard's BackupStore::Run pins its published checkpoint).  A
+  /// down or failing shard does not abort the run: its failure is
+  /// recorded in the super-manifest and in the returned ShardBackupInfo
+  /// (`failed` > 0 — the CLI maps this to a partial exit code); only
+  /// when every shard fails is the whole backup refused.  With
+  /// `options.base_set` naming a previous sharded set, each shard takes
+  /// an incremental against its counterpart (options.wal_archive_dir is
+  /// the shared archive root; the per-shard subdirectories are derived).
+  Result<ShardBackupInfo> Backup(const std::string& out_dir,
+                                 const BackupOptions& options = {});
+
+  /// \brief Restores a sharded backup set into a fresh store directory
+  /// at `dest_dir` (manifest + shard files), shard by shard in parallel.
+  /// `options.to_lsn` is a per-shard target: each shard replays to
+  /// min(to_lsn, its own watermark) — LSN domains are independent, so a
+  /// global cut is expressed as a per-shard clamp (0 = every shard to
+  /// its watermark).  A shard recorded as failed in the super-manifest
+  /// — or whose archive is refused — is skipped: its file is absent and
+  /// a subsequent Open with OpenPolicy::kPartial serves the restored
+  /// shards while the missing one answers kUnavailable.  Only when no
+  /// shard restores is the whole restore refused.
+  static Result<ShardRestoreInfo> Restore(const std::string& set_dir,
+                                          const std::string& dest_dir,
+                                          const RestoreOptions& options = {});
+
+  /// \brief Reads and CRC-verifies a sharded set's super-manifest.
+  static Result<ShardBackupSetInfo> ReadBackupManifest(
+      const std::string& set_dir);
+
+  /// \brief True when `path` holds a sharded backup set (super-manifest
+  /// present and well-formed).
+  static bool IsShardedBackupDir(const std::string& path);
 
   /// \brief Runs the scrub → salvage → reopen repair ladder on shard `i`
   /// and brings it back into service on success.  Only that shard's

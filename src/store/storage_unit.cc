@@ -13,35 +13,31 @@ namespace {
 
 /// Fsyncs the directory containing `path` so a rename inside it is
 /// durable (the file-data fsync alone does not persist the direntry).
+/// Failures are sticky per directory — see SyncDirectory.
 Status SyncParentDir(const std::string& path) {
   const size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  int fd;
-  do {
-    fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  } while (fd < 0 && errno == EINTR);
-  if (fd < 0) {
-    return Status::IoError("open dir for fsync: " + dir + ": " +
-                           std::strerror(errno));
-  }
-  int rc;
-  do {
-    rc = ::fsync(fd);
-  } while (rc != 0 && errno == EINTR);
-  const int saved = errno;
-  ::close(fd);
-  if (rc != 0) {
-    return Status::IoError("fsync dir: " + dir + ": " + std::strerror(saved));
-  }
-  return Status::OK();
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  return SyncDirectory(dir);
 }
 
 }  // namespace
+
+std::string StorageUnit::ShardArchiveDir(const std::string& root,
+                                         int shard_index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard-%04d", shard_index);
+  return root + "/" + name;
+}
 
 Result<std::unique_ptr<StorageUnit>> StorageUnit::Open(
     int shard_index, const std::string& path, const StoreOptions& options) {
   StoreOptions unit_options = options;
   unit_options.metrics_label = MetricsLabel(shard_index);
+  if (!unit_options.wal_archive_dir.empty()) {
+    unit_options.wal_archive_dir =
+        ShardArchiveDir(unit_options.wal_archive_dir, shard_index);
+  }
   BMEH_ASSIGN_OR_RETURN(auto store, BmehStore::Open(path, unit_options));
   return std::unique_ptr<StorageUnit>(new StorageUnit(
       shard_index, path, std::move(unit_options), std::move(store)));
@@ -52,6 +48,10 @@ Result<std::unique_ptr<StorageUnit>> StorageUnit::Open(
     const StoreOptions& options) {
   StoreOptions unit_options = options;
   unit_options.metrics_label = MetricsLabel(shard_index);
+  if (!unit_options.wal_archive_dir.empty()) {
+    unit_options.wal_archive_dir =
+        ShardArchiveDir(unit_options.wal_archive_dir, shard_index);
+  }
   BMEH_ASSIGN_OR_RETURN(auto store,
                         BmehStore::Open(std::move(device), unit_options));
   return std::unique_ptr<StorageUnit>(new StorageUnit(

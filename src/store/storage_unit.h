@@ -160,6 +160,14 @@ class StorageUnit {
     return "shard" + std::to_string(shard_index) + "_";
   }
 
+  /// \brief Where this shard archives its WAL segments under a shared
+  /// archive root.  Each shard has an independent LSN domain, so shards
+  /// must never share one archive directory (their segment file names —
+  /// keyed by LSN — would collide); Open() rewrites a configured
+  /// StoreOptions::wal_archive_dir to this per-shard subdirectory.
+  static std::string ShardArchiveDir(const std::string& root,
+                                     int shard_index);
+
  private:
   StorageUnit(int shard_index, std::string path, StoreOptions options,
               std::unique_ptr<BmehStore> store)

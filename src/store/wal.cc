@@ -1,5 +1,10 @@
 #include "src/store/wal.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <unordered_set>
 
@@ -37,6 +42,32 @@ constexpr size_t kMarkerBodySize = 6;
 
 bool IsMutationOp(uint8_t op) {
   return op == Wal::kOpInsert || op == Wal::kOpDelete;
+}
+
+// Archive segment header: magic + version + lo_lsn + count.
+constexpr uint32_t kArchiveVersion = 1;
+constexpr size_t kArchiveHeaderSize = 24;
+
+/// Parses a mutation record body (already CRC-verified) into `rec`.
+/// Returns false on any structural mismatch.
+bool ParseMutationBody(const uint8_t* body, uint16_t len,
+                       Wal::LogRecord* rec) {
+  const uint8_t op = body[0];
+  const int dims = body[1];
+  if (!IsMutationOp(op) || dims < 1 || dims > kMaxDims ||
+      len != BodySize(op, dims)) {
+    return false;
+  }
+  rec->op = op;
+  std::array<uint32_t, kMaxDims> comps{};
+  for (int j = 0; j < dims; ++j) {
+    comps[j] = GetU32(body + 2 + 4 * j);
+  }
+  rec->key = PseudoKey(std::span<const uint32_t>(comps.data(), dims));
+  if (op == Wal::kOpInsert) {
+    std::memcpy(&rec->payload, body + 2 + 4 * dims, 8);
+  }
+  return true;
 }
 
 }  // namespace
@@ -400,7 +431,8 @@ Status Wal::Replay(PageId head, const ReplayFn& fn, bool sanitize_tail) {
             page_ok = false;
             break;
           }
-          for (const LogRecord& member : batch_members) {
+          for (LogRecord& member : batch_members) {
+            member.lsn = base_lsn_ + record_count_;
             BMEH_RETURN_NOT_OK(fn(member));
             ++record_count_;
           }
@@ -411,19 +443,9 @@ Status Wal::Replay(PageId head, const ReplayFn& fn, bool sanitize_tail) {
         continue;
       }
       LogRecord rec;
-      rec.op = op;
-      if (!IsMutationOp(op) || dims < 1 || dims > kMaxDims ||
-          len != BodySize(rec.op, dims)) {
+      if (!ParseMutationBody(body, len, &rec)) {
         page_ok = false;
         break;
-      }
-      std::array<uint32_t, kMaxDims> comps{};
-      for (int j = 0; j < dims; ++j) {
-        comps[j] = GetU32(body + 2 + 4 * j);
-      }
-      rec.key = PseudoKey(std::span<const uint32_t>(comps.data(), dims));
-      if (rec.op == kOpInsert) {
-        std::memcpy(&rec.payload, body + 2 + 4 * dims, 8);
       }
       off += kLenSize + len + kCrcSize;
       if (batch_active) {
@@ -435,6 +457,7 @@ Status Wal::Replay(PageId head, const ReplayFn& fn, bool sanitize_tail) {
         batch_members.push_back(rec);
         continue;
       }
+      rec.lsn = base_lsn_ + record_count_;
       BMEH_RETURN_NOT_OK(fn(rec));
       ++record_count_;
       adopt(off);
@@ -489,9 +512,179 @@ Status Wal::Truncate() {
   tail_ = kInvalidPageId;
   tail_buf_.clear();
   tail_used_ = 0;
+  // The discarded records keep their identity: the next append continues
+  // the LSN sequence where the truncated log left off.
+  base_lsn_ += record_count_;
   record_count_ = 0;
   unsynced_ = 0;
   return Status::OK();
+}
+
+std::vector<PageId> Wal::TruncateDeferred() {
+  std::vector<PageId> owned = std::move(pages_);
+  pages_.clear();
+  head_ = kInvalidPageId;
+  tail_ = kInvalidPageId;
+  tail_buf_.clear();
+  tail_used_ = 0;
+  base_lsn_ += record_count_;
+  record_count_ = 0;
+  unsynced_ = 0;
+  return owned;
+}
+
+std::vector<uint8_t> Wal::EncodeArchiveSegment(
+    std::span<const LogRecord> recs, uint64_t lo_lsn) {
+  size_t total = kArchiveHeaderSize;
+  for (const LogRecord& rec : recs) total += WireSize(rec);
+  std::vector<uint8_t> out(total, 0);
+  PutU32(out.data(), kArchiveMagic);
+  PutU32(out.data() + 4, kArchiveVersion);
+  std::memcpy(out.data() + 8, &lo_lsn, 8);
+  const uint64_t count = recs.size();
+  std::memcpy(out.data() + 16, &count, 8);
+  size_t off = kArchiveHeaderSize;
+  for (const LogRecord& rec : recs) {
+    Encode(rec, out.data(), off);
+    off += WireSize(rec);
+  }
+  return out;
+}
+
+Status Wal::DecodeArchiveSegment(std::span<const uint8_t> bytes,
+                                 std::vector<LogRecord>* out,
+                                 uint64_t* lo_lsn, uint64_t* count) {
+  if (bytes.size() < kArchiveHeaderSize) {
+    return Status::Corruption("archive segment shorter than its header");
+  }
+  if (GetU32(bytes.data()) != kArchiveMagic) {
+    return Status::Corruption("bad archive segment magic");
+  }
+  const uint32_t version = GetU32(bytes.data() + 4);
+  if (version != kArchiveVersion) {
+    return Status::Corruption("unsupported archive segment version " +
+                              std::to_string(version));
+  }
+  uint64_t lo = 0, n = 0;
+  std::memcpy(&lo, bytes.data() + 8, 8);
+  std::memcpy(&n, bytes.data() + 16, 8);
+  size_t off = kArchiveHeaderSize;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (off + kLenSize > bytes.size()) {
+      return Status::Corruption("archive segment truncated at record " +
+                                std::to_string(i));
+    }
+    const uint16_t len = GetU16(bytes.data() + off);
+    if (len == 0 || off + kLenSize + len + kCrcSize > bytes.size()) {
+      return Status::Corruption("archive segment truncated at record " +
+                                std::to_string(i));
+    }
+    const uint8_t* body = bytes.data() + off + kLenSize;
+    const uint32_t crc = GetU32(body + len);
+    if (Crc32(body, len, static_cast<uint32_t>(off)) != crc) {
+      return Status::Corruption("archive record checksum mismatch at LSN " +
+                                std::to_string(lo + i));
+    }
+    LogRecord rec;
+    if (!ParseMutationBody(body, len, &rec)) {
+      return Status::Corruption("malformed archive record at LSN " +
+                                std::to_string(lo + i));
+    }
+    rec.lsn = lo + i;
+    out->push_back(rec);
+    off += kLenSize + len + kCrcSize;
+  }
+  if (off != bytes.size()) {
+    return Status::Corruption("archive segment has trailing bytes");
+  }
+  *lo_lsn = lo;
+  *count = n;
+  return Status::OK();
+}
+
+std::string Wal::SegmentFileName(uint64_t lo_lsn) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%016llx.seg",
+                static_cast<unsigned long long>(lo_lsn));
+  return name;
+}
+
+Status Wal::WriteSegmentFile(const std::string& dir,
+                             std::span<const LogRecord> recs,
+                             uint64_t lo_lsn, std::string* filename) {
+  const std::vector<uint8_t> image = EncodeArchiveSegment(recs, lo_lsn);
+  const std::string name = SegmentFileName(lo_lsn);
+  const std::string final_path = dir + "/" + name;
+  const std::string tmp_path = final_path + ".tmp";
+  int fd;
+  do {
+    fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return Status::IoError("cannot create " + tmp_path + ": " +
+                           std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < image.size()) {
+    const ssize_t n =
+        ::write(fd, image.data() + written, image.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      std::remove(tmp_path.c_str());
+      return Status::IoError("write " + tmp_path + ": " +
+                             std::strerror(saved));
+    }
+    written += static_cast<size_t>(n);
+  }
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  const int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("fsync " + tmp_path + ": " +
+                           std::strerror(saved));
+  }
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    const int rename_errno = errno;
+    std::remove(tmp_path.c_str());
+    return Status::IoError("cannot publish " + final_path + ": " +
+                           std::strerror(rename_errno));
+  }
+  // The rename is not durable until the directory entry is synced.
+  BMEH_RETURN_NOT_OK(SyncDirectory(dir));
+  if (filename != nullptr) *filename = name;
+  return Status::OK();
+}
+
+Status Wal::ReadSegmentFile(const std::string& path,
+                            std::vector<LogRecord>* out, uint64_t* lo_lsn,
+                            uint64_t* count) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buf[4096];
+  size_t k;
+  while ((k = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + k);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::IoError("read " + path);
+  }
+  Status st = DecodeArchiveSegment(bytes, out, lo_lsn, count);
+  if (!st.ok()) {
+    return Status(st.code(), path + ": " + st.message());
+  }
+  return st;
 }
 
 }  // namespace bmeh

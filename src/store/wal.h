@@ -44,6 +44,7 @@
 
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/encoding/pseudo_key.h"
@@ -69,6 +70,11 @@ class Wal {
     uint8_t op = 0;
     PseudoKey key;
     uint64_t payload = 0;  ///< Meaningful for kOpInsert only.
+    /// Log sequence number.  Not serialized: a record's LSN is its
+    /// ordinal position in the log (base_lsn() + index), so it is
+    /// implicit on disk and filled in when Replay() delivers the record.
+    /// Zero means "not assigned" (records being built for Append).
+    uint64_t lsn = 0;
   };
 
   using ReplayFn = std::function<Status(const LogRecord&)>;
@@ -85,6 +91,19 @@ class Wal {
 
   /// \brief Valid records currently in the log (appended + replayed).
   uint64_t record_count() const { return record_count_; }
+
+  /// \brief LSN of the first record in the current log incarnation.  LSNs
+  /// are monotonic across checkpoints: Truncate() advances the base by the
+  /// records it discards, and the owner persists the base in the
+  /// superblock so identity survives reopen.  A fresh log starts at 1.
+  uint64_t base_lsn() const { return base_lsn_; }
+
+  /// \brief Restores the base LSN recorded by the owner (called before
+  /// Replay() when opening an existing store).
+  void SetBaseLsn(uint64_t base) { base_lsn_ = base; }
+
+  /// \brief LSN the next appended record will receive.
+  uint64_t next_lsn() const { return base_lsn_ + record_count_; }
 
   /// \brief Pages currently owned by the log, in chain order.
   const std::vector<PageId>& pages() const { return pages_; }
@@ -157,9 +176,65 @@ class Wal {
   /// owner should surface degradation instead of staying silent.
   bool replay_hit_data_loss() const { return replay_hit_data_loss_; }
 
-  /// \brief Frees every page of the log and resets it to empty.  Called
+  /// \brief Frees every page of the log and resets it to empty, advancing
+  /// base_lsn() past the discarded records so LSNs stay monotonic.  Called
   /// after a checkpoint made the logged mutations redundant.
   Status Truncate();
+
+  /// \brief Like Truncate(), but transfers page ownership to the caller
+  /// instead of freeing — used while an online backup pins the chain so
+  /// the pages cannot be recycled under a concurrent copy.
+  std::vector<PageId> TruncateDeferred();
+
+  // ---- Archive segments -------------------------------------------------
+  //
+  // A WAL archive segment is a standalone file holding a contiguous run
+  // of log records, written when a checkpoint is about to truncate them
+  // (or by an online backup copying the live tail).  Layout:
+  //
+  //     [magic "BMWA" u32 | version u32 | lo_lsn u64 | count u64]
+  //     count records, each in the page wire format
+  //     [body_len u16 | body | crc u32]  (CRC seeded by file offset)
+  //
+  // LSNs are implicit: record i carries lo_lsn + i.  The reader verifies
+  // every CRC and the declared count, so a torn or tampered segment is
+  // refused rather than partially applied.
+
+  /// First four bytes of an archive segment file ("BMWA").
+  static constexpr uint32_t kArchiveMagic = 0x424d5741;
+
+  /// \brief Serializes `recs` (whose first record carries LSN `lo_lsn`)
+  /// into an archive segment image.
+  static std::vector<uint8_t> EncodeArchiveSegment(
+      std::span<const LogRecord> recs, uint64_t lo_lsn);
+
+  /// \brief Parses and fully verifies a segment image, appending the
+  /// records — with LSNs assigned — to `out` and reporting the segment's
+  /// LSN range.  Any malformed byte refuses the whole segment.
+  static Status DecodeArchiveSegment(std::span<const uint8_t> bytes,
+                                     std::vector<LogRecord>* out,
+                                     uint64_t* lo_lsn, uint64_t* count);
+
+  /// \brief Name of the segment file holding LSNs starting at `lo_lsn`
+  /// ("wal-<16 hex digits>.seg" — zero-padded, so lexicographic order is
+  /// LSN order).
+  static std::string SegmentFileName(uint64_t lo_lsn);
+
+  /// \brief Atomically writes `recs` (first record = LSN `lo_lsn`) as a
+  /// sealed segment file in `dir`: temp file, fsync, rename, directory
+  /// fsync — a crash leaves either the complete sealed segment or no
+  /// segment, never a torn one.  Reports the final name via `filename`
+  /// when non-null.
+  static Status WriteSegmentFile(const std::string& dir,
+                                 std::span<const LogRecord> recs,
+                                 uint64_t lo_lsn,
+                                 std::string* filename = nullptr);
+
+  /// \brief Reads and fully verifies a segment file written by
+  /// WriteSegmentFile, appending its records (LSNs assigned) to `out`.
+  static Status ReadSegmentFile(const std::string& path,
+                                std::vector<LogRecord>* out,
+                                uint64_t* lo_lsn, uint64_t* count);
 
  private:
   /// Serialized size of `rec` including length prefix and CRC.
@@ -182,6 +257,7 @@ class Wal {
   std::vector<uint8_t> tail_buf_;
   size_t tail_used_ = 0;
   uint64_t record_count_ = 0;
+  uint64_t base_lsn_ = 1;
   uint64_t unsynced_ = 0;
   bool replay_truncated_ = false;
   bool replay_hit_data_loss_ = false;

@@ -83,6 +83,48 @@ TEST(BackoffTest, TotalBudgetCapsCumulativeSleep) {
   EXPECT_GE(rounds, 2);
 }
 
+// The process-wide sleep seam: with a hook installed SleepUs never
+// really sleeps, it hands every delay to the hook — so retry-heavy
+// tests (chaos harness, sharded backoff) can observe full schedules at
+// full speed.
+uint64_t g_hooked_total_us = 0;
+uint64_t g_hooked_calls = 0;
+void RecordSleep(uint64_t delay_us) {
+  g_hooked_total_us += delay_us;
+  ++g_hooked_calls;
+}
+
+TEST(BackoffTest, SleepHookReceivesEveryDelayWithoutSleeping) {
+  g_hooked_total_us = 0;
+  g_hooked_calls = 0;
+  SetSleepHookForTesting(&RecordSleep);
+  const auto start = std::chrono::steady_clock::now();
+  SleepUs(1000000);  // a real second if the hook were ignored
+  SleepUs(250000);
+  SleepUs(0);  // zero delays reach the hook too — schedules stay complete
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  SetSleepHookForTesting(nullptr);
+  EXPECT_EQ(g_hooked_calls, 3u);
+  EXPECT_EQ(g_hooked_total_us, 1250000u);
+  // Generous bound: the point is that we did not sleep 1.25 s.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            500);
+}
+
+TEST(BackoffTest, SleepHookUninstallRestoresRealSleep) {
+  g_hooked_calls = 0;
+  SetSleepHookForTesting(&RecordSleep);
+  SetSleepHookForTesting(nullptr);
+  const auto start = std::chrono::steady_clock::now();
+  SleepUs(2000);  // real (tiny) sleep
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(g_hooked_calls, 0u);
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count(),
+            2000);
+}
+
 TEST(BackoffTest, DeterministicUnderSameSeed) {
   BackoffPolicy policy;
   policy.max_attempts = 16;

@@ -309,4 +309,124 @@ HEALED=$(echo "$OUT" | sed -n 's/^records: *\([0-9]*\).*/\1/p')
 [ -n "$HEALED" ] && [ "$HEALED" -gt 0 ] || fail "repaired shard kept no records"
 "$CLI" scrub --db "$DEGDIR" > /dev/null || fail "repaired store must scrub clean"
 
+# ---- backup / restore: full sets, point-in-time, refusal paths ----
+
+BDB="$(mktemp -u /tmp/bmeh_cli_test.XXXXXX.bdb)"
+BSET="$(mktemp -u /tmp/bmeh_cli_test.XXXXXX.bset)"
+BREST="$(mktemp -u /tmp/bmeh_cli_test.XXXXXX.brest)"
+BPITR="$(mktemp -u /tmp/bmeh_cli_test.XXXXXX.bpitr)"
+SHSET="$(mktemp -u /tmp/bmeh_cli_test.XXXXXX.shset)"
+SHREST="$(mktemp -u /tmp/bmeh_cli_test.XXXXXX.shrest)"
+trap 'rm -f "$DB" "$STORE" "$REPAIRED" "$QUOTA" "$TRACE" "$BDB" "$BREST" "$BPITR"; rm -rf "$SHARDDIR" "$SHARDFIX" "$DEGDIR" "$BSET" "$SHSET" "$SHREST"' EXIT
+
+# a crash fixture: checkpointed records plus a 40-record WAL tail
+"$CLI" storebuild --db "$BDB" --n 500 --b 8 --page-size 512 \
+      --leave-wal 40 --seed 11 > /dev/null || fail "backup-fixture storebuild"
+BSRC=$("$CLI" storeinfo --db "$BDB" | sed -n 's/^records: *\([0-9]*\).*/\1/p')
+
+# full backup: sealed set, summary names the covered LSN span
+OUT=$("$CLI" backup --db "$BDB" --out "$BSET") || fail "backup exited non-zero"
+echo "$OUT" | grep -q "full set, LSNs \[" || fail "backup summary"
+[ -f "$BSET/BACKUPSET" ] || fail "backup wrote no sealed manifest"
+WM=$(echo "$OUT" | sed -n 's/.*LSNs \[[0-9]*, \([0-9]*\)\].*/\1/p')
+[ -n "$WM" ] || fail "backup summary has no watermark"
+
+# the backup must not mutate the source: the crash fixture's WAL survives
+OUT=$("$CLI" storeinfo --db "$BDB")
+echo "$OUT" | grep -q "write-ahead log:  40 records" \
+  || fail "backup checkpointed the source store"
+
+# restore reproduces the store exactly: same record count, WAL replayed
+OUT=$("$CLI" restore --set "$BSET" --db "$BREST") || fail "restore exited non-zero"
+echo "$OUT" | grep -q "replayed 40 records to LSN $WM" || fail "restore summary"
+BGOT=$("$CLI" storeinfo --db "$BREST" | sed -n 's/^records: *\([0-9]*\).*/\1/p')
+[ "$BGOT" = "$BSRC" ] || fail "restored records ($BGOT) != source ($BSRC)"
+
+# storeinfo --json on the restored store carries the LSN watermark
+OUT=$("$CLI" storeinfo --db "$BREST" --json) || fail "storeinfo --json"
+echo "$OUT" | grep -q '"kind":"store"' || fail "json storeinfo kind"
+echo "$OUT" | grep -q "\"durable_lsn\":$WM" || fail "json storeinfo durable_lsn"
+
+# point-in-time restore stops exactly at --to-lsn
+TARGET=$((WM - 20))
+OUT=$("$CLI" restore --set "$BSET" --db "$BPITR" --to-lsn "$TARGET") \
+  || fail "PITR restore exited non-zero"
+echo "$OUT" | grep -q "to LSN $TARGET" || fail "PITR did not stop at the target"
+OUT=$("$CLI" storeinfo --db "$BPITR" --json)
+echo "$OUT" | grep -q "\"durable_lsn\":$TARGET" || fail "PITR durable_lsn"
+
+# a target beyond the watermark is refused with nothing written
+if "$CLI" restore --set "$BSET" --db "$BPITR.bad" --to-lsn $((WM + 5)) \
+    > /dev/null 2>&1; then
+  fail "restore past the watermark should fail"
+fi
+[ ! -e "$BPITR.bad" ] || fail "refused restore left a destination file"
+
+# an existing destination is refused; a sealed set is never overwritten
+if "$CLI" restore --set "$BSET" --db "$BREST" > /dev/null 2>&1; then
+  fail "restore over an existing store should fail"
+fi
+if "$CLI" backup --db "$BDB" --out "$BSET" > /dev/null 2>&1; then
+  fail "backup over a sealed set should fail"
+fi
+if "$CLI" backup --db "$BDB" --out "$BSET.inc" --incremental > /dev/null 2>&1; then
+  fail "--incremental without --base should fail"
+fi
+
+# a torn manifest (backup killed mid-seal) is refused with nothing written
+MANI="$BSET/BACKUPSET"
+SIZE=$(wc -c < "$MANI")
+head -c $((SIZE - 3)) "$MANI" > "$MANI.torn" && mv "$MANI.torn" "$MANI"
+if "$CLI" restore --set "$BSET" --db "$BREST.torn" > /dev/null 2>&1; then
+  fail "restore of a torn set should fail"
+fi
+[ ! -e "$BREST.torn" ] || fail "refused torn restore left a destination file"
+
+# ---- sharded backup / restore: round trip, partial sets, degraded exit ----
+
+# round trip of the repaired 4-shard store from the fsck section above
+OUT=$("$CLI" backup --db "$SHARDFIX" --out "$SHSET") \
+  || fail "sharded backup exited non-zero"
+echo "$OUT" | grep -q "4 shards (0 failed)" || fail "sharded backup summary"
+[ -f "$SHSET/SHARDBACKUP" ] || fail "sharded backup wrote no super-manifest"
+OUT=$("$CLI" restore --set "$SHSET" --db "$SHREST") \
+  || fail "sharded restore exited non-zero"
+echo "$OUT" | grep -q "4 shards (0 failed)" || fail "sharded restore summary"
+echo "$OUT" | grep "shard 3" | grep -q "replayed to LSN" \
+  || fail "sharded restore per-shard lines"
+SHGOT=$("$CLI" storeinfo --db "$SHREST" | sed -n 's/^records: *\([0-9]*\).*/\1/p')
+[ "$SHGOT" = "$FIXED" ] || fail "sharded restore records ($SHGOT) != source ($FIXED)"
+OUT=$("$CLI" storeinfo --db "$SHREST" --json) || fail "sharded storeinfo --json"
+echo "$OUT" | grep -q '"kind":"sharded"' || fail "sharded json kind"
+echo "$OUT" | grep -q '"healthy":true' || fail "sharded json healthy flag"
+echo "$OUT" | grep -q '"shard":\[{"index":0,"ok":true' || fail "sharded json shards"
+
+# kill one shard's superblock: backup degrades to a partial set (exit 2),
+# restoring it brings the store up degraded (exit 2 end to end)
+"$CLI" corrupt --db "$SHARDFIX/shard-0001.bmeh" --page 1 --byte 80 > /dev/null \
+  || fail "superblock corrupt of the backup source failed"
+rm -rf "$SHSET" "$SHREST"
+set +e
+OUT=$("$CLI" backup --db "$SHARDFIX" --out "$SHSET")
+RC=$?
+set -e
+[ "$RC" -eq 2 ] || fail "partial sharded backup should exit 2, got $RC"
+echo "$OUT" | grep -q "backup set is PARTIAL (3 of 4 shards)" \
+  || fail "partial backup verdict"
+echo "$OUT" | grep "shard 1" | grep -q "FAILED" || fail "failed shard not named"
+set +e
+OUT=$("$CLI" restore --set "$SHSET" --db "$SHREST")
+RC=$?
+set -e
+[ "$RC" -eq 2 ] || fail "partial sharded restore should exit 2, got $RC"
+echo "$OUT" | grep -q "restore is PARTIAL (3 of 4 shards" \
+  || fail "partial restore verdict"
+set +e
+OUT=$("$CLI" storeinfo --db "$SHREST" --json)
+RC=$?
+set -e
+[ "$RC" -eq 2 ] || fail "degraded restored storeinfo should exit 2, got $RC"
+echo "$OUT" | grep -q '"healthy":false' || fail "restored degraded json flag"
+echo "$OUT" | grep -q '"ok":false' || fail "restored down shard not in json"
+
 echo "cli_test: all checks passed"

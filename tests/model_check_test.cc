@@ -95,6 +95,11 @@ class SingleStoreDriver {
   bool Validate() { return store_->tree().Validate().ok(); }
   uint64_t RecordCount() { return store_->tree().Stats().records; }
 
+  /// Highest LSN committed so far (summed over shards for the sharded
+  /// driver) — the checker asserts exactly one LSN per committed
+  /// mutation, monotonic across checkpoints and crash recovery.
+  uint64_t DurableLsnSum() { return store_->durable_lsn(); }
+
   /// Checker keys need no special shape for a single tree.
   static constexpr int kKeyShift = 0;
 
@@ -159,6 +164,14 @@ class ShardedStoreDriver {
   }
   uint64_t RecordCount() { return store_->records(); }
 
+  uint64_t DurableLsnSum() {
+    uint64_t total = 0;
+    for (int s = 0; s < store_->shards(); ++s) {
+      total += store_->shard(s)->durable_lsn();
+    }
+    return total;
+  }
+
   void RemoveAll() {
     for (int s = 0; s < shards_; ++s) {
       std::remove(ShardedStore::ShardPath(dir_, s).c_str());
@@ -210,6 +223,22 @@ class ModelChecker {
     } else {
       StepReopen(/*crash=*/true, op_index);
     }
+    CheckLsnDiscipline("after op " + std::to_string(op_index));
+  }
+
+  // LSN discipline, checked after every step.  The store logs intent
+  // before applying (append-before-apply), so every logged operation —
+  // including a refused duplicate put or absent delete — consumes
+  // exactly one LSN, and the sequence never runs backwards: not across
+  // checkpoints (Truncate advances the base, not the head) and not
+  // across crash recovery (LSNs are re-derived from the log's ordinal
+  // positions).
+  void CheckLsnDiscipline(const std::string& when) {
+    const uint64_t lsn = driver_.DurableLsnSum();
+    ASSERT_GE(lsn, last_lsn_) << Label(when + ": durable LSN ran backwards");
+    ASSERT_EQ(lsn, logged_)
+        << Label(when + ": one LSN per logged mutation");
+    last_lsn_ = lsn;
   }
 
   void CheckFullState(const std::string& when) {
@@ -253,6 +282,7 @@ class ModelChecker {
     const uint64_t payload = next_payload_++;
     const bool fresh = model_.emplace(key, payload).second;
     Status st = store()->Put(key, payload);
+    ++logged_;  // even a refused duplicate logs intent first
     if (fresh) {
       ASSERT_TRUE(st.ok()) << Label("put " + key.ToString()) << ": " << st;
     } else {
@@ -265,6 +295,7 @@ class ModelChecker {
     const PseudoKey key = RandomKey();
     const bool present = model_.erase(key) > 0;
     Status st = store()->Delete(key);
+    ++logged_;  // an absent delete still logs intent
     if (present) {
       ASSERT_TRUE(st.ok()) << Label("delete " + key.ToString()) << ": " << st;
     } else {
@@ -345,6 +376,7 @@ class ModelChecker {
           << Label("batch member " + std::to_string(i)) << ": got "
           << per_record[i] << ", want " << expected[i];
     }
+    logged_ += n;  // the whole batch hit the log before any member applied
     model_ = std::move(scratch);
   }
 
@@ -374,6 +406,11 @@ class ModelChecker {
   uint64_t seed_;
   std::map<PseudoKey, uint64_t> model_;
   uint64_t next_payload_ = 1;
+  /// Mutations that reached the WAL so far (append-before-apply: refused
+  /// duplicates and absent deletes log too) — must equal the durable LSN
+  /// sum at all times.
+  uint64_t logged_ = 0;
+  uint64_t last_lsn_ = 0;
 };
 
 class ModelCheckTest : public ::testing::Test {

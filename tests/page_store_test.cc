@@ -604,5 +604,40 @@ TEST(FilePageStoreTest, EintrIsAbsorbedAtEverySyscallSite) {
   std::remove(path.c_str());
 }
 
+TEST(SyncDirectoryTest, FailuresAreStickyPerDirectory) {
+  // Once a directory fsync has failed, the kernel may already have
+  // dropped the dirty entries, so a later fsync that "succeeds" proves
+  // nothing about the earlier renames.  The failure must therefore stay
+  // pinned to the path until the process gives up on it — the directory
+  // half of the PostgreSQL fsync-gate lesson.
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "/bmeh_dirsync_victim";
+  const std::string sibling = ::testing::TempDir() + "/bmeh_dirsync_sibling";
+  fs::create_directory(dir);
+  fs::create_directory(sibling);
+  internal::ResetStickyDirSyncErrorsForTesting();
+
+  ASSERT_TRUE(SyncDirectory(dir).ok());  // healthy baseline
+
+  internal::InjectDirSyncErrorsForTesting(1);
+  const Status first = SyncDirectory(dir);
+  ASSERT_TRUE(first.IsIoError()) << first;
+
+  // The injection budget is spent with that one failure; the next call
+  // would reach the real (healthy) fsync.  It must still refuse.
+  const Status second = SyncDirectory(dir);
+  EXPECT_TRUE(second.IsIoError()) << "dir-fsync failure was not sticky";
+  EXPECT_NE(second.message().find("sticky"), std::string::npos) << second;
+
+  // Stickiness is a property of the path, not the process: a sibling
+  // directory still syncs fine.
+  EXPECT_TRUE(SyncDirectory(sibling).ok());
+
+  internal::ResetStickyDirSyncErrorsForTesting();
+  EXPECT_TRUE(SyncDirectory(dir).ok());
+  fs::remove_all(dir);
+  fs::remove_all(sibling);
+}
+
 }  // namespace
 }  // namespace bmeh

@@ -19,11 +19,20 @@
 // Iteration count: BMEH_CHAOS_ITERS wins, else BMEH_CHAOS_SMOKE=1 runs
 // a CI-sized 40, else 200.  Seeds follow the BMEH_STRESS_SEED /
 // SplitMix64 convention of concurrent_stress_test.
+//
+// Section 4 turns the same discipline on the backup/restore path
+// (ISSUE 8): backups killed partway through, archives with flipped
+// bytes, and restores killed partway through must all either refuse or
+// degrade loudly — a damaged archive may lose availability, never
+// correctness.
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -659,6 +668,295 @@ TEST(ShardChaosTest, ConcurrentChaosRepairUnderTraffic) {
   }
   store.reset();
   RemoveAll(dir);
+}
+
+// ---------------------------------------------------------------------------
+// 4. Backup/restore chaos: kill-during-backup, corrupt-archive and
+//    kill-during-restore sweeps
+// ---------------------------------------------------------------------------
+
+bool PathPresent(const std::string& path) {
+  struct stat st;
+  return ::lstat(path.c_str(), &st) == 0;
+}
+
+// Backup sets are trees (per-shard subdirectories), so the flat
+// RemoveAll above is not enough here.
+void RemoveTree(const std::string& path) {
+  struct stat st;
+  if (::lstat(path.c_str(), &st) != 0) return;
+  if (S_ISDIR(st.st_mode)) {
+    if (DIR* d = ::opendir(path.c_str())) {
+      while (const dirent* e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        if (name == "." || name == "..") continue;
+        RemoveTree(path + "/" + name);
+      }
+      ::closedir(d);
+    }
+    ::rmdir(path.c_str());
+  } else {
+    std::remove(path.c_str());
+  }
+}
+
+void ListFilesRecursive(const std::string& dir, std::vector<std::string>* out) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (const dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    const std::string path = dir + "/" + name;
+    struct stat st;
+    if (::lstat(path.c_str(), &st) != 0) continue;
+    if (S_ISDIR(st.st_mode)) {
+      ListFilesRecursive(path, out);
+    } else {
+      out->push_back(path);
+    }
+  }
+  ::closedir(d);
+}
+
+// Every regular file in a backup set, sorted: readdir order depends on
+// the filesystem, and the sweeps pick seeded victims by index.
+std::vector<std::string> SetFiles(const std::string& set_dir) {
+  std::vector<std::string> files;
+  ListFilesRecursive(set_dir, &files);
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+long FileSize(const std::string& path) {
+  struct stat st;
+  return ::lstat(path.c_str(), &st) == 0 ? static_cast<long>(st.st_size) : -1;
+}
+
+void FlipByteAt(const std::string& path, long off) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fseek(f, off, SEEK_SET), 0);
+  const int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(f, off, SEEK_SET), 0);
+  std::fputc(byte ^ 0xff, f);
+  std::fclose(f);
+}
+
+// Creates a store at `db`, loads `records` self-verifying records across
+// all shards, seals a full backup into `set`, and mirrors the exact
+// contents into `model`.
+void PopulateAndBackup(const std::string& db, const std::string& set,
+                       uint32_t records, std::map<PseudoKey, uint64_t>* model) {
+  auto opened = ShardedStore::Open(db, ChaosOpts());
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  auto store = std::move(opened).ValueOrDie();
+  store->DisableFsyncForTesting();
+  for (uint32_t serial = 1; serial <= records; ++serial) {
+    const PseudoKey key = KeyFor(serial);
+    ASSERT_TRUE(store->Put(key, PayloadFor(key)).ok());
+    (*model)[key] = PayloadFor(key);
+  }
+  auto run = store->Backup(set);
+  ASSERT_TRUE(run.ok()) << run.status();
+  ASSERT_EQ(run.ValueOrDie().failed, 0);
+  store.reset();  // clean close; the set is already sealed
+}
+
+// After damaging a sealed set, a restore must never be silently wrong:
+// either it refuses outright and publishes no store, or it reports the
+// damaged shard failed, brings it up down, and serves every surviving
+// record byte-exact.  Availability may be lost; correctness may not.
+void CheckDamagedSetOutcome(const std::string& set, const std::string& dest,
+                            const std::map<PseudoKey, uint64_t>& model) {
+  auto restored = ShardedStore::Restore(set, dest);
+  if (!restored.ok()) {
+    EXPECT_FALSE(PathPresent(dest + "/MANIFEST"))
+        << "a refused restore must not publish a store manifest: "
+        << restored.status();
+    return;
+  }
+  const ShardRestoreInfo info = restored.ValueOrDie();
+  ASSERT_GT(info.failed, 0)
+      << "a damaged archive restored with every shard reported healthy";
+  ShardedStoreOptions adopt = ChaosOpts();
+  adopt.shards = 0;  // adopt the restored layout
+  auto opened = ShardedStore::Open(dest, adopt);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  auto store = std::move(opened).ValueOrDie();
+  EXPECT_EQ(store->down_shards(), info.failed)
+      << "every failed shard must come up down, and only those";
+  size_t readable = 0;
+  size_t lost = 0;
+  for (const auto& [key, payload] : model) {
+    auto got = store->Get(key);
+    if (got.ok()) {
+      EXPECT_EQ(*got, payload) << "restored payload mutated";
+      ++readable;
+    } else {
+      EXPECT_TRUE(got.status().IsUnavailable()) << got.status();
+      ++lost;
+    }
+  }
+  EXPECT_GT(lost, 0u) << "the damaged shard owned no records";
+  EXPECT_GT(readable, 0u) << "siblings of the damaged shard were lost too";
+  // A partial Range says so, and never invents or resurrects a record.
+  std::vector<Record> out;
+  bool partial = false;
+  const Status st =
+      store->Range(RangePredicate(KeySchema(2, 31)), &out, &partial);
+  EXPECT_TRUE(st.ok() || st.IsUnavailable()) << st;
+  if (!st.ok()) {
+    EXPECT_TRUE(partial);
+  }
+  for (const Record& rec : out) {
+    auto it = model.find(rec.key);
+    ASSERT_NE(it, model.end()) << "restore invented a key";
+    EXPECT_EQ(rec.payload, it->second);
+  }
+}
+
+// A backup killed partway leaves a prefix of the set: payload files and
+// per-shard manifests land (fsynced) before the super-manifest seals the
+// whole thing, so any file may be missing or torn.  Sweep seeded prefix
+// states and require the restore side to refuse or degrade loudly.
+TEST(ShardChaosTest, KillDuringBackupSweepIsNeverSilentlyRestorable) {
+  const uint64_t base_seed = BaseSeed();
+  ::testing::Test::RecordProperty("bmeh_stress_seed",
+                                  std::to_string(base_seed));
+  const int iters = std::max(6, Iterations() / 12);
+  const std::string root = ::testing::TempDir() + "/bmeh_chaos_backup_kill";
+  for (int iter = 0; iter < iters && !::testing::Test::HasFailure(); ++iter) {
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    RemoveTree(root);
+    ASSERT_EQ(::mkdir(root.c_str(), 0755), 0);
+    Rng rng(MixSeed(base_seed, 9000 + static_cast<uint64_t>(iter)));
+    std::map<PseudoKey, uint64_t> model;
+    PopulateAndBackup(root + "/db", root + "/set",
+                      120 + static_cast<uint32_t>(rng.Uniform(80)), &model);
+    if (::testing::Test::HasFailure()) break;
+
+    const std::vector<std::string> files = SetFiles(root + "/set");
+    ASSERT_FALSE(files.empty());
+    const std::string victim = files[rng.Uniform(files.size())];
+    const long size = FileSize(victim);
+    ASSERT_GE(size, 0) << victim;
+    if (size == 0 || rng.NextBool(0.5)) {
+      // Killed before this file was written at all.
+      ASSERT_EQ(std::remove(victim.c_str()), 0) << victim;
+    } else {
+      // Killed mid-write: an arbitrary prefix survived.
+      const long keep = static_cast<long>(
+          rng.Uniform(static_cast<uint64_t>(size)));
+      ASSERT_EQ(::truncate(victim.c_str(), keep), 0) << victim;
+    }
+    CheckDamagedSetOutcome(root + "/set", root + "/dest", model);
+  }
+  RemoveTree(root);
+}
+
+// Bit rot anywhere in a sealed archive — payload page, WAL segment,
+// per-shard manifest, super-manifest — must be caught by a CRC on the
+// restore path.  The sweep flips one seeded byte per iteration.
+TEST(ShardChaosTest, CorruptArchiveSweepIsAlwaysDetected) {
+  const uint64_t base_seed = BaseSeed();
+  ::testing::Test::RecordProperty("bmeh_stress_seed",
+                                  std::to_string(base_seed));
+  const int iters = std::max(6, Iterations() / 12);
+  const std::string root = ::testing::TempDir() + "/bmeh_chaos_archive_rot";
+  for (int iter = 0; iter < iters && !::testing::Test::HasFailure(); ++iter) {
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    RemoveTree(root);
+    ASSERT_EQ(::mkdir(root.c_str(), 0755), 0);
+    Rng rng(MixSeed(base_seed, 11000 + static_cast<uint64_t>(iter)));
+    std::map<PseudoKey, uint64_t> model;
+    PopulateAndBackup(root + "/db", root + "/set",
+                      120 + static_cast<uint32_t>(rng.Uniform(80)), &model);
+    if (::testing::Test::HasFailure()) break;
+
+    std::vector<std::string> files;
+    for (const std::string& f : SetFiles(root + "/set")) {
+      if (FileSize(f) > 0) files.push_back(f);
+    }
+    ASSERT_FALSE(files.empty());
+    const std::string victim = files[rng.Uniform(files.size())];
+    const long size = FileSize(victim);
+    FlipByteAt(victim,
+               static_cast<long>(rng.Uniform(static_cast<uint64_t>(size))));
+    if (::testing::Test::HasFailure()) break;
+    CheckDamagedSetOutcome(root + "/set", root + "/dest", model);
+  }
+  RemoveTree(root);
+}
+
+// A restore can be killed at any point.  The destination manifest is the
+// commit point and lands last, and each shard file is built in a temp
+// and renamed, so every crash state is a directory without a MANIFEST
+// holding zero or more complete shard files.  Such debris must not be
+// adoptable as a store, a blind re-run must refuse to merge into it, and
+// the documented recovery — remove the debris, restore again — must
+// converge on exactly the backed-up contents.
+TEST(ShardChaosTest, KillDuringRestoreLeavesRecoverableDebris) {
+  const uint64_t base_seed = BaseSeed();
+  ::testing::Test::RecordProperty("bmeh_stress_seed",
+                                  std::to_string(base_seed));
+  const KeySchema schema(2, 31);
+  const std::string root = ::testing::TempDir() + "/bmeh_chaos_restore_kill";
+  RemoveTree(root);
+  ASSERT_EQ(::mkdir(root.c_str(), 0755), 0);
+  Rng rng(MixSeed(base_seed, 13000));
+  const std::string set = root + "/set";
+  const std::string dest = root + "/dest";
+  std::map<PseudoKey, uint64_t> model;
+  PopulateAndBackup(root + "/db", set, 200, &model);
+
+  for (int survivors = 0; survivors <= kShards; ++survivors) {
+    SCOPED_TRACE("killed with " + std::to_string(survivors) +
+                 " shard files landed");
+    // Build the crash state: run a full restore, then strip it back to
+    // "`survivors` shard files landed, the manifest did not".
+    RemoveTree(dest);
+    auto full = ShardedStore::Restore(set, dest);
+    ASSERT_TRUE(full.ok()) << full.status();
+    ASSERT_EQ(full.ValueOrDie().failed, 0);
+    ASSERT_EQ(std::remove((dest + "/MANIFEST").c_str()), 0);
+    std::vector<int> order(kShards);
+    for (int s = 0; s < kShards; ++s) order[s] = s;
+    for (int s = kShards - 1; s > 0; --s) {
+      std::swap(order[s],
+                order[rng.Uniform(static_cast<uint64_t>(s) + 1)]);
+    }
+    for (int k = survivors; k < kShards; ++k) {
+      ASSERT_EQ(
+          std::remove(ShardedStore::ShardPath(dest, order[k]).c_str()), 0);
+    }
+
+    if (survivors > 0) {
+      // (a) The debris is not adoptable: there is no manifest, and
+      // creating a fresh store over foreign files is refused.
+      ShardedStoreOptions adopt = ChaosOpts();
+      adopt.shards = 0;
+      auto opened = ShardedStore::Open(dest, adopt);
+      ASSERT_FALSE(opened.ok())
+          << "killed-restore debris opened as a live store";
+      // (b) A blind re-run refuses to merge into the debris.
+      auto rerun = ShardedStore::Restore(set, dest);
+      ASSERT_FALSE(rerun.ok()) << "restore merged into killed-restore debris";
+      EXPECT_TRUE(rerun.status().IsAlreadyExists()) << rerun.status();
+    }
+
+    // (c) The runbook path converges: clear the debris, restore again.
+    RemoveTree(dest);
+    auto retry = ShardedStore::Restore(set, dest);
+    ASSERT_TRUE(retry.ok()) << retry.status();
+    ASSERT_EQ(retry.ValueOrDie().failed, 0);
+    ShardedStoreOptions adopt = ChaosOpts();
+    adopt.shards = 0;
+    auto opened = ShardedStore::Open(dest, adopt);
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    CheckFullState(opened.ValueOrDie().get(), model, schema, "retry restore");
+  }
+  RemoveTree(root);
 }
 
 }  // namespace

@@ -330,6 +330,136 @@ TEST(WalBatchTest, BatchRejectsBadOpsAndOversizedRecords) {
   EXPECT_TRUE(wal.empty());
 }
 
+// ---------------------------------------------------------------------------
+// LSN discipline.  Every committed mutation owns exactly one LSN; the
+// sequence is contiguous from base_lsn() and monotonic across
+// checkpoints (Truncate advances the base), crash replay (LSNs are
+// ordinal positions, so recovery re-derives them), and batches (markers
+// consume nothing).  The backup/restore machinery leans on all of this.
+
+TEST(WalLsnTest, LsnsAreContiguousFromBase) {
+  InMemoryPageStore store(64);
+  Wal wal(&store, 1);
+  EXPECT_EQ(wal.base_lsn(), 1u) << "a fresh log starts at LSN 1";
+  EXPECT_EQ(wal.next_lsn(), 1u);
+  for (uint32_t i = 0; i < 9; ++i) {
+    ASSERT_TRUE(wal.Append(Insert(i, i, i)).ok());
+    EXPECT_EQ(wal.next_lsn(), 2u + i) << "one LSN per committed record";
+  }
+  Wal reader(&store, 1);
+  auto replayed = ReplayAll(&reader, wal.head());
+  ASSERT_EQ(replayed.size(), 9u);
+  for (size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed[i].lsn, 1u + i) << "record " << i;
+  }
+}
+
+TEST(WalLsnTest, TruncateAdvancesBaseMonotonically) {
+  InMemoryPageStore store(64);
+  Wal wal(&store, 1);
+  for (uint32_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(wal.Append(Insert(i, i, i)).ok());
+  }
+  ASSERT_EQ(wal.next_lsn(), 6u);
+  ASSERT_TRUE(wal.Truncate().ok());
+  EXPECT_EQ(wal.base_lsn(), 6u)
+      << "the discarded records keep their LSNs forever";
+  EXPECT_EQ(wal.next_lsn(), 6u) << "truncation never reuses an LSN";
+  for (uint32_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(wal.Append(Insert(100 + i, i, i)).ok());
+  }
+  Wal reader(&store, 1);
+  reader.SetBaseLsn(6);  // what the owner's superblock would restore
+  auto replayed = ReplayAll(&reader, wal.head());
+  ASSERT_EQ(replayed.size(), 3u);
+  for (size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed[i].lsn, 6u + i);
+  }
+}
+
+TEST(WalLsnTest, CrashReplayRederivesTheSameLsns) {
+  InMemoryPageStore store(64);
+  Wal wal(&store, 1);
+  wal.SetBaseLsn(100);
+  for (uint32_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(wal.Append(Insert(i, i, i)).ok());
+  }
+  // "Crash": a fresh Wal over the same pages, base restored as open does.
+  Wal recovered(&store, 1);
+  recovered.SetBaseLsn(100);
+  auto replayed = ReplayAll(&recovered, wal.head());
+  ASSERT_EQ(replayed.size(), 4u);
+  for (size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed[i].lsn, 100u + i);
+  }
+  EXPECT_EQ(recovered.next_lsn(), 104u)
+      << "post-recovery appends continue the sequence, no gap, no reuse";
+}
+
+TEST(WalLsnTest, BatchMembersConsumeOneLsnEachAndMarkersNone) {
+  InMemoryPageStore store(64);
+  Wal wal(&store, 1);
+  ASSERT_TRUE(wal.Append(Insert(100, 100, 100)).ok());  // LSN 1
+  std::vector<Wal::LogRecord> batch;
+  for (uint32_t i = 0; i < 8; ++i) batch.push_back(Insert(i, i, i));
+  ASSERT_TRUE(wal.AppendBatch(batch).ok());
+  EXPECT_EQ(wal.next_lsn(), 10u)
+      << "8 members = 8 LSNs; begin/commit markers consume none";
+  Wal reader(&store, 1);
+  auto replayed = ReplayAll(&reader, wal.head());
+  ASSERT_EQ(replayed.size(), 9u);
+  for (size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed[i].lsn, 1u + i);
+  }
+}
+
+TEST(WalLsnTest, TornTailFreesItsLsnForTheNextCommit) {
+  // A torn record never committed, so its would-be LSN is reassigned to
+  // the next durable record — the sequence of *committed* LSNs stays
+  // contiguous with no phantom holes.
+  InMemoryPageStore store(256);
+  Wal wal(&store, 1);
+  for (uint32_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(wal.Append(Insert(i, i, i)).ok());
+  }
+  const PageId head = wal.head();
+  std::vector<uint8_t> buf(256);
+  ASSERT_TRUE(store.Read(head, buf).ok());
+  buf[58] ^= 0xff;  // tear the third record
+  ASSERT_TRUE(store.Write(head, buf).ok());
+
+  Wal recovered(&store, 1);
+  ASSERT_EQ(ReplayAll(&recovered, head).size(), 2u);
+  EXPECT_EQ(recovered.next_lsn(), 3u);
+  ASSERT_TRUE(recovered.Append(Insert(9, 9, 9)).ok());
+
+  Wal reader(&store, 1);
+  auto replayed = ReplayAll(&reader, head);
+  ASSERT_EQ(replayed.size(), 3u);
+  EXPECT_EQ(replayed[2].lsn, 3u);
+}
+
+TEST(WalLsnTest, ArchiveSegmentRoundTripPreservesLsns) {
+  InMemoryPageStore store(256);
+  Wal wal(&store, 1);
+  wal.SetBaseLsn(500);
+  std::vector<Wal::LogRecord> recs;
+  for (uint32_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(wal.Append(Insert(i, i, 7000 + i)).ok());
+    recs.push_back(Insert(i, i, 7000 + i));
+  }
+  const auto image = Wal::EncodeArchiveSegment(recs, 500);
+  std::vector<Wal::LogRecord> out;
+  uint64_t lo = 0, count = 0;
+  ASSERT_TRUE(Wal::DecodeArchiveSegment(image, &out, &lo, &count).ok());
+  EXPECT_EQ(lo, 500u);
+  ASSERT_EQ(count, 6u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].lsn, 500u + i);
+    EXPECT_TRUE(SameRecord(out[i], recs[i]));
+  }
+}
+
 TEST(WalTest, SyncBatchingHonorsSyncEvery) {
   auto inner = std::make_unique<InMemoryPageStore>(64);
   FaultInjectingPageStore store(std::move(inner));

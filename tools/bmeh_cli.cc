@@ -31,10 +31,32 @@
 //   bmeh_cli dot    --db FILE
 //       Prints the directory as Graphviz dot (small trees only).
 //
-//   bmeh_cli storeinfo --db FILE
+//   bmeh_cli storeinfo --db FILE [--json]
 //       Prints the durable state of a BmehStore file (checkpoint
-//       generation, image chain, write-ahead log) without modifying it —
-//       works on files left behind by a crash.
+//       generation, image chain, write-ahead log, LSN watermarks) without
+//       modifying it — works on files left behind by a crash.  Sharded
+//       directories are detected automatically.  With --json the same
+//       facts come out as one JSON object for scripts.  Exit codes: 0
+//       healthy, 2 degraded (sharded store with unreadable shards).
+//
+//   bmeh_cli backup  --db SRC --out SETDIR [--base PREV] [--archive DIR]
+//       Online backup of a store (single file or sharded directory) into
+//       a new backup-set directory at SETDIR.  With --base PREV the set
+//       is incremental on the sealed set at PREV: only WAL segments past
+//       PREV's watermark are archived (--archive names the store's WAL
+//       archive directory, required when checkpoints ran since PREV).
+//       Exit codes: 0 sealed, 1 refused/failed, 2 sealed but partial
+//       (some shards failed; the super-manifest records which).
+//
+//   bmeh_cli restore --set SETDIR --db DEST [--to-lsn N]
+//       Point-in-time restore of a backup set (following its incremental
+//       chain) into a new store at DEST.  Replays archived WAL up to and
+//       including LSN N (default: everything the set covers), verifying
+//       every page and record checksum; torn, gapped, or tampered
+//       archives are refused with nothing written.  Exit codes: 0
+//       restored, 1 refused/failed, 2 partial (sharded set with failed
+//       shards skipped — the result opens degraded under --repair
+//       tooling).
 //
 //   bmeh_cli storebuild --db FILE [--dims D] [--width W] [--b B] [--phi P]
 //                   [--n N] [--dist NAME] [--seed S] [--page-size P]
@@ -80,6 +102,7 @@
 //       chrome://tracing or https://ui.perfetto.dev to see where the
 //       operations spent their time.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -314,11 +337,68 @@ int CmdDot(const Args& args) {
   return 0;
 }
 
+/// JSON string escaper for the --json expositions (quotes, backslashes,
+/// and control characters; status messages are the only wild input).
+std::string JsonStr(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
 /// storeinfo on a sharded directory: aggregate shape plus one summary
 /// line per shard, read-only like the single-file path.
-int CmdStoreInfoSharded(const std::string& db) {
+int CmdStoreInfoSharded(const std::string& db, bool json) {
   auto info = ShardedStore::Inspect(db);
   if (!info.ok()) Die(info.status().ToString());
+  if (json) {
+    std::printf("{\"kind\":\"sharded\",\"shards\":%d,\"shard_bits\":%d,"
+                "\"page_size\":%d,\"page_count\":%llu,\"wal_records\":%llu,"
+                "\"records\":%llu,\"down_shards\":%d,\"healthy\":%s,"
+                "\"shard\":[",
+                info->shards, info->shard_bits, info->page_size,
+                static_cast<unsigned long long>(info->page_count),
+                static_cast<unsigned long long>(info->wal_records),
+                static_cast<unsigned long long>(info->records),
+                info->down_shards,
+                info->down_shards > 0 ? "false" : "true");
+    for (int s = 0; s < info->shards; ++s) {
+      if (s > 0) std::printf(",");
+      if (!info->shard_status[s].ok()) {
+        std::printf("{\"index\":%d,\"ok\":false,\"error\":%s}", s,
+                    JsonStr(info->shard_status[s].ToString()).c_str());
+        continue;
+      }
+      const StoreInfo& si = info->shard[s];
+      std::printf("{\"index\":%d,\"ok\":true,\"records\":%llu,"
+                  "\"wal_records\":%llu,\"generation\":%llu,"
+                  "\"page_count\":%llu,\"wal_base_lsn\":%llu,"
+                  "\"durable_lsn\":%llu}",
+                  s, static_cast<unsigned long long>(si.records),
+                  static_cast<unsigned long long>(si.wal_records),
+                  static_cast<unsigned long long>(si.generation),
+                  static_cast<unsigned long long>(si.page_count),
+                  static_cast<unsigned long long>(si.wal_base_lsn),
+                  static_cast<unsigned long long>(si.durable_lsn));
+    }
+    std::printf("]}\n");
+    return info->down_shards > 0 ? 2 : 0;
+  }
   std::printf("sharded store:    %d shards (%d routing bits)\n", info->shards,
               info->shard_bits);
   std::printf("page size:        %d\n", info->page_size);
@@ -336,11 +416,13 @@ int CmdStoreInfoSharded(const std::string& db) {
     }
     const StoreInfo& si = info->shard[s];
     std::printf("shard %-11d %llu records, %llu in the WAL, "
-                "generation %llu, %llu pages\n",
+                "generation %llu, %llu pages, LSNs [%llu, %llu]\n",
                 s, static_cast<unsigned long long>(si.records),
                 static_cast<unsigned long long>(si.wal_records),
                 static_cast<unsigned long long>(si.generation),
-                static_cast<unsigned long long>(si.page_count));
+                static_cast<unsigned long long>(si.page_count),
+                static_cast<unsigned long long>(si.wal_base_lsn),
+                static_cast<unsigned long long>(si.durable_lsn));
   }
   // Exit codes mirror the health line so scripts can branch without
   // parsing: 0 healthy, 2 degraded (unreadable shards listed above).
@@ -356,9 +438,41 @@ int CmdStoreInfoSharded(const std::string& db) {
 int CmdStoreInfo(const Args& args) {
   const std::string db = args.Get("db");
   if (db.empty()) Die("storeinfo requires --db");
-  if (ShardedStore::IsShardedDir(db)) return CmdStoreInfoSharded(db);
+  const bool json = args.Has("json");
+  if (ShardedStore::IsShardedDir(db)) return CmdStoreInfoSharded(db, json);
   auto info = BmehStore::Inspect(db);
   if (!info.ok()) Die(info.status().ToString());
+  if (json) {
+    std::printf("{\"kind\":\"store\",\"page_size\":%d,\"format_version\":%d,"
+                "\"page_count\":%llu,\"live_pages\":%llu,\"generation\":%llu,"
+                "\"image_head\":%llu,\"wal_head\":%llu,\"wal_records\":%llu,"
+                "\"wal_pages\":%llu,\"wal_base_lsn\":%llu,"
+                "\"durable_lsn\":%llu,\"records\":%llu,\"free_pages\":%llu,"
+                "\"high_water_pages\":%llu,\"max_pages\":%llu,"
+                "\"reserved_pages\":%llu,\"alloc_failures\":%llu,"
+                "\"read_retries\":%llu,\"checksum_failures\":%llu,"
+                "\"pages_quarantined\":%llu}\n",
+                info->page_size, info->format_version,
+                static_cast<unsigned long long>(info->page_count),
+                static_cast<unsigned long long>(info->live_pages),
+                static_cast<unsigned long long>(info->generation),
+                static_cast<unsigned long long>(info->image_head),
+                static_cast<unsigned long long>(info->wal_head),
+                static_cast<unsigned long long>(info->wal_records),
+                static_cast<unsigned long long>(info->wal_pages),
+                static_cast<unsigned long long>(info->wal_base_lsn),
+                static_cast<unsigned long long>(info->durable_lsn),
+                static_cast<unsigned long long>(info->records),
+                static_cast<unsigned long long>(info->free_pages),
+                static_cast<unsigned long long>(info->high_water_pages),
+                static_cast<unsigned long long>(info->max_pages),
+                static_cast<unsigned long long>(info->reserved_pages),
+                static_cast<unsigned long long>(info->alloc_failures),
+                static_cast<unsigned long long>(info->read_retries),
+                static_cast<unsigned long long>(info->checksum_failures),
+                static_cast<unsigned long long>(info->pages_quarantined));
+    return 0;
+  }
   std::printf("page size:        %d (format v%d)\n", info->page_size,
               info->format_version);
   std::printf("pages in file:    %llu (%llu live after recovery)\n",
@@ -381,6 +495,9 @@ int CmdStoreInfo(const Args& args) {
                 static_cast<unsigned long long>(info->wal_pages),
                 static_cast<unsigned long long>(info->wal_head));
   }
+  std::printf("log sequence:     base %llu, durable %llu\n",
+              static_cast<unsigned long long>(info->wal_base_lsn),
+              static_cast<unsigned long long>(info->durable_lsn));
   std::printf("records:          %llu (checkpoint + replayed log)\n",
               static_cast<unsigned long long>(info->records));
   std::printf("integrity:        %llu read retries, %llu checksum failures, "
@@ -944,6 +1061,116 @@ int CmdFsck(const Args& args) {
   return 0;
 }
 
+/// backup --db SRC --out SETDIR [--base PREV] [--archive DIR]: online
+/// backup of a single-file or sharded store.  The source is opened
+/// read-only in effect — the close-time checkpoint is suppressed so a
+/// crash fixture's WAL survives the backup unchanged.
+int CmdBackup(const Args& args) {
+  const std::string db = args.Get("db");
+  const std::string out = args.Get("out");
+  if (db.empty()) Die("backup requires --db");
+  if (out.empty()) Die("backup requires --out");
+  BackupOptions bopts;
+  bopts.base_set = args.Get("base");
+  bopts.wal_archive_dir = args.Get("archive");
+  if (args.Has("incremental") && bopts.base_set.empty()) {
+    Die("--incremental requires --base PREV (the set to extend)");
+  }
+
+  if (ShardedStore::IsShardedDir(db)) {
+    ShardedStoreOptions options;
+    options.shards = 0;  // adopt the manifest
+    options.store = MakeStoreOptions(args);
+    options.store.wal_archive_dir = args.Get("archive");
+    // Partial policy: a down shard degrades the backup (recorded in the
+    // super-manifest) instead of refusing to back up its siblings.
+    options.open_policy = OpenPolicy::kPartial;
+    auto store = ShardedStore::Open(db, options);
+    if (!store.ok()) Die(store.status().ToString());
+    auto run = (*store)->Backup(out, bopts);
+    (*store)->SimulateCrashForTesting();  // keep the source untouched
+    if (!run.ok()) Die(run.status().ToString());
+    uint64_t high = 0;
+    for (uint64_t w : run->watermark) high = std::max(high, w);
+    std::printf("backed up %s into %s: %d shards (%d failed), "
+                "%llu payload bytes, watermark %llu\n",
+                db.c_str(), out.c_str(), run->shards, run->failed,
+                static_cast<unsigned long long>(run->bytes),
+                static_cast<unsigned long long>(high));
+    for (int s = 0; s < run->shards; ++s) {
+      if (!run->shard_status[s].ok()) {
+        std::printf("shard %-11d FAILED: %s\n", s,
+                    run->shard_status[s].ToString().c_str());
+      }
+    }
+    if (run->failed > 0) {
+      std::printf("backup set is PARTIAL (%d of %d shards)\n",
+                  run->shards - run->failed, run->shards);
+      return 2;
+    }
+    return 0;
+  }
+
+  StoreOptions options = MakeStoreOptions(args);
+  options.wal_archive_dir = args.Get("archive");
+  auto store = BmehStore::Open(db, options);
+  if (!store.ok()) Die(store.status().ToString());
+  auto run = BackupStore::Run(store->get(), out, bopts);
+  (*store)->SimulateCrashForTesting();  // keep the source untouched
+  if (!run.ok()) Die(run.status().ToString());
+  std::printf("backed up %s into %s: %s set, LSNs [%llu, %llu], "
+              "%llu payload bytes\n",
+              db.c_str(), out.c_str(),
+              run->incremental ? "incremental" : "full",
+              static_cast<unsigned long long>(run->base_lsn),
+              static_cast<unsigned long long>(run->watermark),
+              static_cast<unsigned long long>(run->bytes));
+  return 0;
+}
+
+/// restore --set SETDIR --db DEST [--to-lsn N]: point-in-time restore
+/// into a fresh store.  Corrupt, torn, or gapped sets are refused with
+/// exit 1 and nothing written at DEST.
+int CmdRestore(const Args& args) {
+  const std::string set = args.Get("set");
+  const std::string db = args.Get("db");
+  if (set.empty()) Die("restore requires --set");
+  if (db.empty()) Die("restore requires --db");
+  RestoreOptions ropts;
+  ropts.to_lsn = std::strtoull(args.Get("to-lsn", "0").c_str(), nullptr, 10);
+
+  if (ShardedStore::IsShardedBackupDir(set)) {
+    auto run = ShardedStore::Restore(set, db, ropts);
+    if (!run.ok()) Die(run.status().ToString());
+    std::printf("restored %s into %s: %d shards (%d failed)\n", set.c_str(),
+                db.c_str(), run->shards, run->failed);
+    for (int s = 0; s < run->shards; ++s) {
+      if (run->shard_status[s].ok()) {
+        std::printf("shard %-11d replayed to LSN %llu\n", s,
+                    static_cast<unsigned long long>(run->replay_lsn[s]));
+      } else {
+        std::printf("shard %-11d FAILED: %s\n", s,
+                    run->shard_status[s].ToString().c_str());
+      }
+    }
+    if (run->failed > 0) {
+      std::printf("restore is PARTIAL (%d of %d shards; the store opens "
+                  "degraded)\n",
+                  run->shards - run->failed, run->shards);
+      return 2;
+    }
+    return 0;
+  }
+
+  auto run = RestoreStore::Run(set, db, ropts);
+  if (!run.ok()) Die(run.status().ToString());
+  std::printf("restored %s into %s: replayed %llu records to LSN %llu\n",
+              set.c_str(), db.c_str(),
+              static_cast<unsigned long long>(run->records_replayed),
+              static_cast<unsigned long long>(run->replay_lsn));
+  return 0;
+}
+
 int CmdCorrupt(const Args& args) {
   const std::string db = args.Get("db");
   if (db.empty()) Die("corrupt requires --db");
@@ -1008,6 +1235,8 @@ int main(int argc, char** argv) {
   if (args.command == "dot") return CmdDot(args);
   if (args.command == "storeinfo") return CmdStoreInfo(args);
   if (args.command == "storebuild") return CmdStoreBuild(args);
+  if (args.command == "backup") return CmdBackup(args);
+  if (args.command == "restore") return CmdRestore(args);
   if (args.command == "scrub") return CmdScrub(args);
   if (args.command == "fsck") return CmdFsck(args);
   if (args.command == "corrupt") return CmdCorrupt(args);
