@@ -26,6 +26,17 @@ inline bool SmokeMode() {
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
+/// Resolves a BENCH_*.json artifact name against $BMEH_BENCH_OUT_DIR
+/// (unset or empty = the current directory), so CI can aim every bench
+/// at the repo root no matter which build tree it runs from.
+inline std::string BenchOutPath(const std::string& name) {
+  const char* dir = std::getenv("BMEH_BENCH_OUT_DIR");
+  if (dir == nullptr || dir[0] == '\0') return name;
+  std::string path = dir;
+  if (path.back() != '/') path += '/';
+  return path + name;
+}
+
 /// Writes an already-rendered JSON exposition to `path` — use this form
 /// when the exposition must be captured while sampled sources (page
 /// stores, buffer pools) are still alive and attached.

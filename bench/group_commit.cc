@@ -156,6 +156,7 @@ int main() {
   registry.GetGauge("group_commit_writers")->Set(kGroupWriters);
   registry.GetGauge("records_per_mode")->Set(static_cast<int64_t>(n));
 
-  bench::WriteBenchJson("BENCH_group_commit.json", registry);
+  bench::WriteBenchJson(bench::BenchOutPath("BENCH_group_commit.json"),
+                        registry);
   return 0;
 }

@@ -124,6 +124,7 @@ int main() {
     // this distribution's run (the last one written wins).
     exposition = registry.JsonExposition();
   }
-  bench::WriteBenchJson("BENCH_physical_io.json", exposition);
+  bench::WriteBenchJson(bench::BenchOutPath("BENCH_physical_io.json"),
+                        exposition);
   return 0;
 }

@@ -155,6 +155,7 @@ int main() {
   registry.GetGauge("records_per_run")
       ->Set(static_cast<int64_t>(per_writer * kWriters));
 
-  bench::WriteBenchJson("BENCH_shard_scaling.json", registry);
+  bench::WriteBenchJson(bench::BenchOutPath("BENCH_shard_scaling.json"),
+                        registry);
   return 0;
 }

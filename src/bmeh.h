@@ -31,7 +31,10 @@
 #include "src/mehtree/meh_tree.h"
 #include "src/metrics/experiment.h"
 #include "src/obs/metrics.h"
+#include "src/obs/obs_server.h"
+#include "src/obs/oplog.h"
 #include "src/obs/trace.h"
+#include "src/obs/watchdog.h"
 #include "src/pagestore/buffer_pool.h"
 #include "src/pagestore/page_store.h"
 #include "src/store/bmeh_store.h"

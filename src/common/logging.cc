@@ -1,12 +1,42 @@
 #include "src/common/logging.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace bmeh {
 
 namespace {
+
 LogLevel g_threshold = LogLevel::kWarning;
+
+/// Sink registration is mutex-guarded; emitters copy the shared_ptr under
+/// the lock and write outside it, so a sink swap never races a write.
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::shared_ptr<LogSink>& TextSinkSlot() {
+  static std::shared_ptr<LogSink> sink;
+  return sink;
+}
+
+std::shared_ptr<LogSink>& JsonSinkSlot() {
+  static std::shared_ptr<LogSink> sink;
+  return sink;
+}
+
+std::shared_ptr<LogSink> GetTextSink() {
+  std::lock_guard lock(SinkMutex());
+  return TextSinkSlot();
+}
+
+std::shared_ptr<LogSink> GetJsonSink() {
+  std::lock_guard lock(SinkMutex());
+  return JsonSinkSlot();
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -21,21 +51,133 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
 void SetLogThreshold(LogLevel level) { g_threshold = level; }
 LogLevel GetLogThreshold() { return g_threshold; }
 
+void SetTextLogSink(std::shared_ptr<LogSink> sink) {
+  std::lock_guard lock(SinkMutex());
+  TextSinkSlot() = std::move(sink);
+}
+
+void SetJsonLogSink(std::shared_ptr<LogSink> sink) {
+  std::lock_guard lock(SinkMutex());
+  JsonSinkSlot() = std::move(sink);
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FileLineSink
+// ---------------------------------------------------------------------------
+
+struct FileLineSink::Impl {
+  std::FILE* stream = nullptr;
+  bool owned = false;
+  std::mutex mu;
+  std::atomic<uint64_t> lines{0};
+};
+
+FileLineSink::FileLineSink(std::FILE* stream) : FileLineSink(stream, false) {}
+
+FileLineSink::FileLineSink(std::FILE* stream, bool owned)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->stream = stream;
+  impl_->owned = owned;
+}
+
+std::unique_ptr<FileLineSink> FileLineSink::OpenAppend(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return nullptr;
+  return std::unique_ptr<FileLineSink>(new FileLineSink(f, /*owned=*/true));
+}
+
+FileLineSink::~FileLineSink() {
+  if (impl_->owned && impl_->stream != nullptr) std::fclose(impl_->stream);
+}
+
+void FileLineSink::WriteLine(std::string_view line) {
+  // One buffer, one fwrite, under the sink mutex: concurrent writers can
+  // interleave lines but never the bytes inside one.
+  std::string buf;
+  buf.reserve(line.size() + 1);
+  buf.append(line.data(), line.size());
+  buf.push_back('\n');
+  std::lock_guard lock(impl_->mu);
+  std::fwrite(buf.data(), 1, buf.size(), impl_->stream);
+  std::fflush(impl_->stream);
+  impl_->lines.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t FileLineSink::lines_written() const {
+  return impl_->lines.load(std::memory_order_relaxed);
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
+    : level_(level), file_(file), line_(line) {
   stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) >= static_cast<int>(g_threshold)) {
+  if (static_cast<int>(level_) < static_cast<int>(g_threshold)) return;
+  if (auto text = GetTextSink(); text != nullptr) {
+    text->WriteLine(stream_.str());
+  } else {
     std::cerr << stream_.str() << std::endl;
+  }
+  if (auto json = GetJsonSink(); json != nullptr) {
+    // The text rendering carries a "[LEVEL file:line] " prefix; strip it
+    // so the JSON mirror holds the bare message.
+    std::string full = stream_.str();
+    const size_t bracket = full.find("] ");
+    const std::string msg =
+        bracket == std::string::npos ? full : full.substr(bracket + 2);
+    std::string line = "{\"level\":\"";
+    line += LevelName(level_);
+    line += "\",\"file\":\"";
+    line += JsonEscape(file_);
+    line += "\",\"line\":";
+    line += std::to_string(line_);
+    line += ",\"msg\":\"";
+    line += JsonEscape(msg);
+    line += "\"}";
+    json->WriteLine(line);
   }
 }
 

@@ -2,21 +2,76 @@
 //
 // BMEH_CHECK(cond)   — always-on invariant check; aborts with a message.
 // BMEH_DCHECK(cond)  — compiled out in NDEBUG builds.
-// BMEH_LOG(level)    — stream-style logging to stderr.
+// BMEH_LOG(level)    — stream-style logging to the text sink (stderr by
+//                      default), optionally mirrored as JSON lines.
+//
+// Sinks.  A LogSink consumes whole lines atomically: WriteLine() must
+// emit the line plus its terminator in one piece, so lines written from
+// different threads never interleave.  Two process-wide sinks exist:
+//
+//   * the text sink (default: stderr) receives the classic
+//     "[LEVEL file:line] msg" rendering of every emitted BMEH_LOG;
+//   * the optional JSON sink receives the same messages as one JSON
+//     object per line ({"level","file","line","msg"}) and is also the
+//     sink type the structured op-log (src/obs/oplog.h) writes through,
+//     so human logs and machine wide-events can share one file.
+//
+// Both sinks may be installed at once; each receives every line intact
+// (FileLineSink serializes WriteLine under its own mutex).
 
 #ifndef BMEH_COMMON_LOGGING_H_
 #define BMEH_COMMON_LOGGING_H_
 
+#include <cstdio>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace bmeh {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
+/// \brief A thread-safe consumer of whole log lines.  WriteLine must be
+/// atomic per call: concurrent writers may interleave *lines* but never
+/// the bytes within one line.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  /// \brief Emits `line` (no trailing newline) plus a newline, atomically.
+  virtual void WriteLine(std::string_view line) = 0;
+};
+
+/// \brief LogSink over a FILE*: one fwrite of line + '\n' per call under
+/// an internal mutex, flushed immediately so a crash loses no lines.
+class FileLineSink : public LogSink {
+ public:
+  /// \brief Wraps a stream the caller keeps open (e.g. stderr).
+  explicit FileLineSink(std::FILE* stream);
+  /// \brief Opens `path` for append; nullptr when the open fails.
+  static std::unique_ptr<FileLineSink> OpenAppend(const std::string& path);
+  ~FileLineSink() override;
+
+  void WriteLine(std::string_view line) override;
+
+  /// \brief Lines written so far (test/introspection; racy reads fine).
+  uint64_t lines_written() const;
+
+ private:
+  FileLineSink(std::FILE* stream, bool owned);
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// \brief Escapes `s` for embedding inside a JSON string literal:
+/// backslash, double quote and all control characters (\n, \t, \r
+/// natively, the rest as \u00XX).
+std::string JsonEscape(std::string_view s);
+
 namespace internal {
 
-/// Collects a message and emits it (to stderr) on destruction.
+/// Collects a message and emits it (to the installed sinks) on
+/// destruction.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -30,6 +85,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 
@@ -55,6 +112,14 @@ class FatalMessage {
 /// Defaults to kWarning so tests/benches stay quiet.
 void SetLogThreshold(LogLevel level);
 LogLevel GetLogThreshold();
+
+/// \brief Replaces the plain-text sink (nullptr restores stderr).
+void SetTextLogSink(std::shared_ptr<LogSink> sink);
+
+/// \brief Installs a JSON mirror: every emitted BMEH_LOG message is also
+/// written to `sink` as {"level":...,"file":...,"line":...,"msg":...}.
+/// nullptr (the default) disables the mirror.
+void SetJsonLogSink(std::shared_ptr<LogSink> sink);
 
 }  // namespace bmeh
 

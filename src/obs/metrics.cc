@@ -4,6 +4,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "src/common/logging.h"
+
 namespace bmeh {
 namespace obs {
 
@@ -117,33 +119,88 @@ RegistrySnapshot MetricsRegistry::Snapshot() const {
   return s;
 }
 
+std::string PromSanitizeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty()) out.push_back('_');
+  if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string PromEscapeHelp(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string PromEscapeLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size() + 8);
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
 namespace {
+
+/// # HELP / # TYPE preamble for one metric.  The help text carries the
+/// registered (pre-sanitization) name, escaped per the exposition format,
+/// so a name containing exotic characters round-trips through the help
+/// line even though the sample lines use the sanitized form.
+void AppendMeta(std::string* out, const std::string& san,
+                const std::string& original, const char* type) {
+  *out += "# HELP bmeh_" + san + " " + PromEscapeHelp(original) + "\n";
+  *out += "# TYPE bmeh_" + san + " ";
+  *out += type;
+  *out += "\n";
+}
 
 void AppendSummary(std::string* out, const std::string& name,
                    const HistogramSnapshot& h) {
+  const std::string san = PromSanitizeName(name);
+  AppendMeta(out, san, name, "summary");
   char buf[256];
-  std::snprintf(buf, sizeof(buf), "# TYPE bmeh_%s summary\n", name.c_str());
-  *out += buf;
   for (const auto& [label, q] :
        {std::pair<const char*, double>{"0.5", 0.5}, {"0.95", 0.95},
         {"0.99", 0.99}}) {
     std::snprintf(buf, sizeof(buf), "bmeh_%s{quantile=\"%s\"} %.0f\n",
-                  name.c_str(), label, h.Percentile(q));
+                  san.c_str(), PromEscapeLabel(label).c_str(),
+                  h.Percentile(q));
     *out += buf;
   }
   std::snprintf(buf, sizeof(buf),
                 "bmeh_%s_max %" PRIu64 "\nbmeh_%s_sum %" PRIu64
                 "\nbmeh_%s_count %" PRIu64 "\n",
-                name.c_str(), h.max, name.c_str(), h.sum, name.c_str(),
+                san.c_str(), h.max, san.c_str(), h.sum, san.c_str(),
                 h.count);
   *out += buf;
 }
 
 void AppendJsonEscaped(std::string* out, const std::string& s) {
-  for (char c : s) {
-    if (c == '"' || c == '\\') out->push_back('\\');
-    out->push_back(c);
-  }
+  *out += JsonEscape(s);
 }
 
 }  // namespace
@@ -153,15 +210,15 @@ std::string MetricsRegistry::TextExposition() const {
   std::string out;
   char buf[256];
   for (const auto& [name, v] : s.counters) {
-    std::snprintf(buf, sizeof(buf),
-                  "# TYPE bmeh_%s counter\nbmeh_%s %" PRIu64 "\n",
-                  name.c_str(), name.c_str(), v);
+    const std::string san = PromSanitizeName(name);
+    AppendMeta(&out, san, name, "counter");
+    std::snprintf(buf, sizeof(buf), "bmeh_%s %" PRIu64 "\n", san.c_str(), v);
     out += buf;
   }
   for (const auto& [name, v] : s.gauges) {
-    std::snprintf(buf, sizeof(buf),
-                  "# TYPE bmeh_%s gauge\nbmeh_%s %" PRId64 "\n", name.c_str(),
-                  name.c_str(), v);
+    const std::string san = PromSanitizeName(name);
+    AppendMeta(&out, san, name, "gauge");
+    std::snprintf(buf, sizeof(buf), "bmeh_%s %" PRId64 "\n", san.c_str(), v);
     out += buf;
   }
   for (const auto& [name, h] : s.histograms) AppendSummary(&out, name, h);

@@ -147,6 +147,20 @@ struct RegistrySnapshot {
   }
 };
 
+/// \brief Maps an arbitrary metric name onto the Prometheus exposition
+/// charset: [a-zA-Z0-9_:], anything else becomes '_', and a leading
+/// digit gains a '_' prefix.  The original name survives, escaped, in the
+/// metric's # HELP line — see PromEscapeHelp — so no information is lost.
+std::string PromSanitizeName(const std::string& name);
+
+/// \brief Escapes HELP text per the exposition format: backslash -> \\,
+/// newline -> \n.
+std::string PromEscapeHelp(const std::string& text);
+
+/// \brief Escapes a label value per the exposition format: backslash,
+/// newline and double quote.
+std::string PromEscapeLabel(const std::string& value);
+
 /// \brief Named registry of counters, gauges, histograms and sampled
 /// sources.  See the file comment for the concurrency contract.
 class MetricsRegistry {

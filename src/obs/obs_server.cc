@@ -1,0 +1,321 @@
+#include "src/obs/obs_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+
+#include "src/common/logging.h"
+
+namespace bmeh {
+namespace obs {
+
+namespace {
+
+/// Requests larger than this are refused — the plane serves 4 fixed GET
+/// endpoints; anything bigger is a client bug or abuse.
+constexpr size_t kMaxRequestBytes = 16 * 1024;
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string RenderHttp(const ObsServer::Response& r) {
+  std::string out = "HTTP/1.1 " + std::to_string(r.status) + " " +
+                    ReasonPhrase(r.status) + "\r\n";
+  out += "Content-Type: " + r.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(r.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += r.body;
+  return out;
+}
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+/// One client connection's buffered state.
+struct Conn {
+  std::string in;    ///< Request bytes read so far.
+  std::string out;   ///< Rendered response.
+  size_t off = 0;    ///< Bytes of `out` already written.
+  bool writing = false;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ObsServer>> ObsServer::Start(const Options& options) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.bind_addr.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::Invalid("bad bind address: " + options.bind_addr);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Errno("bind " + options.bind_addr + ":" +
+                      std::to_string(options.port));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 64) != 0) {
+    Status st = Errno("listen");
+    ::close(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status st = Errno("getsockname");
+    ::close(fd);
+    return st;
+  }
+  const int port = ntohs(addr.sin_port);
+
+  int pipefd[2];
+  if (::pipe2(pipefd, O_NONBLOCK | O_CLOEXEC) != 0) {
+    Status st = Errno("pipe2");
+    ::close(fd);
+    return st;
+  }
+  return std::unique_ptr<ObsServer>(
+      new ObsServer(options, fd, port, pipefd[0], pipefd[1]));
+}
+
+ObsServer::ObsServer(const Options& options, int listen_fd, int port,
+                     int wake_rd, int wake_wr)
+    : options_(options),
+      bind_addr_(options.bind_addr),
+      listen_fd_(listen_fd),
+      port_(port),
+      wake_rd_(wake_rd),
+      wake_wr_(wake_wr) {
+  if (options_.metrics != nullptr) {
+    requests_total_ = options_.metrics->GetCounter("obs_http_requests_total");
+    bad_requests_total_ =
+        options_.metrics->GetCounter("obs_http_bad_requests_total");
+  }
+  thread_ = std::thread([this] { Run(); });
+}
+
+ObsServer::~ObsServer() { Stop(); }
+
+void ObsServer::Stop() {
+  if (stopped_.exchange(true)) return;
+  stopping_.store(true, std::memory_order_release);
+  const char byte = 'q';
+  [[maybe_unused]] ssize_t n = ::write(wake_wr_, &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  ::close(wake_rd_);
+  ::close(wake_wr_);
+  listen_fd_ = wake_rd_ = wake_wr_ = -1;
+}
+
+ObsServer::Response ObsServer::Healthz() {
+  Response r;
+  r.body = "ok\n";
+  if (options_.healthz) r = options_.healthz();
+  if (options_.watchdog != nullptr && options_.watchdog->AnyStalled()) {
+    // The watchdog outranks the store handler: a stalled commit path is
+    // unavailability even while every shard file reads healthy.
+    r.status = 503;
+    std::string detail = "DEGRADED: stalled heartbeats:";
+    for (const std::string& n : options_.watchdog->StalledNames()) {
+      detail += " " + n;
+    }
+    r.body = detail + "\n" + r.body;
+  }
+  return r;
+}
+
+ObsServer::Response ObsServer::Statusz() {
+  if (options_.statusz) {
+    Response r = options_.statusz();
+    r.content_type = "application/json";
+    return r;
+  }
+  Response r;
+  r.content_type = "application/json";
+  r.body = std::string("{\"server\":\"bmeh-obs\",\"requests\":") +
+           std::to_string(requests_served()) + ",\"compiler\":\"" +
+           JsonEscape(__VERSION__) + "\"}\n";
+  return r;
+}
+
+ObsServer::Response ObsServer::Route(const std::string& path) {
+  if (path == "/metrics") {
+    if (options_.metrics == nullptr) {
+      return {404, "text/plain; charset=utf-8", "no metrics registry\n"};
+    }
+    return {200, "text/plain; version=0.0.4; charset=utf-8",
+            options_.metrics->TextExposition()};
+  }
+  if (path == "/healthz") return Healthz();
+  if (path == "/statusz") return Statusz();
+  if (path == "/tracez") {
+    if (options_.tracer == nullptr) {
+      return {404, "text/plain; charset=utf-8", "no tracer attached\n"};
+    }
+    return {200, "application/json", options_.tracer->ToChromeTraceJson()};
+  }
+  if (path == "/" || path.empty()) {
+    return {200, "text/plain; charset=utf-8",
+            "bmeh telemetry plane\n"
+            "  /metrics  Prometheus text exposition\n"
+            "  /healthz  health (200 ok / 503 degraded)\n"
+            "  /statusz  store status JSON\n"
+            "  /tracez   recent spans (Chrome trace JSON)\n"};
+  }
+  return {404, "text/plain; charset=utf-8", "not found\n"};
+}
+
+void ObsServer::Run() {
+  const int ep = ::epoll_create1(EPOLL_CLOEXEC);
+  if (ep < 0) {
+    BMEH_LOG(Error) << "obs server: epoll_create1: " << std::strerror(errno);
+    return;
+  }
+  auto add = [ep](int fd, uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    ::epoll_ctl(ep, EPOLL_CTL_ADD, fd, &ev);
+  };
+  auto mod = [ep](int fd, uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    ::epoll_ctl(ep, EPOLL_CTL_MOD, fd, &ev);
+  };
+  add(listen_fd_, EPOLLIN);
+  add(wake_rd_, EPOLLIN);
+
+  std::map<int, Conn> conns;
+  auto close_conn = [&](int fd) {
+    ::epoll_ctl(ep, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    conns.erase(fd);
+  };
+
+  epoll_event events[32];
+  bool running = true;
+  while (running) {
+    const int n = ::epoll_wait(ep, events, 32, 500);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      BMEH_LOG(Error) << "obs server: epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    if (stopping_.load(std::memory_order_acquire)) break;
+    for (int i = 0; i < n && running; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_rd_) {
+        running = false;
+        break;
+      }
+      if (fd == listen_fd_) {
+        for (;;) {
+          const int cfd = ::accept4(listen_fd_, nullptr, nullptr,
+                                    SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (cfd < 0) break;  // EAGAIN / transient — retry on next event
+          conns.emplace(cfd, Conn{});
+          add(cfd, EPOLLIN);
+        }
+        continue;
+      }
+      auto it = conns.find(fd);
+      if (it == conns.end()) continue;
+      Conn& conn = it->second;
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
+        close_conn(fd);
+        continue;
+      }
+      if (!conn.writing && (events[i].events & EPOLLIN) != 0) {
+        char buf[4096];
+        bool closed = false;
+        for (;;) {
+          const ssize_t r = ::read(fd, buf, sizeof(buf));
+          if (r > 0) {
+            conn.in.append(buf, static_cast<size_t>(r));
+            if (conn.in.size() > kMaxRequestBytes) break;
+            continue;
+          }
+          if (r == 0) closed = true;  // peer went away mid-request
+          break;                      // EAGAIN or EOF
+        }
+        const size_t header_end = conn.in.find("\r\n\r\n");
+        if (header_end == std::string::npos) {
+          if (closed || conn.in.size() > kMaxRequestBytes) close_conn(fd);
+          continue;  // keep reading
+        }
+        // Request line: METHOD SP PATH SP VERSION.
+        Response resp;
+        const size_t sp1 = conn.in.find(' ');
+        const size_t sp2 =
+            sp1 == std::string::npos ? sp1 : conn.in.find(' ', sp1 + 1);
+        if (sp1 == std::string::npos || sp2 == std::string::npos ||
+            sp2 > header_end) {
+          resp = {400, "text/plain; charset=utf-8", "malformed request\n"};
+          if (bad_requests_total_ != nullptr) bad_requests_total_->Inc();
+        } else if (conn.in.compare(0, sp1, "GET") != 0) {
+          resp = {405, "text/plain; charset=utf-8", "GET only\n"};
+          if (bad_requests_total_ != nullptr) bad_requests_total_->Inc();
+        } else {
+          std::string path = conn.in.substr(sp1 + 1, sp2 - sp1 - 1);
+          const size_t q = path.find('?');
+          if (q != std::string::npos) path.resize(q);
+          resp = Route(path);
+        }
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        if (requests_total_ != nullptr) requests_total_->Inc();
+        conn.out = RenderHttp(resp);
+        conn.writing = true;
+        mod(fd, EPOLLOUT);
+      }
+      if (conn.writing && (events[i].events & (EPOLLOUT | EPOLLIN)) != 0) {
+        while (conn.off < conn.out.size()) {
+          const ssize_t w = ::write(fd, conn.out.data() + conn.off,
+                                    conn.out.size() - conn.off);
+          if (w <= 0) break;  // EAGAIN: wait for the next EPOLLOUT
+          conn.off += static_cast<size_t>(w);
+        }
+        if (conn.off >= conn.out.size()) close_conn(fd);
+      }
+    }
+  }
+  // Drain the wake pipe and close every connection — half-read requests
+  // included; Connection: close semantics make this safe for clients.
+  char drain[16];
+  while (::read(wake_rd_, drain, sizeof(drain)) > 0) {
+  }
+  for (const auto& [fd, conn] : conns) ::close(fd);
+  ::close(ep);
+}
+
+}  // namespace obs
+}  // namespace bmeh

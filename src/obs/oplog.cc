@@ -1,0 +1,94 @@
+#include "src/obs/oplog.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "src/obs/stopwatch.h"
+
+namespace bmeh {
+namespace obs {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t WallClockNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+uint64_t NextTraceId() {
+  static std::atomic<uint64_t> seq{MonotonicNanos()};
+  uint64_t id;
+  do {
+    id = SplitMix64(seq.fetch_add(1, std::memory_order_relaxed));
+  } while (id == 0);  // 0 is the "uncorrelated" sentinel
+  return id;
+}
+
+OpLog::OpLog(std::shared_ptr<LogSink> sink, const Options& options)
+    : sink_(std::move(sink)), options_(options) {}
+
+std::string OpLog::Render(const WideEvent& ev, uint64_t ts_ns, bool slow) {
+  char buf[160];
+  std::string out;
+  out.reserve(256);
+  std::snprintf(buf, sizeof(buf),
+                "{\"ts_ns\":%" PRIu64 ",\"trace_id\":\"%016" PRIx64 "\"",
+                ts_ns, ev.trace_id);
+  out += buf;
+  out += ",\"op\":\"";
+  out += JsonEscape(ev.op);
+  out += "\",\"shard\":";
+  out += std::to_string(ev.shard);
+  out += ",\"status\":\"";
+  out += JsonEscape(ev.status);
+  std::snprintf(buf, sizeof(buf),
+                "\",\"latency_ns\":%" PRIu64 ",\"lsn\":%" PRIu64
+                ",\"retries\":%u,\"count\":%" PRIu64 ",\"slow\":%s",
+                ev.latency_ns, ev.lsn, ev.retries, ev.count,
+                slow ? "true" : "false");
+  out += buf;
+  if (!ev.detail.empty()) {
+    out += ",\"detail\":\"";
+    out += JsonEscape(ev.detail);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+void OpLog::Record(const WideEvent& ev) {
+  if (sink_ == nullptr) return;
+  const bool slow = IsSlow(ev);
+  const bool error = std::strcmp(ev.status, "OK") != 0;
+  if (!slow && !error && options_.sample_every > 1) {
+    const uint64_t n = seq_.fetch_add(1, std::memory_order_relaxed);
+    if (n % options_.sample_every != 0) {
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  sink_->WriteLine(Render(ev, WallClockNanos(), slow));
+  logged_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void OpLog::RecordAlways(const WideEvent& ev) {
+  if (sink_ == nullptr) return;
+  sink_->WriteLine(Render(ev, WallClockNanos(), IsSlow(ev)));
+  logged_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace bmeh

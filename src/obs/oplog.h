@@ -1,0 +1,112 @@
+// OpLog: structured wide-event logging for the store's operation path.
+//
+// One event per store operation, rendered as a single JSON line:
+//
+//   {"ts_ns":1754700000123456789,"trace_id":"5f2a...","op":"put",
+//    "shard":3,"status":"OK","latency_ns":18234,"lsn":412,"retries":0,
+//    "slow":false,"count":0}
+//
+// The trace_id is the correlation key of the whole telemetry plane: the
+// same 64-bit id is stamped on the op's tracer span (visible in the
+// /tracez dump) while the op's latency lands in the registry histograms,
+// so a single slow operation can be chased from a log line to its span
+// to the distribution it moved.
+//
+// Emission policy: errors and slow ops (latency >= slow_op_ns, the
+// "p99-ish budget") always log; OK-fast events are sampled 1-in-N
+// (sample_every) so the log stays proportional to trouble, not traffic.
+//
+// Thread safety: Record() is safe from any thread — policy state is
+// atomic and the sink (src/common/logging.h LogSink) serializes whole
+// lines.  Null-object contract: every instrumented layer takes an
+// `OpLog*` that may be null and guards each site with one branch.
+
+#ifndef BMEH_OBS_OPLOG_H_
+#define BMEH_OBS_OPLOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/logging.h"
+
+namespace bmeh {
+namespace obs {
+
+/// \brief Mints a process-unique nonzero correlation id (SplitMix64 over
+/// an atomic sequence seeded once from the monotonic clock).
+uint64_t NextTraceId();
+
+/// \brief One operation's worth of context, flattened.
+struct WideEvent {
+  uint64_t trace_id = 0;    ///< 0 = uncorrelated.
+  const char* op = "";      ///< Static string: "put", "get", "checkpoint"...
+  int shard = -1;           ///< -1 = unsharded / facade-level.
+  const char* status = "OK";  ///< StatusCodeName of the outcome.
+  uint64_t latency_ns = 0;
+  uint64_t lsn = 0;         ///< Assigned LSN (0 = none / unknown).
+  uint32_t retries = 0;     ///< Facade retry attempts consumed.
+  uint64_t count = 0;       ///< Batch size / records touched (0 = n/a).
+  std::string detail;       ///< Optional free text ("" = omitted).
+};
+
+/// \brief Sampled, slow-op-aware JSON-lines event writer.
+class OpLog {
+ public:
+  struct Options {
+    /// Log 1 in N OK-fast events (1 = log everything).
+    uint64_t sample_every = 1;
+    /// Always log events at/over this latency, flagged "slow":true
+    /// (0 disables the slow-op override).
+    uint64_t slow_op_ns = 10'000'000;  // 10 ms
+  };
+
+  /// \brief `sink` consumes one rendered line per logged event; it is
+  /// shared (logging's JSON sink type) so wide events and BMEH_LOG JSON
+  /// mirrors can interleave safely in one file.
+  OpLog(std::shared_ptr<LogSink> sink, const Options& options);
+  explicit OpLog(std::shared_ptr<LogSink> sink)
+      : OpLog(std::move(sink), Options()) {}
+
+  OpLog(const OpLog&) = delete;
+  OpLog& operator=(const OpLog&) = delete;
+
+  /// \brief Applies the emission policy, then renders and writes.
+  /// Errors and slow ops bypass sampling.
+  void Record(const WideEvent& ev);
+
+  /// \brief Bypasses sampling entirely (watchdog stalls, lifecycle
+  /// events) — the event always lands.
+  void RecordAlways(const WideEvent& ev);
+
+  /// \brief True when `ev` would be flagged slow under this log's budget.
+  bool IsSlow(const WideEvent& ev) const {
+    return options_.slow_op_ns > 0 && ev.latency_ns >= options_.slow_op_ns;
+  }
+
+  uint64_t events_logged() const {
+    return logged_.load(std::memory_order_relaxed);
+  }
+  uint64_t events_suppressed() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
+  const Options& options() const { return options_; }
+
+  /// \brief Renders one event as a JSON line (no trailing newline).
+  /// `ts_ns` is the wall-clock timestamp to stamp; exposed for tests.
+  static std::string Render(const WideEvent& ev, uint64_t ts_ns, bool slow);
+
+ private:
+  std::shared_ptr<LogSink> sink_;
+  const Options options_;
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> logged_{0};
+  std::atomic<uint64_t> suppressed_{0};
+};
+
+}  // namespace obs
+}  // namespace bmeh
+
+#endif  // BMEH_OBS_OPLOG_H_

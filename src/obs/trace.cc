@@ -27,7 +27,8 @@ Tracer::Tracer(size_t capacity) {
 }
 
 void Tracer::RecordComplete(const char* name, const char* category,
-                            uint64_t start_ns, uint64_t dur_ns) {
+                            uint64_t start_ns, uint64_t dur_ns,
+                            uint64_t trace_id) {
   const uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
   Slot& s = slots_[idx & mask_];
   // Invalidate first so a concurrent reader can never pair old fields
@@ -37,6 +38,7 @@ void Tracer::RecordComplete(const char* name, const char* category,
   s.category.store(category, std::memory_order_relaxed);
   s.start_ns.store(start_ns, std::memory_order_relaxed);
   s.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  s.trace_id.store(trace_id, std::memory_order_relaxed);
   s.tid.store(CurrentTid(), std::memory_order_relaxed);
   s.seq.store(idx + 1, std::memory_order_release);
 }
@@ -47,6 +49,7 @@ std::string Tracer::ToChromeTraceJson() const {
     const char* category;
     uint64_t start_ns;
     uint64_t dur_ns;
+    uint64_t trace_id;
     uint32_t tid;
   };
   std::vector<Event> events;
@@ -60,6 +63,7 @@ std::string Tracer::ToChromeTraceJson() const {
     e.category = s.category.load(std::memory_order_relaxed);
     e.start_ns = s.start_ns.load(std::memory_order_relaxed);
     e.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+    e.trace_id = s.trace_id.load(std::memory_order_relaxed);
     e.tid = s.tid.load(std::memory_order_relaxed);
     const uint64_t seq2 = s.seq.load(std::memory_order_acquire);
     if (seq1 != seq2 || e.name == nullptr) continue;  // torn by a writer
@@ -72,17 +76,28 @@ std::string Tracer::ToChromeTraceJson() const {
   const uint64_t base = events.empty() ? 0 : events.front().start_ns;
 
   std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
-  char buf[256];
+  char buf[384];
   bool first = true;
   for (const Event& e : events) {
     out += first ? "\n" : ",\n";
     first = false;
-    std::snprintf(buf, sizeof(buf),
-                  "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
-                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
-                  e.name, e.category,
-                  static_cast<double>(e.start_ns - base) / 1000.0,
-                  static_cast<double>(e.dur_ns) / 1000.0, e.tid);
+    if (e.trace_id != 0) {
+      std::snprintf(
+          buf, sizeof(buf),
+          "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+          "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u, "
+          "\"args\": {\"trace_id\": \"%016" PRIx64 "\"}}",
+          e.name, e.category,
+          static_cast<double>(e.start_ns - base) / 1000.0,
+          static_cast<double>(e.dur_ns) / 1000.0, e.tid, e.trace_id);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                    "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+                    e.name, e.category,
+                    static_cast<double>(e.start_ns - base) / 1000.0,
+                    static_cast<double>(e.dur_ns) / 1000.0, e.tid);
+    }
     out += buf;
   }
   out += "\n]}\n";

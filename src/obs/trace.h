@@ -42,10 +42,13 @@ class Tracer {
   Tracer& operator=(const Tracer&) = delete;
 
   /// \brief Records one completed span.  `name` and `category` must be
-  /// static strings.  Thread-safe, wait-free apart from the claim CAS-free
-  /// fetch_add.
+  /// static strings.  `trace_id` (0 = none) correlates the span with the
+  /// structured op-log and slow-op lines — the /tracez dump renders it as
+  /// a span argument.  Thread-safe, wait-free apart from the claim
+  /// CAS-free fetch_add.
   void RecordComplete(const char* name, const char* category,
-                      uint64_t start_ns, uint64_t dur_ns);
+                      uint64_t start_ns, uint64_t dur_ns,
+                      uint64_t trace_id = 0);
 
   /// \brief Spans ever recorded (including those since overwritten).
   uint64_t recorded() const {
@@ -71,6 +74,7 @@ class Tracer {
     std::atomic<const char*> category{nullptr};
     std::atomic<uint64_t> start_ns{0};
     std::atomic<uint64_t> dur_ns{0};
+    std::atomic<uint64_t> trace_id{0};
     std::atomic<uint32_t> tid{0};
   };
 
@@ -84,18 +88,24 @@ class Tracer {
 /// destruction.  Null tracer = no clock read, no recording.
 class TraceSpan {
  public:
-  TraceSpan(Tracer* tracer, const char* name, const char* category = "bmeh")
+  TraceSpan(Tracer* tracer, const char* name, const char* category = "bmeh",
+            uint64_t trace_id = 0)
       : tracer_(tracer),
         name_(name),
         category_(category),
+        trace_id_(trace_id),
         start_(tracer != nullptr ? MonotonicNanos() : 0) {}
 
   ~TraceSpan() {
     if (tracer_ != nullptr) {
       tracer_->RecordComplete(name_, category_, start_,
-                              MonotonicNanos() - start_);
+                              MonotonicNanos() - start_, trace_id_);
     }
   }
+
+  /// \brief Attaches an op-log correlation id after construction (the id
+  /// is often minted only once the op is known to be instrumented).
+  void set_trace_id(uint64_t trace_id) { trace_id_ = trace_id; }
 
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -104,6 +114,7 @@ class TraceSpan {
   Tracer* tracer_;
   const char* name_;
   const char* category_;
+  uint64_t trace_id_;
   uint64_t start_;
 };
 

@@ -1,0 +1,124 @@
+#include "src/obs/watchdog.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/logging.h"
+
+namespace bmeh {
+namespace obs {
+
+Watchdog::Watchdog(const Options& options) : options_(options) {
+  if (options_.metrics != nullptr) {
+    stalled_total_ = options_.metrics->GetCounter("store_stalled_total");
+  }
+  thread_ = std::thread([this] { Run(); });
+}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+Watchdog::Heartbeat* Watchdog::Register(const std::string& name,
+                                        uint64_t deadline_ms) {
+  BMEH_CHECK(deadline_ms > 0) << "heartbeat " << name << " needs a deadline";
+  auto hb = std::unique_ptr<Heartbeat>(
+      new Heartbeat(name, deadline_ms * 1'000'000ULL));
+  Heartbeat* out = hb.get();
+  std::lock_guard lock(mu_);
+  beats_.push_back(std::move(hb));
+  return out;
+}
+
+void Watchdog::Unregister(Heartbeat* hb) {
+  if (hb == nullptr) return;
+  std::lock_guard lock(mu_);
+  if (hb->stalled()) stalled_now_.fetch_sub(1, std::memory_order_acq_rel);
+  beats_.erase(std::remove_if(beats_.begin(), beats_.end(),
+                              [hb](const std::unique_ptr<Heartbeat>& b) {
+                                return b.get() == hb;
+                              }),
+               beats_.end());
+}
+
+std::vector<std::string> Watchdog::StalledNames() const {
+  std::vector<std::string> names;
+  std::lock_guard lock(mu_);
+  for (const auto& b : beats_) {
+    if (b->stalled()) names.push_back(b->name());
+  }
+  return names;
+}
+
+void Watchdog::Run() {
+  std::unique_lock lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock,
+                 std::chrono::milliseconds(options_.check_interval_ms));
+    if (stopping_) return;
+    lock.unlock();
+    Scan();
+    lock.lock();
+  }
+}
+
+void Watchdog::Scan() {
+  const uint64_t now = MonotonicNanos();
+  std::lock_guard lock(mu_);
+  for (const auto& b : beats_) {
+    if (!b->armed()) {
+      // A disarmed heartbeat contributes nothing; clear a leftover stall
+      // so a repaired-then-idle activity doesn't pin /healthz degraded.
+      if (b->stalled()) {
+        b->stalled_.store(false, std::memory_order_release);
+        stalled_now_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      continue;
+    }
+    const uint64_t last = b->last_beat_ns();
+    const uint64_t age = now > last ? now - last : 0;
+    const bool over = age > b->deadline_ns();
+    if (over && !b->stalled()) {
+      b->stalled_.store(true, std::memory_order_release);
+      stalled_now_.fetch_add(1, std::memory_order_acq_rel);
+      stalls_.fetch_add(1, std::memory_order_relaxed);
+      if (stalled_total_ != nullptr) stalled_total_->Inc();
+      if (options_.oplog != nullptr) {
+        WideEvent ev;
+        ev.trace_id = NextTraceId();
+        ev.op = "watchdog_stall";
+        ev.status = "Unavailable";
+        ev.latency_ns = age;
+        ev.detail = b->name() + " missed its " +
+                    std::to_string(b->deadline_ns() / 1'000'000) +
+                    "ms heartbeat deadline (last beat " +
+                    std::to_string(age / 1'000'000) + "ms ago)";
+        options_.oplog->RecordAlways(ev);
+      }
+      BMEH_LOG(Error) << "watchdog: " << b->name()
+                      << " stalled (last heartbeat "
+                      << age / 1'000'000 << "ms ago, deadline "
+                      << b->deadline_ns() / 1'000'000 << "ms)";
+    } else if (!over && b->stalled()) {
+      b->stalled_.store(false, std::memory_order_release);
+      stalled_now_.fetch_sub(1, std::memory_order_acq_rel);
+      if (options_.oplog != nullptr) {
+        WideEvent ev;
+        ev.trace_id = NextTraceId();
+        ev.op = "watchdog_recover";
+        ev.latency_ns = age;
+        ev.detail = b->name() + " resumed heartbeats";
+        options_.oplog->RecordAlways(ev);
+      }
+      BMEH_LOG(Warning) << "watchdog: " << b->name() << " recovered";
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace bmeh

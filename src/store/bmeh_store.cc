@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "src/common/crc32.h"
+#include "src/obs/stopwatch.h"
 #include "src/store/group_committer.h"
 
 namespace bmeh {
@@ -97,6 +98,63 @@ Status ApplyReplayed(BmehTree* tree, const Wal::LogRecord& rec) {
   return st;
 }
 
+/// One public operation's telemetry, measured once: the same duration (and
+/// the same freshly-minted trace_id) lands in the latency histogram, the
+/// tracer span and the wide event, so all three views of one slow Put are
+/// correlatable.  Destructor order inside an op body does the bookkeeping
+/// after the op's last exit path has set the status.
+class OpScope {
+ public:
+  OpScope(const char* op, obs::Histogram* hist, obs::Tracer* tracer,
+          obs::OpLog* oplog, int shard,
+          const std::atomic<uint64_t>* inject_delay_ns)
+      : hist_(hist),
+        oplog_(oplog),
+        inject_delay_ns_(inject_delay_ns),
+        start_ns_(obs::MonotonicNanos()),
+        span_(tracer, op, "store") {
+    ev_.op = op;
+    ev_.shard = shard;
+    if (oplog_ != nullptr || tracer != nullptr) {
+      ev_.trace_id = obs::NextTraceId();
+      span_.set_trace_id(ev_.trace_id);
+    }
+  }
+
+  ~OpScope() {
+    const uint64_t delay =
+        inject_delay_ns_->load(std::memory_order_relaxed);
+    if (delay > 0) {
+      // Testing hook: spin out the op so the oplog's slow-op override has
+      // something deterministic to flag.
+      const uint64_t until = obs::MonotonicNanos() + delay;
+      while (obs::MonotonicNanos() < until) {
+      }
+    }
+    const uint64_t dur = obs::MonotonicNanos() - start_ns_;
+    if (hist_ != nullptr) hist_->Record(dur);
+    if (oplog_ != nullptr) {
+      ev_.latency_ns = dur;
+      oplog_->Record(ev_);
+    }
+  }
+
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+  void set_status(const Status& st) { ev_.status = StatusCodeName(st.code()); }
+  void set_lsn(uint64_t lsn) { ev_.lsn = lsn; }
+  void set_count(uint64_t n) { ev_.count = n; }
+
+ private:
+  obs::Histogram* hist_;
+  obs::OpLog* oplog_;
+  const std::atomic<uint64_t>* inject_delay_ns_;
+  const uint64_t start_ns_;
+  obs::TraceSpan span_;
+  obs::WideEvent ev_;
+};
+
 }  // namespace
 
 BmehStore::BmehStore(std::unique_ptr<PageStore> store,
@@ -127,12 +185,32 @@ void BmehStore::StartGroupCommit(const StoreOptions& options) {
         ApplyBatchLocked(recs, results);
       });
   if (metrics_ != nullptr) committer_->AttachMetrics(metrics_);
+  if (watchdog_ != nullptr) {
+    committer_->AttachWatchdog(watchdog_,
+                               options.metrics_label + "group_commit",
+                               watchdog_deadline_ms_);
+  }
+}
+
+void BmehStore::FreezeCommitterForTesting(bool frozen) {
+  if (committer_ != nullptr) committer_->FreezeForTesting(frozen);
 }
 
 void BmehStore::AttachObservability(const StoreOptions& options) {
   tracer_ = options.tracer;
+  oplog_ = options.oplog;
+  watchdog_ = options.watchdog;
+  shard_index_ = options.shard_index;
+  watchdog_deadline_ms_ = options.watchdog_deadline_ms;
+  if (watchdog_ != nullptr) {
+    // Armed only around CheckpointLocked (a checkpoint is legally absent
+    // most of the time); the label keeps sibling shards distinguishable.
+    checkpoint_hb_ = watchdog_->Register(options.metrics_label + "checkpoint",
+                                         watchdog_deadline_ms_);
+  }
   if (options.metrics == nullptr) return;
   metrics_ = options.metrics;
+  writes_total_ = metrics_->GetCounter("store_writes_total");
   puts_total_ = metrics_->GetCounter("store_puts_total");
   gets_total_ = metrics_->GetCounter("store_gets_total");
   deletes_total_ = metrics_->GetCounter("store_deletes_total");
@@ -208,6 +286,8 @@ BmehStore::SampledState BmehStore::SampleStateForMetrics() const {
   st.wal_records = wal_->record_count();
   st.dirty_ops = dirty_ops_;
   st.generation = generation_;
+  st.wal_base_lsn = wal_->base_lsn();
+  st.durable_lsn = wal_->next_lsn() - 1;
   return st;
 }
 
@@ -222,6 +302,12 @@ BmehStore::~BmehStore() {
     }
   }
   if (metrics_ != nullptr) metrics_->RemoveSource(metrics_source_);
+  if (checkpoint_hb_ != nullptr) {
+    // After the final checkpoint above, so the checkpoint path stays
+    // monitored for the store's whole life.
+    watchdog_->Unregister(checkpoint_hb_);
+    checkpoint_hb_ = nullptr;
+  }
 }
 
 Status BmehStore::ReadSuperblock(PageId* head, uint64_t* generation,
@@ -585,9 +671,18 @@ Status BmehStore::ApplyBatchLocked(std::span<const Wal::LogRecord> recs,
 
 Status BmehStore::Write(const WriteBatch& batch,
                         std::vector<Status>* per_record) {
-  obs::TraceSpan span(tracer_, "write_batch", "store");
-  std::unique_lock<std::shared_mutex> lock(op_mutex_);
-  return ApplyBatchLocked(batch.records(), per_record);
+  if (writes_total_ != nullptr) writes_total_->Inc(batch.size());
+  OpScope op("write_batch", nullptr, tracer_, oplog_, shard_index_,
+             &inject_op_delay_ns_);
+  op.set_count(batch.size());
+  Status st = [&]() -> Status {
+    std::unique_lock<std::shared_mutex> lock(op_mutex_);
+    Status applied = ApplyBatchLocked(batch.records(), per_record);
+    op.set_lsn(wal_->next_lsn() - 1);
+    return applied;
+  }();
+  op.set_status(st);
+  return st;
 }
 
 Status BmehStore::InsertBatch(std::span<const Record> recs) {
@@ -604,69 +699,92 @@ Status BmehStore::DeleteBatch(std::span<const PseudoKey> keys) {
 
 Status BmehStore::Put(const PseudoKey& key, uint64_t payload) {
   if (puts_total_ != nullptr) puts_total_->Inc();
-  obs::ScopedLatency timer(insert_latency_);
-  obs::TraceSpan span(tracer_, "put", "store");
-  // The schema is immutable after open, so validating outside the lock is
-  // safe — and in group mode it fails malformed keys fast, before they
-  // occupy a queue slot.
-  BMEH_RETURN_NOT_OK(tree_->schema().Validate(key));
-  if (committer_ != nullptr) {
-    return committer_->Submit({Wal::kOpInsert, key, payload});
-  }
-  std::unique_lock<std::shared_mutex> lock(op_mutex_);
-  BMEH_RETURN_NOT_OK(poisoned_);
-  BMEH_RETURN_NOT_OK(LogMutation({Wal::kOpInsert, key, payload}));
-  BMEH_RETURN_NOT_OK(tree_->Insert(key, payload));
-  ++dirty_ops_;
-  return MaybeAutoCheckpointLocked();
+  if (writes_total_ != nullptr) writes_total_->Inc();
+  OpScope op("put", insert_latency_, tracer_, oplog_, shard_index_,
+             &inject_op_delay_ns_);
+  Status st = [&]() -> Status {
+    // The schema is immutable after open, so validating outside the lock
+    // is safe — and in group mode it fails malformed keys fast, before
+    // they occupy a queue slot.
+    BMEH_RETURN_NOT_OK(tree_->schema().Validate(key));
+    if (committer_ != nullptr) {
+      // Group path: the LSN is assigned on the commit thread; the wide
+      // event keeps lsn 0 rather than racing for it.
+      return committer_->Submit({Wal::kOpInsert, key, payload});
+    }
+    std::unique_lock<std::shared_mutex> lock(op_mutex_);
+    BMEH_RETURN_NOT_OK(poisoned_);
+    BMEH_RETURN_NOT_OK(LogMutation({Wal::kOpInsert, key, payload}));
+    op.set_lsn(wal_->next_lsn() - 1);
+    BMEH_RETURN_NOT_OK(tree_->Insert(key, payload));
+    ++dirty_ops_;
+    return MaybeAutoCheckpointLocked();
+  }();
+  op.set_status(st);
+  return st;
 }
 
 Result<uint64_t> BmehStore::Get(const PseudoKey& key) {
   if (gets_total_ != nullptr) gets_total_->Inc();
-  obs::ScopedLatency timer(search_latency_);
-  obs::TraceSpan span(tracer_, "get", "store");
-  std::shared_lock<std::shared_mutex> lock(op_mutex_);
-  auto res = tree_->Search(key);
-  if (!res.ok() && res.status().IsKeyError() &&
-      (report_.image_lost || report_.wal_data_loss)) {
-    // When a whole image or a WAL suffix is gone, *any* absent key may
-    // merely be lost — "not found" would be a silent wrong answer.
-    return Status::DataLoss("key " + key.ToString() +
-                            " not found, but the store lost data to "
-                            "corruption; absence is not trustworthy");
-  }
+  OpScope op("get", search_latency_, tracer_, oplog_, shard_index_,
+             &inject_op_delay_ns_);
+  Result<uint64_t> res = [&]() -> Result<uint64_t> {
+    std::shared_lock<std::shared_mutex> lock(op_mutex_);
+    auto found = tree_->Search(key);
+    if (!found.ok() && found.status().IsKeyError() &&
+        (report_.image_lost || report_.wal_data_loss)) {
+      // When a whole image or a WAL suffix is gone, *any* absent key may
+      // merely be lost — "not found" would be a silent wrong answer.
+      return Status::DataLoss("key " + key.ToString() +
+                              " not found, but the store lost data to "
+                              "corruption; absence is not trustworthy");
+    }
+    return found;
+  }();
+  op.set_status(res.status());
   return res;
 }
 
 Status BmehStore::Delete(const PseudoKey& key) {
   if (deletes_total_ != nullptr) deletes_total_->Inc();
-  obs::ScopedLatency timer(delete_latency_);
-  obs::TraceSpan span(tracer_, "delete", "store");
-  BMEH_RETURN_NOT_OK(tree_->schema().Validate(key));
-  if (committer_ != nullptr) {
-    return committer_->Submit({Wal::kOpDelete, key, 0});
-  }
-  std::unique_lock<std::shared_mutex> lock(op_mutex_);
-  BMEH_RETURN_NOT_OK(poisoned_);
-  BMEH_RETURN_NOT_OK(LogMutation({Wal::kOpDelete, key, 0}));
-  BMEH_RETURN_NOT_OK(tree_->Delete(key));
-  ++dirty_ops_;
-  return MaybeAutoCheckpointLocked();
+  if (writes_total_ != nullptr) writes_total_->Inc();
+  OpScope op("delete", delete_latency_, tracer_, oplog_, shard_index_,
+             &inject_op_delay_ns_);
+  Status st = [&]() -> Status {
+    BMEH_RETURN_NOT_OK(tree_->schema().Validate(key));
+    if (committer_ != nullptr) {
+      return committer_->Submit({Wal::kOpDelete, key, 0});
+    }
+    std::unique_lock<std::shared_mutex> lock(op_mutex_);
+    BMEH_RETURN_NOT_OK(poisoned_);
+    BMEH_RETURN_NOT_OK(LogMutation({Wal::kOpDelete, key, 0}));
+    op.set_lsn(wal_->next_lsn() - 1);
+    BMEH_RETURN_NOT_OK(tree_->Delete(key));
+    ++dirty_ops_;
+    return MaybeAutoCheckpointLocked();
+  }();
+  op.set_status(st);
+  return st;
 }
 
 Status BmehStore::Range(const RangePredicate& pred,
                         std::vector<Record>* out) {
   if (ranges_total_ != nullptr) ranges_total_->Inc();
-  obs::ScopedLatency timer(range_latency_);
-  obs::TraceSpan span(tracer_, "range", "store");
-  std::shared_lock<std::shared_mutex> lock(op_mutex_);
-  Status st = tree_->RangeSearch(pred, out);
-  if (st.ok() && (report_.image_lost || report_.wal_data_loss)) {
-    // The surviving matches are in `out`, but records destroyed with the
-    // image / WAL suffix can no longer be enumerated.
-    return Status::DataLoss(
-        "range result is partial: the store lost data to corruption");
-  }
+  OpScope op("range", range_latency_, tracer_, oplog_, shard_index_,
+             &inject_op_delay_ns_);
+  Status st = [&]() -> Status {
+    std::shared_lock<std::shared_mutex> lock(op_mutex_);
+    Status walked = tree_->RangeSearch(pred, out);
+    if (walked.ok() && (report_.image_lost || report_.wal_data_loss)) {
+      // The surviving matches are in `out`, but records destroyed with
+      // the image / WAL suffix can no longer be enumerated.
+      return Status::DataLoss(
+          "range result is partial: the store lost data to corruption");
+    }
+    return walked;
+  }();
+  if (out != nullptr) op.set_count(out->size());
+  op.set_status(st);
   return st;
 }
 
@@ -694,8 +812,18 @@ Status BmehStore::Checkpoint() {
 
 Status BmehStore::CheckpointLocked() {
   if (checkpoints_total_ != nullptr) checkpoints_total_->Inc();
-  obs::ScopedLatency timer(checkpoint_latency_);
-  obs::TraceSpan span(tracer_, "checkpoint", "store");
+  OpScope op("checkpoint", checkpoint_latency_, tracer_, oplog_,
+             shard_index_, &inject_op_delay_ns_);
+  // Armed only for the checkpoint's duration: a checkpoint stuck in an
+  // image write or the publish fsync becomes a watchdog stall.
+  obs::Watchdog::ArmedScope armed(checkpoint_hb_);
+  Status st = CheckpointArmedLocked();
+  op.set_lsn(wal_->next_lsn() - 1);
+  op.set_status(st);
+  return st;
+}
+
+Status BmehStore::CheckpointArmedLocked() {
   BMEH_RETURN_NOT_OK(poisoned_);
   if (degraded()) {
     // A checkpoint of the degraded state would replace the still-

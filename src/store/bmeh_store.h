@@ -45,6 +45,7 @@
 #ifndef BMEH_STORE_BMEH_STORE_H_
 #define BMEH_STORE_BMEH_STORE_H_
 
+#include <atomic>
 #include <memory>
 #include <shared_mutex>
 #include <span>
@@ -52,7 +53,9 @@
 #include <vector>
 
 #include "src/core/bmeh_tree.h"
+#include "src/obs/oplog.h"
 #include "src/obs/trace.h"
+#include "src/obs/watchdog.h"
 #include "src/pagestore/page_store.h"
 #include "src/store/wal.h"
 
@@ -120,6 +123,21 @@ struct StoreOptions {
   /// other.  Shared Counter / Histogram handles are never prefixed — they
   /// are single objects that aggregate across stores by construction.
   std::string metrics_label;
+  /// Wide-event operation log (optional; must outlive the store).  Every
+  /// public operation emits one correlated JSON line — trace_id, op,
+  /// shard, status, latency, LSN — subject to the log's sampling policy.
+  /// Null (the default) costs one branch per op.
+  obs::OpLog* oplog = nullptr;
+  /// Commit-path stall watchdog (optional; must outlive the store).  The
+  /// group-commit thread registers a heartbeat named
+  /// "<metrics_label>group_commit" and the checkpoint path arms
+  /// "<metrics_label>checkpoint" around each image write, so a stuck
+  /// fsync flips /healthz degraded instead of hanging silently.
+  obs::Watchdog* watchdog = nullptr;
+  /// Heartbeat deadline for the watchdog registrations above.
+  uint64_t watchdog_deadline_ms = 5000;
+  /// Shard ordinal stamped on this store's wide events (-1 = unsharded).
+  int shard_index = -1;
   /// WAL archiving: when non-empty, every checkpoint first seals the
   /// records it is about to truncate into a CRC-sealed segment file
   /// (`wal-<lo_lsn>.seg`) in this directory, written before the publish
@@ -353,6 +371,8 @@ class BmehStore {
     uint64_t wal_records = 0;
     uint64_t dirty_ops = 0;
     uint64_t generation = 0;
+    uint64_t wal_base_lsn = 1;
+    uint64_t durable_lsn = 0;
   };
   SampledState SampleStateForMetrics() const;
 
@@ -370,6 +390,18 @@ class BmehStore {
   void SimulateCrashForTesting() {
     poisoned_ = Status::IoError("simulated crash");
   }
+
+  /// \brief Testing hook: spins for `ns` inside every subsequent public
+  /// operation (after the real work, inside its latency measurement) so
+  /// the oplog's slow-op override can be exercised deterministically.
+  void InjectOpDelayForTesting(uint64_t ns) {
+    inject_op_delay_ns_.store(ns, std::memory_order_relaxed);
+  }
+
+  /// \brief Testing hook: freezes / thaws the group-commit thread (no-op
+  /// without one) — the thread stops beating its watchdog heartbeat and
+  /// stops draining submissions, simulating a stuck fsync.
+  void FreezeCommitterForTesting(bool frozen);
 
  private:
   BmehStore(std::unique_ptr<PageStore> store, std::unique_ptr<BmehTree> tree,
@@ -408,6 +440,9 @@ class BmehStore {
   /// Starts the group-commit thread when the options ask for it.
   void StartGroupCommit(const StoreOptions& options);
   Status CheckpointLocked();
+  /// CheckpointLocked's body, run with the checkpoint heartbeat armed and
+  /// the telemetry scope open.
+  Status CheckpointArmedLocked();
   Status MaybeAutoCheckpointLocked();
 
   /// Operation lock.  Without group commit the store stays
@@ -450,7 +485,15 @@ class BmehStore {
   /// every other BmehStore call.
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  obs::OpLog* oplog_ = nullptr;
+  obs::Watchdog* watchdog_ = nullptr;
+  /// Checkpoint-path heartbeat: armed only while CheckpointLocked runs.
+  obs::Watchdog::Heartbeat* checkpoint_hb_ = nullptr;
+  int shard_index_ = -1;
+  uint64_t watchdog_deadline_ms_ = 5000;
+  std::atomic<uint64_t> inject_op_delay_ns_{0};
   uint64_t metrics_source_ = 0;
+  obs::Counter* writes_total_ = nullptr;
   obs::Counter* puts_total_ = nullptr;
   obs::Counter* gets_total_ = nullptr;
   obs::Counter* deletes_total_ = nullptr;

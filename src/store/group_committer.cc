@@ -25,6 +25,31 @@ void GroupCommitter::AttachMetrics(obs::MetricsRegistry* registry) {
   wait_ns_ = registry->GetHistogram("group_commit_wait_ns");
 }
 
+void GroupCommitter::AttachWatchdog(obs::Watchdog* watchdog,
+                                    const std::string& name,
+                                    uint64_t deadline_ms) {
+  if (watchdog == nullptr) return;
+  BMEH_CHECK(watchdog_ == nullptr);
+  watchdog_ = watchdog;
+  obs::Watchdog::Heartbeat* hb = watchdog->Register(name, deadline_ms);
+  hb->Arm();
+  // Beat a few times per deadline while idle; the interval is read
+  // relaxed after the acquire load of heartbeat_ publishes it.
+  beat_interval_ms_.store(std::max<uint64_t>(1, deadline_ms / 4),
+                          std::memory_order_relaxed);
+  heartbeat_.store(hb, std::memory_order_release);
+  // Kick the loop out of any indefinite wait so it switches to bounded,
+  // beating waits.
+  std::lock_guard<std::mutex> lock(mutex_);
+  work_cv_.notify_all();
+}
+
+void GroupCommitter::FreezeForTesting(bool frozen) {
+  frozen_.store(frozen, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mutex_);
+  work_cv_.notify_all();
+}
+
 Status GroupCommitter::Submit(const Wal::LogRecord& rec) {
   const uint64_t start =
       wait_ns_ != nullptr ? obs::MonotonicNanos() : 0;
@@ -56,12 +81,44 @@ void GroupCommitter::Stop() {
     work_cv_.notify_all();
   }
   if (thread_.joinable()) thread_.join();
+  // The thread is gone; nothing beats the heartbeat anymore, so take it
+  // out of the watchdog's scan before it reads as a stall.
+  obs::Watchdog::Heartbeat* hb =
+      heartbeat_.exchange(nullptr, std::memory_order_acq_rel);
+  if (hb != nullptr) watchdog_->Unregister(hb);
 }
 
 void GroupCommitter::Run() {
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
-    work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    // A freeze simulates a hung fsync: no draining, no beating.  Stop()
+    // overrides it so teardown (which must drain the queue) never hangs.
+    if (frozen_.load(std::memory_order_acquire) && !stopping_) {
+      lock.unlock();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      lock.lock();
+      continue;
+    }
+    obs::Watchdog::Heartbeat* hb = heartbeat_.load(std::memory_order_acquire);
+    if (hb != nullptr) hb->Beat();
+    // `ready` also fires when a heartbeat is (re)published so an idle
+    // indefinite wait upgrades to the bounded, beating wait below.
+    const auto ready = [this, hb] {
+      return stopping_ || !queue_.empty() ||
+             frozen_.load(std::memory_order_acquire) ||
+             heartbeat_.load(std::memory_order_acquire) != hb;
+    };
+    if (hb == nullptr) {
+      work_cv_.wait(lock, ready);
+    } else {
+      // Bounded wait so the heartbeat keeps beating while idle.
+      work_cv_.wait_for(
+          lock,
+          std::chrono::milliseconds(
+              beat_interval_ms_.load(std::memory_order_relaxed)),
+          ready);
+    }
+    if (frozen_.load(std::memory_order_acquire) && !stopping_) continue;
     if (queue_.empty()) {
       if (stopping_) return;
       continue;

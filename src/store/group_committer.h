@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/obs/watchdog.h"
 #include "src/store/wal.h"
 
 namespace bmeh {
@@ -80,6 +81,19 @@ class GroupCommitter {
   /// `group_commit_refused_total`.  Call before the first Submit().
   void AttachMetrics(obs::MetricsRegistry* registry);
 
+  /// \brief Registers (and arms) a heartbeat named `name` on `watchdog`
+  /// that the commit thread beats every loop iteration — idle included,
+  /// via bounded waits — so a commit thread stuck inside an fsync (or
+  /// frozen, below) is raised as a stall within `deadline_ms`.
+  /// Unregistered by Stop().  Call once, before heavy traffic.
+  void AttachWatchdog(obs::Watchdog* watchdog, const std::string& name,
+                      uint64_t deadline_ms);
+
+  /// \brief Testing hook: while frozen the commit thread neither drains
+  /// submissions nor beats its heartbeat — a deterministic stand-in for a
+  /// hung fsync.  Stop() overrides a freeze so teardown never hangs.
+  void FreezeForTesting(bool frozen);
+
   // Test/introspection counters (racy reads are fine: monotone).
   uint64_t batches_committed() const {
     return batches_.load(std::memory_order_relaxed);
@@ -119,6 +133,13 @@ class GroupCommitter {
   obs::Counter* group_commits_total_ = nullptr;
   obs::Counter* refused_total_ = nullptr;
   obs::Histogram* wait_ns_ = nullptr;
+
+  /// Watchdog wiring (atomics: the commit thread is already running when
+  /// AttachWatchdog publishes the heartbeat).
+  obs::Watchdog* watchdog_ = nullptr;
+  std::atomic<obs::Watchdog::Heartbeat*> heartbeat_{nullptr};
+  std::atomic<uint64_t> beat_interval_ms_{1000};
+  std::atomic<bool> frozen_{false};
 };
 
 }  // namespace bmeh

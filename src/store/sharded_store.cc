@@ -262,7 +262,10 @@ ShardedStore::ShardedStore(std::vector<std::unique_ptr<StorageUnit>> units,
       shard_bits_(shard_bits),
       schema_(options.store.schema),
       retry_(options.retry),
-      tracer_(options.store.tracer) {
+      tracer_(options.store.tracer),
+      oplog_(options.store.oplog),
+      watchdog_(options.store.watchdog),
+      watchdog_deadline_ms_(options.store.watchdog_deadline_ms) {
   if (options.store.metrics == nullptr) return;
   metrics_ = options.store.metrics;
   retries_total_ = metrics_->GetCounter("store_shard_retries_total");
@@ -503,6 +506,8 @@ uint64_t ShardedStore::NextRetrySeed(int s) {
 Status ShardedStore::RunWithRetry(int s,
                                   const std::function<Status(BmehStore*)>& op) {
   Backoff backoff(retry_, NextRetrySeed(s));
+  uint32_t retries = 0;
+  uint64_t backoff_total_ns = 0;
   for (;;) {
     Status st;
     {
@@ -518,13 +523,29 @@ Status ShardedStore::RunWithRetry(int s,
     }
     // The Ref (and its shared lock) is released before any sleep: a
     // repair must never wait on a sleeping retrier.
-    if (!backoff.ShouldRetry(st)) return st;
+    if (!backoff.ShouldRetry(st)) {
+      if (retries > 0 && oplog_ != nullptr) {
+        // One wide event for the whole retry episode — how many attempts
+        // the op consumed and what it ultimately resolved to.
+        obs::WideEvent ev;
+        ev.trace_id = obs::NextTraceId();
+        ev.op = "shard_retry";
+        ev.shard = s;
+        ev.status = StatusCodeName(st.code());
+        ev.retries = retries;
+        ev.latency_ns = backoff_total_ns;
+        oplog_->Record(ev);
+      }
+      return st;
+    }
     const uint64_t delay_us = backoff.NextDelayUs();
+    ++retries;
     if (retries_total_ != nullptr) retries_total_->Inc();
     {
       obs::TraceSpan span(tracer_, "shard_retry_backoff", "store");
       SleepUs(delay_us);
     }
+    backoff_total_ns += delay_us * 1000;
     if (backoff_ns_ != nullptr) backoff_ns_->Record(delay_us * 1000);
   }
 }
@@ -1095,8 +1116,31 @@ Status ShardedStore::RepairShard(int i, ShardRepairReport* report) {
     return Status::Invalid("shard index out of range: " + std::to_string(i));
   }
   obs::TraceSpan span(tracer_, "shard_repair", "store");
-  const Status st = units_[i]->Repair(report);
+  // A repair is a bounded foreground activity: register a transient
+  // heartbeat for its duration so a repair stuck inside scrub/salvage is
+  // raised as a stall instead of hanging the operator silently.
+  obs::Watchdog::Heartbeat* hb =
+      watchdog_ != nullptr
+          ? watchdog_->Register("shard" + std::to_string(i) + "_repair",
+                                watchdog_deadline_ms_)
+          : nullptr;
+  const uint64_t start_ns = obs::MonotonicNanos();
+  Status st;
+  {
+    obs::Watchdog::ArmedScope armed(hb);
+    st = units_[i]->Repair(report);
+  }
+  if (hb != nullptr) watchdog_->Unregister(hb);
   if (st.ok() && repairs_total_ != nullptr) repairs_total_->Inc();
+  if (oplog_ != nullptr) {
+    obs::WideEvent ev;
+    ev.trace_id = obs::NextTraceId();
+    ev.op = "shard_repair";
+    ev.shard = i;
+    ev.status = StatusCodeName(st.code());
+    ev.latency_ns = obs::MonotonicNanos() - start_ns;
+    oplog_->RecordAlways(ev);
+  }
   return st;
 }
 
@@ -1115,6 +1159,15 @@ Status ShardedStore::BringDownShard(int i) {
   }
   units_[i]->BringDown(
       Status::Unavailable("shard " + std::to_string(i) + " brought down"));
+  if (oplog_ != nullptr) {
+    obs::WideEvent ev;
+    ev.trace_id = obs::NextTraceId();
+    ev.op = "shard_down";
+    ev.shard = i;
+    ev.status = "Unavailable";
+    ev.detail = "shard brought down (operator / chaos)";
+    oplog_->RecordAlways(ev);
+  }
   return Status::OK();
 }
 

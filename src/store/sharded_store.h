@@ -376,6 +376,13 @@ class ShardedStore {
   KeySchema schema_;
   BackoffPolicy retry_;
   obs::Tracer* tracer_ = nullptr;
+  /// Facade-level wide events: "shard_retry" (an op needed the backoff
+  /// loop) and "shard_repair" / "shard_down" lifecycle markers.
+  obs::OpLog* oplog_ = nullptr;
+  /// Repair runs register a transient per-repair heartbeat here so a
+  /// repair stuck in scrub/salvage raises a stall.
+  obs::Watchdog* watchdog_ = nullptr;
+  uint64_t watchdog_deadline_ms_ = 5000;
   /// Aggregate sampled source (tree records / WAL depth summed across
   /// shards under the unlabeled names a single store would publish).
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -34,6 +34,7 @@ Result<std::unique_ptr<StorageUnit>> StorageUnit::Open(
     int shard_index, const std::string& path, const StoreOptions& options) {
   StoreOptions unit_options = options;
   unit_options.metrics_label = MetricsLabel(shard_index);
+  unit_options.shard_index = shard_index;
   if (!unit_options.wal_archive_dir.empty()) {
     unit_options.wal_archive_dir =
         ShardArchiveDir(unit_options.wal_archive_dir, shard_index);
@@ -48,6 +49,7 @@ Result<std::unique_ptr<StorageUnit>> StorageUnit::Open(
     const StoreOptions& options) {
   StoreOptions unit_options = options;
   unit_options.metrics_label = MetricsLabel(shard_index);
+  unit_options.shard_index = shard_index;
   if (!unit_options.wal_archive_dir.empty()) {
     unit_options.wal_archive_dir =
         ShardArchiveDir(unit_options.wal_archive_dir, shard_index);

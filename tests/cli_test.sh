@@ -429,4 +429,115 @@ set -e
 echo "$OUT" | grep -q '"healthy":false' || fail "restored degraded json flag"
 echo "$OUT" | grep -q '"ok":false' || fail "restored down shard not in json"
 
+# ---- serve: the live telemetry plane over HTTP ----
+
+SERVEDIR="$(mktemp -u /tmp/bmeh_cli_test.XXXXXX.servedir)"
+SERVELOG="$(mktemp -u /tmp/bmeh_cli_test.XXXXXX.servelog)"
+SERVEBODY="$(mktemp -u /tmp/bmeh_cli_test.XXXXXX.servebody)"
+OPLOG="$(mktemp -u /tmp/bmeh_cli_test.XXXXXX.oplog)"
+SERVE_PID=""
+trap 'rm -f "$DB" "$STORE" "$REPAIRED" "$QUOTA" "$TRACE" "$BDB" "$BREST" "$BPITR" "$SERVELOG" "$SERVEBODY" "$OPLOG"; rm -rf "$SHARDDIR" "$SHARDFIX" "$DEGDIR" "$BSET" "$SHSET" "$SHREST" "$SERVEDIR"; [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2> /dev/null; true' EXIT
+
+# Fetches http://127.0.0.1:$1$2 into $3 and echoes the status code.
+http_get() {
+  if command -v curl > /dev/null 2>&1; then
+    curl -s -o "$3" -w "%{http_code}" "http://127.0.0.1:$1$2"
+  else
+    python3 -c '
+import sys, urllib.request
+port, path, out = sys.argv[1:4]
+try:
+    r = urllib.request.urlopen("http://127.0.0.1:%s%s" % (port, path))
+    body, code = r.read(), r.getcode()
+except urllib.error.HTTPError as e:
+    body, code = e.read(), e.code
+open(out, "wb").write(body)
+print(code, end="")
+' "$1" "$2" "$3"
+  fi
+}
+
+# Starts `serve` on $1 (extra flags in $2...), waits for the serving line,
+# sets SERVE_PID and SERVE_PORT.
+start_serve() {
+  : > "$SERVELOG"
+  "$CLI" serve --db "$@" --b 8 --page-size 512 > "$SERVELOG" 2>&1 &
+  SERVE_PID=$!
+  i=0
+  while [ $i -lt 100 ]; do
+    SERVE_PORT=$(sed -n 's/^serving on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$SERVELOG")
+    [ -n "$SERVE_PORT" ] && return 0
+    kill -0 "$SERVE_PID" 2> /dev/null || { cat "$SERVELOG" >&2; fail "serve died at startup"; }
+    sleep 0.1
+    i=$((i + 1))
+  done
+  fail "serve never printed its port"
+}
+
+# Healthy sharded store: every endpoint answers, /healthz is 200.
+rm -rf "$SERVEDIR"
+"$CLI" storebuild --db "$SERVEDIR" --shards 4 --n 400 --b 8 \
+      --page-size 512 --seed 11 > /dev/null || fail "serve-fixture storebuild"
+start_serve "$SERVEDIR" --probe-ops 10 --oplog "$OPLOG"
+
+CODE=$(http_get "$SERVE_PORT" /healthz "$SERVEBODY")
+[ "$CODE" = "200" ] || fail "healthy /healthz should be 200, got $CODE"
+grep -q "ok" "$SERVEBODY" || fail "healthy /healthz body"
+
+CODE=$(http_get "$SERVE_PORT" /metrics "$SERVEBODY")
+[ "$CODE" = "200" ] || fail "/metrics should be 200, got $CODE"
+grep -q "bmeh_store_writes_total" "$SERVEBODY" || fail "served metrics writes counter"
+grep -q "bmeh_store_shards 4" "$SERVEBODY" || fail "served metrics shard gauge"
+grep -q "# TYPE bmeh_store_stalled_total counter" "$SERVEBODY" \
+  || fail "served metrics watchdog counter"
+
+CODE=$(http_get "$SERVE_PORT" /statusz "$SERVEBODY")
+[ "$CODE" = "200" ] || fail "/statusz should be 200, got $CODE"
+grep -q '"kind":"sharded"' "$SERVEBODY" || fail "statusz kind"
+grep -q '"down_shards":0' "$SERVEBODY" || fail "statusz down_shards"
+
+CODE=$(http_get "$SERVE_PORT" /tracez "$SERVEBODY")
+[ "$CODE" = "200" ] || fail "/tracez should be 200, got $CODE"
+grep -q '"traceEvents"' "$SERVEBODY" || fail "tracez is not Chrome JSON"
+
+# SIGTERM lands a clean exit (the signal handler, not the default action)
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+RC=$?
+SERVE_PID=""
+[ "$RC" -eq 0 ] || fail "serve should exit 0 on SIGTERM, got $RC"
+grep -q "shutting down" "$SERVELOG" || fail "serve did not log its shutdown"
+
+# the probe traffic produced correlated wide events in the op-log file
+[ -s "$OPLOG" ] || fail "serve wrote no op-log"
+grep -q '"trace_id":"' "$OPLOG" || fail "op-log lines carry no trace_id"
+grep -q '"op":"put"' "$OPLOG" || fail "op-log saw no put"
+
+# Degrade one shard: a kPartial serve answers 503 with the reason.
+# Flip the header magic (page 0 byte 0) — that fails the shard's *open*;
+# a data-page flip only trips the scrub, which open tolerates.
+"$CLI" corrupt --db "$SERVEDIR/shard-0002.bmeh" --page 0 --byte 0 \
+      > /dev/null || fail "serve-scenario shard corrupt failed"
+start_serve "$SERVEDIR"
+
+CODE=$(http_get "$SERVE_PORT" /healthz "$SERVEBODY")
+[ "$CODE" = "503" ] || fail "degraded /healthz should be 503, got $CODE"
+grep -q "DEGRADED: 1 of 4 shards down" "$SERVEBODY" || fail "degraded reason body"
+CODE=$(http_get "$SERVE_PORT" /statusz "$SERVEBODY")
+[ "$CODE" = "200" ] || fail "degraded /statusz should still answer"
+grep -q '"index":2,"up":false' "$SERVEBODY" || fail "statusz down shard"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+RC=$?
+SERVE_PID=""
+[ "$RC" -eq 0 ] || fail "degraded serve should still exit 0 on SIGTERM, got $RC"
+
+# storebuild --serve exposes the plane during the build (the line proves
+# the server came up; the build is too quick to scrape mid-flight)
+OUT=$("$CLI" storebuild --db "$SERVEDIR.rebuild" --n 100 --b 8 \
+      --page-size 512 --seed 3 --serve 127.0.0.1:0)
+echo "$OUT" | grep -q "serving on 127.0.0.1:" || fail "storebuild --serve line"
+rm -f "$SERVEDIR.rebuild"
+
 echo "cli_test: all checks passed"

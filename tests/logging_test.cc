@@ -2,7 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "src/common/status.h"
+#include "src/obs/oplog.h"
 
 namespace bmeh {
 namespace {
@@ -41,6 +52,110 @@ TEST(LoggingTest, CheckPassesSilently) {
 }
 
 TEST(LoggingTest, DcheckPassesSilently) { BMEH_DCHECK(true) << "fine"; }
+
+/// Collects whole lines under a mutex for post-hoc inspection.
+class CaptureSink : public LogSink {
+ public:
+  void WriteLine(std::string_view line) override {
+    std::lock_guard<std::mutex> g(mu_);
+    lines_.emplace_back(line);
+  }
+  std::vector<std::string> lines() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return lines_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+};
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(LoggingTest, JsonMirrorRendersStructuredLines) {
+  auto text = std::make_shared<CaptureSink>();
+  auto json = std::make_shared<CaptureSink>();
+  SetTextLogSink(text);
+  SetJsonLogSink(json);
+  BMEH_LOG(Error) << "boom with \"quotes\"";
+  SetTextLogSink(nullptr);
+  SetJsonLogSink(nullptr);
+
+  const std::vector<std::string> text_lines = text->lines();
+  ASSERT_EQ(text_lines.size(), 1u);
+  EXPECT_EQ(text_lines[0].rfind("[ERROR ", 0), 0u) << text_lines[0];
+
+  const std::vector<std::string> json_lines = json->lines();
+  ASSERT_EQ(json_lines.size(), 1u);
+  const std::string& line = json_lines[0];
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_NE(line.find("\"level\":\"ERROR\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"msg\":\"boom with \\\"quotes\\\"\""),
+            std::string::npos)
+      << line;
+}
+
+// The coexistence contract: BMEH_LOG's JSON mirror and the op-log share
+// one FileLineSink, hammered from concurrent threads — every line in the
+// file must come back intact (one JSON object per line, never
+// interleaved bytes).
+TEST(LoggingTest, JsonSinkSharedWithOpLogNeverInterleaves) {
+  const std::string path =
+      ::testing::TempDir() + "/bmeh_logging_coexist_" +
+      std::to_string(::getpid()) + ".jsonl";
+  std::remove(path.c_str());
+  std::shared_ptr<FileLineSink> sink = FileLineSink::OpenAppend(path);
+  ASSERT_NE(sink, nullptr);
+  SetJsonLogSink(sink);
+  obs::OpLog oplog(sink);
+
+  constexpr int kThreads = 4;
+  constexpr int kLinesEach = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kLinesEach; ++i) {
+        if ((t + i) % 2 == 0) {
+          BMEH_LOG(Error) << "human line " << t << ":" << i;
+        } else {
+          obs::WideEvent ev;
+          ev.trace_id = obs::NextTraceId();
+          ev.op = "put";
+          ev.detail = "machine line";
+          oplog.RecordAlways(ev);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  SetJsonLogSink(nullptr);
+  EXPECT_EQ(sink->lines_written(),
+            static_cast<uint64_t>(kThreads * kLinesEach));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int human = 0, machine = 0, total = 0;
+  while (std::getline(in, line)) {
+    ++total;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{') << "interleaved bytes: " << line;
+    EXPECT_EQ(line.back(), '}') << "interleaved bytes: " << line;
+    if (line.find("\"msg\":\"human line ") != std::string::npos) ++human;
+    if (line.find("\"op\":\"put\"") != std::string::npos) ++machine;
+  }
+  EXPECT_EQ(total, kThreads * kLinesEach);
+  EXPECT_EQ(human + machine, total)
+      << "every line must be exactly one of the two producers";
+  std::remove(path.c_str());
+}
 
 #ifndef NDEBUG
 TEST(LoggingDeathTest, DcheckFailsInDebugBuilds) {

@@ -197,6 +197,95 @@ TEST(Counter, ResetForWindowedMeasurements) {
   EXPECT_EQ(c.value(), 0u);
 }
 
+TEST(PromExposition, SanitizeNameMapsInvalidCharacters) {
+  EXPECT_EQ(PromSanitizeName("store_writes_total"), "store_writes_total");
+  EXPECT_EQ(PromSanitizeName("shard0:puts"), "shard0:puts");
+  EXPECT_EQ(PromSanitizeName("a b-c.d"), "a_b_c_d");
+  EXPECT_EQ(PromSanitizeName("9lives"), "_9lives");
+  EXPECT_EQ(PromSanitizeName(""), "_");
+  EXPECT_EQ(PromSanitizeName("a\"b\nc\\d"), "a_b_c_d");
+}
+
+TEST(PromExposition, HelpEscapingRoundTrips) {
+  // The exposition format's own unescape rules: \\ -> backslash,
+  // \n -> newline.  Escape + unescape must be the identity.
+  const std::string nasty = "evil\"name\nwith\\slashes";
+  const std::string escaped = PromEscapeHelp(nasty);
+  EXPECT_EQ(escaped, "evil\"name\\nwith\\\\slashes");
+  EXPECT_EQ(escaped.find('\n'), std::string::npos)
+      << "a raw newline would split the HELP line";
+  std::string unescaped;
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '\\' && i + 1 < escaped.size()) {
+      unescaped.push_back(escaped[i + 1] == 'n' ? '\n' : escaped[i + 1]);
+      ++i;
+    } else {
+      unescaped.push_back(escaped[i]);
+    }
+  }
+  EXPECT_EQ(unescaped, nasty);
+}
+
+TEST(PromExposition, LabelEscapingAlsoCoversQuotes) {
+  EXPECT_EQ(PromEscapeLabel("a\"b\nc\\d"), "a\\\"b\\nc\\\\d");
+}
+
+// A metric registered under a hostile name must still produce a valid
+// exposition: sanitized sample lines, and the original name preserved
+// (escaped) in the HELP text so nothing is lost.
+TEST(PromExposition, HostileMetricNameSurvivesTextExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("evil\"name\nwith\\slashes")->Inc(3);
+  const std::string text = registry.TextExposition();
+  EXPECT_NE(text.find("# HELP bmeh_evil_name_with_slashes "
+                      "evil\"name\\nwith\\\\slashes\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE bmeh_evil_name_with_slashes counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("bmeh_evil_name_with_slashes 3\n"), std::string::npos)
+      << text;
+  // Every non-comment line is NAME VALUE with a clean name: no raw
+  // quote, backslash or stray newline leaked into a sample line.
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t sp = line.find(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    const std::string name = line.substr(0, sp);
+    for (char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':' ||
+                      c == '{' || c == '}' || c == '"' || c == '=' ||
+                      c == '.';  // label clause of summary quantiles
+      ASSERT_TRUE(ok) << "bad character in sample name: " << line;
+    }
+  }
+}
+
+// Every metric in the exposition carries its # TYPE (and # HELP) meta —
+// the hardening contract for real Prometheus scrapers.
+TEST(PromExposition, EveryMetricHasTypeAndHelp) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total")->Inc();
+  registry.GetGauge("g_now")->Set(5);
+  registry.GetHistogram("h_ns")->Record(7);
+  const std::string text = registry.TextExposition();
+  for (const char* name : {"c_total", "g_now", "h_ns"}) {
+    EXPECT_NE(text.find(std::string("# HELP bmeh_") + name + " "),
+              std::string::npos)
+        << name;
+    EXPECT_NE(text.find(std::string("# TYPE bmeh_") + name + " "),
+              std::string::npos)
+        << name;
+  }
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace bmeh

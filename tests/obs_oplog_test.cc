@@ -1,0 +1,212 @@
+// Unit tests for the structured op-log: rendering, the emission policy
+// (sampling, error and slow-op overrides), and the end-to-end trace_id
+// correlation contract — one store operation's id must appear in its
+// oplog line AND in its tracer span, so a slow op can be chased from the
+// log to /tracez to the histogram it moved.
+
+#include "src/obs/oplog.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+#include "src/pagestore/page_store.h"
+#include "src/store/bmeh_store.h"
+
+namespace bmeh {
+namespace obs {
+namespace {
+
+/// A LogSink that keeps every line in memory for inspection.
+class CaptureSink : public LogSink {
+ public:
+  void WriteLine(std::string_view line) override {
+    std::lock_guard<std::mutex> g(mu_);
+    lines_.emplace_back(line);
+  }
+  std::vector<std::string> lines() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return lines_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+};
+
+TEST(NextTraceIdTest, NonzeroAndDistinct) {
+  const uint64_t a = NextTraceId();
+  const uint64_t b = NextTraceId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(OpLogRenderTest, AllFieldsAndEscapedDetail) {
+  WideEvent ev;
+  ev.trace_id = 0xabcdef;
+  ev.op = "put";
+  ev.shard = 3;
+  ev.status = "IOError";
+  ev.latency_ns = 123;
+  ev.lsn = 42;
+  ev.retries = 2;
+  ev.count = 7;
+  ev.detail = "line1\nwith \"quotes\"";
+  const std::string line = OpLog::Render(ev, /*ts_ns=*/99, /*slow=*/true);
+  EXPECT_EQ(line,
+            "{\"ts_ns\":99,\"trace_id\":\"0000000000abcdef\","
+            "\"op\":\"put\",\"shard\":3,\"status\":\"IOError\","
+            "\"latency_ns\":123,\"lsn\":42,\"retries\":2,\"count\":7,"
+            "\"slow\":true,\"detail\":\"line1\\nwith \\\"quotes\\\"\"}");
+}
+
+TEST(OpLogRenderTest, EmptyDetailIsOmitted) {
+  WideEvent ev;
+  const std::string line = OpLog::Render(ev, 0, false);
+  EXPECT_EQ(line.find("detail"), std::string::npos);
+}
+
+TEST(OpLogTest, SamplingKeepsOneInN) {
+  auto sink = std::make_shared<CaptureSink>();
+  OpLog::Options options;
+  options.sample_every = 4;
+  options.slow_op_ns = 0;  // disable the slow override for determinism
+  OpLog log(sink, options);
+  WideEvent ev;
+  for (int i = 0; i < 8; ++i) log.Record(ev);
+  EXPECT_EQ(log.events_logged(), 2u);
+  EXPECT_EQ(log.events_suppressed(), 6u);
+  EXPECT_EQ(sink->lines().size(), 2u);
+}
+
+TEST(OpLogTest, ErrorsBypassSampling) {
+  auto sink = std::make_shared<CaptureSink>();
+  OpLog::Options options;
+  options.sample_every = 1000;
+  OpLog log(sink, options);
+  WideEvent ev;
+  ev.status = "IOError";
+  for (int i = 0; i < 5; ++i) log.Record(ev);
+  EXPECT_EQ(log.events_logged(), 5u);
+  EXPECT_EQ(log.events_suppressed(), 0u);
+}
+
+TEST(OpLogTest, SlowOpsBypassSamplingAndAreFlagged) {
+  auto sink = std::make_shared<CaptureSink>();
+  OpLog::Options options;
+  options.sample_every = 1000;
+  options.slow_op_ns = 100;
+  OpLog log(sink, options);
+  WideEvent ev;
+  ev.latency_ns = 200;  // over budget
+  log.Record(ev);
+  ASSERT_EQ(sink->lines().size(), 1u);
+  EXPECT_NE(sink->lines()[0].find("\"slow\":true"), std::string::npos);
+  // Fast events consume the 1-in-N sampler (which logs its first draw),
+  // so of two fast follow-ups exactly one is suppressed — the slow event
+  // above consumed no sampler slot.
+  ev.latency_ns = 50;
+  log.Record(ev);
+  log.Record(ev);
+  EXPECT_EQ(sink->lines().size(), 2u);
+  EXPECT_EQ(log.events_suppressed(), 1u);
+}
+
+TEST(OpLogTest, RecordAlwaysIgnoresSampling) {
+  auto sink = std::make_shared<CaptureSink>();
+  OpLog::Options options;
+  options.sample_every = 1000;
+  OpLog log(sink, options);
+  WideEvent ev;
+  log.RecordAlways(ev);
+  EXPECT_EQ(log.events_logged(), 1u);
+}
+
+/// Pulls the "trace_id":"<16 hex>" value out of a rendered line.
+std::string ExtractTraceId(const std::string& line) {
+  const std::string key = "\"trace_id\":\"";
+  const size_t pos = line.find(key);
+  if (pos == std::string::npos) return "";
+  return line.substr(pos + key.size(), 16);
+}
+
+// The correlation contract end to end: one injected-slow Put through a
+// real store must land the SAME trace_id in (a) its always-logged slow
+// oplog line and (b) its span in the tracer dump.
+TEST(OpLogStoreTest, SlowOpCorrelatesAcrossOplogAndTracer) {
+  auto sink = std::make_shared<CaptureSink>();
+  OpLog::Options log_options;
+  log_options.sample_every = 1'000'000;  // only the slow override can log
+  log_options.slow_op_ns = 1'000'000;    // 1 ms budget
+  OpLog oplog(sink, log_options);
+  Tracer tracer(256);
+
+  StoreOptions options;
+  options.schema = KeySchema(2, 31);
+  options.tree = TreeOptions::Make(2, 8);
+  options.page_size = 512;
+  options.oplog = &oplog;
+  options.tracer = &tracer;
+  auto opened = BmehStore::Open(
+      std::make_unique<InMemoryPageStore>(options.page_size), options);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  auto store = std::move(opened).ValueOrDie();
+
+  // Inject 2 ms into the op path: the next Put is slow by construction.
+  // (No ops run before it: a KeyError get would always-log as an error,
+  // and even an OK op would log as the sampler's first 1-in-N draw.)
+  store->InjectOpDelayForTesting(2'000'000);
+  ASSERT_TRUE(store->Put(PseudoKey({7, 9}), 42).ok());
+  store->InjectOpDelayForTesting(0);
+
+  std::vector<std::string> lines = sink->lines();
+  ASSERT_EQ(lines.size(), 1u) << "only the slow put may log";
+  const std::string& line = lines[0];
+  EXPECT_NE(line.find("\"op\":\"put\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"slow\":true"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"status\":\"OK\""), std::string::npos) << line;
+
+  const std::string trace_id = ExtractTraceId(line);
+  ASSERT_EQ(trace_id.size(), 16u) << line;
+  EXPECT_NE(trace_id, "0000000000000000");
+
+  // The same id must be visible in the tracer's dump (what /tracez
+  // serves), attached to a span named after the op.
+  const std::string tracez = tracer.ToChromeTraceJson();
+  EXPECT_NE(tracez.find(trace_id), std::string::npos)
+      << "trace_id " << trace_id << " missing from the span dump";
+}
+
+// Per-op latency lands in the wide event (used by the slow flag above),
+// and the LSN of a synchronous write is carried through.
+TEST(OpLogStoreTest, PutCarriesLsnAndLatency) {
+  auto sink = std::make_shared<CaptureSink>();
+  OpLog oplog(sink);  // defaults: sample everything
+
+  StoreOptions options;
+  options.schema = KeySchema(2, 31);
+  options.tree = TreeOptions::Make(2, 8);
+  options.page_size = 512;
+  options.oplog = &oplog;
+  auto opened = BmehStore::Open(
+      std::make_unique<InMemoryPageStore>(options.page_size), options);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  auto store = std::move(opened).ValueOrDie();
+
+  ASSERT_TRUE(store->Put(PseudoKey({1, 2}), 3).ok());
+  std::vector<std::string> lines = sink->lines();
+  ASSERT_EQ(lines.size(), 1u);
+  // The first mutation of a fresh store gets LSN 1.
+  EXPECT_NE(lines[0].find("\"lsn\":1"), std::string::npos) << lines[0];
+  EXPECT_EQ(lines[0].find("\"latency_ns\":0,"), std::string::npos)
+      << "latency must be measured: " << lines[0];
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace bmeh

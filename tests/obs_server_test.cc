@@ -1,0 +1,284 @@
+// ObsServer tests over real loopback sockets: endpoint routing and
+// content, the healthz merge with store handlers and the watchdog,
+// concurrent scrapes racing metric writers, graceful shutdown with a
+// half-read request in flight, and the port-in-use failure mode.
+
+#include "src/obs/obs_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/obs/watchdog.h"
+
+namespace bmeh {
+namespace obs {
+namespace {
+
+struct HttpResponse {
+  int status = 0;
+  std::string raw;  // status line + headers + body
+  std::string body;
+};
+
+/// Connects to 127.0.0.1:port.  Returns the fd or -1.
+int Connect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Minimal blocking HTTP/1.1 GET; relies on Connection: close framing.
+bool HttpGet(int port, const std::string& path, HttpResponse* out) {
+  const int fd = Connect(port);
+  if (fd < 0) return false;
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return false;
+  }
+  std::string raw;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) raw.append(buf, n);
+  ::close(fd);
+  if (raw.compare(0, 9, "HTTP/1.1 ") != 0) return false;
+  out->status = std::atoi(raw.c_str() + 9);
+  out->raw = raw;
+  const size_t split = raw.find("\r\n\r\n");
+  out->body = split == std::string::npos ? "" : raw.substr(split + 4);
+  return true;
+}
+
+std::unique_ptr<ObsServer> MustStart(const ObsServer::Options& options) {
+  auto started = ObsServer::Start(options);
+  EXPECT_TRUE(started.ok()) << started.status();
+  return started.ok() ? std::move(started).ValueOrDie() : nullptr;
+}
+
+TEST(ObsServerTest, ServesAllEndpoints) {
+  MetricsRegistry registry;
+  registry.GetCounter("store_writes_total")->Inc(7);
+  Tracer tracer(16);
+  { TraceSpan span(&tracer, "probe", "test"); }
+
+  ObsServer::Options options;
+  options.metrics = &registry;
+  options.tracer = &tracer;
+  auto server = MustStart(options);
+  ASSERT_NE(server, nullptr);
+  ASSERT_GT(server->port(), 0) << "ephemeral port must be resolved";
+
+  HttpResponse r;
+  ASSERT_TRUE(HttpGet(server->port(), "/metrics", &r));
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("bmeh_store_writes_total 7"), std::string::npos)
+      << r.body;
+  EXPECT_NE(r.body.find("# TYPE bmeh_store_writes_total counter"),
+            std::string::npos);
+
+  ASSERT_TRUE(HttpGet(server->port(), "/healthz", &r));
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "ok\n");
+
+  ASSERT_TRUE(HttpGet(server->port(), "/statusz", &r));
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body.front(), '{') << r.body;
+
+  ASSERT_TRUE(HttpGet(server->port(), "/tracez", &r));
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("\"probe\""), std::string::npos) << r.body;
+
+  ASSERT_TRUE(HttpGet(server->port(), "/", &r));
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("/metrics"), std::string::npos);
+
+  ASSERT_TRUE(HttpGet(server->port(), "/nope", &r));
+  EXPECT_EQ(r.status, 404);
+
+  // Query strings are stripped before routing (Prometheus adds them).
+  ASSERT_TRUE(HttpGet(server->port(), "/metrics?ts=1", &r));
+  EXPECT_EQ(r.status, 200);
+
+  EXPECT_GE(server->requests_served(), 7u);
+}
+
+TEST(ObsServerTest, HealthzMergesHandlerAndWatchdog) {
+  std::atomic<bool> degraded{false};
+  Watchdog::Options dog_options;
+  dog_options.check_interval_ms = 5;
+  Watchdog dog(dog_options);
+
+  ObsServer::Options options;
+  options.watchdog = &dog;
+  options.healthz = [&degraded]() {
+    ObsServer::Response response;
+    if (degraded.load()) {
+      response.status = 503;
+      response.body = "DEGRADED: 1 of 4 shards down\n";
+    } else {
+      response.body = "ok\n";
+    }
+    return response;
+  };
+  auto server = MustStart(options);
+  ASSERT_NE(server, nullptr);
+
+  HttpResponse r;
+  ASSERT_TRUE(HttpGet(server->port(), "/healthz", &r));
+  EXPECT_EQ(r.status, 200);
+
+  // Store-level degradation: the handler's answer passes through.
+  degraded = true;
+  ASSERT_TRUE(HttpGet(server->port(), "/healthz", &r));
+  EXPECT_EQ(r.status, 503);
+  EXPECT_NE(r.body.find("shards down"), std::string::npos);
+  degraded = false;
+
+  // Watchdog stall: merged on top of a healthy handler.
+  Watchdog::Heartbeat* hb = dog.Register("commit", /*deadline_ms=*/1);
+  hb->Arm();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(dog.AnyStalled());
+  ASSERT_TRUE(HttpGet(server->port(), "/healthz", &r));
+  EXPECT_EQ(r.status, 503);
+  EXPECT_NE(r.body.find("commit"), std::string::npos) << r.body;
+  dog.Unregister(hb);
+
+  ASSERT_TRUE(HttpGet(server->port(), "/healthz", &r));
+  EXPECT_EQ(r.status, 200);
+}
+
+TEST(ObsServerTest, ConcurrentScrapesRaceMetricWriters) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("store_writes_total");
+
+  ObsServer::Options options;
+  options.metrics = &registry;
+  auto server = MustStart(options);
+  ASSERT_NE(server, nullptr);
+  const int port = server->port();
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load()) counter->Inc();
+  });
+
+  constexpr int kScrapers = 4;
+  constexpr int kScrapesEach = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < kScrapers; ++t) {
+    scrapers.emplace_back([&] {
+      for (int i = 0; i < kScrapesEach; ++i) {
+        HttpResponse r;
+        if (!HttpGet(port, "/metrics", &r) || r.status != 200 ||
+            r.body.find("bmeh_store_writes_total") == std::string::npos) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : scrapers) t.join();
+  stop = true;
+  writer.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server->requests_served(),
+            static_cast<uint64_t>(kScrapers * kScrapesEach));
+}
+
+TEST(ObsServerTest, StopWithHalfReadRequestInFlight) {
+  ObsServer::Options options;
+  auto server = MustStart(options);
+  ASSERT_NE(server, nullptr);
+
+  // One connection that never finishes its request line, one that sent
+  // nothing at all: Stop() must still return promptly.
+  const int half = Connect(server->port());
+  ASSERT_GE(half, 0);
+  const char* partial = "GET /metr";
+  ASSERT_EQ(::send(half, partial, std::strlen(partial), 0),
+            static_cast<ssize_t>(std::strlen(partial)));
+  const int idle = Connect(server->port());
+  ASSERT_GE(idle, 0);
+
+  const auto start = std::chrono::steady_clock::now();
+  server->Stop();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(5)) << "Stop() hung";
+
+  // The server closed both sockets: reads now see EOF (or reset).
+  char buf[16];
+  EXPECT_LE(::recv(half, buf, sizeof(buf), 0), 0);
+  ::close(half);
+  ::close(idle);
+
+  // Idempotent: a second Stop (and the destructor after it) is a no-op.
+  server->Stop();
+}
+
+TEST(ObsServerTest, PortInUseFailsWithIoError) {
+  ObsServer::Options options;
+  auto first = MustStart(options);
+  ASSERT_NE(first, nullptr);
+
+  ObsServer::Options clash;
+  clash.port = first->port();
+  auto second = ObsServer::Start(clash);
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsIoError()) << second.status();
+}
+
+TEST(ObsServerTest, OversizedAndMalformedRequestsAreRejected) {
+  MetricsRegistry registry;
+  ObsServer::Options options;
+  options.metrics = &registry;
+  auto server = MustStart(options);
+  ASSERT_NE(server, nullptr);
+
+  // Non-GET methods get 405 (or a closed connection) — not a crash.
+  const int fd = Connect(server->port());
+  ASSERT_GE(fd, 0);
+  const char* post = "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n";
+  ASSERT_GT(::send(fd, post, std::strlen(post), 0), 0);
+  std::string raw;
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) raw.append(buf, n);
+  ::close(fd);
+  if (!raw.empty()) {
+    EXPECT_EQ(raw.compare(0, 9, "HTTP/1.1 "), 0) << raw;
+    EXPECT_NE(std::atoi(raw.c_str() + 9), 200) << raw;
+  }
+
+  // The server survives: a normal scrape still works.
+  HttpResponse r;
+  ASSERT_TRUE(HttpGet(server->port(), "/healthz", &r));
+  EXPECT_EQ(r.status, 200);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace bmeh

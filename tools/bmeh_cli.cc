@@ -101,13 +101,36 @@
 //       recorded spans as Chrome trace-event JSON — load the file in
 //       chrome://tracing or https://ui.perfetto.dev to see where the
 //       operations spent their time.
+//
+//   bmeh_cli serve --db PATH [--addr A] [--port P] [--probe-ops N]
+//                  [--oplog FILE] [--oplog-sample K] [--slow-op-us U]
+//                  [--watchdog-deadline-ms D] [--watchdog-interval-ms I]
+//       Opens a store (file or sharded directory; sharded opens are
+//       kPartial so a degraded store still serves what it can) with the
+//       full telemetry plane attached and runs the exposition server
+//       until SIGTERM/SIGINT: /metrics, /healthz (200 healthy /
+//       503 degraded, mirroring storeinfo's exit codes), /statusz,
+//       /tracez.  --port 0 (the default) picks an ephemeral port; the
+//       bound address is printed as "serving on ADDR:PORT".  --oplog
+//       FILE writes one JSON wide event per operation (sampled 1-in-K,
+//       errors and ops slower than --slow-op-us always logged).
+//       --probe-ops N runs a probe workload after startup so the
+//       endpoints have traffic to show.
+//
+//   Long-running verbs accept --serve [ADDR:]PORT to expose the same
+//   plane while they run (storebuild: watch a bulk load's counters and
+//   latency histograms live).
 
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/bmeh.h"
@@ -689,6 +712,204 @@ int CmdTrace(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// serve: the live telemetry plane.
+// ---------------------------------------------------------------------------
+
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+extern "C" void HandleServeSignal(int) { g_serve_stop = 1; }
+
+/// Parses a --serve value: "ADDR:PORT", ":PORT", or "PORT".  A bare
+/// boolean --serve ("1" from the parser) keeps the defaults (loopback,
+/// ephemeral port).  Out-parameters are only written when present.
+void ParseServeSpec(const std::string& spec, std::string* addr, int* port) {
+  if (spec.empty() || spec == "1") return;
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    *port = std::atoi(spec.c_str());
+    return;
+  }
+  if (colon > 0) *addr = spec.substr(0, colon);
+  if (colon + 1 < spec.size()) *port = std::atoi(spec.c_str() + colon + 1);
+}
+
+/// Builds the OpLog for --oplog FILE (nullptr when the flag is absent).
+/// Dies if the file cannot be opened: an operator asking for an op-log
+/// and silently not getting one is worse than a failed start.
+std::unique_ptr<obs::OpLog> MakeOpLog(const Args& args) {
+  const std::string path = args.Get("oplog");
+  if (path.empty()) return nullptr;
+  std::shared_ptr<LogSink> sink = FileLineSink::OpenAppend(path);
+  if (sink == nullptr) Die("cannot open --oplog file " + path);
+  obs::OpLog::Options options;
+  options.sample_every =
+      static_cast<uint64_t>(std::max(1, args.GetInt("oplog-sample", 1)));
+  options.slow_op_ns =
+      static_cast<uint64_t>(args.GetInt("slow-op-us", 10000)) * 1000;
+  return std::make_unique<obs::OpLog>(std::move(sink), options);
+}
+
+/// Starts the exposition server for a long-running verb's --serve flag
+/// (nullptr when the flag is absent).  `registry` and `tracer` must
+/// outlive the returned server; no watchdog or store-health handlers —
+/// /healthz just answers "ok" while the verb runs.
+std::unique_ptr<obs::ObsServer> MaybeServe(const Args& args,
+                                           obs::MetricsRegistry* registry,
+                                           obs::Tracer* tracer) {
+  if (!args.Has("serve")) return nullptr;
+  obs::ObsServer::Options options;
+  ParseServeSpec(args.Get("serve"), &options.bind_addr, &options.port);
+  options.metrics = registry;
+  options.tracer = tracer;
+  auto started = obs::ObsServer::Start(options);
+  if (!started.ok()) Die(started.status().ToString());
+  std::printf("serving on %s:%d\n", (*started)->bind_addr().c_str(),
+              (*started)->port());
+  std::fflush(stdout);
+  return std::move(started).ValueOrDie();
+}
+
+/// serve: open the store with the full telemetry plane attached and run
+/// the exposition server until SIGTERM/SIGINT.  Works on both a single
+/// store file and a sharded directory; sharded opens use
+/// OpenPolicy::kPartial so a degraded store still serves what it can —
+/// /healthz then answers 503, mirroring storeinfo's exit code 2.
+int CmdServe(const Args& args) {
+  const std::string db = args.Get("db");
+  if (db.empty()) Die("serve requires --db");
+
+  // Declaration order is teardown order in reverse: the stores (declared
+  // last) close first and unregister their heartbeats from the watchdog,
+  // which must still be alive; the watchdog's monitor stops before the
+  // oplog it writes stall events to goes away.
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer(static_cast<size_t>(args.GetInt("spans", 4096)));
+  std::unique_ptr<obs::OpLog> oplog = MakeOpLog(args);
+  obs::Watchdog::Options watchdog_options;
+  watchdog_options.check_interval_ms =
+      static_cast<uint64_t>(std::max(1, args.GetInt("watchdog-interval-ms", 50)));
+  watchdog_options.metrics = &registry;
+  watchdog_options.oplog = oplog.get();
+  obs::Watchdog watchdog(watchdog_options);
+
+  StoreOptions store_options = MakeStoreOptions(args);
+  store_options.wal_sync_every = 1;  // a served store is a live store
+  store_options.group_commit_window_us =
+      static_cast<uint64_t>(args.GetInt("group-window-us", 0));
+  store_options.metrics = &registry;
+  store_options.tracer = &tracer;
+  store_options.oplog = oplog.get();
+  store_options.watchdog = &watchdog;
+  store_options.watchdog_deadline_ms =
+      static_cast<uint64_t>(std::max(1, args.GetInt("watchdog-deadline-ms", 5000)));
+
+  std::unique_ptr<ShardedStore> sharded;
+  std::unique_ptr<BmehStore> single;
+  if (ShardedStore::IsShardedDir(db)) {
+    ShardedStoreOptions options;
+    options.shards = 0;  // adopt the manifest
+    options.store = store_options;
+    options.open_policy = OpenPolicy::kPartial;
+    auto opened = ShardedStore::Open(db, options);
+    if (!opened.ok()) Die(opened.status().ToString());
+    sharded = std::move(opened).ValueOrDie();
+  } else {
+    auto opened = BmehStore::Open(db, store_options);
+    if (!opened.ok()) Die(opened.status().ToString());
+    single = std::move(opened).ValueOrDie();
+  }
+  ShardedStore* sharded_ptr = sharded.get();
+  BmehStore* single_ptr = single.get();
+
+  obs::ObsServer::Options server_options;
+  server_options.bind_addr = args.Get("addr", "127.0.0.1");
+  server_options.port = args.GetInt("port", 0);
+  server_options.metrics = &registry;
+  server_options.tracer = &tracer;
+  server_options.watchdog = &watchdog;
+  // /healthz mirrors storeinfo: 200 <-> exit 0 (healthy), 503 <-> exit 2
+  // (degraded).  The watchdog contributes independently inside the
+  // server (stalled heartbeats also flip the answer to 503).
+  server_options.healthz = [sharded_ptr, single_ptr]() {
+    obs::ObsServer::Response response;
+    if (sharded_ptr != nullptr) {
+      const int down = sharded_ptr->down_shards();
+      if (down > 0) {
+        response.status = 503;
+        response.body = "DEGRADED: " + std::to_string(down) + " of " +
+                        std::to_string(sharded_ptr->shards()) +
+                        " shards down\n";
+        return response;
+      }
+    } else if (single_ptr->degraded()) {
+      response.status = 503;
+      response.body = "DEGRADED: store opened degraded by corruption\n";
+      return response;
+    }
+    response.body = "ok\n";
+    return response;
+  };
+  server_options.statusz = [sharded_ptr, single_ptr]() {
+    obs::ObsServer::Response response;
+    response.content_type = "application/json";
+    std::string body = "{\"kind\":\"";
+    if (sharded_ptr != nullptr) {
+      body += "sharded\",\"shards\":" +
+              std::to_string(sharded_ptr->shards()) +
+              ",\"down_shards\":" + std::to_string(sharded_ptr->down_shards()) +
+              ",\"shard\":[";
+      for (int s = 0; s < sharded_ptr->shards(); ++s) {
+        if (s > 0) body += ",";
+        body += "{\"index\":" + std::to_string(s) + ",\"up\":" +
+                (sharded_ptr->shard_healthy(s) ? "true" : "false") + "}";
+      }
+      body += "]}";
+    } else {
+      const BmehStore::SampledState st = single_ptr->SampleStateForMetrics();
+      body += "store\",\"records\":" + std::to_string(st.records) +
+              ",\"height\":" + std::to_string(st.height) +
+              ",\"generation\":" + std::to_string(st.generation) +
+              ",\"wal_records\":" + std::to_string(st.wal_records) +
+              ",\"dirty_ops\":" + std::to_string(st.dirty_ops) +
+              ",\"wal_base_lsn\":" + std::to_string(st.wal_base_lsn) +
+              ",\"durable_lsn\":" + std::to_string(st.durable_lsn) +
+              ",\"degraded\":" + (single_ptr->degraded() ? "true" : "false") +
+              "}";
+    }
+    response.body = std::move(body);
+    return response;
+  };
+
+  auto server = obs::ObsServer::Start(server_options);
+  if (!server.ok()) Die(server.status().ToString());
+  // Parseable by scripts (and cli_test.sh): with --port 0 this is the
+  // only way to learn the ephemeral port.
+  std::printf("serving on %s:%d\n", (*server)->bind_addr().c_str(),
+              (*server)->port());
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, HandleServeSignal);
+  std::signal(SIGINT, HandleServeSignal);
+
+  const int probe_ops = args.GetInt("probe-ops", 0);
+  if (probe_ops > 0) {
+    if (sharded_ptr != nullptr) {
+      RunProbeOpsSharded(sharded_ptr, probe_ops);
+    } else {
+      RunProbeOps(single_ptr, probe_ops);
+    }
+  }
+
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  (*server)->Stop();
+  std::printf("serve: shutting down (%llu requests served)\n",
+              static_cast<unsigned long long>((*server)->requests_served()));
+  return 0;
+}
+
 /// storebuild --shards N: same load loop as the single-file path, but
 /// against the sharded facade — batches are split per shard and commit
 /// independently, --leave-wal leaves every shard's tail in its own WAL,
@@ -698,6 +919,13 @@ int CmdStoreBuildSharded(const Args& args, int shards) {
   ShardedStoreOptions options;
   options.shards = shards;
   options.store = MakeStoreOptions(args);
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer(4096);
+  std::unique_ptr<obs::ObsServer> server = MaybeServe(args, &registry, &tracer);
+  if (server != nullptr) {
+    options.store.metrics = &registry;
+    options.store.tracer = &tracer;
+  }
   const uint64_t n = static_cast<uint64_t>(args.GetInt("n", 2000));
   const uint64_t leave_wal =
       static_cast<uint64_t>(args.GetInt("leave-wal", 0));
@@ -790,6 +1018,13 @@ int CmdStoreBuild(const Args& args) {
   const int shards = args.GetInt("shards", 0);
   if (shards != 0) return CmdStoreBuildSharded(args, shards);
   StoreOptions options = MakeStoreOptions(args);
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer(4096);
+  std::unique_ptr<obs::ObsServer> server = MaybeServe(args, &registry, &tracer);
+  if (server != nullptr) {
+    options.metrics = &registry;
+    options.tracer = &tracer;
+  }
   const uint64_t n = static_cast<uint64_t>(args.GetInt("n", 2000));
   const uint64_t leave_wal =
       static_cast<uint64_t>(args.GetInt("leave-wal", 0));
@@ -1241,5 +1476,6 @@ int main(int argc, char** argv) {
   if (args.command == "fsck") return CmdFsck(args);
   if (args.command == "corrupt") return CmdCorrupt(args);
   if (args.command == "trace") return CmdTrace(args);
+  if (args.command == "serve") return CmdServe(args);
   Die("unknown command: " + args.command);
 }
