@@ -1,0 +1,189 @@
+#include "src/common/epoch.h"
+
+#include "src/common/logging.h"
+
+namespace bmeh {
+namespace epoch {
+namespace {
+
+constexpr uint64_t kSlotFree = ~uint64_t{0};
+constexpr uint64_t kSlotIdle = ~uint64_t{0} - 1;
+
+uint64_t NextManagerId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Per-thread slot leases.  The shared_ptr keeps the slot block alive even
+// when the manager is destroyed before the thread exits; manager ids are
+// never recycled, so a stale lease can never be matched by a new manager.
+struct SlotLease {
+  uint64_t mgr_id;
+  std::shared_ptr<EpochManager::SlotBlock> block;
+  EpochManager::ThreadSlot* slot;
+};
+
+struct ThreadRegistry {
+  std::vector<SlotLease> leases;
+  ~ThreadRegistry() {
+    // Thread death mid-epoch: an exiting thread cannot hold a live Guard
+    // (Guards are scoped), so releasing the slot here is always safe.
+    for (SlotLease& l : leases) {
+      l.slot->state.store(kSlotFree, std::memory_order_release);
+    }
+  }
+};
+
+ThreadRegistry& Registry() {
+  thread_local ThreadRegistry registry;
+  return registry;
+}
+
+}  // namespace
+
+EpochManager::EpochManager()
+    : id_(NextManagerId()), block_(std::make_shared<SlotBlock>()) {
+  for (ThreadSlot& s : block_->slots) {
+    s.state.store(kSlotFree, std::memory_order_relaxed);
+    s.depth.store(0, std::memory_order_relaxed);
+  }
+}
+
+EpochManager::~EpochManager() {
+  // No readers may be active at manager destruction; free limbo outright.
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  for (LimboEntry& e : limbo_) e.deleter(e.obj);
+  reclaimed_total_.fetch_add(limbo_.size(), std::memory_order_relaxed);
+  deferred_.store(0, std::memory_order_relaxed);
+  limbo_.clear();
+}
+
+EpochManager* EpochManager::Global() {
+  // Leaked deliberately: stores may be destroyed during static teardown
+  // and must still be able to retire into a live manager.
+  static EpochManager* g = new EpochManager();
+  return g;
+}
+
+EpochManager::ThreadSlot* EpochManager::AcquireSlotForThisThread() {
+  ThreadRegistry& reg = Registry();
+  for (SlotLease& l : reg.leases) {
+    if (l.mgr_id == id_) return l.slot;
+  }
+  for (int i = 0; i < kMaxThreads; ++i) {
+    ThreadSlot& s = block_->slots[i];
+    uint64_t expected = kSlotFree;
+    if (s.state.compare_exchange_strong(expected, kSlotIdle,
+                                        std::memory_order_acq_rel)) {
+      s.depth.store(0, std::memory_order_relaxed);
+      reg.leases.push_back(SlotLease{id_, block_, &s});
+      return &s;
+    }
+  }
+  BMEH_CHECK(false) << "epoch: more than " << kMaxThreads
+                    << " concurrent reader threads";
+  return nullptr;
+}
+
+void EpochManager::Retire(void* obj, void (*deleter)(void*)) {
+  const uint64_t tag = global_epoch_.load(std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lock(limbo_mu_);
+    limbo_.push_back(LimboEntry{obj, deleter, tag});
+  }
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
+  deferred_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t EpochManager::ReclaimSome() {
+  uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  bool can_advance = true;
+  for (int i = 0; i < kMaxThreads; ++i) {
+    const uint64_t s = block_->slots[i].state.load(std::memory_order_seq_cst);
+    if (s == kSlotFree || s == kSlotIdle) continue;
+    if (s != e) {
+      // A reader is still in an older epoch; it caps the global epoch at
+      // s + 1, which keeps everything it could see out of reach below.
+      can_advance = false;
+      break;
+    }
+  }
+  if (can_advance &&
+      global_epoch_.compare_exchange_strong(e, e + 1,
+                                            std::memory_order_seq_cst)) {
+    advances_total_.fetch_add(1, std::memory_order_relaxed);
+    e = e + 1;
+  }
+
+  // An entry tagged t is safe once e >= t + 2: advancing past t + 1
+  // required every active reader to have left epoch t (and their slot
+  // loads above synchronize with the readers' release on exit).
+  std::vector<LimboEntry> ready;
+  {
+    std::lock_guard<std::mutex> lock(limbo_mu_);
+    size_t kept = 0;
+    for (size_t i = 0; i < limbo_.size(); ++i) {
+      if (limbo_[i].tag + 2 <= e) {
+        ready.push_back(limbo_[i]);
+      } else {
+        limbo_[kept++] = limbo_[i];
+      }
+    }
+    limbo_.resize(kept);
+  }
+  for (LimboEntry& entry : ready) entry.deleter(entry.obj);
+  const uint64_t freed = ready.size();
+  if (freed > 0) {
+    reclaimed_total_.fetch_add(freed, std::memory_order_relaxed);
+    deferred_.fetch_sub(freed, std::memory_order_relaxed);
+  }
+  return freed;
+}
+
+void EpochManager::Drain() {
+  // Two advances make every current entry eligible; a few extra rounds
+  // cover entries retired while draining.  Blocked readers end the loop.
+  for (int round = 0; round < 8; ++round) {
+    if (deferred_.load(std::memory_order_relaxed) == 0) return;
+    ReclaimSome();
+  }
+}
+
+EpochStats EpochManager::Stats() const {
+  EpochStats s;
+  s.retired_total = retired_total_.load(std::memory_order_relaxed);
+  s.reclaimed_total = reclaimed_total_.load(std::memory_order_relaxed);
+  s.deferred = deferred_.load(std::memory_order_relaxed);
+  s.advances_total = advances_total_.load(std::memory_order_relaxed);
+  s.epoch = global_epoch_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Guard::Guard(EpochManager* mgr) : mgr_(mgr), slot_(nullptr), announced_(false) {
+  EpochManager::ThreadSlot* slot = mgr_->AcquireSlotForThisThread();
+  slot_ = slot;
+  const uint32_t depth = slot->depth.load(std::memory_order_relaxed);
+  slot->depth.store(depth + 1, std::memory_order_relaxed);
+  if (depth > 0) return;  // Nested: outer guard already announced.
+  announced_ = true;
+  uint64_t e = mgr_->global_epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    slot->state.store(e, std::memory_order_seq_cst);
+    const uint64_t now = mgr_->global_epoch_.load(std::memory_order_seq_cst);
+    if (now == e) break;  // Announcement observed a stable epoch.
+    e = now;
+  }
+}
+
+Guard::~Guard() {
+  auto* slot = static_cast<EpochManager::ThreadSlot*>(slot_);
+  const uint32_t depth = slot->depth.load(std::memory_order_relaxed);
+  slot->depth.store(depth - 1, std::memory_order_relaxed);
+  if (!announced_) return;
+  // Release: everything this reader did happens-before a reclaimer that
+  // observes the slot as idle.
+  slot->state.store(kSlotIdle, std::memory_order_release);
+}
+
+}  // namespace epoch
+}  // namespace bmeh

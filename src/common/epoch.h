@@ -1,0 +1,138 @@
+// Epoch-based memory reclamation for the optimistic read path.
+//
+// Writers never free a node or page that lock-free readers might still be
+// traversing.  Instead they *retire* the object after unpublishing it; the
+// epoch manager defers the actual delete until every reader that could
+// have observed the old pointer has finished.
+//
+// Protocol (classic three-epoch EBR):
+//  * A global epoch counter advances when every currently-active reader
+//    has announced the current epoch.
+//  * Readers wrap each optimistic operation in a Guard, which announces
+//    the global epoch in a per-thread slot (cache-line padded) and clears
+//    the announcement on exit.
+//  * Retired objects are tagged with the global epoch at retire time and
+//    freed once no active reader's announced epoch is <= that tag.
+//
+// Retiring is only safe once the object is unreachable from the published
+// structure (the arena slot has been republished first) — readers entering
+// *after* the retire can no longer find the object, and readers that found
+// it earlier hold an epoch announcement that blocks its reclamation.
+
+#ifndef BMEH_COMMON_EPOCH_H_
+#define BMEH_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace bmeh {
+namespace epoch {
+
+/// \brief Aggregate counters for metrics exposition.
+struct EpochStats {
+  uint64_t retired_total = 0;    ///< Objects handed to Retire() ever.
+  uint64_t reclaimed_total = 0;  ///< Objects actually freed ever.
+  uint64_t deferred = 0;         ///< Objects currently parked in limbo.
+  uint64_t advances_total = 0;   ///< Global epoch advances ever.
+  uint64_t epoch = 0;            ///< Current global epoch.
+};
+
+class EpochManager;
+
+/// \brief RAII epoch pin for one optimistic read operation.
+///
+/// While a Guard is live, no object retired at or after entry will be
+/// freed.  Guards are cheap (two relaxed-ish atomic stores plus one
+/// seq_cst fence worth of ordering) and may nest; only the outermost
+/// level announces.
+class Guard {
+ public:
+  explicit Guard(EpochManager* mgr);
+  ~Guard();
+
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+ private:
+  EpochManager* mgr_;
+  void* slot_;       // ThreadSlot*, opaque here.
+  bool announced_;   // False for nested guards.
+};
+
+/// \brief One reclamation domain.  Most code shares Global(); tests may
+/// instantiate private managers.
+class EpochManager {
+ public:
+  static constexpr int kMaxThreads = 256;
+
+  EpochManager();
+  ~EpochManager();  // Frees everything still in limbo unconditionally.
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// \brief Process-wide manager used by every store.  Never destroyed
+  /// (function-local leaky singleton) so shutdown order cannot dangle.
+  static EpochManager* Global();
+
+  /// \brief Parks `obj` for deferred deletion via `deleter(obj)`.  The
+  /// object must already be unreachable from any published structure.
+  /// Thread-safe.
+  void Retire(void* obj, void (*deleter)(void*));
+
+  /// \brief Tries to advance the global epoch and frees every limbo
+  /// object no active reader can still see.  Called by writers after
+  /// each commit; safe from any thread.  Returns objects freed.
+  uint64_t ReclaimSome();
+
+  /// \brief ReclaimSome in a loop until limbo is empty or blocked by an
+  /// active reader.  Used by store teardown and tests.
+  void Drain();
+
+  EpochStats Stats() const;
+
+  // Implementation detail, public only for the thread-local slot registry
+  // in epoch.cc.
+  struct alignas(64) ThreadSlot {
+    // kSlotFree: unowned; kSlotIdle: owned, no guard active; otherwise
+    // the epoch announced by the active outermost guard.
+    std::atomic<uint64_t> state;
+    std::atomic<uint32_t> depth;  // Guard nesting, owner-thread only.
+  };
+  // Slots live in a shared block so a thread exiting *after* its manager
+  // was destroyed can still release its slot safely.
+  struct SlotBlock {
+    ThreadSlot slots[kMaxThreads];
+  };
+
+ private:
+  friend class Guard;
+
+  struct LimboEntry {
+    void* obj;
+    void (*deleter)(void*);
+    uint64_t tag;  // Global epoch at retire time.
+  };
+
+  ThreadSlot* AcquireSlotForThisThread();
+
+  const uint64_t id_;  // Unique per manager instance; never recycled.
+  std::shared_ptr<SlotBlock> block_;
+  std::atomic<uint64_t> global_epoch_{2};  // Start even and > sentinels' use.
+
+  mutable std::mutex limbo_mu_;
+  std::vector<LimboEntry> limbo_;
+
+  std::atomic<uint64_t> retired_total_{0};
+  std::atomic<uint64_t> reclaimed_total_{0};
+  std::atomic<uint64_t> advances_total_{0};
+  std::atomic<uint64_t> deferred_{0};
+};
+
+}  // namespace epoch
+}  // namespace bmeh
+
+#endif  // BMEH_COMMON_EPOCH_H_

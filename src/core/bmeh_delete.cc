@@ -26,18 +26,24 @@ using hashdir::Ref;
 
 Status BmehTree::Delete(const PseudoKey& key) {
   BMEH_RETURN_NOT_OK(schema_.Validate(key));
+  MutationScope scope(this);
   BMEH_ASSIGN_OR_RETURN(std::vector<PathStep> path,
                         hashdir::DescendToLeaf(schema_, nodes_, root_id_, key,
                                                &io_));
   const PathStep& leaf = path.back();
-  DirNode* node = nodes_.Get(leaf.node_id);
-  const Entry e = node->at(leaf.tuple);
+  // Const view first: a mutable Get would clone the node into the
+  // copy-on-write shadow even on the not-found paths.
+  const Entry e = std::as_const(nodes_).Get(leaf.node_id)->at(leaf.tuple);
   if (e.ref.is_nil()) {
     return Status::KeyError("key " + key.ToString() + " not found");
   }
   if (quarantined_.count(e.ref.id) != 0) {
     return Status::DataLoss("bucket for " + key.ToString() +
                             " was lost to corruption");
+  }
+  if (!std::as_const(pages_).Get(e.ref.id)->Contains(key)) {
+    io_.CountDataRead();
+    return Status::KeyError("key " + key.ToString() + " not found");
   }
   DataPage* page = pages_.Get(e.ref.id);
   io_.CountDataRead();
@@ -48,7 +54,7 @@ Status BmehTree::Delete(const PseudoKey& key) {
     MergeAfterDelete(path);
   } else if (page->empty()) {
     // Immediate deletion of empty pages (§2.1).
-    node->SetGroupRef(leaf.tuple, Ref::Nil());
+    nodes_.Get(leaf.node_id)->SetGroupRef(leaf.tuple, Ref::Nil());
     io_.CountDirWrite();
     pages_.Destroy(page->id());
   }

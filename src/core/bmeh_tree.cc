@@ -30,10 +30,55 @@ BmehTree::BmehTree(const KeySchema& schema, const TreeOptions& options)
         << "xi out of range for dim " << j;
   }
   root_id_ = nodes_.Create();
+  published_root_.store(root_id_, std::memory_order_relaxed);
+}
+
+void BmehTree::EnableConcurrentReads(epoch::EpochManager* mgr) {
+  BMEH_CHECK(mgr != nullptr);
+  BMEH_CHECK(epoch_ == nullptr) << "concurrent reads already enabled";
+  // Snapshot the current (quiescent) structure into the read plane.
+  published_root_.store(root_id_, std::memory_order_relaxed);
+  published_levels_.store(static_cast<uint64_t>(levels_),
+                          std::memory_order_relaxed);
+  published_records_.store(records_, std::memory_order_relaxed);
+  epoch_ = mgr;
+}
+
+void BmehTree::CommitMutation() {
+  const bool dirty =
+      nodes_.ScopeDirty() || pages_.ScopeDirty() ||
+      root_id_ != published_root_.load(std::memory_order_relaxed) ||
+      static_cast<uint64_t>(levels_) !=
+          published_levels_.load(std::memory_order_relaxed) ||
+      records_ != published_records_.load(std::memory_order_relaxed);
+  if (!dirty) {
+    // Read-only outcome (duplicate insert, missing delete, ...): nothing
+    // to publish, and no sequence bump to disturb in-flight readers.
+    nodes_.CancelScope();
+    pages_.CancelScope();
+    return;
+  }
+  pub_seq_.fetch_add(1, std::memory_order_acq_rel);  // Odd: commit open.
+  if (commit_hook_) commit_hook_();
+  std::vector<hashdir::RetiredObject> retired;
+  // Pages first: a reader that sees a new node must find its pages.
+  pages_.PublishScope(&retired);
+  nodes_.PublishScope(&retired);
+  published_root_.store(root_id_, std::memory_order_release);
+  published_levels_.store(static_cast<uint64_t>(levels_),
+                          std::memory_order_relaxed);
+  published_records_.store(records_, std::memory_order_relaxed);
+  pub_seq_.fetch_add(1, std::memory_order_release);  // Even: commit closed.
+  // Retire only after the slots no longer reach the originals.
+  for (const hashdir::RetiredObject& r : retired) {
+    epoch_->Retire(r.obj, r.deleter);
+  }
+  epoch_->ReclaimSome();
 }
 
 Status BmehTree::Insert(const PseudoKey& key, uint64_t payload) {
   BMEH_RETURN_NOT_OK(schema_.Validate(key));
+  MutationScope scope(this);
   // Wall time this insertion spent making room (the whole split cascade
   // across restarts); recorded as one histogram sample on success.
   uint64_t split_ns = 0;
@@ -42,12 +87,13 @@ Status BmehTree::Insert(const PseudoKey& key, uint64_t payload) {
                           hashdir::DescendToLeaf(schema_, nodes_, root_id_,
                                                  key, &io_));
     const PathStep& leaf = path.back();
-    DirNode* node = nodes_.Get(leaf.node_id);
-    const Entry& e = node->at(leaf.tuple);
+    // Read the entry through the const view: a mutable Get would clone the
+    // node into the copy-on-write shadow even when nothing changes.
+    const Entry e = std::as_const(nodes_).Get(leaf.node_id)->at(leaf.tuple);
     if (e.ref.is_nil()) {
       // Paper's P = NIL branch: a fresh page serves the whole region.
       const uint32_t pid = pages_.Create();
-      node->SetGroupRef(leaf.tuple, Ref::Page(pid));
+      nodes_.Get(leaf.node_id)->SetGroupRef(leaf.tuple, Ref::Page(pid));
       io_.CountDirWrite();
       BMEH_CHECK_OK(pages_.Get(pid)->Insert({key, payload}));
       io_.CountDataWrite();
@@ -62,14 +108,14 @@ Status BmehTree::Insert(const PseudoKey& key, uint64_t payload) {
       return Status::DataLoss("bucket for " + key.ToString() +
                               " was lost to corruption");
     }
-    DataPage* page = pages_.Get(e.ref.id);
+    const DataPage* page = std::as_const(pages_).Get(e.ref.id);
     io_.CountDataRead();
     if (page->Contains(key)) {
       return Status::AlreadyExists("key " + key.ToString() +
                                    " already present");
     }
     if (!page->full()) {
-      BMEH_CHECK_OK(page->Insert({key, payload}));
+      BMEH_CHECK_OK(pages_.Get(e.ref.id)->Insert({key, payload}));
       io_.CountDataWrite();
       ++records_;
       if (split_ns != 0) split_latency_->Record(split_ns);

@@ -23,12 +23,15 @@
 #ifndef BMEH_CORE_BMEH_TREE_H_
 #define BMEH_CORE_BMEH_TREE_H_
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "src/common/epoch.h"
 #include "src/hashdir/arena.h"
 #include "src/hashdir/descent.h"
 #include "src/hashdir/multikey_index.h"
@@ -182,8 +185,72 @@ class BmehTree : public MultiKeyIndex {
   /// \brief Graphviz dot rendering of the directory (for small trees).
   std::string ToDot() const;
 
+  // --- Optimistic (lock-free) read path --------------------------------
+  //
+  // Once enabled, every mutation runs as a copy-on-write transaction that
+  // publishes its touched nodes/pages atomically (see arena.h) and the
+  // methods below may run concurrently with one mutator without any lock.
+  // Replaced objects are retired through `mgr` so readers never touch
+  // freed memory.
+
+  /// \brief Enables concurrent reads.  Must be called while the tree is
+  /// quiescent (no concurrent readers or writers); irreversible.
+  void EnableConcurrentReads(epoch::EpochManager* mgr);
+  bool concurrent_reads_enabled() const { return epoch_ != nullptr; }
+
+  /// \brief Lock-free Search.  On a version conflict sets *conflict and
+  /// returns an error to be discarded; the caller retries with backoff.
+  /// Must run under an epoch::Guard.
+  Result<uint64_t> SearchOptimistic(const PseudoKey& key, bool* conflict);
+
+  /// \brief Lock-free RangeSearch; same conflict contract.  On conflict,
+  /// `out` is restored to its input size.  Must run under an epoch::Guard.
+  Status RangeSearchOptimistic(const RangePredicate& pred,
+                               std::vector<Record>* out, bool* conflict);
+
+  /// \brief Lock-free structure sample for metrics sources; returns false
+  /// on a version conflict.  Must run under an epoch::Guard.
+  bool SampleStatsOptimistic(IndexStructureStats* out) const;
+
+  /// \brief Publication sequence: odd while a commit is publishing.
+  uint64_t publication_seq() const {
+    return pub_seq_.load(std::memory_order_acquire);
+  }
+
+  /// \brief Test hook invoked mid-commit, while the publication sequence
+  /// is odd (to provoke deterministic reader conflicts).
+  void SetCommitHookForTesting(std::function<void()> hook) {
+    commit_hook_ = std::move(hook);
+  }
+
  private:
   friend class BmehValidator;
+
+  /// RAII copy-on-write transaction bracket for one mutation (no-op until
+  /// EnableConcurrentReads).
+  class MutationScope {
+   public:
+    explicit MutationScope(BmehTree* t)
+        : tree_(t), active_(t->epoch_ != nullptr) {
+      if (active_) {
+        t->nodes_.BeginScope();
+        t->pages_.BeginScope();
+      }
+    }
+    ~MutationScope() {
+      if (active_) tree_->CommitMutation();
+    }
+    MutationScope(const MutationScope&) = delete;
+    MutationScope& operator=(const MutationScope&) = delete;
+
+   private:
+    BmehTree* tree_;
+    bool active_;
+  };
+
+  /// Publishes the open arena scopes under the tree's sequence lock and
+  /// retires replaced objects to the epoch manager.
+  void CommitMutation();
 
   /// Shared body of LoadFrom / LoadFromTolerant (`report` null = strict).
   static Result<std::unique_ptr<BmehTree>> LoadImpl(PageStore* store,
@@ -251,6 +318,15 @@ class BmehTree : public MultiKeyIndex {
   int levels_ = 1;
   BmehMutationStats mutations_;
   obs::Histogram* split_latency_ = nullptr;
+
+  // Optimistic read plane.  Readers start from these atomics, never from
+  // root_id_/levels_/records_ (which a mutation updates mid-flight).
+  epoch::EpochManager* epoch_ = nullptr;
+  std::atomic<uint64_t> pub_seq_{0};
+  std::atomic<uint32_t> published_root_{0};
+  std::atomic<uint64_t> published_levels_{1};
+  std::atomic<uint64_t> published_records_{0};
+  std::function<void()> commit_hook_;
   /// Buckets that exist in the directory but whose records were lost to
   /// on-disk corruption (empty placeholder pages in pages_).  Only ever
   /// populated by LoadFromTolerant; an empty set means a healthy tree.

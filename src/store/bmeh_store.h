@@ -47,6 +47,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <string>
@@ -73,6 +74,16 @@ struct StoreOptions {
   int page_size = kDefaultPageSize;
   /// Checkpoint automatically after this many mutations (0 = manual).
   uint64_t checkpoint_every = 0;
+  /// Optimistic lock-free reads: Get/Range descend the tree's published
+  /// structure validating per-node version words (even = stable, odd =
+  /// write in progress), retry on conflict with bounded backoff, and fall
+  /// back to the shared lock under persistent churn; replaced nodes are
+  /// reclaimed through the process-wide epoch manager so readers never
+  /// touch freed memory.  Critically, readers no longer wait out a
+  /// writer's WAL fsync.  Automatically disabled on stores that open
+  /// degraded (quarantined buckets keep the strict locked path).  See
+  /// DESIGN.md §13.
+  bool optimistic_reads = true;
   /// Fsync the WAL after this many appended records.  1 (the default)
   /// makes every acknowledged mutation durable; larger values trade a
   /// bounded window of recent mutations for fewer fsyncs; 0 syncs only
@@ -234,6 +245,9 @@ class WriteBatch {
 /// \brief A durable multidimensional record store.
 class BmehStore {
  public:
+  /// Attempts per optimistic read before falling back to the shared lock.
+  static constexpr int kOlcReadAttempts = 4;
+
   ~BmehStore();
   BmehStore(const BmehStore&) = delete;
   BmehStore& operator=(const BmehStore&) = delete;
@@ -358,6 +372,10 @@ class BmehStore {
   const BmehTree& tree() const { return *tree_; }
   BmehTree* mutable_tree() { return tree_.get(); }
 
+  /// \brief True when Get/Range run the lock-free optimistic path (see
+  /// StoreOptions::optimistic_reads; false on degraded stores).
+  bool optimistic_reads_enabled() const { return olc_enabled_; }
+
   /// \brief The underlying page device (introspection / test assertions).
   const PageStore& page_store() const { return *store_; }
   PageStore* mutable_page_store() { return store_.get(); }
@@ -427,6 +445,14 @@ class BmehStore {
   /// both are null).  Called from the constructor so WAL replay during
   /// Open() is already counted.
   void AttachObservability(const StoreOptions& options);
+  /// Flips the tree into concurrent-read mode at the end of Open (no-op
+  /// when disabled by options or the store opened degraded).
+  void EnableOptimisticReads(const StoreOptions& options);
+  /// One lock-free Get/Range attempt loop; returns true when the result
+  /// is final (no fallback needed).  `res`/`st` receive the outcome.
+  bool TryGetOptimistic(const PseudoKey& key, Result<uint64_t>* res);
+  bool TryRangeOptimistic(const RangePredicate& pred,
+                          std::vector<Record>* out, Status* st);
   /// Appends to the WAL and makes the record reachable + durable per the
   /// sync policy.  On failure the store is poisoned.
   Status LogMutation(const Wal::LogRecord& rec);
@@ -444,6 +470,29 @@ class BmehStore {
   /// the telemetry scope open.
   Status CheckpointArmedLocked();
   Status MaybeAutoCheckpointLocked();
+  /// RAII exclusive hold of op_mutex_ that keeps writers_pending_ raised
+  /// until release (see the member comment).  Only ever constructed as a
+  /// prvalue from LockExclusive(), hence no move support.
+  class ExclusiveOpLock {
+   public:
+    explicit ExclusiveOpLock(const BmehStore* s) : s_(s) {
+      s_->writers_pending_.fetch_add(1, std::memory_order_acquire);
+      lock_ = std::unique_lock<std::shared_mutex>(s_->op_mutex_);
+    }
+    ~ExclusiveOpLock() {
+      lock_.unlock();
+      s_->writers_pending_.fetch_sub(1, std::memory_order_release);
+    }
+    ExclusiveOpLock(ExclusiveOpLock&&) = delete;
+
+   private:
+    const BmehStore* s_;
+    std::unique_lock<std::shared_mutex> lock_;
+  };
+
+  /// Write-preferring acquisition of op_mutex_ (see the member comment).
+  ExclusiveOpLock LockExclusive() const { return ExclusiveOpLock(this); }
+  std::shared_lock<std::shared_mutex> LockShared() const;
 
   /// Operation lock.  Without group commit the store stays
   /// owner-synchronized and the lock is merely uncontended overhead; with
@@ -451,7 +500,21 @@ class BmehStore {
   /// batch writes, checkpoints and metrics sampling safe against the
   /// thread: mutators hold it exclusively, readers and the sampled
   /// sources take it shared.
+  ///
+  /// Acquire through LockExclusive() / LockShared(): glibc's rwlock
+  /// prefers readers, so a stream of Get threads can starve a mutator
+  /// indefinitely (observed: single-digit writes/sec under 16 spinning
+  /// readers).  Mutators raise `writers_pending_` for their whole
+  /// exclusive tenure — acquisition wait *and* hold — and locked readers
+  /// back off on short timed sleeps while it is up.  Two effects: the
+  /// writer's wait is bounded by in-flight readers rather than by reader
+  /// arrival rate, and readers never pile up parked on the rwlock itself,
+  /// so releasing it is not a 16-thread futex wake that hands the core to
+  /// a crowd of sleeper-boosted readers before the writer can continue (a
+  /// real mode: it capped a streaming writer at ~13 commits/s on one
+  /// core).  Optimistic readers never touch the lock at all.
   mutable std::shared_mutex op_mutex_;
+  mutable std::atomic<int> writers_pending_{0};
   std::unique_ptr<PageStore> store_;
   std::unique_ptr<BmehTree> tree_;
   std::unique_ptr<Wal> wal_;
@@ -509,6 +572,16 @@ class BmehStore {
   obs::Histogram* range_latency_ = nullptr;
   obs::Histogram* checkpoint_latency_ = nullptr;
   obs::Histogram* wal_append_latency_ = nullptr;
+
+  /// Optimistic read plane (see StoreOptions::optimistic_reads).  Set
+  /// once at the end of Open, before the store escapes to any thread.
+  bool olc_enabled_ = false;
+  epoch::EpochManager* epoch_mgr_ = nullptr;
+  std::atomic<uint64_t> backoff_seed_{0x853c49e6748fea9bull};
+  obs::Counter* read_retries_total_ = nullptr;
+  obs::Counter* read_fallbacks_total_ = nullptr;
+  obs::Histogram* search_retried_latency_ = nullptr;
+  obs::Histogram* range_retried_latency_ = nullptr;
 };
 
 namespace internal {
