@@ -80,8 +80,11 @@ EpochManager::ThreadSlot* EpochManager::AcquireSlotForThisThread() {
       return &s;
     }
   }
-  BMEH_CHECK(false) << "epoch: more than " << kMaxThreads
-                    << " concurrent reader threads";
+  // Every slot leased: degrade gracefully — the caller's Guard stays
+  // unpinned and optimistic readers fall back to their locked path.  A
+  // thread-per-request server sharing the Global() manager across many
+  // stores can hit this legitimately; crashing would turn an overload
+  // into an outage.
   return nullptr;
 }
 
@@ -161,6 +164,7 @@ EpochStats EpochManager::Stats() const {
 
 Guard::Guard(EpochManager* mgr) : mgr_(mgr), slot_(nullptr), announced_(false) {
   EpochManager::ThreadSlot* slot = mgr_->AcquireSlotForThisThread();
+  if (slot == nullptr) return;  // Slots exhausted: unpinned (see pinned()).
   slot_ = slot;
   const uint32_t depth = slot->depth.load(std::memory_order_relaxed);
   slot->depth.store(depth + 1, std::memory_order_relaxed);
@@ -176,6 +180,7 @@ Guard::Guard(EpochManager* mgr) : mgr_(mgr), slot_(nullptr), announced_(false) {
 }
 
 Guard::~Guard() {
+  if (slot_ == nullptr) return;  // Unpinned: nothing was announced.
   auto* slot = static_cast<EpochManager::ThreadSlot*>(slot_);
   const uint32_t depth = slot->depth.load(std::memory_order_relaxed);
   slot->depth.store(depth - 1, std::memory_order_relaxed);

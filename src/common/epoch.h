@@ -56,6 +56,12 @@ class Guard {
   Guard(const Guard&) = delete;
   Guard& operator=(const Guard&) = delete;
 
+  /// \brief False when all kMaxThreads reader slots were taken: the guard
+  /// pins nothing, so running an optimistic read under it would race
+  /// reclamation.  Callers must treat an unpinned guard as a conflict and
+  /// degrade to their locked fallback path instead.
+  bool pinned() const { return slot_ != nullptr; }
+
  private:
   EpochManager* mgr_;
   void* slot_;       // ThreadSlot*, opaque here.
@@ -117,6 +123,8 @@ class EpochManager {
     uint64_t tag;  // Global epoch at retire time.
   };
 
+  /// Null when every slot is taken (kMaxThreads concurrent reader
+  /// threads) — the caller's Guard stays unpinned rather than crashing.
   ThreadSlot* AcquireSlotForThisThread();
 
   const uint64_t id_;  // Unique per manager instance; never recycled.

@@ -278,25 +278,31 @@ Result<std::pair<Ref, Ref>> BmehTree::ForceSplitChild(
     return Status::CapacityError(
         "force split beyond pseudo-key width in dim " + std::to_string(m));
   }
-  DataPage* old_page = pages_.Get(child.id);
+  // Fresh ids for both halves, old id tombstoned — see SplitPageGroup for
+  // why a lock-free reader must never pair a stale parent snapshot with a
+  // narrowed page republished at the old id.
+  const DataPage* old_page = std::as_const(pages_).Get(child.id);
   io_.CountDataRead();
-  const uint32_t new_pid = pages_.Create();
-  DataPage* new_page = pages_.Get(new_pid);
-  old_page->Partition(
-      [&](const Record& rec) {
-        return bit_util::BitAt(rec.key.component(m), w, split_bit) == 1;
-      },
-      new_page);
-  Ref left = Ref::Page(old_page->id());
-  Ref right = Ref::Page(new_pid);
+  const uint32_t left_pid = pages_.Create();
+  const uint32_t right_pid = pages_.Create();
+  DataPage* left_page = pages_.Get(left_pid);
+  DataPage* right_page = pages_.Get(right_pid);
+  for (const Record& rec : old_page->records()) {
+    const bool high =
+        bit_util::BitAt(rec.key.component(m), w, split_bit) == 1;
+    BMEH_CHECK_OK((high ? right_page : left_page)->Insert(rec));
+  }
+  pages_.Destroy(child.id);
+  Ref left = Ref::Page(left_pid);
+  Ref right = Ref::Page(right_pid);
   // A force-split may leave one side empty; empty pages are dropped
   // immediately (§2.1).
-  if (new_page->empty()) {
-    pages_.Destroy(new_pid);
+  if (right_page->empty()) {
+    pages_.Destroy(right_pid);
     right = Ref::Nil();
   }
-  if (old_page->empty()) {
-    pages_.Destroy(old_page->id());
+  if (left_page->empty()) {
+    pages_.Destroy(left_pid);
     left = Ref::Nil();
   }
   io_.CountDataWrite((left.is_nil() ? 0 : 1) + (right.is_nil() ? 0 : 1));

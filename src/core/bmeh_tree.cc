@@ -63,6 +63,7 @@ void BmehTree::CommitMutation() {
   std::vector<hashdir::RetiredObject> retired;
   // Pages first: a reader that sees a new node must find its pages.
   pages_.PublishScope(&retired);
+  if (mid_publish_hook_) mid_publish_hook_();
   nodes_.PublishScope(&retired);
   published_root_.store(root_id_, std::memory_order_release);
   published_levels_.store(static_cast<uint64_t>(levels_),
@@ -79,6 +80,10 @@ void BmehTree::CommitMutation() {
 Status BmehTree::Insert(const PseudoKey& key, uint64_t payload) {
   BMEH_RETURN_NOT_OK(schema_.Validate(key));
   MutationScope scope(this);
+  return InsertUnscoped(key, payload);
+}
+
+Status BmehTree::InsertUnscoped(const PseudoKey& key, uint64_t payload) {
   // Wall time this insertion spent making room (the whole split cascade
   // across restarts); recorded as one histogram sample on success.
   uint64_t split_ns = 0;

@@ -223,6 +223,13 @@ class BmehTree : public MultiKeyIndex {
     commit_hook_ = std::move(hook);
   }
 
+  /// \brief Test hook invoked between the page-slot and node-slot
+  /// publishes — the exact window where new pages are visible but the
+  /// directory still routes through pre-commit nodes.
+  void SetMidPublishHookForTesting(std::function<void()> hook) {
+    mid_publish_hook_ = std::move(hook);
+  }
+
  private:
   friend class BmehValidator;
 
@@ -251,6 +258,10 @@ class BmehTree : public MultiKeyIndex {
   /// Publishes the open arena scopes under the tree's sequence lock and
   /// retires replaced objects to the epoch manager.
   void CommitMutation();
+
+  /// Insert body; the caller owns the MutationScope bracket (Insert opens
+  /// one per record, BulkLoad one for the whole batch).
+  Status InsertUnscoped(const PseudoKey& key, uint64_t payload);
 
   /// Shared body of LoadFrom / LoadFromTolerant (`report` null = strict).
   static Result<std::unique_ptr<BmehTree>> LoadImpl(PageStore* store,
@@ -327,6 +338,7 @@ class BmehTree : public MultiKeyIndex {
   std::atomic<uint64_t> published_levels_{1};
   std::atomic<uint64_t> published_records_{0};
   std::function<void()> commit_hook_;
+  std::function<void()> mid_publish_hook_;
   /// Buckets that exist in the directory but whose records were lost to
   /// on-disk corruption (empty placeholder pages in pages_).  Only ever
   /// populated by LoadFromTolerant; an empty set means a healthy tree.

@@ -57,8 +57,13 @@ Status BmehTree::BulkLoad(std::vector<Record> records) {
                                    records[i].key.ToString());
     }
   }
+  // One copy-on-write scope brackets the whole batch: with concurrent
+  // reads enabled the load publishes as a single atomic transition —
+  // readers see the empty tree and then the full one, never in-place
+  // writes to published slots or a half-loaded prefix.
+  MutationScope scope(this);
   for (const Record& rec : records) {
-    BMEH_RETURN_NOT_OK(Insert(rec.key, rec.payload));
+    BMEH_RETURN_NOT_OK(InsertUnscoped(rec.key, rec.payload));
   }
   return Status::OK();
 }

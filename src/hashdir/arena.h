@@ -19,7 +19,11 @@
 // its final object with an odd/even version bump around the store.
 // Published objects are therefore immutable — a reader can never observe
 // a torn node — and replaced originals are handed to the caller for
-// epoch-based retirement instead of being freed in place.
+// epoch-based retirement instead of being freed in place.  Ids destroyed
+// inside a scope re-enter the free list only when the scope publishes, so
+// the same scope can never republish such a slot with an object for an
+// unrelated region while a stale parent that still routes to it awaits
+// its own republish.
 
 #ifndef BMEH_HASHDIR_ARENA_H_
 #define BMEH_HASHDIR_ARENA_H_
@@ -118,21 +122,29 @@ class Arena {
 
   void Destroy(uint32_t id) {
     if (scope_active_) {
+      // Ids whose slot was ever published must NOT be recycled within the
+      // same scope: a later Create would republish the slot with an object
+      // for an unrelated region, and a reader pairing a stale (not yet
+      // republished) parent with that slot would validate cleanly and read
+      // the wrong region.  Park them until PublishScope, when the
+      // tombstone (null pointer + version bump) lands first.
       auto it = shadow_.find(id);
       if (it != shadow_.end()) {
         BMEH_CHECK(it->second != nullptr) << "Destroy of dead id " << id;
         if (originals_.count(id) > 0) {
           it->second.reset();  // Published original exists: tombstone it.
+          scope_freed_.push_back(id);
         } else {
           shadow_.erase(it);  // Created this scope: never published.
+          free_.push_back(id);
         }
       } else {
         T* pub = Cell_(id).ptr.load(std::memory_order_relaxed);
         BMEH_CHECK(pub != nullptr) << "Destroy of dead id " << id;
         originals_.emplace(id, pub);
         shadow_.emplace(id, nullptr);
+        scope_freed_.push_back(id);
       }
-      free_.push_back(id);
       --scope_live_delta_;
       return;
     }
@@ -226,6 +238,7 @@ class Arena {
   void CancelScope() {
     BMEH_CHECK(scope_active_ && shadow_.empty());
     BMEH_CHECK(originals_.empty());
+    BMEH_CHECK(scope_freed_.empty());
     scope_active_ = false;
   }
 
@@ -252,6 +265,10 @@ class Arena {
       live_.fetch_sub(static_cast<uint64_t>(-scope_live_delta_),
                       std::memory_order_relaxed);
     }
+    // Destroyed ids become recyclable only now that their tombstones are
+    // published (see Destroy).
+    free_.insert(free_.end(), scope_freed_.begin(), scope_freed_.end());
+    scope_freed_.clear();
     shadow_.clear();
     originals_.clear();
     scope_live_delta_ = 0;
@@ -366,6 +383,9 @@ class Arena {
   std::unordered_map<uint32_t, std::unique_ptr<T>> shadow_;
   // id -> published object to retire once the scope publishes.
   std::unordered_map<uint32_t, T*> originals_;
+  // Destroyed ids with a published slot, parked until PublishScope so the
+  // scope cannot recycle them (see Destroy).
+  std::vector<uint32_t> scope_freed_;
 };
 
 /// \brief Pool of data pages of a fixed capacity b.

@@ -1,5 +1,7 @@
 #include "src/hashdir/split_util.h"
 
+#include <utility>
+
 #include "src/common/bit_util.h"
 
 namespace bmeh {
@@ -13,21 +15,31 @@ Status SplitPageGroup(const KeySchema& schema, DirNode* node,
   BMEH_CHECK(proto.ref.is_page());
   BMEH_CHECK(proto.h[m] < node->depth(m));
 
-  DataPage* old_page = pages->Get(proto.ref.id);
-  const uint32_t new_pid = pages->Create();
-  DataPage* new_page = pages->Get(new_pid);
+  // Both halves get FRESH page ids and the old id is destroyed (its slot
+  // tombstones to null when the split publishes).  Reusing the old id for
+  // one half would let a lock-free reader pair a stale pre-split node
+  // snapshot — whose entry still routes the whole region to the old id —
+  // with the post-split page serving only half the region, and report a
+  // present key as not found.  A null slot turns that interleave into a
+  // conflict/retry instead, matching the node-split discipline.
+  const DataPage* old_page = std::as_const(*pages).Get(proto.ref.id);
+  const uint32_t left_pid = pages->Create();
+  const uint32_t right_pid = pages->Create();
+  DataPage* left_page = pages->Get(left_pid);
+  DataPage* right_page = pages->Get(right_pid);
 
-  node->SplitGroup(t, m, Ref::Page(proto.ref.id), Ref::Page(new_pid));
+  node->SplitGroup(t, m, Ref::Page(left_pid), Ref::Page(right_pid));
   io->CountDirWrite();
 
   const int w = schema.width(m);
   const int split_bit = consumed[m] + proto.h[m];
   BMEH_CHECK(split_bit < w) << "split beyond pseudo-key width";
-  old_page->Partition(
-      [&](const Record& rec) {
-        return bit_util::BitAt(rec.key.component(m), w, split_bit) == 1;
-      },
-      new_page);
+  for (const Record& rec : old_page->records()) {
+    const bool high =
+        bit_util::BitAt(rec.key.component(m), w, split_bit) == 1;
+    BMEH_CHECK_OK((high ? right_page : left_page)->Insert(rec));
+  }
+  pages->Destroy(proto.ref.id);
   io->CountDataWrite(2);
 
   // Immediate deletion of empty pages: replace the empty side with NIL.
@@ -40,8 +52,8 @@ Status SplitPageGroup(const KeySchema& schema, DirNode* node,
     node->SetGroupRef(half, Ref::Nil());
     pages->Destroy(page->id());
   };
-  drop_if_empty(new_page, /*right_half=*/true);
-  drop_if_empty(old_page, /*right_half=*/false);
+  drop_if_empty(right_page, /*right_half=*/true);
+  drop_if_empty(left_page, /*right_half=*/false);
   return Status::OK();
 }
 

@@ -261,7 +261,8 @@ void BmehStore::AttachObservability(const StoreOptions& options) {
         bool sampled = false;
         if (olc_enabled_) {
           epoch::Guard guard(epoch_mgr_);
-          for (int i = 0; i < kOlcReadAttempts && !sampled; ++i) {
+          for (int i = 0; guard.pinned() && i < kOlcReadAttempts && !sampled;
+               ++i) {
             sampled = tree_->SampleStatsOptimistic(&ts);
           }
           const epoch::EpochStats es = epoch_mgr_->Stats();
@@ -549,10 +550,18 @@ bool BmehStore::TryGetOptimistic(const PseudoKey& key, Result<uint64_t>* res) {
   uint64_t t0 = 0;
   for (int attempt = 0;;) {
     bool conflict = false;
+    bool unpinned = false;
     Result<uint64_t> found = [&]() -> Result<uint64_t> {
       epoch::Guard guard(epoch_mgr_);
+      if (!guard.pinned()) {
+        // All epoch reader slots taken: no reclamation protection, so the
+        // optimistic descent is unsafe.  Degrade to the locked path.
+        unpinned = true;
+        return Status::Unavailable("epoch reader slots exhausted");
+      }
       return tree_->SearchOptimistic(key, &conflict);
     }();
+    if (unpinned) break;
     if (!conflict) {
       if (attempt > 0 && search_retried_latency_ != nullptr) {
         search_retried_latency_->Record(obs::MonotonicNanos() - t0);
@@ -579,10 +588,16 @@ bool BmehStore::TryRangeOptimistic(const RangePredicate& pred,
   uint64_t t0 = 0;
   for (int attempt = 0;;) {
     bool conflict = false;
+    bool unpinned = false;
     Status walked = [&] {
       epoch::Guard guard(epoch_mgr_);
+      if (!guard.pinned()) {  // Slots exhausted: take the locked path.
+        unpinned = true;
+        return Status::Unavailable("epoch reader slots exhausted");
+      }
       return tree_->RangeSearchOptimistic(pred, out, &conflict);
     }();
+    if (unpinned) break;
     if (!conflict) {
       if (attempt > 0 && range_retried_latency_ != nullptr) {
         range_retried_latency_->Record(obs::MonotonicNanos() - t0);

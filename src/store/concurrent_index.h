@@ -12,6 +12,11 @@
 //    nodes are retired through epoch-based reclamation, so readers never
 //    touch freed memory.  See arena.h / bmeh_olc_read.cc for the
 //    protocol and DESIGN.md §13 for the proof sketch.
+// The remaining locked path is write-preferring (same discipline as
+// BmehStore): mutators raise writers_pending_ for their whole exclusive
+// tenure and locked readers back off on capped timed sleeps, so fallback
+// churn can neither starve writers (glibc's rwlock prefers readers) nor
+// stage a futex thundering herd at release time.
 //
 // Observability: construct with a MetricsRegistry to get per-operation
 // counters (`index_*_total`, plus `index_read_retries_total` and
@@ -27,6 +32,7 @@
 #ifndef BMEH_STORE_CONCURRENT_INDEX_H_
 #define BMEH_STORE_CONCURRENT_INDEX_H_
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -117,7 +123,7 @@ class ConcurrentIndex {
   Status Insert(const PseudoKey& key, uint64_t payload) {
     if (inserts_ != nullptr) inserts_->Inc();
     obs::ScopedLatency timer(insert_latency_);
-    std::unique_lock lock(mutex_);
+    auto lock = LockExclusive();
     return index_->Insert(key, payload);
   }
 
@@ -130,7 +136,7 @@ class ConcurrentIndex {
   Status InsertBatch(std::span<const Record> records) {
     if (inserts_ != nullptr) inserts_->Inc(records.size());
     obs::ScopedLatency timer(insert_latency_);
-    std::unique_lock lock(mutex_);
+    auto lock = LockExclusive();
     Status first;
     for (const Record& rec : records) {
       Status st = index_->Insert(rec.key, rec.payload);
@@ -149,10 +155,18 @@ class ConcurrentIndex {
       uint64_t t0 = 0;
       for (int attempt = 0;;) {
         bool conflict = false;
+        bool unpinned = false;
         Result<uint64_t> r = [&]() -> Result<uint64_t> {
           epoch::Guard g(epoch_);
+          if (!g.pinned()) {
+            // All epoch reader slots taken: no reclamation protection, so
+            // the optimistic descent is unsafe.  Take the locked path.
+            unpinned = true;
+            return Status::Unavailable("epoch reader slots exhausted");
+          }
           return tree_olc_->SearchOptimistic(key, &conflict);
         }();
+        if (unpinned) break;
         if (!conflict) {
           if (attempt > 0 && search_retried_latency_ != nullptr) {
             search_retried_latency_->Record(obs::MonotonicNanos() - t0);
@@ -169,14 +183,14 @@ class ConcurrentIndex {
       }
       if (read_fallbacks_ != nullptr) read_fallbacks_->Inc();
     }
-    std::shared_lock lock(mutex_);
+    auto lock = LockShared();
     return index_->Search(key);
   }
 
   Status Delete(const PseudoKey& key) {
     if (deletes_ != nullptr) deletes_->Inc();
     obs::ScopedLatency timer(delete_latency_);
-    std::unique_lock lock(mutex_);
+    auto lock = LockExclusive();
     return index_->Delete(key);
   }
 
@@ -186,7 +200,7 @@ class ConcurrentIndex {
   Status DeleteBatch(std::span<const PseudoKey> keys) {
     if (deletes_ != nullptr) deletes_->Inc(keys.size());
     obs::ScopedLatency timer(delete_latency_);
-    std::unique_lock lock(mutex_);
+    auto lock = LockExclusive();
     Status first;
     for (const PseudoKey& key : keys) {
       Status st = index_->Delete(key);
@@ -203,10 +217,16 @@ class ConcurrentIndex {
       uint64_t t0 = 0;
       for (int attempt = 0;;) {
         bool conflict = false;
+        bool unpinned = false;
         Status st = [&] {
           epoch::Guard g(epoch_);
+          if (!g.pinned()) {  // Slots exhausted: take the locked path.
+            unpinned = true;
+            return Status::Unavailable("epoch reader slots exhausted");
+          }
           return tree_olc_->RangeSearchOptimistic(pred, out, &conflict);
         }();
+        if (unpinned) break;
         if (!conflict) {
           if (attempt > 0 && range_retried_latency_ != nullptr) {
             range_retried_latency_->Record(obs::MonotonicNanos() - t0);
@@ -223,17 +243,17 @@ class ConcurrentIndex {
       }
       if (read_fallbacks_ != nullptr) read_fallbacks_->Inc();
     }
-    std::shared_lock lock(mutex_);
+    auto lock = LockShared();
     return index_->RangeSearch(pred, out);
   }
 
   IndexStructureStats Stats() const {
-    std::shared_lock lock(mutex_);
+    auto lock = LockShared();
     return index_->Stats();
   }
 
   Status Validate() const {
-    std::shared_lock lock(mutex_);
+    auto lock = LockShared();
     return index_->Validate();
   }
 
@@ -243,6 +263,45 @@ class ConcurrentIndex {
   bool optimistic_reads_enabled() const { return tree_olc_ != nullptr; }
 
  private:
+  /// RAII exclusive hold of mutex_ that keeps writers_pending_ raised for
+  /// the writer's whole tenure — acquisition wait AND hold — mirroring
+  /// BmehStore's write-preferring gate: glibc's rwlock prefers readers,
+  /// so a stream of shared-lock fallback readers could otherwise starve
+  /// writers indefinitely and pile up parked on the rwlock futex (whose
+  /// release then wakes the whole crowd before the writer can continue).
+  /// Only ever constructed as a prvalue from LockExclusive().
+  class ExclusiveLock {
+   public:
+    explicit ExclusiveLock(const ConcurrentIndex* c) : c_(c) {
+      c_->writers_pending_.fetch_add(1, std::memory_order_acquire);
+      lock_ = std::unique_lock<std::shared_mutex>(c_->mutex_);
+    }
+    ~ExclusiveLock() {
+      lock_.unlock();
+      c_->writers_pending_.fetch_sub(1, std::memory_order_release);
+    }
+    ExclusiveLock(ExclusiveLock&&) = delete;
+
+   private:
+    const ConcurrentIndex* c_;
+    std::unique_lock<std::shared_mutex> lock_;
+  };
+
+  ExclusiveLock LockExclusive() const { return ExclusiveLock(this); }
+
+  /// Write-preferring shared acquisition: back off on short capped timed
+  /// sleeps while any mutator is waiting or holding, so readers neither
+  /// starve writers nor park on the rwlock futex.  No livelock: the gate
+  /// drops the moment the last pending mutator releases.
+  std::shared_lock<std::shared_mutex> LockShared() const {
+    uint64_t park_us = 10;
+    while (writers_pending_.load(std::memory_order_acquire) > 0) {
+      SleepUs(park_us);
+      park_us = std::min<uint64_t>(park_us * 2, 1000);
+    }
+    return std::shared_lock<std::shared_mutex>(mutex_);
+  }
+
   static BackoffPolicy ReadRetryPolicy() {
     BackoffPolicy p;
     p.max_attempts = kReadAttempts;
@@ -265,7 +324,8 @@ class ConcurrentIndex {
   void SampleStatsForMetrics(IndexStructureStats* out) const {
     if (tree_olc_ != nullptr) {
       epoch::Guard g(epoch_);
-      for (int attempt = 0; attempt < kReadAttempts; ++attempt) {
+      for (int attempt = 0; g.pinned() && attempt < kReadAttempts;
+           ++attempt) {
         if (tree_olc_->SampleStatsOptimistic(out)) return;
       }
     }
@@ -276,6 +336,7 @@ class ConcurrentIndex {
   // from any thread because IoCounter is atomic; the registry source
   // above snapshots them likewise.
   mutable std::shared_mutex mutex_;
+  mutable std::atomic<int> writers_pending_{0};
   std::unique_ptr<MultiKeyIndex> index_;
   BmehTree* tree_olc_ = nullptr;  // Non-null once lock-free reads are on.
   epoch::EpochManager* epoch_ = nullptr;

@@ -75,6 +75,53 @@ TEST(ArenaTest, CreateAtIntoFreedSlot) {
   EXPECT_NE(c, a);
 }
 
+TEST(ArenaTest, ScopeDefersRecyclingOfPublishedIds) {
+  // Regression: Destroy inside a copy-on-write scope used to return the id
+  // to the free list immediately, so a later Create in the SAME scope
+  // could republish the slot with an object for an unrelated region.  An
+  // optimistic reader pairing a stale parent (still routing to the id,
+  // its own republish pending) with that slot would validate cleanly and
+  // read the wrong region.  Published ids now become recyclable only at
+  // PublishScope, after their tombstones land.
+  Arena<int> arena;
+  uint32_t a = arena.Create([](uint32_t) { return std::make_unique<int>(1); });
+  arena.BeginScope();
+  arena.Destroy(a);
+  uint32_t b = arena.Create([](uint32_t) { return std::make_unique<int>(2); });
+  EXPECT_NE(b, a) << "published id recycled within its destroying scope";
+
+  std::vector<RetiredObject> retired;
+  arena.PublishScope(&retired);
+  ASSERT_EQ(retired.size(), 1u);
+  for (RetiredObject& r : retired) r.deleter(r.obj);
+  EXPECT_FALSE(arena.Alive(a));
+  EXPECT_EQ(arena.Acquire(a).ptr, nullptr);  // Tombstone is published.
+
+  // Once the tombstone is out, the id is recyclable again.
+  uint32_t c = arena.Create([](uint32_t) { return std::make_unique<int>(3); });
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(*arena.Get(c), 3);
+}
+
+TEST(ArenaTest, ScopeRecyclesNeverPublishedIdsImmediately) {
+  // Ids created inside the scope have a null published slot, so recycling
+  // them within the same scope is safe: no stale parent can route to a
+  // slot that was never published, and a reader that reaches the null
+  // pointer treats it as a conflict regardless.
+  Arena<int> arena;
+  arena.BeginScope();
+  uint32_t a = arena.Create([](uint32_t) { return std::make_unique<int>(1); });
+  arena.Destroy(a);
+  uint32_t b = arena.Create([](uint32_t) { return std::make_unique<int>(2); });
+  EXPECT_EQ(b, a);
+
+  std::vector<RetiredObject> retired;
+  arena.PublishScope(&retired);
+  EXPECT_TRUE(retired.empty());
+  EXPECT_EQ(*arena.Get(b), 2);
+  EXPECT_EQ(arena.live_count(), 1u);
+}
+
 TEST(ArenaTest, ForEachVisitsLiveOnly) {
   Arena<int> arena;
   uint32_t a = arena.Create([](uint32_t) { return std::make_unique<int>(1); });

@@ -141,6 +141,71 @@ TEST(EpochTest, ThreadDeathReleasesSlot) {
   EXPECT_EQ(freed.load(), 1) << "dead threads' slots still pin the epoch";
 }
 
+TEST(EpochTest, GuardUnpinnedWhenSlotsExhausted) {
+  // Slot leases are per thread-lifetime, so kMaxThreads live threads that
+  // have ever taken a guard exhaust the manager.  The next thread's guard
+  // must degrade to unpinned (callers fall back to their locked read
+  // path) instead of aborting the process, and slots must come back once
+  // the leaseholders exit.
+  EpochManager mgr;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int ready = 0;
+  bool release = false;
+
+  std::vector<std::thread> holders;
+  for (int i = 0; i < EpochManager::kMaxThreads; ++i) {
+    holders.emplace_back([&] {
+      {
+        Guard g(&mgr);
+        EXPECT_TRUE(g.pinned());
+      }
+      // The lease outlives the guard: the slot stays taken (idle) until
+      // this thread dies, which is what makes exhaustion reachable.
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ++ready;
+      }
+      cv.notify_all();
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return ready == EpochManager::kMaxThreads; });
+  }
+
+  std::thread extra([&] {
+    Guard g(&mgr);
+    EXPECT_FALSE(g.pinned());
+    Guard nested(&mgr);  // Nested acquisition must degrade the same way.
+    EXPECT_FALSE(nested.pinned());
+  });
+  extra.join();
+
+  // An unpinned guard pins nothing, so reclamation keeps making progress.
+  std::atomic<int> freed{0};
+  mgr.Retire(new Tracked(&freed), DeleteTracked);
+  mgr.Drain();
+  EXPECT_EQ(freed.load(), 1);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : holders) t.join();
+
+  // Thread death released the leases: a late thread pins again.
+  std::thread late([&] {
+    Guard g(&mgr);
+    EXPECT_TRUE(g.pinned());
+  });
+  late.join();
+}
+
 TEST(EpochTest, ManagerDestructionFreesLimbo) {
   std::atomic<int> freed{0};
   {

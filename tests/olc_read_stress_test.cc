@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/common/backoff.h"
+#include "src/common/epoch.h"
 #include "src/common/random.h"
 #include "src/metrics/experiment.h"
 #include "src/store/concurrent_index.h"
@@ -211,6 +212,59 @@ TEST(OlcReadStressTest, RetryCounterAdvancesOnGuaranteedConflict) {
   // The fallback path (not a late success) served the read, so the
   // retried-success histogram may be empty; it must exist either way.
   ASSERT_NE(retried, nullptr);
+}
+
+TEST(OlcReadStressTest, MidPublishPageSplitConflictsInsteadOfKeyError) {
+  // Linearizability regression.  SplitPageGroup used to reuse the old
+  // page id for the LEFT half.  Pages publish before nodes, so in the
+  // mid-publish window a reader could pair the stale pre-split node
+  // (routing the whole region to the old id) with the already-republished
+  // page (now holding only the left half): both version validations pass,
+  // and a present key that moved to the right half came back as a
+  // definitive KeyError.  Both halves now take fresh ids and the old id
+  // is tombstoned, so the stale pairing hits a null slot and surfaces as
+  // a conflict (retry) instead of a wrong answer.
+  Harness h(/*page_capacity=*/2);
+  ASSERT_NE(h.tree, nullptr);
+
+  const uint32_t kHighBit = 1u << 30;  // MSB of a width-31 component.
+  const PseudoKey low({0u, 0u});
+  const PseudoKey high({kHighBit, 0u});
+  ASSERT_TRUE(h.index->Insert(low, PayloadFor(0, 0)).ok());
+  ASSERT_TRUE(h.index->Insert(high, PayloadFor(kHighBit, 0)).ok());
+
+  // The third insert overflows the capacity-2 page and splits it.  The
+  // hook runs on the writer thread inside the exact hazard window: page
+  // slots published, node slots still pre-split.
+  std::atomic<int> windows{0};
+  h.tree->SetMidPublishHookForTesting([&] {
+    windows.fetch_add(1, std::memory_order_relaxed);
+    for (const PseudoKey* key : {&low, &high}) {
+      epoch::Guard g(epoch::EpochManager::Global());
+      ASSERT_TRUE(g.pinned());
+      bool conflict = false;
+      auto got = h.tree->SearchOptimistic(*key, &conflict);
+      // A present key may conflict mid-publish but must never read as a
+      // clean miss.
+      EXPECT_TRUE(conflict || got.ok())
+          << "spurious KeyError for present key mid-publish: "
+          << key->ToString();
+      if (got.ok()) {
+        EXPECT_EQ(*got, PayloadFor(key->component(0), key->component(1)));
+      }
+    }
+  });
+  ASSERT_TRUE(h.index->Insert(PseudoKey({1u, 1u}), PayloadFor(1, 1)).ok());
+  h.tree->SetMidPublishHookForTesting(nullptr);
+  ASSERT_GE(windows.load(), 1) << "split commit never hit the hook window";
+
+  // Post-commit, everything is found through the public read path.
+  for (const auto& [a, b] : std::vector<std::pair<uint32_t, uint32_t>>{
+           {0u, 0u}, {kHighBit, 0u}, {1u, 1u}}) {
+    auto got = h.index->Search(PseudoKey({a, b}));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, PayloadFor(a, b));
+  }
 }
 
 TEST(OlcReadStressTest, MetricsSnapshotRacesLockFreeReadersAndWriter) {
